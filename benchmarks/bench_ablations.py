@@ -1,0 +1,165 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. **Number of sketch units L** (Section 3.2.1 chooses L = Θ(log n)):
+   with too few units the Borůvka simulation runs out of fresh
+   randomness before all components merge and the decoder reports
+   false disconnections.  The ablation sweeps L and measures the
+   false-disconnection rate.
+
+2. **Fresh sketch copies f' = f+1** (Section 5.2): the routing loop
+   must decode each retry with an independent sketch copy because the
+   discovered-fault set is correlated with the sketch randomness.
+   The ablation compares the faithful router against a `reuse_copy`
+   variant that always decodes with copy 0.
+
+3. **Γ replication factor** (Claim 5.6): tables shrink as the Γ block
+   machinery activates; the ablation reports hub-table bits in simple
+   vs balanced mode across hub degrees.
+
+Run ``python -m benchmarks.bench_ablations`` for the tables.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.common import print_table, sample_queries, workload_graph
+from repro.core.sketch_scheme import SketchConnectivityScheme
+from repro.graph.graph import Graph
+from repro.oracles import ConnectivityOracle
+from repro.routing.fault_tolerant import FaultTolerantRouter
+
+
+# ----------------------------------------------------------------------
+# Ablation 1: sketch units
+# ----------------------------------------------------------------------
+def units_ablation(n: int = 64, trials: int = 250, units_values=(1, 2, 4, 8, 16, 24)):
+    graph = workload_graph("random", n, seed=1)
+    oracle = ConnectivityOracle(graph)
+    queries = sample_queries(graph, trials, 6, seed=2)
+    rows = []
+    for units in units_values:
+        scheme = SketchConnectivityScheme(graph, seed=3, units=units)
+        false_disc = false_conn = 0
+        for s, t, faults in queries:
+            got = scheme.query(s, t, faults).connected
+            truth = oracle.connected(s, t, faults)
+            if got and not truth:
+                false_conn += 1
+            elif truth and not got:
+                false_disc += 1
+        rows.append(
+            (
+                units,
+                f"{false_disc / trials:.3f}",
+                f"{false_conn / trials:.3f}",
+                scheme.max_edge_label_bits(),
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Ablation 2: fresh copies in FT routing
+# ----------------------------------------------------------------------
+def copies_ablation(n: int = 40, trials: int = 60, f: int = 2):
+    graph = workload_graph("random", n, seed=4)
+    oracle = ConnectivityOracle(graph)
+    faithful = FaultTolerantRouter(graph, f=f, k=2, seed=5)
+    ablated = FaultTolerantRouter(graph, f=f, k=2, seed=5, reuse_copy=True)
+    rnd = random.Random(6)
+    rows = []
+    for name, router in (("fresh copies (paper)", faithful), ("reuse copy 0", ablated)):
+        delivered = total = 0
+        for _ in range(trials):
+            s, t = rnd.sample(range(graph.n), 2)
+            faults = rnd.sample(range(graph.m), f)
+            if not oracle.connected(s, t, faults):
+                continue
+            total += 1
+            if router.route(s, t, faults).delivered:
+                delivered += 1
+        rows.append((name, f"{delivered}/{total}", f"{delivered / total:.3f}"))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Ablation 3: Γ replication vs hub degree
+# ----------------------------------------------------------------------
+def gamma_ablation(hub_degrees=(8, 16, 32), f: int = 2):
+    rows = []
+    for deg in hub_degrees:
+        g = Graph(deg + 6)
+        for v in range(1, deg + 1):
+            g.add_edge(0, v)
+        prev = 0
+        for v in range(deg + 1, deg + 6):
+            g.add_edge(prev, v)
+            prev = v
+        simple = FaultTolerantRouter(g, f=f, k=2, seed=7, table_mode="simple")
+        balanced = FaultTolerantRouter(g, f=f, k=2, seed=7, table_mode="balanced")
+        rows.append(
+            (
+                deg,
+                simple.table_bits(0),
+                balanced.table_bits(0),
+                f"{simple.table_bits(0) / max(balanced.table_bits(0), 1):.0f}x",
+            )
+        )
+    return rows
+
+
+def main() -> None:
+    print_table(
+        "Ablation 1 — sketch units L vs decode error (n=64, up to 6 faults)",
+        ["units L", "false-disconnected", "false-connected", "edge label bits"],
+        units_ablation(),
+    )
+    print_table(
+        "Ablation 2 — fresh sketch copies in FT routing (f=2)",
+        ["variant", "delivered", "rate"],
+        copies_ablation(),
+    )
+    print_table(
+        "Ablation 3 — Γ replication: hub table bits vs hub degree (f=2)",
+        ["hub degree", "simple mode", "balanced mode", "ratio"],
+        gamma_ablation(),
+    )
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def test_units_ablation_shape(benchmark):
+    rows = benchmark.pedantic(
+        lambda: units_ablation(n=48, trials=120, units_values=(1, 16)),
+        rounds=1,
+        iterations=1,
+    )
+    low, high = rows
+    assert float(low[1]) >= float(high[1])  # fewer units, more misses
+    assert float(high[1]) == 0.0
+    benchmark.extra_info["false_disc_L1"] = float(low[1])
+
+
+def test_gamma_ablation_shape(benchmark):
+    rows = benchmark.pedantic(lambda: gamma_ablation((8, 32)), rounds=1, iterations=1)
+    (d8, s8, b8, _), (d32, s32, b32, _) = rows
+    assert s32 > s8  # simple grows with degree
+    assert b32 <= b8 * 2  # balanced stays ~flat
+    benchmark.extra_info["simple_32"] = s32
+    benchmark.extra_info["balanced_32"] = b32
+
+
+def test_copies_ablation_runs(benchmark):
+    rows = benchmark.pedantic(
+        lambda: copies_ablation(n=32, trials=30), rounds=1, iterations=1
+    )
+    faithful_rate = float(rows[0][2])
+    assert faithful_rate == 1.0
+    benchmark.extra_info["faithful"] = rows[0][2]
+    benchmark.extra_info["reuse"] = rows[1][2]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,138 @@
+"""Experiment: decoding time of the two schemes.
+
+Reproduces the complexity claims of **Theorems 3.6 and 3.7** and
+**Claim 3.14** (Figure 2):
+
+* cycle-space decoding is poly(f, log n) — a GF(2) solve over a
+  (b+2) x f system;
+* sketch decoding is Õ(f) — component tree + Boruvka over <= f+1
+  components;
+* the fast O(f log f) component-tree construction matches the O(f^2)
+  brute force while scaling better.
+
+Run ``python -m benchmarks.bench_decoding_time`` for the full series.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from benchmarks.common import print_table, sample_queries, workload_graph
+from repro.core.component_tree import ComponentForest
+from repro.core.cycle_space_scheme import CycleSpaceConnectivityScheme
+from repro.core.sketch_scheme import SketchConnectivityScheme
+from repro.graph import generators
+from repro.graph.ancestry import AncestryLabeling
+from repro.graph.spanning_tree import RootedTree
+
+
+def _timed_queries(decode, queries) -> float:
+    start = time.perf_counter()
+    for args in queries:
+        decode(*args)
+    return (time.perf_counter() - start) / len(queries)
+
+
+def decode_time_vs_f(n: int = 128, f_values=(1, 2, 4, 8, 16)):
+    graph = workload_graph("random", n, seed=1)
+    sk = SketchConnectivityScheme(graph, seed=2)
+    rows = []
+    for f in f_values:
+        cs = CycleSpaceConnectivityScheme(graph, f=f, seed=2)
+        queries = sample_queries(graph, 40, f, seed=3 + f)
+        cs_labeled = [
+            (
+                cs.vertex_label(s),
+                cs.vertex_label(t),
+                [cs.edge_label(ei) for ei in F],
+            )
+            for s, t, F in queries
+        ]
+        sk_labeled = [
+            (
+                sk.vertex_label(s),
+                sk.vertex_label(t),
+                [sk.edge_label(ei) for ei in F],
+            )
+            for s, t, F in queries
+        ]
+        t_cs = _timed_queries(cs.decode, cs_labeled)
+        t_sk = _timed_queries(sk.decode, sk_labeled)
+        rows.append((f, f"{t_cs*1e6:.0f}", f"{t_sk*1e6:.0f}"))
+    return rows
+
+
+def component_tree_time(f_values=(4, 16, 64, 256)):
+    g = generators.random_tree(2048, seed=5)
+    tree = RootedTree.bfs(g, root=0)
+    anc = AncestryLabeling(tree)
+    rnd = random.Random(6)
+    rows = []
+    for f in f_values:
+        faults = rnd.sample(range(g.m), f)
+        children = [anc.label(tree.child_endpoint(ei)) for ei in faults]
+        start = time.perf_counter()
+        for _ in range(20):
+            ComponentForest.build(children)
+        fast = (time.perf_counter() - start) / 20
+        start = time.perf_counter()
+        for _ in range(20):
+            ComponentForest.build_bruteforce(children)
+        brute = (time.perf_counter() - start) / 20
+        rows.append((f, f"{fast*1e6:.0f}", f"{brute*1e6:.0f}"))
+    return rows
+
+
+def main() -> None:
+    print_table(
+        "Thm 3.6/3.7 — mean decode time (microseconds) vs f (n=128)",
+        ["f", "cycle-space us", "sketch us"],
+        decode_time_vs_f(),
+    )
+    print_table(
+        "Claim 3.14 (Fig. 2) — component tree build time (microseconds)",
+        ["|F_T|", "fast O(f log f) us", "brute O(f^2) us"],
+        component_tree_time(),
+    )
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def decode_setup():
+    graph = workload_graph("random", 128, seed=1)
+    cs = CycleSpaceConnectivityScheme(graph, f=8, seed=2)
+    sk = SketchConnectivityScheme(graph, seed=2)
+    s, t, F = sample_queries(graph, 1, 8, seed=9)[0]
+    return graph, cs, sk, s, t, F
+
+
+def test_cycle_space_decode(benchmark, decode_setup):
+    _, cs, _, s, t, F = decode_setup
+    sl, tl = cs.vertex_label(s), cs.vertex_label(t)
+    fl = [cs.edge_label(ei) for ei in F]
+    benchmark(lambda: cs.decode(sl, tl, fl))
+
+
+def test_sketch_decode(benchmark, decode_setup):
+    _, _, sk, s, t, F = decode_setup
+    sl, tl = sk.vertex_label(s), sk.vertex_label(t)
+    fl = [sk.edge_label(ei) for ei in F]
+    benchmark(lambda: sk.decode(sl, tl, fl))
+
+
+def test_component_tree_fast_vs_brute(benchmark):
+    g = generators.random_tree(1024, seed=5)
+    tree = RootedTree.bfs(g, root=0)
+    anc = AncestryLabeling(tree)
+    faults = random.Random(6).sample(range(g.m), 64)
+    children = [anc.label(tree.child_endpoint(ei)) for ei in faults]
+    benchmark(lambda: ComponentForest.build(children))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+"""Experiment: FT approximate distance labels (Theorem 1.4).
+
+Measures, for random weighted graphs and grids:
+
+* the estimate/true-distance ratio distribution against the paper's
+  (8k-2)(|F|+1) guarantee (the measured stretch is typically far below
+  the worst case);
+* the label size as a function of k — the Õ(k n^{1/k}) tradeoff.
+
+Run ``python -m benchmarks.bench_distance_labels`` for the full series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import geometric_mean, print_table, sample_queries, workload_graph
+from repro.core.distance_labels import DistanceLabelScheme
+from repro.oracles import DistanceOracle
+
+
+def stretch_profile(family: str, n: int, k: int, f: int, trials: int = 120, seed: int = 1):
+    graph = workload_graph(family, n, seed=seed)
+    scheme = DistanceLabelScheme(graph, f, k, seed=seed + 1, base_scheme="cycle_space")
+    oracle = DistanceOracle(graph)
+    ratios = []
+    violations = 0
+    for s, t, faults in sample_queries(
+        graph, trials, f, seed=seed + 2, connected_only=True
+    ):
+        est = scheme.query(s, t, faults)
+        true = oracle.distance(s, t, faults)
+        if true <= 0:
+            continue
+        ratio = est / true
+        ratios.append(ratio)
+        if ratio > scheme.stretch_bound(len(faults)) + 1e-9 or ratio < 1 - 1e-9:
+            violations += 1
+    return {
+        "mean": geometric_mean(ratios),
+        "max": max(ratios),
+        "bound": scheme.stretch_bound(f),
+        "violations": violations,
+        "label_bits": scheme.max_vertex_label_bits(),
+    }
+
+
+def main() -> None:
+    rows = []
+    for family in ("weighted", "grid"):
+        for k in (1, 2, 3):
+            for f in (1, 2, 3):
+                p = stretch_profile(family, 64, k, f, trials=80)
+                rows.append(
+                    (
+                        family,
+                        k,
+                        f,
+                        p["mean"],
+                        p["max"],
+                        p["bound"],
+                        p["violations"],
+                    )
+                )
+    print_table(
+        "Thm 1.4 — distance estimate stretch (estimate / true distance)",
+        ["family", "k", "f", "geo-mean", "max", "bound (8k+6)(f+1)", "violations"],
+        rows,
+    )
+    rows = []
+    graph = workload_graph("weighted", 96, seed=5)
+    for k in (1, 2, 3, 4):
+        scheme = DistanceLabelScheme(graph, 2, k, seed=6, base_scheme="cycle_space")
+        rows.append((k, scheme.max_vertex_label_bits(), len(scheme.instances)))
+    print_table(
+        "Thm 1.4 — label size vs stretch parameter k (n=96, f=2)",
+        ["k", "max vertex label bits", "#instances"],
+        rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("k", [2, 3])
+def test_distance_label_construction(benchmark, k):
+    graph = workload_graph("weighted", 48, seed=7)
+    scheme = benchmark(
+        lambda: DistanceLabelScheme(graph, 2, k, seed=8, base_scheme="cycle_space")
+    )
+    benchmark.extra_info["label_bits"] = scheme.max_vertex_label_bits()
+
+
+def test_distance_stretch_within_bound(benchmark):
+    p = benchmark.pedantic(
+        lambda: stretch_profile("weighted", 48, 2, 2, trials=50, seed=9),
+        rounds=1,
+        iterations=1,
+    )
+    assert p["violations"] == 0
+    assert p["max"] <= p["bound"]
+    benchmark.extra_info["geo_mean_stretch"] = p["mean"]
+    benchmark.extra_info["max_stretch"] = p["max"]
+
+
+def test_distance_decode_time(benchmark):
+    graph = workload_graph("weighted", 48, seed=10)
+    scheme = DistanceLabelScheme(graph, 2, 2, seed=11, base_scheme="cycle_space")
+    s, t, faults = sample_queries(graph, 1, 2, seed=12, connected_only=True)[0]
+    sl, tl = scheme.vertex_label(s), scheme.vertex_label(t)
+    fl = [scheme.edge_label(ei) for ei in faults]
+    benchmark(lambda: scheme.decode(sl, tl, fl))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Experiment: randomized-correctness rates.
+
+Reproduces **Lemma 1.7** (a non-cut XORs to zero with probability 2^-b)
+and the w.h.p. decode guarantee of **Theorem 1.3** for both schemes,
+measured as empirical error rates against the exact oracle.
+
+Run ``python -m benchmarks.bench_error_rates`` for the full series.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.common import print_table, sample_queries, workload_graph
+from repro.core.cycle_space_scheme import CycleSpaceConnectivityScheme
+from repro.core.sketch_scheme import SketchConnectivityScheme
+from repro.cycle_space.labels import CycleSpaceLabels
+from repro.graph.spanning_tree import RootedTree
+from repro.oracles import ConnectivityOracle
+
+
+def false_cut_rate(b: int, trials: int = 4000, n: int = 48) -> float:
+    """Fraction of random non-cut subsets that pass the Lemma 1.7 test."""
+    graph = workload_graph("random", n, seed=1)
+    tree = RootedTree.bfs(graph, root=0)
+    labels = CycleSpaceLabels.build(graph, tree, b, seed=2)
+    oracle = ConnectivityOracle(graph)
+    rnd = random.Random(3)
+    tested = positives = 0
+    while tested < trials:
+        subset = rnd.sample(range(graph.m), rnd.randint(1, 3))
+        if oracle.is_induced_edge_cut(subset):
+            continue
+        tested += 1
+        if labels.looks_like_induced_cut(subset):
+            positives += 1
+    return positives / tested
+
+
+def decode_error_rate(scheme_name: str, trials: int = 600, n: int = 64) -> float:
+    graph = workload_graph("random", n, seed=4)
+    oracle = ConnectivityOracle(graph)
+    if scheme_name == "cycle_space":
+        scheme = CycleSpaceConnectivityScheme(graph, f=5, seed=5)
+        decide = lambda s, t, F: scheme.query(s, t, F)
+    else:
+        scheme = SketchConnectivityScheme(graph, seed=5)
+        decide = lambda s, t, F: scheme.query(s, t, F).connected
+    errors = 0
+    for s, t, faults in sample_queries(graph, trials, 5, seed=6):
+        if decide(s, t, faults) != oracle.connected(s, t, faults):
+            errors += 1
+    return errors / trials
+
+
+def main() -> None:
+    rows = []
+    for b in (1, 2, 4, 8, 16):
+        rate = false_cut_rate(b, trials=3000)
+        rows.append((b, f"{rate:.4f}", f"{2**-b:.4f}"))
+    print_table(
+        "Lemma 1.7 — false-cut rate vs label width b",
+        ["b (bits)", "measured", "predicted 2^-b"],
+        rows,
+    )
+    rows = [
+        (name, f"{decode_error_rate(name):.4f}")
+        for name in ("cycle_space", "sketch")
+    ]
+    print_table(
+        "Thm 1.3 — decode error rate vs exact oracle (600 queries, n=64)",
+        ["scheme", "error rate"],
+        rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def test_false_cut_rate_matches_prediction(benchmark):
+    rate = benchmark.pedantic(
+        lambda: false_cut_rate(2, trials=1500), rounds=1, iterations=1
+    )
+    benchmark.extra_info["measured"] = rate
+    benchmark.extra_info["predicted"] = 0.25
+    assert abs(rate - 0.25) < 0.08
+
+
+@pytest.mark.parametrize("scheme", ["cycle_space", "sketch"])
+def test_decode_error_rate_is_negligible(benchmark, scheme):
+    rate = benchmark.pedantic(
+        lambda: decode_error_rate(scheme, trials=300), rounds=1, iterations=1
+    )
+    benchmark.extra_info["error_rate"] = rate
+    assert rate == 0.0
+
+
+if __name__ == "__main__":
+    main()

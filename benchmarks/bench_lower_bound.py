@@ -1,0 +1,78 @@
+"""Experiment: the Ω(f) stretch lower bound (**Theorem 1.6, Figure 4**).
+
+On the (f+1)-disjoint-paths construction with the last edge of every
+path but one failed, any fault-oblivious router pays expected stretch
+Ω(f).  The bench reports, per f:
+
+* the analytic expectation 1 + f of the optimal oblivious strategy;
+* a Monte-Carlo simulation of that strategy;
+* the measured average stretch of our FaultTolerantRouter over all
+  f+1 adversarial patterns (it must deliver, and it must also pay
+  Ω(f) — no scheme escapes the bound).
+
+Run ``python -m benchmarks.bench_lower_bound`` for the series.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import print_table
+from repro.routing.fault_tolerant import FaultTolerantRouter
+from repro.routing.lower_bound import (
+    adversarial_fault_sets,
+    measure_router_on_lower_bound,
+    sequential_strategy_expected_stretch,
+    simulate_sequential_strategy,
+)
+
+
+def lower_bound_rows(f_values=(1, 2, 3, 4), path_length: int = 8, trials: int = 2000):
+    rows = []
+    for f in f_values:
+        analytic = sequential_strategy_expected_stretch(f)
+        simulated = simulate_sequential_strategy(f, path_length, trials, seed=1)
+        graph, _, _, _ = adversarial_fault_sets(f, path_length)[0]
+        router = FaultTolerantRouter(graph, f=f, k=2, seed=2)
+        ours = measure_router_on_lower_bound(router.route, f, path_length)
+        rows.append((f, analytic, simulated, ours))
+    return rows
+
+
+def main() -> None:
+    rows = lower_bound_rows()
+    print_table(
+        "Thm 1.6 (Fig. 4) — expected stretch on the lower-bound graph",
+        ["f", "analytic 1+f", "oblivious simulated", "our FT router"],
+        rows,
+    )
+    print(
+        "Reading: the router always delivers, but like every oblivious\n"
+        "scheme its average stretch grows linearly in f — the Ω(f) bound."
+    )
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def test_lower_bound_shape(benchmark):
+    rows = benchmark.pedantic(
+        lambda: lower_bound_rows(f_values=(1, 3), path_length=6, trials=800),
+        rounds=1,
+        iterations=1,
+    )
+    (f1, a1, s1, r1), (f3, a3, s3, r3) = rows
+    assert a1 < a3 and s1 < s3  # stretch grows with f
+    assert r1 < float("inf") and r3 < float("inf")  # we always deliver
+    assert r3 > 1.5  # and we pay the omega(f) price too
+    benchmark.extra_info["router_stretch_f1"] = r1
+    benchmark.extra_info["router_stretch_f3"] = r3
+
+
+def test_oblivious_simulation(benchmark):
+    value = benchmark(
+        lambda: simulate_sequential_strategy(3, path_length=10, trials=500, seed=4)
+    )
+    assert 2.5 < value < 5.5
+
+
+if __name__ == "__main__":
+    main()

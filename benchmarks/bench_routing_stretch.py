@@ -1,0 +1,167 @@
+"""Experiment: routing stretch vs fault count (Theorems 5.3, 5.5, 5.8).
+
+For both the forbidden-set scheme (faults known; bound (8k-2)(|F|+1))
+and the fault-tolerant scheme (faults unknown; bound 32k(|F|+1)^2),
+measures the realized route length / optimal G\\F distance as |F| grows,
+plus the Lemma 3.17 path-validity counters (delivery rate, reversals,
+Γ queries, header sizes).
+
+Run ``python -m benchmarks.bench_routing_stretch`` for the full series.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.common import geometric_mean, print_table, workload_graph
+from repro.oracles import DistanceOracle
+from repro.routing.fault_tolerant import FaultTolerantRouter
+from repro.routing.forbidden_set import ForbiddenSetRouter
+
+
+def _queries_with_faults(graph, num_faults, trials, seed):
+    """(s, t, F) with F biased towards the s-t shortest path (the
+    adversarial placement: random faults rarely hit the route)."""
+    from repro.oracles.distances import shortest_path
+
+    rnd = random.Random(seed)
+    out = []
+    attempts = 0
+    while len(out) < trials and attempts < 60 * trials:
+        attempts += 1
+        s, t = rnd.sample(range(graph.n), 2)
+        faults: list[int] = []
+        for _ in range(num_faults):
+            p = shortest_path(graph, s, t, faults)
+            if p is None or len(p) < 2:
+                break
+            idx = rnd.randrange(len(p) - 1)
+            ei = graph.edge_index_between(p[idx], p[idx + 1])
+            if ei is None or ei in faults:
+                break
+            faults.append(ei)
+        if len(faults) != num_faults:
+            continue
+        if shortest_path(graph, s, t, faults) is None:
+            continue
+        out.append((s, t, faults))
+    return out
+
+
+def routing_stretch_rows(family: str, n: int, k: int, f_max: int, trials: int, seed: int):
+    graph = workload_graph(family, n, seed=seed)
+    oracle = DistanceOracle(graph)
+    fsr = ForbiddenSetRouter(graph, f=f_max, k=k, seed=seed + 1)
+    ftr = FaultTolerantRouter(graph, f=f_max, k=k, seed=seed + 1, table_mode="balanced")
+    rows = []
+    for num_faults in range(0, f_max + 1):
+        queries = _queries_with_faults(graph, num_faults, trials, seed + 2 + num_faults)
+        fs_ratios, ft_ratios = [], []
+        reversals = gamma = 0
+        header = 0
+        undelivered = 0
+        for s, t, faults in queries:
+            true = oracle.distance(s, t, faults)
+            a = fsr.route(s, t, faults)
+            b = ftr.route(s, t, faults)
+            if not (a.delivered and b.delivered):
+                undelivered += 1
+                continue
+            fs_ratios.append(a.length / true if true > 0 else 1.0)
+            ft_ratios.append(b.length / true if true > 0 else 1.0)
+            reversals += b.telemetry.reversals
+            gamma += b.telemetry.gamma_queries
+            header = max(header, b.telemetry.max_header_bits)
+        rows.append(
+            (
+                num_faults,
+                geometric_mean(fs_ratios),
+                max(fs_ratios, default=float("nan")),
+                fsr.stretch_bound(num_faults),
+                geometric_mean(ft_ratios),
+                max(ft_ratios, default=float("nan")),
+                ftr.stretch_bound(num_faults),
+                reversals,
+                gamma,
+                header,
+                undelivered,
+            )
+        )
+    return rows
+
+
+def main() -> None:
+    for family, n in (("random", 64), ("grid", 49)):
+        rows = routing_stretch_rows(family, n, k=2, f_max=3, trials=25, seed=3)
+        print_table(
+            f"Thm 5.3/5.8 — routing stretch vs |F| on {family} (n~{n}, k=2, "
+            "faults on shortest paths)",
+            [
+                "|F|",
+                "FS geo",
+                "FS max",
+                "FS bound",
+                "FT geo",
+                "FT max",
+                "FT bound",
+                "reversals",
+                "Γ queries",
+                "max header bits",
+                "undelivered",
+            ],
+            rows,
+        )
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def routers():
+    graph = workload_graph("random", 48, seed=4)
+    fsr = ForbiddenSetRouter(graph, f=2, k=2, seed=5)
+    ftr = FaultTolerantRouter(graph, f=2, k=2, seed=5)
+    queries = _queries_with_faults(graph, 2, 10, seed=6)
+    return graph, fsr, ftr, queries
+
+
+def test_forbidden_set_route(benchmark, routers):
+    graph, fsr, _, queries = routers
+    s, t, faults = queries[0]
+    result = benchmark(lambda: fsr.route(s, t, faults))
+    assert result.delivered
+
+
+def test_fault_tolerant_route(benchmark, routers):
+    graph, _, ftr, queries = routers
+    s, t, faults = queries[0]
+    result = benchmark(lambda: ftr.route(s, t, faults))
+    assert result.delivered
+
+
+def test_stretch_bounds_hold(benchmark, routers):
+    graph, fsr, ftr, queries = routers
+    oracle = DistanceOracle(graph)
+
+    def run():
+        worst_fs = worst_ft = 0.0
+        for s, t, faults in queries:
+            true = oracle.distance(s, t, faults)
+            a, b = fsr.route(s, t, faults), ftr.route(s, t, faults)
+            assert a.delivered and b.delivered
+            if true > 0:
+                worst_fs = max(worst_fs, a.length / true)
+                worst_ft = max(worst_ft, b.length / true)
+        return worst_fs, worst_ft
+
+    worst_fs, worst_ft = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert worst_fs <= fsr.stretch_bound(2)
+    assert worst_ft <= ftr.stretch_bound(2)
+    benchmark.extra_info["worst_fs_stretch"] = worst_fs
+    benchmark.extra_info["worst_ft_stretch"] = worst_ft
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Experiment: construction-time scaling.
+
+The reproduction notes flag label construction as the slow part of a
+Python build ("networkx helps; slow on large label constructions").
+This bench measures how each layer's preprocessing scales with n —
+both labeling schemes (paper: Õ(m)), the distance labels (Õ(m n^{1/k})
+over all scales) and the FT router (adds f' sketch copies per cover
+tree) — documenting where the numpy vectorization of the sketch arrays
+pays off and what sizes are practical.
+
+Run ``python -m benchmarks.bench_scaling`` for the table.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.common import print_table, workload_graph
+from repro.core.cycle_space_scheme import CycleSpaceConnectivityScheme
+from repro.core.distance_labels import DistanceLabelScheme
+from repro.core.sketch_scheme import SketchConnectivityScheme
+from repro.routing.fault_tolerant import FaultTolerantRouter
+
+
+def _time(builder) -> float:
+    start = time.perf_counter()
+    builder()
+    return time.perf_counter() - start
+
+
+def scaling_rows(n_values=(64, 128, 256, 512)):
+    rows = []
+    for n in n_values:
+        graph = workload_graph("random", n, seed=1)
+        t_cs = _time(lambda: CycleSpaceConnectivityScheme(graph, f=4, seed=2))
+        t_sk = _time(lambda: SketchConnectivityScheme(graph, seed=2))
+        if n <= 128:
+            t_dist = _time(
+                lambda: DistanceLabelScheme(
+                    graph, 2, 2, seed=3, base_scheme="cycle_space"
+                )
+            )
+        else:
+            t_dist = float("nan")
+        if n <= 64:
+            t_router = _time(lambda: FaultTolerantRouter(graph, f=2, k=2, seed=3))
+        else:
+            t_router = float("nan")
+        rows.append(
+            (
+                n,
+                graph.m,
+                f"{t_cs*1000:.0f}",
+                f"{t_sk*1000:.0f}",
+                f"{t_dist*1000:.0f}" if t_dist == t_dist else "-",
+                f"{t_router*1000:.0f}" if t_router == t_router else "-",
+            )
+        )
+    return rows
+
+
+def main() -> None:
+    print_table(
+        "Construction time scaling (milliseconds)",
+        ["n", "m", "cycle-space ms", "sketch ms", "distance ms", "router ms"],
+        scaling_rows(),
+    )
+    print(
+        "Reading: both labeling schemes scale near-linearly in m (the\n"
+        "paper's O~(m)); distance labels multiply by the number of cover\n"
+        "trees across scales; the router adds f+1 sketch copies per tree."
+    )
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n", [256, 512])
+def test_sketch_scaling(benchmark, n):
+    graph = workload_graph("random", n, seed=1)
+    benchmark.pedantic(
+        lambda: SketchConnectivityScheme(graph, seed=2), rounds=2, iterations=1
+    )
+
+
+def test_near_linear_sketch_scaling(benchmark):
+    def run():
+        g1 = workload_graph("random", 128, seed=1)
+        g2 = workload_graph("random", 512, seed=1)
+        t1 = _time(lambda: SketchConnectivityScheme(g1, seed=2))
+        t2 = _time(lambda: SketchConnectivityScheme(g2, seed=2))
+        return t1, t2, g1.m, g2.m
+
+    t1, t2, m1, m2 = benchmark.pedantic(run, rounds=1, iterations=1)
+    # 4x the edges (m2/m1 = 4) should cost far less than quadratically
+    # more time; allow generous slack for timer noise at this scale.
+    assert t2 < ((m2 / m1) ** 2) * max(t1, 5e-3)
+    benchmark.extra_info["t_128_ms"] = t1 * 1000
+    benchmark.extra_info["t_512_ms"] = t2 * 1000
+
+
+if __name__ == "__main__":
+    main()

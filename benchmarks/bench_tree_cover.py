@@ -1,0 +1,99 @@
+"""Experiment: tree cover quality (Definition 4.1 / Proposition 4.2).
+
+Measures the three cover properties the Section 4 analysis relies on —
+ball covering (verified exactly), cluster radius vs the (2k-1)rho
+reference, and per-vertex overlap vs the k n^{1/k} reference — across
+scales and k values.
+
+Run ``python -m benchmarks.bench_tree_cover`` for the full series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import print_table, workload_graph
+from repro.oracles import DistanceOracle
+from repro.trees.tree_cover import sparse_cover
+
+
+def cover_quality(graph, rho: float, k: int):
+    cover = sparse_cover(graph, rho, k)
+    oracle = DistanceOracle(graph)
+    member_sets = [set(t.vertices) for t in cover.trees]
+    covered = all(
+        set(oracle.ball(v, rho)) <= member_sets[cover.home[v]]
+        for v in graph.vertices()
+    )
+    max_radius = max((t.radius for t in cover.trees), default=0.0)
+    overlap = cover.max_overlap()
+    return {
+        "clusters": len(cover.trees),
+        "covered": covered,
+        "max_radius": max_radius,
+        "radius_ref": (2 * k - 1) * rho,
+        "max_overlap": overlap,
+        "overlap_ref": k * graph.n ** (1.0 / k),
+    }
+
+
+def main() -> None:
+    for family, n in (("grid", 100), ("random", 128)):
+        graph = workload_graph(family, n, seed=1)
+        rows = []
+        for k in (1, 2, 3):
+            for rho in (1.0, 2.0, 4.0, 8.0):
+                q = cover_quality(graph, rho, k)
+                rows.append(
+                    (
+                        k,
+                        rho,
+                        q["clusters"],
+                        "yes" if q["covered"] else "NO",
+                        q["max_radius"],
+                        q["radius_ref"],
+                        q["max_overlap"],
+                        f"{q['overlap_ref']:.1f}",
+                    )
+                )
+        print_table(
+            f"Def 4.1 — tree cover quality on {family} (n={graph.n})",
+            [
+                "k",
+                "rho",
+                "#clusters",
+                "balls covered",
+                "max radius",
+                "(2k-1)rho",
+                "max overlap",
+                "k n^(1/k)",
+            ],
+            rows,
+        )
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("k", [2, 3])
+def test_cover_construction(benchmark, k):
+    graph = workload_graph("grid", 100, seed=1)
+    cover = benchmark(lambda: sparse_cover(graph, 2.0, k))
+    benchmark.extra_info["clusters"] = len(cover.trees)
+    benchmark.extra_info["max_overlap"] = cover.max_overlap()
+
+
+def test_cover_properties_hold(benchmark):
+    graph = workload_graph("grid", 100, seed=1)
+    q = benchmark.pedantic(
+        lambda: cover_quality(graph, 2.0, 2), rounds=1, iterations=1
+    )
+    assert q["covered"]
+    assert q["max_radius"] <= q["radius_ref"] + 2.0  # round-variant slack
+    benchmark.extra_info.update(
+        {k: v for k, v in q.items() if isinstance(v, (int, float))}
+    )
+
+
+if __name__ == "__main__":
+    main()

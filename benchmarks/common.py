@@ -1,0 +1,92 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench module in this directory regenerates one table/figure/bound
+of the paper (see the per-experiment index in DESIGN.md):
+
+* run ``python -m benchmarks.<module>`` to print the full rows/series;
+* run ``pytest benchmarks/ --benchmark-only`` to time the underlying
+  operations (each module exposes ``test_*`` functions using the
+  pytest-benchmark fixture, with the headline measurements attached as
+  ``extra_info``).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable, Sequence
+
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.oracles import ConnectivityOracle
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Render an aligned ASCII table (the bench output format)."""
+    rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    print()
+    print(f"=== {title} ===")
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    print()
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if math.isinf(cell):
+            return "inf"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def workload_graph(name: str, n: int, seed: int = 0) -> Graph:
+    """The standard bench workloads by family name."""
+    if name == "random":
+        return generators.random_connected_graph(n, extra_edges=int(1.5 * n), seed=seed)
+    if name == "grid":
+        side = max(2, int(math.isqrt(n)))
+        return generators.grid_graph(side, side)
+    if name == "weighted":
+        base = generators.random_connected_graph(n, extra_edges=int(1.5 * n), seed=seed)
+        return generators.with_random_weights(base, 1, 8, seed=seed + 1)
+    if name == "ring_of_cliques":
+        cliques = max(3, n // 6)
+        return generators.ring_of_cliques(cliques, 6)
+    raise ValueError(f"unknown workload {name!r}")
+
+
+def sample_queries(
+    graph: Graph,
+    trials: int,
+    max_faults: int,
+    seed: int,
+    connected_only: bool = False,
+):
+    """Deterministic (s, t, F) query stream for the benches."""
+    rnd = random.Random(seed)
+    oracle = ConnectivityOracle(graph)
+    out = []
+    attempts = 0
+    while len(out) < trials and attempts < 50 * trials:
+        attempts += 1
+        s, t = rnd.sample(range(graph.n), 2)
+        size = rnd.randint(0, min(max_faults, graph.m))
+        faults = rnd.sample(range(graph.m), size)
+        if connected_only and not oracle.connected(s, t, faults):
+            continue
+        out.append((s, t, faults))
+    return out
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    vals = [v for v in values if v > 0 and not math.isinf(v)]
+    if not vals:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -1,0 +1,105 @@
+"""Datacenter fault drill: compact FT routing on a torus fabric.
+
+Scenario (the paper's introductory motivation): a network fabric where
+links fail and the routing layer must keep delivering without global
+recomputation and without per-switch state proportional to the network
+size.  We model a torus interconnect (a common direct-topology fabric),
+install the paper's fault-tolerant routing scheme (Theorem 5.8,
+load-balanced tables), and run a drill:
+
+* an adversary takes down up to f links, *including links on current
+  shortest paths*;
+* every switch keeps only its compact routing table;
+* sources know nothing about the failures.
+
+The drill reports delivery rate, stretch distribution, header sizes,
+and compares the per-switch state against a full-information baseline.
+
+Run:  python examples/datacenter_fault_drill.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph import generators
+from repro.oracles import DistanceOracle
+from repro.oracles.distances import shortest_path
+from repro.routing.baselines import InteriorRoutingBaseline
+from repro.routing.fault_tolerant import FaultTolerantRouter
+
+ROWS, COLS = 5, 6
+F = 2
+K = 2
+FLOWS = 30
+
+
+def adversarial_links(graph, s, t, count, rnd):
+    """Fail links lying on the evolving s-t shortest path."""
+    faults: list[int] = []
+    for _ in range(count):
+        path = shortest_path(graph, s, t, faults)
+        if path is None or len(path) < 2:
+            break
+        i = rnd.randrange(len(path) - 1)
+        ei = graph.edge_index_between(path[i], path[i + 1])
+        if ei is None or ei in faults:
+            continue
+        faults.append(ei)
+    return faults
+
+
+def main() -> None:
+    rnd = random.Random(11)
+    fabric = generators.torus_graph(ROWS, COLS)
+    print(f"fabric: {ROWS}x{COLS} torus, {fabric.n} switches, {fabric.m} links")
+
+    router = FaultTolerantRouter(fabric, f=F, k=K, seed=5, table_mode="balanced")
+    baseline = InteriorRoutingBaseline(fabric)
+    oracle = DistanceOracle(fabric)
+
+    compact_bits = router.max_table_bits()
+    full_bits = baseline.max_table_bits()
+    print(f"per-switch state: FT tables={compact_bits} bits "
+          f"(O~(f^3 n^(1/k)) — polylog factors dominate at toy scale; "
+          f"full-information={full_bits} bits grows as m log n)")
+    print(f"destination address (routing label): {router.max_label_bits()} bits")
+    print(f"worst-case stretch guarantee: {router.stretch_bound(F):.0f}x\n")
+
+    delivered = 0
+    stretches = []
+    reversals = 0
+    header = 0
+    for flow in range(FLOWS):
+        s, t = rnd.sample(range(fabric.n), 2)
+        faults = adversarial_links(fabric, s, t, F, rnd)
+        true = oracle.distance(s, t, faults)
+        result = router.route(s, t, faults)
+        if not result.delivered:
+            print(f"  flow {flow}: {s}->{t} UNDELIVERED (disconnected: "
+                  f"{true == float('inf')})")
+            continue
+        delivered += 1
+        stretches.append(result.length / true if true > 0 else 1.0)
+        reversals += result.telemetry.reversals
+        header = max(header, result.telemetry.max_header_bits)
+
+    stretches.sort()
+    mid = stretches[len(stretches) // 2]
+    print(f"drill results over {FLOWS} flows with {F} adversarial link faults:")
+    print(f"  delivered           : {delivered}/{FLOWS}")
+    print(f"  median stretch      : {mid:.2f}x")
+    print(f"  worst stretch       : {stretches[-1]:.2f}x "
+          f"(guarantee {router.stretch_bound(F):.0f}x)")
+    print(f"  total path reversals: {reversals}")
+    print(f"  max header size     : {header} bits")
+    print("\nWhat the drill shows: every switch decided next hops from its")
+    print("own table plus the message header alone — no global recompute,")
+    print("no topology database — and still delivered around hidden faults")
+    print("within the stretch guarantee.  (At this toy scale the table's")
+    print("polylog factors dwarf the full-information baseline; see")
+    print("EXPERIMENTS.md for the size-scaling measurements.)")
+
+
+if __name__ == "__main__":
+    main()

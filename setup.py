@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so PEP 660 editable installs (``pip install -e .``) cannot build; this
+shim keeps ``python setup.py develop`` / legacy ``pip install -e .``
+working.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,5 @@
+"""Internal utilities: seeded randomness derivation and bit helpers."""
+
+from repro._util.rng import derive_seed, prf_bytes, prf_int, rng_from
+
+__all__ = ["derive_seed", "prf_bytes", "prf_int", "rng_from"]

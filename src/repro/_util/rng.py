@@ -1,0 +1,63 @@
+"""Deterministic randomness utilities.
+
+Every randomized scheme in this package is driven by a single integer
+*master seed*.  Independent random streams (sketch units, hash functions,
+identifier PRFs) are derived from the master seed with a keyed BLAKE2b
+PRF, so results are reproducible bit-for-bit across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+_SEED_BYTES = 16
+
+
+def _to_bytes(value: int | str | bytes) -> bytes:
+    if isinstance(value, bytes):
+        return value
+    if isinstance(value, str):
+        return value.encode("utf-8")
+    if isinstance(value, int):
+        length = max(1, (value.bit_length() + 8) // 8)
+        return value.to_bytes(length, "big", signed=True)
+    raise TypeError(f"cannot derive seed material from {type(value)!r}")
+
+
+def prf_bytes(seed: int, *salt: int | str | bytes, size: int = 16) -> bytes:
+    """Return ``size`` pseudo-random bytes determined by ``seed`` and ``salt``.
+
+    This is the package-wide PRF: a keyed BLAKE2b hash of the salt values,
+    keyed by the seed.  It backs both seed derivation and the unique edge
+    identifiers of Lemma 3.8 (see ``repro.sketches.edge_ids``).
+    """
+    key = _to_bytes(seed).rjust(16, b"\0")[-16:]
+    h = hashlib.blake2b(key=key, digest_size=min(size, 64))
+    for part in salt:
+        data = _to_bytes(part)
+        h.update(len(data).to_bytes(4, "big"))
+        h.update(data)
+    digest = h.digest()
+    while len(digest) < size:
+        h = hashlib.blake2b(digest, key=key, digest_size=64)
+        digest += h.digest()
+    return digest[:size]
+
+
+def prf_int(seed: int, *salt: int | str | bytes, bits: int = 64) -> int:
+    """Return a pseudo-random ``bits``-bit integer determined by seed+salt."""
+    size = (bits + 7) // 8
+    value = int.from_bytes(prf_bytes(seed, *salt, size=size), "big")
+    return value & ((1 << bits) - 1)
+
+
+def derive_seed(seed: int, *salt: int | str | bytes) -> int:
+    """Derive an independent 128-bit child seed from a master seed."""
+    return int.from_bytes(prf_bytes(seed, *salt, size=_SEED_BYTES), "big")
+
+
+def rng_from(seed: int, *salt: int | str | bytes) -> np.random.Generator:
+    """Create a numpy Generator seeded deterministically from seed+salt."""
+    return np.random.Generator(np.random.PCG64(derive_seed(seed, *salt)))

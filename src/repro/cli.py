@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands:
+
+* ``info``     — build a workload graph and print scheme size reports.
+* ``query``    — answer one <s, t, F> connectivity + distance query.
+* ``route``    — route a message under hidden faults and print telemetry.
+* ``lower-bound`` — print the Theorem 1.6 series.
+
+All commands operate on the built-in synthetic workloads (``--family``,
+``--n``, ``--seed``), so the tool is fully self-contained and every run
+is reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+from repro.core.api import FaultTolerantConnectivity, FaultTolerantDistance
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.oracles import DistanceOracle
+from repro.routing.fault_tolerant import FaultTolerantRouter
+
+
+def _build_graph(args: argparse.Namespace) -> Graph:
+    family = args.family
+    if family == "random":
+        return generators.random_connected_graph(
+            args.n, extra_edges=int(1.5 * args.n), seed=args.seed
+        )
+    if family == "grid":
+        side = max(2, int(math.isqrt(args.n)))
+        return generators.grid_graph(side, side)
+    if family == "torus":
+        side = max(3, int(math.isqrt(args.n)))
+        return generators.torus_graph(side, side)
+    if family == "ring_of_cliques":
+        return generators.ring_of_cliques(max(3, args.n // 5), 5)
+    if family == "weighted":
+        base = generators.random_connected_graph(
+            args.n, extra_edges=int(1.5 * args.n), seed=args.seed
+        )
+        return generators.with_random_weights(base, 1, 8, seed=args.seed + 1)
+    raise SystemExit(f"unknown family {family!r}")
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
+    print(f"graph: family={args.family} n={graph.n} m={graph.m} "
+          f"W={graph.max_weight():.0f}")
+    for scheme_name in ("cycle_space", "sketch"):
+        conn = FaultTolerantConnectivity(graph, f=args.f, scheme=scheme_name, seed=args.seed)
+        print(f"connectivity[{scheme_name}]: vertex label "
+              f"{conn.max_vertex_label_bits()} bits, edge label "
+              f"{conn.max_edge_label_bits()} bits")
+    dist = FaultTolerantDistance(graph, f=args.f, k=args.k, seed=args.seed)
+    print(f"distance[k={args.k}]: vertex label {dist.max_vertex_label_bits()} bits, "
+          f"stretch bound {dist.stretch_bound(args.f):.0f}x")
+    return 0
+
+
+def _parse_faults(spec: str) -> list[int]:
+    if not spec:
+        return []
+    return [int(x) for x in spec.split(",") if x.strip() != ""]
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
+    faults = _parse_faults(args.faults)
+    conn = FaultTolerantConnectivity(graph, f=max(args.f, len(faults)), seed=args.seed)
+    dist = FaultTolerantDistance(
+        graph, f=max(args.f, len(faults)), k=args.k, seed=args.seed
+    )
+    connected = conn.connected(args.s, args.t, faults)
+    print(f"connected({args.s}, {args.t} | {len(faults)} faults) = {connected}")
+    if connected:
+        est = dist.estimate(args.s, args.t, faults)
+        true = DistanceOracle(graph).distance(args.s, args.t, faults)
+        print(f"distance estimate = {est:.1f} (exact {true:.1f}, "
+              f"bound {dist.stretch_bound(len(faults)):.0f}x)")
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
+    faults = _parse_faults(args.faults)
+    router = FaultTolerantRouter(
+        graph, f=max(args.f, len(faults)), k=args.k, seed=args.seed,
+        table_mode=args.tables,
+    )
+    result = router.route(args.s, args.t, faults)
+    true = DistanceOracle(graph).distance(args.s, args.t, faults)
+    if not result.delivered:
+        print(f"route {args.s} -> {args.t}: UNDELIVERED "
+              f"(exact distance: {true})")
+        return 1
+    tel = result.telemetry
+    print(f"route {args.s} -> {args.t}: delivered")
+    print(f"  walked       : {result.length:.1f} (optimal {true:.1f})")
+    print(f"  hops         : {tel.hops}")
+    print(f"  reversals    : {tel.reversals}")
+    print(f"  gamma queries: {tel.gamma_queries}")
+    print(f"  decode calls : {tel.decode_calls}")
+    print(f"  header bits  : {tel.max_header_bits}")
+    return 0
+
+
+def _cmd_lower_bound(args: argparse.Namespace) -> int:
+    from repro.routing.lower_bound import (
+        sequential_strategy_expected_stretch,
+        simulate_sequential_strategy,
+    )
+
+    print("f  analytic  simulated")
+    for f in range(1, args.f + 1):
+        analytic = sequential_strategy_expected_stretch(f)
+        simulated = simulate_sequential_strategy(f, 10, 1500, seed=args.seed)
+        print(f"{f}  {analytic:.2f}      {simulated:.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fault-tolerant labeling and compact routing schemes "
+        "(Dory & Parter, PODC 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--family", default="random",
+                       choices=["random", "grid", "torus", "ring_of_cliques", "weighted"])
+        p.add_argument("--n", type=int, default=64)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--f", type=int, default=2, help="fault bound")
+        p.add_argument("--k", type=int, default=2, help="stretch parameter")
+
+    p_info = sub.add_parser("info", help="scheme size report")
+    common(p_info)
+    p_info.set_defaults(func=_cmd_info)
+
+    p_query = sub.add_parser("query", help="one connectivity/distance query")
+    common(p_query)
+    p_query.add_argument("--s", type=int, required=True)
+    p_query.add_argument("--t", type=int, required=True)
+    p_query.add_argument("--faults", default="", help="comma-separated edge indices")
+    p_query.set_defaults(func=_cmd_query)
+
+    p_route = sub.add_parser("route", help="route a message under faults")
+    common(p_route)
+    p_route.add_argument("--s", type=int, required=True)
+    p_route.add_argument("--t", type=int, required=True)
+    p_route.add_argument("--faults", default="")
+    p_route.add_argument("--tables", default="balanced", choices=["simple", "balanced"])
+    p_route.set_defaults(func=_cmd_route)
+
+    p_lb = sub.add_parser("lower-bound", help="Theorem 1.6 series")
+    p_lb.add_argument("--f", type=int, default=4)
+    p_lb.add_argument("--seed", type=int, default=0)
+    p_lb.set_defaults(func=_cmd_lower_bound)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

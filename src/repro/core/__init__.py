@@ -1,0 +1,37 @@
+"""The paper's core contributions.
+
+* :mod:`repro.core.cycle_space_scheme` — FT connectivity labels via
+  cycle space sampling (Section 3.1, Theorem 3.6).
+* :mod:`repro.core.sketch_scheme` — FT connectivity labels via graph
+  sketches (Section 3.2, Theorem 3.7), with succinct path output
+  (Lemma 3.17).
+* :mod:`repro.core.component_tree` — component-tree identification from
+  ancestry labels (Claim 3.14).
+* :mod:`repro.core.distance_labels` — FT approximate distance labels
+  (Section 4, Theorem 1.4).
+* :mod:`repro.core.api` — the user-facing facade.
+"""
+
+from repro.core.cycle_space_scheme import CycleSpaceConnectivityScheme
+from repro.core.sketch_scheme import ConnectivityPartition, SketchConnectivityScheme
+from repro.core.forest_scheme import ForestConnectivityScheme
+from repro.core.component_tree import ComponentForest
+from repro.core.path_description import PathSegment, SuccinctPath
+from repro.core.distance_labels import DistanceLabelScheme
+from repro.core.api import (
+    FaultTolerantConnectivity,
+    FaultTolerantDistance,
+)
+
+__all__ = [
+    "CycleSpaceConnectivityScheme",
+    "SketchConnectivityScheme",
+    "ConnectivityPartition",
+    "ForestConnectivityScheme",
+    "ComponentForest",
+    "PathSegment",
+    "SuccinctPath",
+    "DistanceLabelScheme",
+    "FaultTolerantConnectivity",
+    "FaultTolerantDistance",
+]

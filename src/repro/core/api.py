@@ -1,0 +1,130 @@
+"""High-level facade over the labeling schemes.
+
+Most users want three operations — "label my graph", "are s and t still
+connected under these faults?", "how far apart are they?" — without
+choosing between the two Section 3 constructions.  The facades here pick
+sensible defaults and expose the full pipeline (labels in, answers out).
+The routing facade lives in :mod:`repro.routing.fault_tolerant` (it
+depends on the network simulator).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+from repro.core.cycle_space_scheme import CycleSpaceConnectivityScheme
+from repro.core.distance_labels import DistanceLabelScheme
+from repro.core.sketch_scheme import SketchConnectivityScheme
+from repro.graph.graph import Graph
+
+
+class FaultTolerantConnectivity:
+    """f-FT connectivity labels for a graph (Theorem 1.3).
+
+    ``scheme`` selects the construction:
+
+    * ``"cycle_space"`` — O(f + log n)-bit labels (Section 3.1), the
+      right choice for small fault bounds;
+    * ``"sketch"`` — O(log^3 n)-bit labels independent of f
+      (Section 3.2), also able to report a succinct s-t path;
+    * ``"auto"`` — cycle-space while ``f <= log^2 n`` (where its labels
+      are smaller), sketches beyond, mirroring the
+      ``O(min{f + log n, log^3 n})`` statement of Theorem 1.3.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        f: int,
+        scheme: str = "auto",
+        seed: int = 0,
+        units: Optional[int] = None,
+    ):
+        if scheme == "auto":
+            log_n = max(1, math.ceil(math.log2(max(graph.n, 2))))
+            scheme = "cycle_space" if f <= log_n * log_n else "sketch"
+        self.scheme_name = scheme
+        self.graph = graph
+        self.f = f
+        if scheme == "cycle_space":
+            self._impl = CycleSpaceConnectivityScheme(graph, f, seed=seed)
+        elif scheme == "sketch":
+            self._impl = SketchConnectivityScheme(graph, seed=seed, units=units)
+        else:
+            raise ValueError(f"unknown scheme {scheme!r}")
+
+    @property
+    def impl(self):
+        """The underlying scheme object (for scheme-specific features)."""
+        return self._impl
+
+    def vertex_label(self, v: int):
+        return self._impl.vertex_label(v)
+
+    def edge_label(self, edge_index: int):
+        return self._impl.edge_label(edge_index)
+
+    def connected(self, s: int, t: int, faults: Iterable[int]) -> bool:
+        """Is ``s`` connected to ``t`` in ``G \\ faults``? (w.h.p.)"""
+        faults = list(faults)
+        if len(faults) > self.f and self.scheme_name == "cycle_space":
+            raise ValueError(
+                f"fault set of size {len(faults)} exceeds the bound f={self.f}"
+            )
+        result = self._impl.decode(
+            self._impl.vertex_label(s),
+            self._impl.vertex_label(t),
+            [self._impl.edge_label(ei) for ei in faults],
+        )
+        return result.connected
+
+    def max_vertex_label_bits(self) -> int:
+        return self._impl.max_vertex_label_bits()
+
+    def max_edge_label_bits(self) -> int:
+        return self._impl.max_edge_label_bits()
+
+
+class FaultTolerantDistance:
+    """f-FT approximate distance labels (Theorem 1.4).
+
+    ``estimate(s, t, F)`` returns a value within
+    ``[dist, (8k-2)(|F|+1) dist]`` of the true ``G \\ F`` distance,
+    w.h.p.; ``math.inf`` indicates disconnection.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        f: int,
+        k: int,
+        seed: int = 0,
+        base_scheme: str = "cycle_space",
+        units: Optional[int] = None,
+    ):
+        self.graph = graph
+        self.f = f
+        self.k = k
+        self._impl = DistanceLabelScheme(
+            graph, f, k, seed=seed, base_scheme=base_scheme, units=units
+        )
+
+    @property
+    def impl(self) -> DistanceLabelScheme:
+        return self._impl
+
+    def vertex_label(self, v: int):
+        return self._impl.vertex_label(v)
+
+    def edge_label(self, edge_index: int):
+        return self._impl.edge_label(edge_index)
+
+    def estimate(self, s: int, t: int, faults: Iterable[int]) -> float:
+        return self._impl.query(s, t, faults)
+
+    def stretch_bound(self, num_faults: int) -> float:
+        return self._impl.stretch_bound(num_faults)
+
+    def max_vertex_label_bits(self) -> int:
+        return self._impl.max_vertex_label_bits()

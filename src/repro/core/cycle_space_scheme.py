@@ -1,0 +1,300 @@
+"""FT connectivity labels via cycle space sampling (Section 3.1).
+
+The scheme (Theorem 3.6):
+
+* every edge label carries ``(phi(e), ANC(u), ANC(v), tree-bit)`` —
+  ``O(f + log n)`` bits with ``b = f + c log n`` cycle-space bits;
+* every vertex label carries its ancestry label — ``O(log n)`` bits;
+* the decoder determines whether ``s`` and ``t`` are disconnected by a
+  fault set F by testing solvability of two GF(2) systems built from the
+  augmented labels ``phi'(e)`` (Lemma 3.5), in time
+  ``O((f + log n) f^2)``.
+
+For disconnected inputs every label additionally records the connected
+component id, and the scheme is applied per component (Section 3
+preamble).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro._util import derive_seed
+from repro.cycle_space.labels import CycleSpaceLabels
+from repro.graph.ancestry import AncestryLabeling, AncLabel, edge_on_root_path
+from repro.graph.graph import Graph
+from repro.graph.spanning_tree import RootedTree, spanning_forest
+from repro.linalg.gf2 import gf2_solve
+from repro.sizing.bits import bits_for_count
+
+
+@dataclass(frozen=True)
+class CSVertexLabel:
+    """Vertex label: component id + ancestry label (O(log n) bits)."""
+
+    component: int
+    anc: AncLabel
+    n: int
+
+    def bit_length(self) -> int:
+        return bits_for_count(self.component) + AncestryLabeling.bit_length(self.n)
+
+
+@dataclass(frozen=True)
+class CSEdgeLabel:
+    """Edge label: ``(phi(e), ANC(u), ANC(v), tree-bit)`` plus component id.
+
+    O(f + log n) bits: ``b = f + c log n`` bits of phi and two ancestry
+    labels.
+    """
+
+    component: int
+    phi: int
+    b: int
+    anc_u: AncLabel
+    anc_v: AncLabel
+    is_tree: bool
+    n: int
+
+    def bit_length(self) -> int:
+        return (
+            bits_for_count(self.component)
+            + self.b
+            + 2 * AncestryLabeling.bit_length(self.n)
+            + 1
+        )
+
+    def identity(self) -> tuple[AncLabel, AncLabel]:
+        """A decoder-visible identity used to deduplicate fault lists."""
+        return (self.anc_u, self.anc_v) if self.anc_u <= self.anc_v else (
+            self.anc_v,
+            self.anc_u,
+        )
+
+
+@dataclass(frozen=True)
+class CSDecodeResult:
+    """Decoder output: verdict plus, when disconnected, the witnessing cut.
+
+    ``cut_member_positions`` indexes into the (deduplicated) fault-label
+    list handed to the decoder; the selected edges form an induced edge
+    cut F' separating s from t (Corollary 3.4).
+    """
+
+    connected: bool
+    cut_member_positions: Optional[tuple[int, ...]] = None
+
+
+def side_of_vertex(anc_x: AncLabel, cut_tree_edges: Sequence[tuple[AncLabel, AncLabel]]) -> int:
+    """Claim 3.3 side classification (Figure 1).
+
+    Given the ancestry labels of the tree edges of an induced edge cut
+    F', the side of vertex x is the parity of ``n_x(F')`` — the number
+    of cut edges on the root-to-x tree path.
+    """
+    parity = 0
+    for anc_u, anc_v in cut_tree_edges:
+        if edge_on_root_path(anc_u, anc_v, anc_x):
+            parity ^= 1
+    return parity
+
+
+class CycleSpaceConnectivityScheme:
+    """The full Section 3.1 scheme: labeling plus both decoders."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        f: int,
+        seed: int = 0,
+        c_log: int = 4,
+        trees: Optional[Sequence[RootedTree]] = None,
+        all_queries: bool = False,
+    ):
+        """Assign labels for up to ``f`` edge faults.
+
+        ``b = f + c_log * ceil(log2 n)`` cycle-space bits per edge, the
+        paper's choice guaranteeing per-query error ``<= 2^f / 2^b =
+        n^-c_log`` (Section 3.1.1).  With ``all_queries=True`` the width
+        grows to ``b = (f + c_log) * ceil(log2 n)`` — the Section 3.1.1
+        remark: since there are at most ``O(n^f)`` fault sets of size
+        <= f, O(f log n) bits make the labels correct for *all* queries
+        simultaneously w.h.p., not just per query.
+
+        ``trees`` may supply pre-built spanning trees (one per
+        component); otherwise BFS trees are used.
+        """
+        if f < 0:
+            raise ValueError("fault bound f must be >= 0")
+        self.graph = graph
+        self.f = f
+        self.seed = seed
+        self.all_queries = all_queries
+        n = max(graph.n, 2)
+        log_n = max(1, math.ceil(math.log2(n)))
+        if all_queries:
+            self.b = (f + c_log) * log_n
+        else:
+            self.b = f + c_log * log_n
+        if trees is None:
+            self.trees, self.comp_of = spanning_forest(graph)
+        else:
+            self.trees = list(trees)
+            self.comp_of = [-1] * graph.n
+            for ci, tree in enumerate(self.trees):
+                for v in tree.vertices:
+                    self.comp_of[v] = ci
+        self._anc = [AncestryLabeling(tree) for tree in self.trees]
+        self._labels = [
+            CycleSpaceLabels.build(
+                graph, tree, self.b, seed=derive_seed(seed, "cs", ci)
+            )
+            for ci, tree in enumerate(self.trees)
+        ]
+
+    # ------------------------------------------------------------------
+    # Labels
+    # ------------------------------------------------------------------
+    def vertex_label(self, v: int) -> CSVertexLabel:
+        ci = self.comp_of[v]
+        return CSVertexLabel(component=ci, anc=self._anc[ci].label(v), n=self.graph.n)
+
+    def edge_label(self, edge_index: int) -> CSEdgeLabel:
+        e = self.graph.edge(edge_index)
+        ci = self.comp_of[e.u]
+        anc = self._anc[ci]
+        return CSEdgeLabel(
+            component=ci,
+            phi=self._labels[ci].phi(edge_index),
+            b=self.b,
+            anc_u=anc.label(e.u),
+            anc_v=anc.label(e.v),
+            is_tree=self.trees[ci].is_tree_edge(edge_index),
+            n=self.graph.n,
+        )
+
+    def max_vertex_label_bits(self) -> int:
+        return max(
+            (self.vertex_label(v).bit_length() for v in self.graph.vertices()),
+            default=0,
+        )
+
+    def max_edge_label_bits(self) -> int:
+        return max(
+            (self.edge_label(e.index).bit_length() for e in self.graph.edges),
+            default=0,
+        )
+
+    # ------------------------------------------------------------------
+    # Decoding (Section 3.1.3 — linear systems over GF(2))
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _augmented_columns(
+        s: CSVertexLabel, t: CSVertexLabel, faults: Sequence[CSEdgeLabel]
+    ) -> list[int]:
+        """Build the phi'(e) column vectors of Lemma 3.5.
+
+        Layout: bit ``b+1`` is the "on r-s only" flag, bit ``b`` the
+        "on r-t only" flag, low b bits are phi(e).
+        """
+        columns = []
+        for lab in faults:
+            prefix_s = lab.is_tree and edge_on_root_path(lab.anc_u, lab.anc_v, s.anc)
+            prefix_t = lab.is_tree and edge_on_root_path(lab.anc_u, lab.anc_v, t.anc)
+            col = lab.phi
+            if prefix_s and not prefix_t:
+                col |= 1 << (lab.b + 1)
+            elif prefix_t and not prefix_s:
+                col |= 1 << lab.b
+            columns.append(col)
+        return columns
+
+    def decode(
+        self,
+        s_label: CSVertexLabel,
+        t_label: CSVertexLabel,
+        fault_labels: Iterable[CSEdgeLabel],
+    ) -> CSDecodeResult:
+        """Decide s-t connectivity in G \\ F from labels only.
+
+        Returns connected=True/False; when disconnected, also the subset
+        of fault labels forming the witnessing induced cut.
+        """
+        if s_label.component != t_label.component:
+            return CSDecodeResult(connected=False)
+        if s_label.anc == t_label.anc:
+            return CSDecodeResult(connected=True)
+        relevant: list[CSEdgeLabel] = []
+        seen: set[tuple[AncLabel, AncLabel]] = set()
+        for lab in fault_labels:
+            if lab.component != s_label.component:
+                continue
+            key = lab.identity()
+            if key in seen:
+                continue
+            seen.add(key)
+            relevant.append(lab)
+        if not relevant:
+            return CSDecodeResult(connected=True)
+        columns = self._augmented_columns(s_label, t_label, relevant)
+        b = relevant[0].b
+        for w in (1 << (b + 1), 1 << b):
+            solution = gf2_solve(columns, w)
+            if solution is not None:
+                members = tuple(i for i, xi in enumerate(solution) if xi)
+                return CSDecodeResult(connected=False, cut_member_positions=members)
+        return CSDecodeResult(connected=True)
+
+    def decode_bruteforce(
+        self,
+        s_label: CSVertexLabel,
+        t_label: CSVertexLabel,
+        fault_labels: Iterable[CSEdgeLabel],
+    ) -> CSDecodeResult:
+        """Exponential reference decoder (Section 3.1.2): enumerate all
+        subsets F' of F, test the induced-cut condition via the label XOR
+        and the side parity via Corollary 3.4.  For tests only."""
+        if s_label.component != t_label.component:
+            return CSDecodeResult(connected=False)
+        if s_label.anc == t_label.anc:
+            return CSDecodeResult(connected=True)
+        relevant = [
+            lab for lab in fault_labels if lab.component == s_label.component
+        ]
+        # Deduplicate as in the fast decoder.
+        uniq: dict[tuple[AncLabel, AncLabel], CSEdgeLabel] = {}
+        for lab in relevant:
+            uniq.setdefault(lab.identity(), lab)
+        labs = list(uniq.values())
+        k = len(labs)
+        for mask in range(1, 1 << k):
+            subset = [labs[i] for i in range(k) if (mask >> i) & 1]
+            if any(True for _ in subset):
+                xor = 0
+                for lab in subset:
+                    xor ^= lab.phi
+                if xor != 0:
+                    continue
+                tree_edges = [
+                    (lab.anc_u, lab.anc_v) for lab in subset if lab.is_tree
+                ]
+                ns = side_of_vertex(s_label.anc, tree_edges)
+                nt = side_of_vertex(t_label.anc, tree_edges)
+                if ns != nt:
+                    members = tuple(i for i in range(k) if (mask >> i) & 1)
+                    return CSDecodeResult(connected=False, cut_member_positions=members)
+        return CSDecodeResult(connected=True)
+
+    # ------------------------------------------------------------------
+    # Convenience wrapper used by examples and benches
+    # ------------------------------------------------------------------
+    def query(self, s: int, t: int, faults: Iterable[int]) -> bool:
+        """Full-pipeline query: look up labels, decode, return connected."""
+        result = self.decode(
+            self.vertex_label(s),
+            self.vertex_label(t),
+            [self.edge_label(ei) for ei in faults],
+        )
+        return result.connected

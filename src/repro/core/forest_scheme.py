@@ -1,0 +1,128 @@
+"""Deterministic FT connectivity labels for forests.
+
+When the input graph is a forest, fault-tolerant connectivity labeling
+is exact and deterministic with O(log n)-bit labels: removing F from a
+tree disconnects ``s`` and ``t`` iff some failed tree edge lies on the
+unique s-t tree path, which ancestry labels decide directly — a failed
+edge (u, parent(u)) separates s from t iff it lies on exactly one of
+the root-s / root-t paths.
+
+This is both a useful special case (overlay/backbone trees) and a
+deterministic comparator for the randomized general-graph schemes: it
+has no error probability and the smallest possible labels, but it only
+exists because forests have no recovery paths to find.  (The paper's
+open-problems section notes that *deterministic* labels for general
+graphs remain open.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.graph.ancestry import AncestryLabeling, AncLabel, edge_on_root_path
+from repro.graph.graph import Graph
+from repro.graph.spanning_tree import spanning_forest
+from repro.sizing.bits import bits_for_count
+
+
+@dataclass(frozen=True)
+class ForestVertexLabel:
+    """Component id + ancestry interval: 2 log n + O(log n) bits."""
+
+    component: int
+    anc: AncLabel
+    n: int
+
+    def bit_length(self) -> int:
+        return bits_for_count(self.component) + AncestryLabeling.bit_length(self.n)
+
+
+@dataclass(frozen=True)
+class ForestEdgeLabel:
+    """Component id + the two endpoint intervals."""
+
+    component: int
+    anc_u: AncLabel
+    anc_v: AncLabel
+    n: int
+
+    def bit_length(self) -> int:
+        return bits_for_count(self.component) + 2 * AncestryLabeling.bit_length(self.n)
+
+
+class ForestConnectivityScheme:
+    """Exact, deterministic f-FT connectivity labels for forests."""
+
+    def __init__(self, graph: Graph):
+        trees, self.comp_of = spanning_forest(graph)
+        for tree in trees:
+            spanned = len(tree.vertices)
+            edges = sum(
+                1
+                for e in graph.edges
+                if self.comp_of[e.u] == self.comp_of[tree.root]
+            )
+            if edges != spanned - 1:
+                raise ValueError("graph is not a forest")
+        self.graph = graph
+        self.trees = trees
+        self._anc = [AncestryLabeling(tree) for tree in trees]
+
+    def vertex_label(self, v: int) -> ForestVertexLabel:
+        ci = self.comp_of[v]
+        return ForestVertexLabel(
+            component=ci, anc=self._anc[ci].label(v), n=self.graph.n
+        )
+
+    def edge_label(self, edge_index: int) -> ForestEdgeLabel:
+        e = self.graph.edge(edge_index)
+        ci = self.comp_of[e.u]
+        anc = self._anc[ci]
+        return ForestEdgeLabel(
+            component=ci,
+            anc_u=anc.label(e.u),
+            anc_v=anc.label(e.v),
+            n=self.graph.n,
+        )
+
+    @staticmethod
+    def decode(
+        s_label: ForestVertexLabel,
+        t_label: ForestVertexLabel,
+        fault_labels: Iterable[ForestEdgeLabel],
+    ) -> bool:
+        """Exact s-t connectivity in ``forest \\ F`` from labels only.
+
+        A failed edge separates s from t iff it lies on the s-t tree
+        path, i.e. on exactly one of the root-s / root-t paths.
+        """
+        if s_label.component != t_label.component:
+            return False
+        for lab in fault_labels:
+            if lab.component != s_label.component:
+                continue
+            on_s = edge_on_root_path(lab.anc_u, lab.anc_v, s_label.anc)
+            on_t = edge_on_root_path(lab.anc_u, lab.anc_v, t_label.anc)
+            if on_s != on_t:
+                return False
+        return True
+
+    def query(self, s: int, t: int, faults: Iterable[int]) -> bool:
+        return self.decode(
+            self.vertex_label(s),
+            self.vertex_label(t),
+            [self.edge_label(ei) for ei in faults],
+        )
+
+    def max_vertex_label_bits(self) -> int:
+        return max(
+            (self.vertex_label(v).bit_length() for v in self.graph.vertices()),
+            default=0,
+        )
+
+    def max_edge_label_bits(self) -> int:
+        return max(
+            (self.edge_label(e.index).bit_length() for e in self.graph.edges),
+            default=0,
+        )

@@ -1,0 +1,603 @@
+"""FT connectivity labels via graph sketches (Section 3.2, Theorem 3.7).
+
+Labeling (Section 3.2.1):
+
+* every vertex label carries ``(ANC_T(u), ID(u))`` (Eq. 3), plus the
+  tree-routing label ``L_T(u)`` in routing mode (Eq. 6);
+* every non-tree edge label is its extended identifier ``EID_T(e)``;
+* every tree edge label additionally carries the subtree sketch
+  ``Sketch(V(T_child))``, the global sketch ``Sketch(V)``, and the seeds
+  ``S_ID`` and ``S_h`` — O(log^3 n) bits in total.
+
+Decoding (Section 3.2.2), given the labels of ``s``, ``t`` and the fault
+set F:
+
+1. identify the components of ``T \\ F_T`` from ancestry labels
+   (Claim 3.14, :mod:`repro.core.component_tree`);
+2. compute each component's sketch in G from the subtree sketches
+   (Claim 3.15);
+3. cancel the faulty edges out of the component sketches;
+4. simulate Boruvka phases over the components, one fresh sketch unit
+   per phase, until the components stop merging; ``s`` and ``t`` are
+   connected iff their components merged.
+
+When connected, the decoder also emits the succinct s-t path of
+Lemma 3.17 (O(f) recovery-edge / tree-path segments), which the routing
+schemes of Section 5 consume.
+
+``copies`` builds the f' = f+1 independent sketch collections required
+by the fault-tolerant routing scheme (Section 5.2): all copies share the
+extended identifiers (same ``S_ID``) and differ only in the sketch seeds
+``S_h^1..S_h^{f'}``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro._util import derive_seed
+from repro.core.component_tree import ComponentForest, orient_tree_edge
+from repro.core.path_description import PathSegment, SuccinctPath
+from repro.graph.ancestry import AncestryLabeling, AncLabel
+from repro.graph.graph import Graph
+from repro.graph.spanning_tree import RootedTree, spanning_forest
+from repro.sketches.edge_ids import DecodedEid, ExtendedEdgeIds, UidScheme
+from repro.sketches.hashing import PairwiseHashFamily
+from repro.sketches.sketch import SketchDims, VertexSketches
+from repro.sizing.bits import bits_for_count, bits_for_id
+from repro.trees.union_find import UnionFind
+
+
+def default_units(n: int) -> int:
+    """Default number of basic sketch units L = Theta(log n)."""
+    return 2 * max(2, math.ceil(math.log2(max(n, 4)))) + 8
+
+
+@dataclass(frozen=True)
+class RoutingAugmentation:
+    """Extra fields embedded into EIDs for the routing schemes (Eq. 5).
+
+    ``tlabel_of(v)`` returns the encoded Thorup-Zwick tree-routing label
+    of ``v`` as an integer of at most ``tlabel_bits`` bits.
+    """
+
+    port_bits: int
+    tlabel_bits: int
+    tlabel_of: Callable[[int], int]
+
+
+@dataclass(frozen=True)
+class SketchContext:
+    """Decoder-visible constants: what the seeds in the labels determine.
+
+    Conceptually this is (S_ID, S_h^1.., n, m) — the decoder
+    reconstructs the hash families and the EID codec from them.  It is
+    shared by reference between labels and counted once per tree-edge
+    label in the bit accounting.
+    """
+
+    dims: SketchDims
+    eids: ExtendedEdgeIds
+    sketchers: tuple[VertexSketches, ...]
+
+    @property
+    def copies(self) -> int:
+        return len(self.sketchers)
+
+    def seed_bits(self) -> int:
+        return UidScheme.SEED_BITS + sum(s.family.seed_bits() for s in self.sketchers)
+
+
+@dataclass(frozen=True)
+class SkVertexLabel:
+    """Vertex label (Eq. 3 / Eq. 6): component, id, ancestry, tree label."""
+
+    component: int
+    vid: int
+    anc: AncLabel
+    n: int
+    tlabel: Optional[int] = None
+    tlabel_bits: int = 0
+
+    def bit_length(self) -> int:
+        bits = (
+            bits_for_count(self.component)
+            + bits_for_id(self.n)
+            + AncestryLabeling.bit_length(self.n)
+        )
+        if self.tlabel is not None:
+            bits += self.tlabel_bits
+        return bits
+
+
+@dataclass(frozen=True)
+class SkEdgeLabel:
+    """Edge label: EID for non-tree edges; EID + sketches + seeds for
+    tree edges (per-copy child-subtree sketch and the global sketch)."""
+
+    component: int
+    eid: int
+    is_tree: bool
+    context: SketchContext
+    subtree: Optional[tuple[np.ndarray, ...]] = None
+    global_sketch: Optional[tuple[np.ndarray, ...]] = None
+
+    def bit_length(self) -> int:
+        bits = bits_for_count(self.component) + self.context.eids.total_bits + 1
+        if self.is_tree:
+            cell_bits = self.context.eids.total_bits
+            sketch_bits = self.context.dims.cell_count() * cell_bits
+            bits += 2 * self.context.copies * sketch_bits  # subtree + global
+            bits += self.context.seed_bits()
+        return bits
+
+
+@dataclass(frozen=True)
+class SkDecodeResult:
+    """Decoder verdict plus the Lemma 3.17 succinct path when connected."""
+
+    connected: bool
+    path: Optional[SuccinctPath] = None
+    phases_used: int = 0
+
+
+@dataclass(frozen=True)
+class ConnectivityPartition:
+    """The full G \\ F component structure over the T \\ F_T components.
+
+    Output of :meth:`SketchConnectivityScheme.decode_partition`: one
+    decode answers *all* same-component queries for a fixed fault set —
+    two labeled vertices are connected in ``G \\ F`` iff their groups
+    match.  ``component`` is None when the queried vertex lies in a
+    different connected component of G than the fault set's.
+    """
+
+    component: int  # the G-component this partition describes
+    forest: ComponentForest
+    group_of: tuple[int, ...]  # T\F_T component index -> group id
+
+    def group(self, vertex_label: "SkVertexLabel") -> Optional[int]:
+        """Group id of a labeled vertex (None if in another G-component)."""
+        if vertex_label.component != self.component:
+            return None
+        return self.group_of[self.forest.locate(vertex_label.anc)]
+
+    def same_component(
+        self, a: "SkVertexLabel", b: "SkVertexLabel"
+    ) -> bool:
+        """Are the two labeled vertices connected in G \\ F?"""
+        if a.component != b.component:
+            return False
+        if a.component != self.component:
+            raise ValueError("partition was built for a different component")
+        return self.group(a) == self.group(b)
+
+    @property
+    def group_count(self) -> int:
+        return len(set(self.group_of))
+
+
+class SketchConnectivityScheme:
+    """The full Section 3.2 scheme: labeling + Boruvka decoding."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        seed: int = 0,
+        copies: int = 1,
+        units: Optional[int] = None,
+        routing: Optional[RoutingAugmentation] = None,
+        trees: Optional[Sequence[RootedTree]] = None,
+        id_of: Optional[Callable[[int], int]] = None,
+        id_space: Optional[int] = None,
+        port_fn: Optional[Callable[[int, int], int]] = None,
+    ):
+        """``id_of``/``id_space``/``port_fn`` translate instance-local
+        vertices to global ids/ports when the scheme runs on a tree-cover
+        cluster (see Section 4/5); by default they are the identity."""
+        if copies < 1:
+            raise ValueError("need at least one sketch copy")
+        self.graph = graph
+        self.seed = seed
+        self._id_of = id_of if id_of is not None else (lambda v: v)
+        self._id_space = id_space if id_space is not None else graph.n
+        if trees is None:
+            self.trees, self.comp_of = spanning_forest(graph)
+        else:
+            self.trees = list(trees)
+            self.comp_of = [-1] * graph.n
+            for ci, tree in enumerate(self.trees):
+                for v in tree.vertices:
+                    self.comp_of[v] = ci
+        self._anc = [AncestryLabeling(tree) for tree in self.trees]
+        self._routing = routing
+
+        def anc_of(v: int) -> AncLabel:
+            return self._anc[self.comp_of[v]].label(v)
+
+        uid_scheme = UidScheme(derive_seed(seed, "uid"))
+        if routing is None:
+            eids = ExtendedEdgeIds(
+                graph, uid_scheme, anc_of, id_of=id_of, id_space=id_space
+            )
+        else:
+            eids = ExtendedEdgeIds(
+                graph,
+                uid_scheme,
+                anc_of,
+                port_bits=routing.port_bits,
+                tlabel_bits=routing.tlabel_bits,
+                tlabel_of=routing.tlabel_of,
+                id_of=id_of,
+                id_space=id_space,
+                port_fn=port_fn,
+            )
+        self._eid_cache = [eids.eid(ei) for ei in range(graph.m)]
+        levels = max(1, math.ceil(math.log2(max(graph.m, 2)))) + 1
+        n_units = units if units is not None else default_units(graph.n)
+        words = max(1, (eids.total_bits + 63) // 64)
+        dims = SketchDims(units=n_units, levels=levels, words=words)
+        sketchers = tuple(
+            VertexSketches(
+                graph,
+                dims,
+                PairwiseHashFamily(
+                    n_units, levels - 1, derive_seed(seed, "sketch_family", c)
+                ),
+                id_of=id_of,
+                key_space=id_space,
+            )
+            for c in range(copies)
+        )
+        self.context = SketchContext(dims=dims, eids=eids, sketchers=sketchers)
+        # Per-copy per-vertex subtree-aggregated sketches: row v holds the
+        # sketch of subtree(v); the row of a component root is the global
+        # component sketch Sketch(V).
+        self._agg: list[np.ndarray] = []
+        for c in range(copies):
+            arr = sketchers[c].build(lambda ei: self._eid_cache[ei])
+            for tree in self.trees:
+                for v in tree.post_order():
+                    p = tree.parent[v]
+                    if p >= 0:
+                        arr[p] ^= arr[v]
+            self._agg.append(arr)
+
+    # ------------------------------------------------------------------
+    # Labels
+    # ------------------------------------------------------------------
+    def vertex_label(self, v: int) -> SkVertexLabel:
+        ci = self.comp_of[v]
+        tlabel = None
+        tlabel_bits = 0
+        if self._routing is not None:
+            tlabel = self._routing.tlabel_of(v)
+            tlabel_bits = self._routing.tlabel_bits
+        return SkVertexLabel(
+            component=ci,
+            vid=self._id_of(v),
+            anc=self._anc[ci].label(v),
+            n=self._id_space,
+            tlabel=tlabel,
+            tlabel_bits=tlabel_bits,
+        )
+
+    def edge_label(self, edge_index: int) -> SkEdgeLabel:
+        e = self.graph.edge(edge_index)
+        ci = self.comp_of[e.u]
+        tree = self.trees[ci]
+        is_tree = tree.is_tree_edge(edge_index)
+        subtree = None
+        global_sketch = None
+        if is_tree:
+            child = tree.child_endpoint(edge_index)
+            subtree = tuple(self._agg[c][child] for c in range(self.context.copies))
+            global_sketch = tuple(
+                self._agg[c][tree.root] for c in range(self.context.copies)
+            )
+        return SkEdgeLabel(
+            component=ci,
+            eid=self._eid_cache[edge_index],
+            is_tree=is_tree,
+            context=self.context,
+            subtree=subtree,
+            global_sketch=global_sketch,
+        )
+
+    def max_vertex_label_bits(self) -> int:
+        return max(
+            (self.vertex_label(v).bit_length() for v in self.graph.vertices()),
+            default=0,
+        )
+
+    def max_edge_label_bits(self) -> int:
+        return max(
+            (self.edge_label(e.index).bit_length() for e in self.graph.edges),
+            default=0,
+        )
+
+    # ------------------------------------------------------------------
+    # Decoding (Section 3.2.2)
+    # ------------------------------------------------------------------
+    def decode(
+        self,
+        s_label: SkVertexLabel,
+        t_label: SkVertexLabel,
+        fault_labels: Iterable[SkEdgeLabel],
+        copy: int = 0,
+        want_path: bool = True,
+    ) -> SkDecodeResult:
+        """Decide s-t connectivity in ``G \\ F`` from labels only.
+
+        ``copy`` selects which of the f' independent sketch collections
+        to consume (the FT routing scheme uses a fresh copy per retry
+        iteration).
+        """
+        if s_label.component != t_label.component:
+            return SkDecodeResult(connected=False)
+        if s_label.vid == t_label.vid:
+            return SkDecodeResult(
+                connected=True, path=SuccinctPath(s_label.vid, t_label.vid, ())
+            )
+        faults: list[SkEdgeLabel] = []
+        seen: set[int] = set()
+        for lab in fault_labels:
+            if lab.component != s_label.component or lab.eid in seen:
+                continue
+            seen.add(lab.eid)
+            faults.append(lab)
+        tree_faults = [lab for lab in faults if lab.is_tree]
+        if not tree_faults:
+            # T is intact: same component implies connected via the tree.
+            path = self._direct_tree_path(s_label, t_label) if want_path else None
+            return SkDecodeResult(connected=True, path=path)
+
+        forest, uf, merges, phases = self._simulate_boruvka(
+            faults, tree_faults, copy
+        )
+        cs = forest.locate(s_label.anc)
+        ct = forest.locate(t_label.anc)
+        if not uf.same(cs, ct):
+            return SkDecodeResult(connected=False, phases_used=phases)
+        path = None
+        if want_path:
+            path = self._build_path(s_label, t_label, forest, merges, cs, ct)
+        return SkDecodeResult(connected=True, path=path, phases_used=phases)
+
+    def _simulate_boruvka(
+        self,
+        faults: Sequence[SkEdgeLabel],
+        tree_faults: Sequence[SkEdgeLabel],
+        copy: int,
+    ) -> tuple[ComponentForest, UnionFind, list, int]:
+        """Steps 1-4 of the decoder (Section 3.2.2): component tree,
+        component sketches, fault cancellation, Boruvka merging."""
+        ctx = tree_faults[0].context
+        sketcher = ctx.sketchers[copy]
+        decoded_faults = [ctx.eids.try_decode(lab.eid) for lab in faults]
+        if any(d is None for d in decoded_faults):
+            raise ValueError("fault label carries a corrupted EID")
+
+        # Step 1: components of T \ F_T.
+        children: list[AncLabel] = []
+        refs: list[int] = []
+        for pos, lab in enumerate(faults):
+            if not lab.is_tree:
+                continue
+            d = decoded_faults[pos]
+            child_anc, _ = orient_tree_edge(d.anc_u, d.anc_v)
+            children.append(child_anc)
+            refs.append(pos)
+        forest = ComponentForest.build(children, refs=refs)
+
+        # Step 2: per-component sketches in G (Claim 3.15).
+        num_comps = len(forest)
+        prime = [None] * num_comps  # Sketch'(C_j)
+        for j in range(1, num_comps):
+            pos = forest.components[j].ref
+            prime[j] = faults[pos].subtree[copy]
+        prime[0] = tree_faults[0].global_sketch[copy]
+        comp_sketch: list[np.ndarray] = [None] * num_comps
+        for j in range(num_comps):
+            sketch = prime[j].copy()
+            for child in forest.children_of(j):
+                sketch ^= prime[child]
+            comp_sketch[j] = sketch
+
+        # Step 3: cancel faulty edges out of the component sketches.
+        for pos, lab in enumerate(faults):
+            d = decoded_faults[pos]
+            cu = forest.locate(d.anc_u)
+            cv = forest.locate(d.anc_v)
+            if cu != cv:
+                sketcher.cancel_edge(comp_sketch[cu], d.u, d.v, lab.eid)
+                sketcher.cancel_edge(comp_sketch[cv], d.u, d.v, lab.eid)
+
+        # Step 4: Boruvka phases over the components, one fresh unit each.
+        uf = UnionFind(num_comps)
+        sketch_of: dict[int, np.ndarray] = {j: comp_sketch[j] for j in range(num_comps)}
+        merges: list[tuple[DecodedEid, int, int]] = []
+        phases = 0
+        for unit in range(ctx.dims.units):
+            roots = sorted({uf.find(j) for j in range(num_comps)})
+            if len(roots) == 1:
+                break
+            phases += 1
+            candidates: list[DecodedEid] = []
+            for r in roots:
+                d = VertexSketches.extract_outgoing(sketch_of[r], unit, ctx.eids)
+                if d is not None:
+                    candidates.append(d)
+            for d in candidates:
+                cu = forest.locate(d.anc_u)
+                cv = forest.locate(d.anc_v)
+                ru, rv = uf.find(cu), uf.find(cv)
+                if ru == rv:
+                    continue
+                merged = sketch_of.pop(ru) ^ sketch_of.pop(rv)
+                uf.union(ru, rv)
+                sketch_of[uf.find(ru)] = merged
+                merges.append((d, cu, cv))
+        return forest, uf, merges, phases
+
+    def decode_partition(
+        self,
+        component: int,
+        fault_labels: Iterable[SkEdgeLabel],
+        copy: int = 0,
+    ) -> ConnectivityPartition:
+        """One decode, all queries: the G \\ F component structure.
+
+        Returns a :class:`ConnectivityPartition` over the queried
+        G-component; any two vertex labels of that component can then be
+        tested for connectivity in O(log f) without re-decoding.  (The
+        per-query w.h.p. guarantee of Theorem 3.7 applies to the fault
+        set as a whole.)
+        """
+        faults: list[SkEdgeLabel] = []
+        seen: set[int] = set()
+        for lab in fault_labels:
+            if lab.component != component or lab.eid in seen:
+                continue
+            seen.add(lab.eid)
+            faults.append(lab)
+        tree_faults = [lab for lab in faults if lab.is_tree]
+        if not tree_faults:
+            forest = ComponentForest.build([])
+            return ConnectivityPartition(
+                component=component, forest=forest, group_of=(0,)
+            )
+        forest, uf, _, _ = self._simulate_boruvka(faults, tree_faults, copy)
+        group_of = tuple(uf.find(j) for j in range(len(forest)))
+        return ConnectivityPartition(
+            component=component, forest=forest, group_of=group_of
+        )
+
+    # ------------------------------------------------------------------
+    # Path construction (Lemma 3.17)
+    # ------------------------------------------------------------------
+    def _direct_tree_path(
+        self, s_label: SkVertexLabel, t_label: SkVertexLabel
+    ) -> SuccinctPath:
+        segment = PathSegment(
+            kind="tree",
+            x=s_label.vid,
+            y=t_label.vid,
+            tlabel_x=s_label.tlabel,
+            tlabel_y=t_label.tlabel,
+        )
+        return SuccinctPath(s_label.vid, t_label.vid, (segment,))
+
+    @staticmethod
+    def _build_path(
+        s_label: SkVertexLabel,
+        t_label: SkVertexLabel,
+        forest: ComponentForest,
+        merges: Sequence[tuple[DecodedEid, int, int]],
+        cs: int,
+        ct: int,
+    ) -> SuccinctPath:
+        """Assemble the alternating 0/1-labeled path from the merge forest."""
+        if cs == ct:
+            segment = PathSegment(
+                kind="tree",
+                x=s_label.vid,
+                y=t_label.vid,
+                tlabel_x=s_label.tlabel,
+                tlabel_y=t_label.tlabel,
+            )
+            return SuccinctPath(s_label.vid, t_label.vid, (segment,))
+        adjacency: dict[int, list[tuple[int, DecodedEid]]] = {}
+        for d, cu, cv in merges:
+            adjacency.setdefault(cu, []).append((cv, d))
+            adjacency.setdefault(cv, []).append((cu, d))
+        # BFS over the merge forest from cs to ct.
+        prev: dict[int, tuple[int, DecodedEid]] = {}
+        queue = deque([cs])
+        visited = {cs}
+        while queue:
+            c = queue.popleft()
+            if c == ct:
+                break
+            for nxt, d in adjacency.get(c, ()):  # noqa: B905
+                if nxt in visited:
+                    continue
+                visited.add(nxt)
+                prev[nxt] = (c, d)
+                queue.append(nxt)
+        if ct not in visited:
+            raise RuntimeError("merge forest inconsistent with connectivity verdict")
+        hops: list[tuple[int, int, DecodedEid]] = []  # (from_comp, to_comp, edge)
+        c = ct
+        while c != cs:
+            pc, d = prev[c]
+            hops.append((pc, c, d))
+            c = pc
+        hops.reverse()
+        segments: list[PathSegment] = []
+        current_vertex = s_label.vid
+        current_tlabel = s_label.tlabel
+        for from_comp, to_comp, d in hops:
+            # Orient the recovery edge: x in from_comp, y in to_comp.
+            if forest.locate(d.anc_u) == from_comp:
+                x, y = d.u, d.v
+                anc_x, port_x, tl_x = d.anc_u, d.port_u, d.tlabel_u
+                port_y, tl_y = d.port_v, d.tlabel_v
+            else:
+                x, y = d.v, d.u
+                anc_x, port_x, tl_x = d.anc_v, d.port_v, d.tlabel_v
+                port_y, tl_y = d.port_u, d.tlabel_u
+            if current_vertex != x:
+                segments.append(
+                    PathSegment(
+                        kind="tree",
+                        x=current_vertex,
+                        y=x,
+                        tlabel_x=current_tlabel,
+                        tlabel_y=tl_x,
+                    )
+                )
+            segments.append(
+                PathSegment(
+                    kind="edge",
+                    x=x,
+                    y=y,
+                    port_x=port_x,
+                    port_y=port_y,
+                    tlabel_x=tl_x,
+                    tlabel_y=tl_y,
+                    eid=d.raw,
+                )
+            )
+            current_vertex = y
+            current_tlabel = tl_y
+        if current_vertex != t_label.vid:
+            segments.append(
+                PathSegment(
+                    kind="tree",
+                    x=current_vertex,
+                    y=t_label.vid,
+                    tlabel_x=current_tlabel,
+                    tlabel_y=t_label.tlabel,
+                )
+            )
+        return SuccinctPath(s_label.vid, t_label.vid, tuple(segments))
+
+    # ------------------------------------------------------------------
+    # Convenience wrapper used by examples and benches
+    # ------------------------------------------------------------------
+    def query(
+        self, s: int, t: int, faults: Iterable[int], copy: int = 0
+    ) -> SkDecodeResult:
+        """Full-pipeline query on edge indices (label lookup + decode)."""
+        return self.decode(
+            self.vertex_label(s),
+            self.vertex_label(t),
+            [self.edge_label(ei) for ei in faults],
+            copy=copy,
+        )

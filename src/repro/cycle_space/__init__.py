@@ -1,0 +1,12 @@
+"""Cycle space sampling [Pritchard & Thurimella, TALG '11].
+
+The substrate behind the first FT connectivity labeling scheme
+(Section 3.1 / Appendix B of the paper): b-bit edge labels ``phi(e)``
+such that ``XOR_{e in F} phi(e) = 0`` with probability 1 when F is an
+induced edge cut and probability ``2^-b`` otherwise (Lemma 1.7).
+"""
+
+from repro.cycle_space.circulation import random_binary_circulation
+from repro.cycle_space.labels import CycleSpaceLabels
+
+__all__ = ["random_binary_circulation", "CycleSpaceLabels"]

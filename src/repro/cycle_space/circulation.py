@@ -1,0 +1,53 @@
+"""Random binary circulations (Appendix B of the paper, following [PT11]).
+
+A *binary circulation* is an edge set in which every vertex has even
+degree.  The fundamental cycles of a spanning tree form a basis of the
+cycle space, so a uniformly random circulation is obtained by picking
+each non-tree edge independently with probability 1/2 and adding every
+tree edge that lies on an odd number of the chosen fundamental cycles.
+
+The tree-edge parities are computed with a single subtree aggregation:
+a tree edge (v, parent(v)) lies on the fundamental cycle of a non-tree
+edge e iff exactly one endpoint of e is in the subtree of v, so the
+parity at v is the XOR of per-endpoint indicator bits aggregated over
+the subtree (endpoints inside the subtree twice cancel).
+"""
+
+from __future__ import annotations
+
+from repro._util import rng_from
+from repro.graph.graph import Graph
+from repro.graph.spanning_tree import RootedTree
+
+
+def random_binary_circulation(
+    graph: Graph, tree: RootedTree, seed: int = 0
+) -> set[int]:
+    """Sample a uniformly random binary circulation of ``tree``'s component.
+
+    Returns the set of edge indices in the circulation.  Only edges with
+    both endpoints in the tree's component participate.
+    """
+    rng = rng_from(seed, "circulation")
+    in_comp = tree.in_tree
+    chosen_nontree: set[int] = set()
+    acc = [0] * graph.n  # per-vertex parity accumulator
+    for e in graph.edges:
+        if e.index in tree.tree_edge_indices:
+            continue
+        if not (in_comp[e.u] and in_comp[e.v]):
+            continue
+        if int(rng.integers(0, 2)) == 1:
+            chosen_nontree.add(e.index)
+            acc[e.u] ^= 1
+            acc[e.v] ^= 1
+    circulation = set(chosen_nontree)
+    # Subtree XOR aggregation in post-order.
+    sub = list(acc)
+    for v in tree.post_order():
+        p = tree.parent[v]
+        if p >= 0:
+            if sub[v]:
+                circulation.add(tree.parent_edge[v])
+            sub[p] ^= sub[v]
+    return circulation

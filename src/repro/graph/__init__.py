@@ -1,0 +1,18 @@
+"""Graph substrate: weighted port-numbered graphs, trees, ancestry labels."""
+
+from repro.graph.graph import Edge, Graph, InducedSubgraph
+from repro.graph.components import connected_components, is_connected
+from repro.graph.spanning_tree import RootedTree, spanning_forest
+from repro.graph.ancestry import AncestryLabeling, is_ancestor
+
+__all__ = [
+    "Edge",
+    "Graph",
+    "InducedSubgraph",
+    "connected_components",
+    "is_connected",
+    "RootedTree",
+    "spanning_forest",
+    "AncestryLabeling",
+    "is_ancestor",
+]

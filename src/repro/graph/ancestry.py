@@ -1,0 +1,88 @@
+"""Ancestry labels for trees (Lemma 3.1, [KNR92]).
+
+Each vertex receives the pair of first/last DFS visit times
+``(DFS1(v), DFS2(v))``; ``u`` is an ancestor of ``v`` iff ``u``'s
+interval contains ``v``'s.  Labels take ``2 * ceil(log2(2n))`` bits and
+ancestor queries take O(1) time, exactly as Lemma 3.1 requires.
+
+The decoding algorithm of the sketch-based scheme (Claim 3.14) relies on
+the specific DFS-interval structure of these labels (sorting the interval
+endpoints reconstructs the component tree), which is why this module
+exposes raw ``(tin, tout)`` tuples rather than opaque labels.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.graph.spanning_tree import RootedTree
+
+AncLabel = tuple[int, int]
+
+
+def is_ancestor(a: AncLabel, b: AncLabel) -> bool:
+    """True iff the vertex labeled ``a`` is an ancestor of (or equals) ``b``."""
+    return a[0] <= b[0] and b[1] <= a[1]
+
+
+def strict_ancestor(a: AncLabel, b: AncLabel) -> bool:
+    """True iff ``a`` is a proper ancestor of ``b``."""
+    return is_ancestor(a, b) and a != b
+
+
+class AncestryLabeling:
+    """DFS interval labels for one rooted tree.
+
+    ``label(v)`` returns ``(tin, tout)`` with times in ``1..2n``; the
+    label of a vertex outside the tree's component is undefined and
+    querying it raises ``KeyError``-like errors through normal indexing.
+    """
+
+    def __init__(self, tree: RootedTree):
+        self.tree = tree
+        n = tree.graph.n
+        self._tin = [0] * n
+        self._tout = [0] * n
+        time = 0
+        # Iterative DFS producing first/last visit times.
+        stack: list[tuple[int, bool]] = [(tree.root, False)]
+        while stack:
+            v, done = stack.pop()
+            if done:
+                time += 1
+                self._tout[v] = time
+                continue
+            time += 1
+            self._tin[v] = time
+            stack.append((v, True))
+            for c in reversed(tree.children[v]):
+                stack.append((c, False))
+        self.max_time = time
+
+    def label(self, v: int) -> AncLabel:
+        if self._tin[v] == 0 and v != self.tree.root:
+            raise ValueError(f"vertex {v} is not spanned by the tree")
+        return (self._tin[v], self._tout[v])
+
+    def labels(self, vertices: Sequence[int]) -> list[AncLabel]:
+        return [self.label(v) for v in vertices]
+
+    def is_ancestor_vertices(self, u: int, v: int) -> bool:
+        """Ancestor test on vertex ids (convenience for tests)."""
+        return is_ancestor(self.label(u), self.label(v))
+
+    @staticmethod
+    def bit_length(n: int) -> int:
+        """Label size in bits for an n-vertex tree: two DFS timestamps."""
+        return 2 * max(1, math.ceil(math.log2(max(2 * n, 2))))
+
+
+def edge_on_root_path(anc_u: AncLabel, anc_v: AncLabel, anc_x: AncLabel) -> bool:
+    """True iff the tree edge with endpoint labels (anc_u, anc_v) lies on
+    the root-to-x tree path.
+
+    A tree edge (u, v) is on the root-x path iff both endpoints are
+    ancestors of x (Section 3.1.2 of the paper).
+    """
+    return is_ancestor(anc_u, anc_x) and is_ancestor(anc_v, anc_x)

@@ -1,0 +1,254 @@
+"""Synthetic graph workloads.
+
+The paper proves worst-case bounds; the reproduction measures them on
+synthetic families that exercise the relevant regimes:
+
+* ``random_connected_graph`` — sparse Erdos-Renyi-style graphs (random
+  spanning tree + random chords), the generic workload.
+* ``grid_graph`` / ``torus_graph`` — bounded-degree, high-diameter
+  topologies where tree covers have many scales.
+* ``hypercube_graph`` — low-diameter, log-degree.
+* ``ring_of_cliques`` — graphs with small cuts, adversarial for
+  connectivity under faults.
+* ``random_tree_with_chords`` — near-tree graphs where most edges are
+  bridges (cut detection is the hard case).
+* ``lower_bound_graph`` — the Theorem 1.6 construction (f+1 disjoint
+  s-t paths of length L), used by the stretch lower-bound bench.
+* ``with_random_weights`` — re-weight any of the above for the weighted
+  distance/routing experiments (weights in [1, W], "positive polynomial
+  weights" per the paper).
+"""
+
+from __future__ import annotations
+
+from repro._util import rng_from
+from repro.graph.graph import Graph
+
+
+def random_tree(n: int, seed: int = 0) -> Graph:
+    """Uniform-ish random tree: each vertex v>0 picks a random earlier parent."""
+    rng = rng_from(seed, "random_tree", n)
+    g = Graph(n)
+    for v in range(1, n):
+        p = int(rng.integers(0, v))
+        g.add_edge(p, v)
+    return g
+
+
+def random_connected_graph(n: int, extra_edges: int, seed: int = 0) -> Graph:
+    """Random connected graph: random tree plus ``extra_edges`` random chords."""
+    rng = rng_from(seed, "random_connected", n, extra_edges)
+    g = random_tree(n, seed=seed)
+    budget = n * (n - 1) // 2 - (n - 1)
+    extra = min(extra_edges, budget)
+    attempts = 0
+    added = 0
+    while added < extra and attempts < 100 * extra + 1000:
+        u = int(rng.integers(0, n))
+        v = int(rng.integers(0, n))
+        attempts += 1
+        if u == v or g.has_edge(u, v):
+            continue
+        g.add_edge(u, v)
+        added += 1
+    return g
+
+
+def gnm_random_graph(n: int, m: int, seed: int = 0) -> Graph:
+    """Uniform G(n, m) (possibly disconnected)."""
+    rng = rng_from(seed, "gnm", n, m)
+    g = Graph(n)
+    budget = n * (n - 1) // 2
+    target = min(m, budget)
+    while g.m < target:
+        u = int(rng.integers(0, n))
+        v = int(rng.integers(0, n))
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+    return g
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """rows x cols grid; vertex (r, c) has id r*cols + c."""
+    g = Graph(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                g.add_edge(v, v + 1)
+            if r + 1 < rows:
+                g.add_edge(v, v + cols)
+    return g
+
+
+def torus_graph(rows: int, cols: int) -> Graph:
+    """rows x cols torus (wrap-around grid); requires rows, cols >= 3."""
+    if rows < 3 or cols < 3:
+        raise ValueError("torus requires rows, cols >= 3")
+    g = Graph(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            g.add_edge(v, r * cols + (c + 1) % cols)
+            g.add_edge(v, ((r + 1) % rows) * cols + c)
+    return g
+
+
+def hypercube_graph(dim: int) -> Graph:
+    """The dim-dimensional hypercube on 2^dim vertices."""
+    n = 1 << dim
+    g = Graph(n)
+    for v in range(n):
+        for b in range(dim):
+            u = v ^ (1 << b)
+            if u > v:
+                g.add_edge(v, u)
+    return g
+
+
+def cycle_graph(n: int) -> Graph:
+    """The n-cycle (a single edge for n=2, edgeless for n<=1)."""
+    g = Graph(n)
+    if n == 2:
+        g.add_edge(0, 1)
+    elif n >= 3:
+        for v in range(n - 1):
+            g.add_edge(v, v + 1)
+        g.add_edge(n - 1, 0)
+    return g
+
+
+def complete_graph(n: int) -> Graph:
+    g = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            g.add_edge(u, v)
+    return g
+
+
+def ring_of_cliques(num_cliques: int, clique_size: int) -> Graph:
+    """``num_cliques`` cliques of ``clique_size`` joined in a ring by single
+    edges — single-edge cuts everywhere, adversarial for FT connectivity."""
+    if num_cliques < 2 or clique_size < 1:
+        raise ValueError("need at least two cliques of size >= 1")
+    n = num_cliques * clique_size
+    g = Graph(n)
+    for c in range(num_cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                g.add_edge(base + i, base + j)
+    for c in range(num_cliques):
+        u = c * clique_size
+        v = ((c + 1) % num_cliques) * clique_size
+        if not g.has_edge(u, v):
+            g.add_edge(u, v)
+    return g
+
+
+def random_tree_with_chords(n: int, chords: int, seed: int = 0) -> Graph:
+    """Alias for :func:`random_connected_graph`, named for the near-tree
+    regime (most edges are bridges)."""
+    return random_connected_graph(n, chords, seed=seed)
+
+
+def lower_bound_graph(f: int, path_length: int) -> tuple[Graph, int, int]:
+    """The Theorem 1.6 lower-bound construction.
+
+    ``f + 1`` internally disjoint s-t paths, each of ``path_length``
+    edges.  Returns ``(graph, s, t)`` with ``s = 0`` and ``t = 1``.
+    The *last* edge of each path (the one incident to ``t``) is the one
+    the adversary fails; see ``repro.routing.lower_bound``.
+    """
+    if f < 0 or path_length < 2:
+        raise ValueError("need f >= 0 and path_length >= 2")
+    num_paths = f + 1
+    inner = path_length - 1
+    n = 2 + num_paths * inner
+    g = Graph(n)
+    s, t = 0, 1
+    for p in range(num_paths):
+        first = 2 + p * inner
+        g.add_edge(s, first)
+        for i in range(inner - 1):
+            g.add_edge(first + i, first + i + 1)
+        g.add_edge(first + inner - 1, t)
+    return g, s, t
+
+
+def barbell_graph(clique_size: int, bridge_length: int) -> Graph:
+    """Two cliques joined by a path — a classic small-cut stress case."""
+    if clique_size < 2 or bridge_length < 1:
+        raise ValueError("need clique_size >= 2 and bridge_length >= 1")
+    n = 2 * clique_size + max(0, bridge_length - 1)
+    g = Graph(n)
+    for base in (0, clique_size):
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                g.add_edge(base + i, base + j)
+    # Path from vertex 0 of clique A to vertex 0 of clique B.
+    prev = 0
+    for step in range(bridge_length - 1):
+        mid = 2 * clique_size + step
+        g.add_edge(prev, mid)
+        prev = mid
+    g.add_edge(prev, clique_size)
+    return g
+
+
+def caterpillar_graph(spine: int, legs_per_vertex: int) -> Graph:
+    """A path ("spine") with ``legs_per_vertex`` leaves on each spine
+    vertex — high-degree trees without any cycles."""
+    if spine < 1 or legs_per_vertex < 0:
+        raise ValueError("need spine >= 1 and legs >= 0")
+    n = spine * (1 + legs_per_vertex)
+    g = Graph(n)
+    for i in range(spine - 1):
+        g.add_edge(i, i + 1)
+    leg = spine
+    for i in range(spine):
+        for _ in range(legs_per_vertex):
+            g.add_edge(i, leg)
+            leg += 1
+    return g
+
+
+def random_geometric_graph(n: int, radius: float, seed: int = 0) -> Graph:
+    """Unit-square geometric graph, forced connected by a random tree
+    fallback (extra tree edges are added only where geometry leaves the
+    graph disconnected)."""
+    rng = rng_from(seed, "geometric", n)
+    points = rng.random((n, 2))
+    g = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            dx = float(points[u][0] - points[v][0])
+            dy = float(points[u][1] - points[v][1])
+            if dx * dx + dy * dy <= radius * radius:
+                g.add_edge(u, v)
+    # Connect leftover components along a random spanning structure.
+    from repro.graph.components import connected_components
+
+    labels, count = connected_components(g)
+    while count > 1:
+        reps: dict[int, int] = {}
+        for v in range(n):
+            reps.setdefault(labels[v], v)
+        ordered = [reps[c] for c in sorted(reps)]
+        for a, b in zip(ordered, ordered[1:]):
+            if not g.has_edge(a, b):
+                g.add_edge(a, b)
+        labels, count = connected_components(g)
+    return g
+
+
+def with_random_weights(
+    graph: Graph, low: float = 1.0, high: float = 8.0, seed: int = 0
+) -> Graph:
+    """Copy ``graph`` with integer-ish random weights drawn from [low, high]."""
+    rng = rng_from(seed, "weights", graph.n, graph.m)
+    g = Graph(graph.n)
+    for e in graph.edges:
+        w = float(rng.integers(int(low), int(high) + 1))
+        g.add_edge(e.u, e.v, w)
+    return g

@@ -1,0 +1,220 @@
+"""Simple weighted undirected graphs with explicit port numbering.
+
+The routing model of the paper (Section 2) addresses neighbors through
+*port numbers*: vertex ``u`` forwards a message through port ``p`` which
+is an index into ``u``'s incidence list.  The :class:`Graph` class keeps
+that incidence order explicit so routing tables can store real ports.
+
+Vertices are integers ``0..n-1``.  Edges are identified by a dense edge
+index ``0..m-1``; parallel edges and self loops are rejected (the paper
+assumes simple graphs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Edge:
+    """An undirected edge with a dense index and a positive weight."""
+
+    index: int
+    u: int
+    v: int
+    weight: float = 1.0
+
+    def endpoints(self) -> tuple[int, int]:
+        return (self.u, self.v)
+
+    def other(self, x: int) -> int:
+        """Return the endpoint different from ``x``."""
+        if x == self.u:
+            return self.v
+        if x == self.v:
+            return self.u
+        raise ValueError(f"vertex {x} is not an endpoint of edge {self.index}")
+
+    def key(self) -> tuple[int, int]:
+        """Canonical (min, max) endpoint pair, used as the sampling key."""
+        return (self.u, self.v) if self.u < self.v else (self.v, self.u)
+
+
+@dataclass(frozen=True)
+class InducedSubgraph:
+    """An induced subgraph together with the maps back to its parent graph.
+
+    ``graph`` uses local vertex ids ``0..len(vertices)-1``; position ``i``
+    of ``vertex_to_parent`` gives the parent id of local vertex ``i``, and
+    ``edge_to_parent[j]`` gives the parent edge index of local edge ``j``.
+    """
+
+    graph: "Graph"
+    vertex_to_parent: tuple[int, ...]
+    vertex_from_parent: dict[int, int]
+    edge_to_parent: tuple[int, ...]
+
+
+class Graph:
+    """A simple weighted undirected graph with port-numbered adjacency.
+
+    Ports: ``via_port(u, p)`` returns the ``p``-th incident (neighbor,
+    edge index) pair of ``u`` in insertion order, matching the routing
+    model where tables address neighbors by port number.
+    """
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError("vertex count must be non-negative")
+        self._n = n
+        self._edges: list[Edge] = []
+        self._adj: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+        self._edge_lookup: dict[tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> int:
+        """Insert edge {u, v} and return its index.
+
+        Raises ``ValueError`` on self loops, duplicate edges, endpoints
+        out of range, or non-positive weights.
+        """
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            raise ValueError(f"edge ({u}, {v}) out of range for n={self._n}")
+        if u == v:
+            raise ValueError("self loops are not allowed")
+        if weight <= 0:
+            raise ValueError("edge weights must be positive")
+        key = (u, v) if u < v else (v, u)
+        if key in self._edge_lookup:
+            raise ValueError(f"duplicate edge {key}")
+        index = len(self._edges)
+        self._edges.append(Edge(index, u, v, float(weight)))
+        self._adj[u].append((v, index))
+        self._adj[v].append((u, index))
+        self._edge_lookup[key] = index
+        return index
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return len(self._edges)
+
+    @property
+    def edges(self) -> Sequence[Edge]:
+        return self._edges
+
+    def edge(self, index: int) -> Edge:
+        return self._edges[index]
+
+    def vertices(self) -> range:
+        return range(self._n)
+
+    def degree(self, u: int) -> int:
+        return len(self._adj[u])
+
+    def neighbors(self, u: int) -> Iterator[int]:
+        return (v for v, _ in self._adj[u])
+
+    def incident(self, u: int) -> Sequence[tuple[int, int]]:
+        """Port-ordered list of (neighbor, edge index) pairs at ``u``."""
+        return self._adj[u]
+
+    def incident_edges(self, u: int) -> Iterator[Edge]:
+        return (self._edges[ei] for _, ei in self._adj[u])
+
+    def via_port(self, u: int, port: int) -> tuple[int, int]:
+        """Return (neighbor, edge index) reached from ``u`` via ``port``."""
+        return self._adj[u][port]
+
+    def port_of(self, u: int, v: int) -> int:
+        """Port number at ``u`` of the edge towards neighbor ``v``."""
+        for port, (w, _) in enumerate(self._adj[u]):
+            if w == v:
+                return port
+        raise ValueError(f"{v} is not a neighbor of {u}")
+
+    def edge_index_between(self, u: int, v: int) -> Optional[int]:
+        key = (u, v) if u < v else (v, u)
+        return self._edge_lookup.get(key)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return self.edge_index_between(u, v) is not None
+
+    def weight(self, edge_index: int) -> float:
+        return self._edges[edge_index].weight
+
+    def max_weight(self) -> float:
+        """Largest edge weight W (1.0 for an edgeless graph)."""
+        if not self._edges:
+            return 1.0
+        return max(e.weight for e in self._edges)
+
+    def total_weight(self) -> float:
+        return sum(e.weight for e in self._edges)
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        g = Graph(self._n)
+        for e in self._edges:
+            g.add_edge(e.u, e.v, e.weight)
+        return g
+
+    def without_edges(self, forbidden: Iterable[int]) -> "Graph":
+        """Return a copy of the graph with the given edge indices removed.
+
+        Note: edge indices are re-assigned densely in the copy; use
+        :class:`InducedSubgraph`-style bookkeeping when identity matters.
+        """
+        skip = set(forbidden)
+        g = Graph(self._n)
+        for e in self._edges:
+            if e.index not in skip:
+                g.add_edge(e.u, e.v, e.weight)
+        return g
+
+    def induced_subgraph(
+        self,
+        vertices: Iterable[int],
+        allowed_edges: Optional[Iterable[int]] = None,
+    ) -> InducedSubgraph:
+        """Induced subgraph on ``vertices`` with parent-id bookkeeping.
+
+        Local vertex ids follow the sorted order of ``vertices`` so the
+        construction is deterministic.  Edge insertion order (and hence
+        local port numbering) follows parent edge index order.  When
+        ``allowed_edges`` is given, only those parent edges participate
+        (used by Section 4 to drop heavy edges per distance scale).
+        """
+        vlist = sorted(set(vertices))
+        from_parent = {pv: i for i, pv in enumerate(vlist)}
+        allowed = None if allowed_edges is None else set(allowed_edges)
+        sub = Graph(len(vlist))
+        edge_map: list[int] = []
+        for e in self._edges:
+            if allowed is not None and e.index not in allowed:
+                continue
+            if e.u in from_parent and e.v in from_parent:
+                sub.add_edge(from_parent[e.u], from_parent[e.v], e.weight)
+                edge_map.append(e.index)
+        return InducedSubgraph(
+            graph=sub,
+            vertex_to_parent=tuple(vlist),
+            vertex_from_parent=from_parent,
+            edge_to_parent=tuple(edge_map),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(n={self._n}, m={self.m})"

@@ -1,0 +1,68 @@
+"""Plain-text graph serialization (weighted edge lists).
+
+Format (one graph per file)::
+
+    # optional comments
+    n <vertex count>
+    e <u> <v> [weight]
+
+Edges keep their file order, so port numbers — and therefore routing
+tables — are reproducible across save/load round trips.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TextIO, Union
+
+from repro.graph.graph import Graph
+
+
+def write_edge_list(graph: Graph, target: Union[str, Path, TextIO]) -> None:
+    """Serialize a graph to the edge-list format."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            write_edge_list(graph, handle)
+        return
+    target.write(f"n {graph.n}\n")
+    for e in graph.edges:
+        if e.weight == 1.0:
+            target.write(f"e {e.u} {e.v}\n")
+        else:
+            target.write(f"e {e.u} {e.v} {e.weight!r}\n")
+
+
+def read_edge_list(source: Union[str, Path, TextIO]) -> Graph:
+    """Parse a graph from the edge-list format.
+
+    Raises ``ValueError`` on malformed input (missing header, bad
+    tokens, edges violating the simple-graph constraints).
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return read_edge_list(handle)
+    graph: Graph | None = None
+    for line_no, raw in enumerate(source, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if parts[0] == "n":
+            if graph is not None:
+                raise ValueError(f"line {line_no}: duplicate header")
+            if len(parts) != 2:
+                raise ValueError(f"line {line_no}: malformed header")
+            graph = Graph(int(parts[1]))
+        elif parts[0] == "e":
+            if graph is None:
+                raise ValueError(f"line {line_no}: edge before header")
+            if len(parts) not in (3, 4):
+                raise ValueError(f"line {line_no}: malformed edge")
+            u, v = int(parts[1]), int(parts[2])
+            weight = float(parts[3]) if len(parts) == 4 else 1.0
+            graph.add_edge(u, v, weight)
+        else:
+            raise ValueError(f"line {line_no}: unknown record {parts[0]!r}")
+    if graph is None:
+        raise ValueError("missing 'n' header")
+    return graph

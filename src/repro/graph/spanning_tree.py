@@ -1,0 +1,238 @@
+"""Rooted spanning trees and spanning forests.
+
+Both labeling schemes of the paper fix a rooted spanning tree ``T`` of
+(each connected component of) the input graph.  :class:`RootedTree`
+records parents, children, depths, preorder, and weighted depths, and
+supports the tree-path queries the decoders rely on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Sequence
+
+from repro.graph.graph import Graph
+
+
+class RootedTree:
+    """A rooted spanning tree of one connected component of a graph.
+
+    Attributes
+    ----------
+    graph: the host graph.
+    root: root vertex.
+    vertices: the component's vertices, in preorder.
+    parent: ``parent[v]`` is the tree parent of ``v`` (-1 for the root
+        and for vertices outside the component).
+    parent_edge: index (in the host graph) of the edge to the parent
+        (-1 where undefined).
+    children: ``children[v]`` lists tree children in deterministic
+        (ascending vertex id) order.
+    depth / wdepth: hop / weighted distance from the root along the tree.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        root: int,
+        parent: Sequence[int],
+        parent_edge: Sequence[int],
+    ):
+        self.graph = graph
+        self.root = root
+        self.parent = list(parent)
+        self.parent_edge = list(parent_edge)
+        n = graph.n
+        self.children: list[list[int]] = [[] for _ in range(n)]
+        self.in_tree = [False] * n
+        self.in_tree[root] = True
+        for v in range(n):
+            p = self.parent[v]
+            if p >= 0:
+                self.children[p].append(v)
+                self.in_tree[v] = True
+        for v in range(n):
+            self.children[v].sort()
+        self.vertices: list[int] = []
+        self.depth = [0] * n
+        self.wdepth = [0.0] * n
+        stack = [root]
+        while stack:
+            u = stack.pop()
+            self.vertices.append(u)
+            for c in reversed(self.children[u]):
+                self.depth[c] = self.depth[u] + 1
+                self.wdepth[c] = self.wdepth[u] + graph.weight(self.parent_edge[c])
+                stack.append(c)
+        self.tree_edge_indices = frozenset(
+            self.parent_edge[v] for v in self.vertices if v != root
+        )
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    @classmethod
+    def bfs(cls, graph: Graph, root: int = 0, forbidden: Iterable[int] = ()) -> "RootedTree":
+        """BFS spanning tree of the component of ``root`` in ``G \\ forbidden``."""
+        skip = set(forbidden)
+        parent = [-1] * graph.n
+        parent_edge = [-1] * graph.n
+        seen = [False] * graph.n
+        seen[root] = True
+        queue = deque([root])
+        while queue:
+            u = queue.popleft()
+            for v, ei in graph.incident(u):
+                if ei in skip or seen[v]:
+                    continue
+                seen[v] = True
+                parent[v] = u
+                parent_edge[v] = ei
+                queue.append(v)
+        return cls(graph, root, parent, parent_edge)
+
+    @classmethod
+    def dijkstra(
+        cls, graph: Graph, root: int = 0, forbidden: Iterable[int] = ()
+    ) -> "RootedTree":
+        """Shortest-path tree of the component of ``root`` in ``G \\ forbidden``.
+
+        Used for the tree-cover trees of Section 4, whose radius bound
+        the stretch analysis relies on.
+        """
+        import heapq
+        import math
+
+        skip = set(forbidden)
+        dist = [math.inf] * graph.n
+        parent = [-1] * graph.n
+        parent_edge = [-1] * graph.n
+        dist[root] = 0.0
+        heap: list[tuple[float, int]] = [(0.0, root)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist[u]:
+                continue
+            for v, ei in graph.incident(u):
+                if ei in skip:
+                    continue
+                nd = d + graph.weight(ei)
+                if nd < dist[v]:
+                    dist[v] = nd
+                    parent[v] = u
+                    parent_edge[v] = ei
+                    heapq.heappush(heap, (nd, v))
+        return cls(graph, root, parent, parent_edge)
+
+    @classmethod
+    def dfs(cls, graph: Graph, root: int = 0, forbidden: Iterable[int] = ()) -> "RootedTree":
+        """DFS spanning tree of the component of ``root`` in ``G \\ forbidden``."""
+        skip = set(forbidden)
+        parent = [-1] * graph.n
+        parent_edge = [-1] * graph.n
+        seen = [False] * graph.n
+        seen[root] = True
+        stack = [root]
+        while stack:
+            u = stack.pop()
+            for v, ei in graph.incident(u):
+                if ei in skip or seen[v]:
+                    continue
+                seen[v] = True
+                parent[v] = u
+                parent_edge[v] = ei
+                stack.append(v)
+        return cls(graph, root, parent, parent_edge)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def spans(self, v: int) -> bool:
+        return self.in_tree[v]
+
+    def is_tree_edge(self, edge_index: int) -> bool:
+        return edge_index in self.tree_edge_indices
+
+    def child_endpoint(self, edge_index: int) -> int:
+        """For a tree edge, return the endpoint farther from the root."""
+        e = self.graph.edge(edge_index)
+        if self.parent[e.u] == e.v and self.parent_edge[e.u] == edge_index:
+            return e.u
+        if self.parent[e.v] == e.u and self.parent_edge[e.v] == edge_index:
+            return e.v
+        raise ValueError(f"edge {edge_index} is not a tree edge")
+
+    def path_to_root(self, v: int) -> list[int]:
+        """Vertices on the v -> root tree path, inclusive."""
+        path = [v]
+        while self.parent[path[-1]] >= 0:
+            path.append(self.parent[path[-1]])
+        return path
+
+    def lca(self, u: int, v: int) -> int:
+        """Lowest common ancestor by the depth-walk method (O(depth))."""
+        while self.depth[u] > self.depth[v]:
+            u = self.parent[u]
+        while self.depth[v] > self.depth[u]:
+            v = self.parent[v]
+        while u != v:
+            u = self.parent[u]
+            v = self.parent[v]
+        return u
+
+    def tree_path(self, u: int, v: int) -> list[int]:
+        """Vertices on the unique u -> v path in the tree, inclusive."""
+        w = self.lca(u, v)
+        up = []
+        x = u
+        while x != w:
+            up.append(x)
+            x = self.parent[x]
+        down = []
+        x = v
+        while x != w:
+            down.append(x)
+            x = self.parent[x]
+        return up + [w] + list(reversed(down))
+
+    def tree_distance(self, u: int, v: int) -> float:
+        """Weighted length of the u -> v tree path."""
+        w = self.lca(u, v)
+        return self.wdepth[u] + self.wdepth[v] - 2.0 * self.wdepth[w]
+
+    def subtree_vertices(self, v: int) -> list[int]:
+        """All vertices in the subtree rooted at ``v`` (preorder)."""
+        out = []
+        stack = [v]
+        while stack:
+            u = stack.pop()
+            out.append(u)
+            stack.extend(reversed(self.children[u]))
+        return out
+
+    def post_order(self) -> list[int]:
+        """Vertices in post-order (children before parents)."""
+        return list(reversed(self.vertices))
+
+
+def spanning_forest(
+    graph: Graph, forbidden: Iterable[int] = (), method: str = "bfs"
+) -> tuple[list[RootedTree], list[int]]:
+    """Build one rooted spanning tree per component of ``G \\ forbidden``.
+
+    Returns ``(trees, comp_of)`` where ``comp_of[v]`` indexes into
+    ``trees``.  Roots are the smallest vertex id of each component.
+    """
+    skip = set(forbidden)
+    comp_of = [-1] * graph.n
+    trees: list[RootedTree] = []
+    builder = RootedTree.bfs if method == "bfs" else RootedTree.dfs
+    for start in graph.vertices():
+        if comp_of[start] != -1:
+            continue
+        tree = builder(graph, start, skip)
+        idx = len(trees)
+        for v in tree.vertices:
+            comp_of[v] = idx
+        trees.append(tree)
+    return trees, comp_of

@@ -1,0 +1,5 @@
+"""GF(2) linear algebra used by the fast cycle-space decoder (Section 3.1.3)."""
+
+from repro.linalg.gf2 import XorBasis, gf2_rank, gf2_solve, in_span
+
+__all__ = ["XorBasis", "gf2_rank", "gf2_solve", "in_span"]

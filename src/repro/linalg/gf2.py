@@ -1,0 +1,108 @@
+"""Bit-packed GF(2) linear algebra.
+
+Vectors over GF(2) are Python integers (bit ``i`` = coordinate ``i``),
+so XOR is vector addition and word-level parallelism comes for free.
+The cycle-space decoder (Section 3.1.3 of the paper) reduces the
+``are s and t disconnected by F`` question to solvability of the systems
+``A x = w1`` / ``A x = w2`` whose columns are the augmented edge labels
+``phi'(e)``; :func:`gf2_solve` answers exactly that and also returns a
+solution vector, from which the decoder reconstructs the disconnecting
+induced edge cut ``F' subseteq F``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+
+class XorBasis:
+    """Incremental row-reduced basis of GF(2) vectors with combination tracking.
+
+    ``add(vector, tag)`` inserts a vector; ``represent(vector)`` returns
+    the set of tags whose inserted vectors XOR to ``vector`` (or ``None``
+    if ``vector`` is outside the span).  Tags are small ints; combination
+    masks are kept as bit sets over insertion order.
+    """
+
+    def __init__(self) -> None:
+        # pivot bit -> (reduced vector, combination mask over inserted tags)
+        self._rows: dict[int, tuple[int, int]] = {}
+        self._num_inserted = 0
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def rank(self) -> int:
+        return len(self._rows)
+
+    def _reduce(self, vector: int, mask: int) -> tuple[int, int]:
+        while vector:
+            pivot = vector.bit_length() - 1
+            row = self._rows.get(pivot)
+            if row is None:
+                return vector, mask
+            vector ^= row[0]
+            mask ^= row[1]
+        return 0, mask
+
+    def add(self, vector: int) -> bool:
+        """Insert a vector.  Returns True if it increased the rank."""
+        tag_mask = 1 << self._num_inserted
+        self._num_inserted += 1
+        reduced, mask = self._reduce(vector, tag_mask)
+        if reduced == 0:
+            return False
+        self._rows[reduced.bit_length() - 1] = (reduced, mask)
+        return True
+
+    def contains(self, vector: int) -> bool:
+        """True iff ``vector`` lies in the span of the inserted vectors."""
+        reduced, _ = self._reduce(vector, 0)
+        return reduced == 0
+
+    def represent(self, vector: int) -> Optional[list[int]]:
+        """Indices (insertion order) of inserted vectors XOR-ing to ``vector``.
+
+        Returns ``None`` if ``vector`` is not in the span.  The empty list
+        is returned for the zero vector.
+        """
+        reduced, mask = self._reduce(vector, 0)
+        if reduced != 0:
+            return None
+        return [i for i in range(self._num_inserted) if (mask >> i) & 1]
+
+
+def gf2_rank(vectors: Iterable[int]) -> int:
+    """Rank of a collection of GF(2) vectors."""
+    basis = XorBasis()
+    for v in vectors:
+        basis.add(v)
+    return basis.rank
+
+
+def in_span(vectors: Sequence[int], target: int) -> bool:
+    """True iff ``target`` is a GF(2) combination of ``vectors``."""
+    basis = XorBasis()
+    for v in vectors:
+        basis.add(v)
+    return basis.contains(target)
+
+
+def gf2_solve(columns: Sequence[int], target: int) -> Optional[list[int]]:
+    """Solve ``A x = target`` where A's columns are ``columns`` (GF(2)).
+
+    Returns the 0/1 solution vector ``x`` as a list of ints, or ``None``
+    if the system has no solution.  This is the Gaussian-elimination
+    option of Section 3.1.3 (O((f + log n) f^2) via word-parallel rows).
+    """
+    basis = XorBasis()
+    for col in columns:
+        basis.add(col)
+    combo = basis.represent(target)
+    if combo is None:
+        return None
+    x = [0] * len(columns)
+    for i in combo:
+        x[i] = 1
+    return x

@@ -1,0 +1,16 @@
+"""Exact (non-succinct) connectivity and distance oracles.
+
+These are the ground-truth comparators for every randomized scheme in
+the package: the centralized analogue of the sensitivity oracles the
+paper cites ([PT07], [DP17], [CLPR12]), implemented exactly.
+"""
+
+from repro.oracles.connectivity import ConnectivityOracle
+from repro.oracles.distances import DistanceOracle, shortest_path, shortest_path_distance
+
+__all__ = [
+    "ConnectivityOracle",
+    "DistanceOracle",
+    "shortest_path",
+    "shortest_path_distance",
+]

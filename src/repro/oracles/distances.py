@@ -1,0 +1,91 @@
+"""Exact distance oracle for ``G \\ F`` (Dijkstra ground truth).
+
+Used to measure the stretch of the approximate distance labels
+(Theorem 1.4) and of the routing schemes (Theorems 5.3/5.5/5.8).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Iterable, Optional
+
+from repro.graph.graph import Graph
+
+
+def _dijkstra(
+    graph: Graph,
+    source: int,
+    skip: set[int],
+    target: Optional[int] = None,
+    radius: Optional[float] = None,
+) -> tuple[list[float], list[int]]:
+    dist = [math.inf] * graph.n
+    pred = [-1] * graph.n
+    dist[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        if target is not None and u == target:
+            break
+        if radius is not None and d > radius:
+            break
+        for v, ei in graph.incident(u):
+            if ei in skip:
+                continue
+            nd = d + graph.weight(ei)
+            if radius is not None and nd > radius:
+                continue
+            if nd < dist[v]:
+                dist[v] = nd
+                pred[v] = u
+                heapq.heappush(heap, (nd, v))
+    return dist, pred
+
+
+def shortest_path_distance(
+    graph: Graph, s: int, t: int, faults: Iterable[int] = ()
+) -> float:
+    """Exact dist_{G\\F}(s, t); ``math.inf`` if disconnected."""
+    dist, _ = _dijkstra(graph, s, set(faults), target=t)
+    return dist[t]
+
+
+def shortest_path(
+    graph: Graph, s: int, t: int, faults: Iterable[int] = ()
+) -> Optional[list[int]]:
+    """An exact shortest s-t path in G\\F as a vertex list, or None."""
+    dist, pred = _dijkstra(graph, s, set(faults), target=t)
+    if math.isinf(dist[t]):
+        return None
+    path = [t]
+    while path[-1] != s:
+        path.append(pred[path[-1]])
+    path.reverse()
+    return path
+
+
+class DistanceOracle:
+    """Exact <s, t, F> distance queries on a fixed graph."""
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+
+    def distance(self, s: int, t: int, faults: Iterable[int] = ()) -> float:
+        return shortest_path_distance(self.graph, s, t, faults)
+
+    def path(self, s: int, t: int, faults: Iterable[int] = ()) -> Optional[list[int]]:
+        return shortest_path(self.graph, s, t, faults)
+
+    def ball(self, v: int, radius: float, faults: Iterable[int] = ()) -> dict[int, float]:
+        """The ball B_radius(v) in G\\F: vertex -> distance, dist <= radius."""
+        dist, _ = _dijkstra(self.graph, v, set(faults), radius=radius)
+        return {u: d for u, d in enumerate(dist) if d <= radius}
+
+    def eccentricity(self, v: int, faults: Iterable[int] = ()) -> float:
+        """Max finite distance from v (0 if v is isolated)."""
+        dist, _ = _dijkstra(self.graph, v, set(faults))
+        finite = [d for d in dist if not math.isinf(d)]
+        return max(finite) if finite else 0.0

@@ -1,0 +1,28 @@
+"""Compact routing schemes (Section 5).
+
+* :mod:`repro.routing.network` — the port-based message-passing model
+  of Section 2 (faults detectable only at an endpoint).
+* :mod:`repro.routing.tables` — routing labels and tables (Eq. 7-9),
+  in both the simple (Theorem 5.5) and load-balanced Γ (Theorem 5.8)
+  layouts.
+* :mod:`repro.routing.engine` — segment-by-segment forwarding of the
+  Lemma 3.17 succinct paths, with fault detection, Γ label fetches and
+  reversal to the source.
+* :mod:`repro.routing.forbidden_set` — Theorem 5.3 (faults known).
+* :mod:`repro.routing.fault_tolerant` — Theorems 5.5/5.8 (faults
+  unknown; trial-and-error phases with fresh label copies).
+* :mod:`repro.routing.baselines` — comparators for Table 1.
+* :mod:`repro.routing.lower_bound` — the Ω(f) construction (Thm 1.6).
+"""
+
+from repro.routing.network import Network, RouteResult, Telemetry
+from repro.routing.forbidden_set import ForbiddenSetRouter
+from repro.routing.fault_tolerant import FaultTolerantRouter
+
+__all__ = [
+    "Network",
+    "RouteResult",
+    "Telemetry",
+    "ForbiddenSetRouter",
+    "FaultTolerantRouter",
+]

@@ -1,0 +1,114 @@
+"""Baseline routing comparators for the Table 1 experiment.
+
+Table 1 of the paper compares FT routing schemes by stretch and table
+size.  Two runnable calibration points bracket the design space:
+
+* :class:`InteriorRoutingBaseline` — the non-compact extreme: every
+  vertex stores the entire graph (Θ(m log n)-bit tables) and performs
+  optimal *online* re-routing: move along the shortest path avoiding
+  all faults discovered so far, recompute on discovery.  Its stretch is
+  the best any scheme oblivious to fault locations can hope for (cf.
+  Theorem 1.6 — even this baseline pays Ω(f) on the lower-bound graph),
+  while its tables are maximally large.
+
+* :class:`TreeCoverRoutingBaseline` — the fault-free compact extreme:
+  Thorup-Zwick-style tree-cover routing with Õ(n^{1/k}) tables and
+  stretch O(k) when no faults occur, but no delivery guarantee under
+  faults.  This calibrates the price the FT schemes pay for resilience.
+
+The remaining Table 1 rows are the package's own schemes:
+``FaultTolerantRouter(table_mode="simple")`` reproduces the
+O(deg(v) n^{1/k})-per-vertex profile of Chechik '11 tables, and
+``table_mode="balanced"`` is the paper's Õ(f^3 n^{1/k}) construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.graph.graph import Graph
+from repro.oracles.distances import shortest_path
+from repro.routing.forbidden_set import ForbiddenSetRouter
+from repro.routing.network import Network, RouteResult, Telemetry
+from repro.sizing.bits import bits_for_id
+
+
+class InteriorRoutingBaseline:
+    """Full-information online re-routing (linear tables, near-optimal
+    stretch)."""
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+
+    def table_bits(self, v: int) -> int:
+        """Every vertex stores all m edges (ids + weight)."""
+        per_edge = 2 * bits_for_id(self.graph.n) + 32
+        return self.graph.m * per_edge
+
+    def max_table_bits(self) -> int:
+        return self.table_bits(0)
+
+    def route(self, s: int, t: int, faults: Iterable[int]) -> RouteResult:
+        """Move along shortest paths, recomputing at each discovered fault."""
+        fault_set = set(faults)
+        telemetry = Telemetry()
+        network = Network(self.graph, fault_set)
+        known: set[int] = set()
+        current = s
+        safety = 4 * (len(fault_set) + 1) * (self.graph.n + 1)
+        steps = 0
+        while current != t:
+            steps += 1
+            if steps > safety:  # pragma: no cover - defensive
+                raise RuntimeError("baseline failed to converge")
+            path = shortest_path(self.graph, current, t, known)
+            if path is None:
+                return RouteResult(
+                    delivered=False, s=s, t=t, telemetry=telemetry,
+                    length=telemetry.weighted,
+                )
+            moved = False
+            for u, v in zip(path, path[1:]):
+                ei = self.graph.edge_index_between(u, v)
+                if ei in fault_set:
+                    known.add(ei)  # detected at u; replan from here
+                    break
+                port = self.graph.port_of(u, v)
+                current = network.traverse(u, port, telemetry)
+                moved = True
+            if current == t:
+                break
+            if not moved and path is not None and len(path) > 1:
+                # First edge already faulty: replan without moving.
+                continue
+        return RouteResult(
+            delivered=True, s=s, t=t, telemetry=telemetry, length=telemetry.weighted
+        )
+
+
+class TreeCoverRoutingBaseline:
+    """Fault-free compact routing over the same tree covers.
+
+    Implemented as forbidden-set routing with an empty forbidden set —
+    exactly the non-faulty tree-cover scheme the paper builds on.  Under
+    faults it simply fails (no retry machinery), which is the point of
+    the comparison.
+    """
+
+    def __init__(self, graph: Graph, k: int, seed: int = 0, units: Optional[int] = None):
+        self.graph = graph
+        self.k = k
+        self._router = ForbiddenSetRouter(graph, f=0, k=k, seed=seed, units=units)
+
+    def max_table_bits(self) -> int:
+        return self._router.max_table_bits()
+
+    def stretch_bound(self) -> float:
+        """Fault-free bound (8k+6) under this construction's covers."""
+        return 8 * self.k + 6
+
+    def route(self, s: int, t: int, faults: Iterable[int] = ()) -> RouteResult:
+        # No fault labels are available to a fault-free scheme: route as
+        # if the network were intact; the first faulty edge on the way
+        # blocks the message and the route fails.
+        return self._router.route(s, t, [], actual_faults=list(faults))

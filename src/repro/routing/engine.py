@@ -1,0 +1,161 @@
+"""Segment-by-segment forwarding of succinct paths (Sections 5.1-5.2).
+
+The engine walks a Lemma 3.17 path description through the network:
+
+* 0-labeled segments are forwarded over the recorded port;
+* 1-labeled segments are forwarded hop by hop with Thorup-Zwick tree
+  routing, using only the current vertex's tree table and the target's
+  tree label from the header;
+* when the next edge is faulty, the engine obtains the faulty edge's
+  routing label — from the path description (non-tree edges), from the
+  current vertex's own table, or by querying a Γ_T(e) member over a
+  non-faulty port (Claim 5.6) — and sends the message back to the
+  source along the traversed prefix, charging the full reversal cost.
+
+The engine's only inputs are the network interface, the per-vertex
+tables, and the header contents — the same information the distributed
+protocol has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.distance_labels import InstanceKey, LabelInstance
+from repro.core.path_description import SuccinctPath
+from repro.core.sketch_scheme import SkEdgeLabel
+from repro.routing.network import Network, Telemetry
+from repro.routing.tables import VertexRoutingTable
+from repro.trees.tree_routing import TreeRoutingScheme
+
+
+@dataclass(frozen=True)
+class FollowOutcome:
+    """Result of attempting one path description."""
+
+    status: str  # "delivered" | "blocked"
+    fault_label: Optional[SkEdgeLabel] = None
+
+
+class SegmentRouter:
+    """Drives one routing attempt along a succinct path."""
+
+    def __init__(
+        self,
+        network: Network,
+        tables: list[VertexRoutingTable],
+        key: InstanceKey,
+        instance: LabelInstance,
+        telemetry: Telemetry,
+        trace: Optional[list[int]] = None,
+    ):
+        self.network = network
+        self.tables = tables
+        self.key = key
+        self.instance = instance
+        self.telemetry = telemetry
+        self.trace = trace
+        self._forward_hops = 0
+        self._forward_weight = 0.0
+        self._forward_trace: list[int] = []
+
+    # ------------------------------------------------------------------
+    def _move(self, u: int, port: int) -> int:
+        before = self.telemetry.weighted
+        v = self.network.traverse(u, port, self.telemetry)
+        self._forward_weight += self.telemetry.weighted - before
+        self._forward_hops += 1
+        self._forward_trace.append(v)
+        if self.trace is not None:
+            self.trace.append(v)
+        return v
+
+    def _reverse(self, source: int) -> None:
+        """Send the message back to the source over the traversed prefix."""
+        self.telemetry.weighted += self._forward_weight
+        self.telemetry.hops += self._forward_hops
+        self.telemetry.reversals += 1
+        if self.trace is not None and self._forward_trace:
+            # The message physically retraces its steps back to s.
+            self.trace.extend(reversed(self._forward_trace[:-1]))
+            self.trace.append(source)
+
+    def _nontree_label(self, eid: int) -> SkEdgeLabel:
+        """Reconstruct the routing label of a non-tree edge from its EID
+        (available in the path description — Section 5.2)."""
+        scheme = self.instance.scheme
+        return SkEdgeLabel(
+            component=scheme.comp_of[self.instance.tree.root],
+            eid=eid,
+            is_tree=False,
+            context=scheme.context,
+        )
+
+    def _fetch_tree_edge_label(
+        self, u: int, port: int, gamma_ports: tuple[int, ...]
+    ) -> Optional[SkEdgeLabel]:
+        """Obtain the label of the faulty tree edge at (u, port).
+
+        Checks u's own table first (the simple mode, parent edges, and
+        small-degree Γ cases), then queries Γ members over non-faulty
+        ports; every Γ member stores the label by construction."""
+        entry = self.tables[u].entries[self.key]
+        label = entry.edge_labels.get((u, port))
+        if label is not None:
+            return label
+        for gp in gamma_ports:
+            if gp == port or self.network.is_faulty_port(u, gp):
+                continue
+            w = self.network.round_trip(u, gp, self.telemetry)
+            w_entry = self.tables[w].entries.get(self.key)
+            if w_entry is None:  # pragma: no cover - Γ members are in the tree
+                continue
+            label = w_entry.edge_labels.get((u, port))
+            if label is not None:
+                return label
+        return None
+
+    # ------------------------------------------------------------------
+    def follow(self, path: SuccinctPath) -> FollowOutcome:
+        """Route along ``path``; deliver, or learn one fault and reverse."""
+        current = path.s
+        tr = self.instance.tree_routing
+        for seg in path.segments:
+            if seg.kind == "edge":
+                port = seg.port_x
+                if port is None:
+                    raise ValueError("path segment lacks port information")
+                if self.network.is_faulty_port(current, port):
+                    label = self._nontree_label(seg.eid)
+                    self._reverse(path.s)
+                    return FollowOutcome(status="blocked", fault_label=label)
+                current = self._move(current, port)
+            elif seg.kind == "tree":
+                if tr is None:
+                    raise ValueError("tree segments require routing-enabled labels")
+                target = tr.decode_label(seg.tlabel_y)
+                guard = 0
+                while True:
+                    guard += 1
+                    if guard > self.network.graph.n + 2:
+                        raise RuntimeError("tree routing failed to converge")
+                    entry = self.tables[current].entries[self.key]
+                    hop = TreeRoutingScheme.next_hop(entry.tree_table, target)
+                    if hop is None:
+                        break
+                    port, gamma_ports = hop
+                    if self.network.is_faulty_port(current, port):
+                        label = self._fetch_tree_edge_label(current, port, gamma_ports)
+                        if label is None:
+                            raise RuntimeError(
+                                "no Γ member reachable: fault bound exceeded"
+                            )
+                        self._reverse(path.s)
+                        return FollowOutcome(status="blocked", fault_label=label)
+                    current = self._move(current, port)
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown segment kind {seg.kind!r}")
+        if current != path.t:  # pragma: no cover - defensive
+            raise RuntimeError("path description did not terminate at t")
+        return FollowOutcome(status="delivered")

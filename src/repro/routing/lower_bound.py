@@ -1,0 +1,105 @@
+"""The Ω(f) stretch lower bound (Theorem 1.6, Figure 4).
+
+The construction: ``f+1`` internally disjoint s-t paths, each of length
+``L = Θ(n/f)``.  The adversary fails the *last* edge (the one at ``t``)
+of every path except one, chosen uniformly at random.  Any routing
+scheme oblivious to the fault locations — even with unbounded tables —
+discovers a failed path only after walking its full length, so the
+expected route length is
+
+    L/(f+1) + 2L (1 - 1/(f+1)) 1/f + ... = Ω(f L),
+
+an expected stretch of Ω(f) against the optimum L.
+
+This module builds the construction, evaluates the optimal *oblivious*
+strategy (try the paths in a fixed order) both analytically and by
+simulation, and can subject any router with a ``route(s, t, faults)``
+method to the same adversary.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro._util import rng_from
+from repro.graph.generators import lower_bound_graph
+from repro.graph.graph import Graph
+from repro.routing.network import RouteResult
+
+
+def adversarial_fault_sets(f: int, path_length: int) -> list[tuple[Graph, int, int, list[int]]]:
+    """All ``f+1`` fault patterns of the Theorem 1.6 adversary.
+
+    Pattern ``sigma`` keeps path ``sigma`` alive and fails the last edge
+    of every other path.  Returns (graph, s, t, fault_edges) per pattern
+    (the graph object is shared).
+    """
+    graph, s, t = lower_bound_graph(f, path_length)
+    last_edges = _last_edges(graph, t, f, path_length)
+    patterns = []
+    for sigma in range(f + 1):
+        faults = [ei for p, ei in enumerate(last_edges) if p != sigma]
+        patterns.append((graph, s, t, faults))
+    return patterns
+
+
+def _last_edges(graph: Graph, t: int, f: int, path_length: int) -> list[int]:
+    """The edge incident to ``t`` on each of the f+1 paths, in path order."""
+    edges = [ei for _, ei in graph.incident(t)]
+    if len(edges) != f + 1:  # pragma: no cover - construction invariant
+        raise RuntimeError("unexpected lower-bound construction")
+    return edges
+
+
+def sequential_strategy_expected_stretch(f: int) -> float:
+    """Expected stretch of the optimal oblivious strategy, analytically.
+
+    Trying paths in a fixed order against a uniformly random surviving
+    path sigma costs ``2L`` per failed trial plus ``L`` for the final
+    success; E[#failed trials] = f/2, so E[length]/L = 1 + f.
+    """
+    return 1.0 + float(f)
+
+
+def simulate_sequential_strategy(f: int, path_length: int, trials: int, seed: int = 0) -> float:
+    """Monte-carlo estimate of the oblivious strategy's stretch.
+
+    The strategy walks path 0 to its end; if the last edge is faulty it
+    backtracks and tries path 1, and so on — the best any scheme can do
+    without fault information (Theorem 1.6's proof strategy).
+    """
+    graph, s, t = lower_bound_graph(f, path_length)
+    last_edges = _last_edges(graph, t, f, path_length)
+    rng = rng_from(seed, "lower_bound", f, path_length)
+    total = 0.0
+    for _ in range(trials):
+        sigma = int(rng.integers(0, f + 1))
+        faults = {ei for p, ei in enumerate(last_edges) if p != sigma}
+        length = 0.0
+        for p in range(f + 1):
+            if p == sigma:
+                length += path_length  # success: reach t
+                break
+            length += 2 * (path_length - 1)  # walk to the break, return
+        total += length / path_length
+    return total / trials
+
+
+def measure_router_on_lower_bound(
+    route_fn: Callable[[int, int, list[int]], RouteResult],
+    f: int,
+    path_length: int,
+) -> float:
+    """Average stretch of an arbitrary router over all f+1 fault patterns.
+
+    ``route_fn(s, t, faults)`` must return a RouteResult; undelivered
+    routes count as infinite stretch.
+    """
+    total = 0.0
+    patterns = adversarial_fault_sets(f, path_length)
+    for _, s, t, faults in patterns:
+        result = route_fn(s, t, faults)
+        if not result.delivered:
+            return float("inf")
+        total += result.length / float(path_length)
+    return total / len(patterns)

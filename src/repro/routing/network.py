@@ -1,0 +1,100 @@
+"""Port-based message-passing network with hidden edge faults.
+
+This is the routing model of Section 2: a message sits at a vertex; the
+vertex may forward it through one of its ports; a faulty edge is
+detected only when the message is at one of its endpoints.  The
+simulator enforces exactly that interface and meters every traversal,
+so the benches can report true weighted route lengths (including the
+Γ-query detours and the reversals of the trial-and-error scheme).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.graph.graph import Graph
+
+
+class FaultyEdgeError(RuntimeError):
+    """Raised when a protocol tries to forward over a faulty edge."""
+
+
+@dataclass
+class Telemetry:
+    """Route-cost meters."""
+
+    hops: int = 0
+    weighted: float = 0.0
+    gamma_queries: int = 0
+    reversals: int = 0
+    decode_calls: int = 0
+    phases: int = 0
+    iterations: int = 0
+    max_header_bits: int = 0
+
+    def note_header(self, bits: int) -> None:
+        self.max_header_bits = max(self.max_header_bits, bits)
+
+
+@dataclass
+class RouteResult:
+    """Outcome of one routing request."""
+
+    delivered: bool
+    s: int
+    t: int
+    telemetry: Telemetry
+    #: weighted length of the walk the message (and its Γ queries) took.
+    length: float = 0.0
+    #: scale at which delivery happened (None if undelivered).
+    scale: Optional[int] = None
+    trace: list[int] = field(default_factory=list)
+
+    def stretch(self, opt_distance: float) -> float:
+        """Route length / optimal G\\F distance."""
+        if not self.delivered:
+            return float("inf")
+        if opt_distance <= 0:
+            return 1.0
+        return self.length / opt_distance
+
+
+class Network:
+    """A graph with a hidden fault set, exposing only endpoint detection."""
+
+    def __init__(self, graph: Graph, faults: Iterable[int] = ()):
+        self.graph = graph
+        self.faults = set(faults)
+
+    def is_faulty_port(self, u: int, port: int) -> bool:
+        """Local fault detection at ``u`` (free, per the model)."""
+        _, ei = self.graph.via_port(u, port)
+        return ei in self.faults
+
+    def traverse(self, u: int, port: int, telemetry: Telemetry) -> int:
+        """Forward the message from ``u`` through ``port``.
+
+        Returns the new vertex; raises :class:`FaultyEdgeError` if the
+        edge is faulty (protocols must check first — the model lets them
+        detect incident faults for free).
+        """
+        v, ei = self.graph.via_port(u, port)
+        if ei in self.faults:
+            raise FaultyEdgeError(f"edge {ei} = ({u}, {v}) is faulty")
+        telemetry.hops += 1
+        telemetry.weighted += self.graph.weight(ei)
+        return v
+
+    def round_trip(self, u: int, port: int, telemetry: Telemetry) -> int:
+        """A query to a neighbor and back (used for Γ label fetches).
+
+        Returns the neighbor id; charges both directions.
+        """
+        v, ei = self.graph.via_port(u, port)
+        if ei in self.faults:
+            raise FaultyEdgeError(f"edge {ei} = ({u}, {v}) is faulty")
+        telemetry.hops += 2
+        telemetry.weighted += 2.0 * self.graph.weight(ei)
+        telemetry.gamma_queries += 1
+        return v

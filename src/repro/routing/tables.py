@@ -1,0 +1,135 @@
+"""Routing labels and tables (Section 5.2, Equations (7)-(9)).
+
+* The *routing label* of a vertex (Eq. 8) stores, per distance scale
+  ``i``, the home-cluster index ``i*(v)`` and the vertex's connectivity
+  label in that single instance — Õ(1) entries per scale.
+
+* The *routing table* of a vertex stores, for every cover tree
+  containing it: its connectivity label, its tree-routing table, and
+  the routing labels (Eq. 7 — all f' connectivity-label copies) of a
+  subset of tree edges:
+
+  - ``mode="simple"`` (Theorem 5.5): the labels of *all* incident tree
+    edges, at both endpoints — per-vertex space O(deg_T(v) n^{1/k}),
+    the profile of Chechik '11-style tables;
+  - ``mode="balanced"`` (Theorem 5.8): each tree edge's label is
+    replicated on its Γ_T(e) block (Claim 5.6) — f+1..2f+1 children of
+    the parent endpoint plus the child endpoint — giving Õ(f^3 n^{1/k})
+    bits per vertex independent of degree.
+
+Edge labels are indexed by ``(endpoint gid, port at endpoint)`` so a
+vertex that detects a fault on one of its ports can look the label up
+(or ask a Γ member to) without any global knowledge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.distance_labels import DistanceLabelScheme, InstanceKey
+from repro.core.sketch_scheme import SkEdgeLabel, SkVertexLabel
+from repro.sizing.bits import bits_for_count
+from repro.trees.tree_routing import TreeTable
+
+
+@dataclass(frozen=True)
+class RoutingLabel:
+    """``L_route(v)`` (Eq. 8): per scale, (i*(v), ConnLabel of v there)."""
+
+    v: int
+    per_scale: dict[int, tuple[int, SkVertexLabel]]
+    key_bits: int
+
+    def bit_length(self) -> int:
+        bits = 0
+        for _, (_, conn) in self.per_scale.items():
+            bits += self.key_bits + conn.bit_length()
+        return bits
+
+
+@dataclass
+class InstanceTableEntry:
+    """The slice of a vertex's routing table for one cover tree."""
+
+    conn_label: SkVertexLabel
+    tree_table: TreeTable
+    tree_table_bits: int
+    #: (endpoint gid, port at that endpoint) -> full edge routing label.
+    edge_labels: dict[tuple[int, int], SkEdgeLabel] = field(default_factory=dict)
+
+    def bit_length(self) -> int:
+        bits = self.conn_label.bit_length() + self.tree_table_bits
+        unique = {id(lab): lab for lab in self.edge_labels.values()}
+        for lab in unique.values():
+            bits += lab.bit_length()
+        return bits
+
+
+@dataclass
+class VertexRoutingTable:
+    """``R_route(v)`` (Eq. 9): one entry per cover tree containing v."""
+
+    v: int
+    entries: dict[InstanceKey, InstanceTableEntry] = field(default_factory=dict)
+
+    def bit_length(self) -> int:
+        key_bits = bits_for_count(max((k[1] for k in self.entries), default=1)) + 8
+        return sum(key_bits + e.bit_length() for e in self.entries.values())
+
+
+def build_routing_tables(
+    scheme: DistanceLabelScheme, mode: str, f: int
+) -> list[VertexRoutingTable]:
+    """Populate all vertices' routing tables from a routing-enabled
+    :class:`DistanceLabelScheme`."""
+    if mode not in ("simple", "balanced"):
+        raise ValueError(f"unknown table mode {mode!r}")
+    if not scheme.routing:
+        raise ValueError("the distance scheme must be built with routing=True")
+    graph = scheme.graph
+    tables = [VertexRoutingTable(v=v) for v in graph.vertices()]
+    for key, inst in scheme.instances.items():
+        tr = inst.tree_routing
+        assert tr is not None
+        to_parent = inst.sub.vertex_to_parent
+        for lv in range(inst.sub.graph.n):
+            gv = to_parent[lv]
+            tables[gv].entries[key] = InstanceTableEntry(
+                conn_label=inst.scheme.vertex_label(lv),
+                tree_table=tr.table(lv),
+                tree_table_bits=tr.table_bits(lv),
+            )
+        tree = inst.tree
+        for child in tree.vertices:
+            parent = tree.parent[child]
+            if parent < 0:
+                continue
+            le = tree.parent_edge[child]
+            label = inst.scheme.edge_label(le)
+            gu, gc = to_parent[parent], to_parent[child]
+            key_u = (gu, graph.port_of(gu, gc))
+            key_c = (gc, graph.port_of(gc, gu))
+            if mode == "simple":
+                holders = {parent, child}
+            else:
+                holders = set(tr.gamma_members(child))
+                holders.add(child)
+                if tr.stores_child_labels(parent):
+                    holders.add(parent)
+            for h in holders:
+                entry = tables[to_parent[h]].entries[key]
+                entry.edge_labels[key_u] = label
+                entry.edge_labels[key_c] = label
+    return tables
+
+
+def build_routing_label(scheme: DistanceLabelScheme, v: int) -> RoutingLabel:
+    """``L_route(v)``: home instance + connectivity label per scale."""
+    per_scale: dict[int, tuple[int, SkVertexLabel]] = {}
+    for i, j in scheme._i_star[v].items():
+        key = (i, j)
+        lv = scheme._vertex_membership[v].get(key)
+        if lv is None:  # pragma: no cover - home always contains v
+            continue
+        per_scale[i] = (j, scheme.instances[key].scheme.vertex_label(lv))
+    return RoutingLabel(v=v, per_scale=per_scale, key_bits=scheme.key_bits)

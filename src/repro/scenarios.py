@@ -1,0 +1,147 @@
+"""Fault-scenario runner: fail/repair/query scripts over static labels.
+
+A key property of the paper's schemes is that the *preprocessing is
+fault-independent*: labels and tables are computed once for the intact
+graph, and the fault set is an input at query time.  Repairing an edge
+is therefore free — it just leaves the current fault set.  This module
+packages that workflow for operational use: track a live fault set,
+answer connectivity/distance queries and route messages against it,
+and keep an audit log.
+
+Used by tests and as a building block for fault-drill tooling (see
+``examples/datacenter_fault_drill.py`` for the manual version).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.api import FaultTolerantConnectivity, FaultTolerantDistance
+from repro.graph.graph import Graph
+from repro.routing.fault_tolerant import FaultTolerantRouter
+from repro.routing.network import RouteResult
+
+
+@dataclass(frozen=True)
+class ScenarioRecord:
+    """One audit-log entry."""
+
+    op: str
+    args: tuple
+    result: object
+
+
+class FaultBudgetExceeded(RuntimeError):
+    """Raised when more than ``f`` simultaneous faults are requested."""
+
+
+@dataclass
+class FaultScenario:
+    """A live fault set over a statically labeled graph.
+
+    ``strict=True`` (default) refuses to exceed the fault budget ``f``
+    the labels were built for — beyond it the w.h.p. guarantees of the
+    cycle-space labels no longer hold.
+    """
+
+    graph: Graph
+    f: int
+    k: int = 2
+    seed: int = 0
+    build_router: bool = True
+    strict: bool = True
+    _faults: set[int] = field(default_factory=set, init=False)
+    _log: list[ScenarioRecord] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        self._conn = FaultTolerantConnectivity(
+            self.graph, f=self.f, seed=self.seed
+        )
+        self._dist = FaultTolerantDistance(
+            self.graph, f=self.f, k=self.k, seed=self.seed
+        )
+        self._router: Optional[FaultTolerantRouter] = None
+        if self.build_router:
+            self._router = FaultTolerantRouter(
+                self.graph, f=self.f, k=self.k, seed=self.seed
+            )
+
+    # ------------------------------------------------------------------
+    # Fault management
+    # ------------------------------------------------------------------
+    def _edge_index(self, u: int, v: int) -> int:
+        ei = self.graph.edge_index_between(u, v)
+        if ei is None:
+            raise ValueError(f"({u}, {v}) is not an edge")
+        return ei
+
+    @property
+    def active_faults(self) -> frozenset[int]:
+        return frozenset(self._faults)
+
+    def fail(self, u: int, v: int) -> None:
+        """Mark the link {u, v} as failed."""
+        ei = self._edge_index(u, v)
+        if ei not in self._faults and self.strict and len(self._faults) >= self.f:
+            raise FaultBudgetExceeded(
+                f"fault budget f={self.f} exhausted; repair a link first "
+                "or rebuild with a larger f"
+            )
+        self._faults.add(ei)
+        self._log.append(ScenarioRecord("fail", (u, v), None))
+
+    def repair(self, u: int, v: int) -> None:
+        """Mark the link {u, v} as repaired (free — labels are static)."""
+        ei = self._edge_index(u, v)
+        self._faults.discard(ei)
+        self._log.append(ScenarioRecord("repair", (u, v), None))
+
+    def repair_all(self) -> None:
+        self._faults.clear()
+        self._log.append(ScenarioRecord("repair_all", (), None))
+
+    # ------------------------------------------------------------------
+    # Queries against the live fault set
+    # ------------------------------------------------------------------
+    def connected(self, s: int, t: int) -> bool:
+        result = self._conn.connected(s, t, self._faults)
+        self._log.append(ScenarioRecord("connected", (s, t), result))
+        return result
+
+    def distance(self, s: int, t: int) -> float:
+        result = self._dist.estimate(s, t, self._faults)
+        self._log.append(ScenarioRecord("distance", (s, t), result))
+        return result
+
+    def route(self, s: int, t: int) -> RouteResult:
+        if self._router is None:
+            raise RuntimeError("scenario built with build_router=False")
+        result = self._router.route(s, t, self._faults)
+        self._log.append(
+            ScenarioRecord("route", (s, t), (result.delivered, result.length))
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def log(self) -> tuple[ScenarioRecord, ...]:
+        return tuple(self._log)
+
+    def health_summary(self, landmarks: list[int]) -> dict:
+        """Pairwise landmark connectivity under the live faults."""
+        reachable = 0
+        pairs = 0
+        for i, u in enumerate(landmarks):
+            for v in landmarks[i + 1:]:
+                pairs += 1
+                if self._conn.connected(u, v, self._faults):
+                    reachable += 1
+        return {
+            "faults": len(self._faults),
+            "landmark_pairs": pairs,
+            "reachable_pairs": reachable,
+            "partitioned": reachable < pairs,
+        }

@@ -1,0 +1,17 @@
+"""Bit-size accounting for labels, tables and headers."""
+
+from repro.sizing.bits import (
+    bits_for_count,
+    bits_for_id,
+    bits_for_weight_scales,
+    BitWriter,
+    BitReader,
+)
+
+__all__ = [
+    "bits_for_count",
+    "bits_for_id",
+    "bits_for_weight_scales",
+    "BitWriter",
+    "BitReader",
+]

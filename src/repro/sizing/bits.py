@@ -1,0 +1,80 @@
+"""Bit accounting and a small bit-level codec.
+
+Every label/table/header type in the package reports its size in bits
+through a ``bit_length()`` method; the helpers here centralize the field
+width computations so the accounting matches the encodings.  The
+:class:`BitWriter`/:class:`BitReader` pair provides real (not just
+counted) serialization for the label payloads exercised in tests, which
+keeps the reported sizes honest.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def bits_for_count(x: int) -> int:
+    """Bits to store a value in ``0..x`` (at least 1)."""
+    return max(1, math.ceil(math.log2(x + 1))) if x > 0 else 1
+
+
+def bits_for_id(n: int) -> int:
+    """Bits for a vertex id in an n-vertex graph."""
+    return bits_for_count(max(0, n - 1))
+
+
+def bits_for_weight_scales(n: int, max_weight: float) -> int:
+    """Number of distance scales K = ceil(log2(n * W)) of Section 4."""
+    return max(1, math.ceil(math.log2(max(2.0, n * max(1.0, max_weight)))))
+
+
+class BitWriter:
+    """Append-only bit buffer (MSB-first within each field)."""
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._bits = 0
+
+    def write(self, value: int, width: int) -> "BitWriter":
+        if value < 0 or value >= (1 << width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        self._value = (self._value << width) | value
+        self._bits += width
+        return self
+
+    @property
+    def bit_length(self) -> int:
+        return self._bits
+
+    def to_bytes(self) -> bytes:
+        nbytes = (self._bits + 7) // 8
+        return (self._value << (nbytes * 8 - self._bits)).to_bytes(max(nbytes, 1), "big")
+
+    def to_int(self) -> int:
+        return self._value
+
+
+class BitReader:
+    """Sequential reader matching :class:`BitWriter` field order."""
+
+    def __init__(self, data: bytes, total_bits: int):
+        self._value = int.from_bytes(data, "big") >> (len(data) * 8 - total_bits)
+        self._remaining = total_bits
+
+    @classmethod
+    def from_int(cls, value: int, total_bits: int) -> "BitReader":
+        reader = cls.__new__(cls)
+        reader._value = value
+        reader._remaining = total_bits
+        return reader
+
+    def read(self, width: int) -> int:
+        if width > self._remaining:
+            raise ValueError("read past end of bit buffer")
+        self._remaining -= width
+        out = (self._value >> self._remaining) & ((1 << width) - 1)
+        return out
+
+    @property
+    def remaining(self) -> int:
+        return self._remaining

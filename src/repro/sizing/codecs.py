@@ -1,0 +1,131 @@
+"""Byte-level codecs for the core label types.
+
+The schemes' ``bit_length()`` methods *count* bits from field layouts;
+these codecs actually *serialize* the labels, which keeps the counting
+honest (tests assert the encoded size matches the counted size) and
+makes the labels transportable — e.g. a monitoring service shipping
+labels over the wire, as in ``examples/overlay_connectivity.py``.
+
+Codecs cover the label types whose layouts are fully self-describing
+given scheme-level constants (n, b, f): ancestry labels, cycle-space
+vertex/edge labels.  Sketch labels serialize their EID + flags; the
+numpy sketch payloads are serialized as raw little-endian words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cycle_space_scheme import CSEdgeLabel, CSVertexLabel
+from repro.graph.ancestry import AncLabel
+from repro.sizing.bits import BitReader, BitWriter, bits_for_count
+
+
+@dataclass(frozen=True)
+class CodecParams:
+    """Scheme-level constants a decoder is assumed to know."""
+
+    n: int
+    b: int = 0
+    max_components: int = 0
+
+    @property
+    def time_bits(self) -> int:
+        return bits_for_count(2 * self.n + 1)
+
+    @property
+    def comp_bits(self) -> int:
+        return bits_for_count(max(self.max_components, 1))
+
+
+# ----------------------------------------------------------------------
+# Ancestry labels
+# ----------------------------------------------------------------------
+def encode_ancestry(label: AncLabel, params: CodecParams) -> bytes:
+    writer = BitWriter()
+    writer.write(label[0], params.time_bits)
+    writer.write(label[1], params.time_bits)
+    return writer.to_bytes()
+
+
+def decode_ancestry(data: bytes, params: CodecParams) -> AncLabel:
+    reader = BitReader(data, 2 * params.time_bits)
+    return (reader.read(params.time_bits), reader.read(params.time_bits))
+
+
+def ancestry_bits(params: CodecParams) -> int:
+    return 2 * params.time_bits
+
+
+# ----------------------------------------------------------------------
+# Cycle-space labels (Section 3.1)
+# ----------------------------------------------------------------------
+def encode_cs_vertex(label: CSVertexLabel, params: CodecParams) -> bytes:
+    writer = BitWriter()
+    writer.write(label.component, params.comp_bits)
+    writer.write(label.anc[0], params.time_bits)
+    writer.write(label.anc[1], params.time_bits)
+    return writer.to_bytes()
+
+
+def decode_cs_vertex(data: bytes, params: CodecParams) -> CSVertexLabel:
+    total = params.comp_bits + 2 * params.time_bits
+    reader = BitReader(data, total)
+    component = reader.read(params.comp_bits)
+    anc = (reader.read(params.time_bits), reader.read(params.time_bits))
+    return CSVertexLabel(component=component, anc=anc, n=params.n)
+
+
+def cs_vertex_bits(params: CodecParams) -> int:
+    return params.comp_bits + 2 * params.time_bits
+
+
+def encode_cs_edge(label: CSEdgeLabel, params: CodecParams) -> bytes:
+    if label.b != params.b:
+        raise ValueError("label width does not match codec parameters")
+    writer = BitWriter()
+    writer.write(label.component, params.comp_bits)
+    writer.write(label.phi, params.b)
+    for anc in (label.anc_u, label.anc_v):
+        writer.write(anc[0], params.time_bits)
+        writer.write(anc[1], params.time_bits)
+    writer.write(1 if label.is_tree else 0, 1)
+    return writer.to_bytes()
+
+
+def decode_cs_edge(data: bytes, params: CodecParams) -> CSEdgeLabel:
+    total = params.comp_bits + params.b + 4 * params.time_bits + 1
+    reader = BitReader(data, total)
+    component = reader.read(params.comp_bits)
+    phi = reader.read(params.b)
+    anc_u = (reader.read(params.time_bits), reader.read(params.time_bits))
+    anc_v = (reader.read(params.time_bits), reader.read(params.time_bits))
+    is_tree = bool(reader.read(1))
+    return CSEdgeLabel(
+        component=component,
+        phi=phi,
+        b=params.b,
+        anc_u=anc_u,
+        anc_v=anc_v,
+        is_tree=is_tree,
+        n=params.n,
+    )
+
+
+def cs_edge_bits(params: CodecParams) -> int:
+    return params.comp_bits + params.b + 4 * params.time_bits + 1
+
+
+# ----------------------------------------------------------------------
+# Sketch payloads (numpy word arrays)
+# ----------------------------------------------------------------------
+def encode_sketch_array(sketch: np.ndarray) -> bytes:
+    """Serialize a sketch (uint64 array) as little-endian words."""
+    return sketch.astype("<u8").tobytes()
+
+
+def decode_sketch_array(data: bytes, shape: tuple[int, ...]) -> np.ndarray:
+    arr = np.frombuffer(data, dtype="<u8").astype(np.uint64)
+    return arr.reshape(shape)

@@ -1,0 +1,100 @@
+"""Structured size reports for schemes and routers.
+
+Benches and examples repeatedly need the same questions answered —
+"how big are the labels / tables, in total and per vertex, and how are
+they distributed?" — so this module centralizes them into a
+:class:`SizeReport` with percentile summaries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+
+@dataclass(frozen=True)
+class SizeReport:
+    """Distribution summary of per-item bit sizes."""
+
+    name: str
+    sizes: tuple[int, ...]
+
+    @classmethod
+    def from_items(
+        cls, name: str, items: Sequence, bits_of: Callable[[object], int]
+    ) -> "SizeReport":
+        return cls(name=name, sizes=tuple(sorted(bits_of(x) for x in items)))
+
+    @property
+    def count(self) -> int:
+        return len(self.sizes)
+
+    @property
+    def total_bits(self) -> int:
+        return sum(self.sizes)
+
+    @property
+    def max_bits(self) -> int:
+        return self.sizes[-1] if self.sizes else 0
+
+    @property
+    def min_bits(self) -> int:
+        return self.sizes[0] if self.sizes else 0
+
+    @property
+    def mean_bits(self) -> float:
+        return self.total_bits / self.count if self.sizes else 0.0
+
+    def percentile(self, q: float) -> int:
+        """q-th percentile (q in [0, 100]) of the size distribution."""
+        if not self.sizes:
+            return 0
+        if not (0.0 <= q <= 100.0):
+            raise ValueError("percentile must be in [0, 100]")
+        idx = min(len(self.sizes) - 1, int(math.ceil(q / 100.0 * len(self.sizes))) - 1)
+        return self.sizes[max(idx, 0)]
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        if not self.sizes:
+            return f"{self.name}: empty"
+        return (
+            f"{self.name}: n={self.count} total={self.total_bits}b "
+            f"mean={self.mean_bits:.0f}b p50={self.percentile(50)}b "
+            f"p95={self.percentile(95)}b max={self.max_bits}b"
+        )
+
+
+def connectivity_report(scheme) -> dict[str, SizeReport]:
+    """Vertex/edge label size reports for a connectivity scheme."""
+    graph = scheme.graph
+    return {
+        "vertex_labels": SizeReport.from_items(
+            "vertex labels",
+            list(graph.vertices()),
+            lambda v: scheme.vertex_label(v).bit_length(),
+        ),
+        "edge_labels": SizeReport.from_items(
+            "edge labels",
+            [e.index for e in graph.edges],
+            lambda ei: scheme.edge_label(ei).bit_length(),
+        ),
+    }
+
+
+def router_report(router) -> dict[str, SizeReport]:
+    """Table/label size reports for a FaultTolerantRouter."""
+    graph = router.graph
+    return {
+        "tables": SizeReport.from_items(
+            "routing tables",
+            list(graph.vertices()),
+            lambda v: router.table_bits(v),
+        ),
+        "labels": SizeReport.from_items(
+            "routing labels",
+            list(graph.vertices()),
+            lambda v: router.routing_label(v).bit_length(),
+        ),
+    }

@@ -1,0 +1,25 @@
+"""Linear graph sketches [AGM12] and their ingredients.
+
+* :mod:`repro.sketches.hashing` — pairwise-independent hash families
+  (Definition A.1 / Fact A.2) determined by a short seed ``S_h``.
+* :mod:`repro.sketches.edge_ids` — unique edge identifiers (Lemma 3.8)
+  and the extended edge identifier codec (Equations (1) and (5)).
+* :mod:`repro.sketches.sketch` — per-vertex XOR sketches, subtree
+  aggregation, and single-edge extraction (Lemmas 3.9/3.10/3.13).
+"""
+
+from repro.sketches.hashing import PairwiseHashFamily
+from repro.sketches.edge_ids import DecodedEid, EidCodec, ExtendedEdgeIds, UidScheme
+from repro.sketches.sketch import SketchDims, VertexSketches, eid_to_words, words_to_eid
+
+__all__ = [
+    "PairwiseHashFamily",
+    "DecodedEid",
+    "EidCodec",
+    "ExtendedEdgeIds",
+    "UidScheme",
+    "SketchDims",
+    "VertexSketches",
+    "eid_to_words",
+    "words_to_eid",
+]

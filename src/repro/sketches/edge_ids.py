@@ -1,0 +1,218 @@
+"""Unique and extended edge identifiers (Lemma 3.8, Equations (1)/(5)).
+
+The sketch-based scheme XORs edge identifiers together and must be able
+to tell "a single edge id" from "the XOR of two or more ids".  Lemma 3.8
+achieves this with an ε-bias collection [NN93]; here the collection is
+realized by a keyed BLAKE2b PRF truncated to ``uid_bits`` bits (see the
+substitution note in DESIGN.md): given the seed ``S_ID`` and the two
+endpoint ids, anyone can recompute ``UID(e)`` in O(1), and the XOR of
+two or more UIDs equals the UID of the decoded endpoint pair with
+probability ``2^-uid_bits`` per test — matching the ``<= 1/n^10``
+guarantee of Lemma 3.8 at every scale we run.
+
+The *extended* identifier ``EID_T(e)`` packs, at fixed per-instance
+field widths::
+
+    [UID(e), ID(u), ID(v), ANC_T(u), ANC_T(v)]                (Eq. 1)
+    [... , port(u,v), port(v,u), L_T(u), L_T(v)]               (Eq. 5)
+
+so that identifiers can be XOR-combined word-wise and any validated
+XOR directly hands the decoder the routing information it needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro._util import prf_int
+from repro.graph.ancestry import AncLabel
+from repro.graph.graph import Graph
+from repro.sizing.bits import bits_for_count, bits_for_id
+
+
+class UidScheme:
+    """Seeded unique edge identifiers (the ``S_ID`` seed of Lemma 3.8)."""
+
+    #: seed size in bits, counted as the paper's O(log^2 n)-bit S_ID.
+    SEED_BITS = 128
+
+    def __init__(self, seed: int, uid_bits: int = 64):
+        self.seed = seed
+        self.uid_bits = uid_bits
+
+    def uid(self, u: int, v: int) -> int:
+        """UID of the edge {u, v} (order-insensitive)."""
+        a, b = (u, v) if u < v else (v, u)
+        return prf_int(self.seed, "uid", a, b, bits=self.uid_bits)
+
+    def matches(self, candidate_uid: int, u: int, v: int) -> bool:
+        """Validity test of Lemma 3.10: does the uid belong to {u, v}?"""
+        return candidate_uid == self.uid(u, v)
+
+
+class EidCodec:
+    """Fixed-width bit packer for extended edge identifiers.
+
+    Fields are packed most-significant-first in the given order; the
+    total width is the per-instance EID length (``O(log n)`` bits for
+    connectivity, Eq. (1); larger for routing, Eq. (5), where the two
+    embedded tree-routing labels dominate).
+    """
+
+    def __init__(self, fields: Sequence[tuple[str, int]]):
+        self.fields = list(fields)
+        self.total_bits = sum(w for _, w in fields)
+        offsets = {}
+        pos = self.total_bits
+        for name, width in fields:
+            pos -= width
+            offsets[name] = (pos, width)
+        self._offsets = offsets
+
+    def pack(self, values: dict[str, int]) -> int:
+        out = 0
+        for name, width in self.fields:
+            value = values[name]
+            if value < 0 or value >= (1 << width):
+                raise ValueError(f"field {name}={value} does not fit in {width} bits")
+            out = (out << width) | value
+        return out
+
+    def unpack(self, eid: int) -> dict[str, int]:
+        return {
+            name: (eid >> pos) & ((1 << width) - 1)
+            for name, (pos, width) in self._offsets.items()
+        }
+
+
+@dataclass(frozen=True)
+class DecodedEid:
+    """A validated single-edge identifier, with all Eq. (1)/(5) fields."""
+
+    u: int
+    v: int
+    anc_u: AncLabel
+    anc_v: AncLabel
+    port_u: Optional[int] = None  # port at u of the edge (u, v)
+    port_v: Optional[int] = None  # port at v of the edge (v, u)
+    tlabel_u: Optional[int] = None  # encoded tree-routing label of u
+    tlabel_v: Optional[int] = None  # encoded tree-routing label of v
+    raw: int = 0  # the packed EID this record was decoded from
+
+    def endpoint_info(self, x: int) -> tuple[AncLabel, Optional[int], Optional[int]]:
+        """(ancestry label, outgoing port, tree label) for endpoint ``x``."""
+        if x == self.u:
+            return self.anc_u, self.port_u, self.tlabel_u
+        if x == self.v:
+            return self.anc_v, self.port_v, self.tlabel_v
+        raise ValueError(f"{x} is not an endpoint")
+
+
+class ExtendedEdgeIds:
+    """Extended edge identifiers for one labeling instance.
+
+    ``routing_fields`` switches between the Eq. (1) layout and the
+    Eq. (5) layout.  Tree labels are supplied pre-encoded as integers of
+    at most ``tlabel_bits`` bits by the caller (see
+    ``repro.trees.tree_routing.TreeRoutingScheme.encoded_label``).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        uid_scheme: UidScheme,
+        anc_of: Callable[[int], AncLabel],
+        port_bits: int = 0,
+        tlabel_bits: int = 0,
+        tlabel_of: Optional[Callable[[int], int]] = None,
+        id_of: Optional[Callable[[int], int]] = None,
+        id_space: Optional[int] = None,
+        port_fn: Optional[Callable[[int, int], int]] = None,
+    ):
+        """``id_of``/``id_space``/``port_fn`` translate the instance's
+        local vertices into globally meaningful ids and ports, so that
+        identifiers extracted from sketches are directly routable even
+        when the labeling instance lives on a tree-cover cluster."""
+        self.graph = graph
+        self.uid_scheme = uid_scheme
+        self._anc_of = anc_of
+        self._id_of = id_of if id_of is not None else (lambda v: v)
+        self.id_space = id_space if id_space is not None else graph.n
+        self._port_fn = port_fn if port_fn is not None else graph.port_of
+        n = graph.n
+        time_bits = bits_for_count(2 * n + 1)
+        id_bits = bits_for_id(max(self.id_space, 2))
+        fields: list[tuple[str, int]] = [
+            ("uid", uid_scheme.uid_bits),
+            ("id_u", id_bits),
+            ("id_v", id_bits),
+            ("tin_u", time_bits),
+            ("tout_u", time_bits),
+            ("tin_v", time_bits),
+            ("tout_v", time_bits),
+        ]
+        self.routing = port_bits > 0
+        self.port_bits = port_bits
+        self.tlabel_bits = tlabel_bits
+        self._tlabel_of = tlabel_of
+        if self.routing:
+            fields.append(("port_u", port_bits))
+            fields.append(("port_v", port_bits))
+            fields.append(("tl_u", tlabel_bits))
+            fields.append(("tl_v", tlabel_bits))
+        self.codec = EidCodec(fields)
+
+    def eid(self, edge_index: int) -> int:
+        """The packed extended identifier of an edge."""
+        e = self.graph.edge(edge_index)
+        anc_u = self._anc_of(e.u)
+        anc_v = self._anc_of(e.v)
+        gu, gv = self._id_of(e.u), self._id_of(e.v)
+        values = {
+            "uid": self.uid_scheme.uid(gu, gv),
+            "id_u": gu,
+            "id_v": gv,
+            "tin_u": anc_u[0],
+            "tout_u": anc_u[1],
+            "tin_v": anc_v[0],
+            "tout_v": anc_v[1],
+        }
+        if self.routing:
+            values["port_u"] = self._port_fn(e.u, e.v)
+            values["port_v"] = self._port_fn(e.v, e.u)
+            assert self._tlabel_of is not None
+            values["tl_u"] = self._tlabel_of(e.u)
+            values["tl_v"] = self._tlabel_of(e.v)
+        return self.codec.pack(values)
+
+    def try_decode(self, candidate: int) -> Optional[DecodedEid]:
+        """Lemma 3.10: decide whether ``candidate`` is a single-edge EID.
+
+        Returns the decoded fields when the UID validates against the
+        decoded endpoint ids (w.h.p. exactly the single-edge case), else
+        ``None``.
+        """
+        if candidate == 0:
+            return None
+        fields = self.codec.unpack(candidate)
+        u, v = fields["id_u"], fields["id_v"]
+        if u >= self.id_space or v >= self.id_space or u == v:
+            return None
+        if not self.uid_scheme.matches(fields["uid"], u, v):
+            return None
+        return DecodedEid(
+            u=u,
+            v=v,
+            anc_u=(fields["tin_u"], fields["tout_u"]),
+            anc_v=(fields["tin_v"], fields["tout_v"]),
+            port_u=fields.get("port_u"),
+            port_v=fields.get("port_v"),
+            tlabel_u=fields.get("tl_u"),
+            tlabel_v=fields.get("tl_v"),
+            raw=candidate,
+        )
+
+    @property
+    def total_bits(self) -> int:
+        return self.codec.total_bits

@@ -1,0 +1,58 @@
+"""Pairwise-independent hash families (Definition A.1, Fact A.2).
+
+The family is the classic ``h(x) = ((a x + b) mod p) mod 2^J`` with
+``p = 2^31 - 1`` (a Mersenne prime) and per-function coefficients derived
+from the seed ``S_h`` by the package PRF.  Keys are edge keys
+``u * n + v < n^2 < p``, so the multiplication fits comfortably in 64-bit
+arithmetic and the whole family can be evaluated with vectorized numpy,
+which is what makes label construction tractable at n ~ 10^3 (the "slow
+label construction" caveat of the reproduction notes).
+
+Each function is determined by 2 * 31 seed bits; a family of L functions
+is the paper's ``S_h`` seed of O(L log n) bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import prf_int
+
+MERSENNE_P = (1 << 31) - 1
+
+
+class PairwiseHashFamily:
+    """``count`` pairwise-independent functions onto ``[0, 2^out_bits)``."""
+
+    def __init__(self, count: int, out_bits: int, seed: int):
+        if count < 1:
+            raise ValueError("need at least one hash function")
+        if not (1 <= out_bits <= 31):
+            raise ValueError("out_bits must be in 1..31")
+        self.count = count
+        self.out_bits = out_bits
+        self.seed = seed
+        self._a = np.array(
+            [prf_int(seed, "hash_a", i, bits=40) % (MERSENNE_P - 1) + 1 for i in range(count)],
+            dtype=np.uint64,
+        )
+        self._b = np.array(
+            [prf_int(seed, "hash_b", i, bits=40) % MERSENNE_P for i in range(count)],
+            dtype=np.uint64,
+        )
+        self._mask = np.uint64((1 << out_bits) - 1)
+
+    def value(self, i: int, x: int) -> int:
+        """h_i(x) for a single key."""
+        if not (0 <= x < MERSENNE_P):
+            raise ValueError("key out of range for the hash family")
+        return int(((int(self._a[i]) * x + int(self._b[i])) % MERSENNE_P) & int(self._mask))
+
+    def all_values(self, x: int) -> np.ndarray:
+        """Vector ``[h_0(x), ..., h_{count-1}(x)]`` (uint64)."""
+        xv = np.uint64(x)
+        return ((self._a * xv + self._b) % np.uint64(MERSENNE_P)) & self._mask
+
+    def seed_bits(self) -> int:
+        """Size of the seed S_h in bits: two coefficients per function."""
+        return self.count * 2 * 31

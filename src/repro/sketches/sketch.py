@@ -1,0 +1,197 @@
+"""Per-vertex XOR graph sketches (Section 3.2.1) over numpy uint64 words.
+
+A *basic sketch unit* ``Sketch_{G,i}(v)`` is the vector
+``[XOR(E_{i,0}(v)), ..., XOR(E_{i,log m}(v))]`` (Eq. 2) where
+``E_{i,j}`` samples each edge with probability ``2^-j`` through the
+pairwise-independent function ``h_i`` (edge ``e`` is in ``E_{i,j}`` iff
+``h_i(e) < 2^{J-j}``).  The full sketch concatenates L units.
+
+Sketches are linear: the sketch of a vertex set is the XOR of the
+vertices' sketches, and internal edges cancel, so the sketch of a set S
+exposes only edges of the cut (S, V \\ S) — the property behind
+outgoing-edge extraction (Lemma 3.13).
+
+Representation: a numpy array of shape ``(L, J+1, W)`` of uint64 words
+per sketch (W = ceil(eid_bits / 64)); per-vertex sketches stack to
+``(n, L, J+1, W)``.  All XOR aggregation is vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.spanning_tree import RootedTree
+from repro.sketches.edge_ids import DecodedEid, ExtendedEdgeIds
+from repro.sketches.hashing import PairwiseHashFamily
+
+
+@dataclass(frozen=True)
+class SketchDims:
+    """Sketch dimensions: L units, J+1 levels, W 64-bit words per cell."""
+
+    units: int
+    levels: int
+    words: int
+
+    def cell_count(self) -> int:
+        return self.units * self.levels
+
+    def bit_length(self) -> int:
+        """Size of one sketch in bits, counting eid-width cells."""
+        return self.units * self.levels * self.words * 64
+
+    def zeros(self) -> np.ndarray:
+        return np.zeros((self.units, self.levels, self.words), dtype=np.uint64)
+
+
+def eid_to_words(eid: int, words: int) -> np.ndarray:
+    """Split an EID int into big-endian uint64 words."""
+    out = np.zeros(words, dtype=np.uint64)
+    for k in range(words - 1, -1, -1):
+        out[k] = eid & 0xFFFFFFFFFFFFFFFF
+        eid >>= 64
+    return out
+
+
+def words_to_eid(arr: np.ndarray) -> int:
+    """Inverse of :func:`eid_to_words`."""
+    value = 0
+    for word in arr.tolist():
+        value = (value << 64) | int(word)
+    return value
+
+
+def edge_key(n: int, u: int, v: int) -> int:
+    """Canonical sampling key of the edge {u, v}."""
+    a, b = (u, v) if u < v else (v, u)
+    return a * n + b
+
+
+class VertexSketches:
+    """The stacked per-vertex sketches of one (graph, unit family) instance.
+
+    Sampling keys are derived from the *identifier-space* endpoint ids
+    (``id_of``/``key_space``): the decoder only knows an edge through
+    its extended identifier, so the sampling positions must be
+    recomputable from the embedded ids alone.  For a standalone instance
+    these are the graph's own vertex ids; for a tree-cover instance they
+    are the global ids the EIDs embed.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        dims: SketchDims,
+        family: PairwiseHashFamily,
+        id_of: Optional[Callable[[int], int]] = None,
+        key_space: Optional[int] = None,
+    ):
+        if family.count < dims.units:
+            raise ValueError("hash family smaller than the number of units")
+        self.graph = graph
+        self.dims = dims
+        self.family = family
+        self._id_of = id_of if id_of is not None else (lambda v: v)
+        self.key_space = key_space if key_space is not None else graph.n
+        self._level_idx = np.arange(dims.levels)
+
+    # ------------------------------------------------------------------
+    # Sampling structure (arguments are identifier-space ids)
+    # ------------------------------------------------------------------
+    def max_levels(self, u: int, v: int) -> np.ndarray:
+        """Per-unit deepest level containing edge {u,v}: e in E_{i,j} iff
+        j <= J - bitlen(h_i(e)).  ``u``/``v`` are identifier-space ids."""
+        h = self.family.all_values(edge_key(self.key_space, u, v))[: self.dims.units]
+        h = h.astype(np.float64)
+        bitlen = np.where(h == 0, 0, np.floor(np.log2(np.maximum(h, 1))) + 1).astype(int)
+        return (self.dims.levels - 1) - bitlen
+
+    def membership_mask(self, u: int, v: int) -> np.ndarray:
+        """Boolean (L, J+1) mask of the cells the edge is sampled into.
+        ``u``/``v`` are identifier-space ids."""
+        ml = self.max_levels(u, v)
+        return self._level_idx[None, :] <= ml[:, None]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        eid_of: Callable[[int], int],
+        edge_indices: Optional[Iterable[int]] = None,
+    ) -> np.ndarray:
+        """Per-vertex sketch array of shape (n, L, J+1, W).
+
+        ``eid_of`` maps an edge index to its packed EID; ``edge_indices``
+        restricts which edges participate (default: all).
+        """
+        n = self.graph.n
+        arr = np.zeros((n, self.dims.units, self.dims.levels, self.dims.words), dtype=np.uint64)
+        indices = (
+            range(self.graph.m) if edge_indices is None else edge_indices
+        )
+        for ei in indices:
+            e = self.graph.edge(ei)
+            mask = self.membership_mask(self._id_of(e.u), self._id_of(e.v))
+            ew = eid_to_words(eid_of(ei), self.dims.words)
+            contrib = np.where(mask[:, :, None], ew[None, None, :], np.uint64(0))
+            arr[e.u] ^= contrib
+            arr[e.v] ^= contrib
+        return arr
+
+    @staticmethod
+    def aggregate_subtrees(tree: RootedTree, vertex_sketches: np.ndarray) -> np.ndarray:
+        """Row v of the result is the XOR of vertex sketches over subtree(v).
+
+        One post-order pass (children XOR into parents), matching the
+        labeling algorithm's Õ(n) subtree computation (Claim 3.12).
+        """
+        agg = vertex_sketches.copy()
+        for v in tree.post_order():
+            p = tree.parent[v]
+            if p >= 0:
+                agg[p] ^= agg[v]
+        return agg
+
+    @staticmethod
+    def xor_rows(arr: np.ndarray, vertices: Sequence[int]) -> np.ndarray:
+        """Sketch of a vertex set: XOR of the selected rows."""
+        if len(vertices) == 0:
+            return np.zeros(arr.shape[1:], dtype=np.uint64)
+        return np.bitwise_xor.reduce(arr[list(vertices)], axis=0)
+
+    # ------------------------------------------------------------------
+    # Cancellation and extraction
+    # ------------------------------------------------------------------
+    def cancel_edge(self, sketch: np.ndarray, u: int, v: int, eid: int) -> None:
+        """Remove edge {u,v} from a set sketch in place (Step 3 of the
+        decoder: subtracting faulty-edge information).  ``u``/``v`` are
+        identifier-space ids as decoded from the EID."""
+        mask = self.membership_mask(u, v)
+        ew = eid_to_words(eid, self.dims.words)
+        sketch ^= np.where(mask[:, :, None], ew[None, None, :], np.uint64(0))
+
+    @staticmethod
+    def extract_outgoing(
+        sketch: np.ndarray, unit: int, eids: ExtendedEdgeIds
+    ) -> Optional[DecodedEid]:
+        """Lemma 3.13: recover one outgoing edge from basic unit ``unit``.
+
+        Scans the unit's levels for a cell whose XOR validates as a
+        single-edge EID (Lemma 3.10).  Returns None when no level
+        isolates a single edge (constant probability per unit, hence the
+        L independent repetitions).
+        """
+        levels = sketch.shape[1]
+        for j in range(levels):
+            candidate = words_to_eid(sketch[unit, j])
+            if candidate == 0:
+                continue
+            decoded = eids.try_decode(candidate)
+            if decoded is not None:
+                return decoded
+        return None

@@ -1,0 +1,16 @@
+"""Tree substrates: union-find, heavy-light decomposition, Thorup-Zwick
+tree routing (Fact 5.1 / Claim 5.6), and tree covers (Definition 4.1)."""
+
+from repro.trees.union_find import UnionFind
+from repro.trees.heavy_light import HeavyLightDecomposition
+from repro.trees.tree_routing import TreeRoutingScheme
+from repro.trees.tree_cover import CoverTree, TreeCover, sparse_cover
+
+__all__ = [
+    "UnionFind",
+    "HeavyLightDecomposition",
+    "TreeRoutingScheme",
+    "CoverTree",
+    "TreeCover",
+    "sparse_cover",
+]

@@ -1,0 +1,62 @@
+"""Heavy-light decomposition of rooted trees.
+
+Used by the tree-routing scheme of Fact 5.1 ([TZ01]): every root-to-leaf
+path contains at most ``log2 n`` light edges, so a routing label that
+lists only the light edges of the root-to-target path is
+O(log^2 n) bits.
+"""
+
+from __future__ import annotations
+
+from repro.graph.spanning_tree import RootedTree
+
+
+class HeavyLightDecomposition:
+    """Subtree sizes, heavy children and light-depths of a rooted tree."""
+
+    def __init__(self, tree: RootedTree):
+        self.tree = tree
+        n = tree.graph.n
+        self.size = [0] * n
+        for v in tree.post_order():
+            self.size[v] = 1 + sum(self.size[c] for c in tree.children[v])
+        #: heavy child of each vertex (-1 for leaves): the child with the
+        #: largest subtree, ties broken towards the smaller vertex id.
+        self.heavy_child = [-1] * n
+        for v in tree.vertices:
+            best = -1
+            best_size = 0
+            for c in tree.children[v]:
+                if self.size[c] > best_size:
+                    best, best_size = c, self.size[c]
+            self.heavy_child[v] = best
+        #: number of light edges on the root-to-v path.
+        self.light_depth = [0] * n
+        for v in tree.vertices:
+            p = tree.parent[v]
+            if p < 0:
+                self.light_depth[v] = 0
+            else:
+                extra = 0 if self.heavy_child[p] == v else 1
+                self.light_depth[v] = self.light_depth[p] + extra
+
+    def is_heavy_edge_to(self, child: int) -> bool:
+        """True iff the edge (parent(child), child) is heavy."""
+        p = self.tree.parent[child]
+        return p >= 0 and self.heavy_child[p] == child
+
+    def light_edges_to(self, v: int) -> list[tuple[int, int]]:
+        """The light edges (parent, child) on the root-to-v path, top-down."""
+        out = []
+        x = v
+        while self.tree.parent[x] >= 0:
+            p = self.tree.parent[x]
+            if self.heavy_child[p] != x:
+                out.append((p, x))
+            x = p
+        out.reverse()
+        return out
+
+    def max_light_depth(self) -> int:
+        vs = self.tree.vertices
+        return max((self.light_depth[v] for v in vs), default=0)

@@ -1,0 +1,305 @@
+"""Tree routing (Fact 5.1 [TZ01]) and its Γ-augmented variant (Claim 5.6).
+
+The scheme is the heavy-light variant of Thorup-Zwick tree routing:
+
+* the *label* of ``t`` stores its DFS interval plus, for every light
+  edge on the root-to-t path, the parent endpoint's id and the port of
+  the edge at the parent;
+* the *table* of ``u`` stores its DFS interval, the parent port, and
+  the heavy child's id/port/interval.
+
+Routing at ``u`` towards label ``L(t)``: if ``t`` is outside ``u``'s
+subtree go to the parent; if it is inside the heavy child's subtree use
+the heavy port; otherwise the first edge of the path is a light edge
+``(u, c)`` which appears in ``L(t)`` — use its recorded port.
+
+The Γ-augmented variant (Claim 5.6) additionally records, for each such
+edge ``e``, the ports of the vertices in the block ``Γ_T(e)`` — the
+``f+1`` (up to ``2f+1``) children of ``u`` that replicate the routing
+label of ``e`` in the load-balanced tables of Theorem 5.8.
+
+Because the trees of the tree cover live on *local* vertex sets while
+messages travel the *global* network, the scheme accepts ``id_of`` /
+``port_fn`` hooks translating local tree vertices to global ids and
+global ports; DFS intervals stay local to the tree (they are only ever
+compared with each other).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.graph.ancestry import AncestryLabeling
+from repro.graph.spanning_tree import RootedTree
+from repro.sizing.bits import bits_for_count, bits_for_id
+from repro.trees.heavy_light import HeavyLightDecomposition
+
+
+@dataclass(frozen=True)
+class TreeRouteEntry:
+    """One light edge (parent -> child) on the root-to-target path."""
+
+    parent_id: int
+    port: int
+    gamma_ports: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class TreeLabel:
+    """Tree-routing label of a vertex: O(f log^2 n) bits in Γ mode."""
+
+    vid: int
+    tin: int
+    tout: int
+    entries: tuple[TreeRouteEntry, ...]
+
+
+@dataclass(frozen=True)
+class TreeTable:
+    """Tree-routing table of a vertex: O(f log n) bits."""
+
+    vid: int
+    tin: int
+    tout: int
+    parent_port: int  # -1 at the root
+    heavy_id: int  # -1 at leaves
+    heavy_port: int
+    heavy_tin: int
+    heavy_tout: int
+    heavy_gamma_ports: tuple[int, ...] = ()
+
+
+class TreeRoutingScheme:
+    """Labels + tables + next-hop computation for one rooted tree."""
+
+    def __init__(
+        self,
+        tree: RootedTree,
+        gamma_f: Optional[int] = None,
+        id_of: Optional[Callable[[int], int]] = None,
+        port_fn: Optional[Callable[[int, int], int]] = None,
+        id_space: Optional[int] = None,
+    ):
+        self.tree = tree
+        self.gamma_f = gamma_f
+        graph = tree.graph
+        self._id_of = id_of if id_of is not None else (lambda v: v)
+        self._port_fn = port_fn if port_fn is not None else graph.port_of
+        self.id_space = id_space if id_space is not None else graph.n
+        self._anc = AncestryLabeling(tree)
+        self._hld = HeavyLightDecomposition(tree)
+        # Γ blocks: for each tree child c of u, the list of children of u
+        # replicating the label of the edge (u, c) (Claim 5.6).
+        self._gamma: dict[int, tuple[int, ...]] = {}
+        if gamma_f is not None:
+            for u in tree.vertices:
+                kids = tree.children[u]
+                if len(kids) <= gamma_f + 1:
+                    for c in kids:
+                        self._gamma[c] = tuple(kids)
+                    continue
+                block_size = gamma_f + 1
+                num_full = len(kids) // block_size
+                for b in range(num_full):
+                    start = b * block_size
+                    end = start + block_size
+                    if b == num_full - 1:
+                        end = len(kids)  # last block absorbs the remainder
+                    block = tuple(kids[start:end])
+                    for c in block:
+                        self._gamma[c] = block
+
+    # ------------------------------------------------------------------
+    # Γ queries (Claim 5.6 / Section 5.2)
+    # ------------------------------------------------------------------
+    def gamma_members(self, child: int) -> tuple[int, ...]:
+        """Local tree vertices storing the label of the edge
+        (parent(child), child).
+
+        In Γ mode with deg(parent) <= f+1 this is all children (plus the
+        parent itself, which stores its child labels directly — see
+        ``stores_child_labels``); otherwise it is the child's block.
+        """
+        if self.gamma_f is None:
+            return (child,)
+        return self._gamma.get(child, (child,))
+
+    def stores_child_labels(self, u: int) -> bool:
+        """True iff ``u`` itself stores the labels of its child edges
+        (the small-degree case of Claim 5.6)."""
+        if self.gamma_f is None:
+            return True
+        return len(self.tree.children[u]) <= self.gamma_f + 1
+
+    def _gamma_ports(self, u: int, child: int) -> tuple[int, ...]:
+        """Ports at ``u`` towards the Γ members of edge (u, child)."""
+        if self.gamma_f is None:
+            return ()
+        return tuple(self._port_fn(u, w) for w in self.gamma_members(child))
+
+    # ------------------------------------------------------------------
+    # Labels and tables
+    # ------------------------------------------------------------------
+    def label(self, v: int) -> TreeLabel:
+        tin, tout = self._anc.label(v)
+        entries = []
+        for parent, child in self._hld.light_edges_to(v):
+            entries.append(
+                TreeRouteEntry(
+                    parent_id=self._id_of(parent),
+                    port=self._port_fn(parent, child),
+                    gamma_ports=self._gamma_ports(parent, child),
+                )
+            )
+        return TreeLabel(vid=self._id_of(v), tin=tin, tout=tout, entries=tuple(entries))
+
+    def table(self, v: int) -> TreeTable:
+        tin, tout = self._anc.label(v)
+        parent = self.tree.parent[v]
+        parent_port = self._port_fn(v, parent) if parent >= 0 else -1
+        heavy = self._hld.heavy_child[v]
+        if heavy >= 0:
+            h_tin, h_tout = self._anc.label(heavy)
+            heavy_port = self._port_fn(v, heavy)
+            heavy_gamma = self._gamma_ports(v, heavy)
+            heavy_id = self._id_of(heavy)
+        else:
+            h_tin = h_tout = 0
+            heavy_port = -1
+            heavy_gamma = ()
+            heavy_id = -1
+        return TreeTable(
+            vid=self._id_of(v),
+            tin=tin,
+            tout=tout,
+            parent_port=parent_port,
+            heavy_id=heavy_id,
+            heavy_port=heavy_port,
+            heavy_tin=h_tin,
+            heavy_tout=h_tout,
+            heavy_gamma_ports=heavy_gamma,
+        )
+
+    # ------------------------------------------------------------------
+    # Next-hop computation (constant time, Fact 5.1)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def next_hop(table: TreeTable, target: TreeLabel) -> Optional[tuple[int, tuple[int, ...]]]:
+        """Port (plus Γ ports of the chosen edge) from ``table``'s vertex
+        towards ``target``; ``None`` when the message has arrived."""
+        if table.vid == target.vid:
+            return None
+        inside = table.tin <= target.tin and target.tout <= table.tout
+        if not inside:
+            if table.parent_port < 0:
+                raise ValueError("target outside the tree")
+            return table.parent_port, ()
+        if (
+            table.heavy_id >= 0
+            and table.heavy_tin <= target.tin
+            and target.tout <= table.heavy_tout
+        ):
+            return table.heavy_port, table.heavy_gamma_ports
+        for entry in target.entries:
+            if entry.parent_id == table.vid:
+                return entry.port, entry.gamma_ports
+        raise ValueError("inconsistent tree label: no light entry at this vertex")
+
+    # ------------------------------------------------------------------
+    # Fixed-width integer encoding (for embedding labels into EIDs)
+    # ------------------------------------------------------------------
+    def _entry_widths(self) -> tuple[int, int, int, int]:
+        id_bits = bits_for_id(max(self.id_space, 2))
+        port_bits = id_bits
+        gamma_max = 0 if self.gamma_f is None else 2 * self.gamma_f + 1
+        gcount_bits = bits_for_count(max(gamma_max, 1))
+        return id_bits, port_bits, gamma_max, gcount_bits
+
+    def max_entries(self) -> int:
+        return self._hld.max_light_depth()
+
+    def encoded_label_bits(self) -> int:
+        """Fixed encoded width of any label of this tree."""
+        id_bits, port_bits, gamma_max, gcount_bits = self._entry_widths()
+        time_bits = bits_for_count(2 * self.tree.graph.n + 1)
+        entry_bits = id_bits + port_bits + gcount_bits + gamma_max * port_bits
+        count_bits = bits_for_count(max(self.max_entries(), 1))
+        return id_bits + 2 * time_bits + count_bits + self.max_entries() * entry_bits
+
+    def encode_label(self, label: TreeLabel) -> int:
+        """Pack a label into ``encoded_label_bits()`` bits."""
+        id_bits, port_bits, gamma_max, gcount_bits = self._entry_widths()
+        time_bits = bits_for_count(2 * self.tree.graph.n + 1)
+        count_bits = bits_for_count(max(self.max_entries(), 1))
+        out = label.vid
+        out = (out << time_bits) | label.tin
+        out = (out << time_bits) | label.tout
+        out = (out << count_bits) | len(label.entries)
+        for slot in range(self.max_entries()):
+            if slot < len(label.entries):
+                entry = label.entries[slot]
+                out = (out << id_bits) | entry.parent_id
+                out = (out << port_bits) | entry.port
+                out = (out << gcount_bits) | len(entry.gamma_ports)
+                for g in range(gamma_max):
+                    port = entry.gamma_ports[g] if g < len(entry.gamma_ports) else 0
+                    out = (out << port_bits) | port
+            else:
+                out <<= id_bits + port_bits + gcount_bits + gamma_max * port_bits
+        return out
+
+    def decode_label(self, encoded: int) -> TreeLabel:
+        """Inverse of :meth:`encode_label`."""
+        id_bits, port_bits, gamma_max, gcount_bits = self._entry_widths()
+        time_bits = bits_for_count(2 * self.tree.graph.n + 1)
+        count_bits = bits_for_count(max(self.max_entries(), 1))
+        entry_bits = id_bits + port_bits + gcount_bits + gamma_max * port_bits
+        total = id_bits + 2 * time_bits + count_bits + self.max_entries() * entry_bits
+
+        def take(width: int) -> int:
+            nonlocal total
+            total -= width
+            return (encoded >> total) & ((1 << width) - 1)
+
+        vid = take(id_bits)
+        tin = take(time_bits)
+        tout = take(time_bits)
+        count = take(count_bits)
+        entries = []
+        for slot in range(self.max_entries()):
+            parent_id = take(id_bits)
+            port = take(port_bits)
+            gcount = take(gcount_bits)
+            gports = tuple(take(port_bits) for _ in range(gamma_max))[:gcount]
+            if slot < count:
+                entries.append(
+                    TreeRouteEntry(parent_id=parent_id, port=port, gamma_ports=gports)
+                )
+        return TreeLabel(vid=vid, tin=tin, tout=tout, entries=tuple(entries))
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+    def label_bits(self, v: int) -> int:
+        """Actual (non-padded) label size of ``v`` in bits."""
+        id_bits, port_bits, gamma_max, gcount_bits = self._entry_widths()
+        time_bits = bits_for_count(2 * self.tree.graph.n + 1)
+        lab = self.label(v)
+        bits = id_bits + 2 * time_bits
+        for entry in lab.entries:
+            bits += id_bits + port_bits + len(entry.gamma_ports) * port_bits
+        return bits
+
+    def table_bits(self, v: int) -> int:
+        id_bits, port_bits, _, _ = self._entry_widths()
+        time_bits = bits_for_count(2 * self.tree.graph.n + 1)
+        tab = self.table(v)
+        return (
+            id_bits
+            + 2 * time_bits
+            + 2 * port_bits
+            + id_bits
+            + 2 * time_bits
+            + len(tab.heavy_gamma_ports) * port_bits
+        )

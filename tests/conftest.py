@@ -1,0 +1,75 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.graph import generators
+from repro.graph.graph import Graph
+
+
+# ----------------------------------------------------------------------
+# Deterministic example graphs
+# ----------------------------------------------------------------------
+@pytest.fixture
+def small_connected() -> Graph:
+    return generators.random_connected_graph(24, extra_edges=30, seed=100)
+
+
+@pytest.fixture
+def medium_connected() -> Graph:
+    return generators.random_connected_graph(64, extra_edges=90, seed=101)
+
+
+@pytest.fixture
+def grid_6x6() -> Graph:
+    return generators.grid_graph(6, 6)
+
+
+@pytest.fixture
+def weighted_graph() -> Graph:
+    base = generators.random_connected_graph(32, extra_edges=40, seed=102)
+    return generators.with_random_weights(base, 1, 6, seed=103)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies
+# ----------------------------------------------------------------------
+@st.composite
+def connected_graphs(draw, min_n: int = 2, max_n: int = 24, max_extra: int = 30):
+    """A random connected graph with a deterministic generator seed."""
+    n = draw(st.integers(min_n, max_n))
+    extra = draw(st.integers(0, max_extra))
+    seed = draw(st.integers(0, 10_000))
+    return generators.random_connected_graph(n, extra_edges=extra, seed=seed)
+
+
+@st.composite
+def graphs_with_queries(draw, max_faults: int = 4, **graph_kwargs):
+    """(graph, s, t, fault edge indices) with the faults distinct."""
+    g = draw(connected_graphs(**graph_kwargs))
+    s = draw(st.integers(0, g.n - 1))
+    t = draw(st.integers(0, g.n - 1))
+    num_faults = draw(st.integers(0, min(max_faults, g.m)))
+    faults = draw(
+        st.lists(
+            st.integers(0, g.m - 1),
+            min_size=num_faults,
+            max_size=num_faults,
+            unique=True,
+        )
+    )
+    return g, s, t, faults
+
+
+def random_fault_sets(graph: Graph, count: int, max_size: int, seed: int):
+    """Deterministic list of random fault sets for loop-style tests."""
+    rnd = random.Random(seed)
+    out = []
+    for _ in range(count):
+        size = rnd.randint(0, min(max_size, graph.m))
+        out.append(rnd.sample(range(graph.m), size))
+    return out

@@ -1,0 +1,94 @@
+"""Unit + property tests for ancestry labels (Lemma 3.1)."""
+
+from hypothesis import given, settings
+
+from repro.graph import generators
+from repro.graph.ancestry import (
+    AncestryLabeling,
+    edge_on_root_path,
+    is_ancestor,
+    strict_ancestor,
+)
+from repro.graph.spanning_tree import RootedTree
+from tests.conftest import connected_graphs
+
+
+def _true_ancestors(tree, v):
+    out = set()
+    x = v
+    while x != -1:
+        out.add(x)
+        x = tree.parent[x]
+    return out
+
+
+class TestAncestorQueries:
+    @settings(max_examples=25, deadline=None)
+    @given(connected_graphs(max_n=20))
+    def test_matches_brute_force(self, g):
+        tree = RootedTree.bfs(g, root=0)
+        anc = AncestryLabeling(tree)
+        for u in range(g.n):
+            ancestors_u = _true_ancestors(tree, u)
+            for w in range(g.n):
+                expected = w in ancestors_u
+                assert is_ancestor(anc.label(w), anc.label(u)) == expected
+
+    def test_self_is_ancestor(self, small_connected):
+        anc = AncestryLabeling(RootedTree.bfs(small_connected, root=0))
+        for v in range(small_connected.n):
+            assert is_ancestor(anc.label(v), anc.label(v))
+            assert not strict_ancestor(anc.label(v), anc.label(v))
+
+    def test_root_is_ancestor_of_all(self, small_connected):
+        tree = RootedTree.bfs(small_connected, root=0)
+        anc = AncestryLabeling(tree)
+        for v in range(small_connected.n):
+            assert is_ancestor(anc.label(0), anc.label(v))
+
+    def test_intervals_are_unique_times(self, medium_connected):
+        tree = RootedTree.bfs(medium_connected, root=0)
+        anc = AncestryLabeling(tree)
+        times = []
+        for v in range(medium_connected.n):
+            tin, tout = anc.label(v)
+            assert tin < tout
+            times.extend([tin, tout])
+        assert len(set(times)) == len(times)
+        assert anc.max_time == 2 * medium_connected.n
+
+    def test_bit_length_is_logarithmic(self):
+        assert AncestryLabeling.bit_length(1024) == 2 * 11
+
+
+class TestEdgeOnRootPath:
+    @settings(max_examples=20, deadline=None)
+    @given(connected_graphs(max_n=16))
+    def test_matches_path_membership(self, g):
+        tree = RootedTree.bfs(g, root=0)
+        anc = AncestryLabeling(tree)
+        for x in range(g.n):
+            root_path = tree.path_to_root(x)
+            path_edges = set()
+            for a, b in zip(root_path, root_path[1:]):
+                path_edges.add(frozenset((a, b)))
+            for v in tree.vertices:
+                if v == tree.root:
+                    continue
+                u = tree.parent[v]
+                expected = frozenset((u, v)) in path_edges
+                got = edge_on_root_path(anc.label(u), anc.label(v), anc.label(x))
+                assert got == expected
+
+
+class TestErrors:
+    def test_unspanned_vertex_raises(self):
+        g = generators.cycle_graph(6)
+        tree = RootedTree.bfs(g, root=0, forbidden=[1, 4])
+        anc = AncestryLabeling(tree)
+        outside = [v for v in range(6) if not tree.spans(v)]
+        assert outside
+        import pytest
+
+        with pytest.raises(ValueError):
+            anc.label(outside[0])

@@ -1,0 +1,110 @@
+"""Tests for the baselines and the Ω(f) lower-bound construction."""
+
+import math
+import random
+
+import pytest
+
+from repro.graph import generators
+from repro.oracles import DistanceOracle
+from repro.routing.baselines import InteriorRoutingBaseline, TreeCoverRoutingBaseline
+from repro.routing.fault_tolerant import FaultTolerantRouter
+from repro.routing.lower_bound import (
+    adversarial_fault_sets,
+    measure_router_on_lower_bound,
+    sequential_strategy_expected_stretch,
+    simulate_sequential_strategy,
+)
+from tests.conftest import random_fault_sets
+
+
+class TestInteriorBaseline:
+    def test_delivers_whenever_connected(self):
+        g = generators.random_connected_graph(24, extra_edges=30, seed=2)
+        baseline = InteriorRoutingBaseline(g)
+        oracle = DistanceOracle(g)
+        rnd = random.Random(4)
+        for faults in random_fault_sets(g, 40, 4, seed=5):
+            s, t = rnd.sample(range(g.n), 2)
+            res = baseline.route(s, t, faults)
+            expected = not math.isinf(oracle.distance(s, t, faults))
+            assert res.delivered == expected
+
+    def test_optimal_without_faults(self):
+        g = generators.with_random_weights(generators.grid_graph(4, 4), 1, 5, seed=3)
+        baseline = InteriorRoutingBaseline(g)
+        oracle = DistanceOracle(g)
+        for s, t in [(0, 15), (3, 12)]:
+            res = baseline.route(s, t, [])
+            assert res.length == pytest.approx(oracle.distance(s, t))
+
+    def test_tables_are_linear_size(self):
+        g = generators.random_connected_graph(30, extra_edges=40, seed=6)
+        baseline = InteriorRoutingBaseline(g)
+        assert baseline.max_table_bits() >= g.m * 10
+
+
+class TestTreeCoverBaseline:
+    def test_delivers_without_faults_with_bounded_stretch(self):
+        g = generators.grid_graph(5, 5)
+        baseline = TreeCoverRoutingBaseline(g, k=2, seed=7)
+        oracle = DistanceOracle(g)
+        rnd = random.Random(8)
+        for _ in range(20):
+            s, t = rnd.sample(range(g.n), 2)
+            res = baseline.route(s, t)
+            assert res.delivered
+            assert res.length <= baseline.stretch_bound() * oracle.distance(s, t) + 1e-9
+
+    def test_fails_or_detours_under_faults(self):
+        """The fault-free scheme has no recovery: a fault on its route
+        kills delivery (this is the Table 1 calibration point)."""
+        g = generators.grid_graph(4, 4)
+        baseline = TreeCoverRoutingBaseline(g, k=2, seed=9)
+        failures = 0
+        for ei in range(g.m):
+            res = baseline.route(0, 15, [ei])
+            if not res.delivered:
+                failures += 1
+        assert failures > 0
+
+
+class TestLowerBound:
+    def test_adversarial_patterns(self):
+        patterns = adversarial_fault_sets(3, 5)
+        assert len(patterns) == 4
+        g, s, t, faults = patterns[0]
+        assert len(faults) == 3
+        oracle = DistanceOracle(g)
+        # Exactly one surviving path of length 5.
+        assert oracle.distance(s, t, faults) == 5
+
+    def test_analytic_expected_stretch(self):
+        assert sequential_strategy_expected_stretch(0) == 1.0
+        assert sequential_strategy_expected_stretch(4) == 5.0
+
+    def test_simulation_matches_analytic(self):
+        for f in (1, 2, 4):
+            sim = simulate_sequential_strategy(f, path_length=30, trials=3000, seed=3)
+            exact = sequential_strategy_expected_stretch(f)
+            # 2(L-1)/L instead of 2L per failed trial: tolerance ~10%.
+            assert abs(sim - exact) / exact < 0.15
+
+    def test_stretch_grows_linearly_in_f(self):
+        values = [
+            simulate_sequential_strategy(f, path_length=40, trials=2000, seed=4)
+            for f in (1, 3, 7)
+        ]
+        assert values[0] < values[1] < values[2]
+        assert values[2] > 6.0
+
+    def test_our_router_pays_omega_f_but_delivers(self):
+        """Theorem 1.6 applies to every scheme — ours included."""
+        f, length = 2, 6
+        router = None
+        patterns = adversarial_fault_sets(f, length)
+        g = patterns[0][0]
+        router = FaultTolerantRouter(g, f=f, k=2, seed=11)
+        avg = measure_router_on_lower_bound(router.route, f, length)
+        assert avg >= 1.0  # delivered on all patterns (finite)
+        assert avg <= router.stretch_bound(f)

@@ -1,0 +1,103 @@
+"""Tests for the benchmark harness helpers (benchmarks/common.py) and
+the standalone bench runners' row-producing functions."""
+
+import math
+
+import pytest
+
+from benchmarks.common import (
+    geometric_mean,
+    print_table,
+    sample_queries,
+    workload_graph,
+)
+from repro.graph.components import is_connected
+from repro.oracles import ConnectivityOracle
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("family", ["random", "grid", "weighted", "ring_of_cliques"])
+    def test_families_build_connected_graphs(self, family):
+        g = workload_graph(family, 36, seed=2)
+        assert g.n >= 16
+        assert is_connected(g)
+
+    def test_weighted_family_has_weights(self):
+        g = workload_graph("weighted", 24, seed=3)
+        assert g.max_weight() > 1.0
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            workload_graph("mystery", 10)
+
+
+class TestSampleQueries:
+    def test_deterministic(self):
+        g = workload_graph("random", 24, seed=4)
+        a = sample_queries(g, 10, 3, seed=5)
+        b = sample_queries(g, 10, 3, seed=5)
+        assert a == b
+
+    def test_connected_only_filter(self):
+        g = workload_graph("random", 24, seed=6)
+        oracle = ConnectivityOracle(g)
+        for s, t, faults in sample_queries(g, 15, 4, seed=7, connected_only=True):
+            assert oracle.connected(s, t, faults)
+
+    def test_fault_sets_are_valid(self):
+        g = workload_graph("random", 24, seed=8)
+        for s, t, faults in sample_queries(g, 15, 4, seed=9):
+            assert 0 <= s < g.n and 0 <= t < g.n and s != t
+            assert len(set(faults)) == len(faults)
+            assert all(0 <= ei < g.m for ei in faults)
+
+
+class TestStatistics:
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([5.0]) == pytest.approx(5.0)
+
+    def test_geometric_mean_ignores_inf_and_nonpositive(self):
+        assert geometric_mean([2.0, 8.0, math.inf, 0.0]) == pytest.approx(4.0)
+
+    def test_geometric_mean_empty_is_nan(self):
+        assert math.isnan(geometric_mean([]))
+
+
+class TestPrintTable:
+    def test_renders_aligned_rows(self, capsys):
+        print_table("demo", ["a", "bb"], [(1, 2.5), ("xyz", math.inf)])
+        out = capsys.readouterr().out
+        assert "=== demo ===" in out
+        assert "2.50" in out
+        assert "inf" in out
+        assert "xyz" in out
+
+
+class TestBenchRowProducers:
+    """The row-producing functions each bench's main() uses."""
+
+    def test_label_sizes_rows(self):
+        from benchmarks.bench_label_sizes import label_bits_vs_f, label_bits_vs_n
+
+        rows = label_bits_vs_f(n=48, f_values=(1, 4))
+        assert len(rows) == 2 and rows[0][1] < rows[1][1]
+        rows = label_bits_vs_n(f=2, n_values=(16, 32))
+        assert rows[0][2] < rows[1][2]  # CS edge bits grow with n
+
+    def test_lower_bound_rows(self):
+        from benchmarks.bench_lower_bound import lower_bound_rows
+
+        rows = lower_bound_rows(f_values=(1,), path_length=4, trials=200)
+        f, analytic, simulated, ours = rows[0]
+        assert analytic == 2.0
+        assert 1.0 <= simulated <= 3.0
+        assert ours < math.inf
+
+    def test_tree_cover_quality(self):
+        from benchmarks.bench_tree_cover import cover_quality
+
+        g = workload_graph("grid", 25, seed=1)
+        q = cover_quality(g, 2.0, 2)
+        assert q["covered"]
+        assert q["clusters"] >= 1

@@ -1,0 +1,135 @@
+"""Tests for bit accounting helpers and the high-level API facades."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import FaultTolerantConnectivity, FaultTolerantDistance
+from repro.graph import generators
+from repro.oracles import ConnectivityOracle, DistanceOracle
+from repro.sizing.bits import (
+    BitReader,
+    BitWriter,
+    bits_for_count,
+    bits_for_id,
+    bits_for_weight_scales,
+)
+
+
+class TestBitHelpers:
+    def test_bits_for_count(self):
+        assert bits_for_count(0) == 1
+        assert bits_for_count(1) == 1
+        assert bits_for_count(2) == 2
+        assert bits_for_count(255) == 8
+        assert bits_for_count(256) == 9
+
+    def test_bits_for_id(self):
+        assert bits_for_id(2) == 1
+        assert bits_for_id(1024) == 10
+
+    def test_bits_for_weight_scales(self):
+        assert bits_for_weight_scales(16, 1.0) == 4
+        assert bits_for_weight_scales(16, 16.0) == 8
+
+
+class TestBitCodec:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 2**20), st.integers(1, 24)), max_size=10))
+    def test_writer_reader_roundtrip(self, fields):
+        writer = BitWriter()
+        expected = []
+        for value, width in fields:
+            value %= 1 << width
+            writer.write(value, width)
+            expected.append((value, width))
+        reader = BitReader(writer.to_bytes(), writer.bit_length)
+        for value, width in expected:
+            assert reader.read(width) == value
+        assert reader.remaining == 0
+
+    def test_write_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(4, 2)
+
+    def test_read_past_end_rejected(self):
+        writer = BitWriter().write(1, 1)
+        reader = BitReader(writer.to_bytes(), 1)
+        reader.read(1)
+        with pytest.raises(ValueError):
+            reader.read(1)
+
+    def test_from_int(self):
+        writer = BitWriter().write(5, 3).write(2, 2)
+        reader = BitReader.from_int(writer.to_int(), writer.bit_length)
+        assert reader.read(3) == 5
+        assert reader.read(2) == 2
+
+
+class TestConnectivityFacade:
+    def test_auto_picks_cycle_space_for_small_f(self):
+        g = generators.random_connected_graph(30, extra_edges=30, seed=1)
+        api = FaultTolerantConnectivity(g, f=2)
+        assert api.scheme_name == "cycle_space"
+
+    def test_auto_picks_sketch_for_large_f(self):
+        g = generators.random_connected_graph(30, extra_edges=30, seed=1)
+        api = FaultTolerantConnectivity(g, f=100)
+        assert api.scheme_name == "sketch"
+
+    def test_unknown_scheme_rejected(self):
+        g = generators.cycle_graph(5)
+        with pytest.raises(ValueError):
+            FaultTolerantConnectivity(g, f=1, scheme="quantum")
+
+    def test_both_schemes_answer_correctly(self):
+        import random
+
+        g = generators.random_connected_graph(26, extra_edges=32, seed=2)
+        oracle = ConnectivityOracle(g)
+        rnd = random.Random(7)
+        for scheme in ("cycle_space", "sketch"):
+            api = FaultTolerantConnectivity(g, f=3, scheme=scheme, seed=5)
+            for _ in range(25):
+                s, t = rnd.sample(range(g.n), 2)
+                faults = rnd.sample(range(g.m), rnd.randint(0, 3))
+                assert api.connected(s, t, faults) == oracle.connected(s, t, faults)
+
+    def test_cycle_space_enforces_fault_bound(self):
+        g = generators.random_connected_graph(20, extra_edges=25, seed=3)
+        api = FaultTolerantConnectivity(g, f=1, scheme="cycle_space")
+        with pytest.raises(ValueError):
+            api.connected(0, 1, [0, 1, 2])
+
+    def test_size_reports(self):
+        g = generators.random_connected_graph(20, extra_edges=25, seed=3)
+        api = FaultTolerantConnectivity(g, f=2, scheme="cycle_space")
+        assert api.max_edge_label_bits() > api.max_vertex_label_bits() > 0
+
+
+class TestDistanceFacade:
+    def test_estimates_within_bounds(self):
+        import random
+
+        g = generators.random_connected_graph(24, extra_edges=30, seed=4)
+        api = FaultTolerantDistance(g, f=2, k=2, seed=6)
+        oracle = DistanceOracle(g)
+        rnd = random.Random(8)
+        for _ in range(25):
+            s, t = rnd.sample(range(g.n), 2)
+            faults = rnd.sample(range(g.m), rnd.randint(0, 2))
+            est = api.estimate(s, t, faults)
+            true = oracle.distance(s, t, faults)
+            if math.isinf(true):
+                assert math.isinf(est)
+            else:
+                assert true - 1e-9 <= est <= api.stretch_bound(len(faults)) * true + 1e-9
+
+    def test_label_access(self):
+        g = generators.grid_graph(4, 4)
+        api = FaultTolerantDistance(g, f=1, k=2)
+        assert api.vertex_label(0).bit_length() > 0
+        assert api.edge_label(0).bit_length() > 0
+        assert api.max_vertex_label_bits() > 0

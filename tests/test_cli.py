@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_info_prints_sizes(self, capsys):
+        assert main(["info", "--n", "32", "--f", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "connectivity[cycle_space]" in out
+        assert "connectivity[sketch]" in out
+        assert "distance[k=2]" in out
+
+    def test_info_families(self, capsys):
+        for family in ("grid", "ring_of_cliques"):
+            assert main(["info", "--family", family, "--n", "25", "--f", "1"]) == 0
+
+    def test_unknown_family_exits(self):
+        with pytest.raises(SystemExit):
+            main(["info", "--family", "mystery"])
+
+
+class TestQuery:
+    def test_connected_query(self, capsys):
+        code = main(
+            ["query", "--n", "32", "--s", "0", "--t", "10", "--faults", "1,2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "connected(0, 10" in out
+
+    def test_empty_fault_list(self, capsys):
+        assert main(["query", "--n", "24", "--s", "0", "--t", "5"]) == 0
+        assert "distance estimate" in capsys.readouterr().out
+
+
+class TestRoute:
+    def test_route_delivers(self, capsys):
+        code = main(
+            ["route", "--n", "25", "--family", "grid",
+             "--s", "0", "--t", "24", "--faults", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "delivered" in out
+        assert "reversals" in out
+
+    def test_route_simple_tables(self, capsys):
+        code = main(
+            ["route", "--n", "16", "--family", "grid", "--s", "0", "--t", "15",
+             "--tables", "simple"]
+        )
+        assert code == 0
+
+    def test_route_undelivered_exit_code(self, capsys):
+        # Isolate vertex 0 of a 2x2-ish grid by failing its two edges.
+        code = main(
+            ["route", "--n", "16", "--family", "grid", "--s", "0", "--t", "15",
+             "--faults", "0,1", "--f", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "UNDELIVERED" in out
+
+
+class TestLowerBound:
+    def test_series(self, capsys):
+        assert main(["lower-bound", "--f", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "analytic" in out
+        assert out.count("\n") >= 3

@@ -1,0 +1,127 @@
+"""Tests for component-tree identification (Claim 3.14, Figure 2)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.component_tree import ComponentForest, orient_tree_edge
+from repro.graph import generators
+from repro.graph.ancestry import AncestryLabeling
+from repro.graph.components import connected_components
+from repro.graph.spanning_tree import RootedTree
+
+
+def _random_tree_faults(n, num_faults, seed):
+    g = generators.random_tree(n, seed=seed)
+    tree = RootedTree.bfs(g, root=0)
+    anc = AncestryLabeling(tree)
+    rnd = random.Random(seed + 1)
+    faults = rnd.sample(range(g.m), min(num_faults, g.m))
+    return g, tree, anc, faults
+
+
+def _expected_components(g, tree, faults):
+    labels, _ = connected_components(g, faults)
+    return labels
+
+
+class TestOrientation:
+    def test_orient_tree_edge(self):
+        g = generators.random_tree(15, seed=2)
+        tree = RootedTree.bfs(g, root=0)
+        anc = AncestryLabeling(tree)
+        for e in g.edges:
+            child = tree.child_endpoint(e.index)
+            parent = tree.parent[child]
+            c, p = orient_tree_edge(anc.label(e.u), anc.label(e.v))
+            assert c == anc.label(child)
+            assert p == anc.label(parent)
+
+    def test_orient_rejects_unrelated(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            orient_tree_edge((2, 3), (5, 6))
+
+
+class TestBuildEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(4, 40), st.integers(0, 8), st.integers(0, 500))
+    def test_fast_matches_bruteforce(self, n, num_faults, seed):
+        g, tree, anc, faults = _random_tree_faults(n, num_faults, seed)
+        children = [anc.label(tree.child_endpoint(ei)) for ei in faults]
+        fast = ComponentForest.build(children)
+        brute = ComponentForest.build_bruteforce(children)
+        assert [c.parent for c in fast.components] == [
+            c.parent for c in brute.components
+        ]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(4, 40), st.integers(0, 8), st.integers(0, 500))
+    def test_locate_matches_linear(self, n, num_faults, seed):
+        g, tree, anc, faults = _random_tree_faults(n, num_faults, seed)
+        children = [anc.label(tree.child_endpoint(ei)) for ei in faults]
+        forest = ComponentForest.build(children)
+        for v in range(n):
+            lab = anc.label(v)
+            assert forest.locate(lab) == forest.locate_linear(lab)
+
+
+class TestAgainstTrueComponents:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(4, 40), st.integers(0, 8), st.integers(0, 500))
+    def test_locate_agrees_with_real_components(self, n, num_faults, seed):
+        """Two vertices share a T\\F component iff locate() agrees."""
+        g, tree, anc, faults = _random_tree_faults(n, num_faults, seed)
+        children = [anc.label(tree.child_endpoint(ei)) for ei in faults]
+        forest = ComponentForest.build(children)
+        true_labels = _expected_components(g, tree, faults)
+        located = [forest.locate(anc.label(v)) for v in range(n)]
+        for u in range(n):
+            for v in range(u + 1, n):
+                assert (located[u] == located[v]) == (
+                    true_labels[u] == true_labels[v]
+                )
+
+    def test_component_count(self):
+        g, tree, anc, faults = _random_tree_faults(30, 5, seed=7)
+        children = [anc.label(tree.child_endpoint(ei)) for ei in faults]
+        forest = ComponentForest.build(children)
+        assert len(forest) == len(set(faults)) + 1
+
+
+class TestStructure:
+    def test_root_component_is_zero(self):
+        g, tree, anc, faults = _random_tree_faults(20, 4, seed=9)
+        children = [anc.label(tree.child_endpoint(ei)) for ei in faults]
+        forest = ComponentForest.build(children)
+        assert forest.components[0].parent == -1
+        assert forest.locate(anc.label(tree.root)) == 0
+
+    def test_refs_are_preserved(self):
+        g, tree, anc, faults = _random_tree_faults(20, 4, seed=10)
+        children = [anc.label(tree.child_endpoint(ei)) for ei in faults]
+        forest = ComponentForest.build(children, refs=list(range(len(faults))))
+        refs = [c.ref for c in forest.components[1:]]
+        assert sorted(refs) == list(range(len(faults)))
+
+    def test_component_tree_edges_match_parents(self):
+        g, tree, anc, faults = _random_tree_faults(25, 6, seed=11)
+        children = [anc.label(tree.child_endpoint(ei)) for ei in faults]
+        forest = ComponentForest.build(children)
+        for child_c, parent_c in forest.edges():
+            assert forest.components[child_c].parent == parent_c
+
+    def test_empty_fault_set(self):
+        forest = ComponentForest.build([])
+        assert len(forest) == 1
+        assert forest.locate((5, 6)) == 0
+
+    def test_children_of(self):
+        g, tree, anc, faults = _random_tree_faults(25, 5, seed=12)
+        children = [anc.label(tree.child_endpoint(ei)) for ei in faults]
+        forest = ComponentForest.build(children)
+        for j in range(len(forest)):
+            for c in forest.children_of(j):
+                assert forest.components[c].parent == j

@@ -1,0 +1,115 @@
+"""Tests for cycle space sampling (Lemma 1.7, Appendix B)."""
+
+import random
+
+from hypothesis import given, settings
+
+from repro.cycle_space.circulation import random_binary_circulation
+from repro.cycle_space.labels import CycleSpaceLabels
+from repro.graph import generators
+from repro.graph.spanning_tree import RootedTree
+from repro.oracles import ConnectivityOracle
+from tests.conftest import connected_graphs
+
+
+class TestCirculation:
+    @settings(max_examples=25, deadline=None)
+    @given(connected_graphs(max_n=20))
+    def test_sampled_set_is_binary_circulation(self, g):
+        tree = RootedTree.bfs(g, root=0)
+        circ = random_binary_circulation(g, tree, seed=7)
+        degree = [0] * g.n
+        for ei in circ:
+            e = g.edge(ei)
+            degree[e.u] += 1
+            degree[e.v] += 1
+        assert all(d % 2 == 0 for d in degree)
+
+    def test_different_seeds_give_different_circulations(self):
+        g = generators.random_connected_graph(20, extra_edges=25, seed=1)
+        tree = RootedTree.bfs(g, root=0)
+        a = random_binary_circulation(g, tree, seed=1)
+        b = random_binary_circulation(g, tree, seed=2)
+        assert a != b
+
+    def test_tree_only_graph_has_empty_circulation(self):
+        g = generators.random_tree(15, seed=3)
+        tree = RootedTree.bfs(g, root=0)
+        assert random_binary_circulation(g, tree, seed=5) == set()
+
+
+class TestCycleSpaceLabels:
+    def _labels(self, g, b=24, seed=0):
+        tree = RootedTree.bfs(g, root=0)
+        return CycleSpaceLabels.build(g, tree, b, seed=seed), tree
+
+    def test_induced_cuts_always_xor_to_zero(self):
+        rnd = random.Random(13)
+        g = generators.random_connected_graph(18, extra_edges=22, seed=4)
+        labels, _ = self._labels(g)
+        for _ in range(30):
+            side = {v for v in range(g.n) if rnd.random() < 0.5}
+            cut = [e.index for e in g.edges if (e.u in side) != (e.v in side)]
+            assert labels.looks_like_induced_cut(cut)
+
+    def test_non_cuts_rarely_xor_to_zero(self):
+        rnd = random.Random(14)
+        g = generators.random_connected_graph(18, extra_edges=22, seed=4)
+        oracle = ConnectivityOracle(g)
+        labels, _ = self._labels(g, b=32)
+        false_positives = 0
+        tested = 0
+        for _ in range(200):
+            size = rnd.randint(1, 4)
+            subset = rnd.sample(range(g.m), size)
+            if oracle.is_induced_edge_cut(subset):
+                continue
+            tested += 1
+            if labels.looks_like_induced_cut(subset):
+                false_positives += 1
+        assert tested > 100
+        assert false_positives == 0  # 2^-32 per test
+
+    @settings(max_examples=15, deadline=None)
+    @given(connected_graphs(max_n=14, max_extra=15))
+    def test_lemma_1_7_exhaustive_small_subsets(self, g):
+        """Both directions of Lemma 1.7 over all subsets of size <= 2."""
+        oracle = ConnectivityOracle(g)
+        labels, _ = self._labels(g, b=40)
+        import itertools
+
+        for size in (1, 2):
+            for subset in itertools.combinations(range(g.m), size):
+                is_cut = oracle.is_induced_edge_cut(subset)
+                looks = labels.looks_like_induced_cut(subset)
+                if is_cut:
+                    assert looks
+                else:
+                    assert not looks  # whp; b=40 makes flakes ~1e-12
+
+    def test_single_bridge_is_cut(self):
+        g = generators.random_tree(12, seed=6)
+        labels, _ = self._labels(g)
+        for e in g.edges:  # every tree edge is a bridge = induced cut
+            assert labels.looks_like_induced_cut([e.index])
+
+    def test_label_width(self):
+        g = generators.random_connected_graph(10, extra_edges=10, seed=1)
+        labels, _ = self._labels(g, b=17)
+        assert labels.bit_length() == 17
+        for e in g.edges:
+            assert labels.phi(e.index) < (1 << 17)
+
+    def test_deterministic_given_seed(self):
+        g = generators.random_connected_graph(12, extra_edges=12, seed=2)
+        a, _ = self._labels(g, seed=9)
+        b, _ = self._labels(g, seed=9)
+        assert [a.phi(i) for i in range(g.m)] == [b.phi(i) for i in range(g.m)]
+
+    def test_rejects_zero_width(self):
+        import pytest
+
+        g = generators.cycle_graph(4)
+        tree = RootedTree.bfs(g, root=0)
+        with pytest.raises(ValueError):
+            CycleSpaceLabels.build(g, tree, 0)

@@ -1,0 +1,156 @@
+"""Tests for the Section 3.1 FT connectivity labeling scheme."""
+
+import math
+import random
+
+from hypothesis import given, settings
+
+from repro.core.cycle_space_scheme import (
+    CycleSpaceConnectivityScheme,
+    side_of_vertex,
+)
+from repro.graph import generators
+from repro.graph.ancestry import AncestryLabeling
+from repro.graph.spanning_tree import RootedTree
+from repro.oracles import ConnectivityOracle
+from tests.conftest import graphs_with_queries, random_fault_sets
+
+
+class TestDecodeCorrectness:
+    @settings(max_examples=40, deadline=None)
+    @given(graphs_with_queries(max_faults=4, max_n=18))
+    def test_matches_oracle(self, data):
+        g, s, t, faults = data
+        scheme = CycleSpaceConnectivityScheme(g, f=4, seed=3)
+        oracle = ConnectivityOracle(g)
+        assert scheme.query(s, t, faults) == oracle.connected(s, t, faults)
+
+    def test_many_random_queries_on_one_graph(self):
+        g = generators.random_connected_graph(40, extra_edges=55, seed=8)
+        scheme = CycleSpaceConnectivityScheme(g, f=5, seed=2)
+        oracle = ConnectivityOracle(g)
+        rnd = random.Random(21)
+        for faults in random_fault_sets(g, 120, 5, seed=22):
+            s, t = rnd.sample(range(g.n), 2)
+            assert scheme.query(s, t, faults) == oracle.connected(s, t, faults)
+
+    def test_bridge_cut_detected(self):
+        g = generators.random_tree(20, seed=5)
+        scheme = CycleSpaceConnectivityScheme(g, f=2, seed=1)
+        tree = scheme.trees[0]
+        for v in range(1, 20):
+            ei = tree.parent_edge[v]
+            # Removing v's parent edge separates v from the root.
+            assert not scheme.query(0, v, [ei])
+
+    def test_s_equals_t(self, small_connected):
+        scheme = CycleSpaceConnectivityScheme(small_connected, f=3)
+        assert scheme.query(5, 5, [0, 1, 2])
+
+    def test_empty_fault_set(self, small_connected):
+        scheme = CycleSpaceConnectivityScheme(small_connected, f=3)
+        assert scheme.query(0, small_connected.n - 1, [])
+
+    def test_duplicate_fault_labels_are_deduplicated(self):
+        g = generators.cycle_graph(8)
+        scheme = CycleSpaceConnectivityScheme(g, f=4, seed=3)
+        oracle = ConnectivityOracle(g)
+        # Passing the same cut edge twice must not XOR it away.
+        assert scheme.query(0, 4, [0, 0, 4, 4]) == oracle.connected(0, 4, [0, 4])
+
+    def test_disconnected_graph_components(self):
+        from repro.graph.graph import Graph
+
+        g = Graph(6)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(3, 4)
+        g.add_edge(4, 5)
+        scheme = CycleSpaceConnectivityScheme(g, f=2)
+        assert not scheme.query(0, 3, [])
+        assert scheme.query(0, 2, [])
+        assert not scheme.query(0, 2, [0])
+
+
+class TestFastVsBruteForce:
+    @settings(max_examples=30, deadline=None)
+    @given(graphs_with_queries(max_faults=4, max_n=14))
+    def test_decoders_agree(self, data):
+        g, s, t, faults = data
+        scheme = CycleSpaceConnectivityScheme(g, f=4, seed=6)
+        sl, tl = scheme.vertex_label(s), scheme.vertex_label(t)
+        fl = [scheme.edge_label(ei) for ei in faults]
+        fast = scheme.decode(sl, tl, fl)
+        brute = scheme.decode_bruteforce(sl, tl, fl)
+        assert fast.connected == brute.connected
+
+
+class TestCutWitness:
+    def test_witness_is_disconnecting_cut(self):
+        g = generators.random_connected_graph(24, extra_edges=4, seed=9)
+        scheme = CycleSpaceConnectivityScheme(g, f=4, seed=4)
+        oracle = ConnectivityOracle(g)
+        rnd = random.Random(31)
+        found = 0
+        for faults in random_fault_sets(g, 150, 4, seed=17):
+            s, t = rnd.sample(range(g.n), 2)
+            sl, tl = scheme.vertex_label(s), scheme.vertex_label(t)
+            fl = [scheme.edge_label(ei) for ei in faults]
+            res = scheme.decode(sl, tl, fl)
+            if res.connected or res.cut_member_positions is None:
+                continue
+            found += 1
+            # Deduplicate faults the same way the decoder does.
+            uniq = []
+            seen = set()
+            for ei in faults:
+                lab = scheme.edge_label(ei)
+                if lab.component != sl.component or lab.identity() in seen:
+                    continue
+                seen.add(lab.identity())
+                uniq.append(ei)
+            cut = [uniq[i] for i in res.cut_member_positions]
+            assert oracle.is_induced_edge_cut(cut)
+            assert not oracle.connected(s, t, cut)
+        assert found > 5  # the workload produced real disconnections
+
+
+class TestCutSides:
+    def test_claim_3_3_parity_classification(self):
+        """Figure 1: parity of cut edges above v gives the cut side."""
+        rnd = random.Random(41)
+        g = generators.random_connected_graph(20, extra_edges=24, seed=12)
+        tree = RootedTree.bfs(g, root=0)
+        anc = AncestryLabeling(tree)
+        for _ in range(20):
+            side = {v for v in range(g.n) if rnd.random() < 0.5}
+            side.discard(0)  # keep the root on side 0 for a clean parity
+            cut_tree_edges = [
+                (anc.label(e.u), anc.label(e.v))
+                for e in g.edges
+                if e.index in tree.tree_edge_indices
+                and (e.u in side) != (e.v in side)
+            ]
+            for v in range(g.n):
+                expected = 1 if v in side else 0
+                assert side_of_vertex(anc.label(v), cut_tree_edges) == expected
+
+
+class TestSizes:
+    def test_label_lengths_scale_as_f_plus_log_n(self):
+        g = generators.random_connected_graph(64, extra_edges=64, seed=3)
+        small = CycleSpaceConnectivityScheme(g, f=1, seed=1, c_log=4)
+        large = CycleSpaceConnectivityScheme(g, f=33, seed=1, c_log=4)
+        assert large.max_edge_label_bits() - small.max_edge_label_bits() == 32
+        assert small.max_vertex_label_bits() == large.max_vertex_label_bits()
+
+    def test_vertex_label_is_logarithmic(self):
+        g = generators.random_connected_graph(128, extra_edges=100, seed=2)
+        scheme = CycleSpaceConnectivityScheme(g, f=2)
+        assert scheme.max_vertex_label_bits() <= 4 * 16  # O(log n)
+
+    def test_rejects_negative_f(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            CycleSpaceConnectivityScheme(generators.cycle_graph(4), f=-1)

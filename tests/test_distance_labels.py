@@ -1,0 +1,140 @@
+"""Tests for the FT approximate distance labels (Section 4)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.distance_labels import DistanceLabelScheme
+from repro.graph import generators
+from repro.oracles import DistanceOracle
+from tests.conftest import random_fault_sets
+
+
+def _check_estimates(graph, scheme, trials, max_faults, seed, copy=0):
+    oracle = DistanceOracle(graph)
+    rnd = random.Random(seed)
+    checked = 0
+    for faults in random_fault_sets(graph, trials, max_faults, seed + 1):
+        s, t = rnd.sample(range(graph.n), 2)
+        est = scheme.query(s, t, faults, copy=copy)
+        true = oracle.distance(s, t, faults)
+        if math.isinf(true):
+            assert math.isinf(est)
+            continue
+        checked += 1
+        assert est >= true - 1e-9, f"estimate {est} below distance {true}"
+        bound = scheme.stretch_bound(len(faults)) * true
+        assert est <= bound + 1e-9, f"estimate {est} above bound {bound}"
+    assert checked > trials // 2
+
+
+class TestUnweighted:
+    @pytest.mark.parametrize("base", ["cycle_space", "sketch"])
+    def test_random_graph(self, base):
+        g = generators.random_connected_graph(36, extra_edges=48, seed=4)
+        scheme = DistanceLabelScheme(g, f=2, k=2, seed=7, base_scheme=base)
+        _check_estimates(g, scheme, 50, 2, seed=21)
+
+    def test_grid(self):
+        g = generators.grid_graph(5, 5)
+        scheme = DistanceLabelScheme(g, f=2, k=2, seed=8, base_scheme="cycle_space")
+        _check_estimates(g, scheme, 40, 2, seed=22)
+
+    def test_k_one_gives_tightest_estimates(self):
+        g = generators.random_connected_graph(24, extra_edges=30, seed=5)
+        scheme = DistanceLabelScheme(g, f=1, k=1, seed=9, base_scheme="cycle_space")
+        _check_estimates(g, scheme, 30, 1, seed=23)
+
+
+class TestWeighted:
+    def test_weighted_random_graph(self):
+        base = generators.random_connected_graph(30, extra_edges=40, seed=6)
+        g = generators.with_random_weights(base, 1, 8, seed=10)
+        scheme = DistanceLabelScheme(g, f=2, k=2, seed=11, base_scheme="cycle_space")
+        _check_estimates(g, scheme, 40, 2, seed=24)
+        # K covers the weighted diameter.
+        assert scheme.K == math.ceil(math.log2(g.n * g.max_weight()))
+
+    def test_rejects_sub_unit_weights(self):
+        from repro.graph.graph import Graph
+
+        g = Graph(3)
+        g.add_edge(0, 1, weight=0.5)
+        with pytest.raises(ValueError):
+            DistanceLabelScheme(g, f=1, k=2)
+
+
+class TestStructure:
+    def test_zero_distance(self):
+        g = generators.grid_graph(4, 4)
+        scheme = DistanceLabelScheme(g, f=1, k=2, base_scheme="cycle_space")
+        assert scheme.query(3, 3, []) == 0.0
+
+    def test_disconnection_reported_as_inf(self):
+        g = generators.cycle_graph(8)
+        scheme = DistanceLabelScheme(g, f=2, k=2, base_scheme="cycle_space")
+        assert math.isinf(scheme.query(0, 4, [0, 4]))
+
+    def test_estimates_monotone_under_scale(self):
+        scheme_k = DistanceLabelScheme(
+            generators.grid_graph(4, 4), f=1, k=2, base_scheme="cycle_space"
+        )
+        assert scheme_k.estimate_at_scale(3, 1) == 2 * scheme_k.estimate_at_scale(2, 1)
+
+    def test_every_vertex_has_home_per_scale(self):
+        g = generators.random_connected_graph(20, extra_edges=25, seed=7)
+        scheme = DistanceLabelScheme(g, f=1, k=2, base_scheme="cycle_space")
+        for v in g.vertices():
+            label = scheme.vertex_label(v)
+            assert set(label.i_star) == set(range(scheme.K + 1))
+            for i, j in label.i_star.items():
+                assert (i, j) in label.entries  # home cluster contains v
+
+    def test_edge_labels_cover_participating_instances(self):
+        g = generators.random_connected_graph(20, extra_edges=25, seed=8)
+        scheme = DistanceLabelScheme(g, f=1, k=2, base_scheme="cycle_space")
+        for ei in range(0, g.m, 3):
+            label = scheme.edge_label(ei)
+            e = g.edge(ei)
+            for key in label.entries:
+                inst = scheme.instances[key]
+                # Both endpoints belong to the instance.
+                assert e.u in inst.sub.vertex_from_parent
+                assert e.v in inst.sub.vertex_from_parent
+
+    def test_heavy_edges_excluded_per_scale(self):
+        from repro.graph.graph import Graph
+
+        g = Graph(4)
+        g.add_edge(0, 1, weight=1.0)
+        g.add_edge(1, 2, weight=8.0)
+        g.add_edge(2, 3, weight=1.0)
+        scheme = DistanceLabelScheme(g, f=1, k=1, base_scheme="cycle_space")
+        heavy_label = scheme.edge_label(1)
+        # The weight-8 edge participates only in scales with 2^i >= 8.
+        assert all(i >= 3 for (i, _) in heavy_label.entries)
+
+    def test_copies_validation(self):
+        g = generators.cycle_graph(6)
+        with pytest.raises(ValueError):
+            DistanceLabelScheme(g, f=1, k=2, base_scheme="cycle_space", routing=True)
+        with pytest.raises(ValueError):
+            DistanceLabelScheme(g, f=1, k=0)
+        with pytest.raises(ValueError):
+            DistanceLabelScheme(g, f=1, k=2, base_scheme="nope")
+
+
+class TestSizes:
+    def test_label_bits_grow_with_smaller_k(self):
+        """Smaller k => more clusters per scale => bigger labels."""
+        g = generators.random_connected_graph(40, extra_edges=50, seed=9)
+        k1 = DistanceLabelScheme(g, f=1, k=1, base_scheme="cycle_space")
+        k3 = DistanceLabelScheme(g, f=1, k=3, base_scheme="cycle_space")
+        assert k1.max_vertex_label_bits() >= k3.max_vertex_label_bits()
+
+    def test_bit_length_positive(self):
+        g = generators.grid_graph(4, 4)
+        scheme = DistanceLabelScheme(g, f=1, k=2, base_scheme="cycle_space")
+        assert scheme.vertex_label(0).bit_length() > 0
+        assert scheme.edge_label(0).bit_length() > 0

@@ -1,0 +1,31 @@
+"""Smoke tests: every example script runs to completion."""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = [
+    "quickstart",
+    "datacenter_fault_drill",
+    "sensor_mesh_distances",
+    "overlay_connectivity",
+]
+
+
+@pytest.fixture(autouse=True)
+def _examples_on_path():
+    examples_dir = str(Path(__file__).resolve().parent.parent / "examples")
+    sys.path.insert(0, examples_dir)
+    yield
+    sys.path.remove(examples_dir)
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = importlib.import_module(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out) > 100  # produced a real report
+    assert "Traceback" not in out

@@ -1,0 +1,111 @@
+"""Unit tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.components import is_connected
+
+
+class TestRandomFamilies:
+    def test_random_tree_is_spanning_tree(self):
+        g = generators.random_tree(30, seed=4)
+        assert g.m == 29
+        assert is_connected(g)
+
+    def test_random_connected_graph_is_connected(self):
+        for seed in range(5):
+            g = generators.random_connected_graph(25, extra_edges=10, seed=seed)
+            assert is_connected(g)
+            assert g.m >= 24
+
+    def test_random_connected_graph_respects_budget(self):
+        g = generators.random_connected_graph(5, extra_edges=100, seed=1)
+        assert g.m <= 5 * 4 // 2
+
+    def test_generators_are_deterministic(self):
+        a = generators.random_connected_graph(20, extra_edges=15, seed=9)
+        b = generators.random_connected_graph(20, extra_edges=15, seed=9)
+        assert [(e.u, e.v) for e in a.edges] == [(e.u, e.v) for e in b.edges]
+
+    def test_different_seeds_differ(self):
+        a = generators.random_connected_graph(20, extra_edges=15, seed=1)
+        b = generators.random_connected_graph(20, extra_edges=15, seed=2)
+        assert [(e.u, e.v) for e in a.edges] != [(e.u, e.v) for e in b.edges]
+
+    def test_gnm_edge_count(self):
+        g = generators.gnm_random_graph(12, 20, seed=7)
+        assert g.m == 20
+
+
+class TestStructuredFamilies:
+    def test_grid_shape(self):
+        g = generators.grid_graph(4, 5)
+        assert g.n == 20
+        assert g.m == 4 * 4 + 3 * 5  # horizontal + vertical
+        assert is_connected(g)
+
+    def test_torus_is_4_regular(self):
+        g = generators.torus_graph(4, 5)
+        assert all(g.degree(v) == 4 for v in g.vertices())
+        assert is_connected(g)
+
+    def test_torus_rejects_small(self):
+        with pytest.raises(ValueError):
+            generators.torus_graph(2, 5)
+
+    def test_hypercube(self):
+        g = generators.hypercube_graph(4)
+        assert g.n == 16
+        assert g.m == 4 * 16 // 2
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_cycle_graph_small_cases(self):
+        assert generators.cycle_graph(1).m == 0
+        assert generators.cycle_graph(2).m == 1
+        g = generators.cycle_graph(6)
+        assert g.m == 6
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_complete_graph(self):
+        g = generators.complete_graph(6)
+        assert g.m == 15
+
+    def test_ring_of_cliques(self):
+        g = generators.ring_of_cliques(4, 5)
+        assert g.n == 20
+        assert is_connected(g)
+        # Bridge edges exist between consecutive clique representatives.
+        assert g.has_edge(0, 5)
+        assert g.has_edge(15, 0)
+
+
+class TestLowerBoundGraph:
+    def test_structure(self):
+        f, length = 3, 5
+        g, s, t = generators.lower_bound_graph(f, length)
+        assert g.degree(s) == f + 1
+        assert g.degree(t) == f + 1
+        assert g.n == 2 + (f + 1) * (length - 1)
+        assert g.m == (f + 1) * length
+        assert is_connected(g)
+
+    def test_path_lengths(self):
+        from repro.oracles.distances import shortest_path_distance
+
+        g, s, t = generators.lower_bound_graph(2, 7)
+        assert shortest_path_distance(g, s, t) == 7
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            generators.lower_bound_graph(2, 1)
+        with pytest.raises(ValueError):
+            generators.lower_bound_graph(-1, 5)
+
+
+class TestWeights:
+    def test_with_random_weights_preserves_structure(self):
+        base = generators.grid_graph(3, 3)
+        g = generators.with_random_weights(base, 1, 5, seed=2)
+        assert g.n == base.n and g.m == base.m
+        assert all(1.0 <= e.weight <= 5.0 for e in g.edges)
+        assert all(float(e.weight).is_integer() for e in g.edges)

@@ -1,0 +1,115 @@
+"""Unit + property tests for the GF(2) linear algebra substrate."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.gf2 import XorBasis, gf2_rank, gf2_solve, in_span
+
+
+def _brute_force_solvable(columns, target):
+    for mask in range(1 << len(columns)):
+        acc = 0
+        for i in range(len(columns)):
+            if (mask >> i) & 1:
+                acc ^= columns[i]
+        if acc == target:
+            return True
+    return False
+
+
+class TestXorBasis:
+    def test_rank_of_independent_vectors(self):
+        basis = XorBasis()
+        assert basis.add(0b001)
+        assert basis.add(0b010)
+        assert basis.add(0b100)
+        assert basis.rank == 3
+
+    def test_dependent_vector_rejected(self):
+        basis = XorBasis()
+        basis.add(0b011)
+        basis.add(0b101)
+        assert not basis.add(0b110)  # xor of the first two
+        assert basis.rank == 2
+
+    def test_zero_vector_never_increases_rank(self):
+        basis = XorBasis()
+        assert not basis.add(0)
+        basis.add(7)
+        assert not basis.add(0)
+
+    def test_contains(self):
+        basis = XorBasis()
+        basis.add(0b1100)
+        basis.add(0b0110)
+        assert basis.contains(0b1010)
+        assert basis.contains(0)
+        assert not basis.contains(0b0001)
+
+    def test_represent_returns_correct_combination(self):
+        vectors = [0b1100, 0b0110, 0b0001]
+        basis = XorBasis()
+        for v in vectors:
+            basis.add(v)
+        combo = basis.represent(0b1011)
+        assert combo is not None
+        acc = 0
+        for i in combo:
+            acc ^= vectors[i]
+        assert acc == 0b1011
+
+    def test_represent_out_of_span(self):
+        basis = XorBasis()
+        basis.add(0b10)
+        assert basis.represent(0b01) is None
+
+    def test_represent_zero_is_empty(self):
+        basis = XorBasis()
+        basis.add(5)
+        assert basis.represent(0) == []
+
+
+class TestRankAndSpan:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(0, 255), max_size=8), st.integers(0, 255))
+    def test_in_span_matches_brute_force(self, columns, target):
+        assert in_span(columns, target) == _brute_force_solvable(columns, target)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 1023), max_size=10))
+    def test_rank_bounds(self, vectors):
+        r = gf2_rank(vectors)
+        assert 0 <= r <= min(len(vectors), 10)
+
+    def test_rank_of_duplicates(self):
+        assert gf2_rank([5, 5, 5]) == 1
+
+
+class TestSolve:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(0, 255), max_size=8), st.integers(0, 255))
+    def test_solution_validates(self, columns, target):
+        x = gf2_solve(columns, target)
+        if x is None:
+            assert not _brute_force_solvable(columns, target)
+        else:
+            acc = 0
+            for i, xi in enumerate(x):
+                if xi:
+                    acc ^= columns[i]
+            assert acc == target
+
+    def test_solve_empty_system(self):
+        assert gf2_solve([], 0) == []
+        assert gf2_solve([], 5) is None
+
+    def test_solve_large_vectors(self):
+        columns = [1 << 200, (1 << 200) | 1, 2]
+        x = gf2_solve(columns, 3)
+        acc = 0
+        for i, xi in enumerate(x):
+            if xi:
+                acc ^= columns[i]
+        assert acc == 3

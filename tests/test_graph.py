@@ -1,0 +1,158 @@
+"""Unit tests for the port-numbered graph substrate."""
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph import generators
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph(0)
+        assert g.n == 0
+        assert g.m == 0
+        assert g.max_weight() == 1.0
+
+    def test_add_edge_returns_dense_indices(self):
+        g = Graph(4)
+        assert g.add_edge(0, 1) == 0
+        assert g.add_edge(1, 2) == 1
+        assert g.add_edge(2, 3) == 2
+        assert g.m == 3
+
+    def test_rejects_self_loop(self):
+        g = Graph(3)
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_rejects_duplicate_edge_either_orientation(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1)
+        with pytest.raises(ValueError):
+            g.add_edge(1, 0)
+
+    def test_rejects_out_of_range(self):
+        g = Graph(3)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 3)
+
+    def test_rejects_nonpositive_weight(self):
+        g = Graph(3)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, weight=0.0)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, weight=-2.0)
+
+
+class TestPorts:
+    def test_ports_follow_insertion_order(self):
+        g = Graph(4)
+        g.add_edge(0, 1)
+        g.add_edge(0, 2)
+        g.add_edge(0, 3)
+        assert g.via_port(0, 0) == (1, 0)
+        assert g.via_port(0, 1) == (2, 1)
+        assert g.via_port(0, 2) == (3, 2)
+
+    def test_port_of_inverts_via_port(self):
+        g = generators.random_connected_graph(20, extra_edges=25, seed=1)
+        for u in g.vertices():
+            for port in range(g.degree(u)):
+                v, _ = g.via_port(u, port)
+                assert g.port_of(u, v) == port
+
+    def test_port_of_non_neighbor_raises(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        with pytest.raises(ValueError):
+            g.port_of(0, 2)
+
+
+class TestQueries:
+    def test_edge_between_and_has_edge(self):
+        g = Graph(4)
+        ei = g.add_edge(2, 1)
+        assert g.edge_index_between(1, 2) == ei
+        assert g.edge_index_between(2, 1) == ei
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(0, 3)
+        assert g.edge_index_between(0, 3) is None
+
+    def test_edge_other_endpoint(self):
+        g = Graph(3)
+        g.add_edge(0, 2)
+        e = g.edge(0)
+        assert e.other(0) == 2
+        assert e.other(2) == 0
+        with pytest.raises(ValueError):
+            e.other(1)
+
+    def test_edge_key_is_canonical(self):
+        g = Graph(3)
+        g.add_edge(2, 0)
+        assert g.edge(0).key() == (0, 2)
+
+    def test_degree_and_neighbors(self):
+        g = Graph(4)
+        g.add_edge(0, 1)
+        g.add_edge(0, 2)
+        assert g.degree(0) == 2
+        assert sorted(g.neighbors(0)) == [1, 2]
+        assert g.degree(3) == 0
+
+    def test_weights(self):
+        g = Graph(3)
+        g.add_edge(0, 1, weight=2.5)
+        g.add_edge(1, 2, weight=4.0)
+        assert g.weight(0) == 2.5
+        assert g.max_weight() == 4.0
+        assert g.total_weight() == 6.5
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        h = g.copy()
+        h.add_edge(1, 2)
+        assert g.m == 1
+        assert h.m == 2
+
+    def test_without_edges(self):
+        g = generators.cycle_graph(5)
+        h = g.without_edges([0, 2])
+        assert h.m == g.m - 2
+        assert h.n == g.n
+
+    def test_induced_subgraph_maps(self):
+        g = generators.grid_graph(3, 3)
+        sub = g.induced_subgraph([0, 1, 3, 4])
+        assert sub.graph.n == 4
+        # Every sub edge corresponds to a real parent edge between the
+        # mapped endpoints.
+        for le, pe in enumerate(sub.edge_to_parent):
+            e = sub.graph.edge(le)
+            pe_edge = g.edge(pe)
+            mapped = {
+                sub.vertex_to_parent[e.u],
+                sub.vertex_to_parent[e.v],
+            }
+            assert mapped == {pe_edge.u, pe_edge.v}
+        # 0-1, 0-3, 1-4, 3-4 survive.
+        assert sub.graph.m == 4
+
+    def test_induced_subgraph_allowed_edges(self):
+        g = generators.grid_graph(3, 3)
+        all_edges = {e.index for e in g.edges}
+        keep = sorted(all_edges)[:2]
+        sub = g.induced_subgraph(range(9), allowed_edges=keep)
+        assert sub.graph.m == 2
+        assert list(sub.edge_to_parent) == keep
+
+    def test_induced_subgraph_vertex_maps_are_inverse(self):
+        g = generators.random_connected_graph(15, extra_edges=10, seed=3)
+        sub = g.induced_subgraph([2, 5, 7, 11])
+        for lv, pv in enumerate(sub.vertex_to_parent):
+            assert sub.vertex_from_parent[pv] == lv

@@ -1,0 +1,163 @@
+"""Integration scenarios exercising the full stack end to end."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.cycle_space_scheme import CycleSpaceConnectivityScheme
+from repro.core.distance_labels import DistanceLabelScheme
+from repro.core.sketch_scheme import SketchConnectivityScheme
+from repro.graph import generators
+from repro.oracles import ConnectivityOracle, DistanceOracle
+from repro.routing.baselines import InteriorRoutingBaseline
+from repro.routing.fault_tolerant import FaultTolerantRouter
+
+
+class TestAdversarialFaultPlacement:
+    """Faults chosen on the current shortest path — the hard case."""
+
+    def _adversarial_faults(self, g, s, t, count):
+        from repro.oracles.distances import shortest_path
+
+        faults = []
+        for _ in range(count):
+            p = shortest_path(g, s, t, faults)
+            if p is None or len(p) < 2:
+                break
+            mid = len(p) // 2
+            ei = g.edge_index_between(p[mid], p[mid + 1] if mid + 1 < len(p) else p[mid - 1])
+            if ei is None or ei in faults:
+                break
+            faults.append(ei)
+        return faults
+
+    def test_connectivity_schemes_on_adversarial_faults(self):
+        g = generators.torus_graph(4, 5)
+        oracle = ConnectivityOracle(g)
+        cs = CycleSpaceConnectivityScheme(g, f=3, seed=1)
+        sk = SketchConnectivityScheme(g, seed=1)
+        for s, t in [(0, 10), (3, 17), (1, 12)]:
+            faults = self._adversarial_faults(g, s, t, 3)
+            expected = oracle.connected(s, t, faults)
+            assert cs.query(s, t, faults) == expected
+            assert sk.query(s, t, faults).connected == expected
+
+    def test_routing_detours_around_adversarial_faults(self):
+        g = generators.torus_graph(4, 4)
+        router = FaultTolerantRouter(g, f=2, k=2, seed=2)
+        oracle = DistanceOracle(g)
+        for s, t in [(0, 10), (5, 15)]:
+            faults = self._adversarial_faults(g, s, t, 2)
+            res = router.route(s, t, faults)
+            true = oracle.distance(s, t, faults)
+            assert res.delivered
+            assert true <= res.length <= router.stretch_bound(len(faults)) * true
+
+
+class TestRouterVsBaseline:
+    def test_compact_tables_much_smaller_than_baseline(self):
+        g = generators.random_connected_graph(48, extra_edges=120, seed=3)
+        router = FaultTolerantRouter(g, f=1, k=2, seed=4)
+        baseline = InteriorRoutingBaseline(g)
+        # Report-only sanity: the compact scheme's *label* is tiny
+        # compared to the full-graph baseline tables.
+        assert router.max_label_bits() < baseline.max_table_bits() / 5
+
+    def test_stretch_comparable_on_few_faults(self):
+        g = generators.grid_graph(5, 5)
+        router = FaultTolerantRouter(g, f=1, k=2, seed=5)
+        baseline = InteriorRoutingBaseline(g)
+        rnd = random.Random(6)
+        worst_ratio = 0.0
+        for _ in range(15):
+            s, t = rnd.sample(range(g.n), 2)
+            ei = rnd.randrange(g.m)
+            ours = router.route(s, t, [ei])
+            theirs = baseline.route(s, t, [ei])
+            if not (ours.delivered and theirs.delivered):
+                assert ours.delivered == theirs.delivered
+                continue
+            if theirs.length > 0:
+                worst_ratio = max(worst_ratio, ours.length / theirs.length)
+        assert worst_ratio <= router.stretch_bound(1)
+
+
+class TestMultiComponent:
+    def test_all_layers_handle_disconnected_input(self):
+        from repro.graph.graph import Graph
+
+        g = Graph(10)
+        for u, v in [(0, 1), (1, 2), (2, 3), (3, 0)]:
+            g.add_edge(u, v)
+        for u, v in [(4, 5), (5, 6), (6, 7), (7, 8), (8, 9)]:
+            g.add_edge(u, v)
+        cs = CycleSpaceConnectivityScheme(g, f=2, seed=7)
+        sk = SketchConnectivityScheme(g, seed=7)
+        dist = DistanceLabelScheme(g, f=2, k=2, seed=7, base_scheme="cycle_space")
+        assert not cs.query(0, 5, [])
+        assert not sk.query(0, 5, []).connected
+        assert math.isinf(dist.query(0, 5, []))
+        assert cs.query(4, 9, [])
+        assert sk.query(4, 9, []).connected
+        assert not math.isinf(dist.query(4, 9, []))
+
+    def test_fault_in_other_component_is_ignored(self):
+        from repro.graph.graph import Graph
+
+        g = Graph(8)
+        for u, v in [(0, 1), (1, 2), (2, 0)]:
+            g.add_edge(u, v)
+        for u, v in [(3, 4), (4, 5), (5, 6), (6, 7)]:
+            g.add_edge(u, v)
+        cs = CycleSpaceConnectivityScheme(g, f=2, seed=8)
+        sk = SketchConnectivityScheme(g, seed=8)
+        # Faults in the path component do not affect the triangle.
+        assert cs.query(0, 2, [3, 4])
+        assert sk.query(0, 2, [3, 4]).connected
+
+
+class TestDeterminism:
+    def test_same_seed_same_answers_and_sizes(self):
+        g = generators.random_connected_graph(24, extra_edges=30, seed=9)
+        a = SketchConnectivityScheme(g, seed=42)
+        b = SketchConnectivityScheme(g, seed=42)
+        rnd = random.Random(10)
+        for _ in range(10):
+            s, t = rnd.sample(range(g.n), 2)
+            faults = rnd.sample(range(g.m), 3)
+            ra, rb = a.query(s, t, faults), b.query(s, t, faults)
+            assert ra.connected == rb.connected
+        assert a.max_edge_label_bits() == b.max_edge_label_bits()
+
+    def test_routing_deterministic(self):
+        g = generators.grid_graph(4, 4)
+        r1 = FaultTolerantRouter(g, f=1, k=2, seed=11)
+        r2 = FaultTolerantRouter(g, f=1, k=2, seed=11)
+        ei = g.edge_index_between(5, 6)
+        a = r1.route(4, 7, [ei])
+        b = r2.route(4, 7, [ei])
+        assert a.length == b.length
+        assert a.telemetry.hops == b.telemetry.hops
+
+
+class TestWeightedEndToEnd:
+    def test_weighted_torus_full_pipeline(self):
+        base = generators.torus_graph(3, 4)
+        g = generators.with_random_weights(base, 1, 4, seed=12)
+        oracle = DistanceOracle(g)
+        router = FaultTolerantRouter(g, f=2, k=2, seed=13)
+        dist = DistanceLabelScheme(g, f=2, k=2, seed=13, base_scheme="cycle_space")
+        rnd = random.Random(14)
+        for _ in range(10):
+            s, t = rnd.sample(range(g.n), 2)
+            faults = rnd.sample(range(g.m), rnd.randint(0, 2))
+            true = oracle.distance(s, t, faults)
+            est = dist.query(s, t, faults)
+            res = router.route(s, t, faults)
+            if math.isinf(true):
+                assert math.isinf(est) and not res.delivered
+                continue
+            assert true - 1e-9 <= est
+            assert res.delivered
+            assert res.length <= router.stretch_bound(len(faults)) * true + 1e-9

@@ -1,0 +1,65 @@
+"""Tests for the port-based network simulator."""
+
+import pytest
+
+from repro.graph import generators
+from repro.routing.network import FaultyEdgeError, Network, RouteResult, Telemetry
+
+
+class TestTraversal:
+    def test_traverse_moves_and_meters(self):
+        g = generators.with_random_weights(generators.grid_graph(3, 3), 1, 5, seed=1)
+        net = Network(g)
+        tel = Telemetry()
+        port = g.port_of(0, 1)
+        assert net.traverse(0, port, tel) == 1
+        assert tel.hops == 1
+        assert tel.weighted == g.weight(g.edge_index_between(0, 1))
+
+    def test_traverse_faulty_raises(self):
+        g = generators.grid_graph(3, 3)
+        ei = g.edge_index_between(0, 1)
+        net = Network(g, faults=[ei])
+        with pytest.raises(FaultyEdgeError):
+            net.traverse(0, g.port_of(0, 1), Telemetry())
+
+    def test_is_faulty_port(self):
+        g = generators.grid_graph(3, 3)
+        ei = g.edge_index_between(0, 3)
+        net = Network(g, faults=[ei])
+        assert net.is_faulty_port(0, g.port_of(0, 3))
+        assert net.is_faulty_port(3, g.port_of(3, 0))
+        assert not net.is_faulty_port(0, g.port_of(0, 1))
+
+    def test_round_trip_charges_both_ways(self):
+        g = generators.with_random_weights(generators.grid_graph(3, 3), 2, 2, seed=2)
+        net = Network(g)
+        tel = Telemetry()
+        w = net.round_trip(0, g.port_of(0, 1), tel)
+        assert w == 1
+        assert tel.hops == 2
+        assert tel.weighted == 4.0
+        assert tel.gamma_queries == 1
+
+    def test_round_trip_faulty_raises(self):
+        g = generators.grid_graph(3, 3)
+        ei = g.edge_index_between(0, 1)
+        net = Network(g, faults=[ei])
+        with pytest.raises(FaultyEdgeError):
+            net.round_trip(0, g.port_of(0, 1), Telemetry())
+
+
+class TestTelemetry:
+    def test_note_header_keeps_max(self):
+        tel = Telemetry()
+        tel.note_header(100)
+        tel.note_header(50)
+        tel.note_header(200)
+        assert tel.max_header_bits == 200
+
+    def test_route_result_stretch(self):
+        res = RouteResult(delivered=True, s=0, t=1, telemetry=Telemetry(), length=30.0)
+        assert res.stretch(10.0) == 3.0
+        assert res.stretch(0.0) == 1.0
+        undelivered = RouteResult(delivered=False, s=0, t=1, telemetry=Telemetry())
+        assert undelivered.stretch(10.0) == float("inf")

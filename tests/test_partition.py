@@ -1,0 +1,96 @@
+"""Tests for the one-decode-many-queries partition API."""
+
+import random
+
+import pytest
+
+from repro.core.sketch_scheme import SketchConnectivityScheme
+from repro.graph import generators
+from repro.oracles import ConnectivityOracle
+from tests.conftest import random_fault_sets
+
+
+class TestPartition:
+    def test_partition_answers_all_pairs(self):
+        g = generators.random_connected_graph(30, extra_edges=36, seed=3)
+        scheme = SketchConnectivityScheme(g, seed=4)
+        oracle = ConnectivityOracle(g)
+        for faults in random_fault_sets(g, 25, 5, seed=5):
+            fl = [scheme.edge_label(ei) for ei in faults]
+            part = scheme.decode_partition(0, fl)
+            labels = [scheme.vertex_label(v) for v in range(g.n)]
+            for u in range(0, g.n, 3):
+                for v in range(0, g.n, 4):
+                    expected = oracle.connected(u, v, faults)
+                    assert part.same_component(labels[u], labels[v]) == expected
+
+    def test_group_count_matches_true_components(self):
+        g = generators.ring_of_cliques(5, 3)
+        scheme = SketchConnectivityScheme(g, seed=6)
+        ring = [e.index for e in g.edges if e.u // 3 != e.v // 3]
+        # Two ring cuts split the ring into two arcs.
+        faults = [ring[0], ring[2]]
+        from repro.graph.components import connected_components
+
+        _, true_count = connected_components(g, faults)
+        fl = [scheme.edge_label(ei) for ei in faults]
+        part = scheme.decode_partition(0, fl)
+        assert true_count == 2
+        # The partition's group count over T\F components matches.
+        assert part.group_count == true_count
+
+    def test_no_tree_faults_single_group(self):
+        g = generators.random_connected_graph(20, extra_edges=40, seed=7)
+        scheme = SketchConnectivityScheme(g, seed=8)
+        tree = scheme.trees[0]
+        non_tree = [
+            e.index for e in g.edges if not tree.is_tree_edge(e.index)
+        ][:4]
+        part = scheme.decode_partition(0, [scheme.edge_label(ei) for ei in non_tree])
+        assert part.group_count == 1
+        a = scheme.vertex_label(0)
+        b = scheme.vertex_label(g.n - 1)
+        assert part.same_component(a, b)
+
+    def test_other_component_vertex_returns_none(self):
+        from repro.graph.graph import Graph
+
+        g = Graph(6)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(3, 4)
+        g.add_edge(4, 5)
+        scheme = SketchConnectivityScheme(g, seed=9)
+        part = scheme.decode_partition(0, [])
+        other = scheme.vertex_label(3)
+        assert other.component != 0
+        assert part.group(other) is None
+        assert not part.same_component(scheme.vertex_label(0), other)
+
+    def test_wrong_component_query_raises(self):
+        from repro.graph.graph import Graph
+
+        g = Graph(6)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(3, 4)
+        g.add_edge(4, 5)
+        scheme = SketchConnectivityScheme(g, seed=10)
+        part = scheme.decode_partition(0, [])
+        a, b = scheme.vertex_label(3), scheme.vertex_label(4)
+        with pytest.raises(ValueError):
+            part.same_component(a, b)
+
+    def test_partition_consistent_with_decode(self):
+        g = generators.random_connected_graph(26, extra_edges=30, seed=11)
+        scheme = SketchConnectivityScheme(g, seed=12)
+        rnd = random.Random(13)
+        for faults in random_fault_sets(g, 20, 4, seed=14):
+            fl = [scheme.edge_label(ei) for ei in faults]
+            part = scheme.decode_partition(0, fl)
+            s, t = rnd.sample(range(g.n), 2)
+            direct = scheme.query(s, t, faults).connected
+            via_part = part.same_component(
+                scheme.vertex_label(s), scheme.vertex_label(t)
+            )
+            assert direct == via_part

@@ -1,0 +1,139 @@
+"""Tests for the succinct path description (Lemma 3.17, Figure 3)."""
+
+import pytest
+
+from repro.core.path_description import PathSegment, SuccinctPath
+from repro.graph import generators
+from repro.graph.spanning_tree import RootedTree
+
+
+@pytest.fixture
+def setting():
+    g = generators.grid_graph(3, 3)
+    tree = RootedTree.bfs(g, root=0)
+    return g, tree
+
+
+class TestExpand:
+    def test_tree_segment_expands_to_tree_path(self, setting):
+        g, tree = setting
+        path = SuccinctPath(0, 8, (PathSegment(kind="tree", x=0, y=8),))
+        vertices = path.expand(g, tree)
+        assert vertices == tree.tree_path(0, 8)
+
+    def test_alternating_segments(self, setting):
+        g, tree = setting
+        # 0 -> (tree) -> 1, edge (1,4), (tree) 4 -> 8.
+        path = SuccinctPath(
+            0,
+            8,
+            (
+                PathSegment(kind="tree", x=0, y=1),
+                PathSegment(kind="edge", x=1, y=4),
+                PathSegment(kind="tree", x=4, y=8),
+            ),
+        )
+        vertices = path.expand(g, tree)
+        assert vertices[0] == 0 and vertices[-1] == 8
+        assert (1, 4) in list(zip(vertices, vertices[1:]))
+
+    def test_empty_path(self, setting):
+        g, tree = setting
+        path = SuccinctPath(4, 4, ())
+        assert path.expand(g, tree) == [4]
+
+    def test_rejects_non_edge(self, setting):
+        g, tree = setting
+        path = SuccinctPath(0, 8, (PathSegment(kind="edge", x=0, y=8),))
+        with pytest.raises(ValueError):
+            path.expand(g, tree)
+
+    def test_rejects_discontinuous_segments(self, setting):
+        g, tree = setting
+        path = SuccinctPath(
+            0, 8, (PathSegment(kind="tree", x=0, y=1), PathSegment(kind="tree", x=2, y=8))
+        )
+        with pytest.raises(ValueError):
+            path.expand(g, tree)
+
+    def test_rejects_wrong_terminal(self, setting):
+        g, tree = setting
+        path = SuccinctPath(0, 8, (PathSegment(kind="tree", x=0, y=5),))
+        with pytest.raises(ValueError):
+            path.expand(g, tree)
+
+    def test_rejects_unknown_kind(self, setting):
+        g, tree = setting
+        path = SuccinctPath(0, 1, (PathSegment(kind="warp", x=0, y=1),))
+        with pytest.raises(ValueError):
+            path.expand(g, tree)
+
+
+class TestTransforms:
+    def test_reversed_swaps_everything(self):
+        seg = PathSegment(
+            kind="edge", x=1, y=2, port_x=3, port_y=4, tlabel_x=5, tlabel_y=6, eid=9
+        )
+        rev = seg.reversed()
+        assert (rev.x, rev.y) == (2, 1)
+        assert (rev.port_x, rev.port_y) == (4, 3)
+        assert (rev.tlabel_x, rev.tlabel_y) == (6, 5)
+        assert rev.eid == 9
+
+    def test_reversed_path_expands_backwards(self, setting):
+        g, tree = setting
+        path = SuccinctPath(
+            0,
+            8,
+            (
+                PathSegment(kind="tree", x=0, y=1),
+                PathSegment(kind="edge", x=1, y=4),
+                PathSegment(kind="tree", x=4, y=8),
+            ),
+        )
+        forward = path.expand(g, tree)
+        backward = path.reversed().expand(g, tree)
+        assert backward == list(reversed(forward))
+
+    def test_weighted_length_matches_expansion(self, setting):
+        g, tree = setting
+        path = SuccinctPath(
+            0,
+            8,
+            (
+                PathSegment(kind="tree", x=0, y=1),
+                PathSegment(kind="edge", x=1, y=4),
+                PathSegment(kind="tree", x=4, y=8),
+            ),
+        )
+        vertices = path.expand(g, tree)
+        total = sum(
+            g.weight(g.edge_index_between(a, b))
+            for a, b in zip(vertices, vertices[1:])
+        )
+        assert path.weighted_length(g, tree) == pytest.approx(total)
+
+    def test_recovery_edges(self):
+        path = SuccinctPath(
+            0,
+            5,
+            (
+                PathSegment(kind="tree", x=0, y=1),
+                PathSegment(kind="edge", x=1, y=3),
+                PathSegment(kind="edge", x=3, y=5),
+            ),
+        )
+        assert path.recovery_edges() == [(1, 3), (3, 5)]
+
+    def test_bit_length_grows_with_segments(self):
+        short = SuccinctPath(0, 1, (PathSegment(kind="tree", x=0, y=1),))
+        long = SuccinctPath(
+            0,
+            3,
+            (
+                PathSegment(kind="tree", x=0, y=1),
+                PathSegment(kind="edge", x=1, y=2, port_x=0, port_y=1),
+                PathSegment(kind="tree", x=2, y=3),
+            ),
+        )
+        assert long.bit_length(16) > short.bit_length(16)

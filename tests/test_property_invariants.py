@@ -1,0 +1,140 @@
+"""Cross-cutting property-based invariants (hypothesis).
+
+These are the paper's structural invariants, checked on randomly drawn
+graphs, fault sets and parameters — beyond the per-module unit tests:
+
+* both labeling schemes agree with each other and the oracle;
+* decoding is monotone in faults (removing edges never reconnects);
+* succinct paths are sound whenever produced;
+* distance estimates upper-bound true distances and respect scale
+  monotonicity;
+* the component partition refines correctly as faults grow.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cycle_space_scheme import CycleSpaceConnectivityScheme
+from repro.core.distance_labels import DistanceLabelScheme
+from repro.core.sketch_scheme import SketchConnectivityScheme
+from repro.graph import generators
+from repro.oracles import ConnectivityOracle, DistanceOracle
+from tests.conftest import graphs_with_queries
+
+
+@st.composite
+def weighted_graphs_with_queries(draw, max_n=16, max_faults=3):
+    n = draw(st.integers(4, max_n))
+    extra = draw(st.integers(2, 20))
+    seed = draw(st.integers(0, 5000))
+    base = generators.random_connected_graph(n, extra_edges=extra, seed=seed)
+    g = generators.with_random_weights(base, 1, 4, seed=seed + 1)
+    s = draw(st.integers(0, n - 1))
+    t = draw(st.integers(0, n - 1))
+    count = draw(st.integers(0, min(max_faults, g.m)))
+    faults = draw(
+        st.lists(st.integers(0, g.m - 1), min_size=count, max_size=count, unique=True)
+    )
+    return g, s, t, faults
+
+
+class TestSchemeAgreement:
+    @settings(max_examples=25, deadline=None)
+    @given(graphs_with_queries(max_faults=4, max_n=14))
+    def test_both_schemes_agree_with_oracle(self, data):
+        g, s, t, faults = data
+        oracle = ConnectivityOracle(g)
+        cs = CycleSpaceConnectivityScheme(g, f=4, seed=1)
+        sk = SketchConnectivityScheme(g, seed=1)
+        truth = oracle.connected(s, t, faults)
+        assert cs.query(s, t, faults) == truth
+        assert sk.query(s, t, faults).connected == truth
+
+
+class TestMonotonicity:
+    @settings(max_examples=20, deadline=None)
+    @given(graphs_with_queries(max_faults=4, max_n=14))
+    def test_more_faults_never_reconnect(self, data):
+        """If <s,t,F> is disconnected, so is <s,t,F'> for F' >= F."""
+        g, s, t, faults = data
+        if not faults:
+            return
+        sk = SketchConnectivityScheme(g, seed=2)
+        full = sk.query(s, t, faults).connected
+        partial = sk.query(s, t, faults[:-1]).connected
+        # connectivity(partial faults) >= connectivity(full faults)
+        assert partial or not full
+
+
+class TestPathSoundness:
+    @settings(max_examples=25, deadline=None)
+    @given(graphs_with_queries(max_faults=4, max_n=14))
+    def test_paths_sound_whenever_produced(self, data):
+        g, s, t, faults = data
+        sk = SketchConnectivityScheme(g, seed=3)
+        res = sk.query(s, t, faults)
+        if not res.connected or res.path is None:
+            return
+        tree = sk.trees[sk.comp_of[s]]
+        vertices = res.path.expand(g, tree)
+        fset = set(faults)
+        assert vertices[0] == s and vertices[-1] == t
+        for a, b in zip(vertices, vertices[1:]):
+            ei = g.edge_index_between(a, b)
+            assert ei is not None and ei not in fset
+
+
+class TestDistanceInvariants:
+    @settings(max_examples=12, deadline=None)
+    @given(weighted_graphs_with_queries())
+    def test_estimate_sandwich(self, data):
+        g, s, t, faults = data
+        scheme = DistanceLabelScheme(g, f=3, k=2, seed=4, base_scheme="cycle_space")
+        oracle = DistanceOracle(g)
+        est = scheme.query(s, t, faults)
+        true = oracle.distance(s, t, faults)
+        if math.isinf(true):
+            assert math.isinf(est)
+        else:
+            assert true - 1e-9 <= est <= scheme.stretch_bound(len(faults)) * max(true, 0) + 1e-9
+
+    @settings(max_examples=12, deadline=None)
+    @given(weighted_graphs_with_queries(max_faults=2))
+    def test_estimates_never_shrink_with_faults(self, data):
+        """dist(G \\ F') >= dist(G \\ F) for F' >= F, and the estimates
+        preserve the trivial direction: faults cannot make the estimate
+        drop below the fault-free true distance."""
+        g, s, t, faults = data
+        scheme = DistanceLabelScheme(g, f=2, k=2, seed=5, base_scheme="cycle_space")
+        oracle = DistanceOracle(g)
+        est_faulted = scheme.query(s, t, faults)
+        base_true = oracle.distance(s, t, [])
+        assert est_faulted >= base_true - 1e-9
+
+
+class TestPartitionRefinement:
+    @settings(max_examples=15, deadline=None)
+    @given(graphs_with_queries(max_faults=4, max_n=12))
+    def test_partition_never_coarser_than_truth(self, data):
+        g, _, _, faults = data
+        from repro.graph.components import connected_components
+
+        sk = SketchConnectivityScheme(g, seed=6)
+        # Only query the component of vertex 0.
+        comp0 = sk.comp_of[0]
+        fl = [sk.edge_label(ei) for ei in faults]
+        part = sk.decode_partition(comp0, fl)
+        true_labels, _ = connected_components(g, faults)
+        for u in range(g.n):
+            for v in range(u + 1, g.n):
+                if sk.comp_of[u] != comp0 or sk.comp_of[v] != comp0:
+                    continue
+                same_true = true_labels[u] == true_labels[v]
+                same_part = part.same_component(
+                    sk.vertex_label(u), sk.vertex_label(v)
+                )
+                assert same_part == same_true

@@ -1,0 +1,88 @@
+"""Tests for route traces: the full vertex walk of the message."""
+
+import random
+
+from repro.graph import generators
+from repro.routing.fault_tolerant import FaultTolerantRouter
+from repro.routing.forbidden_set import ForbiddenSetRouter
+
+
+def _assert_valid_walk(graph, trace, s, t, faults, delivered):
+    assert trace[0] == s
+    if delivered:
+        assert trace[-1] == t
+    fset = set(faults)
+    for a, b in zip(trace, trace[1:]):
+        ei = graph.edge_index_between(a, b)
+        assert ei is not None, f"({a},{b}) is not an edge"
+        assert ei not in fset, f"walk used faulty edge ({a},{b})"
+
+
+class TestFaultTolerantTraces:
+    def test_traces_are_valid_walks(self):
+        g = generators.random_connected_graph(26, extra_edges=32, seed=4)
+        router = FaultTolerantRouter(g, f=2, k=2, seed=5)
+        rnd = random.Random(6)
+        for _ in range(20):
+            s, t = rnd.sample(range(g.n), 2)
+            faults = rnd.sample(range(g.m), 2)
+            res = router.route(s, t, faults)
+            _assert_valid_walk(g, res.trace, s, t, faults, res.delivered)
+
+    def test_trace_length_matches_weight_on_unit_graphs(self):
+        g = generators.grid_graph(4, 4)
+        router = FaultTolerantRouter(g, f=1, k=2, seed=7)
+        ei = g.edge_index_between(5, 6)
+        res = router.route(4, 7, [ei])
+        assert res.delivered
+        # Each trace step is one unit-weight hop... minus the Γ
+        # round-trips, which are sub-messages not on the main walk.
+        main_walk_hops = len(res.trace) - 1
+        assert main_walk_hops == res.telemetry.hops - 2 * res.telemetry.gamma_queries
+
+    def test_trace_contains_reversal(self):
+        from repro.graph.graph import Graph
+
+        g = Graph(6)
+        for v in range(5):
+            g.add_edge(v, v + 1)
+        g.add_edge(0, 5)
+        router = FaultTolerantRouter(g, f=1, k=2, seed=8)
+        ei = g.edge_index_between(4, 5)
+        res = router.route(0, 5, [ei])
+        assert res.delivered
+        if res.telemetry.reversals:
+            # The walk revisits the source after the reversal.
+            assert res.trace.count(0) >= 2
+
+    def test_s_equals_t_trace(self):
+        g = generators.grid_graph(3, 3)
+        router = FaultTolerantRouter(g, f=1, k=2, seed=9)
+        res = router.route(4, 4, [])
+        assert res.trace == [4]
+
+
+class TestForbiddenSetTraces:
+    def test_traces_are_valid_walks(self):
+        g = generators.random_connected_graph(24, extra_edges=30, seed=10)
+        router = ForbiddenSetRouter(g, f=2, k=2, seed=11)
+        rnd = random.Random(12)
+        for _ in range(15):
+            s, t = rnd.sample(range(g.n), 2)
+            faults = rnd.sample(range(g.m), 2)
+            res = router.route(s, t, faults)
+            if res.delivered:
+                _assert_valid_walk(g, res.trace, s, t, faults, True)
+
+    def test_trace_weight_equals_reported_length(self):
+        base = generators.grid_graph(4, 4)
+        g = generators.with_random_weights(base, 1, 5, seed=13)
+        router = ForbiddenSetRouter(g, f=1, k=2, seed=14)
+        res = router.route(0, 15, [2])
+        assert res.delivered
+        walked = sum(
+            g.weight(g.edge_index_between(a, b))
+            for a, b in zip(res.trace, res.trace[1:])
+        )
+        # No reversals/Γ queries in forbidden-set mode: trace = the route.
+        assert walked == res.length

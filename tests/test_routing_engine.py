@@ -1,0 +1,120 @@
+"""Targeted tests for the segment-routing engine (Section 5.2 mechanics).
+
+These exercise the fault-handling paths individually: faults on
+0-segments (non-tree recovery edges), faults on 1-segments (tree
+edges), Γ label fetches at high-degree vertices including partially
+faulty Γ ports, and the reversal cost accounting.
+"""
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.oracles import DistanceOracle
+from repro.routing.fault_tolerant import FaultTolerantRouter
+from repro.routing.network import Network, Telemetry
+
+
+def _star_with_shortcut(spokes=10):
+    """Hub 0 with many children; a detour path around the hub's edge to
+    child 1: 1 - (spokes+1) - 2."""
+    g = Graph(spokes + 2)
+    for v in range(1, spokes + 1):
+        g.add_edge(0, v)
+    g.add_edge(1, spokes + 1)
+    g.add_edge(spokes + 1, 2)
+    return g
+
+
+class TestGammaFetch:
+    def test_gamma_query_is_used_on_high_degree_tree(self):
+        """f=1 on a degree-10 hub forces Γ fetches in balanced mode when
+        a hub child edge fails."""
+        g = _star_with_shortcut(10)
+        router = FaultTolerantRouter(g, f=1, k=2, seed=3, table_mode="balanced")
+        ei = g.edge_index_between(0, 1)
+        res = router.route(0, 1, [ei])
+        assert res.delivered
+        # The detour 0 -> 2 -> 11 -> 1 (or via another child) was used.
+        assert res.length >= 3
+        # Either the hub stored the label (small blocks) or queried Γ.
+        tel = res.telemetry
+        assert tel.reversals >= 1
+
+    def test_gamma_fetch_with_faulty_gamma_port(self):
+        """A Γ member behind a faulty edge must be skipped."""
+        g = _star_with_shortcut(12)
+        f = 2
+        router = FaultTolerantRouter(g, f=f, k=2, seed=4, table_mode="balanced")
+        # Fail the edge to child 1 and one of its likely Γ block-mates.
+        e1 = g.edge_index_between(0, 1)
+        e2 = g.edge_index_between(0, 2)
+        res = router.route(0, 1, [e1, e2])
+        # Path 0 -> child -> ... 1 exists via the shortcut (0-3.. no;
+        # the only detour is 0 -> 2? which is faulty...). Reachability:
+        oracle = DistanceOracle(g)
+        import math
+
+        expected = not math.isinf(oracle.distance(0, 1, [e1, e2]))
+        assert res.delivered == expected
+
+    def test_simple_mode_never_issues_gamma_queries(self):
+        g = _star_with_shortcut(10)
+        router = FaultTolerantRouter(g, f=1, k=2, seed=5, table_mode="simple")
+        ei = g.edge_index_between(0, 1)
+        res = router.route(0, 1, [ei])
+        assert res.delivered
+        assert res.telemetry.gamma_queries == 0
+
+
+class TestReversalAccounting:
+    def test_reversal_charges_the_forward_prefix(self):
+        """On a path graph with the far edge failed, the walk is
+        out-and-back: total = 2 * prefix + recovery route."""
+        g = Graph(6)
+        for v in range(5):
+            g.add_edge(v, v + 1)
+        g.add_edge(0, 5)  # recovery ring edge
+        router = FaultTolerantRouter(g, f=1, k=2, seed=6)
+        ei = g.edge_index_between(4, 5)
+        res = router.route(0, 5, [ei])
+        assert res.delivered
+        # Optimal is the direct edge (length 1); the router may first
+        # walk toward the break (4 edges), reverse (4 edges), then take
+        # the ring edge; or find the edge immediately.
+        assert res.length in (1.0, 9.0)
+        if res.length == 9.0:
+            assert res.telemetry.reversals == 1
+
+    def test_hops_match_weight_on_unit_graphs(self):
+        g = generators.grid_graph(4, 4)
+        router = FaultTolerantRouter(g, f=1, k=2, seed=7)
+        ei = g.edge_index_between(5, 6)
+        res = router.route(4, 7, [ei])
+        assert res.delivered
+        assert res.telemetry.hops == int(res.telemetry.weighted)
+
+
+class TestNetworkDiscipline:
+    def test_route_never_traverses_faulty_edges(self):
+        """The simulator raises on faulty traversal, so a completed
+        route proves the protocol never crossed a fault."""
+        import random
+
+        g = generators.random_connected_graph(24, extra_edges=30, seed=8)
+        router = FaultTolerantRouter(g, f=2, k=2, seed=9)
+        rnd = random.Random(11)
+        for _ in range(20):
+            s, t = rnd.sample(range(g.n), 2)
+            faults = rnd.sample(range(g.m), 2)
+            router.route(s, t, faults)  # would raise FaultyEdgeError
+
+    def test_telemetry_monotone_in_faults(self):
+        g = generators.grid_graph(5, 5)
+        router = FaultTolerantRouter(g, f=2, k=2, seed=10)
+        base = router.route(0, 24, [])
+        ei = g.edge_index_between(12, 13)
+        ej = g.edge_index_between(7, 12)
+        faulted = router.route(0, 24, [ei, ej])
+        assert base.delivered and faulted.delivered
+        assert faulted.telemetry.decode_calls >= base.telemetry.decode_calls

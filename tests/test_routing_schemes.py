@@ -1,0 +1,148 @@
+"""End-to-end tests for the Section 5 routing schemes."""
+
+import math
+import random
+
+import pytest
+
+from repro.graph import generators
+from repro.oracles import DistanceOracle
+from repro.routing.fault_tolerant import FaultTolerantRouter
+from repro.routing.forbidden_set import ForbiddenSetRouter
+from tests.conftest import random_fault_sets
+
+
+def _drill(router, graph, trials, max_faults, seed, stretch_of):
+    """Route random (s, t, F); assert delivery + the stretch bound."""
+    oracle = DistanceOracle(graph)
+    rnd = random.Random(seed)
+    delivered = 0
+    for faults in random_fault_sets(graph, trials, max_faults, seed + 1):
+        s, t = rnd.sample(range(graph.n), 2)
+        true = oracle.distance(s, t, faults)
+        res = router.route(s, t, faults)
+        if math.isinf(true):
+            assert not res.delivered
+            continue
+        assert res.delivered, f"undelivered: s={s} t={t} F={faults}"
+        delivered += 1
+        bound = stretch_of(len(faults)) * true
+        assert res.length <= bound + 1e-9, (
+            f"stretch violation: len={res.length} bound={bound} "
+            f"s={s} t={t} F={faults}"
+        )
+    assert delivered > trials // 2
+
+
+class TestForbiddenSetRouting:
+    def test_random_graph(self):
+        g = generators.random_connected_graph(28, extra_edges=36, seed=3)
+        router = ForbiddenSetRouter(g, f=2, k=2, seed=4)
+        _drill(router, g, 40, 2, seed=50, stretch_of=router.stretch_bound)
+
+    def test_weighted_graph(self):
+        base = generators.random_connected_graph(24, extra_edges=30, seed=5)
+        g = generators.with_random_weights(base, 1, 6, seed=6)
+        router = ForbiddenSetRouter(g, f=2, k=2, seed=7)
+        _drill(router, g, 30, 2, seed=51, stretch_of=router.stretch_bound)
+
+    def test_grid(self):
+        g = generators.grid_graph(5, 5)
+        router = ForbiddenSetRouter(g, f=2, k=2, seed=8)
+        _drill(router, g, 30, 2, seed=52, stretch_of=router.stretch_bound)
+
+    def test_s_equals_t(self):
+        g = generators.grid_graph(4, 4)
+        router = ForbiddenSetRouter(g, f=1, k=2, seed=9)
+        res = router.route(5, 5, [])
+        assert res.delivered and res.length == 0.0
+
+    def test_zero_faults_low_stretch(self):
+        g = generators.grid_graph(5, 5)
+        router = ForbiddenSetRouter(g, f=1, k=2, seed=10)
+        oracle = DistanceOracle(g)
+        for s, t in [(0, 24), (2, 20), (6, 18)]:
+            res = router.route(s, t, [])
+            assert res.delivered
+            assert res.length <= router.stretch_bound(0) * oracle.distance(s, t)
+
+
+class TestFaultTolerantRouting:
+    @pytest.mark.parametrize("mode", ["simple", "balanced"])
+    def test_random_graph(self, mode):
+        g = generators.random_connected_graph(26, extra_edges=34, seed=11)
+        router = FaultTolerantRouter(g, f=2, k=2, seed=12, table_mode=mode)
+        _drill(router, g, 35, 2, seed=53, stretch_of=router.stretch_bound)
+
+    def test_weighted_graph_balanced(self):
+        base = generators.random_connected_graph(22, extra_edges=28, seed=13)
+        g = generators.with_random_weights(base, 1, 5, seed=14)
+        router = FaultTolerantRouter(g, f=2, k=2, seed=15)
+        _drill(router, g, 25, 2, seed=54, stretch_of=router.stretch_bound)
+
+    def test_ring_of_cliques_adversarial(self):
+        g = generators.ring_of_cliques(4, 4)
+        router = FaultTolerantRouter(g, f=2, k=2, seed=16)
+        _drill(router, g, 30, 2, seed=55, stretch_of=router.stretch_bound)
+
+    def test_faults_on_shortest_path_force_detour(self):
+        g = generators.grid_graph(4, 4)
+        router = FaultTolerantRouter(g, f=1, k=2, seed=17)
+        oracle = DistanceOracle(g)
+        # Fail an edge on the straight-line path 0..3.
+        ei = g.edge_index_between(1, 2)
+        res = router.route(0, 3, [ei])
+        assert res.delivered
+        true = oracle.distance(0, 3, [ei])
+        assert true <= res.length <= router.stretch_bound(1) * true
+
+    def test_telemetry_counters(self):
+        g = generators.grid_graph(4, 4)
+        router = FaultTolerantRouter(g, f=2, k=2, seed=18)
+        ei = g.edge_index_between(5, 6)
+        res = router.route(4, 7, [ei])
+        assert res.delivered
+        tel = res.telemetry
+        assert tel.decode_calls >= 1
+        assert tel.phases >= 1
+        assert tel.max_header_bits > 0
+        assert tel.hops >= 3
+
+    def test_disconnection_returns_undelivered(self):
+        g = generators.cycle_graph(8)
+        router = FaultTolerantRouter(g, f=2, k=2, seed=19)
+        res = router.route(0, 4, [0, 4])
+        assert not res.delivered
+
+    def test_more_faults_than_f_still_often_works(self):
+        """The scheme is built for f faults; with more it may fail but
+        must never deliver over a faulty edge (the simulator enforces
+        this by construction)."""
+        g = generators.random_connected_graph(20, extra_edges=30, seed=20)
+        router = FaultTolerantRouter(g, f=1, k=2, seed=21)
+        rnd = random.Random(9)
+        for faults in random_fault_sets(g, 10, 3, seed=56):
+            s, t = rnd.sample(range(g.n), 2)
+            router.route(s, t, faults)  # must not raise
+
+    def test_zero_fault_bound(self):
+        g = generators.grid_graph(3, 3)
+        router = FaultTolerantRouter(g, f=0, k=2, seed=22)
+        res = router.route(0, 8, [])
+        assert res.delivered
+
+
+class TestBoundsAndSizes:
+    def test_stretch_bound_formula(self):
+        g = generators.grid_graph(3, 3)
+        router = FaultTolerantRouter(g, f=1, k=2, seed=23)
+        assert router.stretch_bound(0) == 32 * 2 + 40
+        assert router.stretch_bound(1) == (32 * 2 + 40) * 4
+
+    def test_table_and_label_sizes_reported(self):
+        g = generators.random_connected_graph(18, extra_edges=22, seed=24)
+        router = FaultTolerantRouter(g, f=1, k=2, seed=25)
+        assert router.max_table_bits() >= router.table_bits(0) > 0
+        assert router.total_table_bits() >= router.max_table_bits()
+        assert router.max_label_bits() > 0
+        assert router.max_label_bits() < router.max_table_bits()

@@ -1,0 +1,141 @@
+"""Tests for routing labels and tables (Equations (7)-(9), Claim 5.7)."""
+
+import pytest
+
+from repro.core.distance_labels import DistanceLabelScheme
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.routing.tables import (
+    build_routing_label,
+    build_routing_tables,
+)
+
+
+def _scheme(graph, f=2, k=2, gamma=False, seed=3):
+    return DistanceLabelScheme(
+        graph,
+        f,
+        k,
+        seed=seed,
+        base_scheme="sketch",
+        copies=f + 1,
+        routing=True,
+        gamma_f=f if gamma else None,
+    )
+
+
+def _broom(spokes=20, handle=4):
+    """A high-degree hub: worst case for per-vertex simple tables."""
+    g = Graph(spokes + handle + 1)
+    for v in range(1, spokes + 1):
+        g.add_edge(0, v)
+    prev = 0
+    for v in range(spokes + 1, spokes + handle + 1):
+        g.add_edge(prev, v)
+        prev = v
+    return g
+
+
+class TestTableStructure:
+    def test_every_vertex_has_entry_per_containing_tree(self):
+        g = generators.random_connected_graph(24, extra_edges=30, seed=5)
+        scheme = _scheme(g)
+        tables = build_routing_tables(scheme, "simple", 2)
+        for key, inst in scheme.instances.items():
+            for pv in inst.sub.vertex_to_parent:
+                assert key in tables[pv].entries
+
+    def test_simple_mode_stores_all_incident_tree_edges(self):
+        g = generators.random_connected_graph(24, extra_edges=30, seed=5)
+        scheme = _scheme(g)
+        tables = build_routing_tables(scheme, "simple", 2)
+        for key, inst in scheme.instances.items():
+            tree = inst.tree
+            to_parent = inst.sub.vertex_to_parent
+            for child in tree.vertices:
+                if tree.parent[child] < 0:
+                    continue
+                gu = to_parent[tree.parent[child]]
+                gc = to_parent[child]
+                port_u = g.port_of(gu, gc)
+                # Both endpoints can look the label up by their own key.
+                assert (gu, port_u) in tables[gu].entries[key].edge_labels
+                port_c = g.port_of(gc, gu)
+                assert (gc, port_c) in tables[gc].entries[key].edge_labels
+
+    def test_balanced_mode_gamma_members_store_labels(self):
+        g = _broom()
+        scheme = _scheme(g, gamma=True)
+        tables = build_routing_tables(scheme, "balanced", 2)
+        for key, inst in scheme.instances.items():
+            tr = inst.tree_routing
+            tree = inst.tree
+            to_parent = inst.sub.vertex_to_parent
+            for child in tree.vertices:
+                if tree.parent[child] < 0:
+                    continue
+                parent = tree.parent[child]
+                gu, gc = to_parent[parent], to_parent[child]
+                key_u = (gu, g.port_of(gu, gc))
+                for member in tr.gamma_members(child):
+                    gm = to_parent[member]
+                    assert key_u in tables[gm].entries[key].edge_labels
+                # The child always stores its parent edge.
+                key_c = (gc, g.port_of(gc, gu))
+                assert key_c in tables[gc].entries[key].edge_labels
+
+    def test_invalid_mode_rejected(self):
+        g = generators.cycle_graph(6)
+        scheme = _scheme(g, f=1)
+        with pytest.raises(ValueError):
+            build_routing_tables(scheme, "huge", 1)
+
+    def test_non_routing_scheme_rejected(self):
+        g = generators.cycle_graph(6)
+        plain = DistanceLabelScheme(g, 1, 2, base_scheme="cycle_space")
+        with pytest.raises(ValueError):
+            build_routing_tables(plain, "simple", 1)
+
+
+class TestBalancedVsSimpleSizes:
+    def test_hub_table_shrinks_in_balanced_mode(self):
+        """Claim 5.7: balanced tables are degree-independent."""
+        g = _broom(spokes=24, handle=3)
+        f = 2
+        simple = build_routing_tables(_scheme(g, f=f, seed=1), "simple", f)
+        balanced = build_routing_tables(
+            _scheme(g, f=f, gamma=True, seed=1), "balanced", f
+        )
+        hub = 0
+        assert balanced[hub].bit_length() < simple[hub].bit_length() / 2
+
+    def test_balanced_stores_bounded_labels_per_tree(self):
+        g = _broom(spokes=30, handle=3)
+        f = 2
+        scheme = _scheme(g, f=f, gamma=True, seed=2)
+        tables = build_routing_tables(scheme, "balanced", f)
+        for v in g.vertices():
+            for key, entry in tables[v].entries.items():
+                unique = {id(lab) for lab in entry.edge_labels.values()}
+                # Parent edge + O(f) child edges + O(f) sibling edges.
+                assert len(unique) <= 2 * (2 * f + 1) + 1
+
+
+class TestRoutingLabels:
+    def test_label_has_entry_per_scale(self):
+        g = generators.random_connected_graph(20, extra_edges=25, seed=6)
+        scheme = _scheme(g, f=1)
+        for v in range(0, g.n, 3):
+            label = build_routing_label(scheme, v)
+            assert set(label.per_scale) == set(range(scheme.K + 1))
+            for i, (j, conn) in label.per_scale.items():
+                assert (i, j) in scheme.instances
+                assert conn.vid == v  # global id embedded
+
+    def test_label_bits_much_smaller_than_tables(self):
+        g = generators.random_connected_graph(20, extra_edges=25, seed=6)
+        scheme = _scheme(g, f=1)
+        tables = build_routing_tables(scheme, "simple", 1)
+        label_bits = build_routing_label(scheme, 0).bit_length()
+        table_bits = tables[0].bit_length()
+        assert label_bits < table_bits / 5

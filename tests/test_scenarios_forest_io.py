@@ -1,0 +1,250 @@
+"""Tests for the scenario runner, the forest scheme, graph I/O, size
+reports and the new generators."""
+
+import io
+import math
+import random
+
+import pytest
+
+from repro.core.forest_scheme import ForestConnectivityScheme
+from repro.graph import generators
+from repro.graph.components import is_connected
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.oracles import ConnectivityOracle, DistanceOracle
+from repro.scenarios import FaultBudgetExceeded, FaultScenario
+from repro.sizing.report import SizeReport, connectivity_report, router_report
+
+
+class TestFaultScenario:
+    @pytest.fixture
+    def scenario(self):
+        g = generators.grid_graph(4, 4)
+        return FaultScenario(g, f=2, k=2, seed=3), g
+
+    def test_fail_query_repair_cycle(self, scenario):
+        sc, g = scenario
+        oracle = ConnectivityOracle(g)
+        assert sc.connected(0, 15)
+        sc.fail(0, 1)
+        sc.fail(0, 4)  # isolates vertex 0
+        assert not sc.connected(0, 15)
+        assert oracle.connected(0, 15, sc.active_faults) is False
+        sc.repair(0, 1)
+        assert sc.connected(0, 15)
+
+    def test_budget_enforced(self, scenario):
+        sc, _ = scenario
+        sc.fail(0, 1)
+        sc.fail(1, 2)
+        with pytest.raises(FaultBudgetExceeded):
+            sc.fail(2, 3)
+        sc.repair(0, 1)
+        sc.fail(2, 3)  # budget freed
+
+    def test_refailing_same_link_is_idempotent(self, scenario):
+        sc, _ = scenario
+        sc.fail(0, 1)
+        sc.fail(0, 1)
+        assert len(sc.active_faults) == 1
+
+    def test_route_against_live_faults(self, scenario):
+        sc, g = scenario
+        sc.fail(1, 2)
+        res = sc.route(0, 3)
+        assert res.delivered
+        true = DistanceOracle(g).distance(0, 3, sc.active_faults)
+        assert res.length >= true
+
+    def test_distance_against_live_faults(self, scenario):
+        sc, g = scenario
+        sc.fail(1, 2)
+        est = sc.distance(0, 3)
+        true = DistanceOracle(g).distance(0, 3, sc.active_faults)
+        assert est >= true - 1e-9
+
+    def test_log_records_everything(self, scenario):
+        sc, _ = scenario
+        sc.fail(0, 1)
+        sc.connected(0, 15)
+        sc.repair(0, 1)
+        ops = [r.op for r in sc.log]
+        assert ops == ["fail", "connected", "repair"]
+
+    def test_health_summary(self, scenario):
+        sc, _ = scenario
+        summary = sc.health_summary([0, 3, 12, 15])
+        assert summary["reachable_pairs"] == summary["landmark_pairs"] == 6
+        assert not summary["partitioned"]
+        sc.fail(0, 1)
+        sc.fail(0, 4)
+        summary = sc.health_summary([0, 15])
+        assert summary["partitioned"]
+
+    def test_non_edge_rejected(self, scenario):
+        sc, _ = scenario
+        with pytest.raises(ValueError):
+            sc.fail(0, 15)
+
+    def test_router_optional(self):
+        g = generators.grid_graph(3, 3)
+        sc = FaultScenario(g, f=1, build_router=False)
+        with pytest.raises(RuntimeError):
+            sc.route(0, 8)
+
+
+class TestForestScheme:
+    def test_exact_on_random_trees(self):
+        rnd = random.Random(5)
+        for seed in range(4):
+            g = generators.random_tree(30, seed=seed)
+            scheme = ForestConnectivityScheme(g)
+            oracle = ConnectivityOracle(g)
+            for _ in range(40):
+                s, t = rnd.sample(range(g.n), 2)
+                faults = rnd.sample(range(g.m), rnd.randint(0, 5))
+                assert scheme.query(s, t, faults) == oracle.connected(s, t, faults)
+
+    def test_caterpillar(self):
+        g = generators.caterpillar_graph(6, 3)
+        scheme = ForestConnectivityScheme(g)
+        oracle = ConnectivityOracle(g)
+        rnd = random.Random(6)
+        for _ in range(30):
+            s, t = rnd.sample(range(g.n), 2)
+            faults = rnd.sample(range(g.m), rnd.randint(0, 4))
+            assert scheme.query(s, t, faults) == oracle.connected(s, t, faults)
+
+    def test_forest_with_multiple_trees(self):
+        from repro.graph.graph import Graph
+
+        g = Graph(7)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(3, 4)
+        g.add_edge(5, 6)
+        scheme = ForestConnectivityScheme(g)
+        assert not scheme.query(0, 3, [])
+        assert scheme.query(3, 4, [])
+        assert not scheme.query(3, 4, [2])
+
+    def test_rejects_cyclic_graph(self):
+        with pytest.raises(ValueError):
+            ForestConnectivityScheme(generators.cycle_graph(5))
+
+    def test_labels_are_tiny_and_deterministic(self):
+        g = generators.random_tree(200, seed=7)
+        scheme = ForestConnectivityScheme(g)
+        assert scheme.max_vertex_label_bits() <= 20
+        assert scheme.max_edge_label_bits() <= 40
+
+
+class TestGraphIO:
+    def test_roundtrip_preserves_ports(self):
+        g = generators.with_random_weights(
+            generators.random_connected_graph(20, extra_edges=25, seed=8), 1, 5, seed=9
+        )
+        buf = io.StringIO()
+        write_edge_list(g, buf)
+        buf.seek(0)
+        back = read_edge_list(buf)
+        assert back.n == g.n and back.m == g.m
+        for e, f in zip(g.edges, back.edges):
+            assert (e.u, e.v, e.weight) == (f.u, f.v, f.weight)
+        for v in g.vertices():
+            assert list(g.incident(v)) == list(back.incident(v))
+
+    def test_file_roundtrip(self, tmp_path):
+        g = generators.grid_graph(3, 3)
+        path = tmp_path / "grid.edges"
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        assert back.m == g.m
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# a comment\n\nn 3\ne 0 1\n# mid comment\ne 1 2 2.5\n"
+        g = read_edge_list(io.StringIO(text))
+        assert g.n == 3 and g.m == 2
+        assert g.weight(1) == 2.5
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "e 0 1\n",  # edge before header
+            "n 3\nn 4\n",  # duplicate header
+            "n 3\nz 0 1\n",  # unknown record
+            "n 3\ne 0\n",  # malformed edge
+            "",  # empty
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            read_edge_list(io.StringIO(bad))
+
+
+class TestNewGenerators:
+    def test_barbell(self):
+        g = generators.barbell_graph(4, 3)
+        assert is_connected(g)
+        # The bridge path is a sequence of cut edges.
+        from repro.oracles.distances import shortest_path_distance
+
+        assert shortest_path_distance(g, 0, 4) == 3
+
+    def test_barbell_direct_bridge(self):
+        g = generators.barbell_graph(3, 1)
+        assert g.has_edge(0, 3)
+
+    def test_caterpillar_structure(self):
+        g = generators.caterpillar_graph(5, 2)
+        assert g.n == 15
+        assert g.m == g.n - 1  # a tree
+        assert is_connected(g)
+
+    def test_random_geometric_connected(self):
+        for seed in range(3):
+            g = generators.random_geometric_graph(30, 0.25, seed=seed)
+            assert is_connected(g)
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            generators.barbell_graph(1, 1)
+        with pytest.raises(ValueError):
+            generators.caterpillar_graph(0, 1)
+
+
+class TestSizeReports:
+    def test_percentiles_and_summary(self):
+        report = SizeReport(name="x", sizes=tuple(sorted([10, 20, 30, 40, 100])))
+        assert report.count == 5
+        assert report.total_bits == 200
+        assert report.min_bits == 10 and report.max_bits == 100
+        assert report.percentile(50) == 30
+        assert report.percentile(100) == 100
+        assert "p50=30b" in report.summary()
+        with pytest.raises(ValueError):
+            report.percentile(150)
+
+    def test_empty_report(self):
+        report = SizeReport(name="empty", sizes=())
+        assert report.max_bits == 0
+        assert "empty" in report.summary()
+
+    def test_connectivity_report(self):
+        from repro.core.cycle_space_scheme import CycleSpaceConnectivityScheme
+
+        g = generators.random_connected_graph(20, extra_edges=25, seed=10)
+        scheme = CycleSpaceConnectivityScheme(g, f=2, seed=11)
+        reports = connectivity_report(scheme)
+        assert reports["vertex_labels"].count == g.n
+        assert reports["edge_labels"].count == g.m
+        assert reports["edge_labels"].max_bits == scheme.max_edge_label_bits()
+
+    def test_router_report(self):
+        from repro.routing.fault_tolerant import FaultTolerantRouter
+
+        g = generators.grid_graph(3, 3)
+        router = FaultTolerantRouter(g, f=1, k=2, seed=12)
+        reports = router_report(router)
+        assert reports["tables"].max_bits == router.max_table_bits()
+        assert reports["labels"].count == g.n

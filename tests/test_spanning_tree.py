@@ -1,0 +1,147 @@
+"""Unit tests for rooted spanning trees and forests."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph import generators
+from repro.graph.spanning_tree import RootedTree, spanning_forest
+from repro.oracles.distances import shortest_path_distance
+from tests.conftest import connected_graphs
+
+
+class TestBuilders:
+    def test_bfs_tree_spans_component(self, small_connected):
+        tree = RootedTree.bfs(small_connected, root=0)
+        assert sorted(tree.vertices) == list(range(small_connected.n))
+        assert len(tree.tree_edge_indices) == small_connected.n - 1
+
+    def test_bfs_depth_is_hop_distance(self, grid_6x6):
+        tree = RootedTree.bfs(grid_6x6, root=0)
+        for v in grid_6x6.vertices():
+            r, c = divmod(v, 6)
+            assert tree.depth[v] == r + c  # grid BFS layers
+
+    def test_dfs_tree_spans_component(self, small_connected):
+        tree = RootedTree.dfs(small_connected, root=3)
+        assert sorted(tree.vertices) == list(range(small_connected.n))
+
+    def test_dijkstra_tree_gives_shortest_distances(self, weighted_graph):
+        tree = RootedTree.dijkstra(weighted_graph, root=0)
+        for v in weighted_graph.vertices():
+            assert tree.wdepth[v] == pytest.approx(
+                shortest_path_distance(weighted_graph, 0, v)
+            )
+
+    def test_forbidden_edges_respected(self):
+        g = generators.cycle_graph(6)
+        tree = RootedTree.bfs(g, root=0, forbidden=[0])
+        assert 0 not in tree.tree_edge_indices
+        assert sorted(tree.vertices) == list(range(6))
+
+    def test_partial_component(self):
+        g = generators.cycle_graph(6)
+        # Remove two edges: component of 0 shrinks.
+        tree = RootedTree.bfs(g, root=0, forbidden=[1, 4])
+        assert set(tree.vertices) < set(range(6))
+        assert tree.spans(0)
+
+
+class TestStructure:
+    def test_children_are_sorted(self, medium_connected):
+        tree = RootedTree.bfs(medium_connected, root=0)
+        for v in tree.vertices:
+            assert tree.children[v] == sorted(tree.children[v])
+
+    def test_parent_edge_consistency(self, medium_connected):
+        g = medium_connected
+        tree = RootedTree.bfs(g, root=0)
+        for v in tree.vertices:
+            if v == tree.root:
+                continue
+            e = g.edge(tree.parent_edge[v])
+            assert {e.u, e.v} == {v, tree.parent[v]}
+
+    def test_child_endpoint(self, medium_connected):
+        tree = RootedTree.bfs(medium_connected, root=0)
+        for v in tree.vertices:
+            if v == tree.root:
+                continue
+            assert tree.child_endpoint(tree.parent_edge[v]) == v
+
+    def test_child_endpoint_rejects_non_tree_edge(self, medium_connected):
+        g = medium_connected
+        tree = RootedTree.bfs(g, root=0)
+        non_tree = [e.index for e in g.edges if e.index not in tree.tree_edge_indices]
+        if non_tree:
+            with pytest.raises(ValueError):
+                tree.child_endpoint(non_tree[0])
+
+    def test_post_order_children_before_parents(self, medium_connected):
+        tree = RootedTree.bfs(medium_connected, root=0)
+        position = {v: i for i, v in enumerate(tree.post_order())}
+        for v in tree.vertices:
+            for c in tree.children[v]:
+                assert position[c] < position[v]
+
+
+class TestPaths:
+    @settings(max_examples=30, deadline=None)
+    @given(connected_graphs(max_n=16))
+    def test_tree_path_endpoints_and_adjacency(self, g):
+        tree = RootedTree.bfs(g, root=0)
+        for u in range(0, g.n, 3):
+            for v in range(0, g.n, 5):
+                path = tree.tree_path(u, v)
+                assert path[0] == u and path[-1] == v
+                for a, b in zip(path, path[1:]):
+                    assert tree.parent[a] == b or tree.parent[b] == a
+
+    def test_lca_of_vertex_with_itself(self, small_connected):
+        tree = RootedTree.bfs(small_connected, root=0)
+        assert tree.lca(5, 5) == 5
+
+    def test_lca_with_root(self, small_connected):
+        tree = RootedTree.bfs(small_connected, root=0)
+        assert tree.lca(0, 7) == 0
+
+    def test_tree_distance_matches_path_weights(self, weighted_graph):
+        tree = RootedTree.dijkstra(weighted_graph, root=0)
+        for u, v in [(1, 2), (3, 9), (0, 11)]:
+            path = tree.tree_path(u, v)
+            total = 0.0
+            for a, b in zip(path, path[1:]):
+                total += weighted_graph.weight(weighted_graph.edge_index_between(a, b))
+            assert tree.tree_distance(u, v) == pytest.approx(total)
+
+    def test_subtree_vertices(self, small_connected):
+        tree = RootedTree.bfs(small_connected, root=0)
+        assert sorted(tree.subtree_vertices(tree.root)) == sorted(tree.vertices)
+        for v in tree.vertices:
+            sub = tree.subtree_vertices(v)
+            assert v in sub
+            for c in tree.children[v]:
+                assert c in sub
+
+
+class TestForest:
+    def test_forest_on_disconnected_graph(self):
+        g = generators.grid_graph(2, 2)
+        # Add isolated component.
+        from repro.graph.graph import Graph
+
+        h = Graph(8)
+        for e in g.edges:
+            h.add_edge(e.u, e.v)
+        h.add_edge(4, 5)
+        h.add_edge(6, 7)
+        trees, comp_of = spanning_forest(h)
+        assert len(trees) == 3
+        assert comp_of[0] == comp_of[3]
+        assert comp_of[4] == comp_of[5] != comp_of[6]
+
+    def test_forest_with_forbidden_edges(self):
+        g = generators.cycle_graph(8)
+        trees, comp_of = spanning_forest(g, forbidden=[0, 4])
+        assert len(trees) == 2

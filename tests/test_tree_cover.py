@@ -1,0 +1,120 @@
+"""Tests for tree covers (Definition 4.1 / Proposition 4.2)."""
+
+import math
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.components import connected_components
+from repro.oracles import DistanceOracle
+from repro.trees.tree_cover import sparse_cover
+
+
+def _check_cover_properties(graph, cover, rho, k, forbidden=()):
+    oracle = DistanceOracle(graph)
+    member_sets = [set(t.vertices) for t in cover.trees]
+    # Property 1: each vertex's ball is inside its home cluster.
+    for v in graph.vertices():
+        home = cover.home[v]
+        ball = set(oracle.ball(v, rho, faults=forbidden))
+        assert ball <= member_sets[home], f"ball of {v} not covered"
+    # Property 2: cluster radii are O(k * rho).
+    for t in cover.trees:
+        assert t.radius <= (2 * k + 1) * rho + 1e-9
+    # Clusters induce connected subgraphs (so SPT trees exist).
+    for t in cover.trees:
+        sub = graph.induced_subgraph(
+            t.vertices,
+            allowed_edges=[
+                e.index for e in graph.edges if e.index not in set(forbidden)
+            ],
+        )
+        _, count = connected_components(sub.graph)
+        assert count == 1
+
+
+class TestCoverProperties:
+    def test_grid_small_radius(self):
+        g = generators.grid_graph(7, 7)
+        cover = sparse_cover(g, rho=2.0, k=2)
+        _check_cover_properties(g, cover, 2.0, 2)
+        assert len(cover.trees) > 1  # small balls: several clusters
+
+    def test_grid_large_radius_single_cluster(self):
+        g = generators.grid_graph(5, 5)
+        cover = sparse_cover(g, rho=100.0, k=2)
+        assert len(cover.trees) == 1
+        assert len(cover.trees[0].vertices) == 25
+
+    def test_random_graph_various_scales(self):
+        g = generators.random_connected_graph(50, extra_edges=60, seed=3)
+        for rho in (1.0, 2.0, 4.0):
+            for k in (1, 2, 3):
+                cover = sparse_cover(g, rho=rho, k=k)
+                _check_cover_properties(g, cover, rho, k)
+
+    def test_weighted_graph(self):
+        base = generators.grid_graph(5, 5)
+        g = generators.with_random_weights(base, 1, 4, seed=5)
+        cover = sparse_cover(g, rho=3.0, k=2)
+        _check_cover_properties(g, cover, 3.0, 2)
+
+    def test_forbidden_edges_respected(self):
+        g = generators.grid_graph(4, 4)
+        heavy = [0, 5, 10]
+        cover = sparse_cover(g, rho=2.0, k=2, forbidden_edges=heavy)
+        _check_cover_properties(g, cover, 2.0, 2, forbidden=heavy)
+
+    def test_disconnected_graph(self):
+        from repro.graph.graph import Graph
+
+        g = Graph(6)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(3, 4)
+        g.add_edge(4, 5)
+        cover = sparse_cover(g, rho=1.0, k=2)
+        # Homes are defined for every vertex; clusters never span components.
+        assert set(cover.home) == set(range(6))
+        for t in cover.trees:
+            assert not ({0, 1, 2} & set(t.vertices) and {3, 4, 5} & set(t.vertices))
+
+
+class TestOverlap:
+    def test_overlap_is_moderate(self):
+        """Property 3: per-vertex overlap ~ O(k n^{1/k} log n) in practice."""
+        g = generators.grid_graph(8, 8)
+        for k in (2, 3):
+            cover = sparse_cover(g, rho=2.0, k=k)
+            bound = 4 * k * (g.n ** (1.0 / k)) * math.log2(g.n)
+            assert cover.max_overlap() <= bound
+
+    def test_overlap_counts_consistent(self):
+        g = generators.grid_graph(6, 6)
+        cover = sparse_cover(g, rho=1.0, k=2)
+        counts = cover.overlap_counts()
+        assert sum(counts.values()) == sum(len(t.vertices) for t in cover.trees)
+
+    def test_growth_override_controls_cluster_count(self):
+        """A large growth bound stops kernel merging early (many small
+        clusters); a tiny bound merges everything into one."""
+        g = generators.grid_graph(6, 6)
+        eager = sparse_cover(g, rho=2.0, k=2, max_cluster_growth=1e9)
+        lazy = sparse_cover(g, rho=2.0, k=2, max_cluster_growth=1.01)
+        assert len(eager.trees) > len(lazy.trees)
+        assert len(lazy.trees) == 1
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        g = generators.cycle_graph(5)
+        with pytest.raises(ValueError):
+            sparse_cover(g, rho=0.0, k=2)
+        with pytest.raises(ValueError):
+            sparse_cover(g, rho=1.0, k=0)
+
+    def test_centers_are_members(self):
+        g = generators.grid_graph(5, 5)
+        cover = sparse_cover(g, rho=1.0, k=2)
+        for t in cover.trees:
+            assert t.center in set(t.vertices)

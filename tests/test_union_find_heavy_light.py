@@ -1,0 +1,98 @@
+"""Tests for union-find and heavy-light decomposition."""
+
+import math
+
+from repro.graph import generators
+from repro.graph.spanning_tree import RootedTree
+from repro.trees.heavy_light import HeavyLightDecomposition
+from repro.trees.union_find import UnionFind
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind(5)
+        assert uf.set_count == 5
+        assert not uf.same(0, 1)
+
+    def test_union_merges(self):
+        uf = UnionFind(5)
+        assert uf.union(0, 1)
+        assert uf.same(0, 1)
+        assert uf.set_count == 4
+
+    def test_union_idempotent(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.set_count == 4
+
+    def test_transitive_chain(self):
+        uf = UnionFind(10)
+        for i in range(9):
+            uf.union(i, i + 1)
+        assert uf.set_count == 1
+        assert uf.same(0, 9)
+
+    def test_find_is_canonical(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        uf.union(1, 3)
+        roots = {uf.find(i) for i in (0, 1, 2, 3)}
+        assert len(roots) == 1
+
+
+class TestHeavyLight:
+    def test_subtree_sizes(self, medium_connected):
+        tree = RootedTree.bfs(medium_connected, root=0)
+        hld = HeavyLightDecomposition(tree)
+        assert hld.size[tree.root] == len(tree.vertices)
+        for v in tree.vertices:
+            assert hld.size[v] == 1 + sum(hld.size[c] for c in tree.children[v])
+
+    def test_heavy_child_is_largest(self, medium_connected):
+        tree = RootedTree.bfs(medium_connected, root=0)
+        hld = HeavyLightDecomposition(tree)
+        for v in tree.vertices:
+            if tree.children[v]:
+                h = hld.heavy_child[v]
+                assert hld.size[h] == max(hld.size[c] for c in tree.children[v])
+            else:
+                assert hld.heavy_child[v] == -1
+
+    def test_light_depth_bounded_by_log(self):
+        for seed in range(5):
+            g = generators.random_connected_graph(100, extra_edges=60, seed=seed)
+            tree = RootedTree.bfs(g, root=0)
+            hld = HeavyLightDecomposition(tree)
+            bound = math.floor(math.log2(100)) + 1
+            assert hld.max_light_depth() <= bound
+
+    def test_light_edges_to_matches_light_depth(self, medium_connected):
+        tree = RootedTree.bfs(medium_connected, root=0)
+        hld = HeavyLightDecomposition(tree)
+        for v in tree.vertices:
+            assert len(hld.light_edges_to(v)) == hld.light_depth[v]
+
+    def test_light_edges_are_on_root_path(self, medium_connected):
+        tree = RootedTree.bfs(medium_connected, root=0)
+        hld = HeavyLightDecomposition(tree)
+        for v in tree.vertices:
+            path = set(tree.path_to_root(v))
+            for parent, child in hld.light_edges_to(v):
+                assert parent in path and child in path
+                assert tree.parent[child] == parent
+                assert not hld.is_heavy_edge_to(child)
+
+    def test_path_structure_on_star(self):
+        from repro.graph.graph import Graph
+
+        g = Graph(6)
+        for v in range(1, 6):
+            g.add_edge(0, v)
+        tree = RootedTree.bfs(g, root=0)
+        hld = HeavyLightDecomposition(tree)
+        # All children same size; heavy is the smallest id.
+        assert hld.heavy_child[0] == 1
+        assert hld.light_depth[1] == 0
+        assert all(hld.light_depth[v] == 1 for v in range(2, 6))
