@@ -1,0 +1,303 @@
+"""Persistent construction-time baseline: ``BENCH_construction.json``.
+
+This runner pins the performance trajectory of label construction from
+the CSR rewrite onward.  For every workload it measures
+
+* ``sketch_build_s`` — end-to-end :class:`SketchConnectivityScheme`
+  construction through the vectorized CSR engine (the production path);
+* ``sketch_build_seed_s`` — the same construction through
+  ``engine="reference"``, the sequential pure-Python seed path kept in
+  tree for exactly this comparison (both engines produce bit-identical
+  labels, see ``tests/test_csr_equivalence.py``);
+* ``speedup`` — their ratio;
+* decode latency and label sizes, so size/stretch regressions surface
+  alongside time regressions;
+* ``distance_build_s`` — :class:`DistanceLabelScheme` construction on
+  the smaller workloads (per-scale balls batched through the CSR SSSP
+  kernel).
+
+Timings are best-of-``--repeats`` (default 3) to damp scheduler noise.
+
+Usage::
+
+    python -m benchmarks.baseline                 # full set -> BENCH_construction.json
+    python -m benchmarks.baseline --smoke         # tiny sizes, print only
+    python -m benchmarks.baseline --check         # compare smoke sizes against the
+                                                  # committed JSON; exit 1 if any
+                                                  # construction regressed > 2x
+
+``--check`` is what ``benchmarks/run_baseline.sh`` and the
+``bench_smoke`` pytest marker run in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.common import print_table, sample_queries, workload_graph
+from repro.core.distance_labels import DistanceLabelScheme
+from repro.core.sketch_scheme import SketchConnectivityScheme
+
+#: repo-root location of the committed baseline.
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_construction.json"
+
+#: (name, family, n, smoke) — smoke workloads are the tiny sizes the
+#: regression check re-runs.  The headline workload for the CSR-vs-seed
+#: speedup, ``random-2048`` (the largest bench_scaling size), runs first
+#: so its timing is not polluted by earlier workloads' live memory.
+WORKLOADS = [
+    ("random-2048", "random", 2048, False),
+    ("random-128", "random", 128, True),
+    ("grid-256", "grid", 256, True),
+    ("random-512", "random", 512, True),
+    ("weighted-1024", "weighted", 1024, False),
+    ("ring_of_cliques-1026", "ring_of_cliques", 1026, False),
+]
+
+#: workloads small enough to time the full distance-label stack on.
+DISTANCE_MAX_N = 256
+
+#: --check fails when a smoke construction's cost *relative to the seed
+#: path measured in the same run* worsens by more than this factor
+#: against the committed ratio (machine-speed independent).
+REGRESSION_FACTOR = 2.0
+
+
+def _best(fn, repeats: int) -> float:
+    gc.collect()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _best_pair(fn_a, fn_b, repeats: int) -> tuple[float, float]:
+    """Best-of timings for two builders, repeats interleaved A/B/A/B.
+
+    Interleaving spreads slow machine windows (noisy neighbours, memory
+    pressure) across both measurements instead of letting one engine
+    absorb a bad stretch, which matters for the speedup ratio.
+    """
+    best_a = best_b = float("inf")
+    for _ in range(repeats):
+        gc.collect()
+        t0 = time.perf_counter()
+        fn_a()
+        best_a = min(best_a, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        fn_b()
+        best_b = min(best_b, time.perf_counter() - t0)
+    return best_a, best_b
+
+
+def measure_workload(name: str, family: str, n: int, repeats: int = 3) -> dict:
+    """All measurements of one workload, as a JSON-ready dict."""
+    graph = workload_graph(family, n, seed=1)
+    graph.as_csr()  # shared snapshot; both engines see a built graph
+    build_s, seed_s = _best_pair(
+        lambda: SketchConnectivityScheme(graph, seed=2),
+        lambda: SketchConnectivityScheme(graph, seed=2, engine="reference"),
+        repeats,
+    )
+    scheme = SketchConnectivityScheme(graph, seed=2)
+    queries = sample_queries(graph, 10, 4, seed=3)
+    t0 = time.perf_counter()
+    for s, t, faults in queries:
+        scheme.query(s, t, faults)
+    query_ms = (time.perf_counter() - t0) / max(1, len(queries)) * 1000.0
+    row = {
+        "family": family,
+        "n": n,
+        "m": graph.m,
+        "sketch_build_s": round(build_s, 4),
+        "sketch_build_seed_s": round(seed_s, 4),
+        "speedup": round(seed_s / build_s, 2) if build_s > 0 else float("inf"),
+        "sketch_query_ms": round(query_ms, 3),
+        "vertex_label_bits": scheme.max_vertex_label_bits(),
+        "edge_label_bits": scheme.max_edge_label_bits(),
+    }
+    if n <= DISTANCE_MAX_N:
+        row["distance_build_s"] = round(
+            _best(
+                lambda: DistanceLabelScheme(
+                    graph, 2, 2, seed=3, base_scheme="cycle_space"
+                ),
+                max(1, repeats - 1),
+            ),
+            4,
+        )
+    # The scheme's object graph is cyclic (labels reference the shared
+    # context); collect it now so its tens of MB don't stay live into
+    # the next workload's timing.
+    del scheme
+    gc.collect()
+    return row
+
+
+def run(workloads, repeats: int = 3, rounds: int = 1) -> dict:
+    """Measure all workloads; with ``rounds > 1`` the whole sweep is
+    repeated and each workload keeps its best (minimum) timings.
+
+    Rounds are spaced minutes apart by the sweep itself, which rides out
+    the multi-minute noisy-neighbour windows a single best-of-N loop
+    cannot escape.
+    """
+    results = {}
+    for round_idx in range(max(1, rounds)):
+        if rounds > 1:
+            print(f"  -- round {round_idx + 1}/{rounds}")
+        for name, family, n, _smoke in workloads:
+            row = measure_workload(name, family, n, repeats)
+            prev = results.get(name)
+            if prev is not None:
+                for key in ("sketch_build_s", "sketch_build_seed_s",
+                            "sketch_query_ms", "distance_build_s"):
+                    if key in row:
+                        row[key] = min(row[key], prev[key])
+                row["speedup"] = (
+                    round(row["sketch_build_seed_s"] / row["sketch_build_s"], 2)
+                    if row["sketch_build_s"] > 0
+                    else float("inf")
+                )
+            results[name] = row
+            print(
+                f"  {name}: csr {row['sketch_build_s']*1000:.0f}ms  "
+                f"seed {row['sketch_build_seed_s']*1000:.0f}ms  "
+                f"speedup {row['speedup']:.1f}x",
+                flush=True,
+            )
+    return {
+        "schema": 1,
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "smoke_workloads": [w[0] for w in workloads if w[3]],
+        "workloads": results,
+    }
+
+
+def check_against(committed: dict, repeats: int = 3) -> list[str]:
+    """Re-run the smoke workloads; return regression messages (empty = ok).
+
+    The gate is machine-normalized: the retained seed path is measured
+    alongside the CSR path, and a workload regresses when its *relative*
+    cost ``csr / seed`` worsens by more than :data:`REGRESSION_FACTOR`
+    against the committed ratio.  Absolute milliseconds from the
+    authoring machine would false-fail every slower CI runner (and let
+    real regressions hide on faster ones); the seed path, being part of
+    the same process and workload, is the machine-speed yardstick.
+    """
+    problems = []
+    smoke_names = committed.get("smoke_workloads", [])
+    by_name = {w[0]: w for w in WORKLOADS}
+    for name in smoke_names:
+        recorded = committed["workloads"].get(name)
+        if recorded is None or name not in by_name:
+            continue
+        _, family, n, _ = by_name[name]
+        graph = workload_graph(family, n, seed=1)
+        graph.as_csr()
+        now_csr, now_seed = _best_pair(
+            lambda: SketchConnectivityScheme(graph, seed=2),
+            lambda: SketchConnectivityScheme(graph, seed=2, engine="reference"),
+            repeats,
+        )
+        now_rel = now_csr / now_seed
+        committed_rel = recorded["sketch_build_s"] / recorded["sketch_build_seed_s"]
+        regressed = now_rel > committed_rel * REGRESSION_FACTOR
+        status = "REGRESSED" if regressed else "ok"
+        print(
+            f"  {name}: now {now_csr*1000:.0f}ms ({now_rel:.2f}x of seed)  "
+            f"committed {recorded['sketch_build_s']*1000:.0f}ms "
+            f"({committed_rel:.2f}x of seed)  [{status}]"
+        )
+        if regressed:
+            problems.append(
+                f"{name}: construction now {now_rel:.2f}x of the seed path > "
+                f"{REGRESSION_FACTOR}x committed ratio {committed_rel:.2f}"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument(
+        "--rounds",
+        type=int,
+        default=1,
+        help="repeat the whole sweep this many times, keeping per-workload minima",
+    )
+    ap.add_argument(
+        "--smoke", action="store_true", help="run only the tiny smoke workloads"
+    )
+    ap.add_argument(
+        "--check",
+        nargs="?",
+        const=str(DEFAULT_OUT),
+        default=None,
+        metavar="JSON",
+        help="re-run smoke workloads and fail on >2x regression vs JSON",
+    )
+    ap.add_argument(
+        "--no-write", action="store_true", help="print results without writing JSON"
+    )
+    args = ap.parse_args(argv)
+
+    if args.check is not None:
+        path = Path(args.check)
+        if not path.exists():
+            print(
+                f"no committed baseline at {path} — "
+                "run `python -m benchmarks.baseline` to create it"
+            )
+            return 1
+        committed = json.loads(path.read_text())
+        problems = check_against(committed, repeats=args.repeats)
+        if problems:
+            print("construction regressions detected:")
+            for p in problems:
+                print("  " + p)
+            return 1
+        print("no construction regressions")
+        return 0
+
+    workloads = [w for w in WORKLOADS if w[3]] if args.smoke else WORKLOADS
+    payload = run(workloads, repeats=args.repeats, rounds=args.rounds)
+    rows = [
+        (
+            name,
+            r["n"],
+            r["m"],
+            f"{r['sketch_build_s']*1000:.0f}",
+            f"{r['sketch_build_seed_s']*1000:.0f}",
+            f"{r['speedup']:.1f}x",
+            f"{r['sketch_query_ms']:.1f}",
+            r["vertex_label_bits"],
+        )
+        for name, r in payload["workloads"].items()
+    ]
+    print_table(
+        "Label construction baseline (CSR engine vs seed path)",
+        ["workload", "n", "m", "csr ms", "seed ms", "speedup", "query ms", "vbits"],
+        rows,
+    )
+    if not args.smoke and not args.no_write:
+        args.out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,7 +30,7 @@ def _time(builder) -> float:
     return time.perf_counter() - start
 
 
-def scaling_rows(n_values=(64, 128, 256, 512)):
+def scaling_rows(n_values=(64, 128, 256, 512, 1024, 2048)):
     rows = []
     for n in n_values:
         graph = workload_graph("random", n, seed=1)
@@ -77,7 +77,7 @@ def main() -> None:
 # ----------------------------------------------------------------------
 # pytest-benchmark entry points
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("n", [256, 512])
+@pytest.mark.parametrize("n", [256, 512, 2048])
 def test_sketch_scaling(benchmark, n):
     graph = workload_graph("random", n, seed=1)
     benchmark.pedantic(

@@ -8,6 +8,15 @@ of the paper (see the per-experiment index in DESIGN.md):
   operations (each module exposes ``test_*`` functions using the
   pytest-benchmark fixture, with the headline measurements attached as
   ``extra_info``).
+
+Construction-time baseline workflow: ``python -m benchmarks.baseline``
+measures label construction on the standard workloads (CSR engine vs
+the retained seed path) and writes ``BENCH_construction.json`` at the
+repo root — the committed file is the performance baseline from this
+point onward.  ``benchmarks/run_baseline.sh`` (or
+``pytest -m bench_smoke``) re-runs the tiny smoke workloads and fails
+if construction regressed more than 2x against the committed numbers;
+regenerate and commit the JSON when a perf change is intentional.
 """
 
 from __future__ import annotations

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Construction-time smoke check: re-run the tiny baseline workloads and
+# fail if any sketch-scheme construction regressed more than 2x against
+# the committed BENCH_construction.json.  Intended for CI / pre-merge:
+#
+#   ./benchmarks/run_baseline.sh
+#
+# Regenerate the committed baseline (after a deliberate perf change):
+#
+#   PYTHONPATH=src python -m benchmarks.baseline
+set -e
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m benchmarks.baseline --check "$@"

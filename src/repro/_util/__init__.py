@@ -1,5 +1,5 @@
 """Internal utilities: seeded randomness derivation and bit helpers."""
 
-from repro._util.rng import derive_seed, prf_bytes, prf_int, rng_from
+from repro._util.rng import derive_seed, prf_bytes, prf_int, prf_int_pairs, rng_from
 
-__all__ = ["derive_seed", "prf_bytes", "prf_int", "rng_from"]
+__all__ = ["derive_seed", "prf_bytes", "prf_int", "prf_int_pairs", "rng_from"]

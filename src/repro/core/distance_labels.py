@@ -34,6 +34,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Optional, Union
 
+import numpy as np
+
 from repro._util import derive_seed
 from repro.core.cycle_space_scheme import CycleSpaceConnectivityScheme
 from repro.core.sketch_scheme import RoutingAugmentation, SketchConnectivityScheme
@@ -162,8 +164,13 @@ class DistanceLabelScheme:
     def _build_scale(self, i: int, units: Optional[int], gamma_f: Optional[int]) -> None:
         rho = float(2**i)
         graph = self.graph
-        light_edges = {e.index for e in graph.edges if e.weight <= rho}
-        heavy_edges = {e.index for e in graph.edges if e.weight > rho}
+        # Weight thresholding over the CSR edge-weight array; the cover's
+        # per-scale ball computations run through the batched SSSP kernel
+        # inside sparse_cover.
+        weights = graph.as_csr().edge_weight
+        light = weights <= rho
+        light_edges = set(np.flatnonzero(light).tolist())
+        heavy_edges = set(np.flatnonzero(~light).tolist())
         cover = sparse_cover(graph, rho, self.k, forbidden_edges=heavy_edges)
         for j, ct in enumerate(cover.trees):
             key = (i, j)

@@ -48,7 +48,12 @@ from repro.graph.graph import Graph
 from repro.graph.spanning_tree import RootedTree, spanning_forest
 from repro.sketches.edge_ids import DecodedEid, ExtendedEdgeIds, UidScheme
 from repro.sketches.hashing import PairwiseHashFamily
-from repro.sketches.sketch import SketchDims, VertexSketches
+from repro.sketches.sketch import (
+    SketchDims,
+    VertexSketches,
+    eids_to_word_matrix,
+    word_matrix_to_eids,
+)
 from repro.sizing.bits import bits_for_count, bits_for_id
 from repro.trees.union_find import UnionFind
 
@@ -196,25 +201,35 @@ class SketchConnectivityScheme:
         id_of: Optional[Callable[[int], int]] = None,
         id_space: Optional[int] = None,
         port_fn: Optional[Callable[[int, int], int]] = None,
+        engine: str = "csr",
     ):
         """``id_of``/``id_space``/``port_fn`` translate instance-local
         vertices to global ids/ports when the scheme runs on a tree-cover
-        cluster (see Section 4/5); by default they are the identity."""
+        cluster (see Section 4/5); by default they are the identity.
+
+        ``engine="csr"`` (default) builds labels through the vectorized
+        CSR kernels; ``engine="reference"`` is the sequential pure-Python
+        construction — both produce bit-identical labels (asserted by
+        ``tests/test_csr_equivalence.py``), and the benchmark baseline
+        times one against the other."""
         if copies < 1:
             raise ValueError("need at least one sketch copy")
+        if engine not in ("csr", "reference"):
+            raise ValueError(f"unknown engine {engine!r}")
+        vectorized = engine == "csr"
         self.graph = graph
         self.seed = seed
         self._id_of = id_of if id_of is not None else (lambda v: v)
         self._id_space = id_space if id_space is not None else graph.n
         if trees is None:
-            self.trees, self.comp_of = spanning_forest(graph)
+            self.trees, self.comp_of = spanning_forest(graph, engine=engine)
         else:
             self.trees = list(trees)
             self.comp_of = [-1] * graph.n
             for ci, tree in enumerate(self.trees):
                 for v in tree.vertices:
                     self.comp_of[v] = ci
-        self._anc = [AncestryLabeling(tree) for tree in self.trees]
+        self._anc = [AncestryLabeling(tree, engine=engine) for tree in self.trees]
         self._routing = routing
 
         def anc_of(v: int) -> AncLabel:
@@ -237,7 +252,20 @@ class SketchConnectivityScheme:
                 id_space=id_space,
                 port_fn=port_fn,
             )
-        self._eid_cache = [eids.eid(ei) for ei in range(graph.m)]
+        if vectorized and eids.word_batchable:
+            self._eid_words = eids.eid_words_batch()
+            self._eid_ints: Optional[list] = None  # materialized on demand
+        elif vectorized:
+            # Wide-field layouts (e.g. big routing tree labels) can't go
+            # through the word packer: batch the ints once and derive
+            # the word matrix from them, rather than the reverse.
+            self._eid_ints = eids.eid_batch()
+            self._eid_words = eids_to_word_matrix(
+                self._eid_ints, eids.codec.word_count
+            )
+        else:
+            self._eid_words = None
+            self._eid_ints = [eids.eid(ei) for ei in range(graph.m)]
         levels = max(1, math.ceil(math.log2(max(graph.m, 2)))) + 1
         n_units = units if units is not None else default_units(graph.n)
         words = max(1, (eids.total_bits + 63) // 64)
@@ -255,18 +283,82 @@ class SketchConnectivityScheme:
             for c in range(copies)
         )
         self.context = SketchContext(dims=dims, eids=eids, sketchers=sketchers)
-        # Per-copy per-vertex subtree-aggregated sketches: row v holds the
-        # sketch of subtree(v); the row of a component root is the global
-        # component sketch Sketch(V).
-        self._agg: list[np.ndarray] = []
-        for c in range(copies):
-            arr = sketchers[c].build(lambda ei: self._eid_cache[ei])
+        # Subtree-aggregated sketches.  Reference engine: ``_agg[c][v]``
+        # holds the sketch of subtree(v) (post-order accumulation).  CSR
+        # engine: subtrees are contiguous preorder intervals, so we keep
+        # per-copy *prefix-XOR* tensors over the forest preorder instead
+        # (``_prefix[c][r]`` = XOR of the vertex sketches of the first
+        # ``r`` preorder vertices) and materialize any subtree sketch as
+        # the XOR of two rows on demand — one pass of sequential
+        # accumulation replaces the whole bottom-up tree walk.
+        self._agg: Optional[list[np.ndarray]] = None
+        self._prefix: Optional[list[np.ndarray]] = None
+        self._root_cache: dict[int, tuple] = {}
+        if vectorized:
+            pre = np.full(graph.n, -1, dtype=np.int64)
+            size_all = np.zeros(graph.n, dtype=np.int64)
+            offset = 0
             for tree in self.trees:
-                for v in tree.post_order():
-                    p = tree.parent[v]
-                    if p >= 0:
-                        arr[p] ^= arr[v]
-            self._agg.append(arr)
+                ta = tree.arrays()
+                pre[ta.order] = offset + np.arange(ta.order.size, dtype=np.int64)
+                size_all[ta.order] = ta.size[ta.order]
+                offset += ta.order.size
+            self._pre = pre
+            self._size = size_all
+            # Unspanned vertices (possible with explicitly provided
+            # trees) scatter into a trailing trash row that no subtree
+            # interval ever reads.
+            row_of = np.where(pre >= 0, pre + 1, offset + 1)
+            # The scatter layout is identical for every copy (only the
+            # hash families differ), so compute it once.
+            plan = sketchers[0].scatter_plan(row_of) if graph.m else None
+            self._prefix = [
+                sketchers[c].build_prefix(
+                    self._eid_words, row_of=row_of, rows=offset + 2, plan=plan
+                )
+                for c in range(copies)
+            ]
+            if self._eid_ints is not None:
+                # Ints are already materialized (wide-field layout); the
+                # word matrix has no reader after the builds above.
+                self._eid_words = None
+        else:
+            self._agg = []
+            for c in range(copies):
+                arr = sketchers[c].build_reference(lambda ei: self._eid_cache[ei])
+                for tree in self.trees:
+                    for v in tree.post_order():
+                        p = tree.parent[v]
+                        if p >= 0:
+                            arr[p] ^= arr[v]
+                self._agg.append(arr)
+
+    @property
+    def _eid_cache(self) -> list:
+        """Packed EIDs by edge index (lazily decoded from the word
+        matrix on the vectorized path — labels need Python ints, the
+        sketch builder does not)."""
+        if self._eid_ints is None:
+            self._eid_ints = word_matrix_to_eids(self._eid_words)
+            # The word matrix's only post-construction reader is this
+            # decode; drop it so both representations don't stay live.
+            self._eid_words = None
+        return self._eid_ints
+
+    def _subtree_sketches(self, v: int) -> tuple[np.ndarray, ...]:
+        """Per-copy sketch of subtree(v) (``Sketch(V(T_v))``).
+
+        On the vectorized path a subtree sketch is the XOR of two
+        prefix rows followed by the level suffix-XOR that turns
+        exact-level cells into Eq. 2's cumulative cells.
+        """
+        if self._prefix is not None:
+            a = int(self._pre[v])
+            b = a + int(self._size[v])
+            return tuple(
+                VertexSketches.suffix_levels(p[b] ^ p[a]) for p in self._prefix
+            )
+        return tuple(agg[v] for agg in self._agg)
 
     # ------------------------------------------------------------------
     # Labels
@@ -296,10 +388,13 @@ class SketchConnectivityScheme:
         global_sketch = None
         if is_tree:
             child = tree.child_endpoint(edge_index)
-            subtree = tuple(self._agg[c][child] for c in range(self.context.copies))
-            global_sketch = tuple(
-                self._agg[c][tree.root] for c in range(self.context.copies)
-            )
+            subtree = self._subtree_sketches(child)
+            # The per-component global sketch is shared by all of the
+            # tree's edge labels; cache it instead of re-materializing.
+            global_sketch = self._root_cache.get(tree.root)
+            if global_sketch is None:
+                global_sketch = self._subtree_sketches(tree.root)
+                self._root_cache[tree.root] = global_sketch
         return SkEdgeLabel(
             component=ci,
             eid=self._eid_cache[edge_index],

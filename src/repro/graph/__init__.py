@@ -1,17 +1,26 @@
-"""Graph substrate: weighted port-numbered graphs, trees, ancestry labels."""
+"""Graph substrate: weighted port-numbered graphs, trees, ancestry labels.
+
+``Graph`` is the mutable pure-Python builder; ``CsrGraph`` (obtained via
+``Graph.as_csr()``) is its frozen array view backing the vectorized
+kernels of :mod:`repro.graph.csr` — see ``src/repro/graph/README.md``
+for the split.
+"""
 
 from repro.graph.graph import Edge, Graph, InducedSubgraph
 from repro.graph.components import connected_components, is_connected
-from repro.graph.spanning_tree import RootedTree, spanning_forest
+from repro.graph.csr import CsrGraph
+from repro.graph.spanning_tree import RootedTree, TreeArrays, spanning_forest
 from repro.graph.ancestry import AncestryLabeling, is_ancestor
 
 __all__ = [
     "Edge",
     "Graph",
     "InducedSubgraph",
+    "CsrGraph",
     "connected_components",
     "is_connected",
     "RootedTree",
+    "TreeArrays",
     "spanning_forest",
     "AncestryLabeling",
     "is_ancestor",

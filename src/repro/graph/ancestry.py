@@ -16,6 +16,7 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+from repro.graph import csr as csrk
 from repro.graph.spanning_tree import RootedTree
 
 AncLabel = tuple[int, int]
@@ -39,9 +40,23 @@ class AncestryLabeling:
     querying it raises ``KeyError``-like errors through normal indexing.
     """
 
-    def __init__(self, tree: RootedTree):
+    def __init__(self, tree: RootedTree, engine: str = "csr"):
+        """``engine="csr"`` derives the DFS visit times in closed form
+        from the tree's array view (see
+        :func:`repro.graph.csr.dfs_interval_labels`);
+        ``engine="reference"`` is the sequential DFS producing identical
+        labels."""
+        if engine not in ("csr", "reference"):
+            raise ValueError(f"unknown engine {engine!r}")
         self.tree = tree
         n = tree.graph.n
+        if engine == "csr":
+            arr = tree.arrays()
+            tin, tout = csrk.dfs_interval_labels(arr.order, arr.depth, arr.size, n)
+            self._tin = tin.tolist()
+            self._tout = tout.tolist()
+            self.max_time = 2 * len(arr.order)
+            return
         self._tin = [0] * n
         self._tout = [0] * n
         time = 0

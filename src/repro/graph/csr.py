@@ -1,0 +1,506 @@
+"""Array-resident CSR view of a :class:`~repro.graph.graph.Graph` plus
+the vectorized graph/tree kernels the label constructions run on.
+
+The pure-Python :class:`Graph` stays the *mutable builder* and the
+correctness reference; :class:`CsrGraph` is an immutable compressed
+sparse row snapshot of it (``indptr``/``neighbors``/``edge_ids`` in
+port order, per-edge endpoint and weight arrays) built once via
+``Graph.as_csr()`` and cached until the next ``add_edge``.
+
+Kernels provided here (all operating on numpy arrays):
+
+* :func:`bfs_tree` — level-synchronous BFS producing the *same*
+  parent/parent-edge assignment as the sequential port-order BFS of
+  :meth:`RootedTree.bfs` (first hit in queue x port order wins);
+* :func:`shortest_distances` — batched truncated SSSP from many
+  sources at once (segmented-min Bellman-Ford rounds over the arc
+  arrays).  Distances agree exactly with heap Dijkstra because both
+  compute the same prefix sums along shortest paths;
+* :func:`depth_layers` / :func:`subtree_sizes` / :func:`subtree_xor`
+  / :func:`dfs_interval_labels` — per-depth-layer tree kernels used
+  by ancestry labels, heavy-light decomposition and the subtree
+  sketch aggregation (bottom-up XOR without a per-vertex Python loop);
+* :func:`xor_scatter` — segmented XOR reduction (sort + ``reduceat``)
+  backing :func:`subtree_xor`'s wide-row folds.  (The sketch builders
+  scatter narrow per-word rows instead, where a plain ``ufunc.at`` is
+  the faster primitive.)
+
+Everything is deterministic: ties and orders mirror the pure-Python
+implementations bit for bit, which the ``tests/test_csr_kernels.py``
+property tests assert on random generator workloads.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graph.graph import Graph
+
+
+class CsrGraph:
+    """Frozen CSR adjacency snapshot of a :class:`Graph`.
+
+    Attributes
+    ----------
+    n, m: vertex / edge counts at snapshot time.
+    indptr: ``(n+1,)`` int64; slots of vertex ``u`` are
+        ``indptr[u]:indptr[u+1]``, in *port order*.
+    neighbors / edge_ids: ``(2m,)`` int64 slot arrays; slot
+        ``indptr[u] + p`` holds ``via_port(u, p)``.
+    edge_u, edge_v, edge_weight: ``(m,)`` per-edge endpoint and weight
+        arrays indexed by dense edge index.
+    """
+
+    def __init__(self, graph: "Graph"):
+        adj = [graph.incident(u) for u in graph.vertices()]
+        self.n = graph.n
+        self.m = graph.m
+        deg = np.fromiter((len(row) for row in adj), dtype=np.int64, count=self.n)
+        self.indptr = np.concatenate(([0], np.cumsum(deg)))
+        total = int(self.indptr[-1])
+        self.neighbors = np.fromiter(
+            (v for row in adj for v, _ in row), dtype=np.int64, count=total
+        )
+        self.edge_ids = np.fromiter(
+            (ei for row in adj for _, ei in row), dtype=np.int64, count=total
+        )
+        edges = graph.edges
+        self.edge_u = np.fromiter((e.u for e in edges), dtype=np.int64, count=self.m)
+        self.edge_v = np.fromiter((e.v for e in edges), dtype=np.int64, count=self.m)
+        self.edge_weight = np.fromiter(
+            (e.weight for e in edges), dtype=np.float64, count=self.m
+        )
+        for arr in (
+            self.indptr,
+            self.neighbors,
+            self.edge_ids,
+            self.edge_u,
+            self.edge_v,
+            self.edge_weight,
+        ):
+            arr.setflags(write=False)
+        self._relax: Optional[tuple] = None
+        self._lists: Optional[tuple] = None
+
+    def adjacency_lists(self) -> tuple[list, list, list, list]:
+        """Plain-list mirrors ``(indptr, neighbors, edge_ids, weights)``.
+
+        Cached; used by the sequential fallbacks of the hybrid kernels,
+        where per-element Python indexing into lists beats numpy scalar
+        indexing by an order of magnitude.
+        """
+        if self._lists is None:
+            self._lists = (
+                self.indptr.tolist(),
+                self.neighbors.tolist(),
+                self.edge_ids.tolist(),
+                self.edge_weight.tolist(),
+            )
+        return self._lists
+
+    # ------------------------------------------------------------------
+    # Relaxation structure for the batched SSSP kernel
+    # ------------------------------------------------------------------
+    def _relaxation(self) -> tuple:
+        """Arc arrays sorted by head vertex, with segment boundaries.
+
+        Each undirected edge contributes two directed arcs
+        ``tail -> head``; sorting by head lets one ``minimum.reduceat``
+        per round compute, for every head vertex, the best incoming
+        relaxation.  Built lazily, reused across calls.
+        """
+        if self._relax is None:
+            head = np.concatenate((self.edge_v, self.edge_u))
+            tail = np.concatenate((self.edge_u, self.edge_v))
+            aeid = np.concatenate(
+                (np.arange(self.m, dtype=np.int64),) * 2
+            )
+            order = np.argsort(head, kind="stable")
+            head = head[order]
+            tail = tail[order]
+            aeid = aeid[order]
+            starts = np.flatnonzero(np.r_[True, head[1:] != head[:-1]])
+            targets = head[starts]
+            weights = self.edge_weight[aeid]
+            self._relax = (head, tail, aeid, weights, starts, targets)
+        return self._relax
+
+
+def forbidden_mask(m: int, forbidden: Iterable[int] = ()) -> Optional[np.ndarray]:
+    """Boolean length-``m`` mask of forbidden edge indices (None if empty)."""
+    fb = list(forbidden) if not isinstance(forbidden, (set, frozenset)) else forbidden
+    if not fb:
+        return None
+    mask = np.zeros(m, dtype=bool)
+    mask[np.fromiter(fb, dtype=np.int64, count=len(fb))] = True
+    return mask
+
+
+# ----------------------------------------------------------------------
+# BFS
+# ----------------------------------------------------------------------
+def bfs_tree(
+    csr: CsrGraph, root: int, forbidden: Optional[np.ndarray] = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Level-synchronous BFS of the component of ``root``.
+
+    Returns ``(parent, parent_edge, depth, order)`` with -1 outside the
+    component; ``order`` is the BFS discovery order.  Parent assignment
+    matches sequential FIFO BFS over port-ordered adjacency: within a
+    level, candidates expand in (queue order, port order) and the first
+    sighting of a vertex wins.
+
+    Hybrid: each level is expanded with one vectorized pass, but once
+    frontiers stay tiny (high-diameter regions, where per-level numpy
+    call overhead dominates) the walk switches to a sequential FIFO over
+    cached adjacency lists — the switch preserves the exact FIFO state,
+    so the resulting tree is identical either way.
+    """
+    n = csr.n
+    parent = np.full(n, -1, dtype=np.int64)
+    parent_edge = np.full(n, -1, dtype=np.int64)
+    depth = np.full(n, -1, dtype=np.int64)
+    depth[root] = 0
+    frontier = np.array([root], dtype=np.int64)
+    order_parts = [frontier]
+    indptr, nbrs, eids = csr.indptr, csr.neighbors, csr.edge_ids
+    d = 0
+    narrow_levels = 0
+    while frontier.size:
+        if frontier.size < 32:
+            narrow_levels += 1
+            if narrow_levels >= 4:
+                _bfs_sequential_tail(
+                    csr, frontier, parent, parent_edge, depth, order_parts, forbidden
+                )
+                break
+        else:
+            narrow_levels = 0
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        seg = np.repeat(np.arange(frontier.size), counts)
+        within = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+        slots = starts[seg] + within
+        cand = nbrs[slots]
+        ce = eids[slots]
+        keep = depth[cand] < 0
+        if forbidden is not None:
+            keep &= ~forbidden[ce]
+        if not keep.any():
+            break
+        cand = cand[keep]
+        ce = ce[keep]
+        src = frontier[seg[keep]]
+        uniq, first = np.unique(cand, return_index=True)
+        parent[uniq] = src[first]
+        parent_edge[uniq] = ce[first]
+        d += 1
+        depth[uniq] = d
+        frontier = uniq[np.argsort(first, kind="stable")]
+        order_parts.append(frontier)
+    return parent, parent_edge, depth, np.concatenate(order_parts)
+
+
+def _bfs_sequential_tail(
+    csr: CsrGraph,
+    frontier: np.ndarray,
+    parent: np.ndarray,
+    parent_edge: np.ndarray,
+    depth: np.ndarray,
+    order_parts: list,
+    forbidden: Optional[np.ndarray],
+) -> None:
+    """Finish a BFS sequentially from the current frontier (FIFO order)."""
+    from collections import deque
+
+    indptr, nbrs, eids, _ = csr.adjacency_lists()
+    forb = forbidden
+    queue = deque(frontier.tolist())
+    tail: list[int] = []
+    while queue:
+        u = queue.popleft()
+        du = depth[u]
+        for slot in range(indptr[u], indptr[u + 1]):
+            v = nbrs[slot]
+            if depth[v] >= 0:
+                continue
+            ei = eids[slot]
+            if forb is not None and forb[ei]:
+                continue
+            parent[v] = u
+            parent_edge[v] = ei
+            depth[v] = du + 1
+            queue.append(v)
+            tail.append(v)
+    if tail:
+        order_parts.append(np.array(tail, dtype=np.int64))
+
+
+# ----------------------------------------------------------------------
+# Batched truncated SSSP (the "batched Dijkstra" kernel)
+# ----------------------------------------------------------------------
+def shortest_distances(
+    csr: CsrGraph,
+    sources: Sequence[int],
+    radius: float = math.inf,
+    forbidden: Optional[np.ndarray] = None,
+    allowed: Optional[np.ndarray] = None,
+    chunk: int = 256,
+    max_rounds: Optional[int] = None,
+    rounds_out: Optional[list] = None,
+) -> Optional[np.ndarray]:
+    """Exact truncated shortest-path distances from many sources at once.
+
+    Returns a ``(len(sources), n)`` float64 matrix with ``inf`` beyond
+    ``radius`` (vertices enter a ball iff their distance is at most the
+    radius, matching truncated Dijkstra: prefixes of a within-radius
+    shortest path are themselves within radius).  ``forbidden`` masks
+    edges out; ``allowed`` restricts the walk to a vertex subset.
+
+    Memory note: the dense result matrix is allocated up front —
+    ``chunk`` bounds only the per-round relaxation temporaries, not the
+    output.  Callers who cannot afford O(len(sources) * n) floats must
+    batch their sources and consume each batch's rows before the next
+    (see ``_cover_component`` in :mod:`repro.trees.tree_cover`).
+
+    Implementation: segmented-min label-correcting rounds over the arc
+    arrays — each round relaxes every arc for a chunk of sources in one
+    gather + ``minimum.reduceat`` + compare, so the per-round cost is a
+    few vectorized passes instead of a Python heap loop per source.
+    The number of rounds equals the hop depth of the shortest paths, so
+    the kernel shines on low-diameter instances; ``max_rounds`` lets
+    callers cap that and receive ``None`` instead of paying
+    O(hops * m) on a deep instance (see :func:`truncated_balls` for the
+    hybrid that falls back to heap Dijkstra).
+    """
+    src = np.asarray(list(sources), dtype=np.int64)
+    dist = np.full((src.size, csr.n), math.inf, dtype=np.float64)
+    if src.size == 0:
+        return dist
+    dist[np.arange(src.size), src] = 0.0
+    if csr.m == 0:
+        return dist
+    head, tail, aeid, weights, starts, targets = csr._relaxation()
+    w = weights
+    if forbidden is not None:
+        w = np.where(forbidden[aeid], math.inf, w)
+    if allowed is not None:
+        w = np.where(~allowed[tail] | ~allowed[head], math.inf, w)
+    bounded = math.isfinite(radius)
+    for c0 in range(0, src.size, chunk):
+        sub = dist[c0 : c0 + chunk]
+        rounds = 0
+        while True:
+            if max_rounds is not None and rounds >= max_rounds:
+                return None
+            rounds += 1
+            cand = sub[:, tail] + w
+            segmin = np.minimum.reduceat(cand, starts, axis=1)
+            if bounded:
+                segmin[segmin > radius] = math.inf
+            cur = sub[:, targets]
+            improved = segmin < cur
+            if not improved.any():
+                break
+            sub[:, targets] = np.where(improved, segmin, cur)
+        if rounds_out is not None:
+            rounds_out.append(rounds)
+    return dist
+
+
+def truncated_balls(
+    csr: CsrGraph,
+    sources: Sequence[int],
+    radius: float,
+    forbidden: Optional[np.ndarray] = None,
+    chunk: int = 256,
+    round_budget: int = 48,
+) -> list[dict[int, float]]:
+    """Radius-``radius`` ball of each source, as vertex->distance dicts.
+
+    Runs the batched segmented-min kernel chunk by chunk (bounding live
+    memory at ``chunk * n`` floats).  The batched kernel costs one
+    all-arc pass per shortest-path *hop*, which loses to per-source heap
+    Dijkstra when balls are many hops deep (paths, rings, long grids) —
+    a small probe chunk measures hop depth and ball size, and the engine
+    for the remaining batch is chosen from that deterministic signal
+    (with ``round_budget`` bounding the worst case either way).  Ball
+    contents and distances are identical on every path.
+    """
+    out: list[dict[int, float]] = []
+    src = list(sources)
+    # Probe on a small first chunk (round budget capped, so hop-deep
+    # balls bail early), then decide the engine deterministically from
+    # the probe's shape: the kernel pays ~rounds x m work per chunk
+    # regardless of output, while heap Dijkstra pays ~ball-size work per
+    # source, so the kernel only wins when balls are large relative to
+    # their hop depth.  Both engines produce identical balls — the
+    # choice affects speed only, and a deterministic rule keeps repeated
+    # constructions reproducible in time as well as in output.
+    probe = src[: min(16, chunk)]
+    rounds_seen: list = []
+    dist = shortest_distances(
+        csr,
+        probe,
+        radius=radius,
+        forbidden=forbidden,
+        chunk=chunk,
+        max_rounds=round_budget,
+        rounds_out=rounds_seen,
+    )
+    if dist is None:
+        use_kernel = False
+        out.extend(_dijkstra_ball(csr, s, radius, forbidden) for s in probe)
+    else:
+        sizes = np.isfinite(dist).sum(axis=1)
+        for i in range(len(probe)):
+            row = dist[i]
+            idx = np.flatnonzero(np.isfinite(row))
+            out.append(dict(zip(idx.tolist(), row[idx].tolist())))
+        mean_ball = float(sizes.mean()) if sizes.size else 0.0
+        rounds = max(rounds_seen) if rounds_seen else 1
+        use_kernel = mean_ball >= rounds * csr.m / 64
+    for c0 in range(len(probe), len(src), chunk):
+        part = src[c0 : c0 + chunk]
+        if use_kernel:
+            block = shortest_distances(
+                csr,
+                part,
+                radius=radius,
+                forbidden=forbidden,
+                chunk=chunk,
+                max_rounds=round_budget,
+            )
+            if block is not None:
+                for i in range(len(part)):
+                    row = block[i]
+                    idx = np.flatnonzero(np.isfinite(row))
+                    out.append(dict(zip(idx.tolist(), row[idx].tolist())))
+                continue
+            use_kernel = False
+        out.extend(_dijkstra_ball(csr, s, radius, forbidden) for s in part)
+    return out
+
+
+def _dijkstra_ball(
+    csr: CsrGraph, source: int, radius: float, forbidden: Optional[np.ndarray]
+) -> dict[int, float]:
+    """Sequential truncated heap Dijkstra over the cached list view."""
+    import heapq
+
+    indptr, nbrs, eids, weights = csr.adjacency_lists()
+    forb = forbidden
+    dist = {source: 0.0}
+    heap = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist.get(u, math.inf):
+            continue
+        for slot in range(indptr[u], indptr[u + 1]):
+            ei = eids[slot]
+            if forb is not None and forb[ei]:
+                continue
+            v = nbrs[slot]
+            nd = d + weights[ei]
+            if nd <= radius and nd < dist.get(v, math.inf):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist
+
+
+# ----------------------------------------------------------------------
+# Tree kernels (per-depth-layer array passes)
+# ----------------------------------------------------------------------
+def depth_layers(depth: np.ndarray) -> list[np.ndarray]:
+    """Group in-tree vertices (``depth >= 0``) by depth, ascending.
+
+    Depth levels of a forest are contiguous from 0, so ``layers[d]``
+    holds exactly the vertices at depth ``d``.
+    """
+    order = np.argsort(depth, kind="stable")
+    d = depth[order]
+    lo = int(np.searchsorted(d, 0))
+    order, d = order[lo:], d[lo:]
+    if order.size == 0:
+        return []
+    bounds = np.flatnonzero(np.r_[True, d[1:] != d[:-1]])
+    return np.split(order, bounds[1:])
+
+
+def subtree_sizes(
+    parent: np.ndarray, depth: np.ndarray, layers: Optional[list[np.ndarray]] = None
+) -> np.ndarray:
+    """Subtree vertex counts (0 outside the forest), bottom-up by layer."""
+    if layers is None:
+        layers = depth_layers(depth)
+    size = (depth >= 0).astype(np.int64)
+    for vs in reversed(layers[1:]):
+        np.add.at(size, parent[vs], size[vs])
+    return size
+
+
+def xor_scatter(acc: np.ndarray, index: np.ndarray, values: np.ndarray) -> None:
+    """``acc[index[i]] ^= values[i]`` with duplicate indices, vectorized.
+
+    ``acc`` is 2-D ``(n, width)`` uint64; duplicates are XOR-folded via
+    a stable sort + ``bitwise_xor.reduceat``.  Worth it for *wide* rows
+    (``subtree_xor`` folds whole sketch rows); for narrow rows a plain
+    ``ufunc.at`` has less overhead.
+    """
+    if index.size == 0:
+        return
+    order = np.argsort(index, kind="stable")
+    si = index[order]
+    sv = values[order]
+    starts = np.flatnonzero(np.r_[True, si[1:] != si[:-1]])
+    acc[si[starts]] ^= np.bitwise_xor.reduceat(sv, starts, axis=0)
+
+
+def subtree_xor(
+    parent: np.ndarray,
+    layers: list[np.ndarray],
+    values: np.ndarray,
+    copy: bool = True,
+) -> np.ndarray:
+    """Row ``v`` of the result is the XOR of ``values`` over subtree(v).
+
+    One bottom-up pass per depth layer: children of that layer XOR-fold
+    into their parents (Claim 3.12's Õ(n) subtree computation, with the
+    per-vertex Python loop replaced by segmented reductions).  With
+    ``copy=False`` the aggregation happens in place in ``values``.
+    """
+    agg = values.copy() if copy else values
+    flat = agg.reshape(agg.shape[0], -1)
+    for vs in reversed(layers[1:]):
+        xor_scatter(flat, parent[vs], flat[vs])
+    return agg
+
+
+def dfs_interval_labels(
+    order: np.ndarray,
+    depth: np.ndarray,
+    size: np.ndarray,
+    n: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """First/last DFS visit times from preorder rank, depth and size.
+
+    For a DFS that respects ``order`` (the tree's preorder): when vertex
+    ``v`` is entered, every earlier preorder vertex has been entered and
+    all of them except ``v``'s ``depth[v]`` proper ancestors have been
+    exited, hence ``tin(v) = 2 * pre(v) - depth(v) + 1`` and
+    ``tout(v) = tin(v) + 2 * size(v) - 1`` (times in ``1..2n_comp``,
+    identical to the sequential DFS of Lemma 3.1's labeling).
+    """
+    tin = np.zeros(n, dtype=np.int64)
+    tout = np.zeros(n, dtype=np.int64)
+    pre = np.arange(order.size, dtype=np.int64)
+    tin[order] = 2 * pre - depth[order] + 1
+    tout[order] = tin[order] + 2 * size[order] - 1
+    return tin, tout

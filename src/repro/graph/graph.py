@@ -71,6 +71,10 @@ class Graph:
         self._edges: list[Edge] = []
         self._adj: list[list[tuple[int, int]]] = [[] for _ in range(n)]
         self._edge_lookup: dict[tuple[int, int], int] = {}
+        self._port_lookup: list[dict[int, int]] = [{} for _ in range(n)]
+        self._max_weight = 0.0
+        self._total_weight = 0.0
+        self._csr = None  # cached CsrGraph view, invalidated by add_edge
 
     # ------------------------------------------------------------------
     # Construction
@@ -91,10 +95,16 @@ class Graph:
         if key in self._edge_lookup:
             raise ValueError(f"duplicate edge {key}")
         index = len(self._edges)
-        self._edges.append(Edge(index, u, v, float(weight)))
+        weight = float(weight)
+        self._edges.append(Edge(index, u, v, weight))
+        self._port_lookup[u][v] = len(self._adj[u])
+        self._port_lookup[v][u] = len(self._adj[v])
         self._adj[u].append((v, index))
         self._adj[v].append((u, index))
         self._edge_lookup[key] = index
+        self._max_weight = max(self._max_weight, weight)
+        self._total_weight += weight
+        self._csr = None
         return index
 
     # ------------------------------------------------------------------
@@ -138,11 +148,11 @@ class Graph:
         return self._adj[u][port]
 
     def port_of(self, u: int, v: int) -> int:
-        """Port number at ``u`` of the edge towards neighbor ``v``."""
-        for port, (w, _) in enumerate(self._adj[u]):
-            if w == v:
-                return port
-        raise ValueError(f"{v} is not a neighbor of {u}")
+        """Port number at ``u`` of the edge towards neighbor ``v`` (O(1))."""
+        try:
+            return self._port_lookup[u][v]
+        except KeyError:
+            raise ValueError(f"{v} is not a neighbor of {u}") from None
 
     def edge_index_between(self, u: int, v: int) -> Optional[int]:
         key = (u, v) if u < v else (v, u)
@@ -155,13 +165,30 @@ class Graph:
         return self._edges[edge_index].weight
 
     def max_weight(self) -> float:
-        """Largest edge weight W (1.0 for an edgeless graph)."""
+        """Largest edge weight W (1.0 for an edgeless graph).
+
+        Maintained incrementally by :meth:`add_edge` — callers that loop
+        over distance scales can treat this as O(1).
+        """
         if not self._edges:
             return 1.0
-        return max(e.weight for e in self._edges)
+        return self._max_weight
 
     def total_weight(self) -> float:
-        return sum(e.weight for e in self._edges)
+        """Sum of edge weights, maintained incrementally by :meth:`add_edge`."""
+        return self._total_weight
+
+    def as_csr(self):
+        """The cached immutable CSR view (see :mod:`repro.graph.csr`).
+
+        Built on first use and invalidated whenever an edge is added, so
+        repeated kernel calls on a finished graph share one snapshot.
+        """
+        if self._csr is None:
+            from repro.graph.csr import CsrGraph
+
+            self._csr = CsrGraph(self)
+        return self._csr
 
     # ------------------------------------------------------------------
     # Derived graphs

@@ -9,9 +9,31 @@ supports the tree-path queries the decoders rely on.
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
 
+import numpy as np
+
+from repro.graph import csr as csrk
 from repro.graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class TreeArrays:
+    """Numpy view of a :class:`RootedTree`, shared by the array kernels.
+
+    ``depth`` is -1 outside the tree's component (unlike the list
+    attribute, which pads with 0), ``order`` is the children-sorted
+    preorder, ``size`` the subtree vertex counts and ``layers`` the
+    vertices grouped by depth (see :func:`repro.graph.csr.depth_layers`).
+    """
+
+    parent: np.ndarray
+    parent_edge: np.ndarray
+    depth: np.ndarray
+    order: np.ndarray
+    size: np.ndarray
+    layers: list = field(repr=False, default_factory=list)
 
 
 class RootedTree:
@@ -67,13 +89,58 @@ class RootedTree:
         self.tree_edge_indices = frozenset(
             self.parent_edge[v] for v in self.vertices if v != root
         )
+        self._arrays: Optional[TreeArrays] = None
+
+    def arrays(self) -> TreeArrays:
+        """Cached numpy snapshot of the tree, for the CSR/tree kernels."""
+        if self._arrays is None:
+            n = self.graph.n
+            parent = np.array(self.parent, dtype=np.int64)
+            parent_edge = np.array(self.parent_edge, dtype=np.int64)
+            depth = np.array(self.depth, dtype=np.int64)
+            depth[~np.array(self.in_tree, dtype=bool)] = -1
+            order = np.array(self.vertices, dtype=np.int64)
+            layers = csrk.depth_layers(depth)
+            size = csrk.subtree_sizes(parent, depth, layers)
+            self._arrays = TreeArrays(
+                parent=parent,
+                parent_edge=parent_edge,
+                depth=depth,
+                order=order,
+                size=size,
+                layers=layers,
+            )
+        return self._arrays
 
     # ------------------------------------------------------------------
     # Builders
     # ------------------------------------------------------------------
     @classmethod
-    def bfs(cls, graph: Graph, root: int = 0, forbidden: Iterable[int] = ()) -> "RootedTree":
-        """BFS spanning tree of the component of ``root`` in ``G \\ forbidden``."""
+    def bfs(
+        cls,
+        graph: Graph,
+        root: int = 0,
+        forbidden: Iterable[int] = (),
+        engine: str = "csr",
+    ) -> "RootedTree":
+        """BFS spanning tree of the component of ``root`` in ``G \\ forbidden``.
+
+        ``engine="csr"`` (default) runs the level-synchronous array BFS
+        of :func:`repro.graph.csr.bfs_tree`; ``engine="reference"`` is
+        the sequential implementation — both produce the identical tree.
+        """
+        if engine not in ("csr", "reference"):
+            raise ValueError(f"unknown engine {engine!r}")
+        if engine == "csr":
+            # Only a boolean array is a ready-made per-edge mask; any
+            # other ndarray (e.g. int edge indices) is an edge-index
+            # iterable like every other ``forbidden`` value.
+            if isinstance(forbidden, np.ndarray) and forbidden.dtype == np.bool_:
+                mask = forbidden
+            else:
+                mask = csrk.forbidden_mask(graph.m, forbidden)
+            parent, parent_edge, _, _ = csrk.bfs_tree(graph.as_csr(), root, mask)
+            return cls(graph, root, parent.tolist(), parent_edge.tolist())
         skip = set(forbidden)
         parent = [-1] * graph.n
         parent_edge = [-1] * graph.n
@@ -216,21 +283,34 @@ class RootedTree:
 
 
 def spanning_forest(
-    graph: Graph, forbidden: Iterable[int] = (), method: str = "bfs"
+    graph: Graph,
+    forbidden: Iterable[int] = (),
+    method: str = "bfs",
+    engine: str = "csr",
 ) -> tuple[list[RootedTree], list[int]]:
     """Build one rooted spanning tree per component of ``G \\ forbidden``.
 
     Returns ``(trees, comp_of)`` where ``comp_of[v]`` indexes into
     ``trees``.  Roots are the smallest vertex id of each component.
+    ``engine`` selects the BFS implementation (see :meth:`RootedTree.bfs`);
+    DFS forests always use the sequential builder.
     """
+    if engine not in ("csr", "reference"):
+        raise ValueError(f"unknown engine {engine!r}")
     skip = set(forbidden)
     comp_of = [-1] * graph.n
     trees: list[RootedTree] = []
-    builder = RootedTree.bfs if method == "bfs" else RootedTree.dfs
+    use_csr = method == "bfs" and engine == "csr"
+    mask = csrk.forbidden_mask(graph.m, skip) if use_csr else None
     for start in graph.vertices():
         if comp_of[start] != -1:
             continue
-        tree = builder(graph, start, skip)
+        if use_csr:
+            tree = RootedTree.bfs(graph, start, mask if mask is not None else ())
+        elif method == "bfs":
+            tree = RootedTree.bfs(graph, start, skip, engine="reference")
+        else:
+            tree = RootedTree.dfs(graph, start, skip)
         idx = len(trees)
         for v in tree.vertices:
             comp_of[v] = idx

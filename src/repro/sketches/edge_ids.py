@@ -23,9 +23,9 @@ XOR directly hands the decoder the routing information it needs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
-from repro._util import prf_int
+from repro._util import prf_int, prf_int_pairs
 from repro.graph.ancestry import AncLabel
 from repro.graph.graph import Graph
 from repro.sizing.bits import bits_for_count, bits_for_id
@@ -45,6 +45,16 @@ class UidScheme:
         """UID of the edge {u, v} (order-insensitive)."""
         a, b = (u, v) if u < v else (v, u)
         return prf_int(self.seed, "uid", a, b, bits=self.uid_bits)
+
+    def uid_batch(self, pairs: Iterable[tuple[int, int]]) -> list[int]:
+        """UIDs of many edges in one pass, bit-identical to :meth:`uid`.
+
+        Delegates to :func:`repro._util.prf_int_pairs`, which hoists the
+        PRF key and salt framing out of the per-edge loop — the per-edge
+        BLAKE2b hash is the only remaining work.
+        """
+        ordered = ((u, v) if u < v else (v, u) for u, v in pairs)
+        return prf_int_pairs(self.seed, "uid", ordered, bits=self.uid_bits)
 
     def matches(self, candidate_uid: int, u: int, v: int) -> bool:
         """Validity test of Lemma 3.10: does the uid belong to {u, v}?"""
@@ -84,6 +94,41 @@ class EidCodec:
             name: (eid >> pos) & ((1 << width) - 1)
             for name, (pos, width) in self._offsets.items()
         }
+
+    @property
+    def word_count(self) -> int:
+        """Number of 64-bit words of the big-endian word layout."""
+        return max(1, (self.total_bits + 63) // 64)
+
+    def pack_words_batch(self, columns: dict[str, "np.ndarray"]) -> "np.ndarray":
+        """Pack a batch of EIDs straight into big-endian uint64 words.
+
+        ``columns[name]`` is a uint64 array of field values (each field
+        must fit 64 bits, which holds for every Eq. (1)/(5) field except
+        oversized routing tree labels — callers fall back to
+        :meth:`pack` in that case).  Returns ``(E, word_count)``,
+        bit-identical to ``eid_to_words(pack(...), word_count)``.
+        """
+        import numpy as np
+
+        n_words = self.word_count
+        some = next(iter(columns.values()))
+        out = np.zeros((some.shape[0], n_words), dtype=np.uint64)
+        for name, (pos, width) in self._offsets.items():
+            if width > 64:
+                raise ValueError(f"field {name} wider than a word")
+            vals = columns[name].astype(np.uint64)
+            if width < 64 and np.any(vals >> np.uint64(width)):
+                bad = int(vals[np.argmax(vals >> np.uint64(width) != 0)])
+                raise ValueError(f"field {name}={bad} does not fit in {width} bits")
+            if width == 0:
+                continue
+            lo = pos % 64
+            wi = n_words - 1 - pos // 64
+            out[:, wi] |= (vals << np.uint64(lo)) if lo else vals
+            if lo and lo + width > 64:
+                out[:, wi - 1] |= vals >> np.uint64(64 - lo)
+        return out
 
 
 @dataclass(frozen=True)
@@ -163,16 +208,23 @@ class ExtendedEdgeIds:
             fields.append(("tl_v", tlabel_bits))
         self.codec = EidCodec(fields)
 
-    def eid(self, edge_index: int) -> int:
-        """The packed extended identifier of an edge."""
-        e = self.graph.edge(edge_index)
-        anc_u = self._anc_of(e.u)
-        anc_v = self._anc_of(e.v)
-        gu, gv = self._id_of(e.u), self._id_of(e.v)
+    def _field_values(
+        self,
+        e,
+        uid: int,
+        ids: Callable[[int], int],
+        ancs: Callable[[int], AncLabel],
+        tlabels: Optional[Callable[[int], int]],
+    ) -> dict[str, int]:
+        """The Eq. (1)/(5) field dict of one edge — the single owner of
+        the field list shared by :meth:`eid` and :meth:`eid_batch` (the
+        per-vertex accessors let batch callers pass cached lookups)."""
+        anc_u = ancs(e.u)
+        anc_v = ancs(e.v)
         values = {
-            "uid": self.uid_scheme.uid(gu, gv),
-            "id_u": gu,
-            "id_v": gv,
+            "uid": uid,
+            "id_u": ids(e.u),
+            "id_v": ids(e.v),
             "tin_u": anc_u[0],
             "tout_u": anc_u[1],
             "tin_v": anc_v[0],
@@ -181,10 +233,128 @@ class ExtendedEdgeIds:
         if self.routing:
             values["port_u"] = self._port_fn(e.u, e.v)
             values["port_v"] = self._port_fn(e.v, e.u)
+            assert tlabels is not None
+            values["tl_u"] = tlabels(e.u)
+            values["tl_v"] = tlabels(e.v)
+        return values
+
+    def eid(self, edge_index: int) -> int:
+        """The packed extended identifier of an edge."""
+        e = self.graph.edge(edge_index)
+        uid = self.uid_scheme.uid(self._id_of(e.u), self._id_of(e.v))
+        return self.codec.pack(
+            self._field_values(e, uid, self._id_of, self._anc_of, self._tlabel_of)
+        )
+
+    def eid_batch(self, edge_indices: Optional[Iterable[int]] = None) -> list[int]:
+        """Packed EIDs for many edges, identical to per-edge :meth:`eid`.
+
+        Per-vertex quantities (identifier-space ids, ancestry labels,
+        encoded tree labels) are gathered once instead of once per
+        incident edge, and UIDs go through :meth:`UidScheme.uid_batch`;
+        only the fixed-width packing stays per edge.
+        """
+        graph = self.graph
+        indices = list(range(graph.m)) if edge_indices is None else list(edge_indices)
+        if not indices:
+            return []
+        edges = [graph.edge(ei) for ei in indices]
+        used = sorted({v for e in edges for v in (e.u, e.v)})
+        ids = {v: self._id_of(v) for v in used}
+        ancs = {v: self._anc_of(v) for v in used}
+        tlabels = None
+        if self.routing:
             assert self._tlabel_of is not None
-            values["tl_u"] = self._tlabel_of(e.u)
-            values["tl_v"] = self._tlabel_of(e.v)
-        return self.codec.pack(values)
+            tlabels = {v: self._tlabel_of(v) for v in used}
+            tl_get = tlabels.__getitem__
+        else:
+            tl_get = None
+        uids = self.uid_scheme.uid_batch((ids[e.u], ids[e.v]) for e in edges)
+        pack = self.codec.pack
+        ids_get, ancs_get = ids.__getitem__, ancs.__getitem__
+        return [
+            pack(self._field_values(e, uid, ids_get, ancs_get, tl_get))
+            for e, uid in zip(edges, uids)
+        ]
+
+    @property
+    def word_batchable(self) -> bool:
+        """True when every EID field fits one 64-bit word, i.e. the
+        vectorized column packer of :meth:`eid_words_batch` applies.
+        Callers that also want the Python-int EIDs should check this
+        and use :meth:`eid_batch` directly when it is False, avoiding a
+        pack/unpack round trip through the word matrix."""
+        return self.uid_scheme.uid_bits <= 64 and not (
+            self.routing and self.tlabel_bits > 64
+        )
+
+    def eid_words_batch(self, edge_indices: Optional[Iterable[int]] = None):
+        """Packed EIDs as a ``(E, word_count)`` uint64 word matrix.
+
+        The fast path packs every field with vectorized word shifts
+        (:meth:`EidCodec.pack_words_batch`); layouts with an oversized
+        routing tree-label field fall back to the per-edge packer.  Rows
+        equal ``eid_to_words(self.eid(ei), word_count)`` either way.
+        """
+        import numpy as np
+
+        from repro.sketches.sketch import eids_to_word_matrix
+
+        graph = self.graph
+        indices = list(range(graph.m)) if edge_indices is None else list(edge_indices)
+        n_words = self.codec.word_count
+        if not indices:
+            return np.zeros((0, n_words), dtype=np.uint64)
+        if not self.word_batchable:
+            return eids_to_word_matrix(self.eid_batch(indices), n_words)
+        csr = graph.as_csr()
+        idx = np.asarray(indices, dtype=np.int64)
+        eu = csr.edge_u[idx]
+        ev = csr.edge_v[idx]
+        # Per-vertex quantities gathered once; vertices never touched by
+        # an edge are skipped (they may carry no ancestry label).
+        n = graph.n
+        touched = np.zeros(n, dtype=bool)
+        touched[eu] = True
+        touched[ev] = True
+        ids = np.zeros(n, dtype=np.uint64)
+        tin = np.zeros(n, dtype=np.uint64)
+        tout = np.zeros(n, dtype=np.uint64)
+        id_of, anc_of = self._id_of, self._anc_of
+        for v in np.flatnonzero(touched).tolist():
+            ids[v] = id_of(v)
+            a = anc_of(v)
+            tin[v] = a[0]
+            tout[v] = a[1]
+        gu = ids[eu].tolist()
+        gv = ids[ev].tolist()
+        cols = {
+            "uid": np.array(
+                self.uid_scheme.uid_batch(zip(gu, gv)), dtype=np.uint64
+            ),
+            "id_u": ids[eu],
+            "id_v": ids[ev],
+            "tin_u": tin[eu],
+            "tout_u": tout[eu],
+            "tin_v": tin[ev],
+            "tout_v": tout[ev],
+        }
+        if self.routing:
+            assert self._tlabel_of is not None
+            tlabels = np.zeros(n, dtype=np.uint64)
+            for v in np.flatnonzero(touched).tolist():
+                tlabels[v] = self._tlabel_of(v)
+            port_fn = self._port_fn
+            ul, vl = eu.tolist(), ev.tolist()
+            cols["port_u"] = np.array(
+                [port_fn(u, v) for u, v in zip(ul, vl)], dtype=np.uint64
+            )
+            cols["port_v"] = np.array(
+                [port_fn(v, u) for u, v in zip(ul, vl)], dtype=np.uint64
+            )
+            cols["tl_u"] = tlabels[eu]
+            cols["tl_v"] = tlabels[ev]
+        return self.codec.pack_words_batch(cols)
 
     def try_decode(self, candidate: int) -> Optional[DecodedEid]:
         """Lemma 3.10: decide whether ``candidate`` is a single-edge EID.

@@ -53,6 +53,16 @@ class PairwiseHashFamily:
         xv = np.uint64(x)
         return ((self._a * xv + self._b) % np.uint64(MERSENNE_P)) & self._mask
 
+    def all_values_many(self, keys: np.ndarray) -> np.ndarray:
+        """Matrix ``H[e, i] = h_i(keys[e])`` for a batch of keys (uint64).
+
+        Same modular arithmetic as :meth:`all_values`, broadcast over a
+        key vector — ``a * x + b < 2^62`` so the uint64 products never
+        wrap.
+        """
+        k = keys.astype(np.uint64)[:, None]
+        return ((self._a[None, :] * k + self._b[None, :]) % np.uint64(MERSENNE_P)) & self._mask
+
     def seed_bits(self) -> int:
         """Size of the seed S_h in bits: two coefficients per function."""
         return self.count * 2 * 31

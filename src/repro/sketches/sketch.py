@@ -26,7 +26,7 @@ import numpy as np
 from repro.graph.graph import Graph
 from repro.graph.spanning_tree import RootedTree
 from repro.sketches.edge_ids import DecodedEid, ExtendedEdgeIds
-from repro.sketches.hashing import PairwiseHashFamily
+from repro.sketches.hashing import MERSENNE_P, PairwiseHashFamily
 
 
 @dataclass(frozen=True)
@@ -57,6 +57,22 @@ def eid_to_words(eid: int, words: int) -> np.ndarray:
     return out
 
 
+def eids_to_word_matrix(eids: Sequence[int], words: int) -> np.ndarray:
+    """Stack :func:`eid_to_words` over a batch: ``(len(eids), words)``.
+
+    One ``to_bytes`` per EID plus a single big-endian ``frombuffer``
+    decode, instead of per-edge word loops.
+    """
+    if len(eids) == 0:
+        return np.zeros((0, words), dtype=np.uint64)
+    buf = b"".join(int(e).to_bytes(words * 8, "big") for e in eids)
+    return (
+        np.frombuffer(buf, dtype=">u8")
+        .reshape(len(eids), words)
+        .astype(np.uint64)
+    )
+
+
 def words_to_eid(arr: np.ndarray) -> int:
     """Inverse of :func:`eid_to_words`."""
     value = 0
@@ -65,10 +81,35 @@ def words_to_eid(arr: np.ndarray) -> int:
     return value
 
 
+def word_matrix_to_eids(matrix: np.ndarray) -> list[int]:
+    """Row-wise :func:`words_to_eid` via one big-endian byte decode."""
+    rows, words = matrix.shape
+    if rows == 0:
+        return []
+    buf = matrix.astype(">u8").tobytes()
+    step = words * 8
+    from_bytes = int.from_bytes
+    return [from_bytes(buf[i * step : (i + 1) * step], "big") for i in range(rows)]
+
+
 def edge_key(n: int, u: int, v: int) -> int:
     """Canonical sampling key of the edge {u, v}."""
     a, b = (u, v) if u < v else (v, u)
     return a * n + b
+
+
+@dataclass(frozen=True)
+class SketchScatterPlan:
+    """Copy-invariant layout of the vectorized sketch scatter.
+
+    ``keys``: per-edge sampling keys (dense edge-index space).
+    ``srows`` / ``sedges``: target row and dense edge index per CSR
+    slot, in scatter order.  See :meth:`VertexSketches.scatter_plan`.
+    """
+
+    keys: np.ndarray
+    srows: np.ndarray
+    sedges: np.ndarray
 
 
 class VertexSketches:
@@ -92,11 +133,32 @@ class VertexSketches:
     ):
         if family.count < dims.units:
             raise ValueError("hash family smaller than the number of units")
+        if family.out_bits > dims.levels - 1:
+            # bitlen(h) can then exceed J, giving negative exact levels —
+            # the reference builder drops such edges but the vectorized
+            # scatter would write into neighboring cells, so reject the
+            # mismatch outright.
+            raise ValueError(
+                f"hash range {family.out_bits} bits exceeds J={dims.levels - 1}"
+            )
         self.graph = graph
         self.dims = dims
         self.family = family
         self._id_of = id_of if id_of is not None else (lambda v: v)
         self.key_space = key_space if key_space is not None else graph.n
+        # The largest possible edge key is min_id * key_space + max_id
+        # with min_id < max_id (simple graphs), i.e. at ids k-2 and k-1.
+        # Keys must stay below the hash family's Mersenne modulus, which
+        # also keeps the batched int64 key arithmetic exact (the
+        # vectorized path would otherwise silently wrap where
+        # UidScheme/hash evaluation semantics assume keys < 2^31 - 1).
+        if self.key_space > 1 and (self.key_space - 2) * self.key_space + (
+            self.key_space - 1
+        ) >= MERSENNE_P:
+            raise ValueError(
+                f"identifier space {self.key_space} too large: edge keys "
+                f"must stay below 2^31 - 1"
+            )
         self._level_idx = np.arange(dims.levels)
 
     # ------------------------------------------------------------------
@@ -105,10 +167,8 @@ class VertexSketches:
     def max_levels(self, u: int, v: int) -> np.ndarray:
         """Per-unit deepest level containing edge {u,v}: e in E_{i,j} iff
         j <= J - bitlen(h_i(e)).  ``u``/``v`` are identifier-space ids."""
-        h = self.family.all_values(edge_key(self.key_space, u, v))[: self.dims.units]
-        h = h.astype(np.float64)
-        bitlen = np.where(h == 0, 0, np.floor(np.log2(np.maximum(h, 1))) + 1).astype(int)
-        return (self.dims.levels - 1) - bitlen
+        key = np.array([edge_key(self.key_space, u, v)], dtype=np.int64)
+        return self.max_levels_many(key)[0]
 
     def membership_mask(self, u: int, v: int) -> np.ndarray:
         """Boolean (L, J+1) mask of the cells the edge is sampled into.
@@ -116,9 +176,70 @@ class VertexSketches:
         ml = self.max_levels(u, v)
         return self._level_idx[None, :] <= ml[:, None]
 
+    def max_levels_many(self, keys: np.ndarray) -> np.ndarray:
+        """``(E, L)`` per-unit deepest levels for a batch of edge keys,
+        with the same float arithmetic as :meth:`max_levels`."""
+        h = self.family.all_values_many(keys)[:, : self.dims.units].astype(np.float64)
+        bitlen = np.where(h == 0, 0, np.floor(np.log2(np.maximum(h, 1))) + 1).astype(int)
+        return (self.dims.levels - 1) - bitlen
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+    def scatter_plan(self, row_of: Optional[np.ndarray] = None) -> "SketchScatterPlan":
+        """Copy-invariant scatter layout for the vectorized builders.
+
+        Holds the per-edge sampling keys and the slot arrays in scatter
+        order (CSR vertex-major, or sorted by ``row_of`` when rows are
+        remapped).  Everything here depends only on the graph and the
+        identifier space — per-copy builders reuse one plan and evaluate
+        only their own hash family against it.
+        """
+        csr = self.graph.as_csr()
+        n = self.graph.n
+        ids = np.fromiter((self._id_of(v) for v in range(n)), dtype=np.int64, count=n)
+        gu = ids[csr.edge_u]
+        gv = ids[csr.edge_v]
+        keys = np.minimum(gu, gv) * np.int64(self.key_space) + np.maximum(gu, gv)
+        slot_u = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(csr.indptr).astype(np.int64)
+        )
+        srows = slot_u if row_of is None else row_of[slot_u]
+        sedges = csr.edge_ids
+        if row_of is not None:
+            # Keep the scatter row-major so writes stream block-locally.
+            order = np.argsort(srows, kind="stable")
+            srows = srows[order]
+            sedges = sedges[order]
+        return SketchScatterPlan(keys=keys, srows=srows, sedges=sedges)
+
+    def _scatter_exact_levels(
+        self,
+        arr: np.ndarray,
+        srows: np.ndarray,
+        sedges: np.ndarray,
+        ml: np.ndarray,
+        eid_words: np.ndarray,
+        word_row: Optional[np.ndarray] = None,
+    ) -> None:
+        """XOR EID words into the exact-level cells ``(row, i, ml[e, i])``.
+
+        ``ml`` is the dense ``(m, L)`` exact-level matrix; ``word_row``
+        maps a dense edge index to its row of ``eid_words`` (identity by
+        default).  Narrow per-word 1-D scatters keep ``ufunc.at`` cheap.
+        """
+        units, levels, width = self.dims.units, self.dims.levels, self.dims.words
+        cell = np.arange(units, dtype=np.int64)[None, :] * levels + ml[sedges]
+        targets = (srows[:, None] * np.int64(units * levels) + cell).ravel()
+        vrows = sedges if word_row is None else word_row[sedges]
+        flat = arr.reshape(-1, width)
+        for w in range(width):
+            np.bitwise_xor.at(
+                flat[:, w],
+                targets,
+                np.repeat(np.ascontiguousarray(eid_words[vrows, w]), units),
+            )
+
     def build(
         self,
         eid_of: Callable[[int], int],
@@ -128,7 +249,110 @@ class VertexSketches:
 
         ``eid_of`` maps an edge index to its packed EID; ``edge_indices``
         restricts which edges participate (default: all).
+
+        Vectorized in three passes with no per-edge Python work:
+
+        1. one batched hash evaluation gives each edge its per-unit
+           deepest sampled level ``ml[e, i]``;
+        2. the EID words XOR-scatter into the *exact-level* cells
+           ``(v, i, ml[e, i])`` (:meth:`_scatter_exact_levels`);
+        3. because membership is nested (``e in E_{i,j}`` iff
+           ``j <= ml[e, i]``), one reversed XOR-accumulate along the
+           level axis turns exact-level cells into the cumulative
+           cells of Eq. 2.
+
+        The scheme's hot path uses :meth:`build_prefix` instead (same
+        scatter, preorder-rank rows, prefix folding);
+        :meth:`build_reference` is the sequential implementation
+        producing the identical array to this one.
         """
+        n = self.graph.n
+        units, levels, width = self.dims.units, self.dims.levels, self.dims.words
+        arr = np.zeros((n, units, levels, width), dtype=np.uint64)
+        restricted = edge_indices is not None
+        indices = list(range(self.graph.m)) if not restricted else list(edge_indices)
+        if not indices:
+            return arr
+        plan = self.scatter_plan()
+        eid_words = eids_to_word_matrix([eid_of(ei) for ei in indices], width)
+        if restricted:
+            # Rows of eid_words follow ``indices``; mask the slots of
+            # excluded edges and route kept edges to their word rows.
+            # Participation is by XOR parity — an edge listed an even
+            # number of times cancels itself, matching the sequential
+            # reference's repeated-XOR semantics.
+            idx = np.asarray(indices, dtype=np.int64)
+            keep = (np.bincount(idx, minlength=self.graph.m) % 2).astype(bool)
+            word_row = np.zeros(self.graph.m, dtype=np.int64)
+            word_row[idx] = np.arange(idx.size)
+            ml = np.zeros((self.graph.m, units), dtype=np.int64)
+            ml[idx] = self.max_levels_many(plan.keys[idx])
+            sk = keep[plan.sedges]
+            self._scatter_exact_levels(
+                arr, plan.srows[sk], plan.sedges[sk], ml, eid_words, word_row
+            )
+        else:
+            ml = self.max_levels_many(plan.keys)
+            self._scatter_exact_levels(arr, plan.srows, plan.sedges, ml, eid_words)
+        rev = arr[:, :, ::-1, :]
+        np.bitwise_xor.accumulate(rev, axis=2, out=rev)
+        return arr
+
+    def build_prefix(
+        self,
+        eid_words: np.ndarray,
+        row_of: np.ndarray,
+        rows: int,
+        plan: Optional["SketchScatterPlan"] = None,
+    ) -> np.ndarray:
+        """Prefix-XOR tensor of *exact-level* sketch cells (the hot path).
+
+        Row ``r`` holds, per cell ``(i, d)``, the XOR of the EID words of
+        every edge whose endpoint maps to a row ``<= r`` and whose unit-i
+        sampling depth is exactly ``d``.  With ``row_of`` mapping each
+        vertex to ``preorder_rank + 1``, any subtree's exact-level sketch
+        is the XOR of two rows (subtrees are contiguous preorder
+        intervals), and the cumulative cells of Eq. 2 follow by one tiny
+        suffix-XOR over levels at query time (:meth:`suffix_levels`) —
+        membership is nested, ``e in E_{i,j}`` iff ``j <= ml[e, i]``.
+
+        Three vectorized construction passes, none per-edge: batched
+        hashing, the exact-level scatter, and a sequential row loop that
+        folds the tensor into prefix XORs (contiguous row-sized XORs
+        beat ``ufunc.accumulate`` by an order of magnitude).  ``plan``
+        lets multi-copy callers share one :meth:`scatter_plan`.
+        """
+        units, levels, width = self.dims.units, self.dims.levels, self.dims.words
+        arr = np.zeros((rows, units, levels, width), dtype=np.uint64)
+        if self.graph.m:
+            if plan is None:
+                plan = self.scatter_plan(row_of)
+            ml = self.max_levels_many(plan.keys)
+            self._scatter_exact_levels(arr, plan.srows, plan.sedges, ml, eid_words)
+        rowflat = arr.reshape(rows, -1)
+        for r in range(1, rows):
+            rowflat[r] ^= rowflat[r - 1]
+        return arr
+
+    @staticmethod
+    def suffix_levels(cells: np.ndarray) -> np.ndarray:
+        """Turn exact-level cells into the cumulative cells of Eq. 2.
+
+        ``cells`` is one sketch of shape (L, J+1, W); returns a new array
+        with cell ``(i, j)`` the XOR of the input cells ``(i, j..J)``.
+        """
+        out = cells.copy()
+        rev = out[:, ::-1, :]
+        np.bitwise_xor.accumulate(rev, axis=1, out=rev)
+        return out
+
+    def build_reference(
+        self,
+        eid_of: Callable[[int], int],
+        edge_indices: Optional[Iterable[int]] = None,
+    ) -> np.ndarray:
+        """Sequential per-edge builder (the seed path), kept as the
+        correctness reference for :meth:`build` and for benchmarking."""
         n = self.graph.n
         arr = np.zeros((n, self.dims.units, self.dims.levels, self.dims.words), dtype=np.uint64)
         indices = (
@@ -147,9 +371,19 @@ class VertexSketches:
     def aggregate_subtrees(tree: RootedTree, vertex_sketches: np.ndarray) -> np.ndarray:
         """Row v of the result is the XOR of vertex sketches over subtree(v).
 
-        One post-order pass (children XOR into parents), matching the
-        labeling algorithm's Õ(n) subtree computation (Claim 3.12).
+        Bottom-up per-depth-layer XOR folding (Claim 3.12's Õ(n) subtree
+        computation) via :func:`repro.graph.csr.subtree_xor`.
         """
+        from repro.graph.csr import subtree_xor
+
+        arr = tree.arrays()
+        return subtree_xor(arr.parent, arr.layers, vertex_sketches)
+
+    @staticmethod
+    def aggregate_subtrees_reference(
+        tree: RootedTree, vertex_sketches: np.ndarray
+    ) -> np.ndarray:
+        """Sequential post-order aggregation (the seed path)."""
         agg = vertex_sketches.copy()
         for v in tree.post_order():
             p = tree.parent[v]

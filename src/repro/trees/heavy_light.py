@@ -4,9 +4,16 @@ Used by the tree-routing scheme of Fact 5.1 ([TZ01]): every root-to-leaf
 path contains at most ``log2 n`` light edges, so a routing label that
 lists only the light edges of the root-to-target path is
 O(log^2 n) bits.
+
+The decomposition is computed with the per-depth-layer array kernels of
+:mod:`repro.graph.csr` (subtree sizes bottom-up, light-depths top-down,
+heavy children by one grouped sort) instead of per-vertex Python loops;
+the exposed attributes keep their original list form.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.graph.spanning_tree import RootedTree
 
@@ -17,28 +24,27 @@ class HeavyLightDecomposition:
     def __init__(self, tree: RootedTree):
         self.tree = tree
         n = tree.graph.n
-        self.size = [0] * n
-        for v in tree.post_order():
-            self.size[v] = 1 + sum(self.size[c] for c in tree.children[v])
+        arr = tree.arrays()
+        self.size = arr.size.tolist()
         #: heavy child of each vertex (-1 for leaves): the child with the
         #: largest subtree, ties broken towards the smaller vertex id.
-        self.heavy_child = [-1] * n
-        for v in tree.vertices:
-            best = -1
-            best_size = 0
-            for c in tree.children[v]:
-                if self.size[c] > best_size:
-                    best, best_size = c, self.size[c]
-            self.heavy_child[v] = best
+        heavy = np.full(n, -1, dtype=np.int64)
+        child = np.flatnonzero(arr.depth > 0)
+        if child.size:
+            par = arr.parent[child]
+            # Group children by parent, largest subtree first (ties by
+            # smaller id); the first row of each group is the heavy child.
+            order = np.lexsort((child, -arr.size[child], par))
+            sp = par[order]
+            first = np.flatnonzero(np.r_[True, sp[1:] != sp[:-1]])
+            heavy[sp[first]] = child[order][first]
+        self.heavy_child = heavy.tolist()
         #: number of light edges on the root-to-v path.
-        self.light_depth = [0] * n
-        for v in tree.vertices:
-            p = tree.parent[v]
-            if p < 0:
-                self.light_depth[v] = 0
-            else:
-                extra = 0 if self.heavy_child[p] == v else 1
-                self.light_depth[v] = self.light_depth[p] + extra
+        light = np.zeros(n, dtype=np.int64)
+        for vs in arr.layers[1:]:
+            ps = arr.parent[vs]
+            light[vs] = light[ps] + (heavy[ps] != vs)
+        self.light_depth = light.tolist()
 
     def is_heavy_edge_to(self, child: int) -> bool:
         """True iff the edge (parent(child), child) is heavy."""

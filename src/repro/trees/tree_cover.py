@@ -28,6 +28,14 @@ scales, where every ball is the whole component).
 The paper's radius constant is ``(2k-1) rho``; this round-based variant
 guarantees ``(2k+1) rho`` in the worst case — the difference is absorbed
 in the *measured* stretch reported by the benches (see DESIGN.md).
+
+Per-scale ball computations run through the batched truncated-SSSP
+kernel of :mod:`repro.graph.csr` (``engine="csr"``, the default): all
+balls of a component are computed by one segmented-min relaxation over
+the arc arrays instead of one Python Dijkstra per center.  The
+sequential heap implementation remains as ``engine="reference"`` and
+produces identical covers (distances agree exactly; every derived set
+is content-determined).
 """
 
 from __future__ import annotations
@@ -37,6 +45,9 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
+import numpy as np
+
+from repro.graph import csr as csrk
 from repro.graph.graph import Graph
 
 
@@ -73,7 +84,7 @@ class TreeCover:
 
 def _ball(graph: Graph, source: int, radius: float, skip: set[int]) -> dict[int, float]:
     """Truncated Dijkstra: vertices within ``radius`` of ``source`` in
-    ``G \\ skip`` (dict vertex -> distance)."""
+    ``G \\ skip`` (dict vertex -> distance).  Reference implementation."""
     dist = {source: 0.0}
     heap = [(0.0, source)]
     while heap:
@@ -93,7 +104,14 @@ def _ball(graph: Graph, source: int, radius: float, skip: set[int]) -> dict[int,
 def _component_and_ecc(
     graph: Graph, root: int, skip: set[int]
 ) -> tuple[list[int], float]:
-    """Component of ``root`` in G \\ skip and the eccentricity of root."""
+    """Component of ``root`` in G \\ skip and the eccentricity of root.
+
+    Single-source and *unbounded*, so the heap Dijkstra is the right
+    tool on both engines: the label-correcting SSSP kernel would run
+    one all-arc round per shortest-path hop, which is O(n m) on
+    high-diameter components.  The batched kernel is reserved for the
+    radius-truncated all-centers ball computation.
+    """
     dist = _ball(graph, root, math.inf, skip)
     return sorted(dist), max(dist.values(), default=0.0)
 
@@ -104,15 +122,21 @@ def sparse_cover(
     k: int,
     forbidden_edges: Iterable[int] = (),
     max_cluster_growth: Optional[float] = None,
+    engine: str = "csr",
 ) -> TreeCover:
     """Build a ``(rho, k)`` tree cover of ``G \\ forbidden_edges``.
 
     ``max_cluster_growth`` overrides the ``n^{1/k}`` kernel growth bound
-    (used by tests to force multi-round behaviour).
+    (used by tests to force multi-round behaviour).  ``engine`` selects
+    the batched CSR ball kernel (default) or the sequential reference.
     """
     if rho <= 0 or k < 1:
         raise ValueError("need rho > 0 and k >= 1")
+    if engine not in ("csr", "reference"):
+        raise ValueError(f"unknown engine {engine!r}")
     skip = set(forbidden_edges)
+    use_csr = engine == "csr"
+    skip_mask = csrk.forbidden_mask(graph.m, skip) if use_csr else None
     growth = (
         max_cluster_growth
         if max_cluster_growth is not None
@@ -135,7 +159,9 @@ def sparse_cover(
             for v in comp:
                 home[v] = idx
             continue
-        _cover_component(graph, comp, rho, growth, skip, trees, home)
+        _cover_component(
+            graph, comp, rho, growth, skip, use_csr, skip_mask, trees, home
+        )
     return TreeCover(rho=rho, k=k, trees=trees, home=home)
 
 
@@ -145,12 +171,21 @@ def _cover_component(
     rho: float,
     growth: float,
     skip: set[int],
+    use_csr: bool,
+    skip_mask: Optional[np.ndarray],
     trees: list[CoverTree],
     home: dict[int, int],
 ) -> None:
-    balls: dict[int, dict[int, float]] = {
-        v: _ball(graph, v, rho, skip) for v in comp
-    }
+    if use_csr:
+        # Batched truncated SSSP gives every center's ball at once;
+        # the kernel chunks sources (bounded memory) and falls back to
+        # heap Dijkstra on hop-deep chunks (bounded rounds).
+        ball_list = csrk.truncated_balls(
+            graph.as_csr(), comp, radius=rho, forbidden=skip_mask
+        )
+        balls = dict(zip(comp, ball_list))
+    else:
+        balls = {v: _ball(graph, v, rho, skip) for v in comp}
     inv: dict[int, set[int]] = {v: set() for v in comp}
     for center, ball in balls.items():
         for w in ball:
@@ -198,7 +233,11 @@ def _cover_component(
 def _ball_within(
     graph: Graph, source: int, allowed: set[int], skip: set[int]
 ) -> dict[int, float]:
-    """Dijkstra from ``source`` restricted to the ``allowed`` vertex set."""
+    """Dijkstra from ``source`` restricted to the ``allowed`` vertex set.
+
+    Single-source and unbounded within the cluster — heap Dijkstra, see
+    :func:`_component_and_ecc`.
+    """
     dist = {source: 0.0}
     heap = [(0.0, source)]
     while heap:

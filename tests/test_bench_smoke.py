@@ -1,0 +1,25 @@
+"""Construction-time smoke test against the committed baseline.
+
+Marked ``bench_smoke`` and excluded from the default pytest run (see
+pytest.ini): wall-clock assertions only make sense on a quiet machine.
+Run explicitly with ``pytest -m bench_smoke`` or via
+``benchmarks/run_baseline.sh``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from benchmarks.baseline import DEFAULT_OUT, check_against
+
+
+@pytest.mark.bench_smoke
+def test_construction_within_2x_of_committed_baseline():
+    if not Path(DEFAULT_OUT).exists():
+        pytest.skip("no committed BENCH_construction.json")
+    committed = json.loads(Path(DEFAULT_OUT).read_text())
+    problems = check_against(committed, repeats=3)
+    assert not problems, "; ".join(problems)

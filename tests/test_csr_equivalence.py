@@ -1,0 +1,192 @@
+"""End-to-end equivalence: labels built through the CSR engine decode
+identically to the seed (reference-engine) labels.
+
+The acceptance bar for the CSR rewrite is bit-identical *labels* — not
+just equal answers — because every construction quantity (ancestry
+times, EIDs, sketch cells) is embedded into decodable identifiers.
+Covers four generator families and the full query pipeline, plus the
+batched EID/UID paths and the tree-cover engines.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro._util import derive_seed
+from repro.core.sketch_scheme import SketchConnectivityScheme
+from repro.graph import generators
+from repro.graph.ancestry import AncestryLabeling
+from repro.graph.spanning_tree import spanning_forest
+from repro.sketches.edge_ids import ExtendedEdgeIds, UidScheme
+from repro.sketches.sketch import eids_to_word_matrix, word_matrix_to_eids
+from repro.trees.tree_cover import sparse_cover
+
+FAMILIES = [
+    ("random", lambda: generators.random_connected_graph(72, extra_edges=100, seed=21)),
+    ("grid", lambda: generators.grid_graph(8, 8)),
+    ("ring_of_cliques", lambda: generators.ring_of_cliques(8, 5)),
+    (
+        "weighted",
+        lambda: generators.with_random_weights(
+            generators.random_connected_graph(64, extra_edges=90, seed=22), 1, 8, seed=23
+        ),
+    ),
+    # High-diameter: exercises the hybrid kernels' sequential fallbacks
+    # (per-level BFS overhead and hop-deep balls).
+    ("path", lambda: generators.grid_graph(1, 96)),
+]
+
+
+@pytest.mark.parametrize("name,make", FAMILIES, ids=[f[0] for f in FAMILIES])
+def test_sketch_scheme_labels_identical_across_engines(name, make):
+    graph = make()
+    fast = SketchConnectivityScheme(graph, seed=5, copies=2)
+    ref = SketchConnectivityScheme(graph, seed=5, copies=2, engine="reference")
+    assert fast._eid_cache == ref._eid_cache
+    for v in range(graph.n):
+        assert fast.vertex_label(v) == ref.vertex_label(v)
+    for ei in range(graph.m):
+        a, b = fast.edge_label(ei), ref.edge_label(ei)
+        assert (a.component, a.eid, a.is_tree) == (b.component, b.eid, b.is_tree)
+        if a.is_tree:
+            for c in range(2):
+                assert np.array_equal(a.subtree[c], b.subtree[c])
+                assert np.array_equal(a.global_sketch[c], b.global_sketch[c])
+    assert fast.max_vertex_label_bits() == ref.max_vertex_label_bits()
+    assert fast.max_edge_label_bits() == ref.max_edge_label_bits()
+
+
+@pytest.mark.parametrize("name,make", FAMILIES, ids=[f[0] for f in FAMILIES])
+def test_sketch_scheme_decodes_identical_across_engines(name, make):
+    graph = make()
+    fast = SketchConnectivityScheme(graph, seed=5)
+    ref = SketchConnectivityScheme(graph, seed=5, engine="reference")
+    rnd = random.Random(77)
+    for _ in range(30):
+        s, t = rnd.sample(range(graph.n), 2)
+        faults = rnd.sample(range(graph.m), rnd.randint(0, 6))
+        ra = fast.query(s, t, faults)
+        rb = ref.query(s, t, faults)
+        assert ra.connected == rb.connected
+        assert ra.path == rb.path
+        assert ra.phases_used == rb.phases_used
+
+
+def test_eid_batches_match_per_edge_path():
+    graph = generators.with_random_weights(
+        generators.random_connected_graph(48, extra_edges=70, seed=31), 1, 5, seed=32
+    )
+    trees, comp = spanning_forest(graph)
+    anc = [AncestryLabeling(t) for t in trees]
+    eids = ExtendedEdgeIds(
+        graph, UidScheme(derive_seed(9, "uid")), lambda v: anc[comp[v]].label(v)
+    )
+    per_edge = [eids.eid(ei) for ei in range(graph.m)]
+    assert eids.eid_batch() == per_edge
+    words = eids.eid_words_batch()
+    assert word_matrix_to_eids(words) == per_edge
+    assert np.array_equal(words, eids_to_word_matrix(per_edge, words.shape[1]))
+    # Restricted batches keep row order aligned with the index list.
+    subset = list(range(0, graph.m, 3))
+    assert eids.eid_batch(subset) == [per_edge[i] for i in subset]
+
+
+def test_uid_batch_matches_uid():
+    scheme = UidScheme(derive_seed(4, "uid"))
+    pairs = [(3, 9), (9, 3), (0, 1), (120, 7), (2**20, 2**21)]
+    assert scheme.uid_batch(pairs) == [scheme.uid(u, v) for u, v in pairs]
+
+
+def test_vertex_sketch_builders_agree():
+    from repro.core.sketch_scheme import default_units
+    from repro.sketches.hashing import PairwiseHashFamily
+    from repro.sketches.sketch import SketchDims, VertexSketches
+
+    graph = generators.random_connected_graph(40, extra_edges=55, seed=41)
+    trees, comp = spanning_forest(graph)
+    anc = [AncestryLabeling(t) for t in trees]
+    eids = ExtendedEdgeIds(
+        graph, UidScheme(derive_seed(1, "uid")), lambda v: anc[comp[v]].label(v)
+    )
+    import math
+
+    levels = max(1, math.ceil(math.log2(max(graph.m, 2)))) + 1
+    dims = SketchDims(
+        units=default_units(graph.n),
+        levels=levels,
+        words=max(1, (eids.total_bits + 63) // 64),
+    )
+    fam = PairwiseHashFamily(dims.units, levels - 1, derive_seed(1, "fam"))
+    sketcher = VertexSketches(graph, dims, fam)
+    cache = [eids.eid(ei) for ei in range(graph.m)]
+    ref = sketcher.build_reference(cache.__getitem__)
+    fast = sketcher.build(cache.__getitem__)
+    assert np.array_equal(fast, ref)
+    # Restricted edge set
+    subset = list(range(0, graph.m, 2))
+    ref_sub = sketcher.build_reference(cache.__getitem__, subset)
+    fast_sub = sketcher.build(cache.__getitem__, subset)
+    assert np.array_equal(fast_sub, ref_sub)
+    # Prefix tensor: interval XOR + level suffix == subtree aggregation.
+    tree = trees[0]
+    arr = tree.arrays()
+    agg_ref = VertexSketches.aggregate_subtrees_reference(tree, ref)
+    pre = np.full(graph.n, -1, dtype=np.int64)
+    pre[arr.order] = np.arange(arr.order.size)
+    prefix = sketcher.build_prefix(
+        eids.eid_words_batch(), row_of=pre + 1, rows=graph.n + 1
+    )
+    for v in tree.vertices:
+        a = int(pre[v])
+        b = a + int(arr.size[v])
+        got = VertexSketches.suffix_levels(prefix[b] ^ prefix[a])
+        assert np.array_equal(got, agg_ref[v]), v
+    # The layered kernel agrees too.
+    assert np.array_equal(VertexSketches.aggregate_subtrees(tree, ref), agg_ref)
+
+
+def test_sparse_cover_engines_agree():
+    for name, make in FAMILIES:
+        graph = make()
+        for rho in (1.0, 3.0, 9.0):
+            a = sparse_cover(graph, rho, 2, forbidden_edges=range(0, graph.m, 7))
+            b = sparse_cover(
+                graph,
+                rho,
+                2,
+                forbidden_edges=range(0, graph.m, 7),
+                engine="reference",
+            )
+            assert a.home == b.home, (name, rho)
+            assert [(t.center, t.vertices, t.radius) for t in a.trees] == [
+                (t.center, t.vertices, t.radius) for t in b.trees
+            ], (name, rho)
+
+
+def test_routing_augmented_scheme_identical_across_engines():
+    """Eq. (5) layout (ports + embedded tree labels) through both engines."""
+    from repro.core.sketch_scheme import RoutingAugmentation
+    from repro.graph.spanning_tree import RootedTree
+    from repro.trees.tree_routing import TreeRoutingScheme
+
+    graph = generators.random_connected_graph(36, extra_edges=50, seed=51)
+    tree = RootedTree.bfs(graph, 0)
+    tr = TreeRoutingScheme(tree)
+    aug = RoutingAugmentation(
+        port_bits=max(1, (graph.n - 1).bit_length()),
+        tlabel_bits=tr.encoded_label_bits(),
+        tlabel_of=lambda v: tr.encode_label(tr.label(v)),
+    )
+    fast = SketchConnectivityScheme(graph, seed=6, routing=aug, trees=[tree])
+    ref = SketchConnectivityScheme(
+        graph, seed=6, routing=aug, trees=[tree], engine="reference"
+    )
+    assert fast._eid_cache == ref._eid_cache
+    for ei in range(graph.m):
+        a, b = fast.edge_label(ei), ref.edge_label(ei)
+        assert a.eid == b.eid and a.is_tree == b.is_tree
+        if a.is_tree:
+            assert np.array_equal(a.subtree[0], b.subtree[0])

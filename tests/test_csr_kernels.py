@@ -1,0 +1,275 @@
+"""Property tests: the CSR array kernels agree with the pure-Python
+reference implementations on random generator workloads.
+
+The CSR view and its kernels (``repro.graph.csr``) are the hot path of
+label construction; the ``Graph`` builder and the sequential
+implementations stay the correctness reference.  Everything here is
+asserted *bit for bit* — same parents, same distances, same DFS times,
+same XOR aggregates — because the labeling schemes embed these values
+into decodable identifiers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+import pytest
+
+from repro.graph import csr as csrk
+from repro.graph import generators
+from repro.graph.ancestry import AncestryLabeling
+from repro.graph.graph import Graph
+from repro.graph.spanning_tree import RootedTree, spanning_forest
+from repro.sketches.edge_ids import EidCodec
+from repro.trees.heavy_light import HeavyLightDecomposition
+
+
+def _families(n_scale: int = 1):
+    yield generators.random_connected_graph(40 * n_scale, extra_edges=60 * n_scale, seed=7)
+    yield generators.grid_graph(6 * n_scale, 6 * n_scale)
+    yield generators.grid_graph(1, 80 * n_scale)  # path: high diameter
+    yield generators.ring_of_cliques(5 * n_scale, 5)
+    yield generators.with_random_weights(
+        generators.random_connected_graph(36 * n_scale, extra_edges=50 * n_scale, seed=8),
+        1,
+        8,
+        seed=9,
+    )
+    yield generators.gnm_random_graph(30 * n_scale, 25 * n_scale, seed=10)
+
+
+# ----------------------------------------------------------------------
+# CSR structure
+# ----------------------------------------------------------------------
+def test_csr_view_matches_ports():
+    for g in _families():
+        csr = g.as_csr()
+        assert csr.n == g.n and csr.m == g.m
+        for u in g.vertices():
+            lo, hi = int(csr.indptr[u]), int(csr.indptr[u + 1])
+            assert hi - lo == g.degree(u)
+            for port in range(g.degree(u)):
+                v, ei = g.via_port(u, port)
+                assert int(csr.neighbors[lo + port]) == v
+                assert int(csr.edge_ids[lo + port]) == ei
+        for e in g.edges:
+            assert int(csr.edge_u[e.index]) == e.u
+            assert int(csr.edge_v[e.index]) == e.v
+            assert float(csr.edge_weight[e.index]) == e.weight
+
+
+def test_csr_cache_invalidated_by_add_edge():
+    g = Graph(4)
+    g.add_edge(0, 1)
+    first = g.as_csr()
+    assert g.as_csr() is first  # cached
+    g.add_edge(1, 2)
+    second = g.as_csr()
+    assert second is not first
+    assert second.m == 2
+
+
+def test_csr_arrays_frozen():
+    g = generators.random_connected_graph(10, extra_edges=5, seed=1)
+    csr = g.as_csr()
+    with pytest.raises(ValueError):
+        csr.neighbors[0] = 3
+
+
+# ----------------------------------------------------------------------
+# BFS
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("forbidden", [(), (0, 3, 7)])
+def test_bfs_tree_matches_python_bfs(forbidden):
+    for g in _families():
+        forb = tuple(f for f in forbidden if f < g.m)
+        for root in (0, g.n // 2):
+            ref = RootedTree.bfs(g, root, forb, engine="reference")
+            got = RootedTree.bfs(g, root, forb, engine="csr")
+            assert got.parent == ref.parent
+            assert got.parent_edge == ref.parent_edge
+            assert got.vertices == ref.vertices
+            assert got.depth == ref.depth
+
+
+def test_bfs_accepts_index_array_as_forbidden():
+    g = generators.random_connected_graph(20, extra_edges=15, seed=9)
+    ref = RootedTree.bfs(g, 0, [0, 2], engine="reference")
+    for forb in (np.array([0, 2]), (0, 2), {0, 2}):
+        got = RootedTree.bfs(g, 0, forb, engine="csr")
+        assert got.parent == ref.parent
+        assert got.parent_edge == ref.parent_edge
+
+
+def test_spanning_forest_engines_agree():
+    for g in _families():
+        f_ref, comp_ref = spanning_forest(g, forbidden=[1, 2], engine="reference")
+        f_csr, comp_csr = spanning_forest(g, forbidden=[1, 2], engine="csr")
+        assert comp_ref == comp_csr
+        assert len(f_ref) == len(f_csr)
+        for ta, tb in zip(f_ref, f_csr):
+            assert ta.root == tb.root
+            assert ta.parent == tb.parent
+            assert ta.parent_edge == tb.parent_edge
+
+
+# ----------------------------------------------------------------------
+# Batched truncated SSSP
+# ----------------------------------------------------------------------
+def _dijkstra_ref(g: Graph, s: int, radius=math.inf, skip=frozenset(), allowed=None):
+    dist = {s: 0.0}
+    heap = [(0.0, s)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist.get(u, math.inf):
+            continue
+        for v, ei in g.incident(u):
+            if ei in skip or (allowed is not None and v not in allowed):
+                continue
+            nd = d + g.weight(ei)
+            if nd <= radius and nd < dist.get(v, math.inf):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist
+
+
+def test_shortest_distances_match_dijkstra():
+    for g in _families():
+        csr = g.as_csr()
+        dist = csrk.shortest_distances(csr, range(g.n))
+        for s in range(0, g.n, 3):
+            ref = _dijkstra_ref(g, s)
+            got = {
+                v: float(dist[s, v]) for v in range(g.n) if math.isfinite(dist[s, v])
+            }
+            assert got == ref
+
+
+def test_shortest_distances_truncated_and_forbidden():
+    for g in _families():
+        skip = frozenset(range(0, g.m, 5))
+        mask = csrk.forbidden_mask(g.m, skip)
+        dist = csrk.shortest_distances(g.as_csr(), range(g.n), radius=4.0, forbidden=mask)
+        for s in range(0, g.n, 4):
+            ref = _dijkstra_ref(g, s, radius=4.0, skip=skip)
+            got = {
+                v: float(dist[s, v]) for v in range(g.n) if math.isfinite(dist[s, v])
+            }
+            assert got == ref
+
+
+def test_shortest_distances_allowed_subset():
+    g = generators.with_random_weights(
+        generators.random_connected_graph(30, extra_edges=40, seed=3), 1, 6, seed=4
+    )
+    allowed_set = set(range(0, 20))
+    allowed = np.zeros(g.n, dtype=bool)
+    allowed[list(allowed_set)] = True
+    dist = csrk.shortest_distances(g.as_csr(), [5], allowed=allowed)
+    ref = _dijkstra_ref(g, 5, allowed=allowed_set)
+    got = {v: float(dist[0, v]) for v in range(g.n) if math.isfinite(dist[0, v])}
+    assert got == ref
+
+
+def test_shortest_distances_empty_and_edgeless():
+    g = Graph(3)
+    dist = csrk.shortest_distances(g.as_csr(), [1])
+    assert dist[0, 1] == 0.0
+    assert math.isinf(dist[0, 0]) and math.isinf(dist[0, 2])
+    assert csrk.shortest_distances(g.as_csr(), []).shape == (0, 3)
+
+
+# ----------------------------------------------------------------------
+# Tree kernels: sizes, DFS intervals, subtree XOR, heavy-light
+# ----------------------------------------------------------------------
+def _trees():
+    for g in _families():
+        yield RootedTree.bfs(g, 0)
+        yield RootedTree.dfs(g, 0)
+        if any(e.weight != 1.0 for e in g.edges):
+            yield RootedTree.dijkstra(g, 0)
+
+
+def test_subtree_sizes_match_subtree_vertices():
+    for tree in _trees():
+        arr = tree.arrays()
+        for v in tree.vertices:
+            assert int(arr.size[v]) == len(tree.subtree_vertices(v))
+
+
+def test_ancestry_array_engine_matches_dfs_engine():
+    for tree in _trees():
+        ref = AncestryLabeling(tree, engine="reference")
+        got = AncestryLabeling(tree, engine="csr")
+        assert got.max_time == ref.max_time
+        for v in tree.vertices:
+            assert got.label(v) == ref.label(v)
+
+
+def test_subtree_xor_matches_postorder_loop():
+    rng = np.random.default_rng(11)
+    for tree in _trees():
+        n = tree.graph.n
+        values = rng.integers(0, 2**63, size=(n, 3, 2), dtype=np.uint64)
+        arr = tree.arrays()
+        got = csrk.subtree_xor(arr.parent, arr.layers, values)
+        ref = values.copy()
+        for v in tree.post_order():
+            p = tree.parent[v]
+            if p >= 0:
+                ref[p] ^= ref[v]
+        assert np.array_equal(got, ref)
+
+
+def test_heavy_light_matches_reference():
+    for tree in _trees():
+        hl = HeavyLightDecomposition(tree)
+        # Reference recomputation with per-vertex loops.
+        size = [0] * tree.graph.n
+        for v in tree.post_order():
+            size[v] = 1 + sum(size[c] for c in tree.children[v])
+        assert hl.size == size
+        for v in tree.vertices:
+            best, best_size = -1, 0
+            for c in tree.children[v]:
+                if size[c] > best_size:
+                    best, best_size = c, size[c]
+            assert hl.heavy_child[v] == best
+        for v in tree.vertices:
+            p = tree.parent[v]
+            expect = 0 if p < 0 else hl.light_depth[p] + (hl.heavy_child[p] != v)
+            assert hl.light_depth[v] == expect
+
+
+# ----------------------------------------------------------------------
+# XOR scatter + word packing helpers
+# ----------------------------------------------------------------------
+def test_xor_scatter_folds_duplicates():
+    rng = np.random.default_rng(5)
+    acc = np.zeros((10, 4), dtype=np.uint64)
+    idx = rng.integers(0, 10, size=50)
+    vals = rng.integers(0, 2**63, size=(50, 4), dtype=np.uint64)
+    csrk.xor_scatter(acc, idx, vals)
+    ref = np.zeros_like(acc)
+    for i, v in zip(idx, vals):
+        ref[i] ^= v
+    assert np.array_equal(acc, ref)
+
+
+def test_pack_words_batch_matches_scalar_pack():
+    from repro.sketches.sketch import eid_to_words
+
+    codec = EidCodec([("a", 64), ("b", 11), ("c", 13), ("d", 40)])
+    rng = np.random.default_rng(6)
+    cols = {
+        "a": rng.integers(0, 2**63, size=32, dtype=np.uint64),
+        "b": rng.integers(0, 2**11, size=32, dtype=np.uint64),
+        "c": rng.integers(0, 2**13, size=32, dtype=np.uint64),
+        "d": rng.integers(0, 2**40, size=32, dtype=np.uint64),
+    }
+    words = codec.pack_words_batch(cols)
+    for i in range(32):
+        eid = codec.pack({k: int(cols[k][i]) for k in cols})
+        assert np.array_equal(words[i], eid_to_words(eid, codec.word_count))
