@@ -1,0 +1,242 @@
+"""Persistent decode-throughput baseline: ``BENCH_query.json``.
+
+This runner pins the performance trajectory of the *query* side from
+the batched-engine rewrite onward, the counterpart of
+``benchmarks/baseline.py`` for construction.  For every workload it
+measures, over a deterministic ``(s, t, F)`` stream:
+
+* ``batched_qps`` — queries/second of one ``query_many`` call on the
+  packed-store batch engine (the production path, succinct paths
+  included);
+* ``reference_qps`` — queries/second of looping ``query()`` on an
+  ``engine="reference"`` scheme (the retained seed decoder working off
+  per-object labels);
+* ``speedup`` — their ratio, the headline number (the acceptance bar
+  for the batched engine is >= 5x on ``random-2048`` with 10k queries);
+* per-query latency of the batched path, for serving-budget estimates.
+
+The answers of the two paths are bit-identical
+(``tests/test_query_many.py``); this harness double-checks verdict
+agreement on every run before timing.
+
+Usage::
+
+    python -m benchmarks.bench_query_throughput           # full set -> BENCH_query.json
+    python -m benchmarks.bench_query_throughput --smoke   # tiny sizes, print only
+    python -m benchmarks.bench_query_throughput --check   # compare smoke speedups
+                                                          # against the committed
+                                                          # JSON; exit 1 on >2x
+                                                          # throughput regression
+
+``--check`` is what ``benchmarks/run_baseline.sh`` and the
+``bench_smoke`` pytest marker run in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.common import print_table, sample_queries, workload_graph
+from repro.core.sketch_scheme import SketchConnectivityScheme
+
+#: repo-root location of the committed baseline.
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_query.json"
+
+#: (name, family, n, queries, max_faults, smoke).  The headline workload
+#: — the acceptance target — runs first on a cold process.
+WORKLOADS = [
+    ("random-2048", "random", 2048, 10000, 4, False),
+    ("random-256", "random", 256, 2000, 4, True),
+    ("grid-256", "grid", 256, 2000, 4, True),
+    ("path-512", "path", 512, 2000, 4, False),
+    ("weighted-1024", "weighted", 1024, 5000, 4, False),
+]
+
+#: --check fails when a smoke workload's batched/reference throughput
+#: ratio worsens by more than this factor against the committed ratio
+#: (machine-speed independent, mirroring baseline.py's gate).
+REGRESSION_FACTOR = 2.0
+
+
+def _workload_graph(family: str, n: int):
+    if family == "path":
+        from repro.graph import generators
+
+        return generators.grid_graph(1, n)
+    return workload_graph(family, n, seed=1)
+
+
+def measure_workload(
+    name: str, family: str, n: int, trials: int, max_faults: int, repeats: int = 3
+) -> dict:
+    """All measurements of one workload, as a JSON-ready dict."""
+    graph = _workload_graph(family, n)
+    graph.as_csr()
+    batched = SketchConnectivityScheme(graph, seed=2)
+    reference = SketchConnectivityScheme(graph, seed=2, engine="reference")
+    queries = sample_queries(graph, trials, max_faults, seed=3)
+    pairs = [(s, t) for s, t, _ in queries]
+    fault_sets = [F for _, _, F in queries]
+
+    # Warm the packed store and double-check verdict agreement before
+    # timing anything.
+    warm = batched.query_many(pairs[:64], fault_sets[:64])
+    for (s, t), F, rb in zip(pairs[:64], fault_sets[:64], warm):
+        if rb != reference.query(s, t, F):  # pragma: no cover - tripwire
+            raise AssertionError(f"batched/reference divergence on {(s, t, F)}")
+
+    best_batch = float("inf")
+    for _ in range(repeats):
+        gc.collect()
+        t0 = time.perf_counter()
+        batched.query_many(pairs, fault_sets)
+        best_batch = min(best_batch, time.perf_counter() - t0)
+    gc.collect()
+    t0 = time.perf_counter()
+    for (s, t), F in zip(pairs, fault_sets):
+        reference.query(s, t, F)
+    ref_s = time.perf_counter() - t0
+
+    count = len(pairs)
+    return {
+        "family": family,
+        "n": n,
+        "m": graph.m,
+        "queries": count,
+        "max_faults": max_faults,
+        "batched_s": round(best_batch, 4),
+        "reference_s": round(ref_s, 4),
+        "batched_qps": round(count / best_batch, 1),
+        "reference_qps": round(count / ref_s, 1),
+        "batched_us_per_query": round(best_batch / count * 1e6, 2),
+        "speedup": round(ref_s / best_batch, 2) if best_batch > 0 else float("inf"),
+    }
+
+
+def run(workloads, repeats: int = 3) -> dict:
+    results = {}
+    for name, family, n, trials, max_faults, _smoke in workloads:
+        row = measure_workload(name, family, n, trials, max_faults, repeats)
+        results[name] = row
+        print(
+            f"  {name}: batched {row['batched_qps']:.0f} q/s  "
+            f"reference {row['reference_qps']:.0f} q/s  "
+            f"speedup {row['speedup']:.1f}x",
+            flush=True,
+        )
+    return {
+        "schema": 1,
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "smoke_workloads": [w[0] for w in workloads if w[5]],
+        "workloads": results,
+    }
+
+
+def check_against(committed: dict, repeats: int = 3) -> list[str]:
+    """Re-run the smoke workloads; return regression messages (empty = ok).
+
+    The gate is machine-normalized like the construction gate: the seed
+    decoder is measured in the same run, and a workload regresses when
+    the batched/reference throughput ratio worsens by more than
+    :data:`REGRESSION_FACTOR` against the committed ratio.
+    """
+    problems = []
+    by_name = {w[0]: w for w in WORKLOADS}
+    for name in committed.get("smoke_workloads", []):
+        recorded = committed["workloads"].get(name)
+        if recorded is None or name not in by_name:
+            continue
+        _, family, n, trials, max_faults, _ = by_name[name]
+        row = measure_workload(name, family, n, trials, max_faults, repeats)
+        now_ratio = row["speedup"]
+        committed_ratio = recorded["speedup"]
+        regressed = now_ratio * REGRESSION_FACTOR < committed_ratio
+        status = "REGRESSED" if regressed else "ok"
+        print(
+            f"  {name}: now {now_ratio:.2f}x of reference  "
+            f"committed {committed_ratio:.2f}x  [{status}]"
+        )
+        if regressed:
+            problems.append(
+                f"{name}: batched decode now only {now_ratio:.2f}x the seed "
+                f"decoder, > {REGRESSION_FACTOR}x below the committed "
+                f"{committed_ratio:.2f}x"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument(
+        "--smoke", action="store_true", help="run only the tiny smoke workloads"
+    )
+    ap.add_argument(
+        "--check",
+        nargs="?",
+        const=str(DEFAULT_OUT),
+        default=None,
+        metavar="JSON",
+        help="re-run smoke workloads and fail on >2x regression vs JSON",
+    )
+    ap.add_argument(
+        "--no-write", action="store_true", help="print results without writing JSON"
+    )
+    args = ap.parse_args(argv)
+
+    if args.check is not None:
+        path = Path(args.check)
+        if not path.exists():
+            print(
+                f"no committed baseline at {path} — run "
+                "`python -m benchmarks.bench_query_throughput` to create it"
+            )
+            return 1
+        committed = json.loads(path.read_text())
+        problems = check_against(committed, repeats=args.repeats)
+        if problems:
+            print("decode-throughput regressions detected:")
+            for p in problems:
+                print("  " + p)
+            return 1
+        print("no decode-throughput regressions")
+        return 0
+
+    workloads = [w for w in WORKLOADS if w[5]] if args.smoke else WORKLOADS
+    payload = run(workloads, repeats=args.repeats)
+    rows = [
+        (
+            name,
+            r["n"],
+            r["queries"],
+            f"{r['batched_qps']:.0f}",
+            f"{r['reference_qps']:.0f}",
+            f"{r['speedup']:.1f}x",
+            f"{r['batched_us_per_query']:.0f}",
+        )
+        for name, r in payload["workloads"].items()
+    ]
+    print_table(
+        "Decode throughput (batched engine vs seed decoder)",
+        ["workload", "n", "queries", "batch q/s", "ref q/s", "speedup", "us/q"],
+        rows,
+    )
+    if not args.smoke and not args.no_write:
+        args.out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

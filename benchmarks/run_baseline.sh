@@ -1,13 +1,16 @@
 #!/bin/sh
-# Construction-time smoke check: re-run the tiny baseline workloads and
-# fail if any sketch-scheme construction regressed more than 2x against
-# the committed BENCH_construction.json.  Intended for CI / pre-merge:
+# Perf smoke checks: re-run the tiny baseline workloads and fail if
+# label construction (vs BENCH_construction.json) or batched decode
+# throughput (vs BENCH_query.json) regressed more than 2x against the
+# committed numbers.  Intended for CI / pre-merge:
 #
 #   ./benchmarks/run_baseline.sh
 #
-# Regenerate the committed baseline (after a deliberate perf change):
+# Regenerate the committed baselines (after a deliberate perf change):
 #
 #   PYTHONPATH=src python -m benchmarks.baseline
+#   PYTHONPATH=src python -m benchmarks.bench_query_throughput
 set -e
 cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m benchmarks.baseline --check "$@"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m benchmarks.bench_query_throughput --check "$@"

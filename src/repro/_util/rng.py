@@ -66,7 +66,7 @@ def prf_int(seed: int, *salt: int | str | bytes, bits: int = 64) -> int:
 
 
 def prf_int_pairs(
-    seed: int, label: str, pairs, bits: int = 64
+    seed: int, label: str, pairs, bits: int = 64, frame_cache=None
 ) -> list[int]:
     """``prf_int(seed, label, a, b)`` for many ``(a, b)`` pairs at once.
 
@@ -74,27 +74,38 @@ def prf_int_pairs(
     :func:`_prf_key` / :func:`_frame` / :func:`_extend_digest` helpers —
     with the key derivation and label framing hoisted out of the loop.
     The per-pair cost is one BLAKE2b evaluation, the hot path of bulk
-    edge-identifier construction.
+    edge-identifier construction and of batched candidate validation.
+
+    ``frame_cache`` may be a caller-owned dict reused across calls: the
+    length-prefixed framings of the integer operands are pure values, so
+    a persistent cache (e.g. one per ``UidScheme``) amortizes them to a
+    dict hit — the decoder validates candidate streams whose ids repeat
+    heavily across batches.
     """
     key = _prf_key(seed)
     size = (bits + 7) // 8
     mask = (1 << bits) - 1
     from_bytes = int.from_bytes
-    framed: dict[int, bytes] = {}
-
-    def frame_cached(x: int) -> bytes:
-        f = framed.get(x)
-        if f is None:
-            f = framed[x] = _frame(x)
-        return f
-
-    base = hashlib.blake2b(_frame(label), key=key, digest_size=min(size, 64))
+    framed: dict[int, bytes] = {} if frame_cache is None else frame_cache
+    framed_get = framed.get
+    digest_size = min(size, 64)
+    base = hashlib.blake2b(_frame(label), key=key, digest_size=digest_size)
     base_copy = base.copy
+    extend = size > digest_size  # one digest already covers the output
     out: list[int] = []
     for a, b in pairs:
+        fa = framed_get(a)
+        if fa is None:
+            fa = framed[a] = _frame(a)
+        fb = framed_get(b)
+        if fb is None:
+            fb = framed[b] = _frame(b)
         h = base_copy()
-        h.update(frame_cached(a) + frame_cached(b))
-        out.append(from_bytes(_extend_digest(h.digest(), key, size), "big") & mask)
+        h.update(fa + fb)
+        digest = h.digest()
+        if extend:
+            digest = _extend_digest(digest, key, size)
+        out.append(from_bytes(digest, "big") & mask)
     return out
 
 

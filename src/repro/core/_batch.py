@@ -1,0 +1,35 @@
+"""Shared plumbing for the batched ``query_many`` APIs.
+
+Every scheme-level ``query_many(pairs, faults)`` accepts the fault
+argument in two shapes: one iterable of edge indices shared by all
+query pairs, or a sequence of per-pair iterables.  The normalization is
+scheme-independent and lives here so the facades, oracles and scenario
+runner all agree on the convention.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def normalize_faults(pairs: Sequence, faults) -> list[list[int]]:
+    """Per-pair fault lists for ``query_many(pairs, faults)``.
+
+    ``faults`` is either a flat iterable of edge indices (shared by all
+    pairs) or a sequence of per-pair iterables whose length matches
+    ``pairs``.  The two cases are told apart by the first element's
+    type; an empty argument means no faults anywhere.
+    """
+    flist = list(faults)
+    if flist and isinstance(flist[0], (int, np.integer)):
+        shared = [int(ei) for ei in flist]
+        return [shared] * len(pairs)
+    if not flist:
+        return [[]] * len(pairs)
+    if len(flist) != len(pairs):
+        raise ValueError(
+            f"got {len(flist)} fault sets for {len(pairs)} query pairs"
+        )
+    return [[int(ei) for ei in F] for F in flist]

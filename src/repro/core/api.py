@@ -11,8 +11,9 @@ depends on the network simulator).
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
+from repro.core._batch import normalize_faults
 from repro.core.cycle_space_scheme import CycleSpaceConnectivityScheme
 from repro.core.distance_labels import DistanceLabelScheme
 from repro.core.sketch_scheme import SketchConnectivityScheme
@@ -67,17 +68,35 @@ class FaultTolerantConnectivity:
 
     def connected(self, s: int, t: int, faults: Iterable[int]) -> bool:
         """Is ``s`` connected to ``t`` in ``G \\ faults``? (w.h.p.)"""
-        faults = list(faults)
-        if len(faults) > self.f and self.scheme_name == "cycle_space":
-            raise ValueError(
-                f"fault set of size {len(faults)} exceeds the bound f={self.f}"
-            )
-        result = self._impl.decode(
-            self._impl.vertex_label(s),
-            self._impl.vertex_label(t),
-            [self._impl.edge_label(ei) for ei in faults],
-        )
-        return result.connected
+        return self.query_many([(s, t)], list(faults))[0]
+
+    def query_many(
+        self, pairs: Sequence[tuple[int, int]], faults=()
+    ) -> list[bool]:
+        """Batched :meth:`connected` over many (s, t) pairs.
+
+        ``faults`` is one shared iterable of edge indices, or a per-pair
+        sequence of fault iterables.  Runs through the underlying
+        scheme's packed-store batch decoder (``query_many``); answers
+        equal looping :meth:`connected`.
+        """
+        if self.scheme_name == "cycle_space":
+            # Normalize once for the per-pair budget check; the scheme's
+            # own normalization of the same list is a no-op-shaped copy.
+            per = normalize_faults(pairs, faults)
+            for F in per:
+                if len(F) > self.f:
+                    raise ValueError(
+                        f"fault set of size {len(F)} exceeds the bound "
+                        f"f={self.f}"
+                    )
+            return self._impl.query_many(pairs, per)
+        # Sketch path: hand the caller's faults straight through — the
+        # scheme normalizes exactly once (shared sets stay aliased).
+        return [
+            r.connected
+            for r in self._impl.query_many(pairs, faults, want_path=False)
+        ]
 
     def max_vertex_label_bits(self) -> int:
         return self._impl.max_vertex_label_bits()
@@ -122,6 +141,18 @@ class FaultTolerantDistance:
 
     def estimate(self, s: int, t: int, faults: Iterable[int]) -> float:
         return self._impl.query(s, t, faults)
+
+    def query_many(
+        self, pairs: Sequence[tuple[int, int]], faults=()
+    ) -> list[float]:
+        """Batched :meth:`estimate` over many (s, t) pairs.
+
+        ``faults`` is one shared iterable of edge indices, or a per-pair
+        sequence of fault iterables; answers equal looping
+        :meth:`estimate`, served through the batched scale scan of
+        :meth:`DistanceLabelScheme.query_many`.
+        """
+        return self._impl.query_many(pairs, faults)
 
     def stretch_bound(self, num_faults: int) -> float:
         return self._impl.stretch_bound(num_faults)

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 from repro._util import derive_seed
+from repro.core._batch import normalize_faults
 from repro.cycle_space.labels import CycleSpaceLabels
 from repro.graph.ancestry import AncestryLabeling, AncLabel, edge_on_root_path
 from repro.graph.graph import Graph
@@ -112,6 +113,7 @@ class CycleSpaceConnectivityScheme:
         c_log: int = 4,
         trees: Optional[Sequence[RootedTree]] = None,
         all_queries: bool = False,
+        engine: str = "csr",
     ):
         """Assign labels for up to ``f`` edge faults.
 
@@ -125,9 +127,18 @@ class CycleSpaceConnectivityScheme:
 
         ``trees`` may supply pre-built spanning trees (one per
         component); otherwise BFS trees are used.
+
+        ``engine`` selects the query path: ``"csr"`` (default) answers
+        :meth:`query`/:meth:`query_many` from the packed label store,
+        ``"reference"`` materializes per-object labels and runs the
+        seed :meth:`decode` — identical answers either way (asserted by
+        ``tests/test_query_many.py``).
         """
         if f < 0:
             raise ValueError("fault bound f must be >= 0")
+        if engine not in ("csr", "reference"):
+            raise ValueError(f"unknown engine {engine!r}")
+        self.engine = engine
         self.graph = graph
         self.f = f
         self.seed = seed
@@ -153,6 +164,44 @@ class CycleSpaceConnectivityScheme:
             )
             for ci, tree in enumerate(self.trees)
         ]
+        self._qstore: Optional[tuple] = None
+
+    def _packed_store(self) -> tuple:
+        """Packed query-side label arrays (built once, lazily).
+
+        Per vertex: component and DFS interval; per edge: component,
+        phi word, tree bit, endpoint intervals and the dedup identity —
+        the exact fields :meth:`decode` reads off label objects, held as
+        flat lists so the batched query loop never materializes labels.
+        """
+        if self._qstore is None:
+            graph = self.graph
+            n, m = graph.n, graph.m
+            comp_v = list(self.comp_of)
+            tin = [0] * n
+            tout = [0] * n
+            for anc in self._anc:
+                for v, ti in enumerate(anc._tin):
+                    if ti:
+                        tin[v] = ti
+                        tout[v] = anc._tout[v]
+            comp_e = [0] * m
+            phi = [0] * m
+            is_tree = [False] * m
+            anc_e = [None] * m
+            ident = [None] * m
+            for ei in range(m):
+                e = graph.edge(ei)
+                ci = comp_v[e.u]
+                comp_e[ei] = ci
+                phi[ei] = self._labels[ci].phi(ei)
+                is_tree[ei] = self.trees[ci].is_tree_edge(ei)
+                au = (tin[e.u], tout[e.u])
+                av = (tin[e.v], tout[e.v])
+                anc_e[ei] = (au, av)
+                ident[ei] = (au, av) if au <= av else (av, au)
+            self._qstore = (comp_v, tin, tout, comp_e, phi, is_tree, anc_e, ident)
+        return self._qstore
 
     # ------------------------------------------------------------------
     # Labels
@@ -288,10 +337,96 @@ class CycleSpaceConnectivityScheme:
         return CSDecodeResult(connected=True)
 
     # ------------------------------------------------------------------
+    # Batched queries (packed label store)
+    # ------------------------------------------------------------------
+    def query_many(
+        self, pairs: Sequence[tuple[int, int]], faults=()
+    ) -> list[bool]:
+        """Batched full-pipeline queries on vertex pairs and edge indices.
+
+        ``faults`` is one shared iterable of edge indices or a per-pair
+        sequence of iterables.  Answers are identical to looping
+        :meth:`query`: the same deduplication, the same Lemma 3.5
+        augmented columns and the same GF(2) solves — read off the
+        packed store instead of per-object labels (the solve itself is
+        already O((f + log n) f^2) per query and stays per query).
+        """
+        per = normalize_faults(pairs, faults)
+        if self.engine == "reference":
+            return [
+                self.decode(
+                    self.vertex_label(s),
+                    self.vertex_label(t),
+                    [self.edge_label(ei) for ei in F],
+                ).connected
+                for (s, t), F in zip(pairs, per)
+            ]
+        comp_v, tin, tout, comp_e, phi, is_tree, anc_e, ident = (
+            self._packed_store()
+        )
+        b = self.b
+        w_s = 1 << (b + 1)
+        w_t = 1 << b
+        out: list[bool] = []
+        for (s, t), F in zip(pairs, per):
+            cs = comp_v[s]
+            if cs != comp_v[t]:
+                out.append(False)
+                continue
+            s_tin, s_tout = tin[s], tout[s]
+            t_tin, t_tout = tin[t], tout[t]
+            if s_tin == t_tin and s_tout == t_tout:
+                out.append(True)
+                continue
+            columns: list[int] = []
+            seen = set()
+            for ei in F:
+                if comp_e[ei] != cs:
+                    continue
+                key = ident[ei]
+                if key in seen:
+                    continue
+                seen.add(key)
+                col = phi[ei]
+                if is_tree[ei]:
+                    au, av = anc_e[ei]
+                    on_s = (
+                        au[0] <= s_tin
+                        and s_tout <= au[1]
+                        and av[0] <= s_tin
+                        and s_tout <= av[1]
+                    )
+                    on_t = (
+                        au[0] <= t_tin
+                        and t_tout <= au[1]
+                        and av[0] <= t_tin
+                        and t_tout <= av[1]
+                    )
+                    if on_s and not on_t:
+                        col |= w_s
+                    elif on_t and not on_s:
+                        col |= w_t
+                columns.append(col)
+            connected = True
+            if columns:
+                for w in (w_s, w_t):
+                    if gf2_solve(columns, w) is not None:
+                        connected = False
+                        break
+            out.append(connected)
+        return out
+
+    # ------------------------------------------------------------------
     # Convenience wrapper used by examples and benches
     # ------------------------------------------------------------------
     def query(self, s: int, t: int, faults: Iterable[int]) -> bool:
-        """Full-pipeline query: look up labels, decode, return connected."""
+        """Full-pipeline query: look up labels, decode, return connected.
+
+        Delegates to the batched path with batch size 1 on the default
+        engine; ``engine="reference"`` runs the seed label decoder.
+        """
+        if self.engine == "csr":
+            return self.query_many([(s, t)], list(faults))[0]
         result = self.decode(
             self.vertex_label(s),
             self.vertex_label(t),

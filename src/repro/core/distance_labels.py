@@ -126,9 +126,12 @@ class DistanceLabelScheme:
         routing: bool = False,
         gamma_f: Optional[int] = None,
         units: Optional[int] = None,
+        engine: str = "csr",
     ):
         if k < 1:
             raise ValueError("stretch parameter k must be >= 1")
+        if engine not in ("csr", "reference"):
+            raise ValueError(f"unknown engine {engine!r}")
         if any(e.weight < 1.0 for e in graph.edges):
             raise ValueError("Section 4 assumes edge weights in [1, W]")
         if base_scheme not in ("sketch", "cycle_space"):
@@ -142,6 +145,7 @@ class DistanceLabelScheme:
         self.base_scheme = base_scheme
         self.routing = routing
         self.copies = copies
+        self.engine = engine
         self.K = bits_for_weight_scales(graph.n, graph.max_weight())
         self.instances: dict[InstanceKey, LabelInstance] = {}
         self._vertex_membership: list[dict[InstanceKey, int]] = [
@@ -169,12 +173,21 @@ class DistanceLabelScheme:
         # inside sparse_cover.
         weights = graph.as_csr().edge_weight
         light = weights <= rho
-        light_edges = set(np.flatnonzero(light).tolist())
         heavy_edges = set(np.flatnonzero(~light).tolist())
         cover = sparse_cover(graph, rho, self.k, forbidden_edges=heavy_edges)
+        if self.engine == "csr":
+            # Clusters are sliced straight off the CSR endpoint arrays
+            # (one vectorized keep-mask pass per cluster) instead of the
+            # per-edge Python scan of the reference induced_subgraph —
+            # identical subgraphs, maps and port numbering either way.
+            allowed = light
+        else:
+            allowed = set(np.flatnonzero(light).tolist())
         for j, ct in enumerate(cover.trees):
             key = (i, j)
-            sub = graph.induced_subgraph(ct.vertices, allowed_edges=light_edges)
+            sub = graph.induced_subgraph(
+                ct.vertices, allowed_edges=allowed, engine=self.engine
+            )
             center_local = sub.vertex_from_parent[ct.center]
             tree = RootedTree.dijkstra(sub.graph, center_local)
             if len(tree.vertices) != sub.graph.n:  # pragma: no cover - defensive
@@ -193,7 +206,11 @@ class DistanceLabelScheme:
                 scheme: Union[
                     SketchConnectivityScheme, CycleSpaceConnectivityScheme
                 ] = CycleSpaceConnectivityScheme(
-                    sub.graph, self.f, seed=inst_seed, trees=[tree]
+                    sub.graph,
+                    self.f,
+                    seed=inst_seed,
+                    trees=[tree],
+                    engine=self.engine,
                 )
             else:
                 aug = None
@@ -221,6 +238,7 @@ class DistanceLabelScheme:
                     id_of=id_of,
                     id_space=graph.n,
                     port_fn=port_fn,
+                    engine=self.engine,
                 )
             self.instances[key] = LabelInstance(
                 key=key,
@@ -318,6 +336,85 @@ class DistanceLabelScheme:
                     inner=inner,
                 )
         return DistDecodeResult(estimate=math.inf)
+
+    def query_many(
+        self,
+        pairs,
+        faults=(),
+        copy: int = 0,
+    ) -> list[float]:
+        """Batched estimates, answer-identical to looping :meth:`query`.
+
+        Scales are scanned upward exactly as in :meth:`decode`, but at
+        each scale the still-unresolved queries are grouped by their
+        home-cluster instance and answered through that instance
+        scheme's batched ``query_many`` (faults mapped to instance-local
+        edge ids via the membership tables), so the underlying Boruvka
+        or GF(2) decodes run over whole query groups at once.
+        """
+        from repro.core._batch import normalize_faults
+
+        pairs = list(pairs)
+        per = normalize_faults(pairs, faults)
+        if self.engine == "reference":
+            return [
+                self.query(s, t, F, copy=copy)
+                for (s, t), F in zip(pairs, per)
+            ]
+        results: list[Optional[float]] = [None] * len(pairs)
+        nf: list[int] = []
+        for qi, ((s, t), F) in enumerate(zip(pairs, per)):
+            if s == t:
+                results[qi] = 0.0
+            nf.append(len(set(F)))
+        pending = [qi for qi in range(len(pairs)) if results[qi] is None]
+        for i in range(self.K + 1):
+            if not pending:
+                break
+            groups: dict[InstanceKey, list[int]] = {}
+            for qi in pending:
+                s, t = pairs[qi]
+                j = self._i_star[s].get(i)
+                if j is None:
+                    continue
+                key = (i, j)
+                ls = self._vertex_membership[s].get(key)
+                lt = self._vertex_membership[t].get(key)
+                if ls is None or lt is None:
+                    continue
+                groups.setdefault(key, []).append(qi)
+            for key, qis in groups.items():
+                scheme = self.instances[key].scheme
+                vmem = self._vertex_membership
+                emem = self._edge_membership
+                sub_pairs = [
+                    (vmem[pairs[qi][0]][key], vmem[pairs[qi][1]][key])
+                    for qi in qis
+                ]
+                sub_faults = [
+                    [
+                        le
+                        for le in (emem[ei].get(key) for ei in per[qi])
+                        if le is not None
+                    ]
+                    for qi in qis
+                ]
+                if isinstance(scheme, CycleSpaceConnectivityScheme):
+                    verdicts = scheme.query_many(sub_pairs, sub_faults)
+                else:
+                    verdicts = [
+                        r.connected
+                        for r in scheme.query_many(
+                            sub_pairs, sub_faults, copy=copy, want_path=False
+                        )
+                    ]
+                for qi, ok in zip(qis, verdicts):
+                    if ok:
+                        results[qi] = self.estimate_at_scale(i, nf[qi])
+            pending = [qi for qi in pending if results[qi] is None]
+        for qi in pending:
+            results[qi] = math.inf
+        return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # Convenience wrapper used by examples and benches

@@ -18,8 +18,11 @@ graphs remain open.)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Optional, Sequence
 
+import numpy as np
+
+from repro.core._batch import normalize_faults
 from repro.graph.ancestry import AncestryLabeling, AncLabel, edge_on_root_path
 from repro.graph.graph import Graph
 from repro.graph.spanning_tree import spanning_forest
@@ -68,6 +71,7 @@ class ForestConnectivityScheme:
         self.graph = graph
         self.trees = trees
         self._anc = [AncestryLabeling(tree) for tree in trees]
+        self._qstore: Optional[tuple] = None
 
     def vertex_label(self, v: int) -> ForestVertexLabel:
         ci = self.comp_of[v]
@@ -108,12 +112,82 @@ class ForestConnectivityScheme:
                 return False
         return True
 
-    def query(self, s: int, t: int, faults: Iterable[int]) -> bool:
-        return self.decode(
-            self.vertex_label(s),
-            self.vertex_label(t),
-            [self.edge_label(ei) for ei in faults],
+    def _packed_store(self) -> tuple:
+        """Packed label arrays: per-vertex (component, DFS interval)
+        and per-edge (component, endpoint intervals), built once."""
+        if self._qstore is None:
+            graph = self.graph
+            n = graph.n
+            comp_v = np.asarray(self.comp_of, dtype=np.int64)
+            tin = np.zeros(n, dtype=np.int64)
+            tout = np.zeros(n, dtype=np.int64)
+            for anc in self._anc:
+                tin += np.asarray(anc._tin, dtype=np.int64)
+                tout += np.asarray(anc._tout, dtype=np.int64)
+            if graph.m:
+                csr = graph.as_csr()
+                eu, ev = csr.edge_u, csr.edge_v
+                self._qstore = (
+                    comp_v,
+                    tin,
+                    tout,
+                    comp_v[eu],
+                    tin[eu],
+                    tout[eu],
+                    tin[ev],
+                    tout[ev],
+                )
+            else:
+                z = np.zeros(0, dtype=np.int64)
+                self._qstore = (comp_v, tin, tout, z, z, z, z, z)
+        return self._qstore
+
+    def query_many(
+        self, pairs: Sequence[tuple[int, int]], faults=()
+    ) -> list[bool]:
+        """Batched exact queries, identical to looping :meth:`query`.
+
+        The forest decoder is a pure interval predicate, so the whole
+        batch vectorizes: for every (query, fault) cell, the failed
+        edge separates s from t iff it lies on exactly one of the
+        root-s / root-t paths — one boolean tensor reduction.
+        """
+        per = normalize_faults(pairs, faults)
+        comp_v, tin, tout, comp_e, tin_u, tout_u, tin_v, tout_v = (
+            self._packed_store()
         )
+        ps = np.asarray([p[0] for p in pairs], dtype=np.int64)
+        pt = np.asarray([p[1] for p in pairs], dtype=np.int64)
+        same = comp_v[ps] == comp_v[pt]
+        out = same.copy()
+        # Flatten the (query, fault) incidence and evaluate every cell.
+        lens = [len(F) for F in per]
+        if sum(lens) and same.any():
+            qs = np.repeat(np.arange(len(pairs), dtype=np.int64), lens)
+            es = np.asarray(
+                [ei for F in per for ei in F], dtype=np.int64
+            )
+            keep = same[qs] & (comp_e[es] == comp_v[ps[qs]])
+            qs, es = qs[keep], es[keep]
+
+            def on_path(x: np.ndarray) -> np.ndarray:
+                xi, xo = tin[x][qs], tout[x][qs]
+                return (
+                    (tin_u[es] <= xi)
+                    & (xo <= tout_u[es])
+                    & (tin_v[es] <= xi)
+                    & (xo <= tout_v[es])
+                )
+
+            cut = on_path(ps) != on_path(pt)
+            bad = np.zeros(len(pairs), dtype=bool)
+            np.logical_or.at(bad, qs, cut)
+            out &= ~bad
+        return out.tolist()
+
+    def query(self, s: int, t: int, faults: Iterable[int]) -> bool:
+        """Single query — the batched engine with batch size 1."""
+        return self.query_many([(s, t)], list(faults))[0]
 
     def max_vertex_label_bits(self) -> int:
         return max(

@@ -36,11 +36,12 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Iterable, NamedTuple, Optional, Sequence
 
 import numpy as np
 
 from repro._util import derive_seed
+from repro.core._batch import normalize_faults
 from repro.core.component_tree import ComponentForest, orient_tree_edge
 from repro.core.path_description import PathSegment, SuccinctPath
 from repro.graph.ancestry import AncestryLabeling, AncLabel
@@ -49,6 +50,7 @@ from repro.graph.spanning_tree import RootedTree, spanning_forest
 from repro.sketches.edge_ids import DecodedEid, ExtendedEdgeIds, UidScheme
 from repro.sketches.hashing import PairwiseHashFamily
 from repro.sketches.sketch import (
+    MAX_SKETCH_ID_SPACE,
     SketchDims,
     VertexSketches,
     eids_to_word_matrix,
@@ -187,6 +189,87 @@ class ConnectivityPartition:
         return len(set(self.group_of))
 
 
+class _PathEndpoint(NamedTuple):
+    """The two fields of a vertex label the path assembler reads."""
+
+    vid: int
+    tlabel: Optional[int]
+
+
+def _mix_words(words: np.ndarray, consts: np.ndarray) -> np.ndarray:
+    """64-bit fingerprint per word row (odd-multiplier mix, wrapping).
+
+    Used as a vectorized membership prefilter against the real-edge
+    words; collisions are resolved by exact row comparison, so the mix
+    only affects speed, never answers.
+    """
+    mixed = words[:, 0] * consts[0]
+    for w in range(1, words.shape[1]):
+        mixed = mixed ^ (words[:, w] * consts[w])
+    return mixed
+
+
+class _SplitForest:
+    """Stand-in for :class:`ComponentForest` when ``|F_T| = 1``.
+
+    A single failed tree edge splits T into the root component (0) and
+    the failed edge's child subtree (1); locating a vertex is one
+    interval-containment test.  This is by far the most common shape in
+    the batched decoder, and skipping the generic endpoint-sort build
+    measurably matters at 10^4 queries.
+    """
+
+    __slots__ = ("tin", "tout")
+
+    def __init__(self, tin: int, tout: int):
+        self.tin = tin
+        self.tout = tout
+
+    def locate(self, anc) -> int:
+        return 1 if self.tin <= anc[0] and anc[1] <= self.tout else 0
+
+
+@dataclass
+class _PackedQueryStore:
+    """Packed array label store backing the batched decoder.
+
+    One contiguous tensor/array per label quantity, sliced per vertex or
+    edge instead of materializing per-object labels: vertex side carries
+    (component, identifier-space id, DFS-interval ancestry), edge side
+    carries (component, tree bit, EID word rows, sampling key, child
+    preorder interval, endpoint ancestry).  The plain-list mirrors exist
+    because the per-query assembly phase reads single elements, where
+    Python list indexing beats numpy scalar indexing severalfold.
+    """
+
+    comp_v: list  # vertex -> component (comp_of)
+    vid: list  # vertex -> identifier-space id
+    tin: list  # vertex -> DFS first visit time
+    tout: list  # vertex -> DFS last visit time
+    comp_e: list  # edge -> component
+    is_tree: list  # edge -> tree bit
+    child_a: list  # tree edge -> child-subtree prefix row (else -1)
+    child_b: list  # tree edge -> one past the subtree interval
+    child_tin: list  # tree edge -> child endpoint tin (else 0)
+    child_tout: list
+    e_tin_u: list  # edge -> endpoint ancestry (decoder's d.anc_u/d.anc_v)
+    e_tout_u: list
+    e_tin_v: list
+    e_tout_v: list
+    root_a: list  # component -> root-subtree prefix row interval
+    root_b: list
+    keys: np.ndarray  # (m,) int64 identifier-space sampling keys
+    eid_words: np.ndarray  # (m, W) uint64 packed EIDs
+    #: real-edge membership index: per-edge mixed 64-bit fingerprints of
+    #: the EID word rows, sorted, plus the edge order.  A fingerprint
+    #: hit (confirmed by exact word comparison) proves single-edge-ness
+    #: without a PRF evaluation — the uid a stored edge row embeds
+    #: matches by construction; misses go through the batched PRF test.
+    mix_consts: np.ndarray  # (W,) odd uint64 mixing multipliers
+    mixed_sorted: np.ndarray  # (m,) uint64 sorted fingerprints
+    mixed_order: np.ndarray  # (m,) int64 edge index per sorted slot
+
+
 class SketchConnectivityScheme:
     """The full Section 3.2 scheme: labeling + Boruvka decoding."""
 
@@ -219,8 +302,18 @@ class SketchConnectivityScheme:
         vectorized = engine == "csr"
         self.graph = graph
         self.seed = seed
+        self.engine = engine
         self._id_of = id_of if id_of is not None else (lambda v: v)
         self._id_space = id_space if id_space is not None else graph.n
+        if self._id_space > MAX_SKETCH_ID_SPACE:
+            # Explicit failure instead of silently evaluating hash keys
+            # outside the 2^31 - 1 modulus domain (the seed behavior).
+            raise ValueError(
+                f"identifier space {self._id_space} exceeds the sketch "
+                f"scheme cap of {MAX_SKETCH_ID_SPACE} ids (edge sampling "
+                f"keys must stay below the 2^31 - 1 hash modulus; a "
+                f"wider-modulus hash family is needed beyond that)"
+            )
         if trees is None:
             self.trees, self.comp_of = spanning_forest(graph, engine=engine)
         else:
@@ -294,6 +387,13 @@ class SketchConnectivityScheme:
         self._agg: Optional[list[np.ndarray]] = None
         self._prefix: Optional[list[np.ndarray]] = None
         self._root_cache: dict[int, tuple] = {}
+        # Packed query-side stores (lazy; vectorized engine only): the
+        # per-vertex/per-edge label arrays the batched decoder reads
+        # instead of materializing per-vertex label objects.
+        self._qstore: Optional[_PackedQueryStore] = None
+        self._vid_to_vertex: Optional[dict[int, int]] = None
+        self._eid_to_edge: Optional[dict[int, int]] = None
+        self._edge_decoded: dict[int, DecodedEid] = {}
         if vectorized:
             pre = np.full(graph.n, -1, dtype=np.int64)
             size_all = np.zeros(graph.n, dtype=np.int64)
@@ -318,10 +418,6 @@ class SketchConnectivityScheme:
                 )
                 for c in range(copies)
             ]
-            if self._eid_ints is not None:
-                # Ints are already materialized (wide-field layout); the
-                # word matrix has no reader after the builds above.
-                self._eid_words = None
         else:
             self._agg = []
             for c in range(copies):
@@ -337,12 +433,11 @@ class SketchConnectivityScheme:
     def _eid_cache(self) -> list:
         """Packed EIDs by edge index (lazily decoded from the word
         matrix on the vectorized path — labels need Python ints, the
-        sketch builder does not)."""
+        sketch builder does not).  The word matrix itself stays live on
+        the vectorized engine: it is the packed edge-label store the
+        batched decoder cancels faults from."""
         if self._eid_ints is None:
             self._eid_ints = word_matrix_to_eids(self._eid_words)
-            # The word matrix's only post-construction reader is this
-            # decode; drop it so both representations don't stay live.
-            self._eid_words = None
         return self._eid_ints
 
     def _subtree_sketches(self, v: int) -> tuple[np.ndarray, ...]:
@@ -359,6 +454,89 @@ class SketchConnectivityScheme:
                 VertexSketches.suffix_levels(p[b] ^ p[a]) for p in self._prefix
             )
         return tuple(agg[v] for agg in self._agg)
+
+    def _packed_store(self) -> _PackedQueryStore:
+        """The packed query-side label store (built once, lazily)."""
+        if self._qstore is not None:
+            return self._qstore
+        if self._prefix is None:
+            raise RuntimeError("packed store requires the vectorized engine")
+        graph = self.graph
+        n, m = graph.n, graph.m
+        csr = graph.as_csr()
+        id_of = self._id_of
+        vid = np.fromiter((id_of(v) for v in range(n)), dtype=np.int64, count=n)
+        tin = np.zeros(n, dtype=np.int64)
+        tout = np.zeros(n, dtype=np.int64)
+        for anc in self._anc:
+            # Each labeling is zero outside its own tree, and trees are
+            # vertex-disjoint, so the element-wise sum stitches the
+            # per-component DFS times into one array pair.
+            tin += np.asarray(anc._tin, dtype=np.int64)
+            tout += np.asarray(anc._tout, dtype=np.int64)
+        is_tree = np.zeros(m, dtype=bool)
+        childv = np.full(m, -1, dtype=np.int64)
+        for tree in self.trees:
+            ta = tree.arrays()
+            vs = np.flatnonzero(ta.parent >= 0)
+            is_tree[ta.parent_edge[vs]] = True
+            childv[ta.parent_edge[vs]] = vs
+        tree_mask = childv >= 0
+        cv = np.maximum(childv, 0)
+        child_a = np.where(tree_mask, self._pre[cv], -1)
+        child_b = np.where(tree_mask, self._pre[cv] + self._size[cv], -1)
+        child_tin = np.where(tree_mask, tin[cv], 0)
+        child_tout = np.where(tree_mask, tout[cv], 0)
+        if m:
+            gu = vid[csr.edge_u]
+            gv = vid[csr.edge_v]
+            keys = np.minimum(gu, gv) * np.int64(self._id_space) + np.maximum(gu, gv)
+            comp_e = np.asarray(self.comp_of, dtype=np.int64)[csr.edge_u]
+            e_tin_u, e_tout_u = tin[csr.edge_u], tout[csr.edge_u]
+            e_tin_v, e_tout_v = tin[csr.edge_v], tout[csr.edge_v]
+        else:
+            keys = np.zeros(0, dtype=np.int64)
+            comp_e = np.zeros(0, dtype=np.int64)
+            e_tin_u = e_tout_u = e_tin_v = e_tout_v = np.zeros(0, dtype=np.int64)
+        roots = [tree.root for tree in self.trees]
+        root_a = [int(self._pre[r]) for r in roots]
+        root_b = [int(self._pre[r] + self._size[r]) for r in roots]
+        eid_words = self._eid_words
+        if eid_words is None:  # pragma: no cover - defensive (always kept)
+            eid_words = eids_to_word_matrix(
+                self._eid_cache, self.context.eids.codec.word_count
+            )
+        width = eid_words.shape[1]
+        mix_consts = (
+            np.uint64(0x9E3779B97F4A7C15)
+            * (2 * np.arange(width, dtype=np.uint64) + np.uint64(1))
+        )
+        mixed = _mix_words(eid_words, mix_consts)
+        order = np.argsort(mixed, kind="stable")
+        self._qstore = _PackedQueryStore(
+            comp_v=list(self.comp_of),
+            vid=vid.tolist(),
+            tin=tin.tolist(),
+            tout=tout.tolist(),
+            comp_e=comp_e.tolist(),
+            is_tree=is_tree.tolist(),
+            child_a=child_a.tolist(),
+            child_b=child_b.tolist(),
+            child_tin=child_tin.tolist(),
+            child_tout=child_tout.tolist(),
+            e_tin_u=e_tin_u.tolist(),
+            e_tout_u=e_tout_u.tolist(),
+            e_tin_v=e_tin_v.tolist(),
+            e_tout_v=e_tout_v.tolist(),
+            root_a=root_a,
+            root_b=root_b,
+            keys=keys,
+            eid_words=eid_words,
+            mix_consts=mix_consts,
+            mixed_sorted=mixed[order],
+            mixed_order=order,
+        )
+        return self._qstore
 
     # ------------------------------------------------------------------
     # Labels
@@ -432,7 +610,66 @@ class SketchConnectivityScheme:
         ``copy`` selects which of the f' independent sketch collections
         to consume (the FT routing scheme uses a fresh copy per retry
         iteration).
+
+        On the vectorized engine the labels are mapped back onto the
+        packed store and the query runs through the batched decoder with
+        batch size 1; labels that do not resolve against the store
+        (foreign or corrupted), and the ``engine="reference"`` scheme,
+        take the retained seed decoder — both produce bit-identical
+        results (``tests/test_query_many.py``).
         """
+        if self._prefix is not None:
+            prepared = self._prepare_label_query(s_label, t_label, fault_labels)
+            if prepared is not None:
+                return self._decode_batch(
+                    [prepared], copy=copy, want_path=want_path
+                )[0]
+        return self._decode_labels(s_label, t_label, fault_labels, copy, want_path)
+
+    def _prepare_label_query(
+        self,
+        s_label: SkVertexLabel,
+        t_label: SkVertexLabel,
+        fault_labels: Iterable[SkEdgeLabel],
+    ) -> Optional[tuple[int, int, list[int]]]:
+        """Map a label-level query onto store indices (None = fall back)."""
+        st = self._packed_store()
+        if self._vid_to_vertex is None:
+            self._vid_to_vertex = {g: v for v, g in enumerate(st.vid)}
+        s = self._vid_to_vertex.get(s_label.vid)
+        t = self._vid_to_vertex.get(t_label.vid)
+        if s is None or t is None:
+            return None
+        if (
+            st.comp_v[s] != s_label.component
+            or (st.tin[s], st.tout[s]) != s_label.anc
+            or st.comp_v[t] != t_label.component
+            or (st.tin[t], st.tout[t]) != t_label.anc
+        ):
+            return None
+        if self._eid_to_edge is None:
+            self._eid_to_edge = {e: i for i, e in enumerate(self._eid_cache)}
+        edge_of = self._eid_to_edge.get
+        comp = s_label.component
+        faults: list[int] = []
+        for lab in fault_labels:
+            if lab.component != comp:
+                continue  # the decoder drops other components' labels
+            ei = edge_of(lab.eid)
+            if ei is None:
+                return None  # unknown EID: let the seed decoder judge it
+            faults.append(ei)
+        return s, t, faults
+
+    def _decode_labels(
+        self,
+        s_label: SkVertexLabel,
+        t_label: SkVertexLabel,
+        fault_labels: Iterable[SkEdgeLabel],
+        copy: int = 0,
+        want_path: bool = True,
+    ) -> SkDecodeResult:
+        """The seed (sequential, label-object) decoder."""
         if s_label.component != t_label.component:
             return SkDecodeResult(connected=False)
         if s_label.vid == t_label.vid:
@@ -684,15 +921,418 @@ class SketchConnectivityScheme:
         return SuccinctPath(s_label.vid, t_label.vid, tuple(segments))
 
     # ------------------------------------------------------------------
+    # Batched decoding (the packed-store query engine)
+    # ------------------------------------------------------------------
+    def query_many(
+        self,
+        pairs: Sequence[tuple[int, int]],
+        faults=(),
+        copy: int = 0,
+        want_path: bool = True,
+        chunk: int = 2048,
+    ) -> list[SkDecodeResult]:
+        """Batched full-pipeline queries on vertex pairs and edge indices.
+
+        ``faults`` is either one iterable of edge indices shared by all
+        pairs, or a sequence of per-pair iterables (one fault set per
+        query).  Answers are bit-identical to looping :meth:`query` —
+        including succinct paths and phase counts — which the
+        ``tests/test_query_many.py`` equivalence suite asserts against
+        both engines.
+
+        On the vectorized engine all queries of a chunk run through one
+        batched Boruvka simulation: component sketches are assembled
+        from the prefix tensor with two gathers, fault cancellation is
+        one exact-level scatter, and each phase validates the candidate
+        words of *every* live component at once
+        (:meth:`ExtendedEdgeIds.try_decode_words`).  ``chunk`` bounds
+        the live sketch matrix (~2 sketch rows per fault per query).  On
+        ``engine="reference"`` the seed decoder runs per query.
+        """
+        pairs = list(pairs)
+        per = normalize_faults(pairs, faults)
+        if self._prefix is None:
+            return [
+                self._decode_labels(
+                    self.vertex_label(s),
+                    self.vertex_label(t),
+                    [self.edge_label(ei) for ei in F],
+                    copy,
+                    want_path,
+                )
+                for (s, t), F in zip(pairs, per)
+            ]
+        out: list[SkDecodeResult] = []
+        chunk = max(1, chunk)
+        for lo in range(0, len(pairs), chunk):
+            out.extend(
+                self._decode_batch(
+                    [
+                        (s, t, F)
+                        for (s, t), F in zip(
+                            pairs[lo : lo + chunk], per[lo : lo + chunk]
+                        )
+                    ],
+                    copy=copy,
+                    want_path=want_path,
+                )
+            )
+        return out
+
+    def _decode_batch(
+        self,
+        queries: Sequence[tuple[int, int, list[int]]],
+        copy: int = 0,
+        want_path: bool = True,
+    ) -> list[SkDecodeResult]:
+        """One batched Boruvka simulation over ``(s, t, F)`` queries."""
+        st = self._packed_store()
+        comp_v, vid = st.comp_v, st.vid
+        tin, tout = st.tin, st.tout
+        comp_e, is_tree = st.comp_e, st.is_tree
+        routing = self._routing
+
+        results: list[Optional[SkDecodeResult]] = [None] * len(queries)
+        # ---- assembly: trivial verdicts out, hard queries flattened --
+        Result, Path, Segment = SkDecodeResult, SuccinctPath, PathSegment
+        tlabel_of = routing.tlabel_of if routing is not None else None
+        hard: list[tuple] = []  # (qi, s, t, comp, faults, tree_faults)
+        hard_append = hard.append
+        for qi, (s, t, F) in enumerate(queries):
+            cs = comp_v[s]
+            if cs < 0 or comp_v[t] < 0:
+                raise ValueError("query vertex is not spanned by a tree")
+            if cs != comp_v[t]:
+                results[qi] = Result(connected=False)
+                continue
+            vs = vid[s]
+            vt = vid[t]
+            if vs == vt:
+                results[qi] = Result(connected=True, path=Path(vs, vt, ()))
+                continue
+            fl: list[int] = []
+            tf: list[int] = []
+            if F:
+                seen = set()
+                add = seen.add
+                for ei in F:
+                    if comp_e[ei] != cs or ei in seen:
+                        continue
+                    add(ei)
+                    fl.append(ei)
+                    if is_tree[ei]:
+                        tf.append(ei)
+            if not tf:
+                path = None
+                if want_path:
+                    path = Path(
+                        vs,
+                        vt,
+                        (
+                            Segment(
+                                kind="tree",
+                                x=vs,
+                                y=vt,
+                                tlabel_x=None if tlabel_of is None else tlabel_of(s),
+                                tlabel_y=None if tlabel_of is None else tlabel_of(t),
+                            ),
+                        ),
+                    )
+                results[qi] = Result(connected=True, path=path)
+                continue
+            hard_append((qi, s, t, cs, fl, tf))
+        if not hard:
+            return results  # type: ignore[return-value]
+
+        # ---- component structure: forests, gather lists, cancellations
+        # A component's sketch is never materialized over all L units:
+        # Sketch(C_j) is the XOR of prefix rows (its own preorder
+        # interval plus the children components' intervals, Claim 3.15)
+        # and of its cancelled fault words, and each Boruvka phase only
+        # reads ONE unit — so every component carries a prefix-row
+        # gather list and a cancellation list, merging is list
+        # concatenation, and the per-phase unit slice is one segmented
+        # XOR reduction over the live roots' lists.
+        child_tin, child_tout = st.child_tin, st.child_tout
+        child_a, child_b = st.child_a, st.child_b
+        e_tin_u, e_tout_u = st.e_tin_u, st.e_tout_u
+        e_tin_v, e_tout_v = st.e_tin_v, st.e_tout_v
+        forests: list = []
+        ncomps: list[int] = []
+        grows: list[list[list[int]]] = []  # per query, per comp: rows
+        gevs: list[list[list[int]]] = []  # per query, per comp: event ids
+        ev_edges: list[int] = []  # event id -> cancelled edge
+        for qi, s, t, cs, fl, tf in hard:
+            nc = len(tf) + 1
+            ncomps.append(nc)
+            ra, rb = st.root_a[cs], st.root_b[cs]
+            if nc == 2:
+                # Single tree fault: two components, one containment
+                # test per locate, gather lists known outright.
+                ei0 = tf[0]
+                ca, cb = child_a[ei0], child_b[ei0]
+                qrows = [[rb, ra, cb, ca], [cb, ca]]
+                qevs: list[list[int]] = [[], []]
+                ctin, ctout = child_tin[ei0], child_tout[ei0]
+                forests.append(_SplitForest(ctin, ctout))
+                for ei in fl:
+                    cu = (
+                        1
+                        if ctin <= e_tin_u[ei] and e_tout_u[ei] <= ctout
+                        else 0
+                    )
+                    cv = (
+                        1
+                        if ctin <= e_tin_v[ei] and e_tout_v[ei] <= ctout
+                        else 0
+                    )
+                    if cu != cv:
+                        ev = len(ev_edges)
+                        ev_edges.append(ei)
+                        qevs[0].append(ev)
+                        qevs[1].append(ev)
+                grows.append(qrows)
+                gevs.append(qevs)
+                continue
+            forest = ComponentForest.build(
+                [(child_tin[ei], child_tout[ei]) for ei in tf]
+            )
+            forests.append(forest)
+            comps = forest.components
+            own_a = [ra] + [child_a[ei] for ei in tf]
+            own_b = [rb] + [child_b[ei] for ei in tf]
+            qrows = [[own_b[j], own_a[j]] for j in range(nc)]
+            for j in range(1, nc):
+                qrows[comps[j].parent] += (own_b[j], own_a[j])
+            qevs = [[] for _ in range(nc)]
+            locate = forest.locate
+            for ei in fl:
+                cu = locate((e_tin_u[ei], e_tout_u[ei]))
+                cv = locate((e_tin_v[ei], e_tout_v[ei]))
+                if cu != cv:
+                    ev = len(ev_edges)
+                    ev_edges.append(ei)
+                    qevs[cu].append(ev)
+                    qevs[cv].append(ev)
+            grows.append(qrows)
+            gevs.append(qevs)
+        H = len(hard)
+
+        # ---- per-chunk event tables (one hash evaluation per edge) ---
+        ctx = self.context
+        dims = ctx.dims
+        units, levels, width = dims.units, dims.levels, dims.words
+        prefix = self._prefix[copy]
+        sketcher = ctx.sketchers[copy]
+        if ev_edges:
+            ee = np.asarray(ev_edges, dtype=np.int64)
+            # Exact sampling depth per (event, unit): cancelling edge e
+            # from cumulative cells (i, j <= ml_i) is one XOR into the
+            # exact cell (i, ml_i) before the suffix fold.
+            ev_ml = sketcher.max_levels_many(st.keys[ee])
+            ev_words = st.eid_words[ee]
+        else:
+            ev_ml = ev_words = None
+
+        # ---- Boruvka phases, one fresh unit per phase ----------------
+        eids = ctx.eids
+        edge_decoded = self._edge_decoded
+        eid_cache = self._eid_cache
+        mixed_sorted, mixed_order = st.mixed_sorted, st.mixed_order
+        mix_consts = st.mix_consts
+        m_edges = mixed_sorted.size
+        ufs = [UnionFind(nc) for nc in ncomps]
+        roots_of = [list(range(nc)) for nc in ncomps]
+        phases = [0] * H
+        merges: list[list[tuple[DecodedEid, int, int]]] = [[] for _ in range(H)]
+        alive = list(range(H))
+        for unit in range(units):
+            seg: list[int] = [0]
+            flat_rows: list[int] = []
+            ev_flat: list[int] = []
+            ev_tgt: list[int] = []
+            ext_meta: list[tuple[int, int]] = []  # (query, root) per extraction
+            still: list[int] = []
+            for h in alive:
+                roots = roots_of[h]
+                if len(roots) == 1:
+                    continue
+                phases[h] += 1
+                qrows = grows[h]
+                qevs = gevs[h]
+                for r in roots:
+                    i = len(ext_meta)
+                    ext_meta.append((h, r))
+                    flat_rows += qrows[r]
+                    seg.append(len(flat_rows))
+                    evs = qevs[r]
+                    if evs:
+                        ev_flat += evs
+                        ev_tgt += [i] * len(evs)
+                still.append(h)
+            alive = still
+            R = len(ext_meta)
+            if not R:
+                break
+            slab = prefix[np.asarray(flat_rows, dtype=np.int64), unit]
+            cand = np.bitwise_xor.reduceat(
+                slab, np.asarray(seg[:-1], dtype=np.int64), axis=0
+            )
+            flat = cand.reshape(R * levels, width)
+            if ev_flat:
+                evi = np.asarray(ev_flat, dtype=np.int64)
+                tgt = (
+                    np.asarray(ev_tgt, dtype=np.int64) * levels
+                    + ev_ml[evi, unit]
+                )
+                for w in range(width):
+                    np.bitwise_xor.at(flat[:, w], tgt, ev_words[evi, w])
+            rev = cand[:, ::-1, :]
+            np.bitwise_xor.accumulate(rev, axis=1, out=rev)
+            # Real-edge membership by fingerprint (exact-compare
+            # confirmed); a hit is a valid single-edge EID without any
+            # PRF work — successful extractions are exactly such rows.
+            hit_ei = None
+            nz = (flat != 0).any(axis=1)
+            if m_edges:
+                mixed = _mix_words(flat, mix_consts)
+                pos = np.searchsorted(mixed_sorted, mixed)
+                pos_c = np.minimum(pos, m_edges - 1)
+                cand_ei = mixed_order[pos_c]
+                hit = (
+                    nz
+                    & (mixed_sorted[pos_c] == mixed)
+                    & (flat == st.eid_words[cand_ei]).all(axis=1)
+                )
+                hit_ei = cand_ei
+            else:  # pragma: no cover - hard queries imply edges
+                hit = np.zeros(R * levels, dtype=bool)
+            # Unknown nonzero words take the deduplicated PRF test of
+            # Lemma 3.10 (it is a pure function of the word value).
+            need = nz & ~hit
+            prf_dec: dict[int, DecodedEid] = {}
+            valid_flat = hit
+            if need.any():
+                rows_nz = np.flatnonzero(need)
+                sub = flat[rows_nz]
+                if width == 1:
+                    _, uidx, u_inv = np.unique(
+                        sub[:, 0], return_index=True, return_inverse=True
+                    )
+                else:
+                    void = sub.view(np.dtype((np.void, width * 8))).ravel()
+                    _, uidx, u_inv = np.unique(
+                        void, return_index=True, return_inverse=True
+                    )
+                v2, d2 = eids.try_decode_words(sub[uidx])
+                ok = v2[u_inv]
+                if ok.any():
+                    valid_flat = hit.copy()
+                    valid_flat[rows_nz] = ok
+                    for fr, k in zip(
+                        rows_nz[ok].tolist(), u_inv[ok].tolist()
+                    ):
+                        prf_dec[fr] = d2[k]
+            valid = valid_flat.reshape(R, levels)
+            has = valid.any(axis=1)
+            if not has.any():
+                continue
+            first = np.argmax(valid, axis=1).tolist()
+            for i in np.flatnonzero(has).tolist():
+                h, _r = ext_meta[i]
+                fr = i * levels + first[i]
+                d = prf_dec.get(fr)
+                if d is None:
+                    ei = int(hit_ei[fr])
+                    d = edge_decoded.get(ei)
+                    if d is None:
+                        d = eids.try_decode(eid_cache[ei])
+                        edge_decoded[ei] = d
+                forest = forests[h]
+                cu = forest.locate(d.anc_u)
+                cv = forest.locate(d.anc_v)
+                uf = ufs[h]
+                ru, rv = uf.find(cu), uf.find(cv)
+                if ru == rv:
+                    continue
+                uf.union(ru, rv)
+                keep = uf.find(ru)
+                lose = rv if keep == ru else ru
+                # Merged sketch = XOR of the constituents' sketches:
+                # concatenate gather and cancellation lists instead of
+                # folding full sketch rows.
+                qrows = grows[h]
+                qrows[keep] = qrows[keep] + qrows[lose]
+                qevs = gevs[h]
+                if qevs[lose]:
+                    qevs[keep] = qevs[keep] + qevs[lose]
+                roots_of[h].remove(lose)
+                merges[h].append((d, cu, cv))
+
+        # ---- verdicts and Lemma 3.17 paths ---------------------------
+        for h, (qi, s, t, cs, fl, tf) in enumerate(hard):
+            forest = forests[h]
+            cs_loc = forest.locate((tin[s], tout[s]))
+            ct_loc = forest.locate((tin[t], tout[t]))
+            if not ufs[h].same(cs_loc, ct_loc):
+                results[qi] = Result(connected=False, phases_used=phases[h])
+                continue
+            path = None
+            if want_path:
+                # _build_path only consumes the endpoints' vids and tree
+                # labels; a slim stand-in avoids two frozen-dataclass
+                # constructions per query.
+                s_lab = _PathEndpoint(
+                    vid[s], None if tlabel_of is None else tlabel_of(s)
+                )
+                t_lab = _PathEndpoint(
+                    vid[t], None if tlabel_of is None else tlabel_of(t)
+                )
+                path = self._build_path(
+                    s_lab, t_lab, forest, merges[h], cs_loc, ct_loc
+                )
+            results[qi] = Result(connected=True, path=path, phases_used=phases[h])
+        return results  # type: ignore[return-value]
+
+    def _tlabel(self, v: int) -> Optional[int]:
+        return self._routing.tlabel_of(v) if self._routing is not None else None
+
+    def label_for_eid(self, eid: int, component: int = 0) -> SkEdgeLabel:
+        """The edge label behind a packed EID (packed-store lookup).
+
+        Used by the routing engine to turn an EID learned from a path
+        description back into a label; unknown EIDs fall back to a bare
+        non-tree label carrying the given component, mirroring the
+        engine's previous reconstruction.
+        """
+        if self._eid_to_edge is None:
+            self._eid_to_edge = {e: i for i, e in enumerate(self._eid_cache)}
+        ei = self._eid_to_edge.get(eid)
+        if ei is not None:
+            return self.edge_label(ei)
+        return SkEdgeLabel(
+            component=component, eid=eid, is_tree=False, context=self.context
+        )
+
+    # ------------------------------------------------------------------
     # Convenience wrapper used by examples and benches
     # ------------------------------------------------------------------
     def query(
         self, s: int, t: int, faults: Iterable[int], copy: int = 0
     ) -> SkDecodeResult:
-        """Full-pipeline query on edge indices (label lookup + decode)."""
-        return self.decode(
+        """Full-pipeline query on edge indices (label lookup + decode).
+
+        Delegates to the batched engine with batch size 1 on the
+        vectorized scheme; the reference scheme runs the seed decoder.
+        """
+        if self._prefix is not None:
+            return self._decode_batch(
+                [(int(s), int(t), list(faults))], copy=copy, want_path=True
+            )[0]
+        return self._decode_labels(
             self.vertex_label(s),
             self.vertex_label(t),
             [self.edge_label(ei) for ei in faults],
-            copy=copy,
+            copy,
+            True,
         )

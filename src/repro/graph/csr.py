@@ -483,6 +483,64 @@ def subtree_xor(
     return agg
 
 
+def tree_depths(parent: np.ndarray, root: int) -> np.ndarray:
+    """Hop depths from a parent array by pointer doubling.
+
+    ``parent[v]`` is the tree parent (-1 for the root and for vertices
+    outside the component).  Returns -1 outside the tree and the exact
+    hop count to ``root`` inside it, in O(log height) vectorized rounds
+    — depth never needs the O(height) layer recursion, so it is safe to
+    compute even on path-shaped trees before deciding which engine
+    builds the rest of the tree.
+    """
+    n = parent.shape[0]
+    sent = n  # virtual self-looping sink absorbing finished chains
+    anc = np.where(parent >= 0, parent, sent)
+    anc = np.append(anc, sent)
+    hops = (np.append(parent, -1) >= 0).astype(np.int64)
+    while True:
+        active = anc[:n] != sent
+        if not active.any():
+            break
+        hops[:n] += hops[anc[:n]]
+        anc[:n] = anc[anc[:n]]
+    depth = hops[:n]
+    depth[(parent < 0)] = -1
+    if 0 <= root < n:
+        depth[root] = 0
+    return depth
+
+
+def induced_edge_arrays(
+    csr: CsrGraph,
+    vertices: Sequence[int],
+    allowed: Optional[np.ndarray] = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized edge selection for an induced subgraph.
+
+    Returns ``(vlist, local_u, local_v, weights, kept_edges)`` where
+    ``vlist`` is the sorted vertex set, ``kept_edges`` the parent edge
+    indices (ascending — the insertion order
+    :meth:`Graph.induced_subgraph` uses, so ports match), and
+    ``local_u``/``local_v`` the endpoints renumbered into ``vlist``
+    positions.  ``allowed`` optionally masks parent edges in.
+    """
+    vlist = np.unique(np.asarray(list(vertices), dtype=np.int64))
+    local = np.full(csr.n, -1, dtype=np.int64)
+    local[vlist] = np.arange(vlist.size, dtype=np.int64)
+    keep = (local[csr.edge_u] >= 0) & (local[csr.edge_v] >= 0)
+    if allowed is not None:
+        keep &= allowed
+    kept = np.flatnonzero(keep)
+    return (
+        vlist,
+        local[csr.edge_u[kept]],
+        local[csr.edge_v[kept]],
+        csr.edge_weight[kept],
+        kept,
+    )
+
+
 def dfs_interval_labels(
     order: np.ndarray,
     depth: np.ndarray,

@@ -212,10 +212,45 @@ class Graph:
                 g.add_edge(e.u, e.v, e.weight)
         return g
 
+    @classmethod
+    def from_edge_arrays(cls, n: int, us, vs, weights) -> "Graph":
+        """Bulk-build a graph from parallel endpoint/weight sequences.
+
+        Semantically identical to ``n`` + repeated :meth:`add_edge`
+        (same edge indices, ports, lookups) but skips the per-edge
+        validation — callers must supply simple-graph edges with
+        in-range endpoints and positive weights.  This is the fast path
+        for machine-generated edge lists (CSR cluster slicing), where
+        the checks are invariants of the producing kernel.
+        """
+        g = cls(n)
+        edges = g._edges
+        adj = g._adj
+        ports = g._port_lookup
+        lookup = g._edge_lookup
+        max_w = 0.0
+        total_w = 0.0
+        for u, v, w in zip(us, vs, weights):
+            index = len(edges)
+            w = float(w)
+            edges.append(Edge(index, u, v, w))
+            ports[u][v] = len(adj[u])
+            ports[v][u] = len(adj[v])
+            adj[u].append((v, index))
+            adj[v].append((u, index))
+            lookup[(u, v) if u < v else (v, u)] = index
+            if w > max_w:
+                max_w = w
+            total_w += w
+        g._max_weight = max_w
+        g._total_weight = total_w
+        return g
+
     def induced_subgraph(
         self,
         vertices: Iterable[int],
         allowed_edges: Optional[Iterable[int]] = None,
+        engine: str = "csr",
     ) -> InducedSubgraph:
         """Induced subgraph on ``vertices`` with parent-id bookkeeping.
 
@@ -224,7 +259,46 @@ class Graph:
         local port numbering) follows parent edge index order.  When
         ``allowed_edges`` is given, only those parent edges participate
         (used by Section 4 to drop heavy edges per distance scale).
+
+        ``engine="csr"`` (default) selects the kept edges with one
+        vectorized pass over the CSR endpoint arrays
+        (:func:`repro.graph.csr.induced_edge_arrays`) and bulk-builds
+        the subgraph; ``engine="reference"`` is the sequential per-edge
+        scan.  Both produce identical subgraphs, maps and ports.
+        ``allowed_edges`` may be a boolean edge mask on the CSR engine.
         """
+        if engine not in ("csr", "reference"):
+            raise ValueError(f"unknown engine {engine!r}")
+        if engine == "csr":
+            import numpy as np
+
+            from repro.graph.csr import induced_edge_arrays
+
+            if allowed_edges is None:
+                allowed = None
+            elif isinstance(allowed_edges, np.ndarray) and allowed_edges.dtype == np.bool_:
+                allowed = allowed_edges
+            else:
+                allowed = np.zeros(self.m, dtype=bool)
+                idx = np.asarray(list(allowed_edges), dtype=np.int64)
+                # Ids outside 0..m-1 never match an edge on the
+                # reference engine's set-membership scan; drop them here
+                # too instead of wrapping (-1 sentinels) or raising.
+                idx = idx[(idx >= 0) & (idx < self.m)]
+                allowed[idx] = True
+            vlist_np, lu, lv, w, kept = induced_edge_arrays(
+                self.as_csr(), vertices, allowed
+            )
+            vlist = vlist_np.tolist()
+            sub = Graph.from_edge_arrays(
+                len(vlist), lu.tolist(), lv.tolist(), w.tolist()
+            )
+            return InducedSubgraph(
+                graph=sub,
+                vertex_to_parent=tuple(vlist),
+                vertex_from_parent={pv: i for i, pv in enumerate(vlist)},
+                edge_to_parent=tuple(kept.tolist()),
+            )
         vlist = sorted(set(vertices))
         from_parent = {pv: i for i, pv in enumerate(vlist)}
         allowed = None if allowed_edges is None else set(allowed_edges)

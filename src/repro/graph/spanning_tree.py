@@ -59,22 +59,38 @@ class RootedTree:
         root: int,
         parent: Sequence[int],
         parent_edge: Sequence[int],
+        engine: str = "csr",
     ):
+        """``engine="csr"`` (default) derives children, preorder, depths
+        and subtree sizes with the vectorized depth-layer kernels of
+        :mod:`repro.graph.csr` (falling back to the sequential walk on
+        trees whose height makes per-layer passes lose);
+        ``engine="reference"`` is the original per-vertex construction.
+        Both engines produce identical attributes, asserted by
+        ``tests/test_csr_kernels.py``."""
+        if engine not in ("csr", "reference"):
+            raise ValueError(f"unknown engine {engine!r}")
         self.graph = graph
         self.root = root
         self.parent = list(parent)
         self.parent_edge = list(parent_edge)
+        self._arrays: Optional[TreeArrays] = None
+        self._children: Optional[list[list[int]]] = None
+        self._child_groups: Optional[tuple] = None
+        if engine == "csr" and self._init_vectorized():
+            return
         n = graph.n
-        self.children: list[list[int]] = [[] for _ in range(n)]
+        children: list[list[int]] = [[] for _ in range(n)]
         self.in_tree = [False] * n
         self.in_tree[root] = True
         for v in range(n):
             p = self.parent[v]
             if p >= 0:
-                self.children[p].append(v)
+                children[p].append(v)
                 self.in_tree[v] = True
         for v in range(n):
-            self.children[v].sort()
+            children[v].sort()
+        self._children = children
         self.vertices: list[int] = []
         self.depth = [0] * n
         self.wdepth = [0.0] * n
@@ -82,14 +98,127 @@ class RootedTree:
         while stack:
             u = stack.pop()
             self.vertices.append(u)
-            for c in reversed(self.children[u]):
+            for c in reversed(children[u]):
                 self.depth[c] = self.depth[u] + 1
                 self.wdepth[c] = self.wdepth[u] + graph.weight(self.parent_edge[c])
                 stack.append(c)
         self.tree_edge_indices = frozenset(
             self.parent_edge[v] for v in self.vertices if v != root
         )
-        self._arrays: Optional[TreeArrays] = None
+
+    @property
+    def children(self) -> list[list[int]]:
+        """Per-vertex sorted child lists, built on first use.
+
+        The vectorized constructor defers this list-of-lists: the array
+        kernels (ancestry, sketches, heavy-light) work off
+        :meth:`arrays` and never touch it, so eager construction would
+        be pure overhead on the hot per-cluster build path.
+        """
+        if self._children is None:
+            n = self.graph.n
+            children: list[list[int]] = [[] for _ in range(n)]
+            if self._child_groups is not None:
+                heads, bounds, gch_list = self._child_groups
+                for gi, p in enumerate(heads):
+                    children[p] = gch_list[bounds[gi] : bounds[gi + 1]]
+            self._children = children
+        return self._children
+
+    def _init_vectorized(self) -> bool:
+        """Array-native construction (the CSR depth-layer pass).
+
+        Children ordering, preorder, depths and weighted depths all come
+        from a handful of vectorized passes: pointer-doubling depths,
+        one lexsort for sibling grouping, a bottom-up size fold and a
+        top-down preorder-rank/wdepth fold per depth layer.  Per-vertex
+        Python survives only in the children list-of-lists fill.  The
+        per-layer folds pay one numpy call per tree level, so on trees
+        deeper than ~n/8 (paths, rings — the high-diameter adversary)
+        this returns False and the sequential walk runs instead; both
+        paths produce identical attributes.
+        """
+        graph = self.graph
+        n = graph.n
+        root = self.root
+        if n < 192:
+            # Below ~200 vertices the fixed numpy call overhead loses to
+            # the sequential walk (measured crossover); tiny per-cluster
+            # trees are the common case in the tree-cover stack.
+            return False
+        parent_np = np.asarray(self.parent, dtype=np.int64)
+        if parent_np.shape[0] != n:
+            return False
+        depth_np = csrk.tree_depths(parent_np, root)
+        layers = csrk.depth_layers(depth_np)
+        height = len(layers)
+        in_tree_np = depth_np >= 0
+        count = int(in_tree_np.sum())
+        if height > max(64, count // 8):
+            return False
+        pe_np = np.asarray(self.parent_edge, dtype=np.int64)
+        size = csrk.subtree_sizes(parent_np, depth_np, layers)
+        if int(size[root]) != count:
+            # The parent array contains chains terminating at a vertex
+            # other than ``root`` (a second detached root with
+            # descendants).  The sequential walk only covers ``root``'s
+            # component; defer to it rather than folding foreign
+            # subtrees into the preorder.
+            return False
+        # Children grouped by parent: stable sort on parent keeps the
+        # ascending-vertex-id order within each sibling group.
+        ch = np.flatnonzero(parent_np >= 0)
+        gpar = parent_np[ch]
+        grp = np.argsort(gpar, kind="stable")
+        gch = ch[grp]
+        gpar = gpar[grp]
+        if gch.size:
+            starts = np.flatnonzero(np.r_[True, gpar[1:] != gpar[:-1]])
+            bounds = np.r_[starts, gch.size]
+            self._child_groups = (
+                gpar[starts].tolist(),
+                bounds.tolist(),
+                gch.tolist(),
+            )
+            # Preorder rank: parent's rank + 1 + sizes of earlier
+            # siblings (the classic DFS offset identity).
+            csz = size[gch]
+            cum = np.cumsum(csz)
+            within = cum - csz
+            base = np.repeat(within[starts], np.diff(bounds))
+            offset = np.zeros(n, dtype=np.int64)
+            offset[gch] = within - base
+        else:
+            offset = np.zeros(n, dtype=np.int64)
+        pre = np.zeros(n, dtype=np.int64)
+        wdepth_np = np.zeros(n, dtype=np.float64)
+        if graph.m:
+            edge_w = graph.as_csr().edge_weight
+        else:  # pragma: no cover - edgeless trees are single vertices
+            edge_w = np.zeros(0, dtype=np.float64)
+        for vs in layers[1:]:
+            ps = parent_np[vs]
+            pre[vs] = pre[ps] + 1 + offset[vs]
+            wdepth_np[vs] = wdepth_np[ps] + edge_w[pe_np[vs]]
+        order = np.empty(count, dtype=np.int64)
+        tv = np.flatnonzero(in_tree_np)
+        order[pre[tv]] = tv
+        self.in_tree = in_tree_np.tolist()
+        self.vertices = order.tolist()
+        self.depth = np.where(in_tree_np, depth_np, 0).tolist()
+        self.wdepth = wdepth_np.tolist()
+        self.tree_edge_indices = frozenset(
+            pe_np[in_tree_np & (np.arange(n) != root)].tolist()
+        )
+        self._arrays = TreeArrays(
+            parent=parent_np,
+            parent_edge=pe_np,
+            depth=depth_np,
+            order=order,
+            size=size,
+            layers=layers,
+        )
+        return True
 
     def arrays(self) -> TreeArrays:
         """Cached numpy snapshot of the tree, for the CSR/tree kernels."""
@@ -156,7 +285,7 @@ class RootedTree:
                 parent[v] = u
                 parent_edge[v] = ei
                 queue.append(v)
-        return cls(graph, root, parent, parent_edge)
+        return cls(graph, root, parent, parent_edge, engine="reference")
 
     @classmethod
     def dijkstra(

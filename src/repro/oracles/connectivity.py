@@ -10,7 +10,7 @@ verify the labels' answers.
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.graph.graph import Graph
 
@@ -20,6 +20,32 @@ class ConnectivityOracle:
 
     def __init__(self, graph: Graph):
         self.graph = graph
+
+    def connected_many(
+        self, pairs: Sequence[tuple[int, int]], faults=()
+    ) -> list[bool]:
+        """Batched ground truth for ``query_many``-style query streams.
+
+        ``faults`` follows the batched-API convention (one shared
+        iterable of edge indices, or a per-pair sequence).  Queries are
+        grouped by fault set and answered off one component labeling of
+        ``G \\ F`` per distinct set, so verifying a batch against the
+        labels costs O(m) per fault set instead of per query.
+        """
+        from repro.core._batch import normalize_faults
+        from repro.graph.components import connected_components
+
+        per = normalize_faults(pairs, faults)
+        out = [False] * len(pairs)
+        groups: dict[frozenset, list[int]] = {}
+        for qi, F in enumerate(per):
+            groups.setdefault(frozenset(F), []).append(qi)
+        for fset, qis in groups.items():
+            labels, _ = connected_components(self.graph, fset)
+            for qi in qis:
+                s, t = pairs[qi]
+                out[qi] = labels[s] == labels[t]
+        return out
 
     def connected(self, s: int, t: int, faults: Iterable[int] = ()) -> bool:
         """True iff ``s`` and ``t`` are connected in ``G \\ faults``."""

@@ -76,6 +76,31 @@ class DistanceOracle:
     def distance(self, s: int, t: int, faults: Iterable[int] = ()) -> float:
         return shortest_path_distance(self.graph, s, t, faults)
 
+    def distance_many(
+        self, pairs, faults=()
+    ) -> list[float]:
+        """Batched ground truth for ``query_many``-style query streams.
+
+        ``faults`` follows the batched-API convention (one shared
+        iterable of edge indices, or a per-pair sequence).  Queries are
+        grouped by fault set and then by source, so each distinct
+        (source, fault set) runs one full Dijkstra that answers every
+        target asking about it — the batched mirror of
+        :meth:`distance`, with identical values.
+        """
+        from repro.core._batch import normalize_faults
+
+        per = normalize_faults(pairs, faults)
+        out: list[float] = [math.inf] * len(pairs)
+        groups: dict[tuple[frozenset, int], list[int]] = {}
+        for qi, F in enumerate(per):
+            groups.setdefault((frozenset(F), pairs[qi][0]), []).append(qi)
+        for (fset, s), qis in groups.items():
+            dist, _ = _dijkstra(self.graph, s, set(fset))
+            for qi in qis:
+                out[qi] = dist[pairs[qi][1]]
+        return out
+
     def path(self, s: int, t: int, faults: Iterable[int] = ()) -> Optional[list[int]]:
         return shortest_path(self.graph, s, t, faults)
 

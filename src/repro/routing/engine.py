@@ -83,13 +83,17 @@ class SegmentRouter:
 
     def _nontree_label(self, eid: int) -> SkEdgeLabel:
         """Reconstruct the routing label of a non-tree edge from its EID
-        (available in the path description — Section 5.2)."""
+        (available in the path description — Section 5.2).
+
+        Resolved through the scheme's packed label store
+        (:meth:`SketchConnectivityScheme.label_for_eid`) so the label
+        the next decode receives maps straight back onto the batched
+        decoder; unknown EIDs degrade to the bare non-tree label the
+        engine used to synthesize.
+        """
         scheme = self.instance.scheme
-        return SkEdgeLabel(
-            component=scheme.comp_of[self.instance.tree.root],
-            eid=eid,
-            is_tree=False,
-            context=scheme.context,
+        return scheme.label_for_eid(
+            eid, component=scheme.comp_of[self.instance.tree.root]
         )
 
     def _fetch_tree_edge_label(

@@ -15,7 +15,7 @@ Used by tests and as a building block for fault-drill tooling (see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.core.api import FaultTolerantConnectivity, FaultTolerantDistance
 from repro.graph.graph import Graph
@@ -109,10 +109,33 @@ class FaultScenario:
         self._log.append(ScenarioRecord("connected", (s, t), result))
         return result
 
+    def connected_many(self, pairs: Sequence[tuple[int, int]]) -> list[bool]:
+        """Batched :meth:`connected` against the live fault set.
+
+        One audit-log entry per batch; answers come from the labels'
+        batched decoder (``query_many``), which is how replay tooling
+        should drive bulk probe sweeps.
+        """
+        pairs = list(pairs)
+        results = self._conn.query_many(pairs, self._faults)
+        self._log.append(
+            ScenarioRecord("connected_many", tuple(pairs), tuple(results))
+        )
+        return results
+
     def distance(self, s: int, t: int) -> float:
         result = self._dist.estimate(s, t, self._faults)
         self._log.append(ScenarioRecord("distance", (s, t), result))
         return result
+
+    def distance_many(self, pairs: Sequence[tuple[int, int]]) -> list[float]:
+        """Batched :meth:`distance` against the live fault set."""
+        pairs = list(pairs)
+        results = self._dist.query_many(pairs, self._faults)
+        self._log.append(
+            ScenarioRecord("distance_many", tuple(pairs), tuple(results))
+        )
+        return results
 
     def route(self, s: int, t: int) -> RouteResult:
         if self._router is None:
@@ -131,14 +154,19 @@ class FaultScenario:
         return tuple(self._log)
 
     def health_summary(self, landmarks: list[int]) -> dict:
-        """Pairwise landmark connectivity under the live faults."""
-        reachable = 0
-        pairs = 0
-        for i, u in enumerate(landmarks):
-            for v in landmarks[i + 1:]:
-                pairs += 1
-                if self._conn.connected(u, v, self._faults):
-                    reachable += 1
+        """Pairwise landmark connectivity under the live faults.
+
+        All landmark pairs go through one batched decode — the
+        scenario-replay shape the batched query engine exists for.
+        """
+        all_pairs = [
+            (u, v)
+            for i, u in enumerate(landmarks)
+            for v in landmarks[i + 1 :]
+        ]
+        verdicts = self._conn.query_many(all_pairs, self._faults)
+        reachable = sum(verdicts)
+        pairs = len(all_pairs)
         return {
             "faults": len(self._faults),
             "landmark_pairs": pairs,

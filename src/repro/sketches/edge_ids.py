@@ -40,6 +40,7 @@ class UidScheme:
     def __init__(self, seed: int, uid_bits: int = 64):
         self.seed = seed
         self.uid_bits = uid_bits
+        self._frame_cache: dict[int, bytes] = {}
 
     def uid(self, u: int, v: int) -> int:
         """UID of the edge {u, v} (order-insensitive)."""
@@ -54,7 +55,13 @@ class UidScheme:
         BLAKE2b hash is the only remaining work.
         """
         ordered = ((u, v) if u < v else (v, u) for u, v in pairs)
-        return prf_int_pairs(self.seed, "uid", ordered, bits=self.uid_bits)
+        return prf_int_pairs(
+            self.seed,
+            "uid",
+            ordered,
+            bits=self.uid_bits,
+            frame_cache=self._frame_cache,
+        )
 
     def matches(self, candidate_uid: int, u: int, v: int) -> bool:
         """Validity test of Lemma 3.10: does the uid belong to {u, v}?"""
@@ -99,6 +106,41 @@ class EidCodec:
     def word_count(self) -> int:
         """Number of 64-bit words of the big-endian word layout."""
         return max(1, (self.total_bits + 63) // 64)
+
+    def unpack_words_batch(
+        self, words: "np.ndarray", fields: Optional[Sequence[str]] = None
+    ) -> dict[str, "np.ndarray"]:
+        """Field columns of a ``(N, word_count)`` uint64 word matrix.
+
+        Inverse of :meth:`pack_words_batch` (same <= 64-bit-per-field
+        restriction): ``out[name][i]`` equals ``unpack(eid_i)[name]``
+        for every row.  This is the decoder-side half of the packed
+        label store — candidate words coming out of sketch cells are
+        field-sliced in bulk instead of through per-int ``unpack``.
+        ``fields`` restricts the slicing to the named columns (the
+        validator only needs ``uid``/``id_u``/``id_v``).
+        """
+        import numpy as np
+
+        n_words = words.shape[1]
+        out: dict[str, np.ndarray] = {}
+        for name, (pos, width) in self._offsets.items():
+            if fields is not None and name not in fields:
+                continue
+            if width > 64:
+                raise ValueError(f"field {name} wider than a word")
+            if width == 0:
+                out[name] = np.zeros(words.shape[0], dtype=np.uint64)
+                continue
+            lo = pos % 64
+            wi = n_words - 1 - pos // 64
+            vals = words[:, wi] >> np.uint64(lo) if lo else words[:, wi].copy()
+            if lo and lo + width > 64:
+                vals |= words[:, wi - 1] << np.uint64(64 - lo)
+            if width < 64:
+                vals &= np.uint64((1 << width) - 1)
+            out[name] = vals
+        return out
 
     def pack_words_batch(self, columns: dict[str, "np.ndarray"]) -> "np.ndarray":
         """Pack a batch of EIDs straight into big-endian uint64 words.
@@ -355,6 +397,62 @@ class ExtendedEdgeIds:
             cols["tl_u"] = tlabels[eu]
             cols["tl_v"] = tlabels[ev]
         return self.codec.pack_words_batch(cols)
+
+    def try_decode_words(
+        self, words: "np.ndarray"
+    ) -> tuple["np.ndarray", dict[int, DecodedEid]]:
+        """Vectorized Lemma 3.10 over a ``(N, word_count)`` candidate matrix.
+
+        Returns ``(valid, decoded)``: ``valid[i]`` iff row ``i`` is a
+        single-edge EID (same test as :meth:`try_decode`), ``decoded``
+        holding a :class:`DecodedEid` for every valid row.  Field
+        slicing and the id-range prefilter run as array ops; only the
+        survivors pay a (batched) PRF evaluation, and only valid rows
+        materialize Python objects — that ratio is what makes the
+        batched Boruvka decoder fast.  Layouts with an oversized routing
+        tree-label field fall back to the per-row scalar path.
+        """
+        import numpy as np
+
+        from repro.sketches.sketch import words_to_eid
+
+        n_rows = words.shape[0]
+        valid = np.zeros(n_rows, dtype=bool)
+        decoded: dict[int, DecodedEid] = {}
+        if n_rows == 0:
+            return valid, decoded
+        if not self.word_batchable:
+            for i in range(n_rows):
+                d = self.try_decode(words_to_eid(words[i]))
+                if d is not None:
+                    valid[i] = True
+                    decoded[i] = d
+            return valid, decoded
+        fields = self.codec.unpack_words_batch(words, fields=("uid", "id_u", "id_v"))
+        id_u = fields["id_u"].astype(np.int64)
+        id_v = fields["id_v"].astype(np.int64)
+        plausible = (
+            (words != 0).any(axis=1)
+            & (id_u < self.id_space)
+            & (id_v < self.id_space)
+            & (id_u != id_v)
+        )
+        rows = np.flatnonzero(plausible)
+        if rows.size == 0:
+            return valid, decoded
+        ul = id_u[rows].tolist()
+        vl = id_v[rows].tolist()
+        expected = self.uid_scheme.uid_batch(zip(ul, vl))
+        got = fields["uid"][rows].tolist()
+        for pos, exp in enumerate(expected):
+            if exp != got[pos]:
+                continue
+            row = int(rows[pos])
+            valid[row] = True
+            # Valid rows are rare; the scalar decoder materializes the
+            # full field set (including any routing payload) for them.
+            decoded[row] = self.try_decode(words_to_eid(words[row]))
+        return valid, decoded
 
     def try_decode(self, candidate: int) -> Optional[DecodedEid]:
         """Lemma 3.10: decide whether ``candidate`` is a single-edge EID.

@@ -26,7 +26,17 @@ import numpy as np
 from repro.graph.graph import Graph
 from repro.graph.spanning_tree import RootedTree
 from repro.sketches.edge_ids import DecodedEid, ExtendedEdgeIds
-from repro.sketches.hashing import MERSENNE_P, PairwiseHashFamily
+from repro.sketches.hashing import PairwiseHashFamily
+
+#: Largest identifier space the sketch sampling keys support.  Edge keys
+#: are ``min_id * id_space + max_id`` and must stay below the hash
+#: family's Mersenne modulus ``2^31 - 1`` (the seed silently evaluated
+#: out-of-domain keys past this point); the largest key uses the two
+#: biggest ids, so the bound is the largest K with
+#: ``(K - 2) * K + (K - 1) < 2^31 - 1``, i.e. 46341.  Scaling beyond it
+#: needs a wider-modulus pairwise family (e.g. 2^61 - 1 with split
+#: multiplies) — tracked in ROADMAP.md.
+MAX_SKETCH_ID_SPACE = 46341
 
 
 @dataclass(frozen=True)
@@ -152,12 +162,12 @@ class VertexSketches:
         # also keeps the batched int64 key arithmetic exact (the
         # vectorized path would otherwise silently wrap where
         # UidScheme/hash evaluation semantics assume keys < 2^31 - 1).
-        if self.key_space > 1 and (self.key_space - 2) * self.key_space + (
-            self.key_space - 1
-        ) >= MERSENNE_P:
+        if self.key_space > MAX_SKETCH_ID_SPACE:
             raise ValueError(
-                f"identifier space {self.key_space} too large: edge keys "
-                f"must stay below 2^31 - 1"
+                f"identifier space {self.key_space} exceeds the sketch cap "
+                f"of {MAX_SKETCH_ID_SPACE} ids: edge keys must stay below "
+                f"the 2^31 - 1 hash modulus (a wider-modulus hash family "
+                f"is required beyond it)"
             )
         self._level_idx = np.arange(dims.levels)
 

@@ -1,4 +1,4 @@
-"""Construction-time smoke test against the committed baseline.
+"""Perf smoke tests against the committed baselines.
 
 Marked ``bench_smoke`` and excluded from the default pytest run (see
 pytest.ini): wall-clock assertions only make sense on a quiet machine.
@@ -13,13 +13,22 @@ from pathlib import Path
 
 import pytest
 
-from benchmarks.baseline import DEFAULT_OUT, check_against
+from benchmarks import baseline, bench_query_throughput
 
 
 @pytest.mark.bench_smoke
 def test_construction_within_2x_of_committed_baseline():
-    if not Path(DEFAULT_OUT).exists():
+    if not Path(baseline.DEFAULT_OUT).exists():
         pytest.skip("no committed BENCH_construction.json")
-    committed = json.loads(Path(DEFAULT_OUT).read_text())
-    problems = check_against(committed, repeats=3)
+    committed = json.loads(Path(baseline.DEFAULT_OUT).read_text())
+    problems = baseline.check_against(committed, repeats=3)
+    assert not problems, "; ".join(problems)
+
+
+@pytest.mark.bench_smoke
+def test_decode_throughput_within_2x_of_committed_baseline():
+    if not Path(bench_query_throughput.DEFAULT_OUT).exists():
+        pytest.skip("no committed BENCH_query.json")
+    committed = json.loads(Path(bench_query_throughput.DEFAULT_OUT).read_text())
+    problems = bench_query_throughput.check_against(committed, repeats=3)
     assert not problems, "; ".join(problems)

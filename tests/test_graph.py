@@ -156,3 +156,44 @@ class TestDerivedGraphs:
         sub = g.induced_subgraph([2, 5, 7, 11])
         for lv, pv in enumerate(sub.vertex_to_parent):
             assert sub.vertex_from_parent[pv] == lv
+
+    def test_induced_subgraph_engines_identical(self):
+        g = generators.with_random_weights(
+            generators.random_connected_graph(60, extra_edges=90, seed=31), 1, 7, seed=32
+        )
+        allowed = list(range(0, g.m, 2))
+        fast = g.induced_subgraph(range(0, 50), allowed_edges=allowed)
+        ref = g.induced_subgraph(
+            range(0, 50), allowed_edges=allowed, engine="reference"
+        )
+        assert fast.vertex_to_parent == ref.vertex_to_parent
+        assert fast.vertex_from_parent == ref.vertex_from_parent
+        assert fast.edge_to_parent == ref.edge_to_parent
+        assert fast.graph.n == ref.graph.n and fast.graph.m == ref.graph.m
+        for ei in range(fast.graph.m):
+            a, b = fast.graph.edge(ei), ref.graph.edge(ei)
+            assert (a.u, a.v, a.weight) == (b.u, b.v, b.weight)
+        for v in range(fast.graph.n):
+            # identical port numbering, not just identical edge sets
+            assert fast.graph.incident(v) == ref.graph.incident(v)
+        assert fast.graph.max_weight() == ref.graph.max_weight()
+        assert fast.graph.total_weight() == ref.graph.total_weight()
+
+    def test_induced_subgraph_boolean_mask(self):
+        import numpy as np
+
+        g = generators.grid_graph(4, 4)
+        mask = np.zeros(g.m, dtype=bool)
+        mask[: g.m // 2] = True
+        fast = g.induced_subgraph(range(g.n), allowed_edges=mask)
+        ref = g.induced_subgraph(
+            range(g.n), allowed_edges=np.flatnonzero(mask).tolist(), engine="reference"
+        )
+        assert fast.edge_to_parent == ref.edge_to_parent
+
+    def test_induced_subgraph_ignores_out_of_range_allowed_ids(self):
+        g = generators.grid_graph(3, 3)
+        dirty = [0, 1, -1, g.m, g.m + 5]
+        fast = g.induced_subgraph(range(g.n), allowed_edges=dirty)
+        ref = g.induced_subgraph(range(g.n), allowed_edges=dirty, engine="reference")
+        assert fast.edge_to_parent == ref.edge_to_parent == (0, 1)

@@ -1,0 +1,256 @@
+"""Batch-vs-scalar equivalence for the packed-store query engine.
+
+The acceptance bar for the batched decoder is *bit-identical answers*:
+``query_many`` must return exactly what looping ``query()`` returns —
+including succinct paths and Boruvka phase counts for the sketch scheme
+— across the five generator families (the high-diameter path family
+included) and random fault sets, on both the vectorized engine and
+against the retained ``engine="reference"`` seed decoder.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.api import FaultTolerantConnectivity, FaultTolerantDistance
+from repro.core.cycle_space_scheme import CycleSpaceConnectivityScheme
+from repro.core.distance_labels import DistanceLabelScheme
+from repro.core.forest_scheme import ForestConnectivityScheme
+from repro.core.sketch_scheme import SketchConnectivityScheme
+from repro.graph import generators
+from repro.oracles import ConnectivityOracle
+from repro.oracles.distances import DistanceOracle
+from repro.sketches.sketch import MAX_SKETCH_ID_SPACE
+
+FAMILIES = [
+    ("random", lambda: generators.random_connected_graph(72, extra_edges=100, seed=21)),
+    ("grid", lambda: generators.grid_graph(8, 8)),
+    ("ring_of_cliques", lambda: generators.ring_of_cliques(8, 5)),
+    (
+        "weighted",
+        lambda: generators.with_random_weights(
+            generators.random_connected_graph(64, extra_edges=90, seed=22), 1, 8, seed=23
+        ),
+    ),
+    # High-diameter: bridge-heavy tree faults exercise the zero-sketch
+    # components that run the full phase budget.
+    ("path", lambda: generators.grid_graph(1, 96)),
+]
+
+
+def _query_stream(graph, count, max_faults, seed):
+    rnd = random.Random(seed)
+    pairs, fault_sets = [], []
+    for _ in range(count):
+        pairs.append(tuple(rnd.sample(range(graph.n), 2)))
+        fault_sets.append(rnd.sample(range(graph.m), rnd.randint(0, max_faults)))
+    return pairs, fault_sets
+
+
+@pytest.mark.parametrize("name,make", FAMILIES, ids=[f[0] for f in FAMILIES])
+def test_sketch_query_many_bit_identical(name, make):
+    graph = make()
+    fast = SketchConnectivityScheme(graph, seed=5)
+    ref = SketchConnectivityScheme(graph, seed=5, engine="reference")
+    pairs, fault_sets = _query_stream(graph, 80, 6, seed=31)
+    batch = fast.query_many(pairs, fault_sets)
+    assert len(batch) == len(pairs)
+    for (s, t), F, rb in zip(pairs, fault_sets, batch):
+        scalar = fast.query(s, t, F)
+        seed_res = ref.query(s, t, F)
+        # full SkDecodeResult equality: verdict, succinct path, phases
+        assert rb == scalar
+        assert rb == seed_res
+
+
+@pytest.mark.parametrize("name,make", FAMILIES[:2], ids=[f[0] for f in FAMILIES[:2]])
+def test_sketch_query_many_small_chunks(name, make):
+    """Chunk boundaries must not change anything."""
+    graph = make()
+    fast = SketchConnectivityScheme(graph, seed=7)
+    pairs, fault_sets = _query_stream(graph, 50, 5, seed=13)
+    assert fast.query_many(pairs, fault_sets, chunk=7) == fast.query_many(
+        pairs, fault_sets
+    )
+
+
+def test_sketch_query_many_shared_fault_set():
+    graph = generators.random_connected_graph(60, extra_edges=80, seed=9)
+    scheme = SketchConnectivityScheme(graph, seed=3)
+    rnd = random.Random(4)
+    shared = rnd.sample(range(graph.m), 5)
+    pairs = [tuple(rnd.sample(range(graph.n), 2)) for _ in range(40)]
+    batch = scheme.query_many(pairs, shared)
+    for (s, t), rb in zip(pairs, batch):
+        assert rb == scheme.query(s, t, shared)
+
+
+def test_sketch_decode_label_path_matches_seed_decoder():
+    graph = generators.random_connected_graph(64, extra_edges=90, seed=17)
+    fast = SketchConnectivityScheme(graph, seed=5)
+    ref = SketchConnectivityScheme(graph, seed=5, engine="reference")
+    rnd = random.Random(23)
+    for _ in range(40):
+        s, t = rnd.sample(range(graph.n), 2)
+        F = rnd.sample(range(graph.m), rnd.randint(0, 5))
+        via_labels = fast.decode(
+            fast.vertex_label(s),
+            fast.vertex_label(t),
+            [fast.edge_label(ei) for ei in F],
+        )
+        seed_res = ref.decode(
+            ref.vertex_label(s),
+            ref.vertex_label(t),
+            [ref.edge_label(ei) for ei in F],
+        )
+        assert via_labels == seed_res
+
+
+@pytest.mark.parametrize("name,make", FAMILIES, ids=[f[0] for f in FAMILIES])
+def test_cycle_space_query_many_matches_scalar(name, make):
+    graph = make()
+    fast = CycleSpaceConnectivityScheme(graph, f=4, seed=5)
+    ref = CycleSpaceConnectivityScheme(graph, f=4, seed=5, engine="reference")
+    pairs, fault_sets = _query_stream(graph, 60, 4, seed=41)
+    batch = fast.query_many(pairs, fault_sets)
+    for (s, t), F, rb in zip(pairs, fault_sets, batch):
+        assert rb == fast.query(s, t, F)
+        assert rb == ref.query(s, t, F)
+
+
+def test_forest_query_many_matches_scalar():
+    graph = generators.random_tree(80, seed=6)
+    scheme = ForestConnectivityScheme(graph)
+    pairs, fault_sets = _query_stream(graph, 60, 4, seed=8)
+    batch = scheme.query_many(pairs, fault_sets)
+    oracle = ConnectivityOracle(graph)
+    for (s, t), F, rb in zip(pairs, fault_sets, batch):
+        assert rb == scheme.query(s, t, F)
+        assert rb == scheme.decode(
+            scheme.vertex_label(s),
+            scheme.vertex_label(t),
+            [scheme.edge_label(ei) for ei in F],
+        )
+        assert rb == oracle.connected(s, t, F)  # forests are exact
+
+
+@pytest.mark.parametrize("base", ["cycle_space", "sketch"])
+def test_distance_query_many_matches_scalar(base):
+    graph = generators.with_random_weights(
+        generators.random_connected_graph(48, extra_edges=70, seed=12), 1, 6, seed=13
+    )
+    scheme = DistanceLabelScheme(graph, f=2, k=2, seed=3, base_scheme=base)
+    pairs, fault_sets = _query_stream(graph, 40, 2, seed=14)
+    batch = scheme.query_many(pairs, fault_sets)
+    for (s, t), F, rb in zip(pairs, fault_sets, batch):
+        assert rb == scheme.query(s, t, F)
+
+
+def test_distance_query_many_matches_reference_engine():
+    graph = generators.random_connected_graph(40, extra_edges=55, seed=15)
+    fast = DistanceLabelScheme(graph, f=2, k=2, seed=4, base_scheme="cycle_space")
+    ref = DistanceLabelScheme(
+        graph, f=2, k=2, seed=4, base_scheme="cycle_space", engine="reference"
+    )
+    pairs, fault_sets = _query_stream(graph, 30, 2, seed=16)
+    assert fast.query_many(pairs, fault_sets) == ref.query_many(pairs, fault_sets)
+
+
+def test_facades_query_many():
+    graph = generators.random_connected_graph(56, extra_edges=80, seed=19)
+    pairs, fault_sets = _query_stream(graph, 30, 3, seed=20)
+    for scheme in ("cycle_space", "sketch"):
+        conn = FaultTolerantConnectivity(graph, f=3, scheme=scheme, seed=2)
+        batch = conn.query_many(pairs, fault_sets)
+        for (s, t), F, rb in zip(pairs, fault_sets, batch):
+            assert rb == conn.connected(s, t, F)
+    dist = FaultTolerantDistance(graph, f=2, k=2, seed=2)
+    batch = dist.query_many(pairs, [F[:2] for F in fault_sets])
+    for (s, t), F, rb in zip(pairs, fault_sets, batch):
+        assert rb == dist.estimate(s, t, F[:2])
+
+
+def test_facade_budget_check_applies_per_pair():
+    graph = generators.random_connected_graph(24, extra_edges=30, seed=3)
+    conn = FaultTolerantConnectivity(graph, f=1, scheme="cycle_space", seed=1)
+    with pytest.raises(ValueError):
+        conn.query_many([(0, 1)], [[0, 1, 2]])
+
+
+def test_oracle_batched_ground_truth():
+    graph = generators.random_connected_graph(48, extra_edges=60, seed=25)
+    pairs, fault_sets = _query_stream(graph, 40, 4, seed=26)
+    conn = ConnectivityOracle(graph)
+    assert conn.connected_many(pairs, fault_sets) == [
+        conn.connected(s, t, F) for (s, t), F in zip(pairs, fault_sets)
+    ]
+    dist = DistanceOracle(graph)
+    got = dist.distance_many(pairs, fault_sets)
+    want = [dist.distance(s, t, F) for (s, t), F in zip(pairs, fault_sets)]
+    assert got == want
+    # sketch labels agree with the batched ground truth w.h.p.
+    scheme = SketchConnectivityScheme(graph, seed=6)
+    verdicts = [r.connected for r in scheme.query_many(pairs, fault_sets)]
+    assert verdicts == conn.connected_many(pairs, fault_sets)
+
+
+def test_scenario_batched_queries():
+    graph = generators.random_connected_graph(32, extra_edges=40, seed=27)
+    from repro.scenarios import FaultScenario
+
+    sc = FaultScenario(graph, f=2, build_router=False)
+    e = graph.edge(0)
+    sc.fail(e.u, e.v)
+    pairs = [(0, v) for v in range(1, 10)]
+    assert sc.connected_many(pairs) == [sc.connected(s, t) for s, t in pairs]
+    assert sc.distance_many(pairs) == [sc.distance(s, t) for s, t in pairs]
+    summary = sc.health_summary([0, 5, 9])
+    assert summary["landmark_pairs"] == 3
+
+
+def test_sketch_id_space_cap_is_explicit():
+    graph = generators.random_connected_graph(16, extra_edges=10, seed=1)
+    # at the cap: fine
+    SketchConnectivityScheme(graph, seed=1, id_space=MAX_SKETCH_ID_SPACE)
+    with pytest.raises(ValueError, match="exceeds the sketch"):
+        SketchConnectivityScheme(graph, seed=1, id_space=MAX_SKETCH_ID_SPACE + 1)
+
+
+def test_empty_and_trivial_batches():
+    graph = generators.random_connected_graph(20, extra_edges=20, seed=2)
+    scheme = SketchConnectivityScheme(graph, seed=2)
+    assert scheme.query_many([], []) == []
+    res = scheme.query_many([(3, 3), (0, 1)], [])
+    assert res[0].connected and res[1].connected
+    assert res[0] == scheme.query(3, 3, [])
+    assert res[1] == scheme.query(0, 1, [])
+
+
+def test_query_many_nonpositive_chunk_still_answers_everything():
+    graph = generators.random_connected_graph(20, extra_edges=20, seed=2)
+    scheme = SketchConnectivityScheme(graph, seed=2)
+    pairs = [(0, 1), (2, 3), (4, 5)]
+    expected = scheme.query_many(pairs, [])
+    assert scheme.query_many(pairs, [], chunk=0) == expected
+    assert scheme.query_many(pairs, [], chunk=-3) == expected
+
+
+def test_rooted_tree_foreign_subtree_falls_back_to_reference():
+    from repro.graph.spanning_tree import RootedTree
+
+    g = generators.grid_graph(16, 16)
+    base = RootedTree.bfs(g, 0)
+    parent = list(base.parent)
+    pedge = list(base.parent_edge)
+    # Detach an internal vertex: its subtree now chains to a foreign root.
+    victim = next(v for v in range(g.n) if parent[v] >= 0 and base.children[v])
+    parent[victim] = -1
+    pedge[victim] = -1
+    fast = RootedTree(g, 0, parent, pedge)
+    ref = RootedTree(g, 0, parent, pedge, engine="reference")
+    assert fast.vertices == ref.vertices
+    assert fast.tree_edge_indices == ref.tree_edge_indices
+    assert fast.depth == ref.depth

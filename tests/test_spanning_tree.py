@@ -145,3 +145,59 @@ class TestForest:
         g = generators.cycle_graph(8)
         trees, comp_of = spanning_forest(g, forbidden=[0, 4])
         assert len(trees) == 2
+
+
+class TestEngineEquivalence:
+    """The vectorized RootedTree constructor matches the sequential walk."""
+
+    CASES = [
+        ("random", lambda: generators.random_connected_graph(300, extra_edges=420, seed=71)),
+        ("grid", lambda: generators.grid_graph(17, 17)),
+        ("ring_of_cliques", lambda: generators.ring_of_cliques(40, 6)),
+        (
+            "weighted",
+            lambda: generators.with_random_weights(
+                generators.random_connected_graph(256, extra_edges=380, seed=72),
+                1,
+                9,
+                seed=73,
+            ),
+        ),
+        # High-diameter adversary: takes the hybrid's sequential branch.
+        ("path", lambda: generators.grid_graph(1, 300)),
+        # Small tree: below the vectorization cutoff.
+        ("small", lambda: generators.random_connected_graph(24, extra_edges=30, seed=74)),
+    ]
+
+    @pytest.mark.parametrize("name,make", CASES, ids=[c[0] for c in CASES])
+    def test_attributes_identical(self, name, make):
+        import numpy as np
+
+        g = make()
+        fast = RootedTree.bfs(g, 0)
+        ref = RootedTree.bfs(g, 0, engine="reference")
+        assert fast.vertices == ref.vertices
+        assert fast.children == ref.children
+        assert fast.depth == ref.depth
+        assert fast.wdepth == ref.wdepth
+        assert fast.in_tree == ref.in_tree
+        assert fast.tree_edge_indices == ref.tree_edge_indices
+        fa, ra = fast.arrays(), ref.arrays()
+        for field in ("parent", "parent_edge", "depth", "order", "size"):
+            assert np.array_equal(getattr(fa, field), getattr(ra, field)), field
+
+    def test_dfs_parents_through_both_engines(self):
+        g = generators.random_connected_graph(250, extra_edges=300, seed=75)
+        base = RootedTree.dfs(g, 0)
+        ref = RootedTree(g, 0, base.parent, base.parent_edge, engine="reference")
+        assert base.vertices == ref.vertices
+        assert base.children == ref.children
+
+    def test_forest_engines_agree(self):
+        g = generators.ring_of_cliques(50, 6)
+        fast_trees, fast_comp = spanning_forest(g)
+        ref_trees, ref_comp = spanning_forest(g, engine="reference")
+        assert fast_comp == ref_comp
+        for a, b in zip(fast_trees, ref_trees):
+            assert a.vertices == b.vertices
+            assert a.depth == b.depth
