@@ -1,4 +1,4 @@
-"""Ablations of the design choices DESIGN.md calls out.
+"""Ablations of the reproduction's tunable design choices.
 
 1. **Number of sketch units L** (Section 3.2.1 chooses L = Θ(log n)):
    with too few units the Borůvka simulation runs out of fresh

@@ -1,7 +1,7 @@
 """Shared helpers for the benchmark harness.
 
 Every bench module in this directory regenerates one table/figure/bound
-of the paper (see the per-experiment index in DESIGN.md):
+of the paper (see the per-experiment index in benchmarks/README.md):
 
 * run ``python -m benchmarks.<module>`` to print the full rows/series;
 * run ``pytest benchmarks/ --benchmark-only`` to time the underlying

@@ -6,7 +6,9 @@ connectivity labeling schemes, FT approximate distance labels, the
 forbidden-set and fault-tolerant compact routing schemes with
 load-balanced tables, the Ω(f) stretch lower bound, and every substrate
 they rely on (cycle-space sampling, linear graph sketches, tree covers,
-Thorup–Zwick tree routing, a port-based network simulator).
+Thorup–Zwick tree routing, a port-based network simulator) — plus a
+serving layer (:mod:`repro.serving`) that caches fault-set partitions,
+coalesces query streams and shards them across processes.
 
 Quickstart::
 
@@ -16,8 +18,8 @@ Quickstart::
     labels = FaultTolerantConnectivity(g, f=4)
     labels.connected(0, 100, faults=[5, 17, 33])   # True/False, w.h.p.
 
-See README.md for the full tour and DESIGN.md for the paper-to-module
-map.
+See README.md for the full tour and docs/ARCHITECTURE.md for the
+end-to-end data flow.
 """
 
 from repro.graph import generators
@@ -29,6 +31,11 @@ from repro.core.forest_scheme import ForestConnectivityScheme
 from repro.core.distance_labels import DistanceLabelScheme
 from repro.oracles import ConnectivityOracle, DistanceOracle
 from repro.scenarios import FaultScenario
+from repro.serving import (
+    PartitionCache,
+    QueryCoalescer,
+    ShardedQueryService,
+)
 
 __version__ = "1.0.0"
 
@@ -46,5 +53,8 @@ __all__ = [
     "ConnectivityOracle",
     "DistanceOracle",
     "FaultScenario",
+    "PartitionCache",
+    "QueryCoalescer",
+    "ShardedQueryService",
     "__version__",
 ]

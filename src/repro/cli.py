@@ -5,6 +5,9 @@ Commands:
 * ``info``     — build a workload graph and print scheme size reports.
 * ``query``    — answer one <s, t, F> connectivity + distance query.
 * ``route``    — route a message under hidden faults and print telemetry.
+* ``serve-bench`` — drive a repeated-fault-set query stream through the
+  serving layer (partition cache + coalescer, optionally sharded) and
+  print throughput vs the cold batched decoder.
 * ``lower-bound`` — print the Theorem 1.6 series.
 
 All commands operate on the built-in synthetic workloads (``--family``,
@@ -16,9 +19,12 @@ from __future__ import annotations
 
 import argparse
 import math
+import random
 import sys
+import time
 
 from repro.core.api import FaultTolerantConnectivity, FaultTolerantDistance
+from repro.core.sketch_scheme import SketchConnectivityScheme
 from repro.graph import generators
 from repro.graph.graph import Graph
 from repro.oracles import DistanceOracle
@@ -109,6 +115,89 @@ def _cmd_route(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Repeated-fault-set serving benchmark (the production workload).
+
+    Builds one sketch-labeled graph, generates ``--fault-sets`` distinct
+    fault sets and a ``--queries``-long round-robin (s, t, F) stream,
+    then times three ways of answering it:
+
+    * cold ``query_many`` (per-query Boruvka decodes, the PR-2 engine);
+    * the partition cache fed through the request coalescer;
+    * optionally (``--shards N``) the fork-based sharded service.
+
+    Every path's verdicts are cross-checked before printing.
+    """
+    from repro.serving import PartitionCache, QueryCoalescer, ShardedQueryService
+
+    graph = _build_graph(args)
+    scheme = SketchConnectivityScheme(graph, seed=args.seed)
+    rnd = random.Random(args.seed + 1)
+    size = min(args.fault_size, graph.m)
+    fault_pool = [
+        sorted(set(rnd.sample(range(graph.m), size)))
+        for _ in range(max(1, args.fault_sets))
+    ]
+    stream = [
+        (*rnd.sample(range(graph.n), 2), fault_pool[i % len(fault_pool)])
+        for i in range(args.queries)
+    ]
+    pairs = [(s, t) for s, t, _ in stream]
+    per = [list(F) for _, _, F in stream]
+    print(
+        f"serve-bench: family={args.family} n={graph.n} m={graph.m} "
+        f"queries={len(stream)} fault_sets={len(fault_pool)} "
+        f"|F|={size}"
+    )
+
+    t0 = time.perf_counter()
+    cold = scheme.query_many(pairs, per, want_path=False)
+    cold_s = time.perf_counter() - t0
+    verdicts = [r.connected for r in cold]
+    print(f"  cold query_many      : {len(stream) / cold_s:10.0f} q/s")
+
+    cache = PartitionCache(scheme, capacity=args.cache_capacity)
+    coalescer = QueryCoalescer(
+        lambda p, F: cache.query_many(p, F, want_path=False),
+        max_chunk=args.chunk,
+    )
+    t0 = time.perf_counter()
+    served = coalescer.run(stream)
+    warm_s = time.perf_counter() - t0
+    if [r.connected for r in served] != verdicts:
+        print("  ERROR: cached verdicts diverge from cold decode")
+        return 1
+    stats = cache.stats
+    print(
+        f"  coalesced + cached   : {len(stream) / warm_s:10.0f} q/s  "
+        f"({cold_s / warm_s:.1f}x, hit rate {stats.hit_rate:.0%}, "
+        f"{coalescer.stats.chunks} chunks, "
+        f"mean {coalescer.stats.mean_chunk:.0f}/chunk)"
+    )
+
+    if args.shards > 0:
+        with ShardedQueryService(
+            scheme,
+            num_shards=args.shards,
+            cache_capacity=args.cache_capacity,
+            max_chunk=args.chunk,
+        ) as svc:
+            t0 = time.perf_counter()
+            sharded = svc.query_many(pairs, per, want_path=False)
+            shard_s = time.perf_counter() - t0
+            if [r.connected for r in sharded] != verdicts:
+                print("  ERROR: sharded verdicts diverge from cold decode")
+                return 1
+            snap = svc.stats().snapshot()
+        print(
+            f"  sharded x{args.shards} ({snap['mode']})    : "
+            f"{len(stream) / shard_s:10.0f} q/s  "
+            f"(per-shard {snap['per_shard']}, "
+            f"hit rate {snap['cache']['hit_rate']:.0%})"
+        )
+    return 0
+
+
 def _cmd_lower_bound(args: argparse.Namespace) -> int:
     from repro.routing.lower_bound import (
         sequential_strategy_expected_stretch,
@@ -157,6 +246,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_route.add_argument("--faults", default="")
     p_route.add_argument("--tables", default="balanced", choices=["simple", "balanced"])
     p_route.set_defaults(func=_cmd_route)
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="repeated-fault-set serving throughput (cache/coalescer/shards)",
+    )
+    common(p_serve)
+    p_serve.add_argument("--queries", type=int, default=2000,
+                         help="length of the (s, t, F) stream")
+    p_serve.add_argument("--fault-sets", type=int, default=16,
+                         help="distinct fault sets in the stream")
+    p_serve.add_argument("--fault-size", type=int, default=4,
+                         help="edges per fault set")
+    p_serve.add_argument("--chunk", type=int, default=64,
+                         help="coalescer chunk size bound")
+    p_serve.add_argument("--cache-capacity", type=int, default=128,
+                         help="partition-cache LRU capacity")
+    p_serve.add_argument("--shards", type=int, default=0,
+                         help="also time a sharded service with N workers")
+    p_serve.set_defaults(func=_cmd_serve_bench)
 
     p_lb = sub.add_parser("lower-bound", help="Theorem 1.6 series")
     p_lb.add_argument("--f", type=int, default=4)

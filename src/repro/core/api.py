@@ -20,6 +20,38 @@ from repro.core.sketch_scheme import SketchConnectivityScheme
 from repro.graph.graph import Graph
 
 
+class ConnectivityPartitionView:
+    """Boolean view over a scheme-level fault-set partition.
+
+    Output of :meth:`FaultTolerantConnectivity.decode_partition`: the
+    facade's answer type is ``bool``, so this wraps the underlying
+    scheme partition (:class:`~repro.core.sketch_scheme.FaultSetPartition`
+    or :class:`~repro.core.cycle_space_scheme.PreparedFaultSet`) and
+    exposes only connectivity verdicts.  Answers equal
+    :meth:`FaultTolerantConnectivity.query_many` on the same fault set.
+    """
+
+    __slots__ = ("impl",)
+
+    def __init__(self, impl):
+        self.impl = impl
+
+    @property
+    def faults(self) -> tuple:
+        return self.impl.faults
+
+    def connected(self, s: int, t: int) -> bool:
+        """Is ``s`` connected to ``t`` under this partition's faults?"""
+        return self.impl.connected(s, t)
+
+    answer = connected
+
+    def answer_many(self, pairs: Sequence[tuple[int, int]]) -> list[bool]:
+        """Batched :meth:`connected` (the facade's ``query_many`` shape)."""
+        impl = self.impl
+        return [impl.connected(s, t) for s, t in pairs]
+
+
 class FaultTolerantConnectivity:
     """f-FT connectivity labels for a graph (Theorem 1.3).
 
@@ -61,13 +93,24 @@ class FaultTolerantConnectivity:
         return self._impl
 
     def vertex_label(self, v: int):
+        """The wire-format label assigned to vertex ``v`` (Eq. 3 for the
+        sketch scheme; component + ancestry for cycle-space)."""
         return self._impl.vertex_label(v)
 
     def edge_label(self, edge_index: int):
+        """The wire-format label of edge ``edge_index`` (EID + subtree
+        sketches for sketch tree edges; ``(phi, ancestry, tree-bit)``
+        for cycle-space, Theorem 3.6)."""
         return self._impl.edge_label(edge_index)
 
     def connected(self, s: int, t: int, faults: Iterable[int]) -> bool:
-        """Is ``s`` connected to ``t`` in ``G \\ faults``? (w.h.p.)"""
+        """Is ``s`` connected to ``t`` in ``G \\ faults``? (w.h.p.)
+
+        ``faults`` is an iterable of edge indices; answers come from the
+        labels alone (Theorem 1.3), served through the batched decoder
+        with batch size 1.  Raises ``ValueError`` on the cycle-space
+        scheme when ``len(faults)`` exceeds the fault budget ``f``.
+        """
         return self.query_many([(s, t)], list(faults))[0]
 
     def query_many(
@@ -83,12 +126,14 @@ class FaultTolerantConnectivity:
         if self.scheme_name == "cycle_space":
             # Normalize once for the per-pair budget check; the scheme's
             # own normalization of the same list is a no-op-shaped copy.
+            # The budget counts *distinct* faults, matching
+            # :meth:`decode_partition` (duplicates are not new faults).
             per = normalize_faults(pairs, faults)
             for F in per:
-                if len(F) > self.f:
+                if len(set(F)) > self.f:
                     raise ValueError(
-                        f"fault set of size {len(F)} exceeds the bound "
-                        f"f={self.f}"
+                        f"fault set of size {len(set(F))} exceeds the "
+                        f"bound f={self.f}"
                     )
             return self._impl.query_many(pairs, per)
         # Sketch path: hand the caller's faults straight through — the
@@ -98,10 +143,31 @@ class FaultTolerantConnectivity:
             for r in self._impl.query_many(pairs, faults, want_path=False)
         ]
 
+    def decode_partition(self, faults: Iterable[int]) -> ConnectivityPartitionView:
+        """Decode the fault set once; answer every (s, t) pair from it.
+
+        Returns a :class:`ConnectivityPartitionView` whose
+        ``connected(s, t)`` verdicts equal :meth:`query_many` under the
+        same ``faults`` — the partition (sketch: the Claim 3.16 Boruvka
+        component structure; cycle-space: the prepared Lemma 3.5
+        columns) is a pure function of the fault set, which is what the
+        serving layer's partition cache (:mod:`repro.serving`) exploits.
+        The fault-budget check applies to the deduplicated set.
+        """
+        F = [int(ei) for ei in faults]
+        if self.scheme_name == "cycle_space" and len(set(F)) > self.f:
+            raise ValueError(
+                f"fault set of size {len(set(F))} exceeds the bound "
+                f"f={self.f}"
+            )
+        return ConnectivityPartitionView(self._impl.decode_partition(F))
+
     def max_vertex_label_bits(self) -> int:
+        """Length of the longest vertex label, in bits (Theorem 1.3)."""
         return self._impl.max_vertex_label_bits()
 
     def max_edge_label_bits(self) -> int:
+        """Length of the longest edge label, in bits (Theorem 1.3)."""
         return self._impl.max_edge_label_bits()
 
 
@@ -131,15 +197,28 @@ class FaultTolerantDistance:
 
     @property
     def impl(self) -> DistanceLabelScheme:
+        """The underlying :class:`DistanceLabelScheme`."""
         return self._impl
 
     def vertex_label(self, v: int):
+        """The distance label of ``v``: one connectivity label per
+        covering cluster plus the per-scale home indices ``i*(v)``
+        (Section 4)."""
         return self._impl.vertex_label(v)
 
     def edge_label(self, edge_index: int):
+        """The distance label of an edge: connectivity labels of every
+        cluster instance containing it."""
         return self._impl.edge_label(edge_index)
 
     def estimate(self, s: int, t: int, faults: Iterable[int]) -> float:
+        """Approximate ``dist(s, t; G \\ faults)`` from labels only.
+
+        Returns the first connected scale's ``(4k+3)(|F|+1) 2^i``
+        estimate (Section 4 decoding; within :meth:`stretch_bound` of
+        the true distance w.h.p.), or ``math.inf`` when every scale
+        reports disconnection.
+        """
         return self._impl.query(s, t, faults)
 
     def query_many(
@@ -154,8 +233,22 @@ class FaultTolerantDistance:
         """
         return self._impl.query_many(pairs, faults)
 
+    def decode_partition(self, faults: Iterable[int]):
+        """Decode the fault set once; estimate every (s, t) pair from it.
+
+        Returns a :class:`~repro.core.distance_labels.DistancePartition`
+        whose ``answer(s, t)`` estimates equal :meth:`query_many` under
+        the same ``faults`` (per-instance connectivity partitions are
+        built lazily and reused across the query stream).
+        """
+        return self._impl.decode_partition([int(ei) for ei in faults])
+
     def stretch_bound(self, num_faults: int) -> float:
+        """The worst-case estimate/distance ratio for ``num_faults``
+        faults: ``(8k+6)(|F|+1)`` with this construction's cover
+        constant (paper: ``(8k-2)(|F|+1)``, Theorem 1.4)."""
         return self._impl.stretch_bound(num_faults)
 
     def max_vertex_label_bits(self) -> int:
+        """Length of the longest vertex label, in bits (Theorem 1.4)."""
         return self._impl.max_vertex_label_bits()

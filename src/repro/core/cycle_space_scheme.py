@@ -102,6 +102,96 @@ def side_of_vertex(anc_x: AncLabel, cut_tree_edges: Sequence[tuple[AncLabel, Anc
     return parity
 
 
+class PreparedFaultSet:
+    """Per-fault-set decode context for the cycle-space scheme.
+
+    Output of :meth:`CycleSpaceConnectivityScheme.decode_partition`.
+    Unlike the sketch/forest schemes, the Section 3.1 decoder cannot
+    precompute a full vertex partition: the two flag bits of the
+    Lemma 3.5 augmented columns depend on (s, t), so a GF(2) solve
+    remains per query.  What *is* shared by all same-fault queries — the
+    per-component fault filtering, the decoder-identity deduplication
+    and the ``(phi, tree-bit, endpoint-interval)`` column bases — is
+    hoisted here once.  :meth:`answer` reproduces
+    :meth:`CycleSpaceConnectivityScheme.query_many` exactly, and the
+    serving layer's partition cache memoizes these objects per
+    canonical fault set.
+    """
+
+    __slots__ = ("faults", "_b", "_by_comp", "_comp_v", "_tin", "_tout")
+
+    def __init__(self, scheme: "CycleSpaceConnectivityScheme", faults: tuple[int, ...]):
+        comp_v, tin, tout, comp_e, phi, is_tree, anc_e, ident = (
+            scheme._packed_store()
+        )
+        self.faults = faults
+        self._b = scheme.b
+        self._comp_v, self._tin, self._tout = comp_v, tin, tout
+        by_comp: dict[int, list[tuple]] = {}
+        seen: dict[int, set] = {}
+        for ei in faults:
+            c = comp_e[ei]
+            keys = seen.setdefault(c, set())
+            key = ident[ei]
+            if key in keys:
+                continue
+            keys.add(key)
+            au, av = anc_e[ei]
+            by_comp.setdefault(c, []).append((phi[ei], is_tree[ei], au, av))
+        self._by_comp = by_comp
+
+    def connected(self, s: int, t: int) -> bool:
+        """Exact replica of one ``query_many`` pair: build the Lemma 3.5
+        augmented columns from the prepared bases and solve the two
+        GF(2) systems."""
+        comp_v, tin, tout = self._comp_v, self._tin, self._tout
+        cs = comp_v[s]
+        if cs != comp_v[t]:
+            return False
+        s_tin, s_tout = tin[s], tout[s]
+        t_tin, t_tout = tin[t], tout[t]
+        if s_tin == t_tin and s_tout == t_tout:
+            return True
+        base = self._by_comp.get(cs)
+        if not base:
+            return True
+        b = self._b
+        w_s = 1 << (b + 1)
+        w_t = 1 << b
+        columns: list[int] = []
+        for phi_e, istree, au, av in base:
+            col = phi_e
+            if istree:
+                on_s = (
+                    au[0] <= s_tin
+                    and s_tout <= au[1]
+                    and av[0] <= s_tin
+                    and s_tout <= av[1]
+                )
+                on_t = (
+                    au[0] <= t_tin
+                    and t_tout <= au[1]
+                    and av[0] <= t_tin
+                    and t_tout <= av[1]
+                )
+                if on_s and not on_t:
+                    col |= w_s
+                elif on_t and not on_s:
+                    col |= w_t
+            columns.append(col)
+        for w in (w_s, w_t):
+            if gf2_solve(columns, w) is not None:
+                return False
+        return True
+
+    # uniform partition protocol: the native answer type is bool
+    answer = connected
+
+    def answer_many(self, pairs: Sequence[tuple[int, int]]) -> list[bool]:
+        """Batched :meth:`connected`; equals ``query_many`` exactly."""
+        return [self.connected(s, t) for s, t in pairs]
+
+
 class CycleSpaceConnectivityScheme:
     """The full Section 3.1 scheme: labeling plus both decoders."""
 
@@ -415,6 +505,26 @@ class CycleSpaceConnectivityScheme:
                         break
             out.append(connected)
         return out
+
+    def decode_partition(self, faults: Iterable[int]) -> PreparedFaultSet:
+        """The reusable per-fault-set decode context (edge indices).
+
+        The cycle-space analogue of the sketch scheme's
+        ``decode_partition``: everything that depends only on the fault
+        set (component filtering, deduplication, phi columns) is
+        computed once; the (s, t)-dependent GF(2) solves of Lemma 3.5
+        stay per query inside :meth:`PreparedFaultSet.connected`.
+        Answers equal :meth:`query_many` exactly.  Works on both
+        engines (the packed store is engine-independent here).
+        """
+        order: list[int] = []
+        seen: set[int] = set()
+        for ei in faults:
+            ei = int(ei)
+            if ei not in seen:
+                seen.add(ei)
+                order.append(ei)
+        return PreparedFaultSet(self, tuple(order))
 
     # ------------------------------------------------------------------
     # Convenience wrapper used by examples and benches

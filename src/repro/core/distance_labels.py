@@ -112,6 +112,82 @@ class DistDecodeResult:
         return not math.isinf(self.estimate)
 
 
+class DistancePartition:
+    """Per-fault-set serving state for the distance labels (Section 4).
+
+    Output of :meth:`DistanceLabelScheme.decode_partition`: one
+    connectivity partition per touched (scale, home-cluster) instance,
+    computed lazily through the instance scheme's own
+    ``decode_partition`` and memoized for the lifetime of this object —
+    so a stream of same-fault queries pays each instance's Boruvka /
+    column-preparation cost once.  :meth:`answer` reproduces
+    :meth:`DistanceLabelScheme.query_many` exactly (the same upward
+    scale scan, the same ``(4k+3)(|F|+1) 2^i`` estimate at the first
+    connected scale).
+    """
+
+    __slots__ = ("scheme", "copy", "faults", "num_faults", "_instance_parts")
+
+    def __init__(self, scheme: "DistanceLabelScheme", faults: tuple[int, ...], copy: int):
+        self.scheme = scheme
+        self.copy = copy
+        self.faults = faults  # deduplicated, in presentation order
+        self.num_faults = len(faults)  # the |F| of the estimate formula
+        self._instance_parts: dict[InstanceKey, object] = {}
+
+    def _part(self, key: InstanceKey):
+        """The (scale, cluster) instance's partition, built on first use."""
+        part = self._instance_parts.get(key)
+        if part is None:
+            scheme = self.scheme
+            emem = scheme._edge_membership
+            local = [
+                le
+                for le in (emem[ei].get(key) for ei in self.faults)
+                if le is not None
+            ]
+            inst = scheme.instances[key].scheme
+            if isinstance(inst, CycleSpaceConnectivityScheme):
+                part = inst.decode_partition(local)
+            else:
+                part = inst.decode_partition(local, copy=self.copy)
+            self._instance_parts[key] = part
+        return part
+
+    def answer(self, s: int, t: int) -> float:
+        """The Section 4 estimate for one pair, off cached partitions.
+
+        Scans scales upward exactly as :meth:`DistanceLabelScheme.decode`
+        and returns ``estimate_at_scale(i, |F|)`` at the first scale
+        whose home-cluster instance reports s-t connected under the
+        instance-local faults; ``math.inf`` when no scale connects.
+        """
+        if s == t:
+            return 0.0
+        scheme = self.scheme
+        vmem = scheme._vertex_membership
+        i_star = scheme._i_star[s]
+        for i in range(scheme.K + 1):
+            j = i_star.get(i)
+            if j is None:
+                continue
+            key = (i, j)
+            ls = vmem[s].get(key)
+            lt = vmem[t].get(key)
+            if ls is None or lt is None:
+                continue
+            if self._part(key).connected(ls, lt):
+                return scheme.estimate_at_scale(i, self.num_faults)
+        return math.inf
+
+    #: alias so the facade/serving layer can treat every partition alike
+    estimate = answer
+
+    def answer_many(self, pairs) -> list[float]:
+        """Batched :meth:`answer`; equals ``query_many`` exactly."""
+        return [self.answer(s, t) for s, t in pairs]
+
+
 class DistanceLabelScheme:
     """The Section 4 scheme over all scales and clusters."""
 
@@ -291,7 +367,8 @@ class DistanceLabelScheme:
 
         The paper's constant is ``(4k-1)`` under a tree cover with radius
         ``(2k-1) rho`` (Prop. 4.2); our round-based Awerbuch-Peleg cover
-        guarantees ``(2k+1) rho`` (see DESIGN.md), so the realizable-path
+        guarantees ``(2k+1) rho`` (see the note in
+        :mod:`repro.trees.tree_cover`), so the realizable-path
         bound of Section 4 becomes ``2(2k+1)(|F|+1)2^i + |F| 2^i <=
         (4k+3)(|F|+1)2^i``.  Same shape, +4 in the constant.
         """
@@ -415,6 +492,32 @@ class DistanceLabelScheme:
         for qi in pending:
             results[qi] = math.inf
         return results  # type: ignore[return-value]
+
+    def decode_partition(
+        self, faults: Iterable[int], copy: int = 0
+    ) -> DistancePartition:
+        """Per-fault-set serving state over all scales and clusters.
+
+        Returns a :class:`DistancePartition` whose per-instance
+        connectivity partitions are built lazily (only the scales and
+        home clusters the query stream actually touches) through the
+        underlying scheme's ``decode_partition`` — the entry point the
+        serving layer's partition cache memoizes.  Requires the
+        vectorized engine, like the instance-level partitions it
+        delegates to.
+        """
+        if self.engine == "reference":
+            raise RuntimeError(
+                "decode_partition requires the vectorized engine"
+            )
+        order: list[int] = []
+        seen: set[int] = set()
+        for ei in faults:
+            ei = int(ei)
+            if ei not in seen:
+                seen.add(ei)
+                order.append(ei)
+        return DistancePartition(self, tuple(order), copy)
 
     # ------------------------------------------------------------------
     # Convenience wrapper used by examples and benches

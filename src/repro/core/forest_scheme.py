@@ -54,6 +54,40 @@ class ForestEdgeLabel:
         return bits_for_count(self.component) + 2 * AncestryLabeling.bit_length(self.n)
 
 
+class ForestPartition:
+    """Exact ``forest \\ F`` partition: equal group ids iff connected.
+
+    Output of :meth:`ForestConnectivityScheme.decode_partition`.  The
+    forest decoder is deterministic, so the partition is exact: after
+    O(|F| n) vectorized setup every query is two array reads, and
+    :meth:`answer_many` reproduces
+    :meth:`ForestConnectivityScheme.query_many` exactly.  The serving
+    layer's partition cache memoizes these per canonical fault set.
+    """
+
+    __slots__ = ("faults", "group_of")
+
+    def __init__(self, faults: tuple[int, ...], group_of: np.ndarray):
+        self.faults = faults
+        self.group_of = group_of  # (n,) int64: vertex -> partition group
+
+    def group(self, v: int) -> int:
+        """Partition-group id of vertex ``v`` (equal iff connected)."""
+        return int(self.group_of[v])
+
+    def connected(self, s: int, t: int) -> bool:
+        """Exact s-t connectivity in ``forest \\ F``, O(1) per query."""
+        return bool(self.group_of[s] == self.group_of[t])
+
+    # uniform partition protocol: the native answer type is bool
+    answer = connected
+
+    def answer_many(self, pairs: Sequence[tuple[int, int]]) -> list[bool]:
+        """Batched :meth:`connected`; equals ``query_many`` exactly."""
+        g = self.group_of
+        return [bool(g[s] == g[t]) for s, t in pairs]
+
+
 class ForestConnectivityScheme:
     """Exact, deterministic f-FT connectivity labels for forests."""
 
@@ -188,6 +222,44 @@ class ForestConnectivityScheme:
     def query(self, s: int, t: int, faults: Iterable[int]) -> bool:
         """Single query — the batched engine with batch size 1."""
         return self.query_many([(s, t)], list(faults))[0]
+
+    def decode_partition(self, faults: Iterable[int]) -> ForestPartition:
+        """The full ``forest \\ F`` partition for a set of edge indices.
+
+        A failed edge (u, parent(u)) separates exactly the vertices
+        whose root path crosses it, so the partition group of a vertex
+        is its tree component plus the bit vector of "which failed
+        edges lie on my root path" — computed here as one vectorized
+        interval-containment pass per fault, with group ids compressed
+        after every bit so arbitrarily many faults fit.  One O(|F| n)
+        setup then answers all same-fault queries in O(1) each; the
+        serving layer's partition cache memoizes the result.
+        """
+        comp_v, tin, tout, comp_e, tin_u, tout_u, tin_v, tout_v = (
+            self._packed_store()
+        )
+        order: list[int] = []
+        seen: set[int] = set()
+        for ei in faults:
+            ei = int(ei)
+            if ei not in seen:
+                seen.add(ei)
+                order.append(ei)
+        codes = comp_v.astype(np.int64)
+        for ei in order:
+            # The fault only cuts inside its own tree; masking by the
+            # fault's component keeps numerically overlapping DFS
+            # intervals of *other* trees from flipping foreign bits
+            # (mirroring the component filter of query_many).
+            on = (
+                (comp_e[ei] == comp_v)
+                & (tin_u[ei] <= tin)
+                & (tout <= tout_u[ei])
+                & (tin_v[ei] <= tin)
+                & (tout <= tout_v[ei])
+            )
+            codes = np.unique(codes * 2 + on, return_inverse=True)[1]
+        return ForestPartition(faults=tuple(order), group_of=codes)
 
     def max_vertex_label_bits(self) -> int:
         return max(

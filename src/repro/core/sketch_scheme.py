@@ -157,8 +157,8 @@ class SkDecodeResult:
 class ConnectivityPartition:
     """The full G \\ F component structure over the T \\ F_T components.
 
-    Output of :meth:`SketchConnectivityScheme.decode_partition`: one
-    decode answers *all* same-component queries for a fixed fault set —
+    Output of :meth:`SketchConnectivityScheme.decode_partition_labels`:
+    one decode answers *all* same-component queries for a fixed fault set —
     two labeled vertices are connected in ``G \\ F`` iff their groups
     match.  ``component`` is None when the queried vertex lies in a
     different connected component of G than the fault set's.
@@ -187,6 +187,132 @@ class ConnectivityPartition:
     @property
     def group_count(self) -> int:
         return len(set(self.group_of))
+
+
+class FaultSetPartition:
+    """The ``G \\ F`` connectivity partition for one fault set, all
+    components — the unit of work the serving layer caches.
+
+    Output of :meth:`SketchConnectivityScheme.decode_partition`: one
+    batched Boruvka decode answers *every* (s, t) query under the same
+    fault set.  :meth:`answer`/:meth:`answer_many` reproduce
+    :meth:`SketchConnectivityScheme.query_many` bit for bit — succinct
+    paths and phase counts included — when ``query_many`` is handed the
+    faults in this partition's (deduplicated) order; verdicts agree for
+    any fault order.  :meth:`connected`/:meth:`group` answer in
+    O(log f) per query without touching the sketches again
+    (Claim 3.14 location + one union-find find).
+    """
+
+    __slots__ = ("scheme", "copy", "faults", "entries")
+
+    def __init__(
+        self,
+        scheme: "SketchConnectivityScheme",
+        copy: int,
+        faults: tuple[int, ...],
+        entries: dict,
+    ):
+        self.scheme = scheme
+        self.copy = copy
+        #: deduplicated fault edge indices, in presentation order
+        self.faults = faults
+        #: component -> (forest, union_find, merges, phases); components
+        #: without failed tree edges are absent (their spanning tree is
+        #: intact, so they stay one group)
+        self.entries = entries
+
+    def group(self, v: int) -> tuple[int, int]:
+        """Partition-group id of vertex ``v``.
+
+        Two vertices are connected in ``G \\ F`` iff their group ids are
+        equal (w.h.p.; Claim 3.16).
+        """
+        st = self.scheme._packed_store()
+        c = st.comp_v[v]
+        if c < 0:
+            raise ValueError("vertex is not spanned by a tree")
+        entry = self.entries.get(c)
+        if entry is None:
+            return (c, 0)
+        forest, uf, _, _ = entry
+        return (c, uf.find(forest.locate((st.tin[v], st.tout[v]))))
+
+    def connected(self, s: int, t: int) -> bool:
+        """s-t connectivity in ``G \\ F`` (w.h.p.), O(log f) per query."""
+        return self.group(s) == self.group(t)
+
+    def answer(self, s: int, t: int, want_path: bool = True) -> SkDecodeResult:
+        """The full decode result for one pair (batch of one)."""
+        return self.answer_many([(s, t)], want_path=want_path)[0]
+
+    def answer_many(
+        self, pairs: Sequence[tuple[int, int]], want_path: bool = True
+    ) -> list[SkDecodeResult]:
+        """Decode results for many pairs off the precomputed partition.
+
+        Identical to :meth:`SketchConnectivityScheme.query_many` on the
+        same pairs with this partition's fault set (Lemma 3.17 paths
+        assembled from the recorded merges), but with no per-query
+        Boruvka work left — just locate + union-find.
+        """
+        scheme = self.scheme
+        st = scheme._packed_store()
+        comp_v, vid, tin, tout = st.comp_v, st.vid, st.tin, st.tout
+        routing = scheme._routing
+        tlabel_of = routing.tlabel_of if routing is not None else None
+        entries = self.entries
+        Result, Path, Segment = SkDecodeResult, SuccinctPath, PathSegment
+        out: list[SkDecodeResult] = []
+        for s, t in pairs:
+            cs = comp_v[s]
+            if cs < 0 or comp_v[t] < 0:
+                raise ValueError("query vertex is not spanned by a tree")
+            if cs != comp_v[t]:
+                out.append(Result(connected=False))
+                continue
+            vs, vt = vid[s], vid[t]
+            if vs == vt:
+                out.append(Result(connected=True, path=Path(vs, vt, ())))
+                continue
+            entry = entries.get(cs)
+            if entry is None:
+                path = None
+                if want_path:
+                    path = Path(
+                        vs,
+                        vt,
+                        (
+                            Segment(
+                                kind="tree",
+                                x=vs,
+                                y=vt,
+                                tlabel_x=None if tlabel_of is None else tlabel_of(s),
+                                tlabel_y=None if tlabel_of is None else tlabel_of(t),
+                            ),
+                        ),
+                    )
+                out.append(Result(connected=True, path=path))
+                continue
+            forest, uf, merges, phases = entry
+            cs_loc = forest.locate((tin[s], tout[s]))
+            ct_loc = forest.locate((tin[t], tout[t]))
+            if not uf.same(cs_loc, ct_loc):
+                out.append(Result(connected=False, phases_used=phases))
+                continue
+            path = None
+            if want_path:
+                s_lab = _PathEndpoint(
+                    vs, None if tlabel_of is None else tlabel_of(s)
+                )
+                t_lab = _PathEndpoint(
+                    vt, None if tlabel_of is None else tlabel_of(t)
+                )
+                path = scheme._build_path(
+                    s_lab, t_lab, forest, merges, cs_loc, ct_loc
+                )
+            out.append(Result(connected=True, path=path, phases_used=phases))
+        return out
 
 
 class _PathEndpoint(NamedTuple):
@@ -777,19 +903,20 @@ class SketchConnectivityScheme:
                 merges.append((d, cu, cv))
         return forest, uf, merges, phases
 
-    def decode_partition(
+    def decode_partition_labels(
         self,
         component: int,
         fault_labels: Iterable[SkEdgeLabel],
         copy: int = 0,
     ) -> ConnectivityPartition:
-        """One decode, all queries: the G \\ F component structure.
+        """One decode, all queries — from labels only, one G-component.
 
         Returns a :class:`ConnectivityPartition` over the queried
         G-component; any two vertex labels of that component can then be
         tested for connectivity in O(log f) without re-decoding.  (The
         per-query w.h.p. guarantee of Theorem 3.7 applies to the fault
-        set as a whole.)
+        set as a whole.)  The store-level sibling serving the batched
+        engine is :meth:`decode_partition`.
         """
         faults: list[SkEdgeLabel] = []
         seen: set[int] = set()
@@ -809,6 +936,49 @@ class SketchConnectivityScheme:
         return ConnectivityPartition(
             component=component, forest=forest, group_of=group_of
         )
+
+    def decode_partition(
+        self, faults: Iterable[int], copy: int = 0
+    ) -> "FaultSetPartition":
+        """One Boruvka decode, all same-fault queries (Claim 3.16).
+
+        Factored out of :meth:`query_many`: the per-component
+        ``(forest, union_find, merges, phases)`` state the batched
+        decoder computes for a hard query is a pure function of the
+        fault set, so computing it once per fault set answers *every*
+        (s, t) pair under those faults.  ``faults`` are edge indices;
+        the returned :class:`FaultSetPartition` covers all graph
+        components (the per-query w.h.p. guarantee of Theorem 3.7
+        applies to the fault set as a whole).
+
+        This is the entry point the serving layer's partition cache
+        (:mod:`repro.serving.partition_cache`) memoizes.  Requires the
+        vectorized engine — the packed store is the partition's
+        substrate; the label-level sibling is
+        :meth:`decode_partition_labels`.
+        """
+        st = self._packed_store()
+        comp_e, is_tree = st.comp_e, st.is_tree
+        order: list[int] = []
+        seen: set[int] = set()
+        per_comp: dict[int, tuple[list[int], list[int]]] = {}
+        for ei in faults:
+            ei = int(ei)
+            if ei in seen:
+                continue
+            seen.add(ei)
+            order.append(ei)
+            c = comp_e[ei]
+            bucket = per_comp.get(c)
+            if bucket is None:
+                bucket = per_comp[c] = ([], [])
+            bucket[0].append(ei)
+            if is_tree[ei]:
+                bucket[1].append(ei)
+        tasks = [(c, fl, tf) for c, (fl, tf) in per_comp.items() if tf]
+        parts = self._partition_batch(tasks, copy=copy) if tasks else []
+        entries = {c: parts[i] for i, (c, _fl, _tf) in enumerate(tasks)}
+        return FaultSetPartition(self, copy, tuple(order), entries)
 
     # ------------------------------------------------------------------
     # Path construction (Lemma 3.17)
@@ -1044,6 +1214,59 @@ class SketchConnectivityScheme:
         if not hard:
             return results  # type: ignore[return-value]
 
+        parts = self._partition_batch(
+            [(cs, fl, tf) for _qi, _s, _t, cs, fl, tf in hard], copy=copy
+        )
+
+        # ---- verdicts and Lemma 3.17 paths ---------------------------
+        for h, (qi, s, t, cs, fl, tf) in enumerate(hard):
+            forest, uf, merges, phases = parts[h]
+            cs_loc = forest.locate((tin[s], tout[s]))
+            ct_loc = forest.locate((tin[t], tout[t]))
+            if not uf.same(cs_loc, ct_loc):
+                results[qi] = Result(connected=False, phases_used=phases)
+                continue
+            path = None
+            if want_path:
+                # _build_path only consumes the endpoints' vids and tree
+                # labels; a slim stand-in avoids two frozen-dataclass
+                # constructions per query.
+                s_lab = _PathEndpoint(
+                    vid[s], None if tlabel_of is None else tlabel_of(s)
+                )
+                t_lab = _PathEndpoint(
+                    vid[t], None if tlabel_of is None else tlabel_of(t)
+                )
+                path = self._build_path(
+                    s_lab, t_lab, forest, merges, cs_loc, ct_loc
+                )
+            results[qi] = Result(connected=True, path=path, phases_used=phases)
+        return results  # type: ignore[return-value]
+
+    def _partition_batch(
+        self,
+        tasks: Sequence[tuple[int, list[int], list[int]]],
+        copy: int = 0,
+    ) -> list[tuple]:
+        """Vectorized Boruvka runs over many fault-set tasks at once.
+
+        Each task is ``(component, faults, tree_faults)`` with ``faults``
+        already deduplicated and restricted to ``component``, and
+        ``tree_faults`` its non-empty tree-edge subset.  The result is
+        one ``(forest, union_find, merges, phases)`` tuple per task —
+        Steps 1-4 of the Section 3.2.2 decoder (component tree of
+        Claim 3.14, component sketches of Claim 3.15, fault
+        cancellation, Boruvka merging with Lemma 3.10 word validation).
+
+        A task's outcome is a pure function of the task itself; batching
+        only amortizes the array work.  That purity is what makes
+        fault-set partitions cacheable and shardable — both
+        :meth:`query_many` (one task per hard query) and
+        :meth:`decode_partition` (one task per touched component, reused
+        for every query) are thin wrappers over this engine.
+        """
+        st = self._packed_store()
+
         # ---- component structure: forests, gather lists, cancellations
         # A component's sketch is never materialized over all L units:
         # Sketch(C_j) is the XOR of prefix rows (its own preorder
@@ -1062,7 +1285,7 @@ class SketchConnectivityScheme:
         grows: list[list[list[int]]] = []  # per query, per comp: rows
         gevs: list[list[list[int]]] = []  # per query, per comp: event ids
         ev_edges: list[int] = []  # event id -> cancelled edge
-        for qi, s, t, cs, fl, tf in hard:
+        for cs, fl, tf in tasks:
             nc = len(tf) + 1
             ncomps.append(nc)
             ra, rb = st.root_a[cs], st.root_b[cs]
@@ -1116,7 +1339,7 @@ class SketchConnectivityScheme:
                     qevs[cv].append(ev)
             grows.append(qrows)
             gevs.append(qevs)
-        H = len(hard)
+        H = len(tasks)
 
         # ---- per-chunk event tables (one hash evaluation per edge) ---
         ctx = self.context
@@ -1269,30 +1492,7 @@ class SketchConnectivityScheme:
                 roots_of[h].remove(lose)
                 merges[h].append((d, cu, cv))
 
-        # ---- verdicts and Lemma 3.17 paths ---------------------------
-        for h, (qi, s, t, cs, fl, tf) in enumerate(hard):
-            forest = forests[h]
-            cs_loc = forest.locate((tin[s], tout[s]))
-            ct_loc = forest.locate((tin[t], tout[t]))
-            if not ufs[h].same(cs_loc, ct_loc):
-                results[qi] = Result(connected=False, phases_used=phases[h])
-                continue
-            path = None
-            if want_path:
-                # _build_path only consumes the endpoints' vids and tree
-                # labels; a slim stand-in avoids two frozen-dataclass
-                # constructions per query.
-                s_lab = _PathEndpoint(
-                    vid[s], None if tlabel_of is None else tlabel_of(s)
-                )
-                t_lab = _PathEndpoint(
-                    vid[t], None if tlabel_of is None else tlabel_of(t)
-                )
-                path = self._build_path(
-                    s_lab, t_lab, forest, merges[h], cs_loc, ct_loc
-                )
-            results[qi] = Result(connected=True, path=path, phases_used=phases[h])
-        return results  # type: ignore[return-value]
+        return [(forests[h], ufs[h], merges[h], phases[h]) for h in range(H)]
 
     def _tlabel(self, v: int) -> Optional[int]:
         return self._routing.tlabel_of(v) if self._routing is not None else None

@@ -1,0 +1,41 @@
+"""repro.serving — the fault-set-partition serving layer.
+
+Production query serving on top of the immutable packed label stores
+(see ``src/repro/serving/README.md`` and ``docs/ARCHITECTURE.md``):
+
+* :mod:`repro.serving.partition_cache` — canonical fault-set keys and
+  an LRU of memoized ``decode_partition`` results, so all same-fault
+  queries in a stream cost one decode;
+* :mod:`repro.serving.coalescer` — synchronous and asyncio request
+  coalescers that group single ``(s, t, F)`` queries into fault-set
+  chunks and dispatch them through ``query_many``;
+* :mod:`repro.serving.shards` — a fork-based process-pool service that
+  shares the packed stores with every worker and fans chunks out by
+  fault-set hash, with a :class:`ServiceStats` snapshot.
+"""
+
+from repro.serving.coalescer import (
+    AsyncQueryCoalescer,
+    ChunkStats,
+    QueryCoalescer,
+    Ticket,
+)
+from repro.serving.partition_cache import (
+    CacheStats,
+    PartitionCache,
+    canonical_fault_key,
+)
+from repro.serving.shards import ServiceStats, ShardedQueryService, shard_of
+
+__all__ = [
+    "AsyncQueryCoalescer",
+    "CacheStats",
+    "ChunkStats",
+    "PartitionCache",
+    "QueryCoalescer",
+    "ServiceStats",
+    "ShardedQueryService",
+    "Ticket",
+    "canonical_fault_key",
+    "shard_of",
+]

@@ -1,0 +1,174 @@
+"""Per-fault-set partition caching (the serving layer's hot core).
+
+The paper frames decoding as *fault set -> connectivity partition*
+reconstruction: everything the Section 3.2.2 Boruvka decoder (or the
+forest interval decoder, or the Section 4 scale scan) computes that is
+expensive depends only on the fault set, never on the queried pair.
+Every scheme therefore exposes ``decode_partition(faults)`` (factored
+out of its ``query_many``), and this module memoizes those partitions:
+
+* fault sets are **canonicalized** — deduplicated, sorted edge-index
+  tuples — so permutations and repeats of the same failure event share
+  one cache entry;
+* partitions are kept in an **LRU** of bounded capacity with hit /
+  miss / eviction counters, because real fault workloads are bursty
+  (the same few fault sets are queried thousands of times while they
+  are live);
+* :meth:`PartitionCache.query_many` keeps the scheme's batched API:
+  queries are grouped by canonical fault set, each group is answered
+  off one partition, and answers come back in request order with the
+  scheme's native answer type (``SkDecodeResult`` for the sketch
+  scheme, ``bool`` for forest/cycle-space, ``float`` for distance).
+
+Answers are bit-identical to the underlying scheme's ``query_many``
+with canonically ordered faults (asserted by ``tests/test_serving.py``
+across the five generator families); verdicts agree for any fault
+order.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core._batch import normalize_faults
+
+FaultKey = tuple[int, ...]
+
+
+def canonical_fault_key(faults: Iterable[int]) -> FaultKey:
+    """Canonical cache key of a fault set: sorted unique edge indices.
+
+    Two fault iterables describe the same failure state iff their
+    canonical keys are equal; partitions are pure functions of this key.
+    """
+    return tuple(sorted({int(ei) for ei in faults}))
+
+
+def group_by_canonical_key(per: Sequence[list[int]]) -> "OrderedDict[FaultKey, list[int]]":
+    """Group query indices by the canonical key of their fault list.
+
+    ``per`` is the output of :func:`repro.core._batch.normalize_faults`;
+    the shared-fault case aliases one list object across all queries,
+    which this exploits to canonicalize it once.  Both the cache and the
+    sharded service group through here so the two paths cannot drift.
+    """
+    groups: "OrderedDict[FaultKey, list[int]]" = OrderedDict()
+    prev = None
+    prev_key: FaultKey = ()
+    for qi, F in enumerate(per):
+        if F is not prev:
+            prev, prev_key = F, canonical_fault_key(F)
+        groups.setdefault(prev_key, []).append(qi)
+    return groups
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`PartitionCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup (0.0 when nothing was looked up yet)."""
+        n = self.lookups
+        return self.hits / n if n else 0.0
+
+    def snapshot(self) -> dict:
+        """A JSON-ready copy (used by ``ServiceStats`` and benches)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class PartitionCache:
+    """LRU-memoized ``decode_partition`` under any labeling scheme.
+
+    ``scheme`` is anything exposing ``decode_partition(faults)`` whose
+    result answers queries via ``answer_many(pairs, **kw)`` — all four
+    scheme classes and both ``core.api`` facades qualify.  The cache
+    makes a stream of same-fault queries cost one decode total instead
+    of one decode per query; capacity bounds the number of live fault
+    sets kept (each partition is small: a component forest, a
+    union-find and the recorded merges — not a sketch tensor).
+    """
+
+    def __init__(self, scheme, capacity: int = 128):
+        if not hasattr(scheme, "decode_partition"):
+            raise TypeError(
+                f"{type(scheme).__name__} does not expose decode_partition"
+            )
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.scheme = scheme
+        self.capacity = capacity
+        self._lru: "OrderedDict[FaultKey, object]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def __contains__(self, faults) -> bool:
+        return canonical_fault_key(faults) in self._lru
+
+    def partition(self, faults: Iterable[int]):
+        """The (memoized) partition for ``faults``.
+
+        On a miss the scheme decodes the canonical fault list once; on a
+        hit the stored partition is returned and refreshed in LRU order.
+        """
+        key = canonical_fault_key(faults)
+        part = self._lru.get(key)
+        if part is not None:
+            self._lru.move_to_end(key)
+            self.stats.hits += 1
+            return part
+        self.stats.misses += 1
+        part = self.scheme.decode_partition(list(key))
+        self._lru[key] = part
+        while len(self._lru) > self.capacity:
+            self._lru.popitem(last=False)
+            self.stats.evictions += 1
+        return part
+
+    def query(self, s: int, t: int, faults: Iterable[int] = (), **kw):
+        """One query through the cache (native answer type)."""
+        return self.partition(faults).answer_many([(s, t)], **kw)[0]
+
+    def query_many(
+        self, pairs: Sequence[tuple[int, int]], faults=(), **kw
+    ) -> list:
+        """Batched queries, answered off cached partitions.
+
+        Same signature and answer list as the scheme's ``query_many``
+        (``faults`` is one shared iterable or a per-pair sequence;
+        ``**kw`` is forwarded to the partition — e.g. ``want_path`` for
+        the sketch scheme).  Queries are grouped by canonical fault set
+        so each distinct set is decoded at most once per call, then
+        served from the LRU on every later call.
+        """
+        pairs = list(pairs)
+        per = normalize_faults(pairs, faults)
+        groups = group_by_canonical_key(per)
+        results: list = [None] * len(pairs)
+        for key, qis in groups.items():
+            part = self.partition(key)
+            answers = part.answer_many([pairs[qi] for qi in qis], **kw)
+            for qi, ans in zip(qis, answers):
+                results[qi] = ans
+        return results
+
+    def clear(self) -> None:
+        """Drop every cached partition (stats are kept)."""
+        self._lru.clear()

@@ -1,0 +1,309 @@
+"""Process-pool sharded query service over immutable packed stores.
+
+Once constructed, a scheme's packed label store never mutates — the
+whole query side is read-only — so serving can fan out across worker
+processes without locks or copies.  :class:`ShardedQueryService`:
+
+* forces the packed store to materialize in the parent, then **forks**
+  one single-process pool per shard: the store transfers to every
+  worker once, for free, via copy-on-write (on platforms without
+  ``fork``, and with ``num_shards=0``, it degrades to in-process shard
+  caches — same answers, no processes);
+* routes every coalesced chunk by the **hash of its canonical fault
+  set**, so all queries about one failure state land on the same
+  worker and hit that worker's
+  :class:`~repro.serving.partition_cache.PartitionCache`;
+* aggregates a :class:`ServiceStats` snapshot: throughput, chunk
+  sizes, per-shard load, and the workers' combined cache hit rate.
+
+Answers are bit-identical to the single-process scheme (construction is
+finished before the fork, so every worker holds the same store;
+asserted by ``tests/test_serving.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.core._batch import normalize_faults
+from repro.serving.partition_cache import (
+    FaultKey,
+    PartitionCache,
+    group_by_canonical_key,
+)
+
+#: Fork-time handoff: each live service parks its scheme here under a
+#: unique token for its whole lifetime (not just during Pool creation),
+#: so workers the pool respawns after a crash can still re-initialize
+#: from the parent's (copy-on-write-inherited) view of this module.
+_WORKER: dict = {}
+_SERVICE_TOKENS = itertools.count()
+
+#: Timeout (s) for any single chunk result; a worker that takes longer
+#: is considered lost and the error propagates to the caller.
+_CHUNK_TIMEOUT = 600.0
+
+
+def _worker_init(token: int, cache_capacity: int) -> None:
+    """Pool initializer (runs in the forked child)."""
+    _WORKER["cache"] = PartitionCache(
+        _WORKER[token], capacity=cache_capacity
+    )
+
+
+def _worker_query(pairs, faults, kw):
+    """Serve one chunk off the worker's partition cache."""
+    return _WORKER["cache"].query_many(pairs, faults, **kw)
+
+
+def _worker_cache_stats():
+    stats = _WORKER["cache"].stats
+    return stats.hits, stats.misses, stats.evictions
+
+
+def shard_of(key: FaultKey, num_shards: int) -> int:
+    """Stable shard index of a canonical fault key.
+
+    Computed in the parent only; ``hash`` of an int tuple is
+    deterministic (integer hashing is not salted by ``PYTHONHASHSEED``).
+    """
+    return hash(key) % num_shards
+
+
+@dataclass
+class ServiceStats:
+    """One snapshot of a :class:`ShardedQueryService`'s counters."""
+
+    queries: int = 0
+    chunks: int = 0
+    busy_s: float = 0.0  # wall time spent inside query_many
+    per_shard: tuple = ()
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    mode: str = "fork"
+    max_chunk_seen: int = 0
+
+    @property
+    def qps(self) -> float:
+        return self.queries / self.busy_s if self.busy_s > 0 else 0.0
+
+    @property
+    def mean_chunk(self) -> float:
+        return self.queries / self.chunks if self.chunks else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        n = self.cache_hits + self.cache_misses
+        return self.cache_hits / n if n else 0.0
+
+    def snapshot(self) -> dict:
+        """JSON-ready summary (what ``serve-bench`` and benches print)."""
+        return {
+            "mode": self.mode,
+            "queries": self.queries,
+            "chunks": self.chunks,
+            "busy_s": round(self.busy_s, 4),
+            "qps": round(self.qps, 1),
+            "mean_chunk": round(self.mean_chunk, 1),
+            "max_chunk": self.max_chunk_seen,
+            "per_shard": list(self.per_shard),
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "evictions": self.cache_evictions,
+                "hit_rate": round(self.cache_hit_rate, 4),
+            },
+        }
+
+
+@dataclass
+class _Tally:
+    """Parent-side running counters (folded into ServiceStats)."""
+
+    queries: int = 0
+    chunks: int = 0
+    busy_s: float = 0.0
+    max_chunk: int = 0
+    per_shard: list = field(default_factory=list)
+
+
+class ShardedQueryService:
+    """Fan coalesced fault-set chunks out over per-shard processes.
+
+    ``scheme`` is anything with ``decode_partition`` (see
+    :class:`~repro.serving.partition_cache.PartitionCache`); its packed
+    store is materialized up front so the fork shares it.  With
+    ``num_shards=0`` (or where ``fork`` is unavailable) the service
+    runs in-process with one partition cache per logical shard —
+    identical answers, useful as a baseline and on exotic platforms.
+
+    Use as a context manager, or call :meth:`close` — worker pools are
+    real OS processes.
+    """
+
+    def __init__(
+        self,
+        scheme,
+        num_shards: int = 2,
+        cache_capacity: int = 128,
+        max_chunk: int = 1024,
+        mp_context: str = "fork",
+    ):
+        if max_chunk < 1:
+            raise ValueError("max_chunk must be >= 1")
+        self.scheme = scheme
+        self.max_chunk = max_chunk
+        self.cache_capacity = cache_capacity
+        self._tally = _Tally()
+        self._pools: Optional[list] = None
+        self._local: Optional[list[PartitionCache]] = None
+        self._token: Optional[int] = None
+        # Materialize the packed stores before any fork so workers
+        # inherit them instead of each rebuilding their own copy (the
+        # distance scheme keeps one store per (scale, cluster)
+        # instance; the core.api facades hide theirs behind ``.impl``).
+        scheme.decode_partition(())
+        inner = getattr(scheme, "impl", scheme)
+        for inst in getattr(inner, "instances", {}).values():
+            inst.scheme.decode_partition(())
+        ctx = None
+        if num_shards > 0:
+            try:
+                ctx = multiprocessing.get_context(mp_context)
+            except ValueError:
+                ctx = None
+        if ctx is None:
+            self.num_shards = max(1, num_shards)
+            self._local = [
+                PartitionCache(scheme, capacity=cache_capacity)
+                for _ in range(self.num_shards)
+            ]
+        else:
+            self.num_shards = num_shards
+            # The token-keyed slot stays populated until close(): pool
+            # worker respawns re-run _worker_init in a fresh fork of the
+            # parent and must still find the scheme.
+            self._token = next(_SERVICE_TOKENS)
+            _WORKER[self._token] = scheme
+            self._pools = [
+                ctx.Pool(
+                    processes=1,
+                    initializer=_worker_init,
+                    initargs=(self._token, cache_capacity),
+                )
+                for _ in range(num_shards)
+            ]
+        self._tally.per_shard = [0] * self.num_shards
+
+    @property
+    def mode(self) -> str:
+        """``"fork"`` (process pools) or ``"local"`` (in-process)."""
+        return "fork" if self._pools is not None else "local"
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def query(self, s: int, t: int, faults: Iterable[int] = (), **kw):
+        return self.query_many([(s, t)], faults, **kw)[0]
+
+    def query_many(
+        self, pairs: Sequence[tuple[int, int]], faults=(), **kw
+    ) -> list:
+        """Batched queries: coalesce by fault set, shard by its hash.
+
+        Chunks of at most ``max_chunk`` queries per fault set are
+        dispatched to ``shard_of(key)``'s worker concurrently; answers
+        return in request order with the scheme's native answer type.
+        """
+        t0 = time.perf_counter()
+        pairs = list(pairs)
+        per = normalize_faults(pairs, faults)
+        groups = group_by_canonical_key(per)
+        results: list = [None] * len(pairs)
+        tally = self._tally
+        dispatched = []  # (qis, async_result) in fork mode
+        for key, qis in groups.items():
+            shard = shard_of(key, self.num_shards)
+            for lo in range(0, len(qis), self.max_chunk):
+                chunk = qis[lo : lo + self.max_chunk]
+                chunk_pairs = [pairs[qi] for qi in chunk]
+                tally.chunks += 1
+                tally.per_shard[shard] += len(chunk)
+                if len(chunk) > tally.max_chunk:
+                    tally.max_chunk = len(chunk)
+                if self._pools is not None:
+                    handle = self._pools[shard].apply_async(
+                        _worker_query, (chunk_pairs, list(key), kw)
+                    )
+                    dispatched.append((chunk, handle))
+                else:
+                    answers = self._local[shard].query_many(
+                        chunk_pairs, list(key), **kw
+                    )
+                    for qi, ans in zip(chunk, answers):
+                        results[qi] = ans
+        for chunk, handle in dispatched:
+            answers = handle.get(timeout=_CHUNK_TIMEOUT)
+            for qi, ans in zip(chunk, answers):
+                results[qi] = ans
+        tally.queries += len(pairs)
+        tally.busy_s += time.perf_counter() - t0
+        return results
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        """Aggregate parent counters with the workers' cache counters."""
+        hits = misses = evictions = 0
+        if self._pools is not None:
+            for pool in self._pools:
+                h, m, e = pool.apply(_worker_cache_stats)
+                hits += h
+                misses += m
+                evictions += e
+        else:
+            for cache in self._local:
+                hits += cache.stats.hits
+                misses += cache.stats.misses
+                evictions += cache.stats.evictions
+        t = self._tally
+        return ServiceStats(
+            queries=t.queries,
+            chunks=t.chunks,
+            busy_s=t.busy_s,
+            per_shard=tuple(t.per_shard),
+            cache_hits=hits,
+            cache_misses=misses,
+            cache_evictions=evictions,
+            mode=self.mode,
+            max_chunk_seen=t.max_chunk,
+        )
+
+    def close(self) -> None:
+        """Terminate the worker pools (idempotent)."""
+        if self._pools is not None:
+            for pool in self._pools:
+                pool.terminate()
+                pool.join()
+            self._pools = None
+        if self._token is not None:
+            _WORKER.pop(self._token, None)
+            self._token = None
+
+    def __enter__(self) -> "ShardedQueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass

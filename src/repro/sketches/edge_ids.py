@@ -3,8 +3,9 @@
 The sketch-based scheme XORs edge identifiers together and must be able
 to tell "a single edge id" from "the XOR of two or more ids".  Lemma 3.8
 achieves this with an ε-bias collection [NN93]; here the collection is
-realized by a keyed BLAKE2b PRF truncated to ``uid_bits`` bits (see the
-substitution note in DESIGN.md): given the seed ``S_ID`` and the two
+realized by a keyed BLAKE2b PRF truncated to ``uid_bits`` bits (a
+standard substitution: any ε-bias family works; the PRF keeps labels
+short and recomputable from the seed): given the seed ``S_ID`` and the two
 endpoint ids, anyone can recompute ``UID(e)`` in O(1), and the XOR of
 two or more UIDs equals the UID of the decoded endpoint pair with
 probability ``2^-uid_bits`` per test — matching the ``<= 1/n^10``

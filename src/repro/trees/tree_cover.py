@@ -27,7 +27,8 @@ scales, where every ball is the whole component).
 
 The paper's radius constant is ``(2k-1) rho``; this round-based variant
 guarantees ``(2k+1) rho`` in the worst case — the difference is absorbed
-in the *measured* stretch reported by the benches (see DESIGN.md).
+in the *measured* stretch reported by the benches (the distance
+scheme's docstrings carry the adjusted constants).
 
 Per-scale ball computations run through the batched truncated-SSSP
 kernel of :mod:`repro.graph.csr` (``engine="csr"``, the default): all

@@ -13,7 +13,7 @@ from pathlib import Path
 
 import pytest
 
-from benchmarks import baseline, bench_query_throughput
+from benchmarks import baseline, bench_query_throughput, bench_serving
 
 
 @pytest.mark.bench_smoke
@@ -31,4 +31,13 @@ def test_decode_throughput_within_2x_of_committed_baseline():
         pytest.skip("no committed BENCH_query.json")
     committed = json.loads(Path(bench_query_throughput.DEFAULT_OUT).read_text())
     problems = bench_query_throughput.check_against(committed, repeats=3)
+    assert not problems, "; ".join(problems)
+
+
+@pytest.mark.bench_smoke
+def test_serving_throughput_within_2x_of_committed_baseline():
+    if not Path(bench_serving.DEFAULT_OUT).exists():
+        pytest.skip("no committed BENCH_serving.json")
+    committed = json.loads(Path(bench_serving.DEFAULT_OUT).read_text())
+    problems = bench_serving.check_against(committed, repeats=3)
     assert not problems, "; ".join(problems)

@@ -1,0 +1,104 @@
+"""Documentation-consistency checks (run in the default tier-1 suite).
+
+Docs rot silently; these tests make the load-bearing cross-references
+mechanical:
+
+* every ``src/repro/*/`` package that ships a README is linked from the
+  top-level ``README.md``;
+* the CLI block in ``README.md`` (between the ``cli:start``/``cli:end``
+  markers) names exactly the subcommands ``repro.cli`` actually
+  registers, and the module docstring of ``repro.cli`` mentions each;
+* every relative markdown link in the top-level docs resolves to a real
+  file;
+* ``benchmarks/README.md`` covers every bench module and every
+  committed ``BENCH_*.json``.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import repro.cli
+
+REPO = Path(__file__).resolve().parent.parent
+README = REPO / "README.md"
+
+
+def _cli_subcommands() -> set[str]:
+    parser = repro.cli.build_parser()
+    for action in parser._subparsers._group_actions:
+        return set(action.choices)
+    raise AssertionError("repro.cli parser has no subcommands")
+
+
+def test_package_readmes_are_linked_from_top_readme():
+    readme = README.read_text()
+    package_readmes = sorted((REPO / "src" / "repro").glob("*/README.md"))
+    assert package_readmes, "expected per-package READMEs under src/repro/"
+    for path in package_readmes:
+        rel = path.relative_to(REPO).as_posix()
+        assert rel in readme, f"top-level README.md does not link {rel}"
+
+
+def test_cli_block_matches_registered_subcommands():
+    readme = README.read_text()
+    match = re.search(
+        r"<!-- cli:start -->(.*?)<!-- cli:end -->", readme, re.DOTALL
+    )
+    assert match, "README.md lost its <!-- cli:start/end --> markers"
+    documented = set(re.findall(r"^- `([\w-]+)`", match.group(1), re.MULTILINE))
+    registered = _cli_subcommands()
+    assert documented == registered, (
+        f"README CLI block documents {sorted(documented)} but repro.cli "
+        f"registers {sorted(registered)}"
+    )
+
+
+def test_cli_module_docstring_mentions_every_subcommand():
+    doc = repro.cli.__doc__ or ""
+    for name in _cli_subcommands():
+        assert f"``{name}``" in doc, (
+            f"repro.cli module docstring does not describe {name!r}"
+        )
+
+
+def test_relative_markdown_links_resolve():
+    docs = [
+        README,
+        REPO / "docs" / "ARCHITECTURE.md",
+        REPO / "benchmarks" / "README.md",
+        *sorted((REPO / "src" / "repro").glob("*/README.md")),
+    ]
+    for doc in docs:
+        assert doc.exists(), f"{doc} is missing"
+        for target in re.findall(r"\]\(([^)#]+)\)", doc.read_text()):
+            if "://" in target:
+                continue  # external URL
+            resolved = (doc.parent / target).resolve()
+            assert resolved.exists(), f"{doc.name} links to missing {target}"
+
+
+def test_bench_readme_covers_every_module_and_baseline():
+    bench_readme = (REPO / "benchmarks" / "README.md").read_text()
+    for module in sorted((REPO / "benchmarks").glob("*.py")):
+        assert module.name in bench_readme, (
+            f"benchmarks/README.md does not mention {module.name}"
+        )
+    for baseline in sorted(REPO.glob("BENCH_*.json")):
+        assert baseline.name in bench_readme, (
+            f"benchmarks/README.md does not mention {baseline.name}"
+        )
+    # the gate entry points stay documented
+    assert "run_baseline.sh" in bench_readme
+    assert "bench_smoke" in bench_readme
+
+
+def test_architecture_doc_links_the_layer_readmes():
+    arch = (REPO / "docs" / "ARCHITECTURE.md").read_text()
+    for rel in (
+        "../src/repro/graph/README.md",
+        "../src/repro/core/README.md",
+        "../src/repro/serving/README.md",
+    ):
+        assert rel in arch, f"docs/ARCHITECTURE.md does not link {rel}"

@@ -17,7 +17,7 @@ class TestPartition:
         oracle = ConnectivityOracle(g)
         for faults in random_fault_sets(g, 25, 5, seed=5):
             fl = [scheme.edge_label(ei) for ei in faults]
-            part = scheme.decode_partition(0, fl)
+            part = scheme.decode_partition_labels(0, fl)
             labels = [scheme.vertex_label(v) for v in range(g.n)]
             for u in range(0, g.n, 3):
                 for v in range(0, g.n, 4):
@@ -34,7 +34,7 @@ class TestPartition:
 
         _, true_count = connected_components(g, faults)
         fl = [scheme.edge_label(ei) for ei in faults]
-        part = scheme.decode_partition(0, fl)
+        part = scheme.decode_partition_labels(0, fl)
         assert true_count == 2
         # The partition's group count over T\F components matches.
         assert part.group_count == true_count
@@ -46,7 +46,7 @@ class TestPartition:
         non_tree = [
             e.index for e in g.edges if not tree.is_tree_edge(e.index)
         ][:4]
-        part = scheme.decode_partition(0, [scheme.edge_label(ei) for ei in non_tree])
+        part = scheme.decode_partition_labels(0, [scheme.edge_label(ei) for ei in non_tree])
         assert part.group_count == 1
         a = scheme.vertex_label(0)
         b = scheme.vertex_label(g.n - 1)
@@ -61,7 +61,7 @@ class TestPartition:
         g.add_edge(3, 4)
         g.add_edge(4, 5)
         scheme = SketchConnectivityScheme(g, seed=9)
-        part = scheme.decode_partition(0, [])
+        part = scheme.decode_partition_labels(0, [])
         other = scheme.vertex_label(3)
         assert other.component != 0
         assert part.group(other) is None
@@ -76,7 +76,7 @@ class TestPartition:
         g.add_edge(3, 4)
         g.add_edge(4, 5)
         scheme = SketchConnectivityScheme(g, seed=10)
-        part = scheme.decode_partition(0, [])
+        part = scheme.decode_partition_labels(0, [])
         a, b = scheme.vertex_label(3), scheme.vertex_label(4)
         with pytest.raises(ValueError):
             part.same_component(a, b)
@@ -87,7 +87,7 @@ class TestPartition:
         rnd = random.Random(13)
         for faults in random_fault_sets(g, 20, 4, seed=14):
             fl = [scheme.edge_label(ei) for ei in faults]
-            part = scheme.decode_partition(0, fl)
+            part = scheme.decode_partition_labels(0, fl)
             s, t = rnd.sample(range(g.n), 2)
             direct = scheme.query(s, t, faults).connected
             via_part = part.same_component(

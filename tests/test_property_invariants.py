@@ -127,7 +127,7 @@ class TestPartitionRefinement:
         # Only query the component of vertex 0.
         comp0 = sk.comp_of[0]
         fl = [sk.edge_label(ei) for ei in faults]
-        part = sk.decode_partition(comp0, fl)
+        part = sk.decode_partition_labels(comp0, fl)
         true_labels, _ = connected_components(g, faults)
         for u in range(g.n):
             for v in range(u + 1, g.n):

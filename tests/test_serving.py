@@ -1,0 +1,389 @@
+"""Serving-layer correctness: caches, coalescers and shards.
+
+The acceptance bar mirrors the batched-engine one: everything the
+serving layer answers must be **bit-identical** to the cold decode path
+— for the sketch scheme including succinct paths and phase counts —
+across the five generator families; on top of that, the layer's own
+mechanics (LRU eviction, chunk boundaries, dispatch ordering, process
+fan-out) must never reorder or drop an answer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core.api import FaultTolerantConnectivity, FaultTolerantDistance
+from repro.core.cycle_space_scheme import CycleSpaceConnectivityScheme
+from repro.core.distance_labels import DistanceLabelScheme
+from repro.core.forest_scheme import ForestConnectivityScheme
+from repro.core.sketch_scheme import SketchConnectivityScheme
+from repro.graph import generators
+from repro.oracles import ConnectivityOracle
+from repro.serving import (
+    AsyncQueryCoalescer,
+    PartitionCache,
+    QueryCoalescer,
+    ShardedQueryService,
+    canonical_fault_key,
+)
+
+FAMILIES = [
+    ("random", lambda: generators.random_connected_graph(72, extra_edges=100, seed=21)),
+    ("grid", lambda: generators.grid_graph(8, 8)),
+    ("ring_of_cliques", lambda: generators.ring_of_cliques(8, 5)),
+    (
+        "weighted",
+        lambda: generators.with_random_weights(
+            generators.random_connected_graph(64, extra_edges=90, seed=22), 1, 8, seed=23
+        ),
+    ),
+    # High-diameter: bridge-heavy tree faults exercise the zero-sketch
+    # components that run the full phase budget.
+    ("path", lambda: generators.grid_graph(1, 96)),
+]
+
+
+def _repeated_fault_stream(graph, count, num_sets, max_faults, seed):
+    """A round-robin (s, t, F) stream over a small pool of fault sets —
+    the workload shape the partition cache exists for.  Fault lists are
+    canonical (sorted, deduplicated) so cold and cached paths see the
+    same presentation order."""
+    rnd = random.Random(seed)
+    pool = [
+        sorted(set(rnd.sample(range(graph.m), rnd.randint(1, max_faults))))
+        for _ in range(num_sets)
+    ]
+    pairs, per = [], []
+    for i in range(count):
+        pairs.append(tuple(rnd.sample(range(graph.n), 2)))
+        per.append(list(pool[i % num_sets]))
+    return pairs, per
+
+
+# ----------------------------------------------------------------------
+# Partition cache: bit-identical answers
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name,make", FAMILIES, ids=[f[0] for f in FAMILIES])
+def test_cache_bit_identical_to_cold_decode_sketch(name, make):
+    graph = make()
+    scheme = SketchConnectivityScheme(graph, seed=5)
+    pairs, per = _repeated_fault_stream(graph, 60, 6, 6, seed=31)
+    cold = scheme.query_many(pairs, per)  # paths + phase counts included
+    cache = PartitionCache(scheme, capacity=8)
+    assert cache.query_many(pairs, per) == cold
+    assert cache.stats.misses == 6
+    # Second pass: all partitions come from the LRU, answers unchanged.
+    assert cache.query_many(pairs, per) == cold
+    assert cache.stats.misses == 6
+    assert cache.stats.hits >= 6
+
+
+def test_cache_verdicts_for_any_fault_order():
+    graph = generators.random_connected_graph(60, extra_edges=80, seed=9)
+    scheme = SketchConnectivityScheme(graph, seed=3)
+    cache = PartitionCache(scheme, capacity=4)
+    rnd = random.Random(7)
+    F = rnd.sample(range(graph.m), 6)
+    pairs = [tuple(rnd.sample(range(graph.n), 2)) for _ in range(30)]
+    cold = scheme.query_many(pairs, F, want_path=False)
+    shuffled = list(F)
+    rnd.shuffle(shuffled)
+    served = cache.query_many(pairs, shuffled + shuffled, want_path=False)
+    assert [r.connected for r in served] == [r.connected for r in cold]
+    # permutations and duplicates share one canonical entry
+    assert canonical_fault_key(shuffled + shuffled) == canonical_fault_key(F)
+    assert len(cache) == 1
+
+
+def test_cache_forest_scheme_exact():
+    graph = generators.random_tree(80, seed=6)
+    scheme = ForestConnectivityScheme(graph)
+    oracle = ConnectivityOracle(graph)
+    pairs, per = _repeated_fault_stream(graph, 50, 5, 4, seed=8)
+    cache = PartitionCache(scheme)
+    got = cache.query_many(pairs, per)
+    assert got == scheme.query_many(pairs, per)
+    assert got == [
+        oracle.connected(s, t, F) for (s, t), F in zip(pairs, per)
+    ]
+
+
+def test_cache_cycle_space_scheme():
+    graph = generators.random_connected_graph(72, extra_edges=100, seed=21)
+    scheme = CycleSpaceConnectivityScheme(graph, f=4, seed=5)
+    pairs, per = _repeated_fault_stream(graph, 50, 5, 4, seed=41)
+    cache = PartitionCache(scheme)
+    assert cache.query_many(pairs, per) == scheme.query_many(pairs, per)
+
+
+@pytest.mark.parametrize("base", ["cycle_space", "sketch"])
+def test_cache_distance_scheme(base):
+    graph = generators.with_random_weights(
+        generators.random_connected_graph(48, extra_edges=70, seed=12), 1, 6, seed=13
+    )
+    scheme = DistanceLabelScheme(graph, f=2, k=2, seed=3, base_scheme=base)
+    pairs, per = _repeated_fault_stream(graph, 40, 4, 2, seed=14)
+    cache = PartitionCache(scheme)
+    assert cache.query_many(pairs, per) == scheme.query_many(pairs, per)
+    assert cache.stats.hits == 0 and cache.stats.misses == 4
+
+
+def test_cache_facades():
+    graph = generators.random_connected_graph(56, extra_edges=80, seed=19)
+    pairs, per = _repeated_fault_stream(graph, 30, 3, 3, seed=20)
+    for scheme_name in ("cycle_space", "sketch"):
+        conn = FaultTolerantConnectivity(graph, f=3, scheme=scheme_name, seed=2)
+        cache = PartitionCache(conn)
+        assert cache.query_many(pairs, per) == conn.query_many(pairs, per)
+    dist = FaultTolerantDistance(graph, f=2, k=2, seed=2)
+    per2 = [F[:2] for F in per]
+    cache = PartitionCache(dist)
+    assert cache.query_many(pairs, per2) == dist.query_many(pairs, per2)
+
+
+def test_cache_lru_eviction():
+    graph = generators.random_connected_graph(40, extra_edges=50, seed=4)
+    scheme = SketchConnectivityScheme(graph, seed=2)
+    cache = PartitionCache(scheme, capacity=2)
+    A, B, C = [0], [1], [2]
+    cache.partition(A)
+    cache.partition(B)
+    assert cache.stats.misses == 2 and len(cache) == 2
+    part_a = cache.partition(A)  # refreshes A in LRU order
+    assert cache.stats.hits == 1
+    cache.partition(C)  # evicts B (least recent), not A
+    assert cache.stats.evictions == 1
+    assert A in cache and C in cache and B not in cache
+    assert cache.partition(A) is part_a  # A survived the eviction
+    cache.partition(B)  # miss again: B was evicted
+    assert cache.stats.misses == 4
+    assert len(cache) == 2
+    cache.clear()
+    assert len(cache) == 0 and cache.stats.misses == 4
+
+
+def test_cache_rejects_unsupported_backends():
+    with pytest.raises(TypeError):
+        PartitionCache(object())
+    graph = generators.random_connected_graph(20, extra_edges=20, seed=2)
+    with pytest.raises(ValueError):
+        PartitionCache(SketchConnectivityScheme(graph, seed=1), capacity=0)
+
+
+# ----------------------------------------------------------------------
+# Coalescer
+# ----------------------------------------------------------------------
+def test_coalescer_orders_and_bounds_chunks():
+    graph = generators.random_connected_graph(64, extra_edges=90, seed=17)
+    scheme = SketchConnectivityScheme(graph, seed=5)
+    pairs, per = _repeated_fault_stream(graph, 90, 4, 4, seed=23)
+    cold = scheme.query_many(pairs, per)
+    dispatched = []
+
+    def backend(chunk_pairs, faults):
+        dispatched.append((list(chunk_pairs), tuple(faults)))
+        return scheme.query_many(chunk_pairs, faults)
+
+    co = QueryCoalescer(backend, max_chunk=7)
+    answers = co.run((s, t, F) for (s, t), F in zip(pairs, per))
+    # answers come back in submission order despite out-of-order dispatch
+    assert answers == cold
+    assert co.pending == 0
+    for chunk_pairs, faults in dispatched:
+        assert 1 <= len(chunk_pairs) <= 7
+        assert faults == canonical_fault_key(faults)  # canonical per chunk
+    # size bound reached => eager dispatch: 90 queries over 4 sets makes
+    # at least ceil(23/7) full chunks for the most common set
+    assert co.stats.chunks == len(dispatched)
+    assert co.stats.max_chunk == 7
+    assert co.stats.queries == 90
+
+
+def test_coalescer_chunk_boundary_is_exact():
+    graph = generators.random_connected_graph(32, extra_edges=40, seed=3)
+    scheme = SketchConnectivityScheme(graph, seed=1)
+    sizes = []
+    co = QueryCoalescer(
+        lambda p, F: (sizes.append(len(p)), scheme.query_many(p, F))[1],
+        max_chunk=5,
+    )
+    tickets = [co.submit(0, v % 31 + 1, [0]) for v in range(5)]
+    # exactly at the boundary: the 5th submit dispatched the chunk
+    assert sizes == [5]
+    assert all(t.done for t in tickets)
+    t6 = co.submit(0, 6, [0])
+    assert not t6.done and co.pending == 1
+    with pytest.raises(RuntimeError):
+        t6.result()
+    co.flush()
+    assert sizes == [5, 1]
+    assert t6.result() == scheme.query(0, 6, [0])
+
+
+def test_coalescer_deadline_with_fake_clock():
+    graph = generators.random_connected_graph(32, extra_edges=40, seed=3)
+    scheme = SketchConnectivityScheme(graph, seed=1)
+    now = [0.0]
+    co = QueryCoalescer(
+        lambda p, F: scheme.query_many(p, F),
+        max_chunk=100,
+        max_delay=1.0,
+        clock=lambda: now[0],
+    )
+    early = co.submit(0, 1, [0])
+    now[0] = 0.5
+    co.submit(0, 2, [1])
+    assert not early.done  # younger than the deadline
+    now[0] = 1.25
+    co.submit(0, 3, [2])  # sweeps the expired [0]-group out
+    assert early.done
+    assert early.result() == scheme.query(0, 1, [0])
+    assert co.pending == 2  # the [1] and [2] groups are still young
+
+
+def test_async_coalescer_size_and_timer_paths():
+    graph = generators.random_connected_graph(64, extra_edges=90, seed=17)
+    scheme = SketchConnectivityScheme(graph, seed=5)
+    pairs, per = _repeated_fault_stream(graph, 40, 3, 4, seed=29)
+    cold = scheme.query_many(pairs, per)
+
+    async def drive():
+        ac = AsyncQueryCoalescer(
+            scheme.query_many, max_chunk=8, max_delay=0.001
+        )
+        results = await asyncio.gather(
+            *[ac.query(s, t, F) for (s, t), F in zip(pairs, per)]
+        )
+        assert ac.pending == 0  # gather resolved => everything dispatched
+        await ac.aclose()
+        return list(results)
+
+    assert asyncio.run(drive()) == cold
+
+
+def test_async_coalescer_propagates_backend_errors():
+    async def drive():
+        ac = AsyncQueryCoalescer(_boom, max_chunk=1)
+        with pytest.raises(RuntimeError, match="backend down"):
+            await ac.query(0, 1, [])
+        await ac.aclose()
+
+    def _boom(pairs, faults):
+        raise RuntimeError("backend down")
+
+    asyncio.run(drive())
+
+
+# ----------------------------------------------------------------------
+# Shards
+# ----------------------------------------------------------------------
+def test_sharded_service_equals_single_process():
+    graph = generators.random_connected_graph(72, extra_edges=100, seed=21)
+    scheme = SketchConnectivityScheme(graph, seed=5)
+    pairs, per = _repeated_fault_stream(graph, 80, 6, 5, seed=37)
+    cold = scheme.query_many(pairs, per)  # succinct paths included
+    with ShardedQueryService(scheme, num_shards=2, max_chunk=16) as svc:
+        assert svc.mode == "fork"
+        assert svc.query_many(pairs, per) == cold
+        stats = svc.stats()
+        assert stats.queries == 80
+        assert sum(stats.per_shard) == 80
+        assert stats.chunks >= 6
+        assert stats.max_chunk_seen <= 16
+        # every shard's cache decoded each of its fault sets exactly once
+        assert stats.cache_misses == 6
+        # second identical batch: all partition lookups hit
+        assert svc.query_many(pairs, per) == cold
+        stats = svc.stats()
+        assert stats.cache_misses == 6 and stats.cache_hits >= 6
+
+
+def test_sharded_service_local_fallback_mode():
+    graph = generators.random_connected_graph(48, extra_edges=60, seed=11)
+    scheme = SketchConnectivityScheme(graph, seed=4)
+    pairs, per = _repeated_fault_stream(graph, 40, 4, 4, seed=13)
+    cold = scheme.query_many(pairs, per)
+    with ShardedQueryService(scheme, num_shards=0) as svc:
+        assert svc.mode == "local"
+        assert svc.query_many(pairs, per) == cold
+        assert svc.stats().queries == 40
+
+
+def test_sharded_service_distance_scheme():
+    graph = generators.with_random_weights(
+        generators.random_connected_graph(40, extra_edges=55, seed=15), 1, 6, seed=16
+    )
+    scheme = DistanceLabelScheme(graph, f=2, k=2, seed=4)
+    pairs, per = _repeated_fault_stream(graph, 30, 3, 2, seed=17)
+    cold = scheme.query_many(pairs, per)
+    with ShardedQueryService(scheme, num_shards=2) as svc:
+        assert svc.query_many(pairs, per) == cold
+
+
+def test_sharded_service_accepts_facades():
+    graph = generators.random_connected_graph(40, extra_edges=55, seed=15)
+    dist = FaultTolerantDistance(graph, f=2, k=2, seed=4)
+    pairs, per = _repeated_fault_stream(graph, 20, 2, 2, seed=18)
+    cold = dist.query_many(pairs, per)
+    with ShardedQueryService(dist, num_shards=2) as svc:
+        # the facade hides its instances behind .impl; the pre-fork
+        # warm-up must still reach them (workers inherit built stores)
+        assert dist.impl.instances  # sanity: there is something to warm
+        assert svc.query_many(pairs, per) == cold
+
+
+def test_facade_budget_counts_distinct_faults_consistently():
+    graph = generators.random_connected_graph(24, extra_edges=30, seed=3)
+    conn = FaultTolerantConnectivity(graph, f=2, scheme="cycle_space", seed=1)
+    # duplicates are not new faults: both entry points accept them ...
+    dup = [0, 0, 1]
+    assert conn.query_many([(0, 1)], [dup]) == [
+        conn.decode_partition(dup).connected(0, 1)
+    ]
+    # ... and both reject three distinct faults the same way
+    with pytest.raises(ValueError):
+        conn.query_many([(0, 1)], [[0, 1, 2]])
+    with pytest.raises(ValueError):
+        conn.decode_partition([0, 1, 2])
+
+
+# ----------------------------------------------------------------------
+# Scenario + CLI integration
+# ----------------------------------------------------------------------
+def test_scenario_queries_are_cache_served():
+    from repro.scenarios import FaultScenario
+
+    graph = generators.random_connected_graph(32, extra_edges=40, seed=27)
+    sc = FaultScenario(graph, f=2, build_router=False)
+    e = graph.edge(0)
+    sc.fail(e.u, e.v)
+    pairs = [(0, v) for v in range(1, 10)]
+    direct = sc._conn.query_many(pairs, sc.active_faults)
+    assert sc.connected_many(pairs) == direct
+    first = sc.health_summary([0, 5, 9])
+    second = sc.health_summary([0, 5, 9])
+    # same fault set, same landmarks: the second sweep is a pure hit
+    assert second["reachable_pairs"] == first["reachable_pairs"]
+    cache = second["partition_cache"]
+    assert cache["hits"] > first["partition_cache"]["hits"]
+    assert cache["misses"] == first["partition_cache"]["misses"]
+    # repairing changes the fault state: next query decodes a new set
+    sc.repair(e.u, e.v)
+    sc.connected(0, 5)
+    assert sc.health_summary([0, 5, 9])["partition_cache"]["misses"] > cache["misses"]
+
+
+def test_cli_serve_bench(capsys):
+    from repro.cli import main
+
+    code = main(
+        ["serve-bench", "--n", "48", "--queries", "200", "--fault-sets", "4",
+         "--chunk", "16"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cold query_many" in out
+    assert "coalesced + cached" in out
