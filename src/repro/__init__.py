@@ -8,7 +8,10 @@ load-balanced tables, the Ω(f) stretch lower bound, and every substrate
 they rely on (cycle-space sampling, linear graph sketches, tree covers,
 Thorup–Zwick tree routing, a port-based network simulator) — plus a
 serving layer (:mod:`repro.serving`) that caches fault-set partitions,
-coalesces query streams and shards them across processes.
+coalesces query streams and shards them across processes, an
+array-native routing plane (:mod:`repro.routing`) with batched
+``route_many``, and a traffic subsystem (:mod:`repro.traffic`) for
+workload generation and churn simulation.
 
 Quickstart::
 
@@ -24,7 +27,11 @@ end-to-end data flow.
 
 from repro.graph import generators
 from repro.graph.graph import Edge, Graph, InducedSubgraph
-from repro.core.api import FaultTolerantConnectivity, FaultTolerantDistance
+from repro.core.api import (
+    FaultTolerantConnectivity,
+    FaultTolerantDistance,
+    FaultTolerantRouting,
+)
 from repro.core.cycle_space_scheme import CycleSpaceConnectivityScheme
 from repro.core.sketch_scheme import SketchConnectivityScheme
 from repro.core.forest_scheme import ForestConnectivityScheme
@@ -46,6 +53,7 @@ __all__ = [
     "generators",
     "FaultTolerantConnectivity",
     "FaultTolerantDistance",
+    "FaultTolerantRouting",
     "CycleSpaceConnectivityScheme",
     "SketchConnectivityScheme",
     "ForestConnectivityScheme",

@@ -5,6 +5,11 @@ Commands:
 * ``info``     — build a workload graph and print scheme size reports.
 * ``query``    — answer one <s, t, F> connectivity + distance query.
 * ``route``    — route a message under hidden faults and print telemetry.
+* ``route-bench`` — route one message batch through the packed
+  multi-message stepper and through the seed scalar engine, verify the
+  traces agree bit for bit, and print routed-messages/sec for both.
+* ``traffic`` — run a fail/repair churn traffic simulation through the
+  batched router and print the aggregated telemetry report.
 * ``serve-bench`` — drive a repeated-fault-set query stream through the
   serving layer (partition cache + coalescer, optionally sharded) and
   print throughput vs the cold batched decoder.
@@ -112,6 +117,111 @@ def _cmd_route(args: argparse.Namespace) -> int:
     print(f"  gamma queries: {tel.gamma_queries}")
     print(f"  decode calls : {tel.decode_calls}")
     print(f"  header bits  : {tel.max_header_bits}")
+    return 0
+
+
+def _cmd_route_bench(args: argparse.Namespace) -> int:
+    """Packed vs seed routed-messages/sec on one message batch.
+
+    Builds one router (both planes share the same labels, tables and
+    sketch randomness), routes the identical batch through
+    ``engine="reference"`` (scalar seed loop) and ``engine="packed"``
+    (batched stepper + partition-cache retry decodes), verifies the
+    route traces and telemetry agree bit for bit, and prints both
+    throughputs.  ``benchmarks/bench_routing.py`` pins the same numbers
+    as a committed, CI-gated baseline (BENCH_routing.json).
+    """
+    from repro.traffic import fault_set_pool, uniform_pairs
+
+    graph = _build_graph(args)
+    router = FaultTolerantRouter(
+        graph, f=args.f, k=args.k, seed=args.seed, table_mode=args.tables
+    )
+    rnd = random.Random(args.seed + 1)
+    pool = fault_set_pool(
+        graph.m, args.fault_sets, min(args.fault_size, args.f), rnd
+    )
+    msgs = uniform_pairs(graph.n, args.messages, rnd)
+    per = [pool[i % len(pool)] for i in range(len(msgs))]
+    print(
+        f"route-bench: family={args.family} n={graph.n} m={graph.m} "
+        f"messages={len(msgs)} fault_sets={len(pool)} f={args.f}"
+    )
+    router.tables  # build the seed tables outside the timed region
+    router.packed_engine()
+    t0 = time.perf_counter()
+    ref = router.route_many(msgs, per, engine="reference")
+    ref_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    packed = router.route_many(msgs, per, engine="packed")
+    packed_s = time.perf_counter() - t0
+    for p, r in zip(packed, ref):
+        if p.trace != r.trace or p.telemetry != r.telemetry:
+            print("  ERROR: packed route traces diverge from the seed engine")
+            return 1
+    delivered = sum(r.delivered for r in ref)
+    print(f"  delivered            : {delivered}/{len(msgs)}")
+    print(f"  seed engine          : {len(msgs) / ref_s:10.0f} msg/s")
+    print(
+        f"  packed route_many    : {len(msgs) / packed_s:10.0f} msg/s  "
+        f"({ref_s / packed_s:.1f}x, traces bit-identical)"
+    )
+    return 0
+
+
+def _cmd_traffic(args: argparse.Namespace) -> int:
+    """Churn traffic smoke scenario: fail/repair timeline -> route_many.
+
+    Generates a fail/repair churn timeline within the fault budget,
+    routes every epoch's message batch through the packed engine (the
+    partition caches stay warm across epochs), and prints the
+    aggregated array-telemetry report; ``--validate`` additionally
+    checks every result against the exact connectivity oracle.
+    """
+    from repro.traffic import (
+        TrafficSimulator,
+        churn_timeline,
+        hotspot_pairs,
+        uniform_pairs,
+    )
+
+    graph = _build_graph(args)
+    router = FaultTolerantRouter(graph, f=args.f, k=args.k, seed=args.seed)
+    rnd = random.Random(args.seed + 1)
+    if args.hotspots > 0:
+        def pair_gen(n, count, rng, _h=args.hotspots):
+            return hotspot_pairs(n, count, rng, hotspots=_h)
+    else:
+        pair_gen = uniform_pairs
+    epochs = churn_timeline(
+        graph.n,
+        graph.m,
+        epochs=args.epochs,
+        budget=args.f,
+        rng=rnd,
+        messages_per_epoch=args.messages_per_epoch,
+        pair_gen=pair_gen,
+    )
+    fails = sum(1 for e in epochs for op, _ in e.events if op == "fail")
+    repairs = sum(1 for e in epochs for op, _ in e.events if op == "repair")
+    t0 = time.perf_counter()
+    report = TrafficSimulator(router, validate=args.validate).run(epochs)
+    elapsed = time.perf_counter() - t0
+    summary = report.summary()
+    print(
+        f"traffic: family={args.family} n={graph.n} m={graph.m} "
+        f"epochs={len(epochs)} (+{fails} fails / {repairs} repairs) "
+        f"messages={summary['messages']}"
+    )
+    for key in (
+        "delivery_rate", "mean_hops", "p95_hops", "reversals",
+        "reversal_hops", "reversal_hop_share", "gamma_queries",
+        "decode_calls",
+    ):
+        print(f"  {key:18s}: {summary[key]}")
+    rate = summary["messages"] / elapsed if elapsed > 0 else float("inf")
+    print(f"  routed               : {rate:.0f} msg/s"
+          + ("  (oracle-validated)" if args.validate else ""))
     return 0
 
 
@@ -246,6 +356,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_route.add_argument("--faults", default="")
     p_route.add_argument("--tables", default="balanced", choices=["simple", "balanced"])
     p_route.set_defaults(func=_cmd_route)
+
+    p_rbench = sub.add_parser(
+        "route-bench",
+        help="packed vs seed routed-messages/sec (traces verified)",
+    )
+    common(p_rbench)
+    p_rbench.add_argument("--messages", type=int, default=256,
+                          help="batch size to route")
+    p_rbench.add_argument("--fault-sets", type=int, default=8,
+                          help="distinct hidden fault sets")
+    p_rbench.add_argument("--fault-size", type=int, default=2,
+                          help="edges per fault set (capped by --f)")
+    p_rbench.add_argument("--tables", default="balanced",
+                          choices=["simple", "balanced"])
+    p_rbench.set_defaults(func=_cmd_route_bench)
+
+    p_traffic = sub.add_parser(
+        "traffic",
+        help="fail/repair churn traffic simulation through route_many",
+    )
+    common(p_traffic)
+    p_traffic.add_argument("--epochs", type=int, default=16,
+                           help="churn timeline length")
+    p_traffic.add_argument("--messages-per-epoch", type=int, default=32)
+    p_traffic.add_argument("--hotspots", type=int, default=0,
+                           help="skew destinations onto N hot vertices")
+    p_traffic.add_argument("--validate", action="store_true",
+                           help="check every result against the oracle")
+    p_traffic.set_defaults(func=_cmd_traffic)
 
     p_serve = sub.add_parser(
         "serve-bench",

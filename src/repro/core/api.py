@@ -1,11 +1,13 @@
 """High-level facade over the labeling schemes.
 
-Most users want three operations — "label my graph", "are s and t still
-connected under these faults?", "how far apart are they?" — without
-choosing between the two Section 3 constructions.  The facades here pick
-sensible defaults and expose the full pipeline (labels in, answers out).
-The routing facade lives in :mod:`repro.routing.fault_tolerant` (it
-depends on the network simulator).
+Most users want four operations — "label my graph", "are s and t still
+connected under these faults?", "how far apart are they?", "deliver a
+message around faults" — without choosing between the Section 3
+constructions or the execution engines.  The facades here pick sensible
+defaults and expose the full pipeline (labels in, answers out);
+:class:`FaultTolerantRouting` fronts the Section 5 routing plane (the
+heavy machinery lives in :mod:`repro.routing`, which depends on the
+network simulator).
 """
 
 from __future__ import annotations
@@ -252,3 +254,65 @@ class FaultTolerantDistance:
     def max_vertex_label_bits(self) -> int:
         """Length of the longest vertex label, in bits (Theorem 1.4)."""
         return self._impl.max_vertex_label_bits()
+
+
+class FaultTolerantRouting:
+    """f-FT compact routing (Theorems 5.5 / 5.8).
+
+    Builds the routing-augmented label stack once and routes any
+    message stream under any hidden fault set.  ``table_mode`` selects
+    the Theorem 5.5 (``"simple"``) or Theorem 5.8 (``"balanced"``,
+    default) table layout; ``engine`` the packed batched plane
+    (default) or the retained seed scalar engine — bit-identical route
+    traces either way.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        f: int,
+        k: int = 2,
+        seed: int = 0,
+        table_mode: str = "balanced",
+        engine: str = "packed",
+    ):
+        from repro.routing.fault_tolerant import FaultTolerantRouter
+
+        self.graph = graph
+        self.f = f
+        self.k = k
+        self._impl = FaultTolerantRouter(
+            graph, f=f, k=k, seed=seed, table_mode=table_mode, engine=engine
+        )
+
+    @property
+    def impl(self):
+        """The underlying :class:`~repro.routing.fault_tolerant.FaultTolerantRouter`."""
+        return self._impl
+
+    def route(self, s: int, t: int, faults: Iterable[int] = ()):
+        """Deliver one message from ``s`` to ``t`` under hidden faults.
+
+        Returns a :class:`~repro.routing.network.RouteResult` with the
+        delivery status, the full hop trace and the telemetry meters.
+        """
+        return self._impl.route(s, t, list(faults))
+
+    def route_many(self, requests: Sequence[tuple[int, int]], faults=()):
+        """Batched :meth:`route`: all messages advance together through
+        the packed multi-message stepper (``faults`` is one shared
+        iterable of edge indices or a per-message sequence)."""
+        return self._impl.route_many(requests, faults)
+
+    def stretch_bound(self, num_faults: int) -> float:
+        """The Theorem 5.5/5.8 route-length guarantee for ``num_faults``
+        faults, with this construction's cover constant."""
+        return self._impl.stretch_bound(num_faults)
+
+    def max_table_bits(self) -> int:
+        """Largest per-vertex routing table, in bits (Eq. 9)."""
+        return self._impl.max_table_bits()
+
+    def max_label_bits(self) -> int:
+        """Largest routing label ``L_route(v)``, in bits (Eq. 8)."""
+        return self._impl.max_label_bits()

@@ -1497,6 +1497,19 @@ class SketchConnectivityScheme:
     def _tlabel(self, v: int) -> Optional[int]:
         return self._routing.tlabel_of(v) if self._routing is not None else None
 
+    def edge_for_eid(self, eid: int) -> Optional[int]:
+        """Edge index behind a packed EID, or ``None`` if the EID does
+        not belong to this scheme's store (foreign or corrupted).
+
+        The packed routing engine uses this both to materialize the
+        label of a 0-segment fault and to map the learned fault onto a
+        store edge index for its partition-cache retry decodes — the
+        same resolution :meth:`decode` performs internally.
+        """
+        if self._eid_to_edge is None:
+            self._eid_to_edge = {e: i for i, e in enumerate(self._eid_cache)}
+        return self._eid_to_edge.get(eid)
+
     def label_for_eid(self, eid: int, component: int = 0) -> SkEdgeLabel:
         """The edge label behind a packed EID (packed-store lookup).
 
@@ -1505,9 +1518,7 @@ class SketchConnectivityScheme:
         non-tree label carrying the given component, mirroring the
         engine's previous reconstruction.
         """
-        if self._eid_to_edge is None:
-            self._eid_to_edge = {e: i for i, e in enumerate(self._eid_cache)}
-        ei = self._eid_to_edge.get(eid)
+        ei = self.edge_for_eid(eid)
         if ei is not None:
             return self.edge_label(ei)
         return SkEdgeLabel(

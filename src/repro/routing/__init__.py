@@ -5,19 +5,30 @@
 * :mod:`repro.routing.tables` — routing labels and tables (Eq. 7-9),
   in both the simple (Theorem 5.5) and load-balanced Γ (Theorem 5.8)
   layouts.
-* :mod:`repro.routing.engine` — segment-by-segment forwarding of the
-  Lemma 3.17 succinct paths, with fault detection, Γ label fetches and
-  reversal to the source.
+* :mod:`repro.routing.engine` — the seed scalar engine: segment-by-
+  segment forwarding of the Lemma 3.17 succinct paths, with fault
+  detection, Γ label fetches and reversal to the source.
+* :mod:`repro.routing.packed_tables` — array-native routing tables
+  (per-instance packed tree-routing state, lazy edge labels).
+* :mod:`repro.routing.packed_engine` — the batched multi-message
+  stepper ``route_many`` over the packed tables, retry decodes served
+  through shared partition caches.
 * :mod:`repro.routing.forbidden_set` — Theorem 5.3 (faults known).
 * :mod:`repro.routing.fault_tolerant` — Theorems 5.5/5.8 (faults
-  unknown; trial-and-error phases with fresh label copies).
+  unknown; trial-and-error phases with fresh label copies), with the
+  ``engine="packed"``/``"reference"`` switch.
 * :mod:`repro.routing.baselines` — comparators for Table 1.
 * :mod:`repro.routing.lower_bound` — the Ω(f) construction (Thm 1.6).
+
+See ``src/repro/routing/README.md`` for the packed table layout and
+the message-stepper data flow.
 """
 
 from repro.routing.network import Network, RouteResult, Telemetry
 from repro.routing.forbidden_set import ForbiddenSetRouter
 from repro.routing.fault_tolerant import FaultTolerantRouter
+from repro.routing.packed_engine import PackedRouteEngine
+from repro.routing.packed_tables import PackedRoutingPlane
 
 __all__ = [
     "Network",
@@ -25,4 +36,6 @@ __all__ = [
     "Telemetry",
     "ForbiddenSetRouter",
     "FaultTolerantRouter",
+    "PackedRouteEngine",
+    "PackedRoutingPlane",
 ]

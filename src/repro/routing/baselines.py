@@ -24,16 +24,32 @@ O(deg(v) n^{1/k})-per-vertex profile of Chechik '11 tables, and
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 from repro.graph.graph import Graph
 from repro.oracles.distances import shortest_path
 from repro.routing.forbidden_set import ForbiddenSetRouter
-from repro.routing.network import Network, RouteResult, Telemetry
+from repro.routing.network import (
+    Network,
+    RouteResult,
+    Telemetry,
+    scalar_route_many,
+)
 from repro.sizing.bits import bits_for_id
 
 
-class InteriorRoutingBaseline:
+class _BatchRouteMixin:
+    """Scalar-loop ``route_many`` so the traffic simulator can drive
+    baselines through the same batched interface as the packed router
+    (the baselines have no packed plane — the loop is the engine)."""
+
+    def route_many(
+        self, requests: Sequence[tuple[int, int]], faults=()
+    ) -> list[RouteResult]:
+        return scalar_route_many(self.route, requests, faults)
+
+
+class InteriorRoutingBaseline(_BatchRouteMixin):
     """Full-information online re-routing (linear tables, near-optimal
     stretch)."""
 
@@ -86,7 +102,7 @@ class InteriorRoutingBaseline:
         )
 
 
-class TreeCoverRoutingBaseline:
+class TreeCoverRoutingBaseline(_BatchRouteMixin):
     """Fault-free compact routing over the same tree covers.
 
     Implemented as forbidden-set routing with an empty forbidden set —

@@ -72,9 +72,17 @@ class SegmentRouter:
         return v
 
     def _reverse(self, source: int) -> None:
-        """Send the message back to the source over the traversed prefix."""
+        """Send the message back to the source over the traversed prefix.
+
+        Charges the Claim 5.6 reversal cost: the forward prefix is
+        re-walked hop for hop (Γ round trips are sub-messages, already
+        charged, and are not part of the retraced walk), and the
+        retraced hops are additionally counted in ``reversal_hops`` so
+        telemetry can separate backtrack from forward progress.
+        """
         self.telemetry.weighted += self._forward_weight
         self.telemetry.hops += self._forward_hops
+        self.telemetry.reversal_hops += self._forward_hops
         self.telemetry.reversals += 1
         if self.trace is not None and self._forward_trace:
             # The message physically retraces its steps back to s.

@@ -23,19 +23,41 @@ trial iterations:
 * ``"balanced"`` — Γ-block replication (Theorem 5.8: Õ(f^3 n^{1/k})
   bits per vertex, degree-independent).
 
+``engine`` selects the execution plane:
+
+* ``"packed"`` (default) — the array-native tables of
+  :mod:`repro.routing.packed_tables` driven by the batched multi-
+  message stepper of :mod:`repro.routing.packed_engine`;
+  :meth:`route_many` advances whole message batches together and
+  resolves retry decodes through shared partition caches;
+* ``"reference"`` — the seed per-vertex table objects walked one
+  message at a time by :class:`~repro.routing.engine.SegmentRouter`.
+
+Both engines produce **bit-identical route traces** — delivery status,
+hop sequences, weighted lengths, reversal charges and every telemetry
+counter — asserted by ``tests/test_route_traces.py`` and
+``tests/test_route_many.py``.
+
 The measured route length is guaranteed (w.h.p.) to be at most
 ``32 k (|F|+1)^2 * dist(s, t; G \\ F)``.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 from repro.core.distance_labels import DistanceLabelScheme
 from repro.core.sketch_scheme import SkEdgeLabel
 from repro.graph.graph import Graph
 from repro.routing.engine import SegmentRouter
-from repro.routing.network import Network, RouteResult, Telemetry
+from repro.routing.network import (
+    Network,
+    RouteResult,
+    Telemetry,
+    scalar_route_many,
+)
+from repro.routing.packed_engine import PackedRouteEngine
+from repro.routing.packed_tables import PackedRoutingPlane
 from repro.routing.tables import (
     RoutingLabel,
     VertexRoutingTable,
@@ -56,20 +78,33 @@ class FaultTolerantRouter:
         table_mode: str = "balanced",
         units: Optional[int] = None,
         reuse_copy: bool = False,
+        engine: str = "packed",
+        partition_cache_capacity: int = 256,
     ):
         """``reuse_copy=True`` is an *ablation switch*: it decodes every
         retry iteration with sketch copy 0 instead of a fresh copy,
         deliberately violating the independence requirement of Section
         5.2 (the routing choices become correlated with the sketch
         randomness).  Used by ``benchmarks/bench_ablations.py`` to show
-        why the paper pays for f' = f+1 copies."""
+        why the paper pays for f' = f+1 copies.
+
+        ``partition_cache_capacity`` bounds each (instance, copy)
+        retry-decode partition cache of the packed engine."""
         if f < 0:
             raise ValueError("fault bound f must be >= 0")
+        if engine not in ("packed", "reference"):
+            raise ValueError(f"unknown engine {engine!r}")
+        if table_mode not in ("simple", "balanced"):
+            # Both planes are built lazily, so validate here rather
+            # than after the whole label scheme has been paid for.
+            raise ValueError(f"unknown table mode {table_mode!r}")
         self.graph = graph
         self.f = f
         self.k = k
         self.table_mode = table_mode
         self.reuse_copy = reuse_copy
+        self.engine = engine
+        self.partition_cache_capacity = partition_cache_capacity
         copies = 1 if reuse_copy else f + 1
         gamma_f = f if table_mode == "balanced" else None
         self.scheme = DistanceLabelScheme(
@@ -83,9 +118,38 @@ class FaultTolerantRouter:
             gamma_f=gamma_f,
             units=units,
         )
-        self.tables: list[VertexRoutingTable] = build_routing_tables(
-            self.scheme, table_mode, f
-        )
+        # Both planes are built lazily: the reference per-vertex table
+        # objects on first reference route / bit-accounting call, the
+        # packed arrays + stepper on first packed route.
+        self._tables: Optional[list[VertexRoutingTable]] = None
+        self._packed: Optional[PackedRouteEngine] = None
+
+    @property
+    def tables(self) -> list[VertexRoutingTable]:
+        """The seed per-vertex routing tables (Eq. 9), built lazily.
+
+        The reference engine walks these; the packed engine never
+        touches them, but the wire-format bit accounting
+        (:meth:`table_bits` etc.) is defined over them, so they stay
+        available on every router.
+        """
+        if self._tables is None:
+            self._tables = build_routing_tables(
+                self.scheme, self.table_mode, self.f
+            )
+        return self._tables
+
+    def packed_engine(self) -> PackedRouteEngine:
+        """The batched stepper over the packed plane, built lazily."""
+        if self._packed is None:
+            plane = PackedRoutingPlane(self.scheme, self.table_mode, self.f)
+            self._packed = PackedRouteEngine(
+                plane,
+                self.f,
+                reuse_copy=self.reuse_copy,
+                cache_capacity=self.partition_cache_capacity,
+            )
+        return self._packed
 
     # ------------------------------------------------------------------
     # Sizes and bounds
@@ -126,6 +190,36 @@ class FaultTolerantRouter:
     def route(self, s: int, t: int, faults: Iterable[int]) -> RouteResult:
         """Deliver a message from ``s`` to ``t`` under the (hidden) fault
         set, given only ``L_route(t)`` and the routing tables."""
+        if self.engine == "packed":
+            return self.packed_engine().route_many([(s, t)], list(faults))[0]
+        return self._route_reference(s, t, faults)
+
+    def route_many(
+        self,
+        requests: Sequence[tuple[int, int]],
+        faults=(),
+        engine: Optional[str] = None,
+    ) -> list[RouteResult]:
+        """Route a batch of messages under hidden faults.
+
+        ``faults`` is one shared iterable of edge indices or a
+        per-message sequence (the ``query_many`` convention).
+        ``engine`` overrides the router's default for this call —
+        ``"packed"`` advances all messages together through the array
+        stepper; ``"reference"`` loops the seed engine (the benches and
+        the trace-equivalence tests compare the two on one router).
+        """
+        engine = self.engine if engine is None else engine
+        if engine == "packed":
+            return self.packed_engine().route_many(requests, faults)
+        if engine != "reference":
+            raise ValueError(f"unknown engine {engine!r}")
+        return scalar_route_many(self._route_reference, requests, faults)
+
+    def _route_reference(
+        self, s: int, t: int, faults: Iterable[int]
+    ) -> RouteResult:
+        """The seed scalar protocol over the per-vertex table objects."""
         fault_set = set(faults)
         telemetry = Telemetry()
         network = Network(self.graph, fault_set)
@@ -134,6 +228,7 @@ class FaultTolerantRouter:
             return RouteResult(
                 delivered=True, s=s, t=t, telemetry=telemetry, trace=trace
             )
+        tables = self.tables
         label_t = self.routing_label(t)
         copies = self.scheme.copies
         for i in range(self.scheme.K + 1):
@@ -142,7 +237,7 @@ class FaultTolerantRouter:
                 continue
             j, t_conn = scale_entry
             key = (i, j)
-            s_entry = self.tables[s].entries.get(key)
+            s_entry = tables[s].entries.get(key)
             if s_entry is None:
                 continue  # s is not in T_{i, i*(t)}; try the next scale
             instance = self.scheme.instances[key]
@@ -168,7 +263,7 @@ class FaultTolerantRouter:
                 )
                 telemetry.note_header(header_bits)
                 engine = SegmentRouter(
-                    network, self.tables, key, instance, telemetry, trace=trace
+                    network, tables, key, instance, telemetry, trace=trace
                 )
                 outcome = engine.follow(path)
                 if outcome.status == "delivered":

@@ -22,12 +22,23 @@ class FaultyEdgeError(RuntimeError):
 
 @dataclass
 class Telemetry:
-    """Route-cost meters."""
+    """Route-cost meters.
+
+    ``reversal_hops`` counts exactly the hops spent retracing the
+    forward prefix back to the source after an unknown fault (the
+    Claim 5.6 charging: the reversal re-walks the forward trace, so it
+    is charged the forward hop count — Γ round trips are sub-messages
+    and are *not* re-charged).  ``hops`` includes those reversal hops;
+    ``reversal_hops`` makes the reversal share observable so operators
+    can watch how much of the route length is trial-and-error backtrack
+    (surfaced by ``scenarios.FaultScenario.health_summary``).
+    """
 
     hops: int = 0
     weighted: float = 0.0
     gamma_queries: int = 0
     reversals: int = 0
+    reversal_hops: int = 0
     decode_calls: int = 0
     phases: int = 0
     iterations: int = 0
@@ -58,6 +69,22 @@ class RouteResult:
         if opt_distance <= 0:
             return 1.0
         return self.length / opt_distance
+
+
+def scalar_route_many(route, requests, faults=()) -> list[RouteResult]:
+    """Batch a scalar ``route(s, t, F)`` over the ``query_many`` faults
+    convention (one shared iterable of edge indices, or a per-message
+    sequence).
+
+    The single place the scalar-loop batching lives: the baselines and
+    the reference branch of ``FaultTolerantRouter.route_many`` both go
+    through here so the convention cannot drift between them.
+    """
+    from repro.core._batch import normalize_faults
+
+    pairs = list(requests)
+    per = normalize_faults(pairs, faults)
+    return [route(s, t, F) for (s, t), F in zip(pairs, per)]
 
 
 class Network:

@@ -1,0 +1,133 @@
+"""Packed routing-table stores (the array-native Section 5.2 tables).
+
+The seed routing plane materializes one :class:`VertexRoutingTable`
+per vertex — a dict of per-instance entries, each holding label
+objects and a :class:`~repro.trees.tree_routing.TreeTable` — and the
+engine re-reads those dicts on every hop.  This module replaces that
+object forest with per-instance array stores built off the same
+sources of truth:
+
+* the tree-routing state (DFS intervals, parent/heavy/light-child
+  ports, Γ_T(e) port blocks) comes from
+  :meth:`TreeRoutingScheme.packed` — contiguous numpy arrays over the
+  instance's local vertex ids, computed from the *same*
+  ancestry/heavy-light decomposition the wire-format tables encode, so
+  packed next-hop decisions equal
+  :meth:`TreeRoutingScheme.next_hop` bit for bit;
+* edge routing labels are **not** materialized up front.  The seed
+  tables eagerly build every tree edge's label (child-subtree sketches
+  included) and replicate it over its Γ holders; the packed plane
+  keeps only the holder *predicate* (mode, Γ membership, the
+  small-degree ``stores_child`` flag of Claim 5.6) and materializes a
+  label lazily, once, when a message actually bounces off that edge —
+  the labels a route learns are identical objects to what
+  ``build_routing_tables`` would have stored;
+* global↔local translation reuses the instance's
+  ``InducedSubgraph`` maps.
+
+:class:`PackedRoutingPlane` is the whole-scheme store the batched
+message stepper (:mod:`repro.routing.packed_engine`) walks; the seed
+per-vertex tables remain available behind
+``FaultTolerantRouter(engine="reference")`` and for the bit-accounting
+APIs (``table_bits`` builds them lazily).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.distance_labels import DistanceLabelScheme, InstanceKey, LabelInstance
+from repro.core.sketch_scheme import SkEdgeLabel
+from repro.trees.tree_routing import PackedTreeRouting
+
+
+class PackedInstanceTables:
+    """One (scale, cluster) instance's routing state, array-resident.
+
+    Wraps the instance's :class:`PackedTreeRouting` arrays with the
+    global↔local maps and the lazy edge-label store the fault
+    bounce-back needs.  ``simple`` selects the Theorem 5.5 layout
+    (every vertex holds all incident tree-edge labels) over the
+    Γ-replicated Theorem 5.8 one.
+    """
+
+    __slots__ = (
+        "key",
+        "scheme",
+        "tree",
+        "to_parent",
+        "local_of",
+        "parent_edge",
+        "component",
+        "simple",
+        "_labels",
+    )
+
+    def __init__(self, key: InstanceKey, inst: LabelInstance, simple: bool):
+        if inst.tree_routing is None:
+            raise ValueError("instance lacks tree routing state")
+        self.key = key
+        self.scheme = inst.scheme
+        self.tree: PackedTreeRouting = inst.tree_routing.packed()
+        self.to_parent = np.asarray(inst.sub.vertex_to_parent, dtype=np.int64)
+        #: global vertex id -> instance-local id
+        self.local_of = inst.sub.vertex_from_parent
+        #: local child vertex -> local edge index of its parent edge
+        self.parent_edge = inst.tree.parent_edge
+        self.component = inst.scheme.comp_of[inst.tree.root]
+        self.simple = simple
+        self._labels: dict[int, SkEdgeLabel] = {}
+
+    def tree_edge_label(self, child: int) -> SkEdgeLabel:
+        """The routing label of the tree edge (parent(child), child).
+
+        Exactly the label the seed ``build_routing_tables`` replicates
+        over the edge's holders (``inst.scheme.edge_label`` of the
+        child's parent edge), materialized on first bounce and memoized.
+        """
+        label = self._labels.get(child)
+        if label is None:
+            label = self.scheme.edge_label(self.parent_edge[child])
+            self._labels[child] = label
+        return label
+
+    def holds_label_locally(self, lu: int, child: int) -> bool:
+        """Does the blocked vertex ``lu`` itself store the label of the
+        faulty tree edge (parent(child), child)?
+
+        Mirrors exactly which tables the seed layout populates: both
+        endpoints in simple mode; in Γ mode the child endpoint always
+        (it sits in its own block) and the parent endpoint iff its
+        degree is small (Claim 5.6's ``stores_child_labels``).
+        """
+        if self.simple or child == lu:
+            return True
+        return bool(self.tree.stores_child[lu])
+
+
+class PackedRoutingPlane:
+    """Array-native routing tables for every instance of a scheme.
+
+    Built from a routing-enabled :class:`DistanceLabelScheme` — the
+    same input as the seed :func:`repro.routing.tables.build_routing_tables`
+    — but holding per-instance arrays instead of per-vertex dicts.
+    """
+
+    def __init__(self, scheme: DistanceLabelScheme, mode: str, f: int):
+        if mode not in ("simple", "balanced"):
+            raise ValueError(f"unknown table mode {mode!r}")
+        if not scheme.routing:
+            raise ValueError("the distance scheme must be built with routing=True")
+        self.scheme = scheme
+        self.mode = mode
+        self.f = f
+        simple = mode == "simple"
+        self.instances: dict[InstanceKey, PackedInstanceTables] = {
+            key: PackedInstanceTables(key, inst, simple)
+            for key, inst in scheme.instances.items()
+        }
+
+    def instance(self, key: InstanceKey) -> Optional[PackedInstanceTables]:
+        return self.instances.get(key)

@@ -20,6 +20,14 @@
 Edge labels are indexed by ``(endpoint gid, port at endpoint)`` so a
 vertex that detects a fault on one of its ports can look the label up
 (or ask a Γ member to) without any global knowledge.
+
+These per-vertex objects are the *wire-format* tables: the bit
+accounting (``bit_length``) and the retained reference engine read
+them.  The default execution plane packs the same information into
+per-instance arrays instead — see
+:mod:`repro.routing.packed_tables` — with bit-identical routing
+behavior; ``FaultTolerantRouter`` builds this object layout lazily so
+the packed plane never pays for it.
 """
 
 from __future__ import annotations

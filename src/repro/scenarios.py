@@ -78,6 +78,19 @@ class FaultScenario:
         self._conn_cache = PartitionCache(self._conn, capacity=32)
         self._dist_cache = PartitionCache(self._dist, capacity=32)
         self._router: Optional[FaultTolerantRouter] = None
+        # Cumulative routing telemetry (Claim 5.6 charging: reversal
+        # hops re-walk the forward prefix and are counted separately
+        # from forward progress) — surfaced by health_summary.
+        self._route_totals = {
+            "messages": 0,
+            "delivered": 0,
+            "hops": 0,
+            "weighted": 0.0,
+            "reversals": 0,
+            "reversal_hops": 0,
+            "gamma_queries": 0,
+            "decode_calls": 0,
+        }
         if self.build_router:
             self._router = FaultTolerantRouter(
                 self.graph, f=self.f, k=self.k, seed=self.seed
@@ -164,14 +177,50 @@ class FaultScenario:
         )
         return results
 
+    def _tally_route(self, result: RouteResult) -> None:
+        tot = self._route_totals
+        tel = result.telemetry
+        tot["messages"] += 1
+        tot["delivered"] += int(result.delivered)
+        tot["hops"] += tel.hops
+        tot["weighted"] += tel.weighted
+        tot["reversals"] += tel.reversals
+        tot["reversal_hops"] += tel.reversal_hops
+        tot["gamma_queries"] += tel.gamma_queries
+        tot["decode_calls"] += tel.decode_calls
+
     def route(self, s: int, t: int) -> RouteResult:
+        """Route one message under the live fault set (packed engine)."""
         if self._router is None:
             raise RuntimeError("scenario built with build_router=False")
         result = self._router.route(s, t, self._faults)
+        self._tally_route(result)
         self._log.append(
             ScenarioRecord("route", (s, t), (result.delivered, result.length))
         )
         return result
+
+    def route_many(self, pairs: Sequence[tuple[int, int]]) -> list[RouteResult]:
+        """Batched :meth:`route` against the live fault set.
+
+        All messages advance together through the packed multi-message
+        stepper (one audit-log entry per batch); per-message results
+        are bit-identical to looping :meth:`route`.
+        """
+        if self._router is None:
+            raise RuntimeError("scenario built with build_router=False")
+        pairs = list(pairs)
+        results = self._router.route_many(pairs, list(self._faults))
+        for result in results:
+            self._tally_route(result)
+        self._log.append(
+            ScenarioRecord(
+                "route_many",
+                tuple(pairs),
+                tuple((r.delivered, r.length) for r in results),
+            )
+        )
+        return results
 
     # ------------------------------------------------------------------
     # Reporting
@@ -197,10 +246,22 @@ class FaultScenario:
         verdicts = self._conn_cache.query_many(all_pairs, self._faults)
         reachable = sum(verdicts)
         pairs = len(all_pairs)
-        return {
+        summary = {
             "faults": len(self._faults),
             "landmark_pairs": pairs,
             "reachable_pairs": reachable,
             "partitioned": reachable < pairs,
             "partition_cache": self._conn_cache.stats.snapshot(),
         }
+        if self._router is not None:
+            tot = dict(self._route_totals)
+            hops = tot["hops"]
+            # Reversal share of the walked hops: how much of the route
+            # cost is Claim 5.6 trial-and-error backtrack (identical
+            # charging in both engines).
+            tot["reversal_hop_share"] = (
+                round(tot["reversal_hops"] / hops, 4) if hops else 0.0
+            )
+            tot["weighted"] = round(tot["weighted"], 4)
+            summary["routing"] = tot
+        return summary

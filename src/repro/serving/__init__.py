@@ -24,6 +24,7 @@ from repro.serving.partition_cache import (
     CacheStats,
     PartitionCache,
     canonical_fault_key,
+    presentation_fault_key,
 )
 from repro.serving.shards import ServiceStats, ShardedQueryService, shard_of
 
@@ -37,5 +38,6 @@ __all__ = [
     "ShardedQueryService",
     "Ticket",
     "canonical_fault_key",
+    "presentation_fault_key",
     "shard_of",
 ]

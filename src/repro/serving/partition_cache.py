@@ -46,20 +46,40 @@ def canonical_fault_key(faults: Iterable[int]) -> FaultKey:
     return tuple(sorted({int(ei) for ei in faults}))
 
 
-def group_by_canonical_key(per: Sequence[list[int]]) -> "OrderedDict[FaultKey, list[int]]":
-    """Group query indices by the canonical key of their fault list.
+def presentation_fault_key(faults: Iterable[int]) -> FaultKey:
+    """Order-preserving cache key: unique edge indices, first-seen order.
+
+    Connectivity *verdicts* are order-independent, but the succinct
+    paths and merge records the sketch decoder emits depend on the
+    order faults are presented in.  The packed routing engine therefore
+    keys its retry-decode partitions by discovery order — exactly what
+    the seed decoder was handed — so cached answers stay bit-identical
+    to uncached ones (see ``PartitionCache(canonicalize=False)``).
+    """
+    return tuple(dict.fromkeys(int(ei) for ei in faults))
+
+
+def group_by_canonical_key(
+    per: Sequence[list[int]], key_of=None
+) -> "OrderedDict[FaultKey, list[int]]":
+    """Group query indices by the (canonical, by default) key of their
+    fault list.
 
     ``per`` is the output of :func:`repro.core._batch.normalize_faults`;
     the shared-fault case aliases one list object across all queries,
-    which this exploits to canonicalize it once.  Both the cache and the
-    sharded service group through here so the two paths cannot drift.
+    which this exploits to key it once.  ``key_of`` swaps the key
+    function (:func:`presentation_fault_key` for the order-preserving
+    cache mode).  The cache and the sharded service both group through
+    here so the paths cannot drift.
     """
+    if key_of is None:
+        key_of = canonical_fault_key
     groups: "OrderedDict[FaultKey, list[int]]" = OrderedDict()
     prev = None
     prev_key: FaultKey = ()
     for qi, F in enumerate(per):
         if F is not prev:
-            prev, prev_key = F, canonical_fault_key(F)
+            prev, prev_key = F, key_of(F)
         groups.setdefault(prev_key, []).append(qi)
     return groups
 
@@ -104,7 +124,13 @@ class PartitionCache:
     union-find and the recorded merges — not a sketch tensor).
     """
 
-    def __init__(self, scheme, capacity: int = 128):
+    def __init__(self, scheme, capacity: int = 128, canonicalize: bool = True):
+        """``canonicalize=False`` keys entries by *presentation order*
+        (:func:`presentation_fault_key`) instead of sorted order: needed
+        when the cached partition's answers must be bit-identical to
+        decoding the faults exactly as presented (the routing engine's
+        retry decodes); sorted-order canonicalization shares entries
+        across permutations and is right for everything else."""
         if not hasattr(scheme, "decode_partition"):
             raise TypeError(
                 f"{type(scheme).__name__} does not expose decode_partition"
@@ -113,6 +139,8 @@ class PartitionCache:
             raise ValueError("cache capacity must be >= 1")
         self.scheme = scheme
         self.capacity = capacity
+        self.canonicalize = canonicalize
+        self._key = canonical_fault_key if canonicalize else presentation_fault_key
         self._lru: "OrderedDict[FaultKey, object]" = OrderedDict()
         self.stats = CacheStats()
 
@@ -120,7 +148,7 @@ class PartitionCache:
         return len(self._lru)
 
     def __contains__(self, faults) -> bool:
-        return canonical_fault_key(faults) in self._lru
+        return self._key(faults) in self._lru
 
     def partition(self, faults: Iterable[int]):
         """The (memoized) partition for ``faults``.
@@ -128,7 +156,7 @@ class PartitionCache:
         On a miss the scheme decodes the canonical fault list once; on a
         hit the stored partition is returned and refreshed in LRU order.
         """
-        key = canonical_fault_key(faults)
+        key = self._key(faults)
         part = self._lru.get(key)
         if part is not None:
             self._lru.move_to_end(key)
@@ -160,7 +188,7 @@ class PartitionCache:
         """
         pairs = list(pairs)
         per = normalize_faults(pairs, faults)
-        groups = group_by_canonical_key(per)
+        groups = group_by_canonical_key(per, key_of=self._key)
         results: list = [None] * len(pairs)
         for key, qis in groups.items():
             part = self.partition(key)

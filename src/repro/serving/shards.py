@@ -13,8 +13,19 @@ processes without locks or copies.  :class:`ShardedQueryService`:
   set**, so all queries about one failure state land on the same
   worker and hit that worker's
   :class:`~repro.serving.partition_cache.PartitionCache`;
+* **replicates pathologically hot fault sets**: when one key takes
+  more than ``hot_key_share`` of all traffic, its chunks fan out
+  round-robin over *every* shard instead of pinning its hash owner —
+  each worker's cache builds its own replica of the partition (cheap:
+  one decode per worker) and the hot key stops serializing the fleet;
+* owns its own **deadline-based flushing**: :meth:`submit` buffers
+  single queries per fault set and dispatches a buffer when it reaches
+  ``max_chunk`` *or* has been pending longer than ``flush_delay``
+  seconds (checked on every submit and on :meth:`flush_due`), so a
+  service can be fed singles directly without an external coalescer;
 * aggregates a :class:`ServiceStats` snapshot: throughput, chunk
-  sizes, per-shard load, and the workers' combined cache hit rate.
+  sizes, per-shard load, hot-key replication, and the workers'
+  combined cache hit rate.
 
 Answers are bit-identical to the single-process scheme (construction is
 finished before the fork, so every worker holds the same store;
@@ -26,13 +37,16 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from repro.core._batch import normalize_faults
+from repro.serving.coalescer import Ticket
 from repro.serving.partition_cache import (
     FaultKey,
     PartitionCache,
+    canonical_fault_key,
     group_by_canonical_key,
 )
 
@@ -46,6 +60,12 @@ _SERVICE_TOKENS = itertools.count()
 #: Timeout (s) for any single chunk result; a worker that takes longer
 #: is considered lost and the error propagates to the caller.
 _CHUNK_TIMEOUT = 600.0
+
+#: Hot-key traffic counters are pruned to half this size when they
+#: exceed it (coldest keys dropped), so a churning stream of distinct
+#: fault sets cannot grow the tracking dict without bound.  A genuinely
+#: hot key's count dwarfs the pruned tail, so detection is unaffected.
+_HOT_TRACK_LIMIT = 4096
 
 
 def _worker_init(token: int, cache_capacity: int) -> None:
@@ -87,6 +107,9 @@ class ServiceStats:
     cache_evictions: int = 0
     mode: str = "fork"
     max_chunk_seen: int = 0
+    hot_keys: int = 0
+    replicated_chunks: int = 0
+    deadline_flushes: int = 0
 
     @property
     def qps(self) -> float:
@@ -112,6 +135,9 @@ class ServiceStats:
             "mean_chunk": round(self.mean_chunk, 1),
             "max_chunk": self.max_chunk_seen,
             "per_shard": list(self.per_shard),
+            "hot_keys": self.hot_keys,
+            "replicated_chunks": self.replicated_chunks,
+            "deadline_flushes": self.deadline_flushes,
             "cache": {
                 "hits": self.cache_hits,
                 "misses": self.cache_misses,
@@ -130,6 +156,20 @@ class _Tally:
     busy_s: float = 0.0
     max_chunk: int = 0
     per_shard: list = field(default_factory=list)
+    replicated_chunks: int = 0
+    deadline_flushes: int = 0
+
+
+@dataclass
+class _Buffer:
+    """Pending :meth:`ShardedQueryService.submit` queries of one
+    (canonical fault set, kw) group."""
+
+    faults: list
+    kw: dict
+    pairs: list = field(default_factory=list)
+    tickets: list = field(default_factory=list)
+    born: float = 0.0
 
 
 class ShardedQueryService:
@@ -153,12 +193,35 @@ class ShardedQueryService:
         cache_capacity: int = 128,
         max_chunk: int = 1024,
         mp_context: str = "fork",
+        hot_key_share: Optional[float] = 0.5,
+        hot_key_min_queries: int = 512,
+        flush_delay: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
     ):
+        """``hot_key_share`` enables hot-fault-set replication: once a
+        single canonical key has taken at least that share of all
+        queries (and at least ``hot_key_min_queries`` queries were
+        seen), its chunks rotate round-robin over every shard instead
+        of going to the hash owner only (``None`` disables).
+        ``flush_delay`` (seconds) bounds how long a :meth:`submit`
+        buffer may sit pending before it is dispatched regardless of
+        size; ``clock`` is injectable for deterministic tests."""
         if max_chunk < 1:
             raise ValueError("max_chunk must be >= 1")
+        if hot_key_share is not None and not (0.0 < hot_key_share <= 1.0):
+            raise ValueError("hot_key_share must be in (0, 1] or None")
         self.scheme = scheme
         self.max_chunk = max_chunk
         self.cache_capacity = cache_capacity
+        self.hot_key_share = hot_key_share
+        self.hot_key_min_queries = hot_key_min_queries
+        self.flush_delay = flush_delay
+        self.clock = clock
+        self._key_traffic: dict[FaultKey, int] = {}
+        self._total_traffic = 0
+        self._hot_keys: set[FaultKey] = set()
+        self._rr = 0  # round-robin pointer for replicated keys
+        self._buffers: "OrderedDict[tuple, _Buffer]" = OrderedDict()
         self._tally = _Tally()
         self._pools: Optional[list] = None
         self._local: Optional[list[PartitionCache]] = None
@@ -211,13 +274,47 @@ class ShardedQueryService:
     def query(self, s: int, t: int, faults: Iterable[int] = (), **kw):
         return self.query_many([(s, t)], faults, **kw)[0]
 
+    def _shard_for(self, key: FaultKey, chunk_size: int) -> int:
+        """Shard of one chunk: hash owner, or round-robin for hot keys.
+
+        Traffic shares are tracked per canonical key (only while the
+        feature is enabled, and pruned to :data:`_HOT_TRACK_LIMIT` —
+        the coldest keys are dropped, never the hot ones); once a key
+        crosses ``hot_key_share`` of all queries it is (stickily)
+        marked hot and its chunks rotate over every shard — each
+        shard's partition cache builds its own replica, so a single
+        pathologically hot fault set stops serializing one worker.
+        """
+        if self.hot_key_share is None or self.num_shards <= 1:
+            return shard_of(key, self.num_shards)
+        self._total_traffic += chunk_size
+        traffic = self._key_traffic.get(key, 0) + chunk_size
+        self._key_traffic[key] = traffic
+        if len(self._key_traffic) > _HOT_TRACK_LIMIT:
+            keep = sorted(
+                self._key_traffic.items(), key=lambda kv: kv[1], reverse=True
+            )[: _HOT_TRACK_LIMIT // 2]
+            self._key_traffic = dict(keep)
+        if (
+            key not in self._hot_keys
+            and self._total_traffic >= self.hot_key_min_queries
+            and traffic >= self.hot_key_share * self._total_traffic
+        ):
+            self._hot_keys.add(key)
+        if key in self._hot_keys:
+            self._rr = (self._rr + 1) % self.num_shards
+            self._tally.replicated_chunks += 1
+            return self._rr
+        return shard_of(key, self.num_shards)
+
     def query_many(
         self, pairs: Sequence[tuple[int, int]], faults=(), **kw
     ) -> list:
         """Batched queries: coalesce by fault set, shard by its hash.
 
         Chunks of at most ``max_chunk`` queries per fault set are
-        dispatched to ``shard_of(key)``'s worker concurrently; answers
+        dispatched to ``shard_of(key)``'s worker concurrently (hot keys
+        round-robin over all shards — see :meth:`_shard_for`); answers
         return in request order with the scheme's native answer type.
         """
         t0 = time.perf_counter()
@@ -228,9 +325,9 @@ class ShardedQueryService:
         tally = self._tally
         dispatched = []  # (qis, async_result) in fork mode
         for key, qis in groups.items():
-            shard = shard_of(key, self.num_shards)
             for lo in range(0, len(qis), self.max_chunk):
                 chunk = qis[lo : lo + self.max_chunk]
+                shard = self._shard_for(key, len(chunk))
                 chunk_pairs = [pairs[qi] for qi in chunk]
                 tally.chunks += 1
                 tally.per_shard[shard] += len(chunk)
@@ -254,6 +351,71 @@ class ShardedQueryService:
         tally.queries += len(pairs)
         tally.busy_s += time.perf_counter() - t0
         return results
+
+    # ------------------------------------------------------------------
+    # Buffered singles: size- and deadline-bounded flushing
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of buffered, not yet dispatched :meth:`submit` queries."""
+        return sum(len(b.pairs) for b in self._buffers.values())
+
+    def submit(self, s: int, t: int, faults: Iterable[int] = (), **kw) -> Ticket:
+        """Buffer one query; returns a :class:`Ticket`.
+
+        The query's buffer dispatches the moment it holds ``max_chunk``
+        queries; independently, every submit checks all buffers against
+        ``flush_delay`` (when set) so no query waits longer than the
+        deadline while traffic keeps arriving.  Call :meth:`flush` (or
+        :meth:`flush_due` from a timer loop) to drain the tail.
+        """
+        key = canonical_fault_key(faults)
+        bkey = (key, tuple(sorted(kw.items())))
+        buf = self._buffers.get(bkey)
+        if buf is None:
+            buf = self._buffers[bkey] = _Buffer(
+                faults=list(key), kw=kw, born=self.clock()
+            )
+        ticket = Ticket()
+        buf.pairs.append((s, t))
+        buf.tickets.append(ticket)
+        if len(buf.pairs) >= self.max_chunk:
+            del self._buffers[bkey]
+            self._dispatch_buffer(buf)
+        if self.flush_delay is not None:
+            self.flush_due()
+        return ticket
+
+    def flush_due(self, now: Optional[float] = None) -> int:
+        """Dispatch every buffer older than ``flush_delay``; returns the
+        query count served.  No-op when no deadline is configured."""
+        if self.flush_delay is None:
+            return 0
+        now = self.clock() if now is None else now
+        served = 0
+        for bkey in list(self._buffers):
+            buf = self._buffers[bkey]
+            if now - buf.born < self.flush_delay:
+                continue
+            del self._buffers[bkey]
+            served += len(buf.pairs)
+            self._tally.deadline_flushes += 1
+            self._dispatch_buffer(buf)
+        return served
+
+    def flush(self) -> int:
+        """Dispatch every pending buffer; returns the query count served."""
+        served = 0
+        while self._buffers:
+            _bkey, buf = self._buffers.popitem(last=False)
+            served += len(buf.pairs)
+            self._dispatch_buffer(buf)
+        return served
+
+    def _dispatch_buffer(self, buf: _Buffer) -> None:
+        answers = self.query_many(buf.pairs, buf.faults, **buf.kw)
+        for ticket, ans in zip(buf.tickets, answers):
+            ticket._fill(ans)
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle
@@ -283,10 +445,15 @@ class ShardedQueryService:
             cache_evictions=evictions,
             mode=self.mode,
             max_chunk_seen=t.max_chunk,
+            hot_keys=len(self._hot_keys),
+            replicated_chunks=t.replicated_chunks,
+            deadline_flushes=t.deadline_flushes,
         )
 
     def close(self) -> None:
-        """Terminate the worker pools (idempotent)."""
+        """Flush pending submits, then terminate the pools (idempotent)."""
+        if self._buffers:
+            self.flush()
         if self._pools is not None:
             for pool in self._pools:
                 pool.terminate()

@@ -1,0 +1,37 @@
+"""repro.traffic — workload generation and traffic simulation.
+
+The routing plane's production shape is *streams*: many concurrent
+messages routed under a fault state that churns as links fail and
+recover.  This package generates those workloads and drives them
+through the batched ``route_many`` engine:
+
+* :mod:`repro.traffic.workloads` — message mixes (uniform pairs,
+  hotspot-skewed destinations), fault-set pools, and fail/repair churn
+  timelines that respect the labels' fault budget;
+* :mod:`repro.traffic.simulator` — :class:`TrafficSimulator` routes
+  each epoch's batch under its live fault set, aggregates per-message
+  telemetry into flat numpy arrays (:class:`TrafficReport`), and can
+  validate every delivered route against the exact connectivity
+  oracle.
+
+See ``src/repro/traffic/README.md`` for the data flow.
+"""
+
+from repro.traffic.simulator import TrafficReport, TrafficSimulator
+from repro.traffic.workloads import (
+    TrafficEpoch,
+    churn_timeline,
+    fault_set_pool,
+    hotspot_pairs,
+    uniform_pairs,
+)
+
+__all__ = [
+    "TrafficEpoch",
+    "TrafficReport",
+    "TrafficSimulator",
+    "churn_timeline",
+    "fault_set_pool",
+    "hotspot_pairs",
+    "uniform_pairs",
+]

@@ -1,0 +1,235 @@
+"""Drive workloads through ``route_many`` with array telemetry.
+
+:class:`TrafficSimulator` is the serving loop of the routing plane:
+each :class:`~repro.traffic.workloads.TrafficEpoch`'s message batch is
+routed under the epoch's live fault set through the router's batched
+``route_many`` (packed engine by default — the partition caches stay
+warm across epochs, which is exactly the repeated-fault-state shape
+churn produces), and every message's cost counters land in flat numpy
+arrays (:class:`TrafficReport`) instead of per-object telemetry
+spelunking.
+
+``validate=True`` checks every result against ground truth as it
+arrives: a delivered message must carry a valid fault-avoiding walk
+from s to t and the endpoints must really be connected in ``G \\ F``;
+an undelivered one must really be disconnected.  The churn property
+tests (``tests/test_traffic.py``) run whole fail/repair timelines
+through this — interleaving order must never change delivered-path
+correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.oracles.connectivity import ConnectivityOracle
+from repro.routing.network import RouteResult
+from repro.traffic.workloads import TrafficEpoch
+
+#: telemetry counters mirrored into report columns, in column order.
+_COUNTERS = (
+    "hops",
+    "weighted",
+    "reversals",
+    "reversal_hops",
+    "gamma_queries",
+    "decode_calls",
+    "phases",
+    "iterations",
+)
+
+
+@dataclass
+class TrafficReport:
+    """Flat per-message arrays over one simulation run.
+
+    One row per routed message, in epoch order then batch order:
+    ``epoch``/``s``/``t`` identify the message, ``delivered`` its
+    outcome, ``length`` the weighted walk, and one column per telemetry
+    counter (hops, reversals, reversal hops, Γ queries, decodes, ...).
+    """
+
+    epoch: np.ndarray
+    s: np.ndarray
+    t: np.ndarray
+    delivered: np.ndarray
+    length: np.ndarray
+    hops: np.ndarray
+    weighted: np.ndarray
+    reversals: np.ndarray
+    reversal_hops: np.ndarray
+    gamma_queries: np.ndarray
+    decode_calls: np.ndarray
+    phases: np.ndarray
+    iterations: np.ndarray
+
+    @property
+    def messages(self) -> int:
+        return int(self.epoch.size)
+
+    def summary(self) -> dict:
+        """JSON-ready aggregate of the run (what ``cli traffic`` prints).
+
+        Always carries the full key set — an empty run reports zeros,
+        not a truncated dict.
+        """
+        n = self.messages
+        if n == 0:
+            return {
+                "messages": 0,
+                "epochs": 0,
+                "delivered": 0,
+                "delivery_rate": 0.0,
+                "total_hops": 0,
+                "mean_hops": 0.0,
+                "p95_hops": 0,
+                "total_weighted": 0.0,
+                "reversals": 0,
+                "reversal_hops": 0,
+                "reversal_hop_share": 0.0,
+                "gamma_queries": 0,
+                "decode_calls": 0,
+            }
+        delivered = self.delivered
+        dcount = int(delivered.sum())
+        hops = self.hops
+        total_hops = int(hops.sum())
+        return {
+            "messages": n,
+            "epochs": int(self.epoch.max()) + 1 if n else 0,
+            "delivered": dcount,
+            "delivery_rate": round(dcount / n, 4),
+            "total_hops": total_hops,
+            "mean_hops": round(float(hops.mean()), 2),
+            "p95_hops": int(np.percentile(hops, 95)) if n else 0,
+            "total_weighted": round(float(self.weighted.sum()), 1),
+            "reversals": int(self.reversals.sum()),
+            "reversal_hops": int(self.reversal_hops.sum()),
+            "reversal_hop_share": round(
+                int(self.reversal_hops.sum()) / total_hops, 4
+            ) if total_hops else 0.0,
+            "gamma_queries": int(self.gamma_queries.sum()),
+            "decode_calls": int(self.decode_calls.sum()),
+        }
+
+    def epoch_slice(self, e: int) -> np.ndarray:
+        """Row indices of epoch ``e``."""
+        return np.flatnonzero(self.epoch == e)
+
+
+class RouteValidationError(AssertionError):
+    """A routed result contradicts the exact connectivity ground truth."""
+
+
+def validate_results(
+    graph,
+    pairs: Sequence[tuple[int, int]],
+    faults: Sequence[int],
+    results: Sequence[RouteResult],
+    oracle: Optional[ConnectivityOracle] = None,
+) -> None:
+    """Check a batch of route results against ground truth.
+
+    Delivered: the trace must be a real walk s -> t that never crosses
+    a faulty edge, and s, t must be connected in ``G \\ F``.
+    Undelivered: s, t must really be disconnected in ``G \\ F`` (the
+    w.h.p. guarantee — deterministic for a fixed seed).  Raises
+    :class:`RouteValidationError` on the first violation.
+    """
+    oracle = oracle or ConnectivityOracle(graph)
+    fset = set(faults)
+    truths = oracle.connected_many(list(pairs), list(faults))
+    for (s, t), res, truth in zip(pairs, results, truths):
+        if res.delivered:
+            if not truth:
+                raise RouteValidationError(
+                    f"delivered {s}->{t} but G\\F disconnects them"
+                )
+            trace = res.trace
+            if not trace or trace[0] != s or trace[-1] != t:
+                raise RouteValidationError(
+                    f"delivered {s}->{t} with endpoints {trace[:1]}..{trace[-1:]}"
+                )
+            for a, b in zip(trace, trace[1:]):
+                ei = graph.edge_index_between(a, b)
+                if ei is None:
+                    raise RouteValidationError(
+                        f"trace of {s}->{t} uses non-edge ({a}, {b})"
+                    )
+                if ei in fset:
+                    raise RouteValidationError(
+                        f"trace of {s}->{t} crosses faulty edge ({a}, {b})"
+                    )
+        elif truth:
+            raise RouteValidationError(
+                f"undelivered {s}->{t} although G\\F connects them"
+            )
+
+
+class TrafficSimulator:
+    """Route epoch batches through a router; aggregate array telemetry.
+
+    ``router`` is anything exposing ``route_many(pairs, faults)`` —
+    the :class:`~repro.routing.fault_tolerant.FaultTolerantRouter`
+    (either engine) or a Table-1 baseline.  ``validate=True`` runs
+    :func:`validate_results` on every epoch (slow; for tests and
+    drills).
+    """
+
+    def __init__(self, router, validate: bool = False, engine: Optional[str] = None):
+        self.router = router
+        self.validate = validate
+        self.engine = engine
+        self._oracle: Optional[ConnectivityOracle] = None
+
+    def _route(self, pairs, faults) -> list[RouteResult]:
+        if self.engine is not None:
+            return self.router.route_many(pairs, faults, engine=self.engine)
+        return self.router.route_many(pairs, faults)
+
+    def run(self, epochs: Sequence[TrafficEpoch]) -> TrafficReport:
+        """Route every epoch's batch under its fault set."""
+        rows_epoch: list[int] = []
+        rows_s: list[int] = []
+        rows_t: list[int] = []
+        delivered: list[bool] = []
+        length: list[float] = []
+        counters: dict[str, list] = {name: [] for name in _COUNTERS}
+        graph = self.router.graph
+        for epoch in epochs:
+            if not epoch.pairs:
+                continue
+            results = self._route(epoch.pairs, list(epoch.faults))
+            if self.validate:
+                if self._oracle is None:
+                    self._oracle = ConnectivityOracle(graph)
+                validate_results(
+                    graph, epoch.pairs, epoch.faults, results, self._oracle
+                )
+            for (s, t), res in zip(epoch.pairs, results):
+                rows_epoch.append(epoch.index)
+                rows_s.append(s)
+                rows_t.append(t)
+                delivered.append(res.delivered)
+                length.append(res.length)
+                tel = res.telemetry
+                for name in _COUNTERS:
+                    counters[name].append(getattr(tel, name))
+        return TrafficReport(
+            epoch=np.asarray(rows_epoch, dtype=np.int64),
+            s=np.asarray(rows_s, dtype=np.int64),
+            t=np.asarray(rows_t, dtype=np.int64),
+            delivered=np.asarray(delivered, dtype=bool),
+            length=np.asarray(length, dtype=np.float64),
+            hops=np.asarray(counters["hops"], dtype=np.int64),
+            weighted=np.asarray(counters["weighted"], dtype=np.float64),
+            reversals=np.asarray(counters["reversals"], dtype=np.int64),
+            reversal_hops=np.asarray(counters["reversal_hops"], dtype=np.int64),
+            gamma_queries=np.asarray(counters["gamma_queries"], dtype=np.int64),
+            decode_calls=np.asarray(counters["decode_calls"], dtype=np.int64),
+            phases=np.asarray(counters["phases"], dtype=np.int64),
+            iterations=np.asarray(counters["iterations"], dtype=np.int64),
+        )

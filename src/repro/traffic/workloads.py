@@ -1,0 +1,149 @@
+"""Workload mixes for the traffic simulator.
+
+Everything here is deterministic given the seed, produces plain
+``(s, t)`` pair lists and edge-index fault lists (the shapes
+``route_many`` consumes), and respects a fault *budget*: the paper's
+guarantees hold for at most ``f`` simultaneous faults, so timelines
+never let the live fault set exceed it.
+
+Three generators cover the interesting traffic shapes:
+
+* :func:`uniform_pairs` — all-to-all background traffic;
+* :func:`hotspot_pairs` — a few hot destinations take most messages
+  (the skew that makes shared-state caching pay off);
+* :func:`churn_timeline` — a sequence of epochs whose fault set
+  evolves by random link failures and repairs (failure churn and
+  recovery), each epoch carrying its own message batch.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+
+def uniform_pairs(
+    n: int, count: int, rng: random.Random
+) -> list[tuple[int, int]]:
+    """``count`` uniformly random ordered (s, t) pairs with s != t."""
+    if n < 2:
+        raise ValueError("need at least two vertices for message pairs")
+    out = []
+    for _ in range(count):
+        s = rng.randrange(n)
+        t = rng.randrange(n - 1)
+        if t >= s:
+            t += 1
+        out.append((s, t))
+    return out
+
+
+def hotspot_pairs(
+    n: int,
+    count: int,
+    rng: random.Random,
+    hotspots: int = 4,
+    bias: float = 0.8,
+) -> list[tuple[int, int]]:
+    """Skewed traffic: with probability ``bias`` the destination is one
+    of ``hotspots`` fixed hot vertices (sources stay uniform).
+
+    Hot destinations concentrate decode work on a few home clusters —
+    the workload where the packed engine's shared partition caches and
+    the serving layer's hot-key replication earn their keep.
+    """
+    if n < 2:
+        raise ValueError("need at least two vertices for message pairs")
+    hotspots = max(1, min(hotspots, n))
+    hot = rng.sample(range(n), hotspots)
+    out = []
+    for _ in range(count):
+        s = rng.randrange(n)
+        if rng.random() < bias:
+            t = hot[rng.randrange(len(hot))]
+            if t == s:
+                t = hot[(hot.index(t) + 1) % len(hot)] if len(hot) > 1 else (s + 1) % n
+        else:
+            t = rng.randrange(n - 1)
+            if t >= s:
+                t += 1
+        if t == s:
+            t = (s + 1) % n
+        out.append((s, t))
+    return out
+
+
+def fault_set_pool(
+    m: int, sets: int, size: int, rng: random.Random
+) -> list[list[int]]:
+    """``sets`` distinct-ish fault sets of ``size`` edges each (sorted,
+    unique edge indices — the canonical presentation)."""
+    size = min(size, m)
+    return [sorted(rng.sample(range(m), size)) for _ in range(max(1, sets))]
+
+
+@dataclass
+class TrafficEpoch:
+    """One simulation step: the live fault set and its message batch.
+
+    ``events`` records what changed entering this epoch, as
+    ``("fail" | "repair", edge_index)`` tuples; ``faults`` is the fault
+    set in force while this epoch's ``pairs`` are routed.
+    """
+
+    index: int
+    faults: list[int]
+    pairs: list[tuple[int, int]] = field(default_factory=list)
+    events: list[tuple[str, int]] = field(default_factory=list)
+
+
+def churn_timeline(
+    n: int,
+    m: int,
+    epochs: int,
+    budget: int,
+    rng: random.Random,
+    messages_per_epoch: int = 64,
+    fail_prob: float = 0.6,
+    repair_prob: float = 0.3,
+    pair_gen=uniform_pairs,
+    edge_pool: Optional[Sequence[int]] = None,
+) -> list[TrafficEpoch]:
+    """A fail/repair churn timeline with per-epoch message batches.
+
+    Entering each epoch, every live fault independently repairs with
+    probability ``repair_prob``, then (budget permitting) a new edge
+    fails with probability ``fail_prob`` — so the fault set drifts
+    through fail/repair interleavings without ever exceeding
+    ``budget`` (the ``f`` the labels were built for).  ``edge_pool``
+    restricts which edges may fail (default: all).  ``pair_gen`` is
+    the message-mix generator (:func:`uniform_pairs` or
+    :func:`hotspot_pairs`-style, called as ``pair_gen(n, count, rng)``).
+    """
+    if budget < 0:
+        raise ValueError("fault budget must be >= 0")
+    pool = list(range(m)) if edge_pool is None else list(edge_pool)
+    live: list[int] = []
+    out: list[TrafficEpoch] = []
+    for e in range(epochs):
+        events: list[tuple[str, int]] = []
+        for ei in list(live):
+            if rng.random() < repair_prob:
+                live.remove(ei)
+                events.append(("repair", ei))
+        if pool and len(live) < budget and rng.random() < fail_prob:
+            candidates = [ei for ei in pool if ei not in live]
+            if candidates:
+                ei = candidates[rng.randrange(len(candidates))]
+                live.append(ei)
+                events.append(("fail", ei))
+        out.append(
+            TrafficEpoch(
+                index=e,
+                faults=list(live),
+                pairs=pair_gen(n, messages_per_epoch, rng),
+                events=events,
+            )
+        )
+    return out

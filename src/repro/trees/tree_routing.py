@@ -30,6 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+import numpy as np
+
 from repro.graph.ancestry import AncestryLabeling
 from repro.graph.spanning_tree import RootedTree
 from repro.sizing.bits import bits_for_count, bits_for_id
@@ -70,6 +72,196 @@ class TreeTable:
     heavy_gamma_ports: tuple[int, ...] = ()
 
 
+class PackedTreeRouting:
+    """Array-native view of one tree's routing state.
+
+    Flattens everything :meth:`TreeRoutingScheme.next_hop` reads — DFS
+    intervals, parent/heavy ports, per-child light-edge ports, and the
+    Γ_T(e) port blocks of Claim 5.6 — into contiguous numpy arrays over
+    the tree's (local) vertex ids, so a batched message stepper can
+    compute next hops for many in-flight messages with gathers instead
+    of per-hop table objects and label decoding.
+
+    Layout (all indexed by local vertex id unless noted):
+
+    * ``tin``/``tout`` — the same DFS intervals the wire-format tables
+      carry (shared with the scheme's :class:`AncestryLabeling`, so
+      packed decisions equal :meth:`TreeRoutingScheme.next_hop` bit for
+      bit);
+    * ``parent``/``parent_port`` — tree parent and the port towards it
+      (-1 at the root);
+    * ``heavy``/``heavy_port``/``heavy_tin``/``heavy_tout`` — the heavy
+      child fields of :class:`TreeTable`;
+    * ``child_indptr``/``child_local``/``child_tin``/``child_tout``/
+      ``child_port`` — CSR rows of each vertex's children sorted by
+      ``tin``: the child on the path towards a target inside the
+      subtree is found by one ``searchsorted`` on its ``tin`` (packed
+      stand-in for scanning the target label's light entries — same
+      edge, same port, because light entries record exactly these
+      (parent, child) ports);
+    * ``gamma_indptr``/``gamma_port``/``gamma_member`` — CSR rows *per
+      child* ``c``: the ports at ``parent(c)`` towards the Γ members of
+      the edge (parent(c), c) and the members themselves, in the exact
+      order :meth:`TreeRoutingScheme.gamma_members` reports (the fault
+      bounce-back walks them in that order);
+    * ``stores_child`` — per vertex, whether it holds its child-edge
+      labels itself (the small-degree case of Claim 5.6; always true
+      without Γ mode).
+    """
+
+    __slots__ = (
+        "tin", "tout", "parent", "parent_port",
+        "heavy", "heavy_port", "heavy_tin", "heavy_tout",
+        "child_indptr", "child_local", "child_tin", "child_tout",
+        "child_port",
+        "gamma_indptr", "gamma_port", "gamma_member", "stores_child",
+    )
+
+    def __init__(self, scheme: "TreeRoutingScheme"):
+        tree = scheme.tree
+        n = tree.graph.n
+        anc = scheme._anc
+        hld = scheme._hld
+        port_fn = scheme._port_fn
+        tin = np.asarray(anc._tin, dtype=np.int64)
+        tout = np.asarray(anc._tout, dtype=np.int64)
+        self.tin = tin
+        self.tout = tout
+        parent = np.asarray(tree.parent, dtype=np.int64)
+        self.parent = parent
+        parent_port = np.full(n, -1, dtype=np.int64)
+        for v in tree.vertices:
+            p = tree.parent[v]
+            if p >= 0:
+                parent_port[v] = port_fn(v, p)
+        self.parent_port = parent_port
+        heavy = np.asarray(hld.heavy_child, dtype=np.int64)
+        self.heavy = heavy
+        heavy_port = np.full(n, -1, dtype=np.int64)
+        heavy_tin = np.zeros(n, dtype=np.int64)
+        heavy_tout = np.zeros(n, dtype=np.int64)
+        hv = np.flatnonzero(heavy >= 0)
+        for v in hv.tolist():
+            h = int(heavy[v])
+            heavy_port[v] = port_fn(v, h)
+            heavy_tin[v] = tin[h]
+            heavy_tout[v] = tout[h]
+        self.heavy_port = heavy_port
+        self.heavy_tin = heavy_tin
+        self.heavy_tout = heavy_tout
+        # Children CSR, sorted by tin within each parent (preorder
+        # assigns tin in ascending child-id order, so this matches the
+        # deterministic child order everywhere else).
+        counts = np.zeros(n, dtype=np.int64)
+        in_tree = np.flatnonzero(parent >= 0)
+        np.add.at(counts, parent[in_tree], 1)
+        indptr = np.concatenate(([0], np.cumsum(counts)))
+        order = np.argsort(
+            parent[in_tree] * np.int64(2 * n + 2) + tin[in_tree], kind="stable"
+        )
+        child_local = in_tree[order]
+        self.child_indptr = indptr
+        self.child_local = child_local
+        self.child_tin = tin[child_local]
+        self.child_tout = tout[child_local]
+        child_port = np.empty(child_local.size, dtype=np.int64)
+        cl = child_local.tolist()
+        pl = parent[child_local].tolist()
+        for i, (c, p) in enumerate(zip(cl, pl)):
+            child_port[i] = port_fn(p, c)
+        self.child_port = child_port
+        # Γ blocks per child, in gamma_members order; empty without Γ.
+        gamma_indptr = np.zeros(n + 1, dtype=np.int64)
+        gports: list[int] = []
+        gmembers: list[int] = []
+        if scheme.gamma_f is not None:
+            gcounts = np.zeros(n, dtype=np.int64)
+            per_child: dict[int, tuple[tuple[int, ...], tuple[int, ...]]] = {}
+            for c in cl:
+                p = int(parent[c])
+                members = scheme.gamma_members(c)
+                ports = scheme._gamma_ports(p, c)
+                per_child[c] = (members, ports)
+                gcounts[c] = len(members)
+            gamma_indptr = np.concatenate(([0], np.cumsum(gcounts)))
+            for c in range(n):
+                ent = per_child.get(c)
+                if ent is not None:
+                    gmembers.extend(ent[0])
+                    gports.extend(ent[1])
+        self.gamma_indptr = gamma_indptr
+        self.gamma_port = np.asarray(gports, dtype=np.int64)
+        self.gamma_member = np.asarray(gmembers, dtype=np.int64)
+        self.stores_child = np.asarray(
+            [scheme.stores_child_labels(v) for v in range(n)], dtype=bool
+        )
+
+    def next_hop_many(
+        self, lu: np.ndarray, lt: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched :meth:`TreeRoutingScheme.next_hop` on local vertices.
+
+        Returns ``(action, port, nxt)`` arrays: ``action`` is 0 when the
+        message has arrived (``lu == lt``), 1 for a parent hop, 2 for a
+        heavy-child hop, 3 for a light-child hop; ``port`` is the chosen
+        port at ``lu`` (undefined for action 0) and ``nxt`` the local
+        vertex it leads to.  Decisions are identical to the scalar
+        table/label computation: the same interval containment tests in
+        the same order, and the light child is the unique child whose
+        interval contains the target's — the edge the target label's
+        light entry records.
+        """
+        tin, tout = self.tin, self.tout
+        action = np.zeros(lu.size, dtype=np.int64)
+        port = np.full(lu.size, -1, dtype=np.int64)
+        nxt = np.full(lu.size, -1, dtype=np.int64)
+        moving = lu != lt
+        if not moving.any():
+            return action, port, nxt
+        t_tin = tin[lt]
+        t_tout = tout[lt]
+        inside = (tin[lu] <= t_tin) & (t_tout <= tout[lu]) & moving
+        up = moving & ~inside
+        if up.any():
+            if (self.parent[lu[up]] < 0).any():
+                raise ValueError("target outside the tree")
+            action[up] = 1
+            port[up] = self.parent_port[lu[up]]
+            nxt[up] = self.parent[lu[up]]
+        hv = inside & (self.heavy[lu] >= 0) \
+            & (self.heavy_tin[lu] <= t_tin) & (t_tout <= self.heavy_tout[lu])
+        if hv.any():
+            action[hv] = 2
+            port[hv] = self.heavy_port[lu[hv]]
+            nxt[hv] = self.heavy[lu[hv]]
+        light = inside & ~hv
+        if light.any():
+            ci, ct = self.child_indptr, self.child_tin
+            for i in np.flatnonzero(light).tolist():
+                u = int(lu[i])
+                lo, hi = int(ci[u]), int(ci[u + 1])
+                pos = lo + int(
+                    np.searchsorted(ct[lo:hi], int(t_tin[i]), side="right")
+                ) - 1
+                if pos < lo or not (
+                    self.child_tin[pos] <= t_tin[i]
+                    and t_tout[i] <= self.child_tout[pos]
+                ):  # pragma: no cover - implies a corrupt tree label
+                    raise ValueError(
+                        "inconsistent tree label: no light entry at this vertex"
+                    )
+                action[i] = 3
+                port[i] = self.child_port[pos]
+                nxt[i] = self.child_local[pos]
+        return action, port, nxt
+
+    def gamma_row(self, child: int) -> tuple[list[int], list[int]]:
+        """``(ports, members)`` of the Γ block replicating the label of
+        the edge (parent(child), child), in Claim 5.6 order."""
+        lo, hi = int(self.gamma_indptr[child]), int(self.gamma_indptr[child + 1])
+        return self.gamma_port[lo:hi].tolist(), self.gamma_member[lo:hi].tolist()
+
+
 class TreeRoutingScheme:
     """Labels + tables + next-hop computation for one rooted tree."""
 
@@ -89,6 +281,7 @@ class TreeRoutingScheme:
         self.id_space = id_space if id_space is not None else graph.n
         self._anc = AncestryLabeling(tree)
         self._hld = HeavyLightDecomposition(tree)
+        self._packed: Optional[PackedTreeRouting] = None
         # Γ blocks: for each tree child c of u, the list of children of u
         # replicating the label of the edge (u, c) (Claim 5.6).
         self._gamma: dict[int, tuple[int, ...]] = {}
@@ -109,6 +302,12 @@ class TreeRoutingScheme:
                     block = tuple(kids[start:end])
                     for c in block:
                         self._gamma[c] = block
+
+    def packed(self) -> PackedTreeRouting:
+        """The memoized :class:`PackedTreeRouting` array view."""
+        if self._packed is None:
+            self._packed = PackedTreeRouting(self)
+        return self._packed
 
     # ------------------------------------------------------------------
     # Γ queries (Claim 5.6 / Section 5.2)

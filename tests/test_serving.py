@@ -387,3 +387,152 @@ def test_cli_serve_bench(capsys):
     out = capsys.readouterr().out
     assert "cold query_many" in out
     assert "coalesced + cached" in out
+
+
+# ----------------------------------------------------------------------
+# PR-4 satellites: deadline flushing inside the service, hot-fault-set
+# replication, and the presentation-order cache mode the packed routing
+# engine's retry decodes depend on.
+# ----------------------------------------------------------------------
+def test_presentation_key_cache_preserves_fault_order():
+    from repro.serving import presentation_fault_key
+
+    assert presentation_fault_key([7, 3, 7, 1]) == (7, 3, 1)
+    graph = generators.random_connected_graph(40, extra_edges=60, seed=61)
+    scheme = SketchConnectivityScheme(graph, seed=62)
+    rnd = random.Random(63)
+    faults = rnd.sample(range(graph.m), 3)
+    shuffled = faults[::-1]
+    cache = PartitionCache(scheme, canonicalize=False)
+    pairs = [tuple(rnd.sample(range(graph.n), 2)) for _ in range(20)]
+    # Answers (paths included) equal decoding the faults as presented.
+    for F in (faults, shuffled):
+        served = cache.query_many(pairs, list(F))
+        direct = scheme.query_many(pairs, list(F))
+        for a, b in zip(served, direct):
+            assert a.connected == b.connected
+            assert a.path == b.path
+            assert a.phases_used == b.phases_used
+    # The two orders are distinct entries (no canonical sharing) ...
+    assert len(cache) == 2
+    # ... while the canonicalizing cache shares one.
+    canon = PartitionCache(scheme, canonicalize=True)
+    canon.query_many(pairs, list(faults))
+    canon.query_many(pairs, list(shuffled))
+    assert len(canon) == 1
+
+
+def test_service_deadline_flushing():
+    graph = generators.grid_graph(5, 5)
+    scheme = SketchConnectivityScheme(graph, seed=64)
+    fake = [0.0]
+    svc = ShardedQueryService(
+        scheme, num_shards=2, max_chunk=8, mp_context="none",
+        flush_delay=0.5, clock=lambda: fake[0],
+    )
+    try:
+        t1 = svc.submit(0, 24, [1], want_path=False)
+        t2 = svc.submit(3, 20, [1], want_path=False)
+        assert svc.pending == 2 and not t1.done
+        # Young buffers stay pending on further submits...
+        fake[0] = 0.2
+        t3 = svc.submit(4, 9, [2], want_path=False)
+        assert svc.pending == 3
+        # ...and flush once the deadline passes (checked on submit).
+        fake[0] = 0.8
+        t4 = svc.submit(6, 17, [3], want_path=False)
+        assert t1.done and t2.done and t3.done
+        direct = scheme.query_many([(0, 24)], [[1]], want_path=False)[0]
+        assert t1.result().connected == direct.connected
+        # the tail drains on flush()
+        assert not t4.done
+        svc.flush()
+        assert t4.done
+        assert svc.stats().deadline_flushes >= 2
+    finally:
+        svc.close()
+
+
+def test_service_size_bound_still_dispatches_immediately():
+    graph = generators.grid_graph(4, 4)
+    scheme = SketchConnectivityScheme(graph, seed=65)
+    svc = ShardedQueryService(scheme, num_shards=2, max_chunk=2,
+                              mp_context="none")
+    try:
+        t1 = svc.submit(0, 15, [1], want_path=False)
+        assert not t1.done
+        t2 = svc.submit(2, 13, [1], want_path=False)
+        assert t1.done and t2.done  # chunk size bound reached
+    finally:
+        svc.close()
+
+
+def test_hot_fault_set_replicates_across_shards():
+    graph = generators.random_connected_graph(48, extra_edges=70, seed=66)
+    scheme = SketchConnectivityScheme(graph, seed=67)
+    rnd = random.Random(68)
+    hot = sorted(rnd.sample(range(graph.m), 2))
+    cold = sorted(rnd.sample(range(graph.m), 3))
+    svc = ShardedQueryService(
+        scheme, num_shards=3, max_chunk=16, mp_context="none",
+        hot_key_share=0.6, hot_key_min_queries=32,
+    )
+    try:
+        pairs = [tuple(rnd.sample(range(graph.n), 2)) for _ in range(16)]
+        expected = [r.connected for r in scheme.query_many(pairs, list(hot))]
+        for _ in range(8):
+            got = svc.query_many(pairs, list(hot), want_path=False)
+            assert [r.connected for r in got] == expected
+        svc.query_many(pairs, list(cold), want_path=False)
+        stats = svc.stats()
+        assert stats.hot_keys == 1
+        assert stats.replicated_chunks > 0
+        # the hot key's chunks landed on more than one shard
+        assert sum(1 for load in stats.per_shard if load > 0) > 1
+        # cold keys still pin their hash owner: one extra shard at most
+        snap = stats.snapshot()
+        assert snap["hot_keys"] == 1
+    finally:
+        svc.close()
+
+
+def test_hot_key_replication_disabled():
+    graph = generators.grid_graph(4, 4)
+    scheme = SketchConnectivityScheme(graph, seed=69)
+    svc = ShardedQueryService(
+        scheme, num_shards=3, max_chunk=8, mp_context="none",
+        hot_key_share=None,
+    )
+    try:
+        for _ in range(10):
+            svc.query_many([(0, 15)] * 8, [1], want_path=False)
+        stats = svc.stats()
+        assert stats.hot_keys == 0
+        assert stats.replicated_chunks == 0
+        # every chunk went to the single hash owner
+        assert sum(1 for load in stats.per_shard if load > 0) == 1
+    finally:
+        svc.close()
+
+
+def test_hot_key_replication_fork_mode_identical_answers():
+    import multiprocessing
+
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform without fork
+        pytest.skip("fork unavailable")
+    graph = generators.random_connected_graph(40, extra_edges=60, seed=70)
+    scheme = SketchConnectivityScheme(graph, seed=71)
+    rnd = random.Random(72)
+    hot = sorted(rnd.sample(range(graph.m), 2))
+    pairs = [tuple(rnd.sample(range(graph.n), 2)) for _ in range(12)]
+    expected = [r.connected for r in scheme.query_many(pairs, list(hot))]
+    with ShardedQueryService(
+        scheme, num_shards=2, max_chunk=8,
+        hot_key_share=0.5, hot_key_min_queries=12,
+    ) as svc:
+        for _ in range(6):
+            got = svc.query_many(pairs, list(hot), want_path=False)
+            assert [r.connected for r in got] == expected
+        assert svc.stats().hot_keys == 1
