@@ -1,0 +1,286 @@
+"""Persistent snapshot-store baseline: ``BENCH_snapshot.json``.
+
+This runner pins the performance of the build/serve split (PR 5): how
+much faster a serving process starts by **loading a snapshot** than by
+**rebuilding the labels from the graph** — the whole point of treating
+the labels as a serializable artifact.  For every workload it measures:
+
+* ``build_s`` — cold construction of the artifact (graph generation
+  excluded; the graph is an input on both sides);
+* ``save_s`` — ``save_snapshot`` (checksummed write);
+* ``load_s`` — ``load_snapshot`` with the default lazy-mmap settings
+  (header + manifest digests verified, segments mapped read-only);
+* ``verify_s`` — a full ``verify_snapshot`` pass (every BLAKE2b
+  segment digest; the eager-integrity cost a load *avoids*);
+* ``load_speedup`` — ``build_s / load_s``, the headline (the
+  acceptance bar is >= 5x on ``router-1024``);
+* ``disk_mb`` — bytes on disk, and for the sketch workload the
+  wire-format label total from the ``sizing/`` bit accounting
+  (``wire_mb``), so the storage overhead of the padded packed stores
+  over the information-theoretic label content stays visible.
+
+Every load is answer-checked against the in-process build before any
+timing is trusted.
+
+Usage::
+
+    python -m benchmarks.bench_snapshot           # full set -> BENCH_snapshot.json
+    python -m benchmarks.bench_snapshot --smoke   # tiny sizes, print only
+    python -m benchmarks.bench_snapshot --check   # compare smoke speedups
+                                                  # against the committed JSON;
+                                                  # exit 1 on >2x regression
+
+``--check`` is what ``benchmarks/run_baseline.sh`` and the
+``bench_smoke`` pytest marker run in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import platform
+import random
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.common import print_table, workload_graph
+from repro.core.sketch_scheme import SketchConnectivityScheme
+from repro.routing.fault_tolerant import FaultTolerantRouter
+from repro.store import load_snapshot, save_snapshot, verify_snapshot
+
+#: repo-root location of the committed baseline.
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_snapshot.json"
+
+#: (name, artifact, family, n, smoke).  The headline workload — the
+#: acceptance target — is ``router-1024``.  Only ``router-256`` gates
+#: CI: the sketch scheme rebuilds in milliseconds, so its speedup
+#: hovers near 1-2x and would make a wall-clock gate pure noise.
+WORKLOADS = [
+    ("router-1024", "router", "random", 1024, False),
+    ("router-256", "router", "random", 256, True),
+    ("sketch-1024", "sketch", "random", 1024, False),
+    ("sketch-256", "sketch", "random", 256, False),
+]
+
+#: --check fails when a smoke workload's build/load speedup worsens by
+#: more than this factor against the committed one (machine-speed
+#: independent: both sides are measured in the same run).
+REGRESSION_FACTOR = 2.0
+
+
+def _build(artifact: str, graph):
+    if artifact == "router":
+        return FaultTolerantRouter(graph, f=2, k=2, seed=2)
+    return SketchConnectivityScheme(graph, seed=2)
+
+
+def _answers(artifact: str, obj, graph, seed: int):
+    """A deterministic answer fingerprint (bit-identity check)."""
+    rnd = random.Random(seed)
+    pairs = [tuple(rnd.sample(range(graph.n), 2)) for _ in range(32)]
+    per = [rnd.sample(range(graph.m), 2) for _ in range(32)]
+    if artifact == "router":
+        return [
+            (r.delivered, tuple(r.trace), r.telemetry.hops, r.length)
+            for r in obj.route_many(pairs, per)
+        ]
+    return [
+        (r.connected, r.phases_used) for r in obj.query_many(pairs, per)
+    ]
+
+
+def _wire_label_bytes(scheme: SketchConnectivityScheme) -> int:
+    """Total wire-format label content, from the sizing bit accounting."""
+    graph = scheme.graph
+    bits = sum(scheme.vertex_label(v).bit_length() for v in graph.vertices())
+    bits += sum(scheme.edge_label(e.index).bit_length() for e in graph.edges)
+    return (bits + 7) // 8
+
+
+def measure_workload(
+    name: str, artifact: str, family: str, n: int, repeats: int = 3
+) -> dict:
+    """All measurements of one workload, as a JSON-ready dict."""
+    graph = workload_graph(family, n, seed=1)
+
+    best_build = float("inf")
+    obj = None
+    for _ in range(repeats):
+        gc.collect()
+        t0 = time.perf_counter()
+        obj = _build(artifact, graph)
+        best_build = min(best_build, time.perf_counter() - t0)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / f"{name}.snap"
+        gc.collect()
+        t0 = time.perf_counter()
+        save_snapshot(path, obj)
+        save_s = time.perf_counter() - t0
+
+        best_load = float("inf")
+        loaded = None
+        for _ in range(repeats):
+            gc.collect()
+            t0 = time.perf_counter()
+            loaded = load_snapshot(path)
+            best_load = min(best_load, time.perf_counter() - t0)
+
+        if _answers(artifact, loaded, graph, seed=9) != _answers(
+            artifact, obj, graph, seed=9
+        ):  # pragma: no cover - the round-trip tests guard this
+            raise AssertionError("snapshot answers diverge from the build")
+
+        gc.collect()
+        t0 = time.perf_counter()
+        verify_snapshot(path)
+        verify_s = time.perf_counter() - t0
+        disk = path.stat().st_size
+
+    row = {
+        "artifact": artifact,
+        "family": family,
+        "n": n,
+        "m": graph.m,
+        "build_s": round(best_build, 4),
+        "save_s": round(save_s, 4),
+        "load_s": round(best_load, 4),
+        "verify_s": round(verify_s, 4),
+        "disk_mb": round(disk / 1e6, 2),
+        "load_speedup": round(best_build / best_load, 2)
+        if best_load > 0
+        else float("inf"),
+    }
+    if artifact == "sketch":
+        wire = _wire_label_bytes(obj)
+        row["wire_mb"] = round(wire / 1e6, 2)
+        row["disk_to_wire"] = round(disk / wire, 2) if wire else float("inf")
+    return row
+
+
+def run(workloads, repeats: int = 3) -> dict:
+    results = {}
+    for name, artifact, family, n, _smoke in workloads:
+        row = measure_workload(name, artifact, family, n, repeats)
+        results[name] = row
+        print(
+            f"  {name}: build {row['build_s']:.2f}s  save {row['save_s']:.2f}s  "
+            f"load {row['load_s']:.3f}s  ({row['load_speedup']:.1f}x, "
+            f"{row['disk_mb']:.1f} MB)",
+            flush=True,
+        )
+    return {
+        "schema": 1,
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "smoke_workloads": [w[0] for w in workloads if w[4]],
+        "workloads": results,
+    }
+
+
+def check_against(committed: dict, repeats: int = 3) -> list[str]:
+    """Re-run the smoke workloads; return regression messages (empty = ok).
+
+    Machine-normalized like the other gates: cold construction is
+    measured in the same run, and a workload regresses when the
+    build/load speedup worsens by more than :data:`REGRESSION_FACTOR`
+    against the committed speedup.
+    """
+    problems = []
+    by_name = {w[0]: w for w in WORKLOADS}
+    for name in committed.get("smoke_workloads", []):
+        recorded = committed["workloads"].get(name)
+        if recorded is None or name not in by_name:
+            continue
+        _, artifact, family, n, _ = by_name[name]
+        row = measure_workload(name, artifact, family, n, repeats)
+        now_ratio = row["load_speedup"]
+        committed_ratio = recorded["load_speedup"]
+        regressed = now_ratio * REGRESSION_FACTOR < committed_ratio
+        status = "REGRESSED" if regressed else "ok"
+        print(
+            f"  {name}: load now {now_ratio:.2f}x of build  "
+            f"committed {committed_ratio:.2f}x  [{status}]"
+        )
+        if regressed:
+            problems.append(
+                f"{name}: snapshot load now only {now_ratio:.2f}x faster "
+                f"than cold construction, > {REGRESSION_FACTOR}x below the "
+                f"committed {committed_ratio:.2f}x"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument(
+        "--smoke", action="store_true", help="run only the tiny smoke workloads"
+    )
+    ap.add_argument(
+        "--check",
+        nargs="?",
+        const=str(DEFAULT_OUT),
+        default=None,
+        metavar="JSON",
+        help="re-run smoke workloads and fail on >2x regression vs JSON",
+    )
+    ap.add_argument(
+        "--no-write", action="store_true", help="print results without writing JSON"
+    )
+    args = ap.parse_args(argv)
+
+    if args.check is not None:
+        path = Path(args.check)
+        if not path.exists():
+            print(
+                f"no committed baseline at {path} — run "
+                "`python -m benchmarks.bench_snapshot` to create it"
+            )
+            return 1
+        committed = json.loads(path.read_text())
+        problems = check_against(committed, repeats=args.repeats)
+        if problems:
+            print("snapshot-load regressions detected:")
+            for p in problems:
+                print("  " + p)
+            return 1
+        print("no snapshot-load regressions")
+        return 0
+
+    workloads = [w for w in WORKLOADS if w[4]] if args.smoke else WORKLOADS
+    payload = run(workloads, repeats=args.repeats)
+    rows = [
+        (
+            name,
+            r["n"],
+            f"{r['build_s']:.2f}",
+            f"{r['save_s']:.2f}",
+            f"{r['load_s']:.3f}",
+            f"{r['load_speedup']:.1f}x",
+            f"{r['disk_mb']:.1f}",
+            f"{r.get('disk_to_wire', '-')}",
+        )
+        for name, r in payload["workloads"].items()
+    ]
+    print_table(
+        "Snapshot store (cold build vs mmap load)",
+        ["workload", "n", "build s", "save s", "load s", "speedup",
+         "disk MB", "disk/wire"],
+        rows,
+    )
+    if not args.smoke and not args.no_write:
+        args.out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

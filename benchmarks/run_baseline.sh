@@ -2,9 +2,9 @@
 # Perf smoke checks: re-run the tiny baseline workloads and fail if
 # label construction (vs BENCH_construction.json), batched decode
 # throughput (vs BENCH_query.json), serving-layer throughput (vs
-# BENCH_serving.json) or routed-message throughput (vs
-# BENCH_routing.json) regressed more than 2x against the committed
-# numbers.  Intended for CI / pre-merge:
+# BENCH_serving.json), routed-message throughput (vs
+# BENCH_routing.json) or snapshot-load speedup (vs BENCH_snapshot.json)
+# regressed more than 2x against the committed numbers.  Intended for CI / pre-merge:
 #
 #   ./benchmarks/run_baseline.sh
 #
@@ -14,9 +14,11 @@
 #   PYTHONPATH=src python -m benchmarks.bench_query_throughput
 #   PYTHONPATH=src python -m benchmarks.bench_serving
 #   PYTHONPATH=src python -m benchmarks.bench_routing
+#   PYTHONPATH=src python -m benchmarks.bench_snapshot
 set -e
 cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m benchmarks.baseline --check "$@"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m benchmarks.bench_query_throughput --check "$@"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m benchmarks.bench_serving --check "$@"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m benchmarks.bench_routing --check "$@"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m benchmarks.bench_snapshot --check "$@"

@@ -3,21 +3,29 @@
 Commands:
 
 * ``info``     — build a workload graph and print scheme size reports.
+* ``build``    — construct an artifact (sketch scheme / router / facade)
+  once and save it as a checksummed ``repro.store`` snapshot file: the
+  *build* half of the build/serve split.
 * ``query``    — answer one <s, t, F> connectivity + distance query.
 * ``route``    — route a message under hidden faults and print telemetry.
 * ``route-bench`` — route one message batch through the packed
   multi-message stepper and through the seed scalar engine, verify the
   traces agree bit for bit, and print routed-messages/sec for both.
 * ``traffic`` — run a fail/repair churn traffic simulation through the
-  batched router and print the aggregated telemetry report.
+  batched router and print the aggregated telemetry report
+  (``--snapshot`` loads the router from a ``build`` snapshot instead of
+  constructing it).
 * ``serve-bench`` — drive a repeated-fault-set query stream through the
   serving layer (partition cache + coalescer, optionally sharded) and
-  print throughput vs the cold batched decoder.
+  print throughput vs the cold batched decoder (``--snapshot`` serves
+  off a ``build`` snapshot, cross-checked against in-process
+  construction).
 * ``lower-bound`` — print the Theorem 1.6 series.
 
 All commands operate on the built-in synthetic workloads (``--family``,
 ``--n``, ``--seed``), so the tool is fully self-contained and every run
-is reproducible.
+is reproducible — ``build`` then ``serve-bench --snapshot`` /
+``traffic --snapshot`` answers bit-identically to building in process.
 """
 
 from __future__ import annotations
@@ -71,6 +79,90 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"distance[k={args.k}]: vertex label {dist.max_vertex_label_bits()} bits, "
           f"stretch bound {dist.stretch_bound(args.f):.0f}x")
     return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    """Construct one artifact and save it as a snapshot (build/serve).
+
+    ``--artifact sketch`` saves the standalone sketch connectivity
+    scheme ``serve-bench --snapshot`` serves; ``router`` saves the full
+    fault-tolerant routing stack ``traffic --snapshot`` drives;
+    ``connectivity``/``distance`` save the ``core.api`` facades.  The
+    written file is integrity-checked (every BLAKE2b segment digest)
+    before reporting success.
+    """
+    from repro.store import save_snapshot, snapshot_info, verify_snapshot
+
+    graph = _build_graph(args)
+    t0 = time.perf_counter()
+    if args.artifact == "sketch":
+        obj = SketchConnectivityScheme(graph, seed=args.seed)
+    elif args.artifact == "router":
+        obj = FaultTolerantRouter(
+            graph, f=args.f, k=args.k, seed=args.seed, table_mode=args.tables
+        )
+    elif args.artifact == "connectivity":
+        obj = FaultTolerantConnectivity(graph, f=args.f, seed=args.seed)
+    else:  # distance
+        obj = FaultTolerantDistance(graph, f=args.f, k=args.k, seed=args.seed)
+    build_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    save_snapshot(args.out, obj)
+    save_s = time.perf_counter() - t0
+    verify_snapshot(args.out)
+    info = snapshot_info(args.out)
+    print(
+        f"build: family={args.family} n={graph.n} m={graph.m} "
+        f"artifact={args.artifact} seed={args.seed}"
+    )
+    print(f"  constructed in      : {build_s:.2f}s")
+    print(
+        f"  saved + verified    : {args.out} "
+        f"({info['file_bytes'] / 1e6:.1f} MB, {info['segments']} segments, "
+        f"{save_s:.2f}s)"
+    )
+    print(f"  kind                : {info['kind']}")
+    return 0
+
+
+def _load_snapshot_or_exit(path: str, expect, what: str, graph=None):
+    """Load a snapshot and insist it holds the artifact a command needs.
+
+    With ``graph``, also insist the snapshot was built from that exact
+    workload graph (sizes and the edge lists themselves — a different
+    ``--seed``/``--family`` would otherwise surface later as a
+    corruption-style answer divergence).
+    """
+    from repro.store import SnapshotError, load_snapshot
+
+    try:
+        obj = load_snapshot(path)
+    except SnapshotError as exc:
+        raise SystemExit(f"cannot load snapshot {path}: {exc}")
+    if not isinstance(obj, expect):
+        raise SystemExit(
+            f"snapshot {path} holds a {type(obj).__name__}; {what} needs a "
+            f"{expect.__name__} (see `build --artifact`)"
+        )
+    if graph is not None:
+        sg = obj.graph
+        if sg.n != graph.n or sg.m != graph.m:
+            raise SystemExit(
+                f"snapshot graph (n={sg.n}, m={sg.m}) does not match "
+                f"--family/--n (n={graph.n}, m={graph.m})"
+            )
+        a, b = sg.as_csr(), graph.as_csr()
+        if not (
+            (a.edge_u == b.edge_u).all()
+            and (a.edge_v == b.edge_v).all()
+            and (a.edge_weight == b.edge_weight).all()
+        ):
+            raise SystemExit(
+                f"snapshot graph does not match --family/--n/--seed: same "
+                f"sizes but different edges (the snapshot was built from a "
+                f"different workload graph)"
+            )
+    return obj
 
 
 def _parse_faults(spec: str) -> list[int]:
@@ -186,7 +278,15 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
     )
 
     graph = _build_graph(args)
-    router = FaultTolerantRouter(graph, f=args.f, k=args.k, seed=args.seed)
+    if args.snapshot:
+        router = _load_snapshot_or_exit(
+            args.snapshot, FaultTolerantRouter, "traffic --snapshot", graph=graph
+        )
+        graph = router.graph
+        args.f = router.f  # the fault budget is the artifact's, not the flag's
+        print(f"loaded router snapshot {args.snapshot} (f={router.f}, k={router.k})")
+    else:
+        router = FaultTolerantRouter(graph, f=args.f, k=args.k, seed=args.seed)
     rnd = random.Random(args.seed + 1)
     if args.hotspots > 0:
         def pair_gen(n, count, rng, _h=args.hotspots):
@@ -241,7 +341,13 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.serving import PartitionCache, QueryCoalescer, ShardedQueryService
 
     graph = _build_graph(args)
-    scheme = SketchConnectivityScheme(graph, seed=args.seed)
+    if args.snapshot:
+        scheme = _load_snapshot_or_exit(
+            args.snapshot, SketchConnectivityScheme, "serve-bench --snapshot",
+            graph=graph,
+        )
+    else:
+        scheme = SketchConnectivityScheme(graph, seed=args.seed)
     rnd = random.Random(args.seed + 1)
     size = min(args.fault_size, graph.m)
     fault_pool = [
@@ -266,6 +372,19 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     verdicts = [r.connected for r in cold]
     print(f"  cold query_many      : {len(stream) / cold_s:10.0f} q/s")
 
+    if args.snapshot:
+        # The acceptance bar for the build/serve split: answers off the
+        # loaded snapshot equal in-process construction bit for bit
+        # (succinct paths included, hence want_path=True here).  The
+        # fresh scheme uses the *snapshot's* persisted seed — the graph
+        # guard above already pinned the workload, and the label
+        # randomness belongs to the artifact, not the serve-side flag.
+        fresh = SketchConnectivityScheme(graph, seed=scheme.seed)
+        if fresh.query_many(pairs, per) != scheme.query_many(pairs, per):
+            print("  ERROR: snapshot answers diverge from in-process build")
+            return 1
+        print("  snapshot answers match in-process construction (bit-identical)")
+
     cache = PartitionCache(scheme, capacity=args.cache_capacity)
     coalescer = QueryCoalescer(
         lambda p, F: cache.query_many(p, F, want_path=False),
@@ -286,11 +405,15 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     )
 
     if args.shards > 0:
+        # With a snapshot the shards run spawn-mode: each worker opens
+        # the file itself (shared page cache) instead of forking.
         with ShardedQueryService(
             scheme,
             num_shards=args.shards,
             cache_capacity=args.cache_capacity,
             max_chunk=args.chunk,
+            mp_context="spawn" if args.snapshot else "fork",
+            snapshot=args.snapshot or None,
         ) as svc:
             t0 = time.perf_counter()
             sharded = svc.query_many(pairs, per, want_path=False)
@@ -342,6 +465,21 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_info)
     p_info.set_defaults(func=_cmd_info)
 
+    p_build = sub.add_parser(
+        "build",
+        help="construct an artifact once and save it as a snapshot file",
+    )
+    common(p_build)
+    p_build.add_argument("--artifact", default="sketch",
+                         choices=["sketch", "router", "connectivity", "distance"],
+                         help="what to construct and persist")
+    p_build.add_argument("--out", required=True,
+                         help="snapshot file to write")
+    p_build.add_argument("--tables", default="balanced",
+                         choices=["simple", "balanced"],
+                         help="router table layout (artifact=router)")
+    p_build.set_defaults(func=_cmd_build)
+
     p_query = sub.add_parser("query", help="one connectivity/distance query")
     common(p_query)
     p_query.add_argument("--s", type=int, required=True)
@@ -384,6 +522,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="skew destinations onto N hot vertices")
     p_traffic.add_argument("--validate", action="store_true",
                            help="check every result against the oracle")
+    p_traffic.add_argument("--snapshot", default="",
+                           help="load the router from a `build "
+                                "--artifact router` snapshot")
     p_traffic.set_defaults(func=_cmd_traffic)
 
     p_serve = sub.add_parser(
@@ -403,6 +544,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="partition-cache LRU capacity")
     p_serve.add_argument("--shards", type=int, default=0,
                          help="also time a sharded service with N workers")
+    p_serve.add_argument("--snapshot", default="",
+                         help="serve off a `build --artifact sketch` "
+                              "snapshot (answers cross-checked against "
+                              "in-process construction; shards run "
+                              "spawn-mode off the file)")
     p_serve.set_defaults(func=_cmd_serve_bench)
 
     p_lb = sub.add_parser("lower-bound", help="Theorem 1.6 series")

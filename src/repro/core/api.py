@@ -22,6 +22,36 @@ from repro.core.sketch_scheme import SketchConnectivityScheme
 from repro.graph.graph import Graph
 
 
+class _SnapshotMixin:
+    """``save()``/``load()`` on every facade (the build/serve split).
+
+    ``save(path)`` persists the facade — packed label stores, scheme
+    parameters, seeds — as one :mod:`repro.store` snapshot file;
+    ``Facade.load(path)`` restores it with the big arrays memory-mapped
+    read-only, answering every query bit-identically to the saved
+    instance.  ``load`` type-checks the artifact, so a distance
+    snapshot cannot silently serve as a connectivity facade.
+    """
+
+    def save(self, path) -> "str":
+        """Persist this facade to ``path`` (a repro.store snapshot)."""
+        from repro.store import save_snapshot
+
+        return str(save_snapshot(path, self))
+
+    @classmethod
+    def load(cls, path, mmap: bool = True):
+        """Restore a facade saved with :meth:`save` (mmap-backed)."""
+        from repro.store import SnapshotError, load_snapshot
+
+        obj = load_snapshot(path, mmap=mmap)
+        if not isinstance(obj, cls):
+            raise SnapshotError(
+                f"{path} holds a {type(obj).__name__}, not a {cls.__name__}"
+            )
+        return obj
+
+
 class ConnectivityPartitionView:
     """Boolean view over a scheme-level fault-set partition.
 
@@ -54,7 +84,7 @@ class ConnectivityPartitionView:
         return [impl.connected(s, t) for s, t in pairs]
 
 
-class FaultTolerantConnectivity:
+class FaultTolerantConnectivity(_SnapshotMixin):
     """f-FT connectivity labels for a graph (Theorem 1.3).
 
     ``scheme`` selects the construction:
@@ -173,7 +203,7 @@ class FaultTolerantConnectivity:
         return self._impl.max_edge_label_bits()
 
 
-class FaultTolerantDistance:
+class FaultTolerantDistance(_SnapshotMixin):
     """f-FT approximate distance labels (Theorem 1.4).
 
     ``estimate(s, t, F)`` returns a value within
@@ -256,7 +286,7 @@ class FaultTolerantDistance:
         return self._impl.max_vertex_label_bits()
 
 
-class FaultTolerantRouting:
+class FaultTolerantRouting(_SnapshotMixin):
     """f-FT compact routing (Theorems 5.5 / 5.8).
 
     Builds the routing-augmented label stack once and routes any

@@ -48,6 +48,31 @@ from repro.trees.tree_routing import TreeRoutingScheme
 InstanceKey = tuple[int, int]  # (scale i, cluster j)
 
 
+def instance_wiring(graph: Graph, to_parent):
+    """The global-facing ``(id_of, port_fn)`` closures of one cluster.
+
+    Cluster instances label *local* vertices, but the identifiers and
+    ports embedded into EIDs must be globally routable, so both hooks
+    translate through the instance's vertex map onto the parent graph.
+    Single source of truth for construction (:meth:`DistanceLabelScheme.
+    _build_scale`) **and** snapshot restore (:mod:`repro.store.artifacts`)
+    — the two must install byte-identical semantics.
+    """
+
+    def port_fn(lu: int, lv: int, _m=to_parent) -> int:
+        return graph.port_of(_m[lu], _m[lv])
+
+    def id_of(lv: int, _m=to_parent) -> int:
+        return _m[lv]
+
+    return id_of, port_fn
+
+
+def routing_port_bits(n: int) -> int:
+    """Fixed EID port-field width for an n-vertex parent graph (Eq. 5)."""
+    return max(1, (max(n - 1, 1)).bit_length())
+
+
 @dataclass
 class LabelInstance:
     """One (scale, cluster) connectivity-labeling instance."""
@@ -269,13 +294,7 @@ class DistanceLabelScheme:
             if len(tree.vertices) != sub.graph.n:  # pragma: no cover - defensive
                 raise RuntimeError("cover cluster is not connected")
             to_parent = sub.vertex_to_parent
-
-            def port_fn(lu: int, lv: int, _m=to_parent) -> int:
-                return graph.port_of(_m[lu], _m[lv])
-
-            def id_of(lv: int, _m=to_parent) -> int:
-                return _m[lv]
-
+            id_of, port_fn = instance_wiring(graph, to_parent)
             tree_routing = None
             inst_seed = derive_seed(self.seed, "instance", i, j)
             if self.base_scheme == "cycle_space":
@@ -300,7 +319,7 @@ class DistanceLabelScheme:
                     )
                     tr = tree_routing
                     aug = RoutingAugmentation(
-                        port_bits=max(1, (max(graph.n - 1, 1)).bit_length()),
+                        port_bits=routing_port_bits(graph.n),
                         tlabel_bits=tr.encoded_label_bits(),
                         tlabel_of=lambda lv, _tr=tr: _tr.encode_label(_tr.label(lv)),
                     )

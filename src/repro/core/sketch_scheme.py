@@ -396,6 +396,21 @@ class _PackedQueryStore:
     mixed_order: np.ndarray  # (m,) int64 edge index per sorted slot
 
 
+@dataclass(frozen=True)
+class PreloadedSketchArrays:
+    """Construction-skipping payload for snapshot restores.
+
+    Carries the two expensive-to-build array stores of the vectorized
+    scheme — the packed EID word matrix and the per-copy prefix-XOR
+    sketch tensors — exactly as a prior construction produced them (and
+    as the snapshot store persisted them; arrays may be read-only
+    memory maps, the scheme only ever reads them).
+    """
+
+    eid_words: np.ndarray
+    prefix: tuple[np.ndarray, ...]
+
+
 class SketchConnectivityScheme:
     """The full Section 3.2 scheme: labeling + Boruvka decoding."""
 
@@ -411,6 +426,7 @@ class SketchConnectivityScheme:
         id_space: Optional[int] = None,
         port_fn: Optional[Callable[[int, int], int]] = None,
         engine: str = "csr",
+        _preloaded: Optional[PreloadedSketchArrays] = None,
     ):
         """``id_of``/``id_space``/``port_fn`` translate instance-local
         vertices to global ids/ports when the scheme runs on a tree-cover
@@ -420,7 +436,12 @@ class SketchConnectivityScheme:
         CSR kernels; ``engine="reference"`` is the sequential pure-Python
         construction — both produce bit-identical labels (asserted by
         ``tests/test_csr_equivalence.py``), and the benchmark baseline
-        times one against the other."""
+        times one against the other.
+
+        ``_preloaded`` (internal; used by :mod:`repro.store`) skips the
+        EID packing and sketch-tensor construction and installs the
+        given arrays instead — the scheme then behaves exactly as if it
+        had built them, which the snapshot round-trip tests assert."""
         if copies < 1:
             raise ValueError("need at least one sketch copy")
         if engine not in ("csr", "reference"):
@@ -471,9 +492,17 @@ class SketchConnectivityScheme:
                 id_space=id_space,
                 port_fn=port_fn,
             )
-        if vectorized and eids.word_batchable:
+        if _preloaded is not None:
+            if not vectorized:
+                raise ValueError("preloaded arrays require the csr engine")
+            # Snapshot restore: the word matrix was persisted verbatim;
+            # Python-int EIDs decode lazily from it when labels need
+            # them (identical values either way).
+            self._eid_words = _preloaded.eid_words
+            self._eid_ints: Optional[list] = None
+        elif vectorized and eids.word_batchable:
             self._eid_words = eids.eid_words_batch()
-            self._eid_ints: Optional[list] = None  # materialized on demand
+            self._eid_ints = None  # materialized on demand
         elif vectorized:
             # Wide-field layouts (e.g. big routing tree labels) can't go
             # through the word packer: batch the ints once and derive
@@ -534,16 +563,19 @@ class SketchConnectivityScheme:
             # Unspanned vertices (possible with explicitly provided
             # trees) scatter into a trailing trash row that no subtree
             # interval ever reads.
-            row_of = np.where(pre >= 0, pre + 1, offset + 1)
-            # The scatter layout is identical for every copy (only the
-            # hash families differ), so compute it once.
-            plan = sketchers[0].scatter_plan(row_of) if graph.m else None
-            self._prefix = [
-                sketchers[c].build_prefix(
-                    self._eid_words, row_of=row_of, rows=offset + 2, plan=plan
-                )
-                for c in range(copies)
-            ]
+            if _preloaded is not None:
+                self._prefix = list(_preloaded.prefix)
+            else:
+                row_of = np.where(pre >= 0, pre + 1, offset + 1)
+                # The scatter layout is identical for every copy (only
+                # the hash families differ), so compute it once.
+                plan = sketchers[0].scatter_plan(row_of) if graph.m else None
+                self._prefix = [
+                    sketchers[c].build_prefix(
+                        self._eid_words, row_of=row_of, rows=offset + 2, plan=plan
+                    )
+                    for c in range(copies)
+                ]
         else:
             self._agg = []
             for c in range(copies):
@@ -663,6 +695,26 @@ class SketchConnectivityScheme:
             mixed_order=order,
         )
         return self._qstore
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol (repro.store)
+    # ------------------------------------------------------------------
+    def __arrays__(self) -> dict[str, np.ndarray]:
+        """The scheme's own packed array stores, for the snapshot store.
+
+        Exactly the payload :class:`PreloadedSketchArrays` accepts back:
+        the EID word matrix and the per-copy prefix sketch tensors.
+        (Graph, tree and parameter state is persisted separately by
+        :mod:`repro.store.artifacts` — it is shared across schemes.)
+        """
+        if self._prefix is None:
+            raise RuntimeError(
+                "only the vectorized (csr) engine has packed array stores"
+            )
+        out: dict[str, np.ndarray] = {"eid_words": self._eid_words}
+        for c, p in enumerate(self._prefix):
+            out[f"prefix{c}"] = p
+        return out
 
     # ------------------------------------------------------------------
     # Labels

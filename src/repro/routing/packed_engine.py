@@ -157,17 +157,19 @@ class PackedRouteEngine:
         return cache
 
     def cache_stats(self) -> dict:
-        """Aggregate hit/miss counters over every instance cache."""
-        hits = misses = evictions = 0
+        """Aggregate hit/miss/size counters over every instance cache."""
+        hits = misses = evictions = entries = 0
         for cache in self._caches.values():
             hits += cache.stats.hits
             misses += cache.stats.misses
             evictions += cache.stats.evictions
+            entries += len(cache)
         return {
             "caches": len(self._caches),
             "hits": hits,
             "misses": misses,
             "evictions": evictions,
+            "entries": entries,
         }
 
     # ------------------------------------------------------------------

@@ -9,9 +9,10 @@ Production query serving on top of the immutable packed label stores
 * :mod:`repro.serving.coalescer` — synchronous and asyncio request
   coalescers that group single ``(s, t, F)`` queries into fault-set
   chunks and dispatch them through ``query_many``;
-* :mod:`repro.serving.shards` — a fork-based process-pool service that
-  shares the packed stores with every worker and fans chunks out by
-  fault-set hash, with a :class:`ServiceStats` snapshot.
+* :mod:`repro.serving.shards` — a process-pool service that shares
+  the packed stores with every worker (fork copy-on-write, or
+  spawn-safe workers that mmap a :mod:`repro.store` snapshot) and fans
+  chunks out by fault-set hash, with a :class:`ServiceStats` snapshot.
 """
 
 from repro.serving.coalescer import (

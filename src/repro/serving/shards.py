@@ -6,9 +6,13 @@ processes without locks or copies.  :class:`ShardedQueryService`:
 
 * forces the packed store to materialize in the parent, then **forks**
   one single-process pool per shard: the store transfers to every
-  worker once, for free, via copy-on-write (on platforms without
-  ``fork``, and with ``num_shards=0``, it degrades to in-process shard
-  caches — same answers, no processes);
+  worker once, for free, via copy-on-write; alternatively, given a
+  :mod:`repro.store` ``snapshot`` path, workers **open the snapshot
+  themselves** (read-only mmap — one shared page-cache copy), which
+  makes every start method viable, ``spawn`` included (see
+  :meth:`ShardedQueryService.from_snapshot`).  Without fork and
+  without a snapshot (and with ``num_shards=0``) it degrades to
+  in-process shard caches — same answers, no processes;
 * routes every coalesced chunk by the **hash of its canonical fault
   set**, so all queries about one failure state land on the same
   worker and hit that worker's
@@ -75,14 +79,30 @@ def _worker_init(token: int, cache_capacity: int) -> None:
     )
 
 
+def _worker_init_snapshot(path: str, cache_capacity: int) -> None:
+    """Pool initializer for snapshot-backed workers (spawn-safe).
+
+    Runs in a fresh interpreter with no inherited state: the worker
+    opens the snapshot itself (read-only mmap, so every worker on the
+    host shares one page-cache copy of the packed stores) instead of
+    receiving the scheme by fork copy-on-write.
+    """
+    from repro.store import load_snapshot
+
+    _WORKER["cache"] = PartitionCache(
+        load_snapshot(path), capacity=cache_capacity
+    )
+
+
 def _worker_query(pairs, faults, kw):
     """Serve one chunk off the worker's partition cache."""
     return _WORKER["cache"].query_many(pairs, faults, **kw)
 
 
 def _worker_cache_stats():
-    stats = _WORKER["cache"].stats
-    return stats.hits, stats.misses, stats.evictions
+    cache = _WORKER["cache"]
+    stats = cache.stats
+    return stats.hits, stats.misses, stats.evictions, len(cache)
 
 
 def shard_of(key: FaultKey, num_shards: int) -> int:
@@ -105,6 +125,7 @@ class ServiceStats:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    cache_entries: int = 0  # live partitions across all worker caches
     mode: str = "fork"
     max_chunk_seen: int = 0
     hot_keys: int = 0
@@ -142,6 +163,7 @@ class ServiceStats:
                 "hits": self.cache_hits,
                 "misses": self.cache_misses,
                 "evictions": self.cache_evictions,
+                "entries": self.cache_entries,
                 "hit_rate": round(self.cache_hit_rate, 4),
             },
         }
@@ -197,6 +219,7 @@ class ShardedQueryService:
         hot_key_min_queries: int = 512,
         flush_delay: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
+        snapshot: Optional[str] = None,
     ):
         """``hot_key_share`` enables hot-fault-set replication: once a
         single canonical key has taken at least that share of all
@@ -205,12 +228,24 @@ class ShardedQueryService:
         of going to the hash owner only (``None`` disables).
         ``flush_delay`` (seconds) bounds how long a :meth:`submit`
         buffer may sit pending before it is dispatched regardless of
-        size; ``clock`` is injectable for deterministic tests."""
+        size; ``clock`` is injectable for deterministic tests.
+
+        ``snapshot`` names a :mod:`repro.store` snapshot file of the
+        scheme: workers then *open the snapshot themselves* instead of
+        inheriting the store by fork copy-on-write, which makes every
+        ``mp_context`` viable — ``"spawn"`` included — and lets shards
+        span processes that share nothing but the file (see
+        :meth:`from_snapshot`).  Without a snapshot, non-fork contexts
+        degrade to the in-process local mode (a spawned worker cannot
+        inherit the parent's scheme object)."""
         if max_chunk < 1:
             raise ValueError("max_chunk must be >= 1")
         if hot_key_share is not None and not (0.0 < hot_key_share <= 1.0):
             raise ValueError("hot_key_share must be in (0, 1] or None")
-        self.scheme = scheme
+        if scheme is None and snapshot is None:
+            raise ValueError("need a scheme or a snapshot path")
+        self.scheme = scheme  # stays None in snapshot-worker pool mode
+        self.snapshot = None if snapshot is None else str(snapshot)
         self.max_chunk = max_chunk
         self.cache_capacity = cache_capacity
         self.hot_key_share = hot_key_share
@@ -226,47 +261,112 @@ class ShardedQueryService:
         self._pools: Optional[list] = None
         self._local: Optional[list[PartitionCache]] = None
         self._token: Optional[int] = None
-        # Materialize the packed stores before any fork so workers
-        # inherit them instead of each rebuilding their own copy (the
-        # distance scheme keeps one store per (scale, cluster)
-        # instance; the core.api facades hide theirs behind ``.impl``).
-        scheme.decode_partition(())
-        inner = getattr(scheme, "impl", scheme)
-        for inst in getattr(inner, "instances", {}).values():
-            inst.scheme.decode_partition(())
         ctx = None
         if num_shards > 0:
             try:
                 ctx = multiprocessing.get_context(mp_context)
             except ValueError:
                 ctx = None
+            if (
+                ctx is not None
+                and ctx.get_start_method() != "fork"
+                and self.snapshot is None
+            ):
+                # A spawned worker starts from a fresh interpreter and
+                # cannot inherit the parent's scheme object; without a
+                # snapshot to open there is nothing to serve from.
+                ctx = None
+        self._start_method = None if ctx is None else ctx.get_start_method()
+        if self.scheme is None and (ctx is None or self._start_method == "fork"):
+            # The parent only needs the live scheme when it serves
+            # queries itself (local mode) or hands it to workers by
+            # fork; snapshot-backed (spawn) pools leave it unloaded —
+            # workers open the file themselves and the parent scheme
+            # would never serve a chunk.
+            from repro.store import load_snapshot
+
+            self.scheme = load_snapshot(self.snapshot)
+        elif self.scheme is None:
+            # Snapshot-worker pool mode: fail fast on a missing or
+            # corrupt file *here*, with the real SnapshotError —
+            # otherwise every worker dies in its initializer and the
+            # pool respawns it in a silent loop until the chunk timeout.
+            from repro.store import read_snapshot
+
+            read_snapshot(self.snapshot, verify=False)
+        if self._start_method == "fork":
+            # Materialize the packed stores before any fork so workers
+            # inherit them instead of each rebuilding their own copy
+            # (the distance scheme keeps one store per (scale, cluster)
+            # instance; the core.api facades hide theirs behind
+            # ``.impl``).  Local mode builds its stores lazily on
+            # first use instead.
+            self.scheme.decode_partition(())
+            inner = getattr(self.scheme, "impl", self.scheme)
+            for inst in getattr(inner, "instances", {}).values():
+                inst.scheme.decode_partition(())
         if ctx is None:
             self.num_shards = max(1, num_shards)
             self._local = [
-                PartitionCache(scheme, capacity=cache_capacity)
+                PartitionCache(self.scheme, capacity=cache_capacity)
                 for _ in range(self.num_shards)
             ]
         else:
             self.num_shards = num_shards
-            # The token-keyed slot stays populated until close(): pool
-            # worker respawns re-run _worker_init in a fresh fork of the
-            # parent and must still find the scheme.
-            self._token = next(_SERVICE_TOKENS)
-            _WORKER[self._token] = scheme
+            if self._start_method == "fork":
+                # The token-keyed slot stays populated until close():
+                # pool worker respawns re-run _worker_init in a fresh
+                # fork of the parent and must still find the scheme.
+                self._token = next(_SERVICE_TOKENS)
+                _WORKER[self._token] = self.scheme
+                initializer, initargs = _worker_init, (
+                    self._token,
+                    cache_capacity,
+                )
+            else:
+                # Spawn-compatible build/serve split: every worker
+                # opens the snapshot itself; the read-only mmap means
+                # all workers share one page-cache copy of the stores.
+                initializer, initargs = _worker_init_snapshot, (
+                    self.snapshot,
+                    cache_capacity,
+                )
             self._pools = [
                 ctx.Pool(
                     processes=1,
-                    initializer=_worker_init,
-                    initargs=(self._token, cache_capacity),
+                    initializer=initializer,
+                    initargs=initargs,
                 )
                 for _ in range(num_shards)
             ]
         self._tally.per_shard = [0] * self.num_shards
 
+    @classmethod
+    def from_snapshot(
+        cls, path, num_shards: int = 2, mp_context: str = "spawn", **kw
+    ) -> "ShardedQueryService":
+        """Serve a saved scheme snapshot (build/serve split, no fork).
+
+        Hands each worker the *path*: workers open the same file
+        read-only, so N serving processes share one page-cache copy of
+        the packed stores.  The parent itself loads the snapshot only
+        if it ends up serving queries (the local fallback) — in pool
+        mode ``self.scheme`` stays ``None``.  Defaults to the spawn
+        context — the configuration fork-less platforms and multi-host
+        deployments use.
+        """
+        return cls(
+            None,
+            num_shards=num_shards,
+            mp_context=mp_context,
+            snapshot=str(path),
+            **kw,
+        )
+
     @property
     def mode(self) -> str:
-        """``"fork"`` (process pools) or ``"local"`` (in-process)."""
-        return "fork" if self._pools is not None else "local"
+        """``"fork"``/``"spawn"``/... (process pools) or ``"local"``."""
+        return self._start_method if self._pools is not None else "local"
 
     # ------------------------------------------------------------------
     # Serving
@@ -422,18 +522,20 @@ class ShardedQueryService:
     # ------------------------------------------------------------------
     def stats(self) -> ServiceStats:
         """Aggregate parent counters with the workers' cache counters."""
-        hits = misses = evictions = 0
+        hits = misses = evictions = entries = 0
         if self._pools is not None:
             for pool in self._pools:
-                h, m, e = pool.apply(_worker_cache_stats)
+                h, m, e, live = pool.apply(_worker_cache_stats)
                 hits += h
                 misses += m
                 evictions += e
+                entries += live
         else:
             for cache in self._local:
                 hits += cache.stats.hits
                 misses += cache.stats.misses
                 evictions += cache.stats.evictions
+                entries += len(cache)
         t = self._tally
         return ServiceStats(
             queries=t.queries,
@@ -443,6 +545,7 @@ class ShardedQueryService:
             cache_hits=hits,
             cache_misses=misses,
             cache_evictions=evictions,
+            cache_entries=entries,
             mode=self.mode,
             max_chunk_seen=t.max_chunk,
             hot_keys=len(self._hot_keys),

@@ -1,0 +1,41 @@
+"""repro.store — mmap-backed persistence for the packed label stores.
+
+The build/serve split (see ``src/repro/store/README.md``): a *build*
+process constructs labels once and calls :func:`save_snapshot`; any
+number of *serve* processes call :func:`load_snapshot` and answer
+``query_many`` / ``route_many`` bit-identically to the builder, with
+the big array segments memory-mapped read-only so every process shares
+one page-cache copy.
+
+* :mod:`repro.store.format` — the versioned binary container (header +
+  JSON manifest + 64-byte-aligned raw segments, BLAKE2b-checksummed);
+* :mod:`repro.store.artifacts` — per-artifact state extraction and
+  restore (schemes, the fault-tolerant router, the ``core.api``
+  facades).
+"""
+
+from repro.store.artifacts import (
+    load_snapshot,
+    save_snapshot,
+    snapshot_info,
+)
+from repro.store.format import (
+    FORMAT_VERSION,
+    RawSnapshot,
+    SnapshotError,
+    read_snapshot,
+    verify_snapshot,
+    write_snapshot,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "RawSnapshot",
+    "SnapshotError",
+    "load_snapshot",
+    "read_snapshot",
+    "save_snapshot",
+    "snapshot_info",
+    "verify_snapshot",
+    "write_snapshot",
+]

@@ -1,0 +1,303 @@
+"""The versioned binary snapshot container (header + manifest + segments).
+
+A snapshot file holds one *artifact* — a labeled scheme, a routing
+plane, a facade — as a JSON manifest plus raw, 64-byte-aligned array
+segments::
+
+    offset 0   magic   b"FTLSNP01"                      (8 bytes)
+               version u32 little-endian                 (4 bytes)
+               mlen    u64 little-endian manifest bytes  (8 bytes)
+               mdigest BLAKE2b-128 of the manifest      (16 bytes)
+               padding to 64 bytes
+    offset 64  manifest: UTF-8 JSON
+               {"format_version", "kind", "meta", "segments": [
+                   {"name", "dtype", "shape", "offset", "nbytes",
+                    "blake2b"}, ...]}
+               padding to the next 64-byte boundary
+    ...        one raw little-endian C-contiguous array per segment,
+               each starting on a 64-byte boundary
+
+Design points:
+
+* **zero-copy loads** — :func:`read_snapshot` maps the file once
+  (``mmap.ACCESS_READ``) and exposes every segment as a read-only
+  ``numpy`` view into that single mapping, so N serving processes
+  opening the same snapshot share one page-cache copy of the packed
+  stores;
+* **integrity** — the header carries a BLAKE2b digest of the manifest
+  and the manifest carries a BLAKE2b digest per segment; loads verify
+  the manifest digest always and the segment digests unless
+  ``verify=False`` (the digests also make version/feature skew an
+  explicit :class:`SnapshotError` instead of garbage answers);
+* **self-description** — ``kind`` names the artifact type (dispatched
+  by :mod:`repro.store.artifacts`) and ``meta`` holds every scalar the
+  restore path needs (scheme parameters, RNG seeds, graph sizes), so a
+  snapshot is a complete build artifact, not a cache.
+
+The object-level API (``save_snapshot`` / ``load_snapshot``) lives in
+:mod:`repro.store.artifacts`; this module only knows bytes and arrays.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap
+import os
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+import numpy as np
+
+MAGIC = b"FTLSNP01"
+FORMAT_VERSION = 1
+_ALIGN = 64
+_HEADER = struct.Struct("<8sIQ16s")  # magic, version, manifest len, digest
+
+
+class SnapshotError(ValueError):
+    """Raised on any malformed, corrupted or incompatible snapshot."""
+
+
+def _digest(data) -> bytes:
+    return hashlib.blake2b(data, digest_size=16).digest()
+
+
+def _pad(n: int) -> int:
+    return (-n) % _ALIGN
+
+
+@dataclass
+class RawSnapshot:
+    """One opened snapshot: manifest fields plus the segment arrays.
+
+    ``arrays`` maps segment names to numpy arrays — read-only views
+    into one shared ``mmap`` when opened with ``mmap=True``, private
+    copies otherwise.  Keep the object alive while the arrays are in
+    use (the views hold a reference to the mapping through ``.base``,
+    so dropping it early is safe but keeps the file mapped).
+    """
+
+    path: Path
+    kind: str
+    meta: dict
+    arrays: dict
+    mmapped: bool
+    _mm: Optional[mmap.mmap] = field(default=None, repr=False)
+
+    def array(self, name: str) -> np.ndarray:
+        try:
+            return self.arrays[name]
+        except KeyError:
+            raise SnapshotError(
+                f"snapshot {self.path} has no segment {name!r}"
+            ) from None
+
+    def nbytes(self) -> int:
+        """Total payload bytes across all segments."""
+        return sum(a.nbytes for a in self.arrays.values())
+
+
+def write_snapshot(
+    path: Union[str, Path],
+    kind: str,
+    meta: Mapping,
+    arrays: Mapping[str, np.ndarray],
+) -> Path:
+    """Write one artifact snapshot; returns the path.
+
+    ``meta`` must be JSON-serializable; ``arrays`` values are converted
+    to little-endian C-contiguous layout before writing (the on-disk
+    byte order is fixed so snapshots are portable).
+
+    The write is atomic: bytes go to a temporary sibling file that is
+    ``os.replace``d over ``path`` at the end, so a crash mid-write
+    never leaves a truncated snapshot at the destination — and saving
+    an artifact *onto the very snapshot it was mmap-loaded from* is
+    safe (truncating the backing file of live mappings in place would
+    SIGBUS the process on the next page fault).
+    """
+    path = Path(path)
+    prepared: list[tuple[str, np.ndarray]] = []
+    for name, arr in arrays.items():
+        arr = np.ascontiguousarray(arr)
+        if arr.dtype.byteorder == ">":  # pragma: no cover - BE hosts only
+            arr = arr.astype(arr.dtype.newbyteorder("<"))
+        prepared.append((name, arr))
+
+    segments = []
+    offset = 0  # relative to the start of the segment area; fixed below
+    for name, arr in prepared:
+        offset += _pad(offset)
+        segments.append(
+            {
+                "name": name,
+                "dtype": arr.dtype.str,
+                "shape": list(arr.shape),
+                "offset": offset,
+                "nbytes": arr.nbytes,
+                "blake2b": _digest(arr.data if arr.nbytes else b"").hex(),
+            }
+        )
+        offset += arr.nbytes
+
+    # The manifest length shifts the segment base; iterate once more
+    # with the real base (the manifest stores absolute file offsets).
+    def render(base: int) -> bytes:
+        doc = {
+            "format_version": FORMAT_VERSION,
+            "kind": kind,
+            "meta": dict(meta),
+            "segments": [
+                {**seg, "offset": seg["offset"] + base} for seg in segments
+            ],
+        }
+        return json.dumps(doc, sort_keys=True).encode("utf-8")
+
+    # Writing absolute offsets into the manifest changes its length,
+    # which changes the offsets.  Grow the manifest area monotonically
+    # until it fits its own render, then pad the manifest (JSON ignores
+    # trailing whitespace) to exactly that size.
+    base = 0
+    while True:
+        manifest = render(base)
+        need = _ALIGN + len(manifest) + _pad(_ALIGN + len(manifest))
+        if need <= base:
+            manifest += b" " * (base - _ALIGN - len(manifest))
+            break
+        base = need
+
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(
+                _HEADER.pack(MAGIC, FORMAT_VERSION, len(manifest), _digest(manifest))
+            )
+            fh.write(b"\x00" * _pad(_HEADER.size))
+            fh.write(manifest)
+            fh.write(b"\x00" * _pad(_ALIGN + len(manifest)))
+            pos = base
+            for seg, (_name, arr) in zip(segments, prepared):
+                # seg["offset"] is segment-area-relative; base shifts it
+                # to the absolute file offset the manifest recorded.
+                abs_off = base + seg["offset"]
+                fh.write(b"\x00" * (abs_off - pos))
+                if arr.nbytes:
+                    fh.write(arr.data)  # zero-copy: C-contiguous by now
+                pos = abs_off + arr.nbytes
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # pragma: no cover - only on a failed write
+            tmp.unlink()
+    return path
+
+
+def read_snapshot(
+    path: Union[str, Path],
+    mmap_arrays: bool = True,
+    verify: Optional[bool] = None,
+) -> RawSnapshot:
+    """Open and validate a snapshot; returns a :class:`RawSnapshot`.
+
+    ``mmap_arrays=True`` (default) returns read-only zero-copy views
+    into one shared file mapping; ``False`` reads private copies.
+
+    The header structure and the manifest digest are always checked.
+    ``verify`` controls the *per-segment* payload digests: ``None``
+    (default) verifies them eagerly only on non-mmap loads — a mapped
+    load is lazy by design, and eagerly hashing every segment would
+    fault in the whole file a cold serving process was trying not to
+    read.  Pass ``verify=True`` to force a full integrity check (or use
+    :func:`verify_snapshot`), ``verify=False`` to skip it outright.
+    """
+    if verify is None:
+        verify = not mmap_arrays
+    path = Path(path)
+    try:
+        fh = open(path, "rb")
+    except OSError as exc:
+        raise SnapshotError(f"cannot open snapshot {path}: {exc}") from exc
+    with fh:
+        header = fh.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            raise SnapshotError(f"{path} is too short to be a snapshot")
+        magic, version, mlen, mdigest = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise SnapshotError(
+                f"{path} is not a snapshot file (bad magic {magic!r})"
+            )
+        if version != FORMAT_VERSION:
+            raise SnapshotError(
+                f"{path} uses snapshot format version {version}; this build "
+                f"reads version {FORMAT_VERSION}"
+            )
+        fh.seek(_HEADER.size + _pad(_HEADER.size))
+        manifest = fh.read(mlen)
+        if len(manifest) != mlen or _digest(manifest) != mdigest:
+            raise SnapshotError(f"{path}: manifest checksum mismatch")
+        try:
+            doc = json.loads(manifest.decode("utf-8"))
+        except ValueError as exc:  # pragma: no cover - digest catches this
+            raise SnapshotError(f"{path}: manifest is not valid JSON") from exc
+        if doc.get("format_version") != FORMAT_VERSION:
+            raise SnapshotError(
+                f"{path}: manifest format_version "
+                f"{doc.get('format_version')} != {FORMAT_VERSION}"
+            )
+        fh.seek(0, 2)
+        fsize = fh.tell()
+        mm: Optional[mmap.mmap] = None
+        if mmap_arrays and fsize:
+            mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        arrays: dict = {}
+        for seg in doc.get("segments", []):
+            off, nbytes = int(seg["offset"]), int(seg["nbytes"])
+            if off + nbytes > fsize:
+                raise SnapshotError(
+                    f"{path}: segment {seg['name']!r} extends past the file"
+                )
+            dtype = np.dtype(seg["dtype"])
+            shape = tuple(seg["shape"])
+            if mm is not None:
+                if nbytes:
+                    arr = np.frombuffer(
+                        mm, dtype=dtype, count=nbytes // dtype.itemsize,
+                        offset=off,
+                    )
+                else:
+                    arr = np.zeros(0, dtype=dtype)
+                arr = arr.reshape(shape)
+                raw = memoryview(mm)[off : off + nbytes]
+            else:
+                fh.seek(off)
+                raw = fh.read(nbytes)
+                arr = np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+            if verify:
+                # Hash the backing bytes directly (zero-copy on the
+                # mmap path) — segments are written C-contiguous.
+                if _digest(raw if nbytes else b"").hex() != seg["blake2b"]:
+                    raise SnapshotError(
+                        f"{path}: segment {seg['name']!r} checksum mismatch"
+                    )
+            arrays[seg["name"]] = arr
+    return RawSnapshot(
+        path=path,
+        kind=doc.get("kind", ""),
+        meta=doc.get("meta", {}),
+        arrays=arrays,
+        mmapped=mm is not None,
+        _mm=mm,
+    )
+
+
+def verify_snapshot(path: Union[str, Path]) -> RawSnapshot:
+    """Full integrity check: header, manifest and every segment digest.
+
+    Returns the opened :class:`RawSnapshot` on success; raises
+    :class:`SnapshotError` on the first mismatch.  ``build`` runs this
+    right after writing, and operators can run it any time a file's
+    provenance is in doubt — regular loads stay lazy.
+    """
+    return read_snapshot(path, mmap_arrays=True, verify=True)

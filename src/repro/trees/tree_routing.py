@@ -109,13 +109,18 @@ class PackedTreeRouting:
       without Γ mode).
     """
 
-    __slots__ = (
+    #: the slots persisted by the snapshot store; ``__slots__`` is
+    #: derived from this plus the load-time-derived ``child_key``, so a
+    #: new array field cannot silently miss the persisted set.
+    _ARRAY_FIELDS = (
         "tin", "tout", "parent", "parent_port",
         "heavy", "heavy_port", "heavy_tin", "heavy_tout",
         "child_indptr", "child_local", "child_tin", "child_tout",
         "child_port",
         "gamma_indptr", "gamma_port", "gamma_member", "stores_child",
     )
+
+    __slots__ = _ARRAY_FIELDS + ("child_key",)
 
     def __init__(self, scheme: "TreeRoutingScheme"):
         tree = scheme.tree
@@ -195,6 +200,39 @@ class PackedTreeRouting:
         self.stores_child = np.asarray(
             [scheme.stores_child_labels(v) for v in range(n)], dtype=bool
         )
+        self._finalize()
+
+    def _finalize(self) -> None:
+        """Derive the composite search keys of the child CSR.
+
+        ``child_key[i] = parent(child_i) * (2n+2) + tin(child_i)`` is
+        globally ascending (slots are grouped by parent and tin-sorted
+        within each group, and tin < 2n+2), so one ``searchsorted``
+        over the whole array answers the per-row light-child lookup for
+        every message at once (see :meth:`next_hop_many`).
+        """
+        big = np.int64(2 * self.tin.size + 2)
+        self.child_key = self.parent[self.child_local] * big + self.child_tin
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol (repro.store)
+    # ------------------------------------------------------------------
+    def __arrays__(self) -> dict[str, np.ndarray]:
+        """The persistable array set (the ``repro.store`` protocol)."""
+        return {name: getattr(self, name) for name in self._ARRAY_FIELDS}
+
+    @classmethod
+    def from_arrays(cls, arrays: dict) -> "PackedTreeRouting":
+        """Rebuild a packed view from :meth:`__arrays__` output.
+
+        Accepts read-only (memory-mapped) arrays — every kernel on this
+        class only reads them — and recomputes the derived search keys.
+        """
+        self = object.__new__(cls)
+        for name in cls._ARRAY_FIELDS:
+            setattr(self, name, arrays[name])
+        self._finalize()
+        return self
 
     def next_hop_many(
         self, lu: np.ndarray, lt: np.ndarray
@@ -236,23 +274,27 @@ class PackedTreeRouting:
             nxt[hv] = self.heavy[lu[hv]]
         light = inside & ~hv
         if light.any():
-            ci, ct = self.child_indptr, self.child_tin
-            for i in np.flatnonzero(light).tolist():
-                u = int(lu[i])
-                lo, hi = int(ci[u]), int(ci[u + 1])
-                pos = lo + int(
-                    np.searchsorted(ct[lo:hi], int(t_tin[i]), side="right")
-                ) - 1
-                if pos < lo or not (
-                    self.child_tin[pos] <= t_tin[i]
-                    and t_tout[i] <= self.child_tout[pos]
-                ):  # pragma: no cover - implies a corrupt tree label
-                    raise ValueError(
-                        "inconsistent tree label: no light entry at this vertex"
-                    )
-                action[i] = 3
-                port[i] = self.child_port[pos]
-                nxt[i] = self.child_local[pos]
+            # One ragged searchsorted for every light-child lookup: the
+            # composite keys make the per-parent CSR rows one globally
+            # sorted array, so ``searchsorted(child_key, u*(2n+2)+t_tin,
+            # "right") - 1`` lands on exactly the slot the per-row
+            # search found (earlier rows' keys are < u*(2n+2), later
+            # rows' are > any key of row u).
+            li = np.flatnonzero(light)
+            u = lu[li]
+            tt = t_tin[li]
+            big = np.int64(2 * tin.size + 2)
+            pos = np.searchsorted(self.child_key, u * big + tt, side="right") - 1
+            ok = pos >= self.child_indptr[u]
+            pos = np.maximum(pos, 0)
+            ok &= (self.child_tin[pos] <= tt) & (t_tout[li] <= self.child_tout[pos])
+            if not ok.all():  # pragma: no cover - implies a corrupt tree label
+                raise ValueError(
+                    "inconsistent tree label: no light entry at this vertex"
+                )
+            action[li] = 3
+            port[li] = self.child_port[pos]
+            nxt[li] = self.child_local[pos]
         return action, port, nxt
 
     def gamma_row(self, child: int) -> tuple[list[int], list[int]]:

@@ -13,7 +13,13 @@ from pathlib import Path
 
 import pytest
 
-from benchmarks import baseline, bench_query_throughput, bench_routing, bench_serving
+from benchmarks import (
+    baseline,
+    bench_query_throughput,
+    bench_routing,
+    bench_serving,
+    bench_snapshot,
+)
 
 
 @pytest.mark.bench_smoke
@@ -49,4 +55,13 @@ def test_routing_throughput_within_2x_of_committed_baseline():
         pytest.skip("no committed BENCH_routing.json")
     committed = json.loads(Path(bench_routing.DEFAULT_OUT).read_text())
     problems = bench_routing.check_against(committed, repeats=3)
+    assert not problems, "; ".join(problems)
+
+
+@pytest.mark.bench_smoke
+def test_snapshot_load_within_2x_of_committed_baseline():
+    if not Path(bench_snapshot.DEFAULT_OUT).exists():
+        pytest.skip("no committed BENCH_snapshot.json")
+    committed = json.loads(Path(bench_snapshot.DEFAULT_OUT).read_text())
+    problems = bench_snapshot.check_against(committed, repeats=3)
     assert not problems, "; ".join(problems)

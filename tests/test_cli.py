@@ -71,3 +71,67 @@ class TestLowerBound:
         out = capsys.readouterr().out
         assert "analytic" in out
         assert out.count("\n") >= 3
+
+
+class TestBuildServe:
+    """The build/serve split: `build` writes a snapshot, `serve-bench
+    --snapshot` / `traffic --snapshot` answer off it."""
+
+    def test_build_then_serve_bench_round_trip(self, tmp_path, capsys):
+        snap = str(tmp_path / "sketch.snap")
+        assert main(["build", "--n", "48", "--out", snap]) == 0
+        out = capsys.readouterr().out
+        assert "saved + verified" in out
+        code = main(
+            ["serve-bench", "--n", "48", "--queries", "200",
+             "--fault-sets", "4", "--chunk", "16", "--snapshot", snap]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # the command cross-checks the loaded scheme against a fresh
+        # in-process construction, bit for bit (paths included)
+        assert "snapshot answers match in-process construction" in out
+
+    def test_build_then_traffic_round_trip(self, tmp_path, capsys):
+        snap = str(tmp_path / "router.snap")
+        assert main(
+            ["build", "--n", "16", "--family", "grid", "--artifact", "router",
+             "--f", "2", "--out", snap]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["traffic", "--n", "16", "--family", "grid", "--epochs", "3",
+             "--messages-per-epoch", "6", "--snapshot", snap, "--validate"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "loaded router snapshot" in out
+        assert "oracle-validated" in out
+
+    def test_serve_bench_rejects_wrong_artifact(self, tmp_path, capsys):
+        snap = str(tmp_path / "router.snap")
+        assert main(
+            ["build", "--n", "16", "--family", "grid", "--artifact", "router",
+             "--out", snap]
+        ) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="holds a"):
+            main(["serve-bench", "--n", "16", "--family", "grid",
+                  "--snapshot", snap])
+
+    def test_serve_bench_rejects_mismatched_graph(self, tmp_path, capsys):
+        snap = str(tmp_path / "sketch.snap")
+        assert main(["build", "--n", "48", "--out", snap]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="does not match"):
+            main(["serve-bench", "--n", "32", "--snapshot", snap])
+
+    def test_traffic_rejects_mismatched_graph(self, tmp_path, capsys):
+        snap = str(tmp_path / "router.snap")
+        assert main(
+            ["build", "--n", "16", "--family", "grid", "--artifact", "router",
+             "--out", snap]
+        ) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="does not match"):
+            main(["traffic", "--n", "64", "--snapshot", snap])

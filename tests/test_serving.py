@@ -536,3 +536,127 @@ def test_hot_key_replication_fork_mode_identical_answers():
             got = svc.query_many(pairs, list(hot), want_path=False)
             assert [r.connected for r in got] == expected
         assert svc.stats().hot_keys == 1
+
+
+# ----------------------------------------------------------------------
+# PR-5 satellites: discovery-order cache accounting, cache sizes in
+# ServiceStats, and the spawn-mode (snapshot-backed) build/serve split.
+# ----------------------------------------------------------------------
+def test_presentation_cache_eviction_and_stats_accounting():
+    """Hit/miss/eviction counters under discovery-order keys.
+
+    With ``canonicalize=False`` every distinct presentation order is
+    its own entry, so permutation traffic both hits and evicts
+    differently than the canonical mode; the counters must track the
+    actual LRU events.
+    """
+    graph = generators.random_connected_graph(40, extra_edges=60, seed=81)
+    scheme = SketchConnectivityScheme(graph, seed=82)
+    rnd = random.Random(83)
+    faults = rnd.sample(range(graph.m), 3)
+    a, b, c = list(faults), list(faults[::-1]), [faults[1], faults[0], faults[2]]
+    cache = PartitionCache(scheme, capacity=2, canonicalize=False)
+    pairs = [tuple(rnd.sample(range(graph.n), 2)) for _ in range(8)]
+
+    cache.query_many(pairs, a)  # miss -> {a}
+    cache.query_many(pairs, b)  # miss -> {a, b}
+    assert (cache.stats.hits, cache.stats.misses, cache.stats.evictions) == (0, 2, 0)
+    assert len(cache) == 2
+
+    cache.query_many(pairs, a)  # hit, refreshes a -> LRU order {b, a}
+    assert cache.stats.hits == 1
+    cache.query_many(pairs, c)  # miss, evicts b (the coldest)
+    assert (cache.stats.misses, cache.stats.evictions) == (3, 1)
+    assert len(cache) == 2
+    assert a in cache and c in cache and b not in cache
+
+    # duplicates collapse into the same discovery-order key: a hit
+    cache.query_many(pairs, [a[0], a[0], a[1], a[2], a[1]])
+    assert cache.stats.hits == 2
+    # re-decoding the evicted order is a fresh miss, evicting again
+    cache.query_many(pairs, b)
+    assert (cache.stats.misses, cache.stats.evictions) == (4, 2)
+    # answers stay bit-identical to the cold decode throughout
+    assert cache.query_many(pairs, b) == scheme.query_many(pairs, list(b))
+
+
+def test_packed_engine_retry_cache_reports_entries():
+    """The routing engine's discovery-order caches expose live sizes."""
+    from repro.routing.fault_tolerant import FaultTolerantRouter
+
+    graph = generators.random_connected_graph(40, extra_edges=60, seed=84)
+    router = FaultTolerantRouter(graph, f=2, k=2, seed=85)
+    rnd = random.Random(86)
+    msgs = [tuple(rnd.sample(range(graph.n), 2)) for _ in range(12)]
+    per = [rnd.sample(range(graph.m), 2) for _ in range(12)]
+    router.route_many(msgs, per)
+    stats = router.packed_engine().cache_stats()
+    assert stats["misses"] > 0
+    assert stats["entries"] > 0
+    assert stats["entries"] <= stats["misses"]  # entries are cached misses
+    assert set(stats) == {"caches", "hits", "misses", "evictions", "entries"}
+
+
+def test_service_stats_expose_cache_entries():
+    graph = generators.random_connected_graph(40, extra_edges=60, seed=87)
+    scheme = SketchConnectivityScheme(graph, seed=88)
+    pairs, per = _repeated_fault_stream(graph, 40, 4, 4, seed=89)
+    with ShardedQueryService(scheme, num_shards=2, mp_context="none") as svc:
+        svc.query_many(pairs, per)
+        stats = svc.stats()
+        assert stats.cache_entries == 4  # one live partition per fault set
+        snap = stats.snapshot()
+        assert snap["cache"]["entries"] == 4
+    with ShardedQueryService(scheme, num_shards=2) as svc:  # fork mode
+        svc.query_many(pairs, per)
+        assert svc.stats().cache_entries == 4
+
+
+def test_spawn_mode_sharded_service_equals_single_process(tmp_path):
+    """The build/serve split: spawn-mode shards answer off a snapshot
+    file bit-identically to the in-process scheme — no fork anywhere."""
+    from repro.store import save_snapshot
+
+    graph = generators.random_connected_graph(72, extra_edges=100, seed=21)
+    scheme = SketchConnectivityScheme(graph, seed=5)
+    pairs, per = _repeated_fault_stream(graph, 60, 5, 5, seed=91)
+    cold = scheme.query_many(pairs, per)  # succinct paths included
+    snap_path = tmp_path / "scheme.snap"
+    save_snapshot(snap_path, scheme)
+    with ShardedQueryService.from_snapshot(
+        snap_path, num_shards=2, max_chunk=16
+    ) as svc:
+        assert svc.mode == "spawn"
+        assert svc.query_many(pairs, per) == cold
+        stats = svc.stats()
+        assert stats.queries == 60
+        assert stats.cache_misses == 5
+        assert stats.cache_entries == 5
+        # second batch: pure hits, still identical
+        assert svc.query_many(pairs, per) == cold
+        assert svc.stats().cache_misses == 5
+
+
+def test_spawn_without_snapshot_degrades_to_local():
+    """A spawned worker cannot inherit the scheme; without a snapshot
+    the service falls back to in-process shards (same answers)."""
+    graph = generators.random_connected_graph(40, extra_edges=60, seed=92)
+    scheme = SketchConnectivityScheme(graph, seed=93)
+    pairs, per = _repeated_fault_stream(graph, 30, 3, 3, seed=94)
+    cold = scheme.query_many(pairs, per)
+    with ShardedQueryService(scheme, num_shards=2, mp_context="spawn") as svc:
+        assert svc.mode == "local"
+        assert svc.query_many(pairs, per) == cold
+
+
+def test_spawn_mode_bad_snapshot_fails_fast(tmp_path):
+    """A missing or corrupt snapshot must raise in the parent, not die
+    silently in worker initializers and hang the first query."""
+    from repro.store import SnapshotError
+
+    with pytest.raises(SnapshotError):
+        ShardedQueryService.from_snapshot(tmp_path / "missing.snap")
+    bogus = tmp_path / "bogus.snap"
+    bogus.write_bytes(b"not a snapshot at all, certainly not magic")
+    with pytest.raises(SnapshotError, match="magic"):
+        ShardedQueryService.from_snapshot(bogus)

@@ -175,3 +175,76 @@ class TestSizes:
         _, tree, scheme, _, _ = routed_tree
         for v in tree.vertices:
             assert scheme.table_bits(v) > 0
+
+
+class TestPackedNextHopMany:
+    """The batched (ragged-searchsorted) next-hop engine vs the scalar
+    table/label computation, and the snapshot array protocol."""
+
+    @pytest.mark.parametrize("gamma_f", [None, 2])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_next_hop_many_matches_scalar_all_pairs(self, seed, gamma_f):
+        import numpy as np
+
+        g = generators.random_connected_graph(40, extra_edges=50, seed=seed)
+        tree = RootedTree.bfs(g, root=0)
+        scheme = TreeRoutingScheme(tree, gamma_f=gamma_f)
+        packed = scheme.packed()
+        tables = {v: scheme.table(v) for v in tree.vertices}
+        labels = {v: scheme.label(v) for v in tree.vertices}
+        pairs = [(u, t) for u in tree.vertices for t in tree.vertices]
+        lu = np.array([p[0] for p in pairs], dtype=np.int64)
+        lt = np.array([p[1] for p in pairs], dtype=np.int64)
+        action, port, nxt = packed.next_hop_many(lu, lt)
+        for i, (u, t) in enumerate(pairs):
+            hop = TreeRoutingScheme.next_hop(tables[u], labels[t])
+            if hop is None:
+                assert action[i] == 0
+                continue
+            assert action[i] > 0
+            assert port[i] == hop[0]
+            assert g.via_port(u, int(port[i]))[0] == int(nxt[i])
+
+    def test_next_hop_many_star_exercises_wide_light_rows(self):
+        """A star root has n-1 light children — the ragged searchsorted
+        must pick the exact child for every target."""
+        import numpy as np
+
+        g = Graph(33)
+        for v in range(1, 33):
+            g.add_edge(0, v)
+        tree = RootedTree.bfs(g, root=0)
+        scheme = TreeRoutingScheme(tree)
+        packed = scheme.packed()
+        targets = np.arange(1, 33, dtype=np.int64)
+        lu = np.zeros(32, dtype=np.int64)
+        action, port, nxt = packed.next_hop_many(lu, targets)
+        # the heavy child takes action 2; every other hop is light (3)
+        assert (nxt == targets).all()
+        assert sorted(port.tolist()) == list(range(32))
+        assert set(action.tolist()) <= {2, 3}
+
+    def test_packed_arrays_round_trip(self):
+        """__arrays__ / from_arrays rebuild an equivalent packed view."""
+        import numpy as np
+
+        from repro.trees.tree_routing import PackedTreeRouting
+
+        g = generators.random_connected_graph(36, extra_edges=44, seed=3)
+        tree = RootedTree.bfs(g, root=0)
+        scheme = TreeRoutingScheme(tree, gamma_f=2)
+        packed = scheme.packed()
+        arrays = packed.__arrays__()
+        assert set(arrays) == set(PackedTreeRouting._ARRAY_FIELDS)
+        clone = PackedTreeRouting.from_arrays(arrays)
+        lu = np.array([v for v in tree.vertices for _ in (0, 1)], dtype=np.int64)
+        lt = np.array(
+            [t for _ in tree.vertices for t in (tree.vertices[0], tree.vertices[-1])],
+            dtype=np.int64,
+        )
+        a1 = packed.next_hop_many(lu, lt)
+        a2 = clone.next_hop_many(lu, lt)
+        for x, y in zip(a1, a2):
+            assert (x == y).all()
+        for child in range(g.n):
+            assert packed.gamma_row(child) == clone.gamma_row(child)
