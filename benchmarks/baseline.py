@@ -14,7 +14,20 @@ the CSR rewrite onward.  For every workload it measures
   alongside time regressions;
 * ``distance_build_s`` — :class:`DistanceLabelScheme` construction on
   the smaller workloads (per-scale balls batched through the CSR SSSP
-  kernel).
+  kernel);
+* ``phase_s`` — a per-phase wall-clock split of the measured build
+  (graph generation, CSR snapshot, sketch construction, query decode),
+  so a regression points at its layer instead of one opaque total;
+* ``peak_rss_mb`` — the ``resource.getrusage`` high-water RSS after the
+  workload.  The kernel never lowers this number, so per-row values are
+  cumulative across the sweep: the *first* workload's row is the clean
+  reading, later rows only show growth.
+
+The full run also records one ``ball_sssp`` entry: truncated-ball
+construction on a high-diameter ring of cliques (n>=10^4, hop diameter
+~830) through the frontier delta-stepping kernel versus the sequential
+reference Dijkstra — the speedup that retired the per-source heap
+fallback in ``sparse_cover``.
 
 Timings are best-of-``--repeats`` (default 3) to damp scheduler noise.
 
@@ -35,7 +48,9 @@ from __future__ import annotations
 import argparse
 import gc
 import json
+import math
 import platform
+import resource
 import sys
 import time
 from pathlib import Path
@@ -102,8 +117,12 @@ def _best_pair(fn_a, fn_b, repeats: int) -> tuple[float, float]:
 
 def measure_workload(name: str, family: str, n: int, repeats: int = 3) -> dict:
     """All measurements of one workload, as a JSON-ready dict."""
+    t0 = time.perf_counter()
     graph = workload_graph(family, n, seed=1)
+    graph_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
     graph.as_csr()  # shared snapshot; both engines see a built graph
+    csr_s = time.perf_counter() - t0
     build_s, seed_s = _best_pair(
         lambda: SketchConnectivityScheme(graph, seed=2),
         lambda: SketchConnectivityScheme(graph, seed=2, engine="reference"),
@@ -114,7 +133,8 @@ def measure_workload(name: str, family: str, n: int, repeats: int = 3) -> dict:
     t0 = time.perf_counter()
     for s, t, faults in queries:
         scheme.query(s, t, faults)
-    query_ms = (time.perf_counter() - t0) / max(1, len(queries)) * 1000.0
+    query_s = time.perf_counter() - t0
+    query_ms = query_s / max(1, len(queries)) * 1000.0
     row = {
         "family": family,
         "n": n,
@@ -125,6 +145,16 @@ def measure_workload(name: str, family: str, n: int, repeats: int = 3) -> dict:
         "sketch_query_ms": round(query_ms, 3),
         "vertex_label_bits": scheme.max_vertex_label_bits(),
         "edge_label_bits": scheme.max_edge_label_bits(),
+        "phase_s": {
+            "graph": round(graph_s, 4),
+            "csr": round(csr_s, 4),
+            "sketch": round(build_s, 4),
+            "query": round(query_s, 4),
+        },
+        # Cumulative process high-water RSS (see module docstring).
+        "peak_rss_mb": round(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0, 1
+        ),
     }
     if n <= DISTANCE_MAX_N:
         row["distance_build_s"] = round(
@@ -142,6 +172,62 @@ def measure_workload(name: str, family: str, n: int, repeats: int = 3) -> dict:
     del scheme
     gc.collect()
     return row
+
+
+def measure_ball_sssp(
+    num_cliques: int = 1667, clique_size: int = 6, radius: float = 350.0,
+    repeats: int = 3,
+) -> dict:
+    """Truncated-ball construction: frontier kernel vs reference Dijkstra.
+
+    A ring of cliques is the high-diameter adversary for ball
+    construction: hop diameter ~``num_cliques/2`` means every ball is a
+    long arc and per-source heap Dijkstra pays its full sequential cost,
+    while the clique degree keeps the per-vertex edge work (where the
+    batched kernel amortizes and the heap cannot) realistic for the
+    cover workloads.  Measurement protocol, tuned on the authoring
+    machine: the timed region excludes garbage collection (millions of
+    live dict entries make collections dominate otherwise) and a warmup
+    call grows the heap to its steady-state size first (the initial
+    multi-GB allocation otherwise charges ~5s of page faults to
+    whichever engine runs first); both engines then take best-of-
+    ``repeats``.
+    """
+    from repro.graph.csr import truncated_balls
+    from repro.graph.generators import ring_of_cliques
+
+    g = ring_of_cliques(num_cliques, clique_size)
+    n = g.n
+    csr = g.as_csr()
+    sources = list(range(n))
+
+    def timed(engine: str) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            gc.collect()
+            gc.disable()
+            t0 = time.perf_counter()
+            res = truncated_balls(csr, sources, radius, engine=engine)
+            best = min(best, time.perf_counter() - t0)
+            gc.enable()
+            del res
+            gc.collect()
+        return best
+
+    truncated_balls(csr, sources, radius, engine="frontier")  # heap warmup
+    gc.collect()
+    frontier_s = timed("frontier")
+    reference_s = timed("reference")
+    return {
+        "family": f"ring_of_cliques-{num_cliques}x{clique_size}",
+        "n": n,
+        "radius": radius,
+        "frontier_s": round(frontier_s, 3),
+        "reference_s": round(reference_s, 3),
+        "speedup": round(reference_s / frontier_s, 2)
+        if frontier_s > 0
+        else math.inf,
+    }
 
 
 def run(workloads, repeats: int = 3, rounds: int = 1) -> dict:
@@ -176,7 +262,7 @@ def run(workloads, repeats: int = 3, rounds: int = 1) -> dict:
                 f"speedup {row['speedup']:.1f}x",
                 flush=True,
             )
-    return {
+    payload = {
         "schema": 1,
         "python": sys.version.split()[0],
         "numpy": np.__version__,
@@ -184,6 +270,20 @@ def run(workloads, repeats: int = 3, rounds: int = 1) -> dict:
         "smoke_workloads": [w[0] for w in workloads if w[3]],
         "workloads": results,
     }
+    if any(not w[3] for w in workloads):  # full runs only — it takes ~2 min
+        print(
+            "  ball_sssp: frontier vs reference on ring_of_cliques-1667x6 ...",
+            flush=True,
+        )
+        ball = measure_ball_sssp(repeats=repeats)
+        print(
+            f"  ball_sssp: frontier {ball['frontier_s']:.2f}s  "
+            f"reference {ball['reference_s']:.2f}s  "
+            f"speedup {ball['speedup']:.2f}x",
+            flush=True,
+        )
+        payload["ball_sssp"] = ball
+    return payload
 
 
 def check_against(committed: dict, repeats: int = 3) -> list[str]:

@@ -1,0 +1,331 @@
+"""Large-instance scaling baseline: ``BENCH_scale.json``.
+
+This runner pins the end-to-end story past the old ``2^31 - 1``
+pairwise-hash ceiling (``id_space <= 46341``): for each scale workload
+it builds a :class:`SketchConnectivityScheme` on a random connected
+graph, snapshots it, reloads the snapshot and oracle-validates sampled
+``query_many`` answers, recording
+
+* ``build_s`` — wall-clock scheme construction;
+* ``peak_rss_mb`` — the process high-water RSS from
+  ``resource.getrusage`` (each scale workload runs in its own
+  subprocess, so the number is per-workload, not cumulative);
+* ``hash_family`` — ``m31`` below the ceiling, ``m61`` above it
+  (auto-selected by ``family_for_key_space``);
+* label sizes and snapshot bytes, the deterministic fingerprints the
+  smoke gate compares exactly.
+
+Usage::
+
+    python -m benchmarks.bench_scale            # full set -> BENCH_scale.json
+                                                # (n up to 2*10^5; takes minutes
+                                                # and tens of GB of RAM)
+    python -m benchmarks.bench_scale --smoke    # tiny sizes, print only
+    python -m benchmarks.bench_scale --check    # compare smoke workloads against
+                                                # the committed JSON; exit 1 on
+                                                # drift or a >2x m61/m31 build
+                                                # ratio regression
+
+``--check`` is what ``benchmarks/run_baseline.sh`` and the
+``bench_smoke`` pytest marker run in CI.  The gate has two parts: the
+deterministic fields (hash family, label bits, snapshot bytes) must
+match the committed values exactly — they are machine-independent build
+fingerprints — and the m61-vs-m31 build-time ratio on the tiny smoke
+pair must not worsen by more than 2x (the m31 build on the same machine
+is the speed yardstick, so the check is machine-normalized).
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import platform
+import resource
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.common import print_table, workload_graph
+from repro.core.sketch_scheme import SketchConnectivityScheme
+from repro.oracles import ConnectivityOracle
+from repro.store import load_snapshot, save_snapshot
+
+#: repo-root location of the committed baseline.
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_scale.json"
+
+#: (name, n, id_space, smoke).  ``id_space=None`` uses the graph's own
+#: vertex count; the smoke-m61 workload forces a wide id space on a tiny
+#: graph so the Mersenne-61 path is exercised in seconds, not minutes.
+WORKLOADS = [
+    ("random-10k", 10_000, None, False),
+    ("random-100k", 100_000, None, False),
+    ("random-200k", 200_000, None, False),
+    ("smoke-m31", 2048, None, True),
+    ("smoke-m61", 2048, 50_000, True),
+]
+
+#: oracle-validated query pairs sampled per workload.
+QUERY_TRIALS = 64
+
+#: --check fails when the smoke m61/m31 build-time ratio worsens by more
+#: than this factor against the committed ratio.
+REGRESSION_FACTOR = 2.0
+
+
+def measure_workload(name: str, n: int, id_space, trials: int = QUERY_TRIALS) -> dict:
+    """Build + snapshot + reload + validate one workload, in-process.
+
+    Returns the JSON row.  ``peak_rss_mb`` is the *process* high-water
+    mark — meaningful per workload only when the caller isolates each
+    workload in its own subprocess (see :func:`run`).
+    """
+    graph = workload_graph("random", n, seed=1)
+    graph.as_csr()
+    gc.collect()
+    t0 = time.perf_counter()
+    scheme = SketchConnectivityScheme(graph, seed=2, id_space=id_space)
+    build_s = time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory() as tmp:
+        snap_path = Path(tmp) / f"{name}.ftl"
+        t0 = time.perf_counter()
+        save_snapshot(snap_path, scheme)
+        snapshot_s = time.perf_counter() - t0
+        snapshot_bytes = snap_path.stat().st_size
+        t0 = time.perf_counter()
+        restored = load_snapshot(snap_path)
+        load_s = time.perf_counter() - t0
+
+        # Oracle-validate sampled queries against the *restored* scheme:
+        # the snapshot, not the in-memory object, is what serves.
+        rnd = np.random.default_rng(3)
+        pairs = [
+            (int(s), int(t))
+            for s, t in rnd.integers(0, n, size=(trials, 2))
+            if s != t
+        ]
+        faults = [int(e) for e in rnd.choice(graph.m, size=4, replace=False)]
+        t0 = time.perf_counter()
+        answers = restored.query_many(pairs, faults, want_path=False)
+        query_ms = (time.perf_counter() - t0) / max(1, len(pairs)) * 1000.0
+        oracle = ConnectivityOracle(graph)
+        mismatches = sum(
+            1
+            for (s, t), res in zip(pairs, answers)
+            if res.connected != oracle.connected(s, t, faults)
+        )
+
+    row = {
+        "n": n,
+        "m": graph.m,
+        "id_space": id_space if id_space is not None else n,
+        "hash_family": scheme.hash_family,
+        "build_s": round(build_s, 3),
+        "snapshot_s": round(snapshot_s, 3),
+        "load_s": round(load_s, 3),
+        "query_ms": round(query_ms, 3),
+        "queries_validated": len(pairs),
+        "query_mismatches": mismatches,
+        "vertex_label_bits": scheme.max_vertex_label_bits(),
+        "edge_label_bits": scheme.max_edge_label_bits(),
+        "snapshot_bytes": snapshot_bytes,
+        "peak_rss_mb": round(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0, 1),
+    }
+    del scheme, restored
+    gc.collect()
+    return row
+
+
+def _run_isolated(name: str, n: int, id_space) -> dict:
+    """Run one workload in a fresh subprocess for a per-workload RSS."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "benchmarks.bench_scale", "--worker", name],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=Path(__file__).resolve().parent.parent,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"scale worker {name} failed:\n{proc.stdout}\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def run(workloads) -> dict:
+    """Measure all workloads, each in its own subprocess."""
+    results = {}
+    for name, n, id_space, _smoke in workloads:
+        row = _run_isolated(name, n, id_space)
+        results[name] = row
+        print(
+            f"  {name}: build {row['build_s']:.1f}s  "
+            f"rss {row['peak_rss_mb'] / 1024.0:.2f}GB  "
+            f"{row['hash_family']}  "
+            f"snapshot {row['snapshot_bytes'] / 1e6:.1f}MB  "
+            f"mismatches {row['query_mismatches']}/{row['queries_validated']}",
+            flush=True,
+        )
+        if row["query_mismatches"]:
+            raise RuntimeError(f"{name}: oracle mismatches on sampled queries")
+    return {
+        "schema": 1,
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "smoke_workloads": [w[0] for w in workloads if w[3]],
+        "workloads": results,
+    }
+
+
+def check_against(committed: dict, repeats: int = 3) -> list[str]:
+    """Re-run the smoke workloads; return regression messages (empty = ok).
+
+    Deterministic fields must match exactly; the m61/m31 build ratio may
+    not worsen past :data:`REGRESSION_FACTOR` of the committed ratio.
+    """
+    problems: list[str] = []
+    smoke_names = committed.get("smoke_workloads", [])
+    by_name = {w[0]: w for w in WORKLOADS}
+    now: dict[str, dict] = {}
+    for name in smoke_names:
+        recorded = committed["workloads"].get(name)
+        if recorded is None or name not in by_name:
+            continue
+        _, n, id_space, _ = by_name[name]
+        best = None
+        for _ in range(max(1, repeats)):
+            row = measure_workload(name, n, id_space, trials=16)
+            if best is None or row["build_s"] < best["build_s"]:
+                best = row
+        now[name] = best
+        for key in (
+            "hash_family",
+            "vertex_label_bits",
+            "edge_label_bits",
+            "snapshot_bytes",
+        ):
+            if best[key] != recorded[key]:
+                problems.append(
+                    f"{name}: {key} now {best[key]!r} != committed {recorded[key]!r}"
+                )
+        if best["query_mismatches"]:
+            problems.append(
+                f"{name}: {best['query_mismatches']} oracle mismatches"
+            )
+        status = "ok" if not problems else "DRIFT"
+        print(
+            f"  {name}: build {best['build_s'] * 1000:.0f}ms  "
+            f"{best['hash_family']}  vbits {best['vertex_label_bits']}  "
+            f"snapshot {best['snapshot_bytes']}B  [{status}]"
+        )
+    if "smoke-m31" in now and "smoke-m61" in now:
+        rec = committed["workloads"]
+        if "smoke-m31" in rec and "smoke-m61" in rec:
+            now_rel = now["smoke-m61"]["build_s"] / now["smoke-m31"]["build_s"]
+            committed_rel = rec["smoke-m61"]["build_s"] / rec["smoke-m31"]["build_s"]
+            if now_rel > committed_rel * REGRESSION_FACTOR:
+                problems.append(
+                    f"m61 build now {now_rel:.2f}x of the m31 build > "
+                    f"{REGRESSION_FACTOR}x committed ratio {committed_rel:.2f}"
+                )
+            else:
+                print(
+                    f"  m61/m31 build ratio {now_rel:.2f} "
+                    f"(committed {committed_rel:.2f}) [ok]"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    ap.add_argument(
+        "--smoke", action="store_true", help="run only the tiny smoke workloads"
+    )
+    ap.add_argument(
+        "--check",
+        nargs="?",
+        const=str(DEFAULT_OUT),
+        default=None,
+        metavar="JSON",
+        help="re-run smoke workloads and fail on drift or >2x ratio regression",
+    )
+    ap.add_argument(
+        "--worker",
+        metavar="NAME",
+        default=None,
+        help=argparse.SUPPRESS,  # internal: run one workload, print its JSON row
+    )
+    ap.add_argument(
+        "--no-write", action="store_true", help="print results without writing JSON"
+    )
+    args = ap.parse_args(argv)
+
+    if args.worker is not None:
+        by_name = {w[0]: w for w in WORKLOADS}
+        if args.worker not in by_name:
+            print(f"unknown workload {args.worker!r}", file=sys.stderr)
+            return 2
+        _, n, id_space, _ = by_name[args.worker]
+        print(json.dumps(measure_workload(args.worker, n, id_space)))
+        return 0
+
+    if args.check is not None:
+        path = Path(args.check)
+        if not path.exists():
+            print(
+                f"no committed baseline at {path} — "
+                "run `python -m benchmarks.bench_scale` to create it"
+            )
+            return 1
+        committed = json.loads(path.read_text())
+        problems = check_against(committed, repeats=3)
+        if problems:
+            print("scale regressions detected:")
+            for p in problems:
+                print("  " + p)
+            return 1
+        print("no scale regressions")
+        return 0
+
+    workloads = [w for w in WORKLOADS if w[3]] if args.smoke else WORKLOADS
+    payload = run(workloads)
+    rows = [
+        (
+            name,
+            r["n"],
+            r["m"],
+            r["hash_family"],
+            f"{r['build_s']:.1f}",
+            f"{r['peak_rss_mb'] / 1024.0:.2f}",
+            f"{r['snapshot_bytes'] / 1e6:.1f}",
+            r["vertex_label_bits"],
+            f"{r['query_mismatches']}/{r['queries_validated']}",
+        )
+        for name, r in payload["workloads"].items()
+    ]
+    print_table(
+        "Scale baseline (build / snapshot / reload / oracle-validated queries)",
+        ["workload", "n", "m", "hash", "build s", "rss GB", "snap MB", "vbits", "miss"],
+        rows,
+    )
+    if not args.smoke and not args.no_write:
+        args.out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

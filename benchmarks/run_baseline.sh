@@ -3,7 +3,8 @@
 # label construction (vs BENCH_construction.json), batched decode
 # throughput (vs BENCH_query.json), serving-layer throughput (vs
 # BENCH_serving.json), routed-message throughput (vs
-# BENCH_routing.json) or snapshot-load speedup (vs BENCH_snapshot.json)
+# BENCH_routing.json), snapshot-load speedup (vs BENCH_snapshot.json)
+# or the large-instance build fingerprints (vs BENCH_scale.json)
 # regressed more than 2x against the committed numbers.  Intended for CI / pre-merge:
 #
 #   ./benchmarks/run_baseline.sh
@@ -15,6 +16,7 @@
 #   PYTHONPATH=src python -m benchmarks.bench_serving
 #   PYTHONPATH=src python -m benchmarks.bench_routing
 #   PYTHONPATH=src python -m benchmarks.bench_snapshot
+#   PYTHONPATH=src python -m benchmarks.bench_scale   # minutes + tens of GB RAM
 set -e
 cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m benchmarks.baseline --check "$@"
@@ -22,3 +24,4 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m benchmarks.bench_query_thr
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m benchmarks.bench_serving --check "$@"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m benchmarks.bench_routing --check "$@"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m benchmarks.bench_snapshot --check "$@"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m benchmarks.bench_scale --check "$@"

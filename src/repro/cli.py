@@ -94,12 +94,14 @@ def _cmd_build(args: argparse.Namespace) -> int:
     from repro.store import save_snapshot, snapshot_info, verify_snapshot
 
     graph = _build_graph(args)
+    id_space = args.id_space or None
     t0 = time.perf_counter()
     if args.artifact == "sketch":
-        obj = SketchConnectivityScheme(graph, seed=args.seed)
+        obj = SketchConnectivityScheme(graph, seed=args.seed, id_space=id_space)
     elif args.artifact == "router":
         obj = FaultTolerantRouter(
-            graph, f=args.f, k=args.k, seed=args.seed, table_mode=args.tables
+            graph, f=args.f, k=args.k, seed=args.seed, table_mode=args.tables,
+            id_space=id_space,
         )
     elif args.artifact == "connectivity":
         obj = FaultTolerantConnectivity(graph, f=args.f, seed=args.seed)
@@ -115,6 +117,11 @@ def _cmd_build(args: argparse.Namespace) -> int:
         f"build: family={args.family} n={graph.n} m={graph.m} "
         f"artifact={args.artifact} seed={args.seed}"
     )
+    if args.artifact == "sketch":
+        print(
+            f"  hash family         : {obj.hash_family} "
+            f"(id_space={obj._id_space}, prefix={obj.prefix_layout})"
+        )
     print(f"  constructed in      : {build_s:.2f}s")
     print(
         f"  saved + verified    : {args.out} "
@@ -376,10 +383,16 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         # The acceptance bar for the build/serve split: answers off the
         # loaded snapshot equal in-process construction bit for bit
         # (succinct paths included, hence want_path=True here).  The
-        # fresh scheme uses the *snapshot's* persisted seed — the graph
-        # guard above already pinned the workload, and the label
-        # randomness belongs to the artifact, not the serve-side flag.
-        fresh = SketchConnectivityScheme(graph, seed=scheme.seed)
+        # fresh scheme uses the *snapshot's* persisted seed, identifier
+        # space and prefix layout — the graph guard above already pinned
+        # the workload, and the label randomness (and hash family) belong
+        # to the artifact, not the serve-side flags.
+        fresh = SketchConnectivityScheme(
+            graph,
+            seed=scheme.seed,
+            id_space=scheme._id_space,
+            prefix_layout=scheme.prefix_layout,
+        )
         if fresh.query_many(pairs, per) != scheme.query_many(pairs, per):
             print("  ERROR: snapshot answers diverge from in-process build")
             return 1
@@ -460,6 +473,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--f", type=int, default=2, help="fault bound")
         p.add_argument("--k", type=int, default=2, help="stretch parameter")
+        p.add_argument("--id-space", type=int, default=0,
+                       help="identifier space for the sketch hash keys "
+                            "(0 = the graph's own n; past 46341 ids the "
+                            "schemes switch to the 2^61 - 1 hash family)")
 
     p_info = sub.add_parser("info", help="scheme size report")
     common(p_info)

@@ -228,11 +228,16 @@ class DistanceLabelScheme:
         gamma_f: Optional[int] = None,
         units: Optional[int] = None,
         engine: str = "csr",
+        id_space: Optional[int] = None,
     ):
         if k < 1:
             raise ValueError("stretch parameter k must be >= 1")
         if engine not in ("csr", "reference"):
             raise ValueError(f"unknown engine {engine!r}")
+        if id_space is None:
+            id_space = graph.n
+        if id_space < graph.n:
+            raise ValueError("id_space must cover every vertex id")
         if any(e.weight < 1.0 for e in graph.edges):
             raise ValueError("Section 4 assumes edge weights in [1, W]")
         if base_scheme not in ("sketch", "cycle_space"):
@@ -247,6 +252,11 @@ class DistanceLabelScheme:
         self.routing = routing
         self.copies = copies
         self.engine = engine
+        #: identifier space threaded into every cluster instance; vertex
+        #: ids are global, so widening it past ``graph.n`` (e.g. for a
+        #: shared id universe across graphs) also widens the hash family
+        #: the instances pick via ``family_for_key_space``.
+        self.id_space = id_space
         self.K = bits_for_weight_scales(graph.n, graph.max_weight())
         self.instances: dict[InstanceKey, LabelInstance] = {}
         self._vertex_membership: list[dict[InstanceKey, int]] = [
@@ -315,11 +325,11 @@ class DistanceLabelScheme:
                         gamma_f=gamma_f,
                         id_of=id_of,
                         port_fn=port_fn,
-                        id_space=graph.n,
+                        id_space=self.id_space,
                     )
                     tr = tree_routing
                     aug = RoutingAugmentation(
-                        port_bits=routing_port_bits(graph.n),
+                        port_bits=routing_port_bits(self.id_space),
                         tlabel_bits=tr.encoded_label_bits(),
                         tlabel_of=lambda lv, _tr=tr: _tr.encode_label(_tr.label(lv)),
                     )
@@ -331,7 +341,7 @@ class DistanceLabelScheme:
                     routing=aug,
                     trees=[tree],
                     id_of=id_of,
-                    id_space=graph.n,
+                    id_space=self.id_space,
                     port_fn=port_fn,
                     engine=self.engine,
                 )

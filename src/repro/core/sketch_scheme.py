@@ -48,9 +48,11 @@ from repro.graph.ancestry import AncestryLabeling, AncLabel
 from repro.graph.graph import Graph
 from repro.graph.spanning_tree import RootedTree, spanning_forest
 from repro.sketches.edge_ids import DecodedEid, ExtendedEdgeIds, UidScheme
-from repro.sketches.hashing import PairwiseHashFamily
+from repro.sketches.hashing import PairwiseHashFamily, family_for_key_space
 from repro.sketches.sketch import (
     MAX_SKETCH_ID_SPACE,
+    MAX_SKETCH_ID_SPACE_M61,
+    RaggedPrefix,
     SketchDims,
     VertexSketches,
     eids_to_word_matrix,
@@ -402,13 +404,16 @@ class PreloadedSketchArrays:
 
     Carries the two expensive-to-build array stores of the vectorized
     scheme — the packed EID word matrix and the per-copy prefix-XOR
-    sketch tensors — exactly as a prior construction produced them (and
+    sketch stores — exactly as a prior construction produced them (and
     as the snapshot store persisted them; arrays may be read-only
-    memory maps, the scheme only ever reads them).
+    memory maps, the scheme only ever reads them).  A prefix entry is
+    either the dense ``(rows, L, J+1, W)`` tensor or, for ragged-layout
+    snapshots, the ``(keys, vals)`` change-point array pair the scheme
+    rewraps into a :class:`repro.sketches.sketch.RaggedPrefix`.
     """
 
     eid_words: np.ndarray
-    prefix: tuple[np.ndarray, ...]
+    prefix: tuple
 
 
 class SketchConnectivityScheme:
@@ -426,6 +431,7 @@ class SketchConnectivityScheme:
         id_space: Optional[int] = None,
         port_fn: Optional[Callable[[int, int], int]] = None,
         engine: str = "csr",
+        prefix_layout: Optional[str] = None,
         _preloaded: Optional[PreloadedSketchArrays] = None,
     ):
         """``id_of``/``id_space``/``port_fn`` translate instance-local
@@ -437,6 +443,13 @@ class SketchConnectivityScheme:
         construction — both produce bit-identical labels (asserted by
         ``tests/test_csr_equivalence.py``), and the benchmark baseline
         times one against the other.
+
+        ``prefix_layout`` selects the prefix sketch store of the csr
+        engine: ``"dense"`` (the padded tensor — bit-identical to every
+        prior release), ``"ragged"`` (change-point storage, peak memory
+        proportional to live sketch cells), or ``None`` (default) to
+        pick dense for m31-sized identifier spaces and ragged beyond
+        them.  Both layouts answer every query identically.
 
         ``_preloaded`` (internal; used by :mod:`repro.store`) skips the
         EID packing and sketch-tensor construction and installs the
@@ -452,15 +465,28 @@ class SketchConnectivityScheme:
         self.engine = engine
         self._id_of = id_of if id_of is not None else (lambda v: v)
         self._id_space = id_space if id_space is not None else graph.n
-        if self._id_space > MAX_SKETCH_ID_SPACE:
+        #: closures cannot be persisted, so snapshots of standalone
+        #: schemes require the default (identity) vertex/port wiring.
+        self._custom_wiring = id_of is not None or port_fn is not None
+        if self._id_space > MAX_SKETCH_ID_SPACE_M61:
             # Explicit failure instead of silently evaluating hash keys
-            # outside the 2^31 - 1 modulus domain (the seed behavior).
+            # outside the modulus domain.  Identifier spaces past the
+            # m31 cap of 46341 ids auto-upgrade to the 2^61 - 1 family;
+            # only its own ~1.5e9-id ceiling remains a hard error.
             raise ValueError(
                 f"identifier space {self._id_space} exceeds the sketch "
-                f"scheme cap of {MAX_SKETCH_ID_SPACE} ids (edge sampling "
-                f"keys must stay below the 2^31 - 1 hash modulus; a "
-                f"wider-modulus hash family is needed beyond that)"
+                f"scheme cap of {MAX_SKETCH_ID_SPACE_M61} ids (edge "
+                f"sampling keys must stay below the 2^61 - 1 hash "
+                f"modulus of the widest family)"
             )
+        wide = self._id_space > MAX_SKETCH_ID_SPACE
+        if prefix_layout not in (None, "dense", "ragged"):
+            raise ValueError(f"unknown prefix layout {prefix_layout!r}")
+        self._prefix_layout = (
+            prefix_layout
+            if prefix_layout is not None
+            else ("ragged" if wide else "dense")
+        )
         if trees is None:
             self.trees, self.comp_of = spanning_forest(graph, engine=engine)
         else:
@@ -518,12 +544,19 @@ class SketchConnectivityScheme:
         n_units = units if units is not None else default_units(graph.n)
         words = max(1, (eids.total_bits + 63) // 64)
         dims = SketchDims(units=n_units, levels=levels, words=words)
+        # family_for_key_space keeps the legacy m31 family (bit-identical
+        # labels) whenever the identifier space fits its 46341-id cap and
+        # upgrades to the 2^61 - 1 split-multiply family beyond it; the
+        # seed derivation is unchanged in both cases.
         sketchers = tuple(
             VertexSketches(
                 graph,
                 dims,
-                PairwiseHashFamily(
-                    n_units, levels - 1, derive_seed(seed, "sketch_family", c)
+                family_for_key_space(
+                    n_units,
+                    levels - 1,
+                    derive_seed(seed, "sketch_family", c),
+                    self._id_space,
                 ),
                 id_of=id_of,
                 key_space=id_space,
@@ -564,15 +597,43 @@ class SketchConnectivityScheme:
             # trees) scatter into a trailing trash row that no subtree
             # interval ever reads.
             if _preloaded is not None:
-                self._prefix = list(_preloaded.prefix)
+                # Ragged snapshots persist each copy as a (keys, vals)
+                # pair; rewrap with the row stride this tree layout
+                # implies (identical to the one the build produced).
+                self._prefix = [
+                    p
+                    if isinstance(p, np.ndarray)
+                    else RaggedPrefix(
+                        rows=offset + 2,
+                        units=n_units,
+                        levels=levels,
+                        width=words,
+                        keys=p[0],
+                        vals=p[1],
+                    )
+                    for p in _preloaded.prefix
+                ]
+                if self._prefix and not isinstance(self._prefix[0], np.ndarray):
+                    self._prefix_layout = "ragged"
+                else:
+                    self._prefix_layout = "dense"
             else:
                 row_of = np.where(pre >= 0, pre + 1, offset + 1)
                 # The scatter layout is identical for every copy (only
                 # the hash families differ), so compute it once.
                 plan = sketchers[0].scatter_plan(row_of) if graph.m else None
+                build = (
+                    VertexSketches.build_prefix_ragged
+                    if self._prefix_layout == "ragged"
+                    else VertexSketches.build_prefix
+                )
                 self._prefix = [
-                    sketchers[c].build_prefix(
-                        self._eid_words, row_of=row_of, rows=offset + 2, plan=plan
+                    build(
+                        sketchers[c],
+                        self._eid_words,
+                        row_of=row_of,
+                        rows=offset + 2,
+                        plan=plan,
                     )
                     for c in range(copies)
                 ]
@@ -609,7 +670,12 @@ class SketchConnectivityScheme:
             a = int(self._pre[v])
             b = a + int(self._size[v])
             return tuple(
-                VertexSketches.suffix_levels(p[b] ^ p[a]) for p in self._prefix
+                VertexSketches.suffix_levels(
+                    p[b] ^ p[a]
+                    if isinstance(p, np.ndarray)
+                    else p.full_row(b) ^ p.full_row(a)
+                )
+                for p in self._prefix
             )
         return tuple(agg[v] for agg in self._agg)
 
@@ -713,8 +779,24 @@ class SketchConnectivityScheme:
             )
         out: dict[str, np.ndarray] = {"eid_words": self._eid_words}
         for c, p in enumerate(self._prefix):
-            out[f"prefix{c}"] = p
+            if isinstance(p, np.ndarray):
+                out[f"prefix{c}"] = p
+            else:
+                out[f"prefix{c}_keys"] = p.keys
+                out[f"prefix{c}_vals"] = p.vals
         return out
+
+    @property
+    def hash_family(self) -> str:
+        """``"m31"`` or ``"m61"`` — which Mersenne family the identifier
+        space selected (persisted in snapshot meta for skew checks)."""
+        return "m31" if self.context.sketchers[0].family.modulus == (1 << 31) - 1 else "m61"
+
+    @property
+    def prefix_layout(self) -> str:
+        """``"dense"`` or ``"ragged"`` — the prefix store layout in use
+        (``"dense"`` also for the reference engine's aggregate arrays)."""
+        return self._prefix_layout
 
     # ------------------------------------------------------------------
     # Labels
@@ -1449,7 +1531,11 @@ class SketchConnectivityScheme:
             R = len(ext_meta)
             if not R:
                 break
-            slab = prefix[np.asarray(flat_rows, dtype=np.int64), unit]
+            fr_idx = np.asarray(flat_rows, dtype=np.int64)
+            if isinstance(prefix, np.ndarray):
+                slab = prefix[fr_idx, unit]
+            else:
+                slab = prefix.gather(fr_idx, unit)
             cand = np.bitwise_xor.reduceat(
                 slab, np.asarray(seg[:-1], dtype=np.int64), axis=0
             )

@@ -315,6 +315,137 @@ def shortest_distances(
     return dist
 
 
+def frontier_balls(
+    csr: CsrGraph,
+    sources: Sequence[int],
+    radius: float,
+    forbidden: Optional[np.ndarray] = None,
+    chunk: int = 256,
+) -> list[dict[int, float]]:
+    """Truncated SSSP balls via batched delta-stepping-style frontiers.
+
+    Same output as per-source truncated heap Dijkstra (vertex->distance
+    dicts), but all sources of a chunk advance together: each iteration
+    selects the pending (source, vertex) states within one bucket width
+    ``delta`` of the global minimum tentative distance, expands them
+    with one vectorized adjacency gather (the :func:`bfs_tree` slot
+    idiom) and scatter-mins the relaxations.  ``delta`` is the minimum
+    edge weight, so the bucket minimum is always final (the Dijkstra
+    argument); states improved after expansion simply re-enter the
+    pending set, and the loop stops at the relaxation fixpoint — exact
+    distances regardless of bucketing.
+
+    Unlike :func:`shortest_distances` the per-iteration work scales with
+    the *frontier*, not with ``m``: on high-diameter families (paths,
+    rings, grids — hop depth ~ ball radius) this replaces both the
+    O(hops * m) dense rounds and the per-source Python heap loops.
+
+    ``chunk`` is a floor: the kernel widens it so the per-chunk state
+    stays near a fixed memory budget — the bucket count per chunk is
+    ~radius/delta regardless of how many sources ride along, so wider
+    chunks amortize the per-bucket call overhead that would otherwise
+    dominate on high-diameter instances.
+    """
+    out: list[dict[int, float]] = []
+    src = np.asarray(list(sources), dtype=np.int64)
+    if src.size == 0:
+        return out
+    n = csr.n
+    if csr.m == 0:
+        return [{int(s): 0.0} for s in src]
+    chunk = min(src.size, max(chunk, int(2 * 10**7) // max(n, 1)))
+    indptr, nbrs, eids = csr.indptr, csr.neighbors, csr.edge_ids
+    ew = csr.edge_weight
+    if forbidden is not None:
+        ew = np.where(forbidden, math.inf, ew)
+    ew_slot = ew[eids]  # per-adjacency-slot weight; saves a gather per bucket
+    finite_w = ew[np.isfinite(ew)]
+    delta = float(finite_w.min()) if finite_w.size else 1.0
+    if delta <= 0:  # pragma: no cover - weights are validated positive
+        delta = 1.0
+    # One state buffer for the whole call: a large inf-fill costs real
+    # time, so chunks reset only the entries they touched (every finite
+    # state is enumerated anyway when the output dicts are built).
+    dist = np.full(chunk * n, math.inf, dtype=np.float64)
+    for c0 in range(0, src.size, chunk):
+        part = src[c0 : c0 + chunk]
+        S = part.size
+        flat0 = np.arange(S, dtype=np.int64) * n + part
+        dist[flat0] = 0.0
+        pending = flat0
+        while pending.size:
+            dp = dist[pending]
+            cur = dp.min()
+            sel = dp <= cur + delta
+            if sel.all():
+                # Common case (every pending state fits one bucket —
+                # always true on unit-weight graphs, where winners land
+                # exactly delta above the previous bucket): skip the
+                # three boolean partition passes.
+                act = pending
+                dact = dp
+                pending = pending[:0]
+            else:
+                act = pending[sel]
+                dact = dp[sel]
+                pending = pending[~sel]
+            u = act % n
+            qbase = act - u  # qi * n
+            starts = indptr[u]
+            counts = indptr[u + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                continue
+            # Expansion slots are the concatenated contiguous CSR ranges
+            # [starts, starts + counts): one arange shifted per segment.
+            # Per-state values broadcast with np.repeat directly (same
+            # result as gathering through a segment-id array, one pass
+            # fewer), and the arithmetic runs in place.
+            offs = np.cumsum(counts)
+            offs -= counts
+            slots = np.arange(total, dtype=np.int64)
+            slots += np.repeat(starts - offs, counts)
+            nd = np.repeat(dact, counts)
+            nd += ew_slot[slots]
+            cand = np.repeat(qbase, counts)
+            cand += nbrs[slots]
+            keep = (nd <= radius) & (nd < dist[cand])
+            cand = cand[keep]
+            if cand.size == 0:
+                continue
+            nd = nd[keep]
+            np.minimum.at(dist, cand, nd)
+            # A slot's relaxation "won" iff its value is the new state.
+            # Winners MUST be deduplicated before re-entering the
+            # pending set: on tie-heavy graphs (unit-weight grids) every
+            # tied predecessor in the bucket produces one winning slot
+            # for the same state, and without the unique() the
+            # duplicates re-expand together next bucket and compound
+            # exponentially with the frontier depth.  A state improved
+            # again in a later bucket still enqueues a second entry
+            # (classic lazy deletion) — that re-expansion is a bounded
+            # no-op, unlike same-bucket tie fan-in.
+            # Dedup is sort + neighbour-diff rather than np.unique: the
+            # hash-based unique of numpy >= 2.3 costs ~5x the sort on
+            # the many small winner arrays this loop emits.
+            winners = cand[nd == dist[cand]]
+            if winners.size:
+                winners.sort()
+                mask = np.empty(winners.size, dtype=bool)
+                mask[0] = True
+                np.not_equal(winners[1:], winners[:-1], out=mask[1:])
+                uniq = winners[mask]
+                pending = (
+                    uniq if not pending.size else np.concatenate((pending, uniq))
+                )
+        for i in range(S):
+            row = dist[i * n : (i + 1) * n]
+            idx = np.flatnonzero(np.isfinite(row))
+            out.append(dict(zip(idx.tolist(), row[idx].tolist())))
+            row[idx] = math.inf  # reset for the next chunk
+    return out
+
+
 def truncated_balls(
     csr: CsrGraph,
     sources: Sequence[int],
@@ -322,28 +453,55 @@ def truncated_balls(
     forbidden: Optional[np.ndarray] = None,
     chunk: int = 256,
     round_budget: int = 48,
+    engine: str = "auto",
 ) -> list[dict[int, float]]:
     """Radius-``radius`` ball of each source, as vertex->distance dicts.
 
-    Runs the batched segmented-min kernel chunk by chunk (bounding live
-    memory at ``chunk * n`` floats).  The batched kernel costs one
-    all-arc pass per shortest-path *hop*, which loses to per-source heap
-    Dijkstra when balls are many hops deep (paths, rings, long grids) —
-    a small probe chunk measures hop depth and ball size, and the engine
-    for the remaining batch is chosen from that deterministic signal
-    (with ``round_budget`` bounding the worst case either way).  Ball
-    contents and distances are identical on every path.
+    ``engine`` selects the kernel; every engine produces identical ball
+    contents and distances (asserted by ``tests/test_csr_kernels.py``),
+    the choice affects speed only:
+
+    * ``"auto"`` (default): the hybrid.  A small probe chunk through
+      the dense segmented-min kernel measures hop depth and ball size;
+      the dense kernel serves the rest when balls are large relative to
+      their hop depth (it pays ~rounds x m per chunk regardless of
+      output), otherwise the batched frontier kernel takes over —
+      high-diameter families no longer fall back to per-source Python
+      heap Dijkstra.
+    * ``"dense"``: always the segmented-min kernel
+      (:func:`shortest_distances`).
+    * ``"frontier"``: always the delta-stepping-style frontier kernel
+      (:func:`frontier_balls`).
+    * ``"reference"``: per-source sequential heap Dijkstra — the seed
+      implementation, retained as the exactness baseline.
     """
-    out: list[dict[int, float]] = []
+    if engine not in ("auto", "dense", "frontier", "reference"):
+        raise ValueError(f"unknown engine {engine!r}")
     src = list(sources)
+    if engine == "reference":
+        return [_dijkstra_ball(csr, s, radius, forbidden) for s in src]
+    if engine == "frontier":
+        return frontier_balls(csr, src, radius, forbidden=forbidden, chunk=chunk)
+    if engine == "dense":
+        block = shortest_distances(
+            csr, src, radius=radius, forbidden=forbidden, chunk=chunk
+        )
+        return [
+            {
+                int(v): float(block[i, v])
+                for v in np.flatnonzero(np.isfinite(block[i]))
+            }
+            for i in range(len(src))
+        ]
+    out: list[dict[int, float]] = []
     # Probe on a small first chunk (round budget capped, so hop-deep
     # balls bail early), then decide the engine deterministically from
-    # the probe's shape: the kernel pays ~rounds x m work per chunk
-    # regardless of output, while heap Dijkstra pays ~ball-size work per
-    # source, so the kernel only wins when balls are large relative to
-    # their hop depth.  Both engines produce identical balls — the
-    # choice affects speed only, and a deterministic rule keeps repeated
-    # constructions reproducible in time as well as in output.
+    # the probe's shape: the dense kernel pays ~rounds x m work per
+    # chunk regardless of output, while the frontier kernel pays
+    # ~frontier work per bucket, so dense only wins when balls are large
+    # relative to their hop depth.  Both produce identical balls — a
+    # deterministic rule keeps repeated constructions reproducible in
+    # time as well as in output.
     probe = src[: min(16, chunk)]
     rounds_seen: list = []
     dist = shortest_distances(
@@ -357,7 +515,7 @@ def truncated_balls(
     )
     if dist is None:
         use_kernel = False
-        out.extend(_dijkstra_ball(csr, s, radius, forbidden) for s in probe)
+        out.extend(frontier_balls(csr, probe, radius, forbidden, chunk=chunk))
     else:
         sizes = np.isfinite(dist).sum(axis=1)
         for i in range(len(probe)):
@@ -385,7 +543,7 @@ def truncated_balls(
                     out.append(dict(zip(idx.tolist(), row[idx].tolist())))
                 continue
             use_kernel = False
-        out.extend(_dijkstra_ball(csr, s, radius, forbidden) for s in part)
+        out.extend(frontier_balls(csr, part, radius, forbidden, chunk=chunk))
     return out
 
 

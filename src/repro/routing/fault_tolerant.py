@@ -80,6 +80,7 @@ class FaultTolerantRouter:
         reuse_copy: bool = False,
         engine: str = "packed",
         partition_cache_capacity: int = 256,
+        id_space: Optional[int] = None,
     ):
         """``reuse_copy=True`` is an *ablation switch*: it decodes every
         retry iteration with sketch copy 0 instead of a fresh copy,
@@ -117,6 +118,7 @@ class FaultTolerantRouter:
             routing=True,
             gamma_f=gamma_f,
             units=units,
+            id_space=id_space,
         )
         # Both planes are built lazily: the reference per-vertex table
         # objects on first reference route / bit-accounting call, the

@@ -1,28 +1,70 @@
 """Pairwise-independent hash families (Definition A.1, Fact A.2).
 
-The family is the classic ``h(x) = ((a x + b) mod p) mod 2^J`` with
-``p = 2^31 - 1`` (a Mersenne prime) and per-function coefficients derived
-from the seed ``S_h`` by the package PRF.  Keys are edge keys
-``u * n + v < n^2 < p``, so the multiplication fits comfortably in 64-bit
-arithmetic and the whole family can be evaluated with vectorized numpy,
-which is what makes label construction tractable at n ~ 10^3 (the "slow
-label construction" caveat of the reproduction notes).
+Both families are the classic ``h(x) = ((a x + b) mod p) mod 2^J`` with
+``p`` a Mersenne prime and per-function coefficients derived from the
+seed ``S_h`` by the package PRF:
 
-Each function is determined by 2 * 31 seed bits; a family of L functions
-is the paper's ``S_h`` seed of O(L log n) bits.
+* :class:`PairwiseHashFamily` uses ``p = 2^31 - 1``.  Products
+  ``a * x + b`` then fit comfortably below 2^63, so one vectorized
+  uint64 multiply-add-mod evaluates the whole family — but edge keys
+  ``min_id * id_space + max_id`` must stay below ``p``, capping the
+  identifier space at 46341 ids.
+* :class:`Mersenne61HashFamily` uses ``p = 2^61 - 1`` and lifts that
+  cap to ~1.5 * 10^9 ids.  The 122-bit products no longer fit in one
+  machine word, so the family evaluates them with split-multiply limb
+  arithmetic: operands split into hi/lo 32-bit limbs, partial products
+  are folded with the Mersenne identity ``2^61 = 1 (mod p)`` and the
+  sums are reduced lazily (every intermediate is proved < 2^63, so pure
+  numpy uint64 arithmetic never wraps unintentionally).
+
+:func:`family_for_key_space` picks between them: m31 whenever the key
+space fits (keeping the legacy labels bit-identical), m61 beyond it.
+
+Each m31 function is determined by 2 * 31 seed bits, each m61 function
+by 2 * 61; a family of L functions is the paper's ``S_h`` seed of
+O(L log n) bits.
 """
 
 from __future__ import annotations
+
+import math
+from functools import lru_cache
 
 import numpy as np
 
 from repro._util import prf_int
 
 MERSENNE_P = (1 << 31) - 1
+MERSENNE61_P = (1 << 61) - 1
+
+_M61 = np.uint64(MERSENNE61_P)
+_LO32 = np.uint64(0xFFFFFFFF)
+_LO29 = np.uint64((1 << 29) - 1)
+
+
+@lru_cache(maxsize=None)
+def max_sketch_id_space(modulus: int) -> int:
+    """Largest identifier space whose edge keys fit under ``modulus``.
+
+    Edge sampling keys are ``min_id * K + max_id`` with distinct ids, so
+    the largest key uses ids ``K - 2`` and ``K - 1``: the bound is the
+    largest ``K`` with ``(K - 2) * K + (K - 1) < modulus``.  For
+    ``2^31 - 1`` this is the historical 46341-id cap; for ``2^61 - 1``
+    it is 1518500250.
+    """
+    k = math.isqrt(modulus)
+    while (k - 1) * (k + 1) + k < modulus:  # f(k + 1) = (k+1)^2 - (k+1) - 1
+        k += 1
+    while (k - 2) * k + (k - 1) >= modulus:
+        k -= 1
+    return k
 
 
 class PairwiseHashFamily:
-    """``count`` pairwise-independent functions onto ``[0, 2^out_bits)``."""
+    """``count`` pairwise-independent functions onto ``[0, 2^out_bits)``
+    over the 31-bit Mersenne prime ``2^31 - 1``."""
+
+    modulus = MERSENNE_P
 
     def __init__(self, count: int, out_bits: int, seed: int):
         if count < 1:
@@ -63,6 +105,127 @@ class PairwiseHashFamily:
         k = keys.astype(np.uint64)[:, None]
         return ((self._a[None, :] * k + self._b[None, :]) % np.uint64(MERSENNE_P)) & self._mask
 
+    def unit_values_many(self, i: int, keys: np.ndarray) -> np.ndarray:
+        """Column ``i`` of :meth:`all_values_many` without materializing
+        the full (E, count) matrix — the memory-frugal builders evaluate
+        one unit at a time."""
+        k = keys.astype(np.uint64)
+        return ((self._a[i] * k + self._b[i]) % np.uint64(MERSENNE_P)) & self._mask
+
     def seed_bits(self) -> int:
         """Size of the seed S_h in bits: two coefficients per function."""
         return self.count * 2 * 31
+
+
+def _mulmod_m61(a: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """``a * x mod (2^61 - 1)`` over uint64 arrays via 32-bit limb splits.
+
+    With ``a, x < 2^61`` write ``a = a_hi * 2^32 + a_lo`` (``a_hi <
+    2^29``, ``a_lo < 2^32``) and likewise for ``x``; then modulo ``p``:
+
+    * ``a_hi * x_hi * 2^64 = 8 * a_hi * x_hi``           (< 2^61)
+    * ``(a_hi * x_lo + a_lo * x_hi) * 2^32``: the cross sum ``c < 2^62``
+      splits at 29 bits into ``c_hi * 2^61 + c_lo * 2^32``, i.e.
+      ``c_hi + (c_lo << 32)``                             (< 2^33 + 2^61)
+    * ``a_lo * x_lo < 2^64`` is exact in uint64 and reduces to
+      ``(p & m61) + (p >> 61)``                           (< 2^61 + 8)
+
+    The lazy sum of the partials stays below 2^63, so two fold-reduce
+    steps and one conditional subtract produce the exact residue.
+    """
+    a_hi = a >> np.uint64(32)
+    a_lo = a & _LO32
+    x_hi = x >> np.uint64(32)
+    x_lo = x & _LO32
+    cross = a_hi * x_lo + a_lo * x_hi
+    low = a_lo * x_lo
+    s = (
+        ((a_hi * x_hi) << np.uint64(3))
+        + (cross >> np.uint64(29))
+        + ((cross & _LO29) << np.uint64(32))
+        + (low & _M61)
+        + (low >> np.uint64(61))
+    )
+    s = (s & _M61) + (s >> np.uint64(61))
+    s = (s & _M61) + (s >> np.uint64(61))
+    return np.where(s >= _M61, s - _M61, s)
+
+
+class Mersenne61HashFamily:
+    """``count`` pairwise-independent functions onto ``[0, 2^out_bits)``
+    over the 61-bit Mersenne prime ``2^61 - 1`` (split-multiply limbs).
+
+    Drop-in interface twin of :class:`PairwiseHashFamily` with a
+    ~1.5 * 10^9-id key domain; selected automatically by the sketch
+    schemes once the identifier space outgrows the m31 cap.
+    """
+
+    modulus = MERSENNE61_P
+
+    def __init__(self, count: int, out_bits: int, seed: int):
+        if count < 1:
+            raise ValueError("need at least one hash function")
+        if not (1 <= out_bits <= 61):
+            raise ValueError("out_bits must be in 1..61")
+        self.count = count
+        self.out_bits = out_bits
+        self.seed = seed
+        self._a = np.array(
+            [
+                prf_int(seed, "hash61_a", i, bits=80) % (MERSENNE61_P - 1) + 1
+                for i in range(count)
+            ],
+            dtype=np.uint64,
+        )
+        self._b = np.array(
+            [
+                prf_int(seed, "hash61_b", i, bits=80) % MERSENNE61_P
+                for i in range(count)
+            ],
+            dtype=np.uint64,
+        )
+        self._mask = np.uint64((1 << out_bits) - 1)
+
+    def value(self, i: int, x: int) -> int:
+        """h_i(x) for a single key (exact big-int arithmetic — the
+        reference the vectorized limb path is tested against)."""
+        if not (0 <= x < MERSENNE61_P):
+            raise ValueError("key out of range for the hash family")
+        return int(
+            ((int(self._a[i]) * x + int(self._b[i])) % MERSENNE61_P) & int(self._mask)
+        )
+
+    def _eval(self, a: np.ndarray, b: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        s = _mulmod_m61(a, keys) + b  # both < 2^61, sum < 2^62
+        s = (s & _M61) + (s >> np.uint64(61))
+        return np.where(s >= _M61, s - _M61, s) & self._mask
+
+    def all_values(self, x: int) -> np.ndarray:
+        """Vector ``[h_0(x), ..., h_{count-1}(x)]`` (uint64)."""
+        return self._eval(self._a, self._b, np.uint64(x))
+
+    def all_values_many(self, keys: np.ndarray) -> np.ndarray:
+        """Matrix ``H[e, i] = h_i(keys[e])`` for a batch of keys (uint64)."""
+        k = keys.astype(np.uint64)[:, None]
+        return self._eval(self._a[None, :], self._b[None, :], k)
+
+    def unit_values_many(self, i: int, keys: np.ndarray) -> np.ndarray:
+        """Column ``i`` of :meth:`all_values_many`, one unit at a time."""
+        return self._eval(self._a[i], self._b[i], keys.astype(np.uint64))
+
+    def seed_bits(self) -> int:
+        """Size of the seed S_h in bits: two coefficients per function."""
+        return self.count * 2 * 61
+
+
+def family_for_key_space(count: int, out_bits: int, seed: int, key_space: int):
+    """The widest-necessary pairwise family for an identifier space.
+
+    Returns the legacy :class:`PairwiseHashFamily` whenever every edge
+    key of ``key_space`` ids fits below ``2^31 - 1`` — keeping all
+    existing labels bit-identical — and :class:`Mersenne61HashFamily`
+    beyond that (the auto-upgrade that retired the 46341-id cap).
+    """
+    if key_space <= max_sketch_id_space(MERSENNE_P):
+        return PairwiseHashFamily(count, out_bits, seed)
+    return Mersenne61HashFamily(count, out_bits, seed)

@@ -26,17 +26,26 @@ import numpy as np
 from repro.graph.graph import Graph
 from repro.graph.spanning_tree import RootedTree
 from repro.sketches.edge_ids import DecodedEid, ExtendedEdgeIds
-from repro.sketches.hashing import PairwiseHashFamily
+from repro.sketches.hashing import (
+    MERSENNE61_P,
+    MERSENNE_P,
+    PairwiseHashFamily,
+    max_sketch_id_space,
+)
 
-#: Largest identifier space the sketch sampling keys support.  Edge keys
+#: Largest identifier space the *m31* sampling keys support.  Edge keys
 #: are ``min_id * id_space + max_id`` and must stay below the hash
-#: family's Mersenne modulus ``2^31 - 1`` (the seed silently evaluated
-#: out-of-domain keys past this point); the largest key uses the two
-#: biggest ids, so the bound is the largest K with
-#: ``(K - 2) * K + (K - 1) < 2^31 - 1``, i.e. 46341.  Scaling beyond it
-#: needs a wider-modulus pairwise family (e.g. 2^61 - 1 with split
-#: multiplies) — tracked in ROADMAP.md.
-MAX_SKETCH_ID_SPACE = 46341
+#: family's Mersenne modulus; the largest key uses the two biggest ids,
+#: so the bound is the largest K with ``(K - 2) * K + (K - 1) < p``.
+#: For ``p = 2^31 - 1`` that is 46341 — the historical repo-wide cap.
+#: Schemes now auto-select the ``2^61 - 1`` split-multiply family
+#: (:class:`repro.sketches.hashing.Mersenne61HashFamily`) past it, which
+#: lifts the ceiling to :data:`MAX_SKETCH_ID_SPACE_M61` ids; m31 remains
+#: the default below, keeping all small-instance labels bit-identical.
+MAX_SKETCH_ID_SPACE = max_sketch_id_space(MERSENNE_P)  # 46341
+
+#: Identifier-space ceiling of the ``2^61 - 1`` family: ~1.5 * 10^9 ids.
+MAX_SKETCH_ID_SPACE_M61 = max_sketch_id_space(MERSENNE61_P)  # 1518500250
 
 
 @dataclass(frozen=True)
@@ -122,6 +131,88 @@ class SketchScatterPlan:
     sedges: np.ndarray
 
 
+@dataclass(frozen=True)
+class RaggedPrefix:
+    """Sparse change-point storage of the prefix-XOR sketch tensor.
+
+    Logically identical to the dense ``(rows, L, J+1, W)`` array of
+    :meth:`VertexSketches.build_prefix`, but only *change points* are
+    stored: within each plane — one ``(unit, level)`` cell tracked down
+    the row axis — the prefix value changes only at rows that received a
+    scatter, so the tensor has at most ``2 m L`` live entries against
+    ``rows * L * (J+1)`` dense cells (the dense padding is what capped
+    construction memory at large n).
+
+    ``keys`` holds the sorted global positions ``plane * rows + row``
+    (``plane = unit * levels + level``) of the change points and
+    ``vals`` the plane-cumulative XOR at each; ``prefix[r, unit,
+    level]`` is recovered by binary-searching for the last change point
+    at or before row ``r`` within the plane (zero when there is none).
+    """
+
+    rows: int
+    units: int
+    levels: int
+    width: int
+    keys: np.ndarray  # (nnz,) int64, sorted
+    vals: np.ndarray  # (nnz, width) uint64
+
+    @property
+    def nnz(self) -> int:
+        return int(self.keys.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.keys.nbytes + self.vals.nbytes)
+
+    def _lookup(self, q: np.ndarray) -> np.ndarray:
+        """Prefix values at flat positions ``q = plane * rows + row``."""
+        idx = np.searchsorted(self.keys, q, side="right") - 1
+        plane_base = (q // self.rows) * self.rows
+        valid = (idx >= 0) & (self.keys[np.maximum(idx, 0)] >= plane_base)
+        out = np.zeros(q.shape + (self.width,), dtype=np.uint64)
+        out[valid] = self.vals[idx[valid]]
+        return out
+
+    def gather(self, rows_idx: np.ndarray, unit: int) -> np.ndarray:
+        """Dense ``(len(rows_idx), levels, width)`` slab of one unit —
+        the decoder's replacement for ``prefix[rows_idx, unit]``."""
+        lv = (
+            np.int64(unit) * self.levels + np.arange(self.levels, dtype=np.int64)
+        ) * np.int64(self.rows)
+        q = np.asarray(rows_idx, dtype=np.int64)[:, None] + lv[None, :]
+        return self._lookup(q)
+
+    def full_row(self, r: int) -> np.ndarray:
+        """Dense ``(units, levels, width)`` sketch of prefix row ``r``."""
+        planes = np.arange(self.units * self.levels, dtype=np.int64)
+        q = planes * np.int64(self.rows) + np.int64(r)
+        return self._lookup(q).reshape(self.units, self.levels, self.width)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the dense ``(rows, L, J+1, W)`` tensor (tests and
+        small instances only — this reintroduces the padding)."""
+        planes = self.units * self.levels
+        flat = np.zeros((planes * self.rows, self.width), dtype=np.uint64)
+        if self.keys.size:
+            plane = self.keys // self.rows
+            row = self.keys - plane * self.rows
+            nxt = np.empty(self.keys.size, dtype=np.int64)
+            nxt[:-1] = np.where(plane[1:] == plane[:-1], row[1:], self.rows)
+            nxt[-1] = self.rows
+            counts = nxt - row
+            total = int(counts.sum())
+            within = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+            flat[np.repeat(self.keys, counts) + within] = np.repeat(
+                self.vals, counts, axis=0
+            )
+        return np.ascontiguousarray(
+            flat.reshape(self.units, self.levels, self.rows, self.width).transpose(
+                2, 0, 1, 3
+            )
+        )
+
+
 class VertexSketches:
     """The stacked per-vertex sketches of one (graph, unit family) instance.
 
@@ -159,15 +250,18 @@ class VertexSketches:
         # The largest possible edge key is min_id * key_space + max_id
         # with min_id < max_id (simple graphs), i.e. at ids k-2 and k-1.
         # Keys must stay below the hash family's Mersenne modulus, which
-        # also keeps the batched int64 key arithmetic exact (the
-        # vectorized path would otherwise silently wrap where
-        # UidScheme/hash evaluation semantics assume keys < 2^31 - 1).
-        if self.key_space > MAX_SKETCH_ID_SPACE:
+        # also keeps the batched int64 key arithmetic exact.  The cap
+        # therefore depends on the family: 46341 ids for the legacy m31
+        # family, ~1.5 * 10^9 for the 2^61 - 1 family the schemes
+        # auto-select beyond it (family_for_key_space).
+        cap = max_sketch_id_space(self.family.modulus)
+        if self.key_space > cap:
             raise ValueError(
-                f"identifier space {self.key_space} exceeds the sketch cap "
-                f"of {MAX_SKETCH_ID_SPACE} ids: edge keys must stay below "
-                f"the 2^31 - 1 hash modulus (a wider-modulus hash family "
-                f"is required beyond it)"
+                f"identifier space {self.key_space} exceeds the "
+                f"{type(self.family).__name__} cap of {cap} ids: edge keys "
+                f"must stay below the family's {self.family.modulus:#x} "
+                f"modulus (use family_for_key_space to auto-select the "
+                f"2^61 - 1 family past {MAX_SKETCH_ID_SPACE} ids)"
             )
         self._level_idx = np.arange(dims.levels)
 
@@ -190,6 +284,14 @@ class VertexSketches:
         """``(E, L)`` per-unit deepest levels for a batch of edge keys,
         with the same float arithmetic as :meth:`max_levels`."""
         h = self.family.all_values_many(keys)[:, : self.dims.units].astype(np.float64)
+        bitlen = np.where(h == 0, 0, np.floor(np.log2(np.maximum(h, 1))) + 1).astype(int)
+        return (self.dims.levels - 1) - bitlen
+
+    def unit_max_levels_many(self, unit: int, keys: np.ndarray) -> np.ndarray:
+        """Column ``unit`` of :meth:`max_levels_many` (identical per-column
+        arithmetic) without the full ``(E, L)`` hash matrix — the ragged
+        builder evaluates one unit at a time to bound peak memory."""
+        h = self.family.unit_values_many(unit, keys).astype(np.float64)
         bitlen = np.where(h == 0, 0, np.floor(np.log2(np.maximum(h, 1))) + 1).astype(int)
         return (self.dims.levels - 1) - bitlen
 
@@ -343,6 +445,74 @@ class VertexSketches:
         for r in range(1, rows):
             rowflat[r] ^= rowflat[r - 1]
         return arr
+
+    def build_prefix_ragged(
+        self,
+        eid_words: np.ndarray,
+        row_of: np.ndarray,
+        rows: int,
+        plan: Optional["SketchScatterPlan"] = None,
+    ) -> RaggedPrefix:
+        """Memory-frugal :meth:`build_prefix`: same prefix semantics,
+        change points only (:class:`RaggedPrefix`).
+
+        The dense tensor is ``rows * L * (J+1) * W`` words regardless of
+        how sparse the sketch cells are — ~4 GB per copy at n = 2 * 10^5
+        — while the live content is one change point per (slot, unit):
+        at most ``2 m L`` entries.  This builder never materializes a
+        dense plane: per unit it hashes the edge keys, sorts the slot
+        scatter targets by global position, XOR-merges duplicate
+        positions, and converts the per-plane group XORs into cumulative
+        prefix values with one XOR-accumulate and a per-plane rebase.
+        Unit chunks concatenate already globally sorted (the unit index
+        is the top of the position key).
+        """
+        units, levels, width = self.dims.units, self.dims.levels, self.dims.words
+        if self.graph.m == 0:
+            return RaggedPrefix(
+                rows=rows,
+                units=units,
+                levels=levels,
+                width=width,
+                keys=np.zeros(0, dtype=np.int64),
+                vals=np.zeros((0, width), dtype=np.uint64),
+            )
+        if plan is None:
+            plan = self.scatter_plan(row_of)
+        stride = np.int64(rows)
+        key_chunks: list[np.ndarray] = []
+        val_chunks: list[np.ndarray] = []
+        for i in range(units):
+            ml = self.unit_max_levels_many(i, plan.keys)
+            k = (np.int64(i) * levels + ml[plan.sedges]) * stride + plan.srows
+            order = np.argsort(k, kind="stable")
+            ks = k[order]
+            wv = eid_words[plan.sedges[order]]
+            starts = np.flatnonzero(np.r_[True, ks[1:] != ks[:-1]])
+            uk = ks[starts]
+            gv = np.empty((uk.size, width), dtype=np.uint64)
+            for w in range(width):
+                gv[:, w] = np.bitwise_xor.reduceat(wv[:, w], starts)
+            # Exact-level group XORs -> plane-cumulative prefix values:
+            # accumulate globally, then XOR away the running value at
+            # each plane boundary (entries of a plane are consecutive).
+            acc = np.bitwise_xor.accumulate(gv, axis=0)
+            plane = uk // stride
+            pstarts = np.flatnonzero(np.r_[True, plane[1:] != plane[:-1]])
+            counts = np.diff(np.append(pstarts, uk.size))
+            base = np.zeros((pstarts.size, width), dtype=np.uint64)
+            nz = pstarts > 0
+            base[nz] = acc[pstarts[nz] - 1]
+            key_chunks.append(uk)
+            val_chunks.append(acc ^ np.repeat(base, counts, axis=0))
+        return RaggedPrefix(
+            rows=rows,
+            units=units,
+            levels=levels,
+            width=width,
+            keys=np.concatenate(key_chunks),
+            vals=np.concatenate(val_chunks),
+        )
 
     @staticmethod
     def suffix_levels(cells: np.ndarray) -> np.ndarray:

@@ -136,6 +136,23 @@ def _words_phi(words: np.ndarray) -> list:
     return word_matrix_to_eids(np.ascontiguousarray(words))
 
 
+def _prefix_entries(arrays: dict, prefix: str, copies: int) -> tuple:
+    """Per-copy prefix stores as saved: dense tensors persist as one
+    ``prefix{c}`` segment, ragged stores as a ``prefix{c}_keys`` /
+    ``prefix{c}_vals`` segment pair (format version 2) that the scheme
+    rehydrates into a :class:`~repro.sketches.sketch.RaggedPrefix`."""
+    entries = []
+    for c in range(copies):
+        dense = arrays.get(f"{prefix}prefix{c}")
+        if dense is not None:
+            entries.append(dense)
+        else:
+            entries.append(
+                (arrays[f"{prefix}prefix{c}_keys"], arrays[f"{prefix}prefix{c}_vals"])
+            )
+    return tuple(entries)
+
+
 # ----------------------------------------------------------------------
 # Sketch scheme (standalone)
 # ----------------------------------------------------------------------
@@ -144,7 +161,7 @@ def _sketch_state(scheme) -> tuple[dict, dict]:
         raise SnapshotError(
             "only the vectorized (csr) engine has packed stores to snapshot"
         )
-    if scheme._routing is not None or scheme._id_space != scheme.graph.n:
+    if scheme._routing is not None or scheme._custom_wiring:
         raise SnapshotError(
             "instance-embedded sketch schemes are persisted through their "
             "distance scheme, not standalone"
@@ -156,6 +173,9 @@ def _sketch_state(scheme) -> tuple[dict, dict]:
         "copies": scheme.context.copies,
         "units": scheme.context.dims.units,
         "roots": [tree.root for tree in scheme.trees],
+        "id_space": scheme._id_space,
+        "hash_family": scheme.hash_family,
+        "prefix_layout": scheme.prefix_layout,
     }
     arrays: dict = {}
     _graph_arrays(scheme.graph, arrays, "graph/")
@@ -175,9 +195,7 @@ def _restore_sketch(meta: dict, arrays: dict):
     trees = _restore_forest(graph, arrays, "trees/", meta["roots"])
     preloaded = PreloadedSketchArrays(
         eid_words=arrays["store/eid_words"],
-        prefix=tuple(
-            arrays[f"store/prefix{c}"] for c in range(meta["copies"])
-        ),
+        prefix=_prefix_entries(arrays, "store/", meta["copies"]),
     )
     return SketchConnectivityScheme(
         graph,
@@ -185,6 +203,7 @@ def _restore_sketch(meta: dict, arrays: dict):
         copies=meta["copies"],
         units=meta["units"],
         trees=trees,
+        id_space=meta.get("id_space", meta["n"]),
         engine="csr",
         _preloaded=preloaded,
     )
@@ -343,6 +362,7 @@ def _distance_state(scheme) -> tuple[dict, dict]:
         "gamma_f": gamma_f,
         "K": scheme.K,
         "key_bits": scheme.key_bits,
+        "id_space": scheme.id_space,
         "instances": instances_meta,
     }
     return meta, arrays
@@ -366,8 +386,10 @@ def _restore_distance(meta: dict, arrays: dict):
 
     graph = _restore_graph(meta["n"], arrays, "graph/")
     n = meta["n"]
+    id_space = meta.get("id_space", n)
     scheme = DistanceLabelScheme.__new__(DistanceLabelScheme)
     scheme.graph = graph
+    scheme.id_space = id_space
     scheme.f = meta["f"]
     scheme.k = meta["k"]
     scheme.seed = meta["seed"]
@@ -412,7 +434,7 @@ def _restore_distance(meta: dict, arrays: dict):
                 gamma_f=gamma_f,
                 id_of=id_of,
                 port_fn=port_fn,
-                id_space=n,
+                id_space=id_space,
             )
             tree_routing._packed = PackedTreeRouting.from_arrays(
                 {
@@ -422,7 +444,7 @@ def _restore_distance(meta: dict, arrays: dict):
             )
             tr = tree_routing
             aug = RoutingAugmentation(
-                port_bits=routing_port_bits(n),
+                port_bits=routing_port_bits(id_space),
                 tlabel_bits=tr.encoded_label_bits(),
                 tlabel_of=lambda lv, _tr=tr: _tr.encode_label(_tr.label(lv)),
             )
@@ -441,9 +463,8 @@ def _restore_distance(meta: dict, arrays: dict):
         else:
             preloaded = PreloadedSketchArrays(
                 eid_words=arrays[prefix + "store/eid_words"],
-                prefix=tuple(
-                    arrays[prefix + f"store/prefix{c}"]
-                    for c in range(scheme.copies)
+                prefix=_prefix_entries(
+                    arrays, prefix + "store/", scheme.copies
                 ),
             )
             inst_scheme = SketchConnectivityScheme(
@@ -454,7 +475,7 @@ def _restore_distance(meta: dict, arrays: dict):
                 routing=aug,
                 trees=[tree],
                 id_of=id_of,
-                id_space=n,
+                id_space=id_space,
                 port_fn=port_fn,
                 engine="csr",
                 _preloaded=preloaded,

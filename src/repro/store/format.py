@@ -52,7 +52,13 @@ from typing import Mapping, Optional, Union
 import numpy as np
 
 MAGIC = b"FTLSNP01"
-FORMAT_VERSION = 1
+# Version 2: sketch stores may carry ragged prefix segments
+# (``prefix{c}_keys`` / ``prefix{c}_vals`` instead of one dense
+# ``prefix{c}`` tensor) plus the ``hash_family`` / ``prefix_layout`` /
+# ``id_space`` meta fields of the m61 wide-id-space schemes.  Version-1
+# readers cannot interpret those segments, so the version is bumped
+# rather than extended in place.
+FORMAT_VERSION = 2
 _ALIGN = 64
 _HEADER = struct.Struct("<8sIQ16s")  # magic, version, manifest len, digest
 

@@ -17,6 +17,7 @@ from benchmarks import (
     baseline,
     bench_query_throughput,
     bench_routing,
+    bench_scale,
     bench_serving,
     bench_snapshot,
 )
@@ -55,6 +56,15 @@ def test_routing_throughput_within_2x_of_committed_baseline():
         pytest.skip("no committed BENCH_routing.json")
     committed = json.loads(Path(bench_routing.DEFAULT_OUT).read_text())
     problems = bench_routing.check_against(committed, repeats=3)
+    assert not problems, "; ".join(problems)
+
+
+@pytest.mark.bench_smoke
+def test_scale_fingerprints_match_committed_baseline():
+    if not Path(bench_scale.DEFAULT_OUT).exists():
+        pytest.skip("no committed BENCH_scale.json")
+    committed = json.loads(Path(bench_scale.DEFAULT_OUT).read_text())
+    problems = bench_scale.check_against(committed, repeats=3)
     assert not problems, "; ".join(problems)
 
 

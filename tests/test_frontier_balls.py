@@ -1,0 +1,96 @@
+"""Exactness of the frontier (delta-stepping-style) ball kernel.
+
+``truncated_balls`` grows the radius-``r`` balls that ``sparse_cover``
+clusters from; the frontier engine batches many sources through
+bucketed relaxation sweeps instead of one heap Dijkstra per source.
+Bucketing changes *when* a vertex settles, never *what* distance it
+settles at — the kernel runs to the relaxation fixpoint — so every
+engine must produce identical ball dictionaries.  These tests pin that
+across the families the cover construction meets: high-diameter paths
+and rings (where the old per-source fallback was quadratic), grids,
+and non-uniform weights (where bucket widths matter).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.csr import truncated_balls
+from repro.graph.graph import Graph
+
+
+def _path(n: int) -> Graph:
+    g = Graph(n)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+FAMILIES = [
+    ("path", lambda: _path(400)),
+    ("ring", lambda: generators.cycle_graph(400)),
+    ("grid", lambda: generators.grid_graph(20, 20)),
+    (
+        "weighted",
+        lambda: generators.with_random_weights(
+            generators.random_connected_graph(300, extra_edges=450, seed=5),
+            1,
+            9,
+            seed=6,
+        ),
+    ),
+    (
+        "random",
+        lambda: generators.random_connected_graph(256, extra_edges=380, seed=7),
+    ),
+]
+FAMILY_IDS = [f[0] for f in FAMILIES]
+
+ENGINES = ["frontier", "dense", "auto"]
+
+
+@pytest.mark.parametrize("name,make", FAMILIES, ids=FAMILY_IDS)
+@pytest.mark.parametrize("radius", [0.0, 3.0, 25.0, math.inf])
+def test_engines_match_reference_exactly(name, make, radius):
+    graph = make()
+    csr = graph.as_csr()
+    sources = list(range(graph.n))
+    want = truncated_balls(csr, sources, radius, engine="reference")
+    for engine in ENGINES:
+        got = truncated_balls(csr, sources, radius, engine=engine)
+        assert got == want, f"{engine} diverges on {name} at r={radius}"
+
+
+def test_partial_source_sets_match():
+    graph = generators.with_random_weights(
+        generators.random_connected_graph(220, extra_edges=330, seed=11), 1, 7, seed=12
+    )
+    csr = graph.as_csr()
+    sources = list(range(0, graph.n, 3))
+    want = truncated_balls(csr, sources, 14.0, engine="reference")
+    for engine in ENGINES:
+        got = truncated_balls(csr, sources, 14.0, engine=engine)
+        assert got == want
+
+
+def test_ball_contents_are_true_truncated_distances():
+    graph = generators.with_random_weights(
+        generators.random_connected_graph(120, extra_edges=180, seed=13), 1, 5, seed=14
+    )
+    csr = graph.as_csr()
+    radius = 9.0
+    balls = truncated_balls(csr, list(range(graph.n)), radius, engine="frontier")
+    # Reference distances via the sequential heap Dijkstra engine.
+    exact = truncated_balls(csr, list(range(graph.n)), math.inf, engine="reference")
+    for s, ball in zip(range(graph.n), balls):
+        full = exact[s]
+        assert ball == {v: d for v, d in full.items() if d <= radius}
+
+
+def test_unknown_engine_rejected():
+    graph = _path(8)
+    with pytest.raises(ValueError, match="engine"):
+        truncated_balls(graph.as_csr(), [0], 2.0, engine="bogus")

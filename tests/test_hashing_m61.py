@@ -1,0 +1,185 @@
+"""Property tests for the ``2^61 - 1`` Mersenne pairwise family.
+
+The m61 family is the tentpole that retired the 46341-id ceiling: its
+122-bit products are evaluated with split-multiply uint64 limb
+arithmetic, so the tests here pin (a) exactness of the limb path
+against big-int reference arithmetic on adversarial operands, (b) the
+output-range contract, (c) determinism across processes (labels built
+on one host must decode on another), (d) a uniformity smoke check of
+the pairwise-independence guarantee, and (e) the family-selection rule
+that keeps every ``id_space <= 46341`` workload on the bit-identical
+legacy m31 family.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.sketches.hashing import (
+    MERSENNE61_P,
+    MERSENNE_P,
+    Mersenne61HashFamily,
+    PairwiseHashFamily,
+    _mulmod_m61,
+    family_for_key_space,
+    max_sketch_id_space,
+)
+
+#: operands that stress every limb-split branch: zero limbs, all-ones
+#: limbs, the 29-bit cross-sum split boundary, and the modulus edge.
+_EDGE_KEYS = [
+    0,
+    1,
+    2,
+    (1 << 29) - 1,
+    1 << 29,
+    (1 << 32) - 1,
+    1 << 32,
+    (1 << 32) + 1,
+    (1 << 61) - 3,
+    MERSENNE61_P - 1,
+]
+
+
+def test_mulmod_m61_matches_bigint_on_adversarial_operands():
+    ops = np.array(_EDGE_KEYS, dtype=np.uint64)
+    a, x = np.meshgrid(ops, ops)
+    a, x = a.ravel(), x.ravel()
+    got = _mulmod_m61(a, x)
+    want = np.array(
+        [(int(ai) * int(xi)) % MERSENNE61_P for ai, xi in zip(a, x)],
+        dtype=np.uint64,
+    )
+    np.testing.assert_array_equal(got, want)
+
+
+def test_mulmod_m61_matches_bigint_on_random_operands():
+    rng = np.random.default_rng(11)
+    a = rng.integers(0, MERSENNE61_P, size=4096, dtype=np.uint64)
+    x = rng.integers(0, MERSENNE61_P, size=4096, dtype=np.uint64)
+    got = _mulmod_m61(a, x)
+    want = np.array(
+        [(int(ai) * int(xi)) % MERSENNE61_P for ai, xi in zip(a, x)],
+        dtype=np.uint64,
+    )
+    np.testing.assert_array_equal(got, want)
+
+
+@pytest.mark.parametrize("out_bits", [1, 8, 31, 61])
+def test_m61_vectorized_agrees_with_scalar_bigint_reference(out_bits):
+    fam = Mersenne61HashFamily(count=5, out_bits=out_bits, seed=7)
+    rng = np.random.default_rng(13)
+    keys = np.concatenate(
+        [
+            np.array(_EDGE_KEYS, dtype=np.uint64),
+            rng.integers(0, MERSENNE61_P, size=512, dtype=np.uint64),
+        ]
+    )
+    batch = fam.all_values_many(keys)
+    assert batch.shape == (keys.size, fam.count)
+    for i in range(fam.count):
+        unit = fam.unit_values_many(i, keys)
+        np.testing.assert_array_equal(unit, batch[:, i])
+        for j in (0, 1, len(keys) - 1, 17, 201):
+            assert int(batch[j, i]) == fam.value(i, int(keys[j]))
+    one = fam.all_values(int(keys[3]))
+    np.testing.assert_array_equal(one, batch[3])
+
+
+@pytest.mark.parametrize("out_bits", [1, 7, 61])
+def test_m61_outputs_stay_in_range(out_bits):
+    fam = Mersenne61HashFamily(count=8, out_bits=out_bits, seed=3)
+    rng = np.random.default_rng(5)
+    keys = rng.integers(0, MERSENNE61_P, size=2048, dtype=np.uint64)
+    vals = fam.all_values_many(keys)
+    assert int(vals.max()) < (1 << out_bits)
+    assert int(vals.min()) >= 0
+
+
+def test_m61_rejects_out_of_domain_keys_and_bad_params():
+    fam = Mersenne61HashFamily(count=2, out_bits=8, seed=1)
+    with pytest.raises(ValueError):
+        fam.value(0, MERSENNE61_P)
+    with pytest.raises(ValueError):
+        fam.value(0, -1)
+    with pytest.raises(ValueError):
+        Mersenne61HashFamily(count=0, out_bits=8, seed=1)
+    with pytest.raises(ValueError):
+        Mersenne61HashFamily(count=1, out_bits=62, seed=1)
+
+
+def _digest_script() -> str:
+    return (
+        "import hashlib, numpy as np\n"
+        "from repro.sketches.hashing import Mersenne61HashFamily\n"
+        "fam = Mersenne61HashFamily(count=6, out_bits=20, seed=42)\n"
+        "keys = np.arange(0, 5_000_000, 997, dtype=np.uint64)\n"
+        "vals = np.ascontiguousarray(fam.all_values_many(keys))\n"
+        "print(hashlib.sha256(vals.tobytes()).hexdigest())\n"
+    )
+
+
+def test_m61_deterministic_across_processes():
+    """Same seed -> same hash values in a fresh interpreter.
+
+    Snapshots persist only the seed, so cross-process determinism is
+    what lets a restored scheme answer bit-identically on another host.
+    """
+    runs = [
+        subprocess.run(
+            [sys.executable, "-c", _digest_script()],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        for _ in range(2)
+    ]
+    assert runs[0] == runs[1]
+    fam = Mersenne61HashFamily(count=6, out_bits=20, seed=42)
+    keys = np.arange(0, 5_000_000, 997, dtype=np.uint64)
+    here = hashlib.sha256(
+        np.ascontiguousarray(fam.all_values_many(keys)).tobytes()
+    ).hexdigest()
+    assert here == runs[0]
+
+
+def test_m61_uniformity_smoke():
+    """Loose frequency checks on the hash output distribution.
+
+    Not a statistical proof — a smoke alarm for catastrophic bias (a
+    broken limb fold typically zeroes or saturates whole bit ranges).
+    """
+    fam = Mersenne61HashFamily(count=4, out_bits=1, seed=9)
+    rng = np.random.default_rng(17)
+    keys = rng.integers(0, MERSENNE61_P, size=20_000, dtype=np.uint64)
+    bits = fam.all_values_many(keys).astype(np.float64)
+    means = bits.mean(axis=0)
+    assert np.all(np.abs(means - 0.5) < 0.02), means
+
+    fam8 = Mersenne61HashFamily(count=2, out_bits=8, seed=10)
+    vals = fam8.all_values_many(keys)
+    for i in range(fam8.count):
+        counts = np.bincount(vals[:, i].astype(np.int64), minlength=256)
+        expected = keys.size / 256.0
+        # ~4.5 sigma of a Poisson(78) count; catastrophic bias only.
+        assert counts.max() < expected * 1.5 and counts.min() > expected * 0.5
+
+
+def test_family_selection_boundary():
+    cap = max_sketch_id_space(MERSENNE_P)
+    assert cap == 46341
+    assert isinstance(family_for_key_space(3, 8, 1, cap), PairwiseHashFamily)
+    assert isinstance(
+        family_for_key_space(3, 8, 1, cap + 1), Mersenne61HashFamily
+    )
+    assert max_sketch_id_space(MERSENNE61_P) == 1518500250
+    # The bound is exact: the largest edge key of K ids must fit.
+    for modulus in (MERSENNE_P, MERSENNE61_P):
+        k = max_sketch_id_space(modulus)
+        assert (k - 2) * k + (k - 1) < modulus
+        assert (k - 1) * (k + 1) + k >= modulus

@@ -211,12 +211,27 @@ def test_scenario_batched_queries():
     assert summary["landmark_pairs"] == 3
 
 
-def test_sketch_id_space_cap_is_explicit():
+def test_sketch_id_space_cap_auto_upgrades_past_m31():
     graph = generators.random_connected_graph(16, extra_edges=10, seed=1)
-    # at the cap: fine
-    SketchConnectivityScheme(graph, seed=1, id_space=MAX_SKETCH_ID_SPACE)
+    # at the m31 cap: the legacy family stays selected
+    at_cap = SketchConnectivityScheme(graph, seed=1, id_space=MAX_SKETCH_ID_SPACE)
+    assert at_cap.hash_family == "m31"
+    # past it: no more ValueError — the scheme upgrades to the 2^61 - 1
+    # family and keeps answering queries correctly
+    wide = SketchConnectivityScheme(graph, seed=1, id_space=MAX_SKETCH_ID_SPACE + 1)
+    assert wide.hash_family == "m61"
+    conn = ConnectivityOracle(graph)
+    pairs = [(0, v) for v in range(1, 8)]
+    faults = [0, 1]
+    got = [r.connected for r in wide.query_many(pairs, faults)]
+    assert got == conn.connected_many(pairs, [faults] * len(pairs))
+    # the m61 ceiling is the remaining hard error
+    from repro.sketches.sketch import MAX_SKETCH_ID_SPACE_M61
+
     with pytest.raises(ValueError, match="exceeds the sketch"):
-        SketchConnectivityScheme(graph, seed=1, id_space=MAX_SKETCH_ID_SPACE + 1)
+        SketchConnectivityScheme(
+            graph, seed=1, id_space=MAX_SKETCH_ID_SPACE_M61 + 1
+        )
 
 
 def test_empty_and_trivial_batches():

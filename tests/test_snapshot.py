@@ -86,6 +86,48 @@ def test_sketch_round_trip_bit_identical(name, make, tmp_path):
     assert part_a.answer_many(pairs) == part_b.answer_many(pairs)
 
 
+def test_sketch_m61_ragged_round_trip_bit_identical(tmp_path):
+    """Format-version-2 payload: m61 family + ragged prefix store.
+
+    A forced-wide identifier space selects the 2^61 - 1 family and the
+    change-point prefix layout; the snapshot must persist both choices
+    in its meta, rebuild a scheme on the same family, and answer every
+    query bit-identically to the in-memory original.
+    """
+    graph = generators.random_connected_graph(64, extra_edges=96, seed=25)
+    scheme = SketchConnectivityScheme(graph, seed=6, id_space=50_000)
+    assert scheme.hash_family == "m61"
+    assert scheme.prefix_layout == "ragged"
+    pairs, per = _queries(graph, 50, 5, seed=35)
+    cold = scheme.query_many(pairs, per)
+    path = tmp_path / "sketch_m61.snap"
+    save_snapshot(path, scheme)
+    restored = load_snapshot(path)
+    assert restored.hash_family == "m61"
+    assert restored.prefix_layout == "ragged"
+    assert restored._id_space == 50_000
+    assert restored.query_many(pairs, per) == cold
+    # the ragged change-point arrays are mmap views, not copies
+    assert not restored._prefix[0].keys.flags.writeable
+    assert not restored._prefix[0].vals.flags.writeable
+
+
+def test_sketch_forced_ragged_m31_round_trip(tmp_path):
+    """Ragged layout is orthogonal to the family: an m31-sized scheme
+    forced onto change-point storage round-trips too."""
+    graph = generators.ring_of_cliques(6, 5)
+    scheme = SketchConnectivityScheme(graph, seed=8, prefix_layout="ragged")
+    assert scheme.hash_family == "m31"
+    assert scheme.prefix_layout == "ragged"
+    pairs, per = _queries(graph, 40, 4, seed=36)
+    cold = scheme.query_many(pairs, per)
+    path = tmp_path / "sketch_ragged.snap"
+    save_snapshot(path, scheme)
+    restored = load_snapshot(path)
+    assert restored.prefix_layout == "ragged"
+    assert restored.query_many(pairs, per) == cold
+
+
 @pytest.mark.parametrize("name,make", FAMILIES, ids=FAMILY_IDS)
 def test_cycle_space_round_trip_bit_identical(name, make, tmp_path):
     graph = make()
