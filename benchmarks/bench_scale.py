@@ -9,17 +9,27 @@ graph, snapshots it, reloads the snapshot and oracle-validates sampled
 * ``build_s`` — wall-clock scheme construction;
 * ``peak_rss_mb`` — the process high-water RSS from
   ``resource.getrusage`` (each scale workload runs in its own
-  subprocess, so the number is per-workload, not cumulative);
+  subprocess, so the number is per-workload, not cumulative), plus a
+  ``phase_rss_mb`` breakdown sampling the high-water mark at each
+  phase boundary (graph / build / snapshot / serve) so the headline
+  attributes its growth honestly;
 * ``hash_family`` — ``m31`` below the ceiling, ``m61`` above it
   (auto-selected by ``family_for_key_space``);
-* label sizes and snapshot bytes, the deterministic fingerprints the
-  smoke gate compares exactly.
+* label sizes, snapshot bytes and the snapshot's SHA-256 — the
+  deterministic fingerprints the smoke gate compares exactly.
+
+The workload set spans ``random-1m`` (n = 10^6, the target scale of
+the array-backed forest refactor) and ``fragmented-200k`` (sparse
+G(n, m) with mean degree 1.4 — a giant component plus thousands of
+small ones, exercising the multi-component forest paths that the
+connected workloads never touch; with per-component full-n lists this
+workload would exhaust memory).
 
 Usage::
 
     python -m benchmarks.bench_scale            # full set -> BENCH_scale.json
-                                                # (n up to 2*10^5; takes minutes
-                                                # and tens of GB of RAM)
+                                                # (n up to 10^6; takes minutes
+                                                # and ~15 GB of RAM)
     python -m benchmarks.bench_scale --smoke    # tiny sizes, print only
     python -m benchmarks.bench_scale --check    # compare smoke workloads against
                                                 # the committed JSON; exit 1 on
@@ -59,15 +69,20 @@ from repro.store import load_snapshot, save_snapshot
 #: repo-root location of the committed baseline.
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_scale.json"
 
-#: (name, n, id_space, smoke).  ``id_space=None`` uses the graph's own
-#: vertex count; the smoke-m61 workload forces a wide id space on a tiny
-#: graph so the Mersenne-61 path is exercised in seconds, not minutes.
+#: (name, family, n, id_space, smoke).  ``id_space=None`` uses the
+#: graph's own vertex count; the smoke-m61 workload forces a wide id
+#: space on a tiny graph so the Mersenne-61 path is exercised in
+#: seconds, not minutes, and smoke-fragmented keeps a many-component
+#: fingerprint in the fast CI gate.
 WORKLOADS = [
-    ("random-10k", 10_000, None, False),
-    ("random-100k", 100_000, None, False),
-    ("random-200k", 200_000, None, False),
-    ("smoke-m31", 2048, None, True),
-    ("smoke-m61", 2048, 50_000, True),
+    ("random-10k", "random", 10_000, None, False),
+    ("random-100k", "random", 100_000, None, False),
+    ("random-200k", "random", 200_000, None, False),
+    ("random-1m", "random", 1_000_000, None, False),
+    ("fragmented-200k", "fragmented", 200_000, None, False),
+    ("smoke-m31", "random", 2048, None, True),
+    ("smoke-m61", "random", 2048, 50_000, True),
+    ("smoke-fragmented", "fragmented", 4096, None, True),
 ]
 
 #: oracle-validated query pairs sampled per workload.
@@ -78,19 +93,41 @@ QUERY_TRIALS = 64
 REGRESSION_FACTOR = 2.0
 
 
-def measure_workload(name: str, n: int, id_space, trials: int = QUERY_TRIALS) -> dict:
+def _rss_mb() -> float:
+    """Process high-water RSS in MB (monotone within a process)."""
+    return round(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0, 1)
+
+
+def _sha256_file(path: Path) -> str:
+    import hashlib
+
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 22), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def measure_workload(
+    name: str, family: str, n: int, id_space, trials: int = QUERY_TRIALS
+) -> dict:
     """Build + snapshot + reload + validate one workload, in-process.
 
     Returns the JSON row.  ``peak_rss_mb`` is the *process* high-water
     mark — meaningful per workload only when the caller isolates each
-    workload in its own subprocess (see :func:`run`).
+    workload in its own subprocess (see :func:`run`).  ``phase_rss_mb``
+    samples that monotone high-water mark at each phase boundary, so
+    each phase's entry is "the peak as of the end of this phase" and
+    the deltas attribute peak growth to phases.
     """
-    graph = workload_graph("random", n, seed=1)
+    graph = workload_graph(family, n, seed=1)
     graph.as_csr()
     gc.collect()
+    phase_rss = {"graph": _rss_mb()}
     t0 = time.perf_counter()
     scheme = SketchConnectivityScheme(graph, seed=2, id_space=id_space)
     build_s = time.perf_counter() - t0
+    phase_rss["build"] = _rss_mb()
 
     with tempfile.TemporaryDirectory() as tmp:
         snap_path = Path(tmp) / f"{name}.ftl"
@@ -98,6 +135,17 @@ def measure_workload(name: str, n: int, id_space, trials: int = QUERY_TRIALS) ->
         save_snapshot(snap_path, scheme)
         snapshot_s = time.perf_counter() - t0
         snapshot_bytes = snap_path.stat().st_size
+        snapshot_sha256 = _sha256_file(snap_path)
+        hash_family = scheme.hash_family
+        vertex_bits = scheme.max_vertex_label_bits()
+        edge_bits = scheme.max_edge_label_bits()
+        phase_rss["snapshot"] = _rss_mb()
+        # Build/serve split: the builder's in-memory scheme is released
+        # before the snapshot is served, exactly as a server process
+        # would start fresh.  Keeping both alive would double-count the
+        # label store against the serve-phase footprint.
+        del scheme
+        gc.collect()
         t0 = time.perf_counter()
         restored = load_snapshot(snap_path)
         load_s = time.perf_counter() - t0
@@ -115,34 +163,36 @@ def measure_workload(name: str, n: int, id_space, trials: int = QUERY_TRIALS) ->
         answers = restored.query_many(pairs, faults, want_path=False)
         query_ms = (time.perf_counter() - t0) / max(1, len(pairs)) * 1000.0
         oracle = ConnectivityOracle(graph)
+        truth = oracle.connected_many(pairs, faults)
         mismatches = sum(
-            1
-            for (s, t), res in zip(pairs, answers)
-            if res.connected != oracle.connected(s, t, faults)
+            1 for res, ok in zip(answers, truth) if res.connected != ok
         )
 
+    phase_rss["serve"] = _rss_mb()
     row = {
         "n": n,
         "m": graph.m,
         "id_space": id_space if id_space is not None else n,
-        "hash_family": scheme.hash_family,
+        "hash_family": hash_family,
         "build_s": round(build_s, 3),
         "snapshot_s": round(snapshot_s, 3),
         "load_s": round(load_s, 3),
         "query_ms": round(query_ms, 3),
         "queries_validated": len(pairs),
         "query_mismatches": mismatches,
-        "vertex_label_bits": scheme.max_vertex_label_bits(),
-        "edge_label_bits": scheme.max_edge_label_bits(),
+        "vertex_label_bits": vertex_bits,
+        "edge_label_bits": edge_bits,
         "snapshot_bytes": snapshot_bytes,
-        "peak_rss_mb": round(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0, 1),
+        "snapshot_sha256": snapshot_sha256,
+        "peak_rss_mb": _rss_mb(),
+        "phase_rss_mb": phase_rss,
     }
-    del scheme, restored
+    del restored
     gc.collect()
     return row
 
 
-def _run_isolated(name: str, n: int, id_space) -> dict:
+def _run_isolated(name: str) -> dict:
     """Run one workload in a fresh subprocess for a per-workload RSS."""
     env = dict(os.environ)
     src = str(Path(__file__).resolve().parent.parent / "src")
@@ -166,8 +216,8 @@ def _run_isolated(name: str, n: int, id_space) -> dict:
 def run(workloads) -> dict:
     """Measure all workloads, each in its own subprocess."""
     results = {}
-    for name, n, id_space, _smoke in workloads:
-        row = _run_isolated(name, n, id_space)
+    for name, _family, _n, _id_space, _smoke in workloads:
+        row = _run_isolated(name)
         results[name] = row
         print(
             f"  {name}: build {row['build_s']:.1f}s  "
@@ -184,7 +234,7 @@ def run(workloads) -> dict:
         "python": sys.version.split()[0],
         "numpy": np.__version__,
         "machine": platform.machine(),
-        "smoke_workloads": [w[0] for w in workloads if w[3]],
+        "smoke_workloads": [w[0] for w in workloads if w[4]],
         "workloads": results,
     }
 
@@ -203,10 +253,10 @@ def check_against(committed: dict, repeats: int = 3) -> list[str]:
         recorded = committed["workloads"].get(name)
         if recorded is None or name not in by_name:
             continue
-        _, n, id_space, _ = by_name[name]
+        _, family, n, id_space, _ = by_name[name]
         best = None
         for _ in range(max(1, repeats)):
-            row = measure_workload(name, n, id_space, trials=16)
+            row = measure_workload(name, family, n, id_space, trials=16)
             if best is None or row["build_s"] < best["build_s"]:
                 best = row
         now[name] = best
@@ -215,7 +265,10 @@ def check_against(committed: dict, repeats: int = 3) -> list[str]:
             "vertex_label_bits",
             "edge_label_bits",
             "snapshot_bytes",
+            "snapshot_sha256",
         ):
+            if key not in recorded:
+                continue  # pre-digest baselines stay checkable
             if best[key] != recorded[key]:
                 problems.append(
                     f"{name}: {key} now {best[key]!r} != committed {recorded[key]!r}"
@@ -278,8 +331,8 @@ def main(argv=None) -> int:
         if args.worker not in by_name:
             print(f"unknown workload {args.worker!r}", file=sys.stderr)
             return 2
-        _, n, id_space, _ = by_name[args.worker]
-        print(json.dumps(measure_workload(args.worker, n, id_space)))
+        _, family, n, id_space, _ = by_name[args.worker]
+        print(json.dumps(measure_workload(args.worker, family, n, id_space)))
         return 0
 
     if args.check is not None:
@@ -300,7 +353,7 @@ def main(argv=None) -> int:
         print("no scale regressions")
         return 0
 
-    workloads = [w for w in WORKLOADS if w[3]] if args.smoke else WORKLOADS
+    workloads = [w for w in WORKLOADS if w[4]] if args.smoke else WORKLOADS
     payload = run(workloads)
     rows = [
         (

@@ -68,6 +68,11 @@ def workload_graph(name: str, n: int, seed: int = 0) -> Graph:
     if name == "ring_of_cliques":
         cliques = max(3, n // 6)
         return generators.ring_of_cliques(cliques, 6)
+    if name == "fragmented":
+        # Sparse G(n, m) with mean degree 1.4: a giant component plus
+        # thousands of small ones — stresses the per-component (forest)
+        # paths that a connected workload never touches.
+        return generators.gnm_random_graph(n, int(0.7 * n), seed=seed)
     raise ValueError(f"unknown workload {name!r}")
 
 

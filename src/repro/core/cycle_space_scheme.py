@@ -21,10 +21,17 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
+import numpy as np
+
 from repro._util import derive_seed
 from repro.core._batch import normalize_faults
 from repro.cycle_space.labels import CycleSpaceLabels
-from repro.graph.ancestry import AncestryLabeling, AncLabel, edge_on_root_path
+from repro.graph.ancestry import (
+    AncestryLabeling,
+    AncLabel,
+    edge_on_root_path,
+    stitched_intervals,
+)
 from repro.graph.graph import Graph
 from repro.graph.spanning_tree import RootedTree, spanning_forest
 from repro.linalg.gf2 import gf2_solve
@@ -243,10 +250,10 @@ class CycleSpaceConnectivityScheme:
             self.trees, self.comp_of = spanning_forest(graph)
         else:
             self.trees = list(trees)
-            self.comp_of = [-1] * graph.n
+            comp_of = np.full(graph.n, -1, dtype=np.int64)
             for ci, tree in enumerate(self.trees):
-                for v in tree.vertices:
-                    self.comp_of[v] = ci
+                comp_of[tree.arrays().order] = ci
+            self.comp_of = comp_of
         self._anc = [AncestryLabeling(tree) for tree in self.trees]
         self._labels = [
             CycleSpaceLabels.build(
@@ -267,14 +274,10 @@ class CycleSpaceConnectivityScheme:
         if self._qstore is None:
             graph = self.graph
             n, m = graph.n, graph.m
-            comp_v = list(self.comp_of)
-            tin = [0] * n
-            tout = [0] * n
-            for anc in self._anc:
-                for v, ti in enumerate(anc._tin):
-                    if ti:
-                        tin[v] = ti
-                        tout[v] = anc._tout[v]
+            comp_v = np.asarray(self.comp_of, dtype=np.int64).tolist()
+            tin_np, tout_np = stitched_intervals(self._anc, n)
+            tin = tin_np.tolist()
+            tout = tout_np.tolist()
             comp_e = [0] * m
             phi = [0] * m
             is_tree = [False] * m
@@ -297,12 +300,12 @@ class CycleSpaceConnectivityScheme:
     # Labels
     # ------------------------------------------------------------------
     def vertex_label(self, v: int) -> CSVertexLabel:
-        ci = self.comp_of[v]
+        ci = int(self.comp_of[v])
         return CSVertexLabel(component=ci, anc=self._anc[ci].label(v), n=self.graph.n)
 
     def edge_label(self, edge_index: int) -> CSEdgeLabel:
         e = self.graph.edge(edge_index)
-        ci = self.comp_of[e.u]
+        ci = int(self.comp_of[e.u])
         anc = self._anc[ci]
         return CSEdgeLabel(
             component=ci,

@@ -48,6 +48,222 @@ from repro.trees.tree_routing import TreeRoutingScheme
 InstanceKey = tuple[int, int]  # (scale i, cluster j)
 
 
+class _EntityView:
+    """Dict-like view of one entity's rows in a flat membership store.
+
+    Supports exactly the mapping surface the decoders and the routing
+    layer use on the old per-entity dicts: ``get``, ``[]``, ``items``,
+    ``keys`` (so ``dict(view)`` works).  Creation is O(1); lookups are
+    one ``searchsorted`` into the frozen column arrays.
+    """
+
+    __slots__ = ("_store", "_ent")
+
+    def __init__(self, store, ent: int):
+        self._store = store
+        self._ent = ent
+
+    def get(self, key, default=None):
+        got = self._store.lookup(self._ent, key)
+        return default if got is None else got
+
+    def __getitem__(self, key):
+        got = self._store.lookup(self._ent, key)
+        if got is None:
+            raise KeyError(key)
+        return got
+
+    def items(self):
+        return self._store.rows_for(self._ent)
+
+    def keys(self):
+        return [k for k, _ in self._store.rows_for(self._ent)]
+
+    def __iter__(self):
+        return iter(self.keys())
+
+    def __len__(self):
+        return len(self._store.rows_for(self._ent))
+
+
+class FlatMembership:
+    """Flat sorted ``(entity, scale, cluster) -> local id`` columns.
+
+    Replaces the ``[{} for _ in range(n)]`` per-entity dict stores:
+    rows are appended as whole clusters during construction (ascending
+    ``(i, j)``, so one stable sort by entity at freeze time yields rows
+    ordered by ``(entity, i, j)``), then frozen into four int64 columns
+    plus a composite sort key for O(log N) ``searchsorted`` lookup.
+    ``store[ent]`` returns a dict-like :class:`_EntityView`, keeping
+    every existing ``vmem[v].get(key)`` call site unchanged.
+    """
+
+    __slots__ = (
+        "_parts_ent", "_parts_i", "_parts_j", "_parts_local",
+        "_ent", "_i", "_j", "_local", "_key", "_si", "_sj",
+    )
+
+    def __init__(self):
+        self._parts_ent: Optional[list[np.ndarray]] = []
+        self._parts_i: Optional[list[int]] = []
+        self._parts_j: Optional[list[int]] = []
+        self._parts_local: Optional[list[np.ndarray]] = []
+        self._key: Optional[np.ndarray] = None
+
+    def add_cluster(self, entities, i: int, j: int, locals_=None) -> None:
+        """Append one cluster's rows; ``locals_`` defaults to
+        ``0..len(entities)`` (the local-id enumeration of the cluster)."""
+        ent = np.asarray(entities, dtype=np.int64)
+        if locals_ is None:
+            locals_ = np.arange(ent.size, dtype=np.int64)
+        self._parts_ent.append(ent)
+        self._parts_i.append(i)
+        self._parts_j.append(j)
+        self._parts_local.append(np.asarray(locals_, dtype=np.int64))
+
+    def freeze(self, max_i: int, max_j: int) -> None:
+        """Sort and seal the columns; no rows may be added afterwards."""
+        self._si = np.int64(max_i + 2)
+        self._sj = np.int64(max_j + 2)
+        if self._parts_ent:
+            ent = np.concatenate(self._parts_ent)
+            is_ = np.concatenate(
+                [
+                    np.full(p.size, iv, dtype=np.int64)
+                    for p, iv in zip(self._parts_ent, self._parts_i)
+                ]
+            )
+            js = np.concatenate(
+                [
+                    np.full(p.size, jv, dtype=np.int64)
+                    for p, jv in zip(self._parts_ent, self._parts_j)
+                ]
+            )
+            local = np.concatenate(self._parts_local)
+            # Stable by entity: clusters were appended in ascending
+            # (i, j), so within an entity rows stay (i, j)-ascending —
+            # the exact iteration order of the old insertion-order dicts.
+            srt = np.argsort(ent, kind="stable")
+            ent, is_, js, local = ent[srt], is_[srt], js[srt], local[srt]
+        else:
+            ent = is_ = js = local = np.zeros(0, dtype=np.int64)
+        if ent.size and (
+            int(ent.max()) + 1
+        ) * int(self._si) * int(self._sj) >= 2**62:  # pragma: no cover
+            raise OverflowError("membership composite key overflows int64")
+        self._ent, self._i, self._j, self._local = ent, is_, js, local
+        self._key = (ent * self._si + is_) * self._sj + js
+        self._parts_ent = self._parts_i = None
+        self._parts_j = self._parts_local = None
+
+    def set_frozen(self, ent, i, j, local, max_i: int, max_j: int) -> None:
+        """Install pre-sorted columns directly (snapshot restore)."""
+        self._si = np.int64(max_i + 2)
+        self._sj = np.int64(max_j + 2)
+        self._ent = np.asarray(ent, dtype=np.int64)
+        self._i = np.asarray(i, dtype=np.int64)
+        self._j = np.asarray(j, dtype=np.int64)
+        self._local = np.asarray(local, dtype=np.int64)
+        self._key = (self._ent * self._si + self._i) * self._sj + self._j
+        self._parts_ent = self._parts_i = None
+        self._parts_j = self._parts_local = None
+
+    def columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(entity, scale, cluster, local)`` frozen columns."""
+        return self._ent, self._i, self._j, self._local
+
+    def lookup(self, ent: int, key: InstanceKey) -> Optional[int]:
+        k = (np.int64(ent) * self._si + np.int64(key[0])) * self._sj + np.int64(
+            key[1]
+        )
+        pos = int(np.searchsorted(self._key, k))
+        if pos < self._key.size and self._key[pos] == k:
+            return int(self._local[pos])
+        return None
+
+    def rows_for(self, ent: int) -> list[tuple[InstanceKey, int]]:
+        lo = int(np.searchsorted(self._key, np.int64(ent) * self._si * self._sj))
+        hi = int(
+            np.searchsorted(self._key, np.int64(ent + 1) * self._si * self._sj)
+        )
+        return [
+            ((int(self._i[r]), int(self._j[r])), int(self._local[r]))
+            for r in range(lo, hi)
+        ]
+
+    def __getitem__(self, ent: int) -> _EntityView:
+        return _EntityView(self, ent)
+
+
+class FlatIStar:
+    """Flat sorted ``(vertex, scale) -> home cluster`` columns.
+
+    The per-vertex ``i*`` dicts, flattened: whole scales are appended at
+    once from the cover's home arrays, frozen into three sorted columns.
+    ``store[v]`` is a dict-like view keyed by scale.
+    """
+
+    __slots__ = ("_parts_v", "_parts_i", "_parts_j", "_v", "_i", "_j", "_key", "_si")
+
+    def __init__(self):
+        self._parts_v: Optional[list[np.ndarray]] = []
+        self._parts_i: Optional[list[int]] = []
+        self._parts_j: Optional[list[np.ndarray]] = []
+        self._key: Optional[np.ndarray] = None
+
+    def add_scale(self, vertices, homes, i: int) -> None:
+        self._parts_v.append(np.asarray(vertices, dtype=np.int64))
+        self._parts_i.append(i)
+        self._parts_j.append(np.asarray(homes, dtype=np.int64))
+
+    def freeze(self, max_i: int) -> None:
+        self._si = np.int64(max_i + 2)
+        if self._parts_v:
+            v = np.concatenate(self._parts_v)
+            is_ = np.concatenate(
+                [
+                    np.full(p.size, iv, dtype=np.int64)
+                    for p, iv in zip(self._parts_v, self._parts_i)
+                ]
+            )
+            j = np.concatenate(self._parts_j)
+            srt = np.argsort(v, kind="stable")
+            v, is_, j = v[srt], is_[srt], j[srt]
+        else:
+            v = is_ = j = np.zeros(0, dtype=np.int64)
+        self._v, self._i, self._j = v, is_, j
+        self._key = v * self._si + is_
+        self._parts_v = self._parts_i = self._parts_j = None
+
+    def set_frozen(self, v, i, j, max_i: int) -> None:
+        """Install pre-sorted columns directly (snapshot restore)."""
+        self._si = np.int64(max_i + 2)
+        self._v = np.asarray(v, dtype=np.int64)
+        self._i = np.asarray(i, dtype=np.int64)
+        self._j = np.asarray(j, dtype=np.int64)
+        self._key = self._v * self._si + self._i
+        self._parts_v = self._parts_i = self._parts_j = None
+
+    def columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(vertex, scale, home cluster)`` frozen columns."""
+        return self._v, self._i, self._j
+
+    def lookup(self, v: int, i: int) -> Optional[int]:
+        k = np.int64(v) * self._si + np.int64(i)
+        pos = int(np.searchsorted(self._key, k))
+        if pos < self._key.size and self._key[pos] == k:
+            return int(self._j[pos])
+        return None
+
+    def rows_for(self, v: int) -> list[tuple[int, int]]:
+        lo = int(np.searchsorted(self._key, np.int64(v) * self._si))
+        hi = int(np.searchsorted(self._key, np.int64(v + 1) * self._si))
+        return [(int(self._i[r]), int(self._j[r])) for r in range(lo, hi)]
+
+    def __getitem__(self, v: int) -> _EntityView:
+        return _EntityView(self, v)
+
+
 def instance_wiring(graph: Graph, to_parent):
     """The global-facing ``(id_of, port_fn)`` closures of one cluster.
 
@@ -259,18 +475,20 @@ class DistanceLabelScheme:
         self.id_space = id_space
         self.K = bits_for_weight_scales(graph.n, graph.max_weight())
         self.instances: dict[InstanceKey, LabelInstance] = {}
-        self._vertex_membership: list[dict[InstanceKey, int]] = [
-            {} for _ in range(graph.n)
-        ]
-        self._edge_membership: list[dict[InstanceKey, int]] = [
-            {} for _ in range(graph.m)
-        ]
-        self._i_star: list[dict[int, int]] = [{} for _ in range(graph.n)]
+        # Flat column stores in place of the old [{} for _ in range(n)]
+        # per-entity dicts: appended cluster-by-cluster during the scale
+        # loop, frozen once at the end (searchsorted lookups thereafter).
+        self._vertex_membership = FlatMembership()
+        self._edge_membership = FlatMembership()
+        self._i_star = FlatIStar()
         for i in range(self.K + 1):
             self._build_scale(i, units, gamma_f)
         max_clusters = max(
             (key[1] for key in self.instances), default=0
         )
+        self._vertex_membership.freeze(self.K, max_clusters)
+        self._edge_membership.freeze(self.K, max_clusters)
+        self._i_star.freeze(self.K)
         self.key_bits = bits_for_count(self.K) + bits_for_count(max(max_clusters, 1))
 
     # ------------------------------------------------------------------
@@ -296,8 +514,12 @@ class DistanceLabelScheme:
             allowed = set(np.flatnonzero(light).tolist())
         for j, ct in enumerate(cover.trees):
             key = (i, j)
+            # csr: the int64 member array slices straight into the CSR
+            # keep-mask pass; reference keeps the plain-int tuple so no
+            # np.int64 leaks into the sequential maps.
+            cluster_vs = ct.members if self.engine == "csr" else ct.vertices
             sub = graph.induced_subgraph(
-                ct.vertices, allowed_edges=allowed, engine=self.engine
+                cluster_vs, allowed_edges=allowed, engine=self.engine
             )
             center_local = sub.vertex_from_parent[ct.center]
             tree = RootedTree.dijkstra(sub.graph, center_local)
@@ -354,12 +576,10 @@ class DistanceLabelScheme:
                 center_local=center_local,
                 radius=ct.radius,
             )
-            for lv, pv in enumerate(to_parent):
-                self._vertex_membership[pv][key] = lv
-            for le, pe in enumerate(sub.edge_to_parent):
-                self._edge_membership[pe][key] = le
-        for v, j in cover.home.items():
-            self._i_star[v][i] = j
+            self._vertex_membership.add_cluster(to_parent, i, j)
+            self._edge_membership.add_cluster(sub.edge_to_parent, i, j)
+        hv, hi = cover.home_arrays()
+        self._i_star.add_scale(hv, hi, i)
 
     # ------------------------------------------------------------------
     # Labels

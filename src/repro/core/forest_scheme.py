@@ -23,7 +23,12 @@ from typing import Iterable, Optional, Sequence
 import numpy as np
 
 from repro.core._batch import normalize_faults
-from repro.graph.ancestry import AncestryLabeling, AncLabel, edge_on_root_path
+from repro.graph.ancestry import (
+    AncestryLabeling,
+    AncLabel,
+    edge_on_root_path,
+    stitched_intervals,
+)
 from repro.graph.graph import Graph
 from repro.graph.spanning_tree import spanning_forest
 from repro.sizing.bits import bits_for_count
@@ -108,14 +113,14 @@ class ForestConnectivityScheme:
         self._qstore: Optional[tuple] = None
 
     def vertex_label(self, v: int) -> ForestVertexLabel:
-        ci = self.comp_of[v]
+        ci = int(self.comp_of[v])
         return ForestVertexLabel(
             component=ci, anc=self._anc[ci].label(v), n=self.graph.n
         )
 
     def edge_label(self, edge_index: int) -> ForestEdgeLabel:
         e = self.graph.edge(edge_index)
-        ci = self.comp_of[e.u]
+        ci = int(self.comp_of[e.u])
         anc = self._anc[ci]
         return ForestEdgeLabel(
             component=ci,
@@ -153,11 +158,7 @@ class ForestConnectivityScheme:
             graph = self.graph
             n = graph.n
             comp_v = np.asarray(self.comp_of, dtype=np.int64)
-            tin = np.zeros(n, dtype=np.int64)
-            tout = np.zeros(n, dtype=np.int64)
-            for anc in self._anc:
-                tin += np.asarray(anc._tin, dtype=np.int64)
-                tout += np.asarray(anc._tout, dtype=np.int64)
+            tin, tout = stitched_intervals(self._anc, n)
             if graph.m:
                 csr = graph.as_csr()
                 eu, ev = csr.edge_u, csr.edge_v

@@ -44,7 +44,7 @@ from repro._util import derive_seed
 from repro.core._batch import normalize_faults
 from repro.core.component_tree import ComponentForest, orient_tree_edge
 from repro.core.path_description import PathSegment, SuccinctPath
-from repro.graph.ancestry import AncestryLabeling, AncLabel
+from repro.graph.ancestry import AncestryLabeling, AncLabel, stitched_intervals
 from repro.graph.graph import Graph
 from repro.graph.spanning_tree import RootedTree, spanning_forest
 from repro.sketches.edge_ids import DecodedEid, ExtendedEdgeIds, UidScheme
@@ -491,10 +491,10 @@ class SketchConnectivityScheme:
             self.trees, self.comp_of = spanning_forest(graph, engine=engine)
         else:
             self.trees = list(trees)
-            self.comp_of = [-1] * graph.n
+            comp_of = np.full(graph.n, -1, dtype=np.int64)
             for ci, tree in enumerate(self.trees):
-                for v in tree.vertices:
-                    self.comp_of[v] = ci
+                comp_of[tree.arrays().order] = ci
+            self.comp_of = comp_of
         self._anc = [AncestryLabeling(tree, engine=engine) for tree in self.trees]
         self._routing = routing
 
@@ -690,19 +690,15 @@ class SketchConnectivityScheme:
         csr = graph.as_csr()
         id_of = self._id_of
         vid = np.fromiter((id_of(v) for v in range(n)), dtype=np.int64, count=n)
-        tin = np.zeros(n, dtype=np.int64)
-        tout = np.zeros(n, dtype=np.int64)
-        for anc in self._anc:
-            # Each labeling is zero outside its own tree, and trees are
-            # vertex-disjoint, so the element-wise sum stitches the
-            # per-component DFS times into one array pair.
-            tin += np.asarray(anc._tin, dtype=np.int64)
-            tout += np.asarray(anc._tout, dtype=np.int64)
+        tin, tout = stitched_intervals(self._anc, n)
         is_tree = np.zeros(m, dtype=bool)
         childv = np.full(m, -1, dtype=np.int64)
         for tree in self.trees:
+            # Non-root preorder vertices ARE the child endpoints of the
+            # tree edges (forest trees share full-n parent arrays, so a
+            # parent >= 0 scan would pull in foreign components).
             ta = tree.arrays()
-            vs = np.flatnonzero(ta.parent >= 0)
+            vs = ta.order[1:]
             is_tree[ta.parent_edge[vs]] = True
             childv[ta.parent_edge[vs]] = vs
         tree_mask = childv >= 0
@@ -802,7 +798,7 @@ class SketchConnectivityScheme:
     # Labels
     # ------------------------------------------------------------------
     def vertex_label(self, v: int) -> SkVertexLabel:
-        ci = self.comp_of[v]
+        ci = int(self.comp_of[v])
         tlabel = None
         tlabel_bits = 0
         if self._routing is not None:
@@ -819,7 +815,7 @@ class SketchConnectivityScheme:
 
     def edge_label(self, edge_index: int) -> SkEdgeLabel:
         e = self.graph.edge(edge_index)
-        ci = self.comp_of[e.u]
+        ci = int(self.comp_of[e.u])
         tree = self.trees[ci]
         is_tree = tree.is_tree_edge(edge_index)
         subtree = None
@@ -849,10 +845,42 @@ class SketchConnectivityScheme:
         )
 
     def max_edge_label_bits(self) -> int:
-        return max(
-            (self.edge_label(e.index).bit_length() for e in self.graph.edges),
-            default=0,
-        )
+        # ``SkEdgeLabel.bit_length()`` is structural: it depends only on
+        # the component index and tree/non-tree status, never on the
+        # sketch contents.  Computing the maximum therefore must not go
+        # through ``edge_label`` — materializing per-edge subtree
+        # sketches (two ragged-prefix binary searches per tree edge)
+        # costs minutes at n=10^6 for values bit_length never reads.
+        m = self.graph.m
+        if m == 0:
+            return 0
+        is_tree = np.zeros(m, dtype=bool)
+        for tree in self.trees:
+            ta = tree.arrays()
+            children = ta.order[1:]
+            if children.size:
+                is_tree[ta.parent_edge[children]] = True
+        comp_e = np.asarray(self.comp_of, dtype=np.int64)[
+            self.graph.as_csr().edge_u
+        ]
+        best = 0
+        if is_tree.any():
+            label = SkEdgeLabel(
+                component=int(comp_e[is_tree].max()),
+                eid=0,
+                is_tree=True,
+                context=self.context,
+            )
+            best = max(best, label.bit_length())
+        if not is_tree.all():
+            label = SkEdgeLabel(
+                component=int(comp_e[~is_tree].max()),
+                eid=0,
+                is_tree=False,
+                context=self.context,
+            )
+            best = max(best, label.bit_length())
+        return best
 
     # ------------------------------------------------------------------
     # Decoding (Section 3.2.2)

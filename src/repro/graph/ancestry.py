@@ -9,15 +9,27 @@ The decoding algorithm of the sketch-based scheme (Claim 3.14) relies on
 the specific DFS-interval structure of these labels (sorting the interval
 endpoints reconstructs the component tree), which is why this module
 exposes raw ``(tin, tout)`` tuples rather than opaque labels.
+
+Memory model: the canonical interval store is a numpy ``(tin, tout)``
+pair (:meth:`AncestryLabeling.interval_arrays`); the ``_tin``/``_tout``
+list attributes the sequential path builds are lazy views on the array
+engine.  Trees belonging to one :class:`~repro.graph.spanning_tree.Forest`
+share a single full-n interval pair computed in closed form for the
+whole forest at once — O(n) for any number of components, each
+component's times independently spanning ``1..2n_comp`` exactly as a
+per-tree DFS would assign them.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.graph import csr as csrk
 from repro.graph.spanning_tree import RootedTree
+
 
 AncLabel = tuple[int, int]
 
@@ -37,28 +49,42 @@ class AncestryLabeling:
 
     ``label(v)`` returns ``(tin, tout)`` with times in ``1..2n``; the
     label of a vertex outside the tree's component is undefined and
-    querying it raises ``KeyError``-like errors through normal indexing.
+    querying it raises ``ValueError``.
     """
 
     def __init__(self, tree: RootedTree, engine: str = "csr"):
         """``engine="csr"`` derives the DFS visit times in closed form
         from the tree's array view (see
-        :func:`repro.graph.csr.dfs_interval_labels`);
+        :func:`repro.graph.csr.dfs_interval_labels`), sharing one
+        forest-wide store when the tree is a forest component;
         ``engine="reference"`` is the sequential DFS producing identical
         labels."""
         if engine not in ("csr", "reference"):
             raise ValueError(f"unknown engine {engine!r}")
         self.tree = tree
         n = tree.graph.n
+        self._tin_np: Optional[np.ndarray] = None
+        self._tout_np: Optional[np.ndarray] = None
+        self._tin_list: Optional[list[int]] = None
+        self._tout_list: Optional[list[int]] = None
+        #: True when ``interval_arrays()`` is a forest-wide store whose
+        #: slots are meaningful at EVERY vertex (each carrying its own
+        #: component's times) rather than zero outside this tree.
+        self.shared = False
         if engine == "csr":
-            arr = tree.arrays()
-            tin, tout = csrk.dfs_interval_labels(arr.order, arr.depth, arr.size, n)
-            self._tin = tin.tolist()
-            self._tout = tout.tolist()
-            self.max_time = 2 * len(arr.order)
+            forest = tree._forest
+            if forest is not None:
+                self._tin_np, self._tout_np = forest.interval_store()
+                self.shared = forest.comp_count > 1
+            else:
+                arr = tree.arrays()
+                self._tin_np, self._tout_np = csrk.dfs_interval_labels(
+                    arr.order, arr.depth, arr.size, n
+                )
+            self.max_time = 2 * tree.arrays().order.shape[0]
             return
-        self._tin = [0] * n
-        self._tout = [0] * n
+        tin = [0] * n
+        tout = [0] * n
         time = 0
         # Iterative DFS producing first/last visit times.
         stack: list[tuple[int, bool]] = [(tree.root, False)]
@@ -66,19 +92,63 @@ class AncestryLabeling:
             v, done = stack.pop()
             if done:
                 time += 1
-                self._tout[v] = time
+                tout[v] = time
                 continue
             time += 1
-            self._tin[v] = time
+            tin[v] = time
             stack.append((v, True))
             for c in reversed(tree.children[v]):
                 stack.append((c, False))
+        self._tin_list = tin
+        self._tout_list = tout
         self.max_time = time
 
+    # -- canonical numpy store -----------------------------------------
+    def interval_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(tin, tout)`` int64 arrays.
+
+        Zero outside the tree's component — except when :attr:`shared`
+        is true (forest-wide store), where every vertex carries its own
+        component's times; mask by component before trusting foreign
+        slots in that case.
+        """
+        if self._tin_np is None:
+            self._tin_np = np.array(self._tin_list, dtype=np.int64)
+            self._tout_np = np.array(self._tout_list, dtype=np.int64)
+        return self._tin_np, self._tout_np
+
+    # -- lazy list compatibility views ---------------------------------
+    def _materialize_lists(self) -> None:
+        tin, tout = self._tin_np, self._tout_np
+        if self.shared:
+            # Mask foreign components back to the classic zero padding.
+            mask = self.tree._forest.comp_of == self.tree._comp
+            tin = np.where(mask, tin, 0)
+            tout = np.where(mask, tout, 0)
+        self._tin_list = tin.tolist()
+        self._tout_list = tout.tolist()
+
+    @property
+    def _tin(self) -> list[int]:
+        if self._tin_list is None:
+            self._materialize_lists()
+        return self._tin_list
+
+    @property
+    def _tout(self) -> list[int]:
+        if self._tout_list is None:
+            self._materialize_lists()
+        return self._tout_list
+
     def label(self, v: int) -> AncLabel:
-        if self._tin[v] == 0 and v != self.tree.root:
+        if self._tin_list is not None:
+            ti = self._tin_list[v]
+            if ti == 0 and v != self.tree.root:
+                raise ValueError(f"vertex {v} is not spanned by the tree")
+            return (ti, self._tout_list[v])
+        if not self.tree.spans(v):
             raise ValueError(f"vertex {v} is not spanned by the tree")
-        return (self._tin[v], self._tout[v])
+        return (int(self._tin_np[v]), int(self._tout_np[v]))
 
     def labels(self, vertices: Sequence[int]) -> list[AncLabel]:
         return [self.label(v) for v in vertices]
@@ -91,6 +161,29 @@ class AncestryLabeling:
     def bit_length(n: int) -> int:
         """Label size in bits for an n-vertex tree: two DFS timestamps."""
         return 2 * max(1, math.ceil(math.log2(max(2 * n, 2))))
+
+
+def stitched_intervals(
+    ancs: Sequence[AncestryLabeling], n: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """One full-n ``(tin, tout)`` pair covering a whole forest.
+
+    ``tin[v]``/``tout[v]`` are ``v``'s DFS times in its OWN component
+    tree (0 where no tree spans ``v``).  When the labelings already
+    share a forest-wide store this is that store, returned as-is;
+    otherwise the per-tree arrays are scattered together — never summed,
+    so the result is safe whether or not stores alias each other.
+    """
+    if ancs and ancs[0].shared:
+        return ancs[0].interval_arrays()
+    tin = np.zeros(n, dtype=np.int64)
+    tout = np.zeros(n, dtype=np.int64)
+    for anc in ancs:
+        t_i, t_o = anc.interval_arrays()
+        order = anc.tree.arrays().order
+        tin[order] = t_i[order]
+        tout[order] = t_o[order]
+    return tin, tout
 
 
 def edge_on_root_path(anc_u: AncLabel, anc_v: AncLabel, anc_x: AncLabel) -> bool:

@@ -56,24 +56,52 @@ class CsrGraph:
     """
 
     def __init__(self, graph: "Graph"):
-        adj = [graph.incident(u) for u in graph.vertices()]
         self.n = graph.n
         self.m = graph.m
-        deg = np.fromiter((len(row) for row in adj), dtype=np.int64, count=self.n)
-        self.indptr = np.concatenate(([0], np.cumsum(deg)))
-        total = int(self.indptr[-1])
-        self.neighbors = np.fromiter(
-            (v for row in adj for v, _ in row), dtype=np.int64, count=total
-        )
-        self.edge_ids = np.fromiter(
-            (ei for row in adj for _, ei in row), dtype=np.int64, count=total
-        )
-        edges = graph.edges
-        self.edge_u = np.fromiter((e.u for e in edges), dtype=np.int64, count=self.m)
-        self.edge_v = np.fromiter((e.v for e in edges), dtype=np.int64, count=self.m)
-        self.edge_weight = np.fromiter(
-            (e.weight for e in edges), dtype=np.float64, count=self.m
-        )
+        raw = getattr(graph, "_edge_arrays", None)
+        if raw is not None:
+            # Array-built graph: derive the CSR slots straight from the
+            # edge columns without touching the (lazy) Python adjacency.
+            # Port order is per-vertex edge-insertion order, i.e. sort
+            # by (endpoint, edge index) — identical to the incidence
+            # lists add_edge would have produced.
+            eu, ev, ew = raw
+            ends = np.concatenate((eu, ev))
+            other = np.concatenate((ev, eu))
+            eids = np.concatenate(
+                (np.arange(self.m, dtype=np.int64),) * 2
+            )
+            order = np.lexsort((eids, ends))
+            deg = np.bincount(ends, minlength=self.n)
+            self.indptr = np.concatenate(([0], np.cumsum(deg)))
+            self.neighbors = other[order]
+            self.edge_ids = eids[order]
+            self.edge_u = eu
+            self.edge_v = ev
+            self.edge_weight = ew
+        else:
+            adj = [graph.incident(u) for u in graph.vertices()]
+            deg = np.fromiter(
+                (len(row) for row in adj), dtype=np.int64, count=self.n
+            )
+            self.indptr = np.concatenate(([0], np.cumsum(deg)))
+            total = int(self.indptr[-1])
+            self.neighbors = np.fromiter(
+                (v for row in adj for v, _ in row), dtype=np.int64, count=total
+            )
+            self.edge_ids = np.fromiter(
+                (ei for row in adj for _, ei in row), dtype=np.int64, count=total
+            )
+            edges = graph.edges
+            self.edge_u = np.fromiter(
+                (e.u for e in edges), dtype=np.int64, count=self.m
+            )
+            self.edge_v = np.fromiter(
+                (e.v for e in edges), dtype=np.int64, count=self.m
+            )
+            self.edge_weight = np.fromiter(
+                (e.weight for e in edges), dtype=np.float64, count=self.m
+            )
         for arr in (
             self.indptr,
             self.neighbors,
@@ -164,6 +192,27 @@ def bfs_tree(
     parent = np.full(n, -1, dtype=np.int64)
     parent_edge = np.full(n, -1, dtype=np.int64)
     depth = np.full(n, -1, dtype=np.int64)
+    order_parts = _bfs_component(csr, root, parent, parent_edge, depth, forbidden)
+    return parent, parent_edge, depth, np.concatenate(order_parts)
+
+
+def _bfs_component(
+    csr: CsrGraph,
+    root: int,
+    parent: np.ndarray,
+    parent_edge: np.ndarray,
+    depth: np.ndarray,
+    forbidden: Optional[np.ndarray],
+) -> list[np.ndarray]:
+    """Expand the component of ``root`` into the caller's output arrays.
+
+    The hybrid level-synchronous walk of :func:`bfs_tree`, factored out
+    so :func:`bfs_forest` can run every component against ONE shared set
+    of full-n arrays (vertices with ``depth >= 0`` are treated as
+    visited, which is exactly right: components are vertex-disjoint, so
+    previously finished components never shadow a reachable vertex).
+    Returns the discovery-order parts of this component.
+    """
     depth[root] = 0
     frontier = np.array([root], dtype=np.int64)
     order_parts = [frontier]
@@ -205,7 +254,63 @@ def bfs_tree(
         depth[uniq] = d
         frontier = uniq[np.argsort(first, kind="stable")]
         order_parts.append(frontier)
-    return parent, parent_edge, depth, np.concatenate(order_parts)
+    return order_parts
+
+
+def bfs_forest(
+    csr: CsrGraph, forbidden: Optional[np.ndarray] = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """BFS spanning forest of every component in one shared-array pass.
+
+    Tree-for-tree identical to calling :func:`bfs_tree` from the
+    smallest unvisited vertex id until the graph is exhausted, but all
+    components write into ONE set of full-n arrays: O(n) memory for the
+    whole forest instead of O(components * n) separate outputs.  The
+    unvisited scan pointer only moves forward, so the root discovery
+    adds O(n) total on top of the O(n + m) BFS work.
+
+    Returns ``(parent, parent_edge, depth, comp_of, roots, members,
+    comp_start)``: ``comp_of[v]`` is the component index of ``v``,
+    ``roots[c]`` its smallest vertex id, and
+    ``members[comp_start[c]:comp_start[c+1]]`` component ``c``'s
+    vertices in BFS discovery order (``members[comp_start[c]] ==
+    roots[c]``).
+    """
+    n = csr.n
+    parent = np.full(n, -1, dtype=np.int64)
+    parent_edge = np.full(n, -1, dtype=np.int64)
+    depth = np.full(n, -1, dtype=np.int64)
+    comp_of = np.full(n, -1, dtype=np.int64)
+    roots: list[int] = []
+    starts: list[int] = [0]
+    parts_all: list[np.ndarray] = []
+    filled = 0
+    scan = 0
+    while True:
+        while scan < n and depth[scan] >= 0:
+            scan += 1
+        if scan >= n:
+            break
+        parts = _bfs_component(csr, scan, parent, parent_edge, depth, forbidden)
+        ci = len(roots)
+        for part in parts:
+            comp_of[part] = ci
+            filled += part.size
+        parts_all.extend(parts)
+        roots.append(scan)
+        starts.append(filled)
+    members = (
+        np.concatenate(parts_all) if parts_all else np.zeros(0, dtype=np.int64)
+    )
+    return (
+        parent,
+        parent_edge,
+        depth,
+        comp_of,
+        np.asarray(roots, dtype=np.int64),
+        members,
+        np.asarray(starts, dtype=np.int64),
+    )
 
 
 def _bfs_sequential_tail(

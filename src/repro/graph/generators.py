@@ -25,20 +25,41 @@ from repro._util import rng_from
 from repro.graph.graph import Graph
 
 
+def _bulk(n: int, us: list, vs: list) -> Graph:
+    """Array-resident unit-weight graph from endpoint lists.
+
+    The generators below draw edges with the exact accept/reject RNG
+    sequences they always used (so every seeded workload is unchanged
+    edge-for-edge), but collect endpoints in plain lists and bulk-build
+    once — the result carries numpy edge columns instead of O(n + m)
+    eager Python containers (see :meth:`Graph.from_edge_arrays`).
+    """
+    return Graph.from_edge_arrays(n, us, vs, [1.0] * len(us))
+
+
 def random_tree(n: int, seed: int = 0) -> Graph:
     """Uniform-ish random tree: each vertex v>0 picks a random earlier parent."""
     rng = rng_from(seed, "random_tree", n)
-    g = Graph(n)
+    us: list[int] = []
+    vs: list[int] = []
     for v in range(1, n):
-        p = int(rng.integers(0, v))
-        g.add_edge(p, v)
-    return g
+        us.append(int(rng.integers(0, v)))
+        vs.append(v)
+    return _bulk(n, us, vs)
 
 
 def random_connected_graph(n: int, extra_edges: int, seed: int = 0) -> Graph:
     """Random connected graph: random tree plus ``extra_edges`` random chords."""
     rng = rng_from(seed, "random_connected", n, extra_edges)
-    g = random_tree(n, seed=seed)
+    tree_rng = rng_from(seed, "random_tree", n)
+    us: list[int] = []
+    vs: list[int] = []
+    seen: set[int] = set()
+    for v in range(1, n):
+        p = int(tree_rng.integers(0, v))
+        us.append(p)
+        vs.append(v)
+        seen.add(p * n + v)  # p < v always
     budget = n * (n - 1) // 2 - (n - 1)
     extra = min(extra_edges, budget)
     attempts = 0
@@ -47,25 +68,33 @@ def random_connected_graph(n: int, extra_edges: int, seed: int = 0) -> Graph:
         u = int(rng.integers(0, n))
         v = int(rng.integers(0, n))
         attempts += 1
-        if u == v or g.has_edge(u, v):
+        key = u * n + v if u < v else v * n + u
+        if u == v or key in seen:
             continue
-        g.add_edge(u, v)
+        seen.add(key)
+        us.append(u)
+        vs.append(v)
         added += 1
-    return g
+    return _bulk(n, us, vs)
 
 
 def gnm_random_graph(n: int, m: int, seed: int = 0) -> Graph:
     """Uniform G(n, m) (possibly disconnected)."""
     rng = rng_from(seed, "gnm", n, m)
-    g = Graph(n)
+    us: list[int] = []
+    vs: list[int] = []
+    seen: set[int] = set()
     budget = n * (n - 1) // 2
     target = min(m, budget)
-    while g.m < target:
+    while len(us) < target:
         u = int(rng.integers(0, n))
         v = int(rng.integers(0, n))
-        if u != v and not g.has_edge(u, v):
-            g.add_edge(u, v)
-    return g
+        key = u * n + v if u < v else v * n + u
+        if u != v and key not in seen:
+            seen.add(key)
+            us.append(u)
+            vs.append(v)
+    return _bulk(n, us, vs)
 
 
 def grid_graph(rows: int, cols: int) -> Graph:

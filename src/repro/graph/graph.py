@@ -62,16 +62,26 @@ class Graph:
     Ports: ``via_port(u, p)`` returns the ``p``-th incident (neighbor,
     edge index) pair of ``u`` in insertion order, matching the routing
     model where tables address neighbors by port number.
+
+    Graphs built edge-by-edge (:meth:`add_edge`) carry the classic
+    Python containers eagerly.  Graphs bulk-built from endpoint arrays
+    (:meth:`from_edge_arrays` — every generator and snapshot-restore
+    path) keep only the three numpy edge columns; the Edge list,
+    adjacency lists and the port/edge lookup dicts are *lazy
+    compatibility views* materialized on first access, so a scheme
+    built through the CSR kernels never pays O(n + m) of Python object
+    memory for a graph it reads as arrays.
     """
 
     def __init__(self, n: int):
         if n < 0:
             raise ValueError("vertex count must be non-negative")
         self._n = n
-        self._edges: list[Edge] = []
-        self._adj: list[list[tuple[int, int]]] = [[] for _ in range(n)]
-        self._edge_lookup: dict[tuple[int, int], int] = {}
-        self._port_lookup: list[dict[int, int]] = [{} for _ in range(n)]
+        self._edges: Optional[list[Edge]] = []
+        self._adj: Optional[list[list[tuple[int, int]]]] = [[] for _ in range(n)]
+        self._edge_lookup: Optional[dict[tuple[int, int], int]] = {}
+        self._port_lookup: Optional[list[dict[int, int]]] = [{} for _ in range(n)]
+        self._edge_arrays = None  # (edge_u, edge_v, edge_w) in array mode
         self._max_weight = 0.0
         self._total_weight = 0.0
         self._csr = None  # cached CsrGraph view, invalidated by add_edge
@@ -91,6 +101,14 @@ class Graph:
             raise ValueError("self loops are not allowed")
         if weight <= 0:
             raise ValueError("edge weights must be positive")
+        if self._edge_arrays is not None:
+            # Mutating an array-built graph: fall back to the eager
+            # containers (materialize all views, drop the frozen arrays).
+            self._edges_list()
+            self._adj_lists()
+            self._lookup_dict()
+            self._port_dicts()
+            self._edge_arrays = None
         key = (u, v) if u < v else (v, u)
         if key in self._edge_lookup:
             raise ValueError(f"duplicate edge {key}")
@@ -108,6 +126,49 @@ class Graph:
         return index
 
     # ------------------------------------------------------------------
+    # Lazy compatibility views (array-built graphs only)
+    # ------------------------------------------------------------------
+    def _edges_list(self) -> list[Edge]:
+        if self._edges is None:
+            eu, ev, ew = self._edge_arrays
+            self._edges = [
+                Edge(i, u, v, w)
+                for i, (u, v, w) in enumerate(
+                    zip(eu.tolist(), ev.tolist(), ew.tolist())
+                )
+            ]
+        return self._edges
+
+    def _adj_lists(self) -> list[list[tuple[int, int]]]:
+        if self._adj is None:
+            eu, ev, _ = self._edge_arrays
+            adj: list[list[tuple[int, int]]] = [[] for _ in range(self._n)]
+            for i, (u, v) in enumerate(zip(eu.tolist(), ev.tolist())):
+                adj[u].append((v, i))
+                adj[v].append((u, i))
+            self._adj = adj
+        return self._adj
+
+    def _lookup_dict(self) -> dict[tuple[int, int], int]:
+        if self._edge_lookup is None:
+            eu, ev, _ = self._edge_arrays
+            self._edge_lookup = {
+                (u, v) if u < v else (v, u): i
+                for i, (u, v) in enumerate(zip(eu.tolist(), ev.tolist()))
+            }
+        return self._edge_lookup
+
+    def _port_dicts(self) -> list[dict[int, int]]:
+        if self._port_lookup is None:
+            ports: list[dict[int, int]] = [{} for _ in range(self._n)]
+            for u, row in enumerate(self._adj_lists()):
+                pd = ports[u]
+                for p, (v, _) in enumerate(row):
+                    pd[v] = p
+            self._port_lookup = ports
+        return self._port_lookup
+
+    # ------------------------------------------------------------------
     # Basic queries
     # ------------------------------------------------------------------
     @property
@@ -118,50 +179,64 @@ class Graph:
     @property
     def m(self) -> int:
         """Number of edges."""
-        return len(self._edges)
+        if self._edges is not None:
+            return len(self._edges)
+        return int(self._edge_arrays[0].shape[0])
 
     @property
     def edges(self) -> Sequence[Edge]:
-        return self._edges
+        return self._edges_list()
 
     def edge(self, index: int) -> Edge:
+        if self._edges is None:
+            # Point access on an array-built graph: one throwaway Edge
+            # beats materializing the whole list.
+            eu, ev, ew = self._edge_arrays
+            if not 0 <= index < eu.shape[0]:
+                raise IndexError(f"edge index {index} out of range")
+            return Edge(index, int(eu[index]), int(ev[index]), float(ew[index]))
         return self._edges[index]
 
     def vertices(self) -> range:
         return range(self._n)
 
     def degree(self, u: int) -> int:
+        if self._adj is None:
+            indptr = self.as_csr().indptr
+            return int(indptr[u + 1] - indptr[u])
         return len(self._adj[u])
 
     def neighbors(self, u: int) -> Iterator[int]:
-        return (v for v, _ in self._adj[u])
+        return (v for v, _ in self._adj_lists()[u])
 
     def incident(self, u: int) -> Sequence[tuple[int, int]]:
         """Port-ordered list of (neighbor, edge index) pairs at ``u``."""
-        return self._adj[u]
+        return self._adj_lists()[u]
 
     def incident_edges(self, u: int) -> Iterator[Edge]:
-        return (self._edges[ei] for _, ei in self._adj[u])
+        return (self.edge(ei) for _, ei in self._adj_lists()[u])
 
     def via_port(self, u: int, port: int) -> tuple[int, int]:
         """Return (neighbor, edge index) reached from ``u`` via ``port``."""
-        return self._adj[u][port]
+        return self._adj_lists()[u][port]
 
     def port_of(self, u: int, v: int) -> int:
         """Port number at ``u`` of the edge towards neighbor ``v`` (O(1))."""
         try:
-            return self._port_lookup[u][v]
+            return self._port_dicts()[u][v]
         except KeyError:
             raise ValueError(f"{v} is not a neighbor of {u}") from None
 
     def edge_index_between(self, u: int, v: int) -> Optional[int]:
         key = (u, v) if u < v else (v, u)
-        return self._edge_lookup.get(key)
+        return self._lookup_dict().get(key)
 
     def has_edge(self, u: int, v: int) -> bool:
         return self.edge_index_between(u, v) is not None
 
     def weight(self, edge_index: int) -> float:
+        if self._edges is None:
+            return float(self._edge_arrays[2][edge_index])
         return self._edges[edge_index].weight
 
     def max_weight(self) -> float:
@@ -170,7 +245,7 @@ class Graph:
         Maintained incrementally by :meth:`add_edge` — callers that loop
         over distance scales can treat this as O(1).
         """
-        if not self._edges:
+        if self.m == 0:
             return 1.0
         return self._max_weight
 
@@ -194,6 +269,9 @@ class Graph:
     # Derived graphs
     # ------------------------------------------------------------------
     def copy(self) -> "Graph":
+        if self._edge_arrays is not None:
+            eu, ev, ew = self._edge_arrays
+            return Graph.from_edge_arrays(self._n, eu, ev, ew)
         g = Graph(self._n)
         for e in self._edges:
             g.add_edge(e.u, e.v, e.weight)
@@ -206,6 +284,14 @@ class Graph:
         :class:`InducedSubgraph`-style bookkeeping when identity matters.
         """
         skip = set(forbidden)
+        if self._edge_arrays is not None:
+            import numpy as np
+
+            eu, ev, ew = self._edge_arrays
+            keep = np.ones(eu.shape[0], dtype=bool)
+            idx = [ei for ei in skip if 0 <= ei < eu.shape[0]]
+            keep[idx] = False
+            return Graph.from_edge_arrays(self._n, eu[keep], ev[keep], ew[keep])
         g = Graph(self._n)
         for e in self._edges:
             if e.index not in skip:
@@ -220,30 +306,34 @@ class Graph:
         (same edge indices, ports, lookups) but skips the per-edge
         validation — callers must supply simple-graph edges with
         in-range endpoints and positive weights.  This is the fast path
-        for machine-generated edge lists (CSR cluster slicing), where
-        the checks are invariants of the producing kernel.
+        for machine-generated edge lists (generators, CSR cluster
+        slicing, snapshot restore), where the checks are invariants of
+        the producing code.
+
+        The result is *array-resident*: only the three numpy edge
+        columns are stored (frozen — they may be shared, e.g. snapshot
+        mmaps), and the classic Python containers materialize lazily on
+        first access.  ``as_csr`` builds straight from the columns.
         """
-        g = cls(n)
-        edges = g._edges
-        adj = g._adj
-        ports = g._port_lookup
-        lookup = g._edge_lookup
-        max_w = 0.0
-        total_w = 0.0
-        for u, v, w in zip(us, vs, weights):
-            index = len(edges)
-            w = float(w)
-            edges.append(Edge(index, u, v, w))
-            ports[u][v] = len(adj[u])
-            ports[v][u] = len(adj[v])
-            adj[u].append((v, index))
-            adj[v].append((u, index))
-            lookup[(u, v) if u < v else (v, u)] = index
-            if w > max_w:
-                max_w = w
-            total_w += w
-        g._max_weight = max_w
-        g._total_weight = total_w
+        import numpy as np
+
+        if n < 0:
+            raise ValueError("vertex count must be non-negative")
+        g = cls.__new__(cls)
+        g._n = n
+        eu = np.asarray(us, dtype=np.int64)
+        ev = np.asarray(vs, dtype=np.int64)
+        ew = np.asarray(weights, dtype=np.float64)
+        for arr in (eu, ev, ew):
+            arr.setflags(write=False)
+        g._edge_arrays = (eu, ev, ew)
+        g._edges = None
+        g._adj = None
+        g._edge_lookup = None
+        g._port_lookup = None
+        g._max_weight = float(ew.max()) if ew.size else 0.0
+        g._total_weight = float(ew.sum())
+        g._csr = None
         return g
 
     def induced_subgraph(
@@ -290,9 +380,7 @@ class Graph:
                 self.as_csr(), vertices, allowed
             )
             vlist = vlist_np.tolist()
-            sub = Graph.from_edge_arrays(
-                len(vlist), lu.tolist(), lv.tolist(), w.tolist()
-            )
+            sub = Graph.from_edge_arrays(len(vlist), lu, lv, w)
             return InducedSubgraph(
                 graph=sub,
                 vertex_to_parent=tuple(vlist),
@@ -304,7 +392,7 @@ class Graph:
         allowed = None if allowed_edges is None else set(allowed_edges)
         sub = Graph(len(vlist))
         edge_map: list[int] = []
-        for e in self._edges:
+        for e in self.edges:
             if allowed is not None and e.index not in allowed:
                 continue
             if e.u in from_parent and e.v in from_parent:

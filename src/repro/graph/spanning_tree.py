@@ -4,12 +4,20 @@ Both labeling schemes of the paper fix a rooted spanning tree ``T`` of
 (each connected component of) the input graph.  :class:`RootedTree`
 records parents, children, depths, preorder, and weighted depths, and
 supports the tree-path queries the decoders rely on.
+
+Memory model: the canonical storage is numpy (``arrays()`` plus the
+weighted depths); the classic per-vertex list attributes (``parent``,
+``depth``, ``vertices``, ``in_tree``, ...) are *lazy compatibility
+views* that materialize on first access and are never built on the
+array-kernel construction path.  A :class:`Forest` goes one step
+further: all of its component trees share ONE set of full-n arrays, so
+a fragmented graph costs O(n + m) to span instead of
+O(components * n) — see :func:`spanning_forest`.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
 import numpy as np
@@ -18,22 +26,63 @@ from repro.graph import csr as csrk
 from repro.graph.graph import Graph
 
 
-@dataclass(frozen=True)
 class TreeArrays:
     """Numpy view of a :class:`RootedTree`, shared by the array kernels.
 
-    ``depth`` is -1 outside the tree's component (unlike the list
-    attribute, which pads with 0), ``order`` is the children-sorted
-    preorder, ``size`` the subtree vertex counts and ``layers`` the
-    vertices grouped by depth (see :func:`repro.graph.csr.depth_layers`).
+    ``order`` is the children-sorted preorder of the tree's component,
+    ``size`` the subtree vertex counts and ``layers`` the component's
+    vertices grouped by depth (materialized on first use).  For a
+    standalone tree ``depth`` is -1 outside the component (unlike the
+    list attribute, which pads with 0); trees that belong to a
+    :class:`Forest` share full-n ``parent``/``parent_edge``/``depth``/
+    ``size`` arrays, so those may carry other components' values at
+    foreign slots — every kernel reads them only at ``order``/``layers``
+    vertices (or scatters through them), which keeps the two layouts
+    interchangeable.
     """
 
-    parent: np.ndarray
-    parent_edge: np.ndarray
-    depth: np.ndarray
-    order: np.ndarray
-    size: np.ndarray
-    layers: list = field(repr=False, default_factory=list)
+    __slots__ = ("parent", "parent_edge", "depth", "order", "size", "_layers")
+
+    def __init__(self, parent, parent_edge, depth, order, size, layers=None):
+        self.parent = parent
+        self.parent_edge = parent_edge
+        self.depth = depth
+        self.order = order
+        self.size = size
+        self._layers = layers
+
+    @property
+    def layers(self) -> list:
+        """Component vertices grouped by depth, ascending.
+
+        Restricted to ``order`` (NOT a full ``depth >= 0`` scan) so that
+        forest trees sharing one depth array never pull foreign
+        components into their layers.  Within a layer the vertices come
+        out in preorder position; every layer consumer (size/preorder/
+        wdepth folds, subtree XOR, heavy-light) is a commutative scatter
+        or an elementwise gather, so within-layer order is immaterial.
+        """
+        if self._layers is None:
+            d = self.depth[self.order]
+            grp = np.argsort(d, kind="stable")
+            vs = self.order[grp]
+            ds = d[grp]
+            if ds.size == 0:
+                self._layers = []
+            else:
+                starts = np.flatnonzero(np.r_[True, ds[1:] != ds[:-1]])
+                bounds = np.r_[starts, ds.size]
+                self._layers = [
+                    vs[bounds[i] : bounds[i + 1]] for i in range(starts.size)
+                ]
+        return self._layers
+
+
+def _as_int_list(seq) -> list:
+    """Python int list from any int sequence (ndarray included)."""
+    if isinstance(seq, np.ndarray):
+        return seq.tolist()
+    return [int(x) for x in seq]
 
 
 class RootedTree:
@@ -51,6 +100,12 @@ class RootedTree:
     children: ``children[v]`` lists tree children in deterministic
         (ascending vertex id) order.
     depth / wdepth: hop / weighted distance from the root along the tree.
+
+    All of the per-vertex attributes above are lazy list views over the
+    canonical numpy storage (:meth:`arrays`); they materialize on first
+    access, so code that sticks to the array kernels never pays for
+    them.  The sequential ``engine="reference"`` construction still
+    builds the lists directly (and derives arrays lazily instead).
     """
 
     def __init__(
@@ -72,39 +127,128 @@ class RootedTree:
             raise ValueError(f"unknown engine {engine!r}")
         self.graph = graph
         self.root = root
-        self.parent = list(parent)
-        self.parent_edge = list(parent_edge)
-        self._arrays: Optional[TreeArrays] = None
-        self._children: Optional[list[list[int]]] = None
-        self._child_groups: Optional[tuple] = None
-        if engine == "csr" and self._init_vectorized():
+        self._reset_lazy()
+        if engine == "csr" and self._init_vectorized(parent, parent_edge):
             return
         n = graph.n
+        plist = _as_int_list(parent)
+        pelist = _as_int_list(parent_edge)
+        self._parent_list = plist
+        self._parent_edge_list = pelist
         children: list[list[int]] = [[] for _ in range(n)]
-        self.in_tree = [False] * n
-        self.in_tree[root] = True
+        in_tree = [False] * n
+        in_tree[root] = True
         for v in range(n):
-            p = self.parent[v]
+            p = plist[v]
             if p >= 0:
                 children[p].append(v)
-                self.in_tree[v] = True
+                in_tree[v] = True
         for v in range(n):
             children[v].sort()
         self._children = children
-        self.vertices: list[int] = []
-        self.depth = [0] * n
-        self.wdepth = [0.0] * n
+        self._in_tree_list = in_tree
+        vertices: list[int] = []
+        depth = [0] * n
+        wdepth = [0.0] * n
         stack = [root]
         while stack:
             u = stack.pop()
-            self.vertices.append(u)
+            vertices.append(u)
             for c in reversed(children[u]):
-                self.depth[c] = self.depth[u] + 1
-                self.wdepth[c] = self.wdepth[u] + graph.weight(self.parent_edge[c])
+                depth[c] = depth[u] + 1
+                wdepth[c] = wdepth[u] + graph.weight(pelist[c])
                 stack.append(c)
-        self.tree_edge_indices = frozenset(
-            self.parent_edge[v] for v in self.vertices if v != root
+        self._vertices_list = vertices
+        self._depth_list = depth
+        self._wdepth_list = wdepth
+        self._tree_edges = frozenset(
+            pelist[v] for v in vertices if v != root
         )
+
+    def _reset_lazy(self) -> None:
+        self._arrays: Optional[TreeArrays] = None
+        self._wdepth_np: Optional[np.ndarray] = None
+        self._forest: Optional["Forest"] = None
+        self._comp = -1
+        self._children: Optional[list[list[int]]] = None
+        self._child_groups: Optional[tuple] = None
+        self._parent_list: Optional[list[int]] = None
+        self._parent_edge_list: Optional[list[int]] = None
+        self._depth_list: Optional[list[int]] = None
+        self._wdepth_list: Optional[list[float]] = None
+        self._in_tree_list: Optional[list[bool]] = None
+        self._vertices_list: Optional[list[int]] = None
+        self._tree_edges: Optional[frozenset] = None
+        self._tree_edge_mask: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Lazy compatibility views (classic list attributes)
+    # ------------------------------------------------------------------
+    def _comp_mask(self) -> np.ndarray:
+        """Boolean in-component mask (forest trees only)."""
+        return self._forest.comp_of == self._comp
+
+    @property
+    def parent(self) -> list[int]:
+        if self._parent_list is None:
+            arr = self._arrays.parent
+            if self._forest is not None:
+                arr = np.where(self._comp_mask(), arr, -1)
+            self._parent_list = arr.tolist()
+        return self._parent_list
+
+    @property
+    def parent_edge(self) -> list[int]:
+        if self._parent_edge_list is None:
+            arr = self._arrays.parent_edge
+            if self._forest is not None:
+                arr = np.where(self._comp_mask(), arr, -1)
+            self._parent_edge_list = arr.tolist()
+        return self._parent_edge_list
+
+    @property
+    def depth(self) -> list[int]:
+        if self._depth_list is None:
+            arr = self._arrays.depth
+            if self._forest is not None:
+                mask = self._comp_mask()
+            else:
+                mask = arr >= 0
+            self._depth_list = np.where(mask, arr, 0).tolist()
+        return self._depth_list
+
+    @property
+    def wdepth(self) -> list[float]:
+        if self._wdepth_list is None:
+            arr = self._wdepth_np
+            if self._forest is not None:
+                arr = np.where(self._comp_mask(), arr, 0.0)
+            self._wdepth_list = arr.tolist()
+        return self._wdepth_list
+
+    @property
+    def in_tree(self) -> list[bool]:
+        if self._in_tree_list is None:
+            if self._forest is not None:
+                self._in_tree_list = self._comp_mask().tolist()
+            else:
+                self._in_tree_list = (self._arrays.depth >= 0).tolist()
+        return self._in_tree_list
+
+    @property
+    def vertices(self) -> list[int]:
+        if self._vertices_list is None:
+            self._vertices_list = self._arrays.order.tolist()
+        return self._vertices_list
+
+    @property
+    def tree_edge_indices(self) -> frozenset:
+        if self._tree_edges is None:
+            order = self._arrays.order
+            self._tree_edges = frozenset(
+                self._arrays.parent_edge[order[1:]].tolist()
+            )
+        return self._tree_edges
 
     @property
     def children(self) -> list[list[int]]:
@@ -118,25 +262,48 @@ class RootedTree:
         if self._children is None:
             n = self.graph.n
             children: list[list[int]] = [[] for _ in range(n)]
-            if self._child_groups is not None:
-                heads, bounds, gch_list = self._child_groups
-                for gi, p in enumerate(heads):
-                    children[p] = gch_list[bounds[gi] : bounds[gi + 1]]
+            heads, bounds, gch = self._group_children()
+            gch_list = gch.tolist()
+            bounds_list = bounds.tolist()
+            for gi, p in enumerate(heads.tolist()):
+                children[p] = gch_list[bounds_list[gi] : bounds_list[gi + 1]]
             self._children = children
         return self._children
 
-    def _init_vectorized(self) -> bool:
+    def _group_children(self) -> tuple:
+        """``(heads, bounds, gch)`` sibling groups: children of
+        ``heads[i]`` are ``gch[bounds[i]:bounds[i+1]]``, ascending id."""
+        if self._child_groups is None:
+            parent_np = self._arrays.parent
+            if self._forest is not None:
+                parent_np = np.where(self._comp_mask(), parent_np, -1)
+            ch = np.flatnonzero(parent_np >= 0)
+            gpar = parent_np[ch]
+            grp = np.argsort(gpar, kind="stable")
+            gch = ch[grp]
+            gpar = gpar[grp]
+            if gch.size:
+                starts = np.flatnonzero(np.r_[True, gpar[1:] != gpar[:-1]])
+                bounds = np.r_[starts, gch.size]
+                heads = gpar[starts]
+            else:
+                heads = np.zeros(0, dtype=np.int64)
+                bounds = np.zeros(1, dtype=np.int64)
+            self._child_groups = (heads, bounds, gch)
+        return self._child_groups
+
+    def _init_vectorized(self, parent, parent_edge) -> bool:
         """Array-native construction (the CSR depth-layer pass).
 
         Children ordering, preorder, depths and weighted depths all come
         from a handful of vectorized passes: pointer-doubling depths,
         one lexsort for sibling grouping, a bottom-up size fold and a
-        top-down preorder-rank/wdepth fold per depth layer.  Per-vertex
-        Python survives only in the children list-of-lists fill.  The
-        per-layer folds pay one numpy call per tree level, so on trees
-        deeper than ~n/8 (paths, rings — the high-diameter adversary)
-        this returns False and the sequential walk runs instead; both
-        paths produce identical attributes.
+        top-down preorder-rank/wdepth fold per depth layer.  The
+        resulting tree is numpy-only — the list attributes stay lazy.
+        The per-layer folds pay one numpy call per tree level, so on
+        trees deeper than ~n/8 (paths, rings — the high-diameter
+        adversary) this returns False and the sequential walk runs
+        instead; both paths produce identical attributes.
         """
         graph = self.graph
         n = graph.n
@@ -146,7 +313,7 @@ class RootedTree:
             # the sequential walk (measured crossover); tiny per-cluster
             # trees are the common case in the tree-cover stack.
             return False
-        parent_np = np.asarray(self.parent, dtype=np.int64)
+        parent_np = np.asarray(parent, dtype=np.int64)
         if parent_np.shape[0] != n:
             return False
         depth_np = csrk.tree_depths(parent_np, root)
@@ -156,7 +323,7 @@ class RootedTree:
         count = int(in_tree_np.sum())
         if height > max(64, count // 8):
             return False
-        pe_np = np.asarray(self.parent_edge, dtype=np.int64)
+        pe_np = np.asarray(parent_edge, dtype=np.int64)
         size = csrk.subtree_sizes(parent_np, depth_np, layers)
         if int(size[root]) != count:
             # The parent array contains chains terminating at a vertex
@@ -175,11 +342,7 @@ class RootedTree:
         if gch.size:
             starts = np.flatnonzero(np.r_[True, gpar[1:] != gpar[:-1]])
             bounds = np.r_[starts, gch.size]
-            self._child_groups = (
-                gpar[starts].tolist(),
-                bounds.tolist(),
-                gch.tolist(),
-            )
+            self._child_groups = (gpar[starts], bounds, gch)
             # Preorder rank: parent's rank + 1 + sizes of earlier
             # siblings (the classic DFS offset identity).
             csz = size[gch]
@@ -203,13 +366,7 @@ class RootedTree:
         order = np.empty(count, dtype=np.int64)
         tv = np.flatnonzero(in_tree_np)
         order[pre[tv]] = tv
-        self.in_tree = in_tree_np.tolist()
-        self.vertices = order.tolist()
-        self.depth = np.where(in_tree_np, depth_np, 0).tolist()
-        self.wdepth = wdepth_np.tolist()
-        self.tree_edge_indices = frozenset(
-            pe_np[in_tree_np & (np.arange(n) != root)].tolist()
-        )
+        self._wdepth_np = wdepth_np
         self._arrays = TreeArrays(
             parent=parent_np,
             parent_edge=pe_np,
@@ -220,10 +377,32 @@ class RootedTree:
         )
         return True
 
+    @classmethod
+    def _from_forest(cls, forest: "Forest", ci: int) -> "RootedTree":
+        """Component ``ci``'s tree as a view over the forest's shared
+        arrays — no per-tree full-n allocations."""
+        self = object.__new__(cls)
+        self.graph = forest.graph
+        self.root = int(forest.roots[ci])
+        self._reset_lazy()
+        self._forest = forest
+        self._comp = ci
+        lo = int(forest.comp_start[ci])
+        hi = int(forest.comp_start[ci + 1])
+        self._wdepth_np = forest.wdepth
+        self._arrays = TreeArrays(
+            parent=forest.parent,
+            parent_edge=forest.parent_edge,
+            depth=forest.depth,
+            order=forest.order[lo:hi],
+            size=forest.size,
+            layers=forest.layers if forest.comp_count == 1 else None,
+        )
+        return self
+
     def arrays(self) -> TreeArrays:
         """Cached numpy snapshot of the tree, for the CSR/tree kernels."""
         if self._arrays is None:
-            n = self.graph.n
             parent = np.array(self.parent, dtype=np.int64)
             parent_edge = np.array(self.parent_edge, dtype=np.int64)
             depth = np.array(self.depth, dtype=np.int64)
@@ -269,7 +448,7 @@ class RootedTree:
             else:
                 mask = csrk.forbidden_mask(graph.m, forbidden)
             parent, parent_edge, _, _ = csrk.bfs_tree(graph.as_csr(), root, mask)
-            return cls(graph, root, parent.tolist(), parent_edge.tolist())
+            return cls(graph, root, parent, parent_edge)
         skip = set(forbidden)
         parent = [-1] * graph.n
         parent_edge = [-1] * graph.n
@@ -341,60 +520,100 @@ class RootedTree:
         return cls(graph, root, parent, parent_edge)
 
     # ------------------------------------------------------------------
-    # Queries
+    # Queries (read the canonical storage directly — no list
+    # materialization on these paths)
     # ------------------------------------------------------------------
+    def _pseq(self):
+        """Parent as whatever representation already exists."""
+        if self._parent_list is not None:
+            return self._parent_list
+        return self._arrays.parent
+
+    def _dseq(self):
+        if self._depth_list is not None:
+            return self._depth_list
+        return self._arrays.depth
+
     def spans(self, v: int) -> bool:
-        return self.in_tree[v]
+        if self._in_tree_list is not None:
+            return self._in_tree_list[v]
+        if self._forest is not None:
+            return int(self._forest.comp_of[v]) == self._comp
+        return bool(self._arrays.depth[v] >= 0)
 
     def is_tree_edge(self, edge_index: int) -> bool:
-        return edge_index in self.tree_edge_indices
+        if self._tree_edges is not None:
+            return edge_index in self._tree_edges
+        if self._tree_edge_mask is None:
+            mask = np.zeros(self.graph.m, dtype=bool)
+            order = self._arrays.order
+            mask[self._arrays.parent_edge[order[1:]]] = True
+            self._tree_edge_mask = mask
+        return bool(self._tree_edge_mask[edge_index])
 
     def child_endpoint(self, edge_index: int) -> int:
         """For a tree edge, return the endpoint farther from the root."""
         e = self.graph.edge(edge_index)
-        if self.parent[e.u] == e.v and self.parent_edge[e.u] == edge_index:
+        if not (self.spans(e.u) and self.spans(e.v)):
+            raise ValueError(f"edge {edge_index} is not a tree edge")
+        par = self._pseq()
+        pe = (
+            self._parent_edge_list
+            if self._parent_edge_list is not None
+            else self._arrays.parent_edge
+        )
+        if par[e.u] == e.v and pe[e.u] == edge_index:
             return e.u
-        if self.parent[e.v] == e.u and self.parent_edge[e.v] == edge_index:
+        if par[e.v] == e.u and pe[e.v] == edge_index:
             return e.v
         raise ValueError(f"edge {edge_index} is not a tree edge")
 
     def path_to_root(self, v: int) -> list[int]:
         """Vertices on the v -> root tree path, inclusive."""
+        par = self._pseq()
         path = [v]
-        while self.parent[path[-1]] >= 0:
-            path.append(self.parent[path[-1]])
+        x = v
+        while par[x] >= 0:
+            x = int(par[x])
+            path.append(x)
         return path
 
     def lca(self, u: int, v: int) -> int:
         """Lowest common ancestor by the depth-walk method (O(depth))."""
-        while self.depth[u] > self.depth[v]:
-            u = self.parent[u]
-        while self.depth[v] > self.depth[u]:
-            v = self.parent[v]
+        par = self._pseq()
+        depth = self._dseq()
+        while depth[u] > depth[v]:
+            u = int(par[u])
+        while depth[v] > depth[u]:
+            v = int(par[v])
         while u != v:
-            u = self.parent[u]
-            v = self.parent[v]
+            u = int(par[u])
+            v = int(par[v])
         return u
 
     def tree_path(self, u: int, v: int) -> list[int]:
         """Vertices on the unique u -> v path in the tree, inclusive."""
+        par = self._pseq()
         w = self.lca(u, v)
         up = []
         x = u
         while x != w:
             up.append(x)
-            x = self.parent[x]
+            x = int(par[x])
         down = []
         x = v
         while x != w:
             down.append(x)
-            x = self.parent[x]
+            x = int(par[x])
         return up + [w] + list(reversed(down))
 
     def tree_distance(self, u: int, v: int) -> float:
         """Weighted length of the u -> v tree path."""
+        wdepth = (
+            self._wdepth_list if self._wdepth_list is not None else self._wdepth_np
+        )
         w = self.lca(u, v)
-        return self.wdepth[u] + self.wdepth[v] - 2.0 * self.wdepth[w]
+        return float(wdepth[u] + wdepth[v] - 2.0 * wdepth[w])
 
     def subtree_vertices(self, v: int) -> list[int]:
         """All vertices in the subtree rooted at ``v`` (preorder)."""
@@ -411,32 +630,258 @@ class RootedTree:
         return list(reversed(self.vertices))
 
 
+class Forest:
+    """Array-backed spanning forest: shared full-n arrays, tree views.
+
+    One parent/parent_edge/depth/size/wdepth array set plus a
+    concatenated per-component preorder serves every component tree —
+    O(n + m) memory total, against the O(components * n) of one full-n
+    array set (or worse, six full-n Python lists) per tree.  Component
+    trees are :class:`RootedTree` views created by
+    :meth:`RootedTree._from_forest`; their classic list attributes stay
+    lazy and mask foreign components out when compatibility callers
+    materialize them.
+    """
+
+    __slots__ = (
+        "graph", "parent", "parent_edge", "depth", "comp_of",
+        "roots", "order", "comp_start", "size", "wdepth", "layers",
+        "trees", "_tin", "_tout",
+    )
+
+    def __init__(
+        self,
+        graph: Graph,
+        parent: np.ndarray,
+        parent_edge: np.ndarray,
+        depth: np.ndarray,
+        comp_of: np.ndarray,
+        roots: np.ndarray,
+        members: np.ndarray,
+        comp_start: np.ndarray,
+    ):
+        self.graph = graph
+        self.parent = parent
+        self.parent_edge = parent_edge
+        self.depth = depth
+        self.comp_of = comp_of
+        self.roots = roots
+        self.comp_start = comp_start
+        self.layers: Optional[list] = None
+        #: shared DFS interval stores, filled by AncestryLabeling on
+        #: first use (one full-n pair for the WHOLE forest).
+        self._tin: Optional[np.ndarray] = None
+        self._tout: Optional[np.ndarray] = None
+        self._derive(members)
+        self.trees = [
+            RootedTree._from_forest(self, ci) for ci in range(self.comp_count)
+        ]
+
+    @property
+    def comp_count(self) -> int:
+        return int(self.roots.shape[0])
+
+    def interval_store(self) -> tuple[np.ndarray, np.ndarray]:
+        """One DFS interval pair for the whole forest, in closed form.
+
+        ``tin[v] = 2 * pre_c(v) - depth(v) + 1`` with ``pre_c`` the
+        preorder rank WITHIN ``v``'s component, so each component's
+        times span ``1..2n_c`` independently — bit-identical to running
+        :func:`repro.graph.csr.dfs_interval_labels` per tree, at O(n)
+        total instead of O(components * n).
+        """
+        if self._tin is None:
+            n = self.graph.n
+            order = self.order
+            pos = np.arange(n, dtype=np.int64)
+            tin = np.empty(n, dtype=np.int64)
+            tin[order] = (
+                2 * (pos - self.comp_start[self.comp_of[order]])
+                - self.depth[order]
+                + 1
+            )
+            self._tin = tin
+            self._tout = tin + 2 * self.size - 1
+        return self._tin, self._tout
+
+    @classmethod
+    def build(
+        cls, graph: Graph, forbidden: Optional[np.ndarray] = None
+    ) -> "Forest":
+        """BFS spanning forest of ``G \\ forbidden`` over shared arrays."""
+        parts = csrk.bfs_forest(graph.as_csr(), forbidden)
+        return cls(graph, *parts)
+
+    @classmethod
+    def from_parent_arrays(
+        cls,
+        graph: Graph,
+        parent: np.ndarray,
+        parent_edge: np.ndarray,
+        comp_of: np.ndarray,
+        roots,
+    ) -> "Forest":
+        """Rebuild a forest from persisted parent/comp arrays (snapshot
+        restore): depths come back by pointer doubling, preorder/sizes/
+        weighted depths by the same :meth:`_derive` folds as a fresh
+        build — all derived state is parent-determined, so the restored
+        forest is bit-identical to the one that was saved."""
+        parent = np.asarray(parent, dtype=np.int64)
+        parent_edge = np.asarray(parent_edge, dtype=np.int64)
+        comp_of = np.asarray(comp_of, dtype=np.int64)
+        roots = np.asarray(roots, dtype=np.int64)
+        depth = csrk.tree_depths(parent, -1)
+        if roots.size:
+            depth[roots] = 0
+        C = roots.shape[0]
+        n = graph.n
+        if n:
+            counts = np.bincount(comp_of, minlength=C)
+        else:
+            counts = np.zeros(C, dtype=np.int64)
+        comp_start = np.concatenate(
+            ([0], np.cumsum(counts))
+        ).astype(np.int64)
+        members = np.argsort(comp_of, kind="stable").astype(np.int64)
+        return cls(
+            graph, parent, parent_edge, depth, comp_of, roots, members, comp_start
+        )
+
+    def _derive(self, members: np.ndarray) -> None:
+        """Canonical preorder, subtree sizes and weighted depths for all
+        components at once.
+
+        Shallow components (the common case) are folded together with
+        one vectorized pass per global depth layer — thousands of tiny
+        fragments cost the same handful of numpy calls as one big tree.
+        Components deeper than the ``max(64, n_c/8)`` crossover (paths,
+        rings) take the sequential per-component walk instead, exactly
+        like standalone construction; both produce identical arrays.
+        """
+        graph = self.graph
+        n = graph.n
+        parent, depth, comp_of = self.parent, self.depth, self.comp_of
+        C = self.comp_count
+        order = np.empty(n, dtype=np.int64)
+        size = np.zeros(n, dtype=np.int64)
+        wdepth = np.zeros(n, dtype=np.float64)
+        self.order = order
+        self.size = size
+        self.wdepth = wdepth
+        if n == 0 or C == 0:
+            return
+        if graph.m:
+            edge_w = graph.as_csr().edge_weight
+        else:
+            edge_w = np.zeros(0, dtype=np.float64)
+        counts = np.diff(self.comp_start)
+        heights = np.zeros(C, dtype=np.int64)
+        np.maximum.at(heights, comp_of, depth)
+        vec_c = (heights + 1) <= np.maximum(64, counts // 8)
+        seq_comps = np.flatnonzero(~vec_c)
+        if seq_comps.size == 0:
+            dl = depth
+        else:
+            dl = np.where(vec_c[comp_of], depth, -1)
+        if vec_c.any():
+            layers = csrk.depth_layers(dl)
+            size += csrk.subtree_sizes(parent, dl, layers)
+            # Sibling groups over the whole forest in one stable sort.
+            ch = np.flatnonzero((parent >= 0) & (dl >= 0))
+            gpar = parent[ch]
+            grp = np.argsort(gpar, kind="stable")
+            gch = ch[grp]
+            gpar = gpar[grp]
+            offset = np.zeros(n, dtype=np.int64)
+            if gch.size:
+                starts = np.flatnonzero(np.r_[True, gpar[1:] != gpar[:-1]])
+                bounds = np.r_[starts, gch.size]
+                csz = size[gch]
+                cum = np.cumsum(csz)
+                within = cum - csz
+                base = np.repeat(within[starts], np.diff(bounds))
+                offset[gch] = within - base
+            pre = np.zeros(n, dtype=np.int64)
+            pe = self.parent_edge
+            for vs in layers[1:]:
+                ps = parent[vs]
+                pre[vs] = pre[ps] + 1 + offset[vs]
+                wdepth[vs] = wdepth[ps] + edge_w[pe[vs]]
+            tv = np.flatnonzero(dl >= 0)
+            order[self.comp_start[comp_of[tv]] + pre[tv]] = tv
+            if seq_comps.size == 0 and C == 1:
+                self.layers = layers
+        # Deep components: the standalone sequential walk, writing into
+        # the shared arrays (per-component transient state only).
+        for ci in seq_comps.tolist():
+            self._derive_sequential(int(ci), members, edge_w)
+
+    def _derive_sequential(
+        self, ci: int, members: np.ndarray, edge_w: np.ndarray
+    ) -> None:
+        lo = int(self.comp_start[ci])
+        hi = int(self.comp_start[ci + 1])
+        comp_vs = members[lo:hi].tolist()
+        parent = self.parent
+        pe = self.parent_edge
+        children: dict[int, list[int]] = {}
+        for v in comp_vs:
+            p = int(parent[v])
+            if p >= 0:
+                children.setdefault(p, []).append(v)
+        for kids in children.values():
+            kids.sort()
+        root = int(self.roots[ci])
+        wdepth = self.wdepth
+        order = self.order
+        pos = lo
+        stack = [root]
+        while stack:
+            u = stack.pop()
+            order[pos] = u
+            pos += 1
+            wu = wdepth[u]
+            for c in reversed(children.get(u, ())):
+                wdepth[c] = wu + edge_w[pe[c]]
+                stack.append(c)
+        size = self.size
+        for u in order[lo:hi][::-1].tolist():
+            size[u] += 1
+            p = int(parent[u])
+            if p >= 0:
+                size[p] += size[u]
+
+
 def spanning_forest(
     graph: Graph,
     forbidden: Iterable[int] = (),
     method: str = "bfs",
     engine: str = "csr",
-) -> tuple[list[RootedTree], list[int]]:
+) -> tuple[list[RootedTree], Sequence[int]]:
     """Build one rooted spanning tree per component of ``G \\ forbidden``.
 
     Returns ``(trees, comp_of)`` where ``comp_of[v]`` indexes into
     ``trees``.  Roots are the smallest vertex id of each component.
-    ``engine`` selects the BFS implementation (see :meth:`RootedTree.bfs`);
-    DFS forests always use the sequential builder.
+    ``engine="csr"`` (the default, BFS only) builds the whole forest
+    over ONE shared array set (:class:`Forest` — O(n + m) memory
+    regardless of the component count) and returns ``comp_of`` as an
+    int64 array; the reference engine and DFS forests keep the
+    per-component sequential builders and return a plain list.  Trees
+    and component numbering are identical across engines.
     """
     if engine not in ("csr", "reference"):
         raise ValueError(f"unknown engine {engine!r}")
     skip = set(forbidden)
+    use_csr = method == "bfs" and engine == "csr"
+    if use_csr:
+        forest = Forest.build(graph, csrk.forbidden_mask(graph.m, skip))
+        return forest.trees, forest.comp_of
     comp_of = [-1] * graph.n
     trees: list[RootedTree] = []
-    use_csr = method == "bfs" and engine == "csr"
-    mask = csrk.forbidden_mask(graph.m, skip) if use_csr else None
     for start in graph.vertices():
         if comp_of[start] != -1:
             continue
-        if use_csr:
-            tree = RootedTree.bfs(graph, start, mask if mask is not None else ())
-        elif method == "bfs":
+        if method == "bfs":
             tree = RootedTree.bfs(graph, start, skip, engine="reference")
         else:
             tree = RootedTree.dfs(graph, start, skip)

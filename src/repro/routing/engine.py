@@ -101,7 +101,7 @@ class SegmentRouter:
         """
         scheme = self.instance.scheme
         return scheme.label_for_eid(
-            eid, component=scheme.comp_of[self.instance.tree.root]
+            eid, component=int(scheme.comp_of[self.instance.tree.root])
         )
 
     def _fetch_tree_edge_label(

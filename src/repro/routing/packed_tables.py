@@ -76,7 +76,7 @@ class PackedInstanceTables:
         self.local_of = inst.sub.vertex_from_parent
         #: local child vertex -> local edge index of its parent edge
         self.parent_edge = inst.tree.parent_edge
-        self.component = inst.scheme.comp_of[inst.tree.root]
+        self.component = int(inst.scheme.comp_of[inst.tree.root])
         self.simple = simple
         self._labels: dict[int, SkEdgeLabel] = {}
 

@@ -480,8 +480,28 @@ class VertexSketches:
         if plan is None:
             plan = self.scatter_plan(row_of)
         stride = np.int64(rows)
-        key_chunks: list[np.ndarray] = []
-        val_chunks: list[np.ndarray] = []
+        # Pass 1: exact change-point count per unit via one boolean
+        # scatter over the (plane, row) key space — no sort, and the
+        # per-unit hash columns are recomputed rather than cached (the
+        # two hash passes cost seconds; caching them costs O(m * units)
+        # bytes).  Knowing the counts up front lets pass 2 write every
+        # unit's chunk straight into the final arrays, so the store is
+        # never held twice (the old chunk-list + concatenate layout
+        # peaked at 2x the final size).
+        nbins = levels * int(stride)
+        counts_per_unit = np.empty(units, dtype=np.int64)
+        flags = np.zeros(nbins, dtype=bool)
+        for i in range(units):
+            ml = self.unit_max_levels_many(i, plan.keys)
+            flags[ml[plan.sedges] * stride + plan.srows] = True
+            counts_per_unit[i] = int(np.count_nonzero(flags))
+            flags[:] = False
+        del flags
+        total = int(counts_per_unit.sum())
+        all_keys = np.empty(total, dtype=np.int64)
+        all_vals = np.empty((total, width), dtype=np.uint64)
+        # Pass 2: the original per-unit sort/merge, writing in place.
+        off = 0
         for i in range(units):
             ml = self.unit_max_levels_many(i, plan.keys)
             k = (np.int64(i) * levels + ml[plan.sedges]) * stride + plan.srows
@@ -503,15 +523,17 @@ class VertexSketches:
             base = np.zeros((pstarts.size, width), dtype=np.uint64)
             nz = pstarts > 0
             base[nz] = acc[pstarts[nz] - 1]
-            key_chunks.append(uk)
-            val_chunks.append(acc ^ np.repeat(base, counts, axis=0))
+            end = off + uk.size
+            all_keys[off:end] = uk
+            all_vals[off:end] = acc ^ np.repeat(base, counts, axis=0)
+            off = end
         return RaggedPrefix(
             rows=rows,
             units=units,
             levels=levels,
             width=width,
-            keys=np.concatenate(key_chunks),
-            vals=np.concatenate(val_chunks),
+            keys=all_keys,
+            vals=all_vals,
         )
 
     @staticmethod

@@ -75,11 +75,14 @@ def _graph_arrays(graph, arrays: dict, prefix: str) -> None:
 def _restore_graph(n: int, arrays: dict, prefix: str):
     from repro.graph.graph import Graph
 
+    # The arrays may be read-only snapshot mmaps; the array-resident
+    # Graph shares them without copying (and without materializing any
+    # Python adjacency until a caller actually needs it).
     return Graph.from_edge_arrays(
         n,
-        arrays[prefix + "edge_u"].tolist(),
-        arrays[prefix + "edge_v"].tolist(),
-        arrays[prefix + "edge_w"].tolist(),
+        arrays[prefix + "edge_u"],
+        arrays[prefix + "edge_v"],
+        arrays[prefix + "edge_w"],
     )
 
 
@@ -91,37 +94,38 @@ def _forest_arrays(trees, comp_of, arrays: dict, prefix: str) -> None:
     """
     some = trees[0]
     n = some.graph.n
+    forest = getattr(some, "_forest", None)
+    if forest is not None and len(trees) == forest.comp_count:
+        # Forest trees already share one full-n parent/parent_edge pair:
+        # roots hold -1 and every non-root slot is owned by exactly one
+        # component, so the shared arrays ARE the merged arrays.
+        arrays[prefix + "parent"] = forest.parent
+        arrays[prefix + "parent_edge"] = forest.parent_edge
+        arrays[prefix + "comp_of"] = np.asarray(comp_of, dtype=np.int64)
+        return
     parent = np.full(n, -1, dtype=np.int64)
     parent_edge = np.full(n, -1, dtype=np.int64)
     for tree in trees:
-        p = np.asarray(tree.parent, dtype=np.int64)
-        pe = np.asarray(tree.parent_edge, dtype=np.int64)
-        mask = p >= 0
-        parent[mask] = p[mask]
-        parent_edge[mask] = pe[mask]
+        ta = tree.arrays()
+        vs = ta.order[1:]  # non-root vertices of this tree only
+        parent[vs] = ta.parent[vs]
+        parent_edge[vs] = ta.parent_edge[vs]
     arrays[prefix + "parent"] = parent
     arrays[prefix + "parent_edge"] = parent_edge
     arrays[prefix + "comp_of"] = np.asarray(comp_of, dtype=np.int64)
 
 
 def _restore_forest(graph, arrays: dict, prefix: str, roots):
-    from repro.graph.spanning_tree import RootedTree
+    from repro.graph.spanning_tree import Forest
 
-    parent = arrays[prefix + "parent"]
-    parent_edge = arrays[prefix + "parent_edge"]
-    comp_of = arrays[prefix + "comp_of"]
-    trees = []
-    for ci, root in enumerate(roots):
-        mask = comp_of == ci
-        trees.append(
-            RootedTree(
-                graph,
-                int(root),
-                np.where(mask, parent, -1).tolist(),
-                np.where(mask, parent_edge, -1).tolist(),
-            )
-        )
-    return trees
+    forest = Forest.from_parent_arrays(
+        graph,
+        arrays[prefix + "parent"],
+        arrays[prefix + "parent_edge"],
+        arrays[prefix + "comp_of"],
+        [int(r) for r in roots],
+    )
+    return forest.trees
 
 
 def _phi_words(phi: list, b: int) -> np.ndarray:
@@ -309,9 +313,8 @@ def _distance_state(scheme) -> tuple[dict, dict]:
     arrays: dict = {}
     _graph_arrays(scheme.graph, arrays, "graph/")
     i_star = np.full((scheme.K + 1, scheme.graph.n), -1, dtype=np.int64)
-    for v, per_scale in enumerate(scheme._i_star):
-        for i, j in per_scale.items():
-            i_star[i, v] = j
+    v_col, i_col, j_col = scheme._i_star.columns()
+    i_star[i_col, v_col] = j_col
     arrays["i_star"] = i_star
     for idx, (key, inst) in enumerate(scheme.instances.items()):
         prefix = f"inst{idx}/"
@@ -323,11 +326,12 @@ def _distance_state(scheme) -> tuple[dict, dict]:
             sub.edge_to_parent, dtype=np.int64
         )
         _graph_arrays(sub.graph, arrays, prefix + "graph/")
+        tree_arr = inst.tree.arrays()
         arrays[prefix + "tree_parent"] = np.asarray(
-            inst.tree.parent, dtype=np.int64
+            tree_arr.parent, dtype=np.int64
         )
         arrays[prefix + "tree_parent_edge"] = np.asarray(
-            inst.tree.parent_edge, dtype=np.int64
+            tree_arr.parent_edge, dtype=np.int64
         )
         im = {
             "key": list(key),
@@ -371,6 +375,8 @@ def _distance_state(scheme) -> tuple[dict, dict]:
 def _restore_distance(meta: dict, arrays: dict):
     from repro.core.distance_labels import (
         DistanceLabelScheme,
+        FlatIStar,
+        FlatMembership,
         LabelInstance,
         instance_wiring,
         routing_port_bits,
@@ -400,9 +406,9 @@ def _restore_distance(meta: dict, arrays: dict):
     scheme.K = meta["K"]
     scheme.key_bits = meta["key_bits"]
     scheme.instances = {}
-    scheme._vertex_membership = [{} for _ in range(n)]
-    scheme._edge_membership = [{} for _ in range(meta["m"])]
-    scheme._i_star = [{} for _ in range(n)]
+    scheme._vertex_membership = FlatMembership()
+    scheme._edge_membership = FlatMembership()
+    scheme._i_star = FlatIStar()
     gamma_f = meta["gamma_f"]
     for idx, im in enumerate(meta["instances"]):
         prefix = f"inst{idx}/"
@@ -490,24 +496,25 @@ def _restore_distance(meta: dict, arrays: dict):
             radius=float(im["radius"]),
         )
         scheme.instances[key] = inst
-        for lv, pv in enumerate(vtp):
-            scheme._vertex_membership[pv][key] = lv
-        for le, pe in enumerate(sub.edge_to_parent):
-            scheme._edge_membership[pe][key] = le
+        scheme._vertex_membership.add_cluster(vtp, i, j)
+        scheme._edge_membership.add_cluster(sub.edge_to_parent, i, j)
+    max_clusters = max((key[1] for key in scheme.instances), default=0)
+    scheme._vertex_membership.freeze(scheme.K, max_clusters)
+    scheme._edge_membership.freeze(scheme.K, max_clusters)
     i_star = arrays["i_star"]
     for i in range(scheme.K + 1):
         row = i_star[i]
-        for v in np.flatnonzero(row >= 0).tolist():
-            scheme._i_star[v][i] = int(row[v])
+        vs = np.flatnonzero(row >= 0)
+        scheme._i_star.add_scale(vs, row[vs], i)
+    scheme._i_star.freeze(scheme.K)
     return scheme
 
 
 def _comp_of_from_trees(n: int, trees) -> list[int]:
-    comp_of = [-1] * n
+    comp_of = np.full(n, -1, dtype=np.int64)
     for ci, tree in enumerate(trees):
-        for v in tree.vertices:
-            comp_of[v] = ci
-    return comp_of
+        comp_of[tree.arrays().order] = ci
+    return comp_of.tolist()
 
 
 # ----------------------------------------------------------------------

@@ -8,10 +8,14 @@ O(log^2 n) bits.
 The decomposition is computed with the per-depth-layer array kernels of
 :mod:`repro.graph.csr` (subtree sizes bottom-up, light-depths top-down,
 heavy children by one grouped sort) instead of per-vertex Python loops;
-the exposed attributes keep their original list form.
+the exposed ``size``/``heavy_child``/``light_depth`` lists are lazy
+views over the numpy results (:meth:`arrays`), materialized only if a
+caller actually indexes them.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 import numpy as np
 
@@ -25,11 +29,13 @@ class HeavyLightDecomposition:
         self.tree = tree
         n = tree.graph.n
         arr = tree.arrays()
-        self.size = arr.size.tolist()
         #: heavy child of each vertex (-1 for leaves): the child with the
         #: largest subtree, ties broken towards the smaller vertex id.
         heavy = np.full(n, -1, dtype=np.int64)
-        child = np.flatnonzero(arr.depth > 0)
+        # Non-root preorder vertices are exactly the child endpoints
+        # (trees inside a Forest share full-n parent/depth arrays, so a
+        # ``depth > 0`` scan would sweep in foreign components).
+        child = np.sort(arr.order[1:])
         if child.size:
             par = arr.parent[child]
             # Group children by parent, largest subtree first (ties by
@@ -38,31 +44,62 @@ class HeavyLightDecomposition:
             sp = par[order]
             first = np.flatnonzero(np.r_[True, sp[1:] != sp[:-1]])
             heavy[sp[first]] = child[order][first]
-        self.heavy_child = heavy.tolist()
+        self._heavy_np = heavy
         #: number of light edges on the root-to-v path.
         light = np.zeros(n, dtype=np.int64)
         for vs in arr.layers[1:]:
             ps = arr.parent[vs]
             light[vs] = light[ps] + (heavy[ps] != vs)
-        self.light_depth = light.tolist()
+        self._light_np = light
+        self._size_list: Optional[list[int]] = None
+        self._heavy_list: Optional[list[int]] = None
+        self._light_list: Optional[list[int]] = None
+
+    # -- numpy accessors (the routing kernels read these) --------------
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(heavy_child, light_depth)`` as int64 arrays."""
+        return self._heavy_np, self._light_np
+
+    # -- lazy list compatibility views ---------------------------------
+    @property
+    def size(self) -> list[int]:
+        if self._size_list is None:
+            self._size_list = self.tree.arrays().size.tolist()
+        return self._size_list
+
+    @property
+    def heavy_child(self) -> list[int]:
+        if self._heavy_list is None:
+            self._heavy_list = self._heavy_np.tolist()
+        return self._heavy_list
+
+    @property
+    def light_depth(self) -> list[int]:
+        if self._light_list is None:
+            self._light_list = self._light_np.tolist()
+        return self._light_list
 
     def is_heavy_edge_to(self, child: int) -> bool:
         """True iff the edge (parent(child), child) is heavy."""
-        p = self.tree.parent[child]
-        return p >= 0 and self.heavy_child[p] == child
+        p = int(self.tree.arrays().parent[child])
+        return p >= 0 and int(self._heavy_np[p]) == child
 
     def light_edges_to(self, v: int) -> list[tuple[int, int]]:
         """The light edges (parent, child) on the root-to-v path, top-down."""
+        parent = self.tree.arrays().parent
+        heavy = self._heavy_np
         out = []
         x = v
-        while self.tree.parent[x] >= 0:
-            p = self.tree.parent[x]
-            if self.heavy_child[p] != x:
+        while x != self.tree.root and parent[x] >= 0:
+            p = int(parent[x])
+            if int(heavy[p]) != x:
                 out.append((p, x))
             x = p
         out.reverse()
         return out
 
     def max_light_depth(self) -> int:
-        vs = self.tree.vertices
-        return max((self.light_depth[v] for v in vs), default=0)
+        order = self.tree.arrays().order
+        if order.size == 0:
+            return 0
+        return int(self._light_np[order].max())

@@ -43,7 +43,6 @@ from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass
 from typing import Iterable, Optional
 
 import numpy as np
@@ -52,35 +51,99 @@ from repro.graph import csr as csrk
 from repro.graph.graph import Graph
 
 
-@dataclass(frozen=True)
 class CoverTree:
-    """One cluster of a tree cover: center, members, and measured radius."""
+    """One cluster of a tree cover: center, members, and measured radius.
 
-    index: int
-    center: int
-    vertices: tuple[int, ...]
-    radius: float
+    ``members`` is the canonical int64 array (ascending vertex ids as
+    constructed); the classic ``vertices`` tuple is a lazy view for
+    tests and reference callers.
+    """
+
+    __slots__ = ("index", "center", "members", "radius", "_vertices")
+
+    def __init__(self, index: int, center: int, vertices, radius: float):
+        self.index = index
+        self.center = center
+        self.members = np.asarray(vertices, dtype=np.int64)
+        self.radius = radius
+        self._vertices: Optional[tuple[int, ...]] = None
+
+    @property
+    def vertices(self) -> tuple[int, ...]:
+        if self._vertices is None:
+            self._vertices = tuple(self.members.tolist())
+        return self._vertices
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CoverTree(index={self.index}, center={self.center}, "
+            f"|members|={self.members.size}, radius={self.radius})"
+        )
 
 
-@dataclass
 class TreeCover:
-    """The clusters of one ``(rho, k)`` tree cover plus the home map."""
+    """The clusters of one ``(rho, k)`` tree cover plus the home map.
 
-    rho: float
-    k: int
-    trees: list[CoverTree]
-    home: dict[int, int]  # vertex -> index of the tree containing B_rho(v)
+    The home map (vertex -> index of the cluster containing
+    ``B_rho(v)``) is stored as parallel sorted-by-vertex arrays with
+    ``searchsorted`` lookup (:meth:`home_arrays`, :meth:`home_of`); the
+    classic ``home`` dict is a lazy compatibility view.
+    """
+
+    __slots__ = ("rho", "k", "trees", "_home_v", "_home_i", "_home_dict")
+
+    def __init__(self, rho: float, k: int, trees: list[CoverTree], home=None):
+        self.rho = rho
+        self.k = k
+        self.trees = trees
+        self._home_dict: Optional[dict[int, int]] = None
+        if isinstance(home, tuple):
+            hv, hi = home
+            self._home_v = np.asarray(hv, dtype=np.int64)
+            self._home_i = np.asarray(hi, dtype=np.int64)
+        else:
+            self._home_dict = dict(home) if home else {}
+            items = sorted(self._home_dict.items())
+            self._home_v = np.fromiter(
+                (v for v, _ in items), dtype=np.int64, count=len(items)
+            )
+            self._home_i = np.fromiter(
+                (j for _, j in items), dtype=np.int64, count=len(items)
+            )
+
+    def home_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(vertices, indices)`` sorted by vertex — the canonical map."""
+        return self._home_v, self._home_i
+
+    def home_of(self, v: int) -> Optional[int]:
+        """Cluster index whose tree contains ``B_rho(v)`` (None if absent)."""
+        pos = int(np.searchsorted(self._home_v, v))
+        if pos < self._home_v.size and int(self._home_v[pos]) == v:
+            return int(self._home_i[pos])
+        return None
+
+    @property
+    def home(self) -> dict[int, int]:
+        if self._home_dict is None:
+            self._home_dict = dict(
+                zip(self._home_v.tolist(), self._home_i.tolist())
+            )
+        return self._home_dict
 
     def overlap_counts(self) -> dict[int, int]:
-        counts: dict[int, int] = {}
-        for t in self.trees:
-            for v in t.vertices:
-                counts[v] = counts.get(v, 0) + 1
-        return counts
+        """Per-vertex cluster multiplicity (vertices in >= 1 cluster)."""
+        if not self.trees:
+            return {}
+        members = np.concatenate([t.members for t in self.trees])
+        counts = np.bincount(members)
+        vs = np.flatnonzero(counts)
+        return dict(zip(vs.tolist(), counts[vs].tolist()))
 
     def max_overlap(self) -> int:
-        counts = self.overlap_counts()
-        return max(counts.values(), default=0)
+        if not self.trees:
+            return 0
+        members = np.concatenate([t.members for t in self.trees])
+        return int(np.bincount(members).max())
 
 
 def _ball(graph: Graph, source: int, radius: float, skip: set[int]) -> dict[int, float]:
@@ -144,7 +207,8 @@ def sparse_cover(
         else max(graph.n, 2) ** (1.0 / k)
     )
     trees: list[CoverTree] = []
-    home: dict[int, int] = {}
+    home_v_parts: list[np.ndarray] = []
+    home_i_parts: list[np.ndarray] = []
     assigned_component: set[int] = set()
     for root in graph.vertices():
         if root in assigned_component:
@@ -154,16 +218,26 @@ def sparse_cover(
         if ecc <= rho:
             # The whole component is a single ball: one cluster suffices.
             idx = len(trees)
+            comp_arr = np.asarray(comp, dtype=np.int64)
             trees.append(
-                CoverTree(index=idx, center=root, vertices=tuple(comp), radius=ecc)
+                CoverTree(index=idx, center=root, vertices=comp_arr, radius=ecc)
             )
-            for v in comp:
-                home[v] = idx
+            home_v_parts.append(comp_arr)
+            home_i_parts.append(np.full(comp_arr.size, idx, dtype=np.int64))
             continue
         _cover_component(
-            graph, comp, rho, growth, skip, use_csr, skip_mask, trees, home
+            graph, comp, rho, growth, skip, use_csr, skip_mask,
+            trees, home_v_parts, home_i_parts,
         )
-    return TreeCover(rho=rho, k=k, trees=trees, home=home)
+    if home_v_parts:
+        hv = np.concatenate(home_v_parts)
+        hi = np.concatenate(home_i_parts)
+        srt = np.argsort(hv, kind="stable")
+        hv, hi = hv[srt], hi[srt]
+    else:
+        hv = np.zeros(0, dtype=np.int64)
+        hi = np.zeros(0, dtype=np.int64)
+    return TreeCover(rho=rho, k=k, trees=trees, home=(hv, hi))
 
 
 def _cover_component(
@@ -175,7 +249,8 @@ def _cover_component(
     use_csr: bool,
     skip_mask: Optional[np.ndarray],
     trees: list[CoverTree],
-    home: dict[int, int],
+    home_v_parts: list[np.ndarray],
+    home_i_parts: list[np.ndarray],
 ) -> None:
     if use_csr:
         # Batched truncated SSSP gives every center's ball at once;
@@ -218,12 +293,13 @@ def _cover_component(
                 CoverTree(
                     index=idx,
                     center=v,
-                    vertices=tuple(sorted(z_vertices)),
+                    vertices=np.asarray(sorted(z_vertices), dtype=np.int64),
                     radius=radius,
                 )
             )
-            for u in z_centers:
-                home[u] = idx
+            zc = np.asarray(sorted(z_centers), dtype=np.int64)
+            home_v_parts.append(zc)
+            home_i_parts.append(np.full(zc.size, idx, dtype=np.int64))
             remaining -= z_centers
             for w in z_vertices:
                 blocked |= inv[w] & remaining

@@ -128,19 +128,19 @@ class PackedTreeRouting:
         anc = scheme._anc
         hld = scheme._hld
         port_fn = scheme._port_fn
-        tin = np.asarray(anc._tin, dtype=np.int64)
-        tout = np.asarray(anc._tout, dtype=np.int64)
+        tin, tout = anc.interval_arrays()
+        tin = np.ascontiguousarray(tin, dtype=np.int64)
+        tout = np.ascontiguousarray(tout, dtype=np.int64)
         self.tin = tin
         self.tout = tout
-        parent = np.asarray(tree.parent, dtype=np.int64)
+        arr = tree.arrays()
+        parent = arr.parent
         self.parent = parent
         parent_port = np.full(n, -1, dtype=np.int64)
-        for v in tree.vertices:
-            p = tree.parent[v]
-            if p >= 0:
-                parent_port[v] = port_fn(v, p)
+        for v in arr.order[1:].tolist():
+            parent_port[v] = port_fn(v, int(parent[v]))
         self.parent_port = parent_port
-        heavy = np.asarray(hld.heavy_child, dtype=np.int64)
+        heavy, _ = hld.arrays()
         self.heavy = heavy
         heavy_port = np.full(n, -1, dtype=np.int64)
         heavy_tin = np.zeros(n, dtype=np.int64)

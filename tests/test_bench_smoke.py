@@ -69,6 +69,30 @@ def test_scale_fingerprints_match_committed_baseline():
 
 
 @pytest.mark.bench_smoke
+def test_scale_10k_label_bits_and_digest_unchanged():
+    """The n=10^4 scale workload is fully deterministic: label sizes and
+    the snapshot's SHA-256 must match the committed row bit-for-bit."""
+    if not Path(bench_scale.DEFAULT_OUT).exists():
+        pytest.skip("no committed BENCH_scale.json")
+    committed = json.loads(Path(bench_scale.DEFAULT_OUT).read_text())
+    recorded = committed.get("workloads", {}).get("random-10k")
+    if not recorded or "snapshot_sha256" not in recorded:
+        pytest.skip("no committed random-10k digest")
+    row = bench_scale.measure_workload(
+        "random-10k", "random", 10_000, None, trials=8
+    )
+    assert row["query_mismatches"] == 0
+    for key in (
+        "hash_family",
+        "vertex_label_bits",
+        "edge_label_bits",
+        "snapshot_bytes",
+        "snapshot_sha256",
+    ):
+        assert row[key] == recorded[key], key
+
+
+@pytest.mark.bench_smoke
 def test_snapshot_load_within_2x_of_committed_baseline():
     if not Path(bench_snapshot.DEFAULT_OUT).exists():
         pytest.skip("no committed BENCH_snapshot.json")

@@ -1,0 +1,165 @@
+"""Equivalence and memory-regression tests for the array-backed forest
+and flat label stores (the memory-frugal construction path).
+
+The acceptance bar mirrors ``test_csr_equivalence``: the array-resident
+pipeline (shared-array :class:`Forest`, flat sorted membership columns,
+lazy array-backed :class:`Graph`) must produce *bit-identical* labels,
+``query_many`` answers and route traces to ``engine="reference"`` — on
+connected families and on fragmented many-component workloads that the
+per-component full-n representation handled wastefully.
+
+The final test is the regression guard for the tentpole itself: a
+subprocess builds the n=10^5 scale workload and asserts its
+``ru_maxrss`` stays under a budget the pre-rewrite code demonstrably
+exceeded (1264.6 MB for the full workload in the committed PR-6
+baseline; the build alone re-measured around 1.1 GB).
+"""
+
+from __future__ import annotations
+
+import random
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.sketch_scheme import SketchConnectivityScheme
+from repro.graph import generators
+from repro.graph.components import connected_components
+from repro.routing.fault_tolerant import FaultTolerantRouter
+
+FAMILIES = [
+    ("random", lambda: generators.random_connected_graph(64, extra_edges=90, seed=61)),
+    ("grid", lambda: generators.grid_graph(8, 8)),
+    ("ring_of_cliques", lambda: generators.ring_of_cliques(7, 5)),
+    (
+        "weighted",
+        lambda: generators.with_random_weights(
+            generators.random_connected_graph(56, extra_edges=80, seed=62), 1, 8, seed=63
+        ),
+    ),
+    ("path", lambda: generators.grid_graph(1, 80)),
+]
+
+#: Sub-critical G(n, m): mean degree 1.4 leaves hundreds of components
+#: (isolated vertices, small trees, one emerging giant) — the regime the
+#: shared-array forest exists for.
+FRAGMENTED = ("fragmented", lambda: generators.gnm_random_graph(2000, 1400, seed=64))
+
+ALL = FAMILIES + [FRAGMENTED]
+
+
+def test_fragmented_workload_has_hundreds_of_components():
+    graph = FRAGMENTED[1]()
+    _, count = connected_components(graph)
+    assert count >= 500
+
+
+@pytest.mark.parametrize("name,make", ALL, ids=[f[0] for f in ALL])
+def test_labels_identical_across_engines(name, make):
+    graph = make()
+    fast = SketchConnectivityScheme(graph, seed=8, copies=2)
+    ref = SketchConnectivityScheme(graph, seed=8, copies=2, engine="reference")
+    assert fast._eid_cache == ref._eid_cache
+    for v in range(graph.n):
+        assert fast.vertex_label(v) == ref.vertex_label(v)
+    for ei in range(graph.m):
+        a, b = fast.edge_label(ei), ref.edge_label(ei)
+        assert (a.component, a.eid, a.is_tree) == (b.component, b.eid, b.is_tree)
+        if a.is_tree:
+            for c in range(2):
+                assert np.array_equal(a.subtree[c], b.subtree[c])
+                assert np.array_equal(a.global_sketch[c], b.global_sketch[c])
+    assert fast.max_vertex_label_bits() == ref.max_vertex_label_bits()
+    assert fast.max_edge_label_bits() == ref.max_edge_label_bits()
+
+
+@pytest.mark.parametrize("name,make", ALL, ids=[f[0] for f in ALL])
+def test_query_many_identical_across_engines(name, make):
+    graph = make()
+    fast = SketchConnectivityScheme(graph, seed=9)
+    ref = SketchConnectivityScheme(graph, seed=9, engine="reference")
+    rnd = random.Random(91)
+    pairs = [tuple(rnd.sample(range(graph.n), 2)) for _ in range(40)]
+    faults = rnd.sample(range(graph.m), min(4, graph.m))
+    fa = fast.query_many(pairs, faults)
+    rb = ref.query_many(pairs, faults)
+    for a, b in zip(fa, rb):
+        assert a.connected == b.connected
+        assert a.path == b.path
+        assert a.phases_used == b.phases_used
+
+
+@pytest.mark.parametrize(
+    "name,make",
+    [FAMILIES[0], FAMILIES[1], FAMILIES[3]],
+    ids=[FAMILIES[0][0], FAMILIES[1][0], FAMILIES[3][0]],
+)
+def test_route_traces_identical_across_engines(name, make):
+    graph = make()
+    fast = FaultTolerantRouter(graph, f=2, k=2, seed=12)
+    ref = FaultTolerantRouter(graph, f=2, k=2, seed=12, engine="reference")
+    rnd = random.Random(13)
+    for _ in range(12):
+        s, t = rnd.sample(range(graph.n), 2)
+        faults = rnd.sample(range(graph.m), 2)
+        a = fast.route(s, t, faults)
+        b = ref.route(s, t, faults)
+        assert a.delivered == b.delivered
+        assert a.trace == b.trace
+
+
+@pytest.mark.parametrize("name,make", ALL, ids=[f[0] for f in ALL])
+def test_max_edge_label_bits_matches_label_enumeration(name, make):
+    """The structural maximum must equal brute-force label enumeration
+    (it is a committed fingerprint, so the shortcut may not drift)."""
+    graph = make()
+    scheme = SketchConnectivityScheme(graph, seed=8)
+    naive = max(
+        (scheme.edge_label(ei).bit_length() for ei in range(graph.m)),
+        default=0,
+    )
+    assert scheme.max_edge_label_bits() == naive
+
+
+def test_connected_components_engines_agree_with_faults():
+    for name, make in ALL:
+        graph = make()
+        rnd = random.Random(17)
+        for _ in range(5):
+            forbidden = rnd.sample(range(graph.m), min(6, graph.m))
+            fast = connected_components(graph, forbidden)
+            ref = connected_components(graph, forbidden, engine="reference")
+            assert fast == ref, name
+
+
+_RSS_SCRIPT = """
+import resource, sys
+from repro.core.sketch_scheme import SketchConnectivityScheme
+from repro.graph import generators
+
+graph = generators.random_connected_graph(100_000, 150_000, seed=1)
+scheme = SketchConnectivityScheme(graph, seed=2)
+assert scheme.query(0, 1, []).connected
+print(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss // 1024)
+"""
+
+#: MB budget for building the n=10^5 scale workload.  The pre-rewrite
+#: code (eager Python graph containers, per-vertex dict stores, the
+#: concatenating ragged builder) peaked at 1264.6 MB on this workload
+#: (committed PR-6 BENCH_scale.json); the array-backed path builds it
+#: in well under this.
+RSS_BUDGET_MB = 900
+
+
+def test_build_peak_rss_within_budget():
+    proc = subprocess.run(
+        [sys.executable, "-c", _RSS_SCRIPT],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    peak_mb = int(proc.stdout.strip())
+    assert peak_mb <= RSS_BUDGET_MB, f"build peaked at {peak_mb} MB"
