@@ -3,9 +3,11 @@
 # label construction (vs BENCH_construction.json), batched decode
 # throughput (vs BENCH_query.json), serving-layer throughput (vs
 # BENCH_serving.json), routed-message throughput (vs
-# BENCH_routing.json), snapshot-load speedup (vs BENCH_snapshot.json)
-# or the large-instance build fingerprints (vs BENCH_scale.json)
-# regressed more than 2x against the committed numbers.  Intended for CI / pre-merge:
+# BENCH_routing.json), snapshot-load speedup (vs BENCH_snapshot.json),
+# the large-instance build fingerprints (vs BENCH_scale.json) or the
+# socket server's throughput ratio / zero-downtime reload (vs
+# BENCH_server.json) regressed more than 2x against the committed
+# numbers.  Intended for CI / pre-merge:
 #
 #   ./benchmarks/run_baseline.sh
 #
@@ -16,6 +18,7 @@
 #   PYTHONPATH=src python -m benchmarks.bench_serving
 #   PYTHONPATH=src python -m benchmarks.bench_routing
 #   PYTHONPATH=src python -m benchmarks.bench_snapshot
+#   PYTHONPATH=src python -m benchmarks.bench_server
 #   PYTHONPATH=src python -m benchmarks.bench_scale   # minutes + tens of GB RAM
 set -e
 cd "$(dirname "$0")/.."
@@ -24,4 +27,5 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m benchmarks.bench_query_thr
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m benchmarks.bench_serving --check "$@"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m benchmarks.bench_routing --check "$@"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m benchmarks.bench_snapshot --check "$@"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m benchmarks.bench_server --check "$@"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m benchmarks.bench_scale --check "$@"

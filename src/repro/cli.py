@@ -6,7 +6,9 @@ Commands:
 * ``build``    — construct an artifact (sketch scheme / router / facade)
   once and save it as a checksummed ``repro.store`` snapshot file: the
   *build* half of the build/serve split.
-* ``query``    — answer one <s, t, F> connectivity + distance query.
+* ``query``    — answer one <s, t, F> connectivity + distance query,
+  in process or (``--connect HOST:PORT``) against a running ``serve``
+  instance over the binary wire protocol.
 * ``route``    — route a message under hidden faults and print telemetry.
 * ``route-bench`` — route one message batch through the packed
   multi-message stepper and through the seed scalar engine, verify the
@@ -20,6 +22,11 @@ Commands:
   print throughput vs the cold batched decoder (``--snapshot`` serves
   off a ``build`` snapshot, cross-checked against in-process
   construction).
+* ``serve`` — the network serving tier: bind a TCP port and answer
+  connectivity/distance/route queries over the length-prefixed binary
+  protocol, fanning work out to shard workers that mmap one ``build``
+  snapshot; SIGHUP (or a client ``reload``) swaps in a new snapshot
+  with zero downtime.
 * ``lower-bound`` — print the Theorem 1.6 series.
 
 All commands operate on the built-in synthetic workloads (``--family``,
@@ -178,7 +185,48 @@ def _parse_faults(spec: str) -> list[int]:
     return [int(x) for x in spec.split(",") if x.strip() != ""]
 
 
+def _parse_hostport(spec: str) -> tuple[str, int]:
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(f"--connect wants HOST:PORT, got {spec!r}")
+    return host or "127.0.0.1", int(port)
+
+
+def _cmd_query_remote(args: argparse.Namespace) -> int:
+    """The ``query --connect`` path: ask a running ``serve`` instance."""
+    from repro.server import QueryClient, ServerError
+
+    host, port = _parse_hostport(args.connect)
+    faults = _parse_faults(args.faults)
+    try:
+        with QueryClient(host, port, timeout=args.timeout) as client:
+            stats = client.stats()
+            kind = stats.get("kind", "?")
+            if kind in ("router", "routing-facade"):
+                result = client.route([(args.s, args.t)], faults)[0]
+                state = "delivered" if result.delivered else "UNDELIVERED"
+                print(f"route({args.s}, {args.t} | {len(faults)} faults) = "
+                      f"{state} length={result.length:.1f} "
+                      f"hops={result.telemetry.hops}")
+                return 0 if result.delivered else 1
+            if kind in ("distance", "distance-facade"):
+                est = client.distance([(args.s, args.t)], faults)[0]
+                print(f"distance({args.s}, {args.t} | {len(faults)} faults) "
+                      f"= {est:.1f}")
+                return 0
+            connected = client.connected(args.s, args.t, faults)
+            print(f"connected({args.s}, {args.t} | {len(faults)} faults) "
+                  f"= {connected}")
+            return 0
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(f"cannot reach {host}:{port}: {exc}")
+    except ServerError as exc:
+        raise SystemExit(f"server refused the query: {exc}")
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
+    if args.connect:
+        return _cmd_query_remote(args)
     graph = _build_graph(args)
     faults = _parse_faults(args.faults)
     conn = FaultTolerantConnectivity(graph, f=max(args.f, len(faults)), seed=args.seed)
@@ -444,6 +492,48 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve an artifact over TCP (the serve half of build/serve).
+
+    ``--snapshot`` serves a ``build`` snapshot — with ``--shards N``
+    the workers mmap the file themselves (spawn mode, one page cache
+    for all of them); without a snapshot the artifact is constructed
+    in process from the workload flags and served object-backed.
+    SIGHUP or a client ``reload`` frame swaps generations with zero
+    downtime.
+    """
+    from repro.server import run_server
+
+    backend = None
+    if not args.snapshot:
+        graph = _build_graph(args)
+        if args.artifact == "sketch":
+            backend = SketchConnectivityScheme(graph, seed=args.seed)
+        elif args.artifact == "router":
+            backend = FaultTolerantRouter(
+                graph, f=args.f, k=args.k, seed=args.seed,
+                table_mode=args.tables,
+            )
+        elif args.artifact == "connectivity":
+            backend = FaultTolerantConnectivity(graph, f=args.f, seed=args.seed)
+        else:  # distance
+            backend = FaultTolerantDistance(
+                graph, f=args.f, k=args.k, seed=args.seed
+            )
+    run_server(
+        backend,
+        snapshot=args.snapshot or None,
+        host=args.host,
+        port=args.port,
+        num_shards=args.shards,
+        cache_capacity=args.cache_capacity,
+        max_chunk=args.chunk,
+        deadline_s=args.deadline,
+        install_sighup=True,
+    )
+    return 0
+
+
 def _cmd_lower_bound(args: argparse.Namespace) -> int:
     from repro.routing.lower_bound import (
         sequential_strategy_expected_stretch,
@@ -502,6 +592,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--s", type=int, required=True)
     p_query.add_argument("--t", type=int, required=True)
     p_query.add_argument("--faults", default="", help="comma-separated edge indices")
+    p_query.add_argument("--connect", default="",
+                         help="HOST:PORT of a running `serve` instance — "
+                              "query over the wire instead of building "
+                              "schemes in process")
+    p_query.add_argument("--timeout", type=float, default=30.0,
+                         help="socket timeout for --connect (seconds)")
     p_query.set_defaults(func=_cmd_query)
 
     p_route = sub.add_parser("route", help="route a message under faults")
@@ -567,6 +663,34 @@ def build_parser() -> argparse.ArgumentParser:
                               "in-process construction; shards run "
                               "spawn-mode off the file)")
     p_serve.set_defaults(func=_cmd_serve_bench)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="serve an artifact over TCP (shard workers mmap one snapshot)",
+    )
+    common(p_srv)
+    p_srv.add_argument("--snapshot", default="",
+                       help="serve a `build` snapshot file (shard workers "
+                            "mmap it; omitting builds in process from the "
+                            "workload flags)")
+    p_srv.add_argument("--artifact", default="sketch",
+                       choices=["sketch", "router", "connectivity", "distance"],
+                       help="what to construct when no --snapshot is given")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = ephemeral, printed at startup)")
+    p_srv.add_argument("--shards", type=int, default=0,
+                       help="shard worker processes (0 = serve in process)")
+    p_srv.add_argument("--chunk", type=int, default=512,
+                       help="coalescer chunk size bound")
+    p_srv.add_argument("--cache-capacity", type=int, default=128,
+                       help="partition-cache LRU capacity per shard")
+    p_srv.add_argument("--deadline", type=float, default=30.0,
+                       help="per-request deadline (seconds)")
+    p_srv.add_argument("--tables", default="balanced",
+                       choices=["simple", "balanced"],
+                       help="router table layout (artifact=router)")
+    p_srv.set_defaults(func=_cmd_serve)
 
     p_lb = sub.add_parser("lower-bound", help="Theorem 1.6 series")
     p_lb.add_argument("--f", type=int, default=4)

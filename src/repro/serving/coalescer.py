@@ -180,10 +180,21 @@ class AsyncQueryCoalescer:
 
     Each canonical fault set gets a pending group with a
     ``loop.call_later(max_delay, ...)`` flush timer; hitting
-    ``max_chunk`` dispatches immediately and cancels the timer.  The
-    backend runs inline on the event loop (partition-cache decodes are
-    fast numpy work); wrap it in ``loop.run_in_executor`` yourself if
-    your backend blocks for long.
+    ``max_chunk`` dispatches immediately and cancels the timer.
+
+    The backend may be a plain callable (runs inline on the event loop
+    — partition-cache decodes are fast numpy work) **or** a coroutine
+    function; an async backend is awaited in its own dispatch task, so
+    slow fan-outs (the sharded server) never block the loop, and
+    :meth:`aclose` drains those tasks.
+
+    Cancellation is first-class: a waiter cancelled while its group is
+    still pending (a disconnected client) is *scrubbed* from the group
+    — its pair is removed, the remaining tickets keep their answers
+    aligned, and a group whose every waiter vanished is dropped without
+    ever touching the backend.  A waiter cancelled after dispatch
+    simply ignores its answer; the rest of the chunk is unaffected
+    (regression-tested by ``tests/test_serving.py``).
     """
 
     def __init__(
@@ -195,11 +206,13 @@ class AsyncQueryCoalescer:
         if max_chunk < 1:
             raise ValueError("max_chunk must be >= 1")
         self.backend = backend
+        self._backend_is_async = asyncio.iscoroutinefunction(backend)
         self.max_chunk = max_chunk
         self.max_delay = max_delay
         self.stats = ChunkStats()
         self._groups: dict[FaultKey, _Group] = {}
         self._timers: dict[FaultKey, asyncio.TimerHandle] = {}
+        self._inflight: set = set()  # async-backend dispatch tasks
 
     @property
     def pending(self) -> int:
@@ -220,7 +233,35 @@ class AsyncQueryCoalescer:
         group.tickets.append(future)
         if len(group.pairs) >= self.max_chunk:
             self._dispatch_key(key)
-        return await future
+        try:
+            return await future
+        except asyncio.CancelledError:
+            self._scrub(key, future)
+            raise
+
+    def _scrub(self, key: FaultKey, future) -> None:
+        """Remove a cancelled waiter from its still-pending group.
+
+        Pair and ticket are removed at the same index, so the group's
+        surviving tickets stay aligned with the backend's answer list;
+        an emptied group is dropped (timer cancelled) without invoking
+        the backend at all.  If the group already dispatched, there is
+        nothing to scrub — the cancelled future just drops its answer.
+        """
+        group = self._groups.get(key)
+        if group is None:
+            return
+        try:
+            idx = group.tickets.index(future)
+        except ValueError:  # pragma: no cover - future of a dispatched group
+            return
+        del group.tickets[idx]
+        del group.pairs[idx]
+        if not group.pairs:
+            del self._groups[key]
+            timer = self._timers.pop(key, None)
+            if timer is not None:
+                timer.cancel()
 
     async def flush(self) -> int:
         """Dispatch everything pending; returns the query count served."""
@@ -230,24 +271,56 @@ class AsyncQueryCoalescer:
         return served
 
     async def aclose(self) -> None:
-        """Flush pending work and cancel all timers."""
+        """Flush pending work, cancel all timers, drain dispatch tasks."""
         await self.flush()
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+
+    @staticmethod
+    def _settle(group: _Group, answers, exc) -> bool:
+        """Fill every still-waiting ticket of a dispatched group."""
+        if exc is not None:
+            for future in group.tickets:
+                if not future.done():
+                    future.set_exception(exc)
+            return False
+        for future, ans in zip(group.tickets, answers):
+            if not future.done():
+                future.set_result(ans)
+        return True
+
+    async def _dispatch_async(self, group: _Group, key: FaultKey) -> None:
+        """Await an async backend for one group (own task: a cancelled
+        waiter never cancels the batch)."""
+        try:
+            answers = await self.backend(group.pairs, list(key))
+        except asyncio.CancelledError:  # loop teardown: fail the waiters
+            self._settle(group, None, ConnectionError("dispatch cancelled"))
+            raise
+        except Exception as exc:
+            self._settle(group, None, exc)
+            return
+        if self._settle(group, answers, None):
+            self.stats.record(len(group.pairs))
 
     def _dispatch_key(self, key: FaultKey) -> None:
         group = self._groups.pop(key, None)
         timer = self._timers.pop(key, None)
         if timer is not None:
             timer.cancel()
-        if group is None:
+        if group is None or not group.pairs:
+            return
+        if self._backend_is_async:
+            task = asyncio.get_running_loop().create_task(
+                self._dispatch_async(group, key)
+            )
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
             return
         try:
             answers = self.backend(group.pairs, list(key))
         except Exception as exc:  # propagate to every waiter
-            for future in group.tickets:
-                if not future.done():
-                    future.set_exception(exc)
+            self._settle(group, None, exc)
             return
-        self.stats.record(len(group.pairs))
-        for future, ans in zip(group.tickets, answers):
-            if not future.done():
-                future.set_result(ans)
+        if self._settle(group, answers, None):
+            self.stats.record(len(group.pairs))

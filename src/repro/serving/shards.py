@@ -38,8 +38,12 @@ asserted by ``tests/test_serving.py``).
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import multiprocessing
+import os
+import signal
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -114,6 +118,64 @@ def shard_of(key: FaultKey, num_shards: int) -> int:
     return hash(key) % num_shards
 
 
+#: how long :func:`_reap_pool` lets ``Pool.terminate()`` run before it
+#: escalates to SIGKILLing the workers directly.
+_REAP_GRACE_S = 3.0
+
+
+def _pool_worker_pids(pool) -> list[int]:
+    try:
+        return [proc.pid for proc in pool._pool]
+    except Exception:  # pragma: no cover - pool mid-teardown
+        return []
+
+
+def _reap_pool(pool, grace: float = _REAP_GRACE_S) -> bool:
+    """Tear down a (possibly lock-poisoned) pool, never blocking forever.
+
+    ``Pool.terminate()`` can deadlock after a worker died by SIGKILL:
+    an idle worker waits in ``inqueue.get()`` *holding* the task
+    queue's reader semaphore (a plain POSIX semaphore — dying does not
+    release it), and CPython's ``_help_stuff_finish`` acquires exactly
+    that lock.  So terminate runs on a sacrificial daemon thread; if
+    it has not finished within ``grace`` seconds the worker processes
+    are SIGKILLed directly and the stuck thread is abandoned.  That is
+    safe to abandon: the pool's helper threads are daemonic, and
+    ``util.Finalize.__call__`` unregisters itself *before* running, so
+    a stuck terminate is never re-entered at interpreter exit.
+
+    Returns ``True`` when the pool shut down cleanly within the grace
+    periods, ``False`` when it had to be abandoned.
+    """
+    pids = _pool_worker_pids(pool)
+    done = threading.Event()
+
+    def _terminate():
+        try:
+            pool.terminate()
+            pool.join()
+        except Exception:  # pragma: no cover - pool already broken
+            pass
+        finally:
+            done.set()
+
+    thread = threading.Thread(target=_terminate, name="pool-reaper", daemon=True)
+    thread.start()
+    if done.wait(grace):
+        return True
+    for pid in pids:
+        with contextlib.suppress(ProcessLookupError, PermissionError):
+            os.kill(pid, signal.SIGKILL)
+    return done.wait(grace)
+
+
+def _reap_pool_async(pool, grace: float = _REAP_GRACE_S) -> None:
+    """Fire-and-forget :func:`_reap_pool` (for reaps on a live path)."""
+    threading.Thread(
+        target=_reap_pool, args=(pool, grace), name="pool-reaper-bg", daemon=True
+    ).start()
+
+
 @dataclass
 class ServiceStats:
     """One snapshot of a :class:`ShardedQueryService`'s counters."""
@@ -131,6 +193,7 @@ class ServiceStats:
     hot_keys: int = 0
     replicated_chunks: int = 0
     deadline_flushes: int = 0
+    pool_restarts: int = 0  # shard pools rebuilt after a lost worker
 
     @property
     def qps(self) -> float:
@@ -159,6 +222,7 @@ class ServiceStats:
             "hot_keys": self.hot_keys,
             "replicated_chunks": self.replicated_chunks,
             "deadline_flushes": self.deadline_flushes,
+            "pool_restarts": self.pool_restarts,
             "cache": {
                 "hits": self.cache_hits,
                 "misses": self.cache_misses,
@@ -180,6 +244,7 @@ class _Tally:
     per_shard: list = field(default_factory=list)
     replicated_chunks: int = 0
     deadline_flushes: int = 0
+    pool_restarts: int = 0
 
 
 @dataclass
@@ -220,6 +285,7 @@ class ShardedQueryService:
         flush_delay: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
         snapshot: Optional[str] = None,
+        chunk_timeout: float = _CHUNK_TIMEOUT,
     ):
         """``hot_key_share`` enables hot-fault-set replication: once a
         single canonical key has taken at least that share of all
@@ -229,6 +295,14 @@ class ShardedQueryService:
         ``flush_delay`` (seconds) bounds how long a :meth:`submit`
         buffer may sit pending before it is dispatched regardless of
         size; ``clock`` is injectable for deterministic tests.
+
+        ``chunk_timeout`` (seconds) bounds how long :meth:`query_many`
+        waits for any single chunk result; a worker that takes longer
+        (e.g. it was SIGKILLed with the chunk in flight) is considered
+        lost and a ``multiprocessing.TimeoutError`` surfaces to the
+        caller — the pool respawns the worker underneath, so later
+        chunks are unaffected.  The network server runs with a short
+        timeout; the in-process benches keep the 600 s default.
 
         ``snapshot`` names a :mod:`repro.store` snapshot file of the
         scheme: workers then *open the snapshot themselves* instead of
@@ -250,6 +324,7 @@ class ShardedQueryService:
         self.cache_capacity = cache_capacity
         self.hot_key_share = hot_key_share
         self.hot_key_min_queries = hot_key_min_queries
+        self.chunk_timeout = chunk_timeout
         self.flush_delay = flush_delay
         self.clock = clock
         self._key_traffic: dict[FaultKey, int] = {}
@@ -331,14 +406,10 @@ class ShardedQueryService:
                     self.snapshot,
                     cache_capacity,
                 )
-            self._pools = [
-                ctx.Pool(
-                    processes=1,
-                    initializer=initializer,
-                    initargs=initargs,
-                )
-                for _ in range(num_shards)
-            ]
+            self._mp_ctx = ctx
+            self._pool_init = (initializer, initargs)
+            self._pools = [self._make_pool() for _ in range(num_shards)]
+            self._pool_epochs = [0] * num_shards
         self._tally.per_shard = [0] * self.num_shards
 
     @classmethod
@@ -445,12 +516,116 @@ class ShardedQueryService:
                     for qi, ans in zip(chunk, answers):
                         results[qi] = ans
         for chunk, handle in dispatched:
-            answers = handle.get(timeout=_CHUNK_TIMEOUT)
+            answers = handle.get(timeout=self.chunk_timeout)
             for qi, ans in zip(chunk, answers):
                 results[qi] = ans
         tally.queries += len(pairs)
         tally.busy_s += time.perf_counter() - t0
         return results
+
+    def start_chunk(
+        self,
+        pairs: Sequence[tuple[int, int]],
+        faults: Sequence[int],
+        kw: Optional[dict] = None,
+        callback: Optional[Callable] = None,
+        error_callback: Optional[Callable] = None,
+    ) -> int:
+        """Dispatch ONE already-coalesced chunk without blocking.
+
+        The asyncio front door (:mod:`repro.server.server`) coalesces
+        and chunks requests itself; this is its non-blocking entry
+        point.  The chunk is routed like :meth:`query_many` routes it
+        (hash owner, or round-robin when the key is hot) and handed to
+        the shard's pool via ``apply_async`` — ``callback(answers)`` /
+        ``error_callback(exc)`` fire on the pool's result-handler
+        thread when the worker finishes.  A SIGKILLed worker never
+        completes its chunk, so callers must pair this with their own
+        deadline and report the loss via :meth:`restart_shard` (with
+        the :meth:`shard_epoch` read at dispatch time), after which
+        the next chunk is served by a fresh pool.  In local (no-pool)
+        mode the chunk is answered inline and the callback runs before
+        returning.
+
+        Returns the shard index the chunk was routed to.
+        """
+        kw = kw or {}
+        key = canonical_fault_key(faults)
+        pairs = list(pairs)
+        shard = self._shard_for(key, len(pairs))
+        tally = self._tally
+        tally.chunks += 1
+        tally.queries += len(pairs)
+        tally.per_shard[shard] += len(pairs)
+        if len(pairs) > tally.max_chunk:
+            tally.max_chunk = len(pairs)
+        if self._pools is not None:
+            self._pools[shard].apply_async(
+                _worker_query,
+                (pairs, list(key), kw),
+                callback=callback,
+                error_callback=error_callback,
+            )
+            return shard
+        try:
+            answers = self._local[shard].query_many(pairs, list(key), **kw)
+        except Exception as exc:  # pragma: no cover - scheme-level failure
+            if error_callback is not None:
+                error_callback(exc)
+                return shard
+            raise
+        if callback is not None:
+            callback(answers)
+        return shard
+
+    def worker_pids(self) -> list[int]:
+        """Live worker process ids, one per shard (empty in local mode).
+
+        The chaos tests SIGKILL entries of this list; once the loss is
+        detected (:meth:`restart_shard`) the shard gets a whole new
+        pool, so calling this again returns the replacements.
+        """
+        if self._pools is None:
+            return []
+        return [proc.pid for pool in self._pools for proc in pool._pool]
+
+    def _make_pool(self):
+        initializer, initargs = self._pool_init
+        return self._mp_ctx.Pool(
+            processes=1, initializer=initializer, initargs=initargs
+        )
+
+    def shard_epoch(self, shard: int) -> int:
+        """Generation counter of a shard's pool (see :meth:`restart_shard`)."""
+        return 0 if self._pools is None else self._pool_epochs[shard]
+
+    def restart_shard(self, shard: int, epoch: Optional[int] = None) -> bool:
+        """Replace one shard's pool wholesale after a presumed-lost worker.
+
+        ``multiprocessing.Pool`` does respawn a worker that died
+        mid-task, but a worker SIGKILLed while *idle* dies holding the
+        task queue's reader semaphore and the pool is wedged for good —
+        no respawn can read tasks again.  Healing therefore never
+        trusts the old pool: the shard gets a brand-new pool (fresh
+        queues, fresh locks, initializer re-run) and the old one is
+        reaped in the background with SIGKILL escalation.
+
+        ``epoch`` (from :meth:`shard_epoch`, read at dispatch time)
+        makes concurrent failure reports idempotent: only the first
+        report of a given pool generation restarts it; the rest were
+        in flight on the pool that is already being replaced.  Returns
+        whether a restart actually happened.
+        """
+        if self._pools is None:
+            return False
+        if epoch is not None and epoch != self._pool_epochs[shard]:
+            return False
+        old = self._pools[shard]
+        self._pools[shard] = self._make_pool()
+        self._pool_epochs[shard] += 1
+        self._tally.pool_restarts += 1
+        _reap_pool_async(old)
+        return True
 
     # ------------------------------------------------------------------
     # Buffered singles: size- and deadline-bounded flushing
@@ -551,17 +726,23 @@ class ShardedQueryService:
             hot_keys=len(self._hot_keys),
             replicated_chunks=t.replicated_chunks,
             deadline_flushes=t.deadline_flushes,
+            pool_restarts=t.pool_restarts,
         )
 
     def close(self) -> None:
-        """Flush pending submits, then terminate the pools (idempotent)."""
+        """Flush pending submits, then reap the pools (idempotent).
+
+        Each pool gets :func:`_reap_pool`'s bounded shutdown — a clean
+        terminate+join normally, SIGKILL escalation when a chaos event
+        left the pool's queue locks poisoned — so ``close()`` returns
+        in bounded time with every worker process dead either way.
+        """
         if self._buffers:
             self.flush()
         if self._pools is not None:
-            for pool in self._pools:
-                pool.terminate()
-                pool.join()
-            self._pools = None
+            pools, self._pools = self._pools, None
+            for pool in pools:
+                _reap_pool(pool)
         if self._token is not None:
             _WORKER.pop(self._token, None)
             self._token = None

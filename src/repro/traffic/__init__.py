@@ -12,11 +12,15 @@ through the batched ``route_many`` engine:
   each epoch's batch under its live fault set, aggregates per-message
   telemetry into flat numpy arrays (:class:`TrafficReport`), and can
   validate every delivered route against the exact connectivity
-  oracle.
+  oracle;
+* :mod:`repro.traffic.loadgen` — closed-loop socket load generator
+  for the network serving tier (:func:`run_load` →
+  :class:`LoadReport` with p50/p90/p99 latency and achieved qps).
 
 See ``src/repro/traffic/README.md`` for the data flow.
 """
 
+from repro.traffic.loadgen import LoadReport, percentile, run_load
 from repro.traffic.simulator import TrafficReport, TrafficSimulator
 from repro.traffic.workloads import (
     TrafficEpoch,
@@ -27,11 +31,14 @@ from repro.traffic.workloads import (
 )
 
 __all__ = [
+    "LoadReport",
     "TrafficEpoch",
     "TrafficReport",
     "TrafficSimulator",
     "churn_timeline",
     "fault_set_pool",
     "hotspot_pairs",
+    "percentile",
+    "run_load",
     "uniform_pairs",
 ]

@@ -3,12 +3,67 @@
 from __future__ import annotations
 
 import random
+import signal
+import socket
 
 import pytest
 from hypothesis import strategies as st
 
 from repro.graph import generators
 from repro.graph.graph import Graph
+
+#: hard wall-clock cap for one ``network``-marked test; generous — the
+#: watchdog exists to turn a wedged server into a failure, not to time
+#: healthy tests.
+NETWORK_TEST_TIMEOUT_S = 120
+
+
+def ephemeral_port() -> int:
+    """A free TCP port on localhost (bind-to-0, close, reuse).
+
+    Servers under test prefer ``port=0`` and report the bound port;
+    this helper is for the paths that need a number up front (CLI
+    subprocesses, config files).
+    """
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+@pytest.fixture(name="ephemeral_port")
+def ephemeral_port_fixture() -> int:
+    return ephemeral_port()
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Per-test watchdog for ``network``-marked tests.
+
+    Socket tests await reads from a live server process; a server bug
+    that stops responding must fail the test, never hang tier-1.  No
+    third-party timeout plugin is available, so SIGALRM (main thread,
+    POSIX — exactly where the suite runs) raises inside the test after
+    :data:`NETWORK_TEST_TIMEOUT_S`.
+    """
+    if item.get_closest_marker("network") is None or not hasattr(
+        signal, "SIGALRM"
+    ):
+        yield
+        return
+
+    def _timed_out(signum, frame):
+        raise TimeoutError(
+            f"network test exceeded {NETWORK_TEST_TIMEOUT_S}s watchdog"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _timed_out)
+    signal.alarm(NETWORK_TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 # ----------------------------------------------------------------------

@@ -18,6 +18,7 @@ from benchmarks import (
     bench_query_throughput,
     bench_routing,
     bench_scale,
+    bench_server,
     bench_serving,
     bench_snapshot,
 )
@@ -98,4 +99,16 @@ def test_snapshot_load_within_2x_of_committed_baseline():
         pytest.skip("no committed BENCH_snapshot.json")
     committed = json.loads(Path(bench_snapshot.DEFAULT_OUT).read_text())
     problems = bench_snapshot.check_against(committed, repeats=3)
+    assert not problems, "; ".join(problems)
+
+
+@pytest.mark.bench_smoke
+def test_server_within_2x_of_committed_baseline():
+    """Socket tier: machine-normalized (socket qps / in-process qps)
+    ratio within 2x of the committed one, and zero requests failed
+    during the hot reload."""
+    if not Path(bench_server.DEFAULT_OUT).exists():
+        pytest.skip("no committed BENCH_server.json")
+    committed = json.loads(Path(bench_server.DEFAULT_OUT).read_text())
+    problems = bench_server.check_against(committed, repeats=3)
     assert not problems, "; ".join(problems)

@@ -1,0 +1,184 @@
+"""Chaos test: SIGKILL a shard worker under live load.
+
+The promised failure domain (see ``repro/server/server.py``): killing
+one spawn-mode shard worker mid-load
+
+* errors exactly the requests in flight on that shard — as clean
+  ``SHARD_LOST`` error frames after the chunk timeout, never a hang or
+  a traceback;
+* leaves every other shard's stream untouched (zero errors);
+* heals itself: the pool respawns the worker (the initializer re-opens
+  the snapshot mmap) and subsequent answers are bit-identical to
+  in-process ``query_many``;
+* leaks nothing: every worker process is gone once the server closes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+import signal
+import time
+
+import pytest
+
+from repro.core.sketch_scheme import SketchConnectivityScheme
+from repro.graph import generators
+from repro.server import AsyncQueryClient, ErrorCode, QueryClient, ServerError
+from repro.serving import canonical_fault_key, shard_of
+from repro.store import save_snapshot
+from tests.server_util import ServerThread
+
+pytestmark = pytest.mark.network
+
+#: server-side chunk timeout: how long a lost chunk takes to surface as
+#: SHARD_LOST.  Long enough for a respawned spawn worker to initialize
+#: (interpreter + numpy + snapshot open), short enough to keep the test
+#: brisk.
+CHUNK_TIMEOUT_S = 5.0
+
+
+@pytest.fixture(scope="module")
+def chaos_env(tmp_path_factory):
+    graph = generators.random_connected_graph(200, extra_edges=280, seed=51)
+    scheme = SketchConnectivityScheme(graph, seed=52)
+    snap = str(tmp_path_factory.mktemp("chaos") / "scheme.snap")
+    save_snapshot(snap, scheme)
+    return graph, scheme, snap
+
+
+def _fault_set_on_shard(graph, shard: int, num_shards: int, rnd, size=4):
+    """A fault set whose canonical key routes to the given shard."""
+    while True:
+        F = sorted(set(rnd.sample(range(graph.m), size)))
+        if shard_of(canonical_fault_key(F), num_shards) == shard:
+            return F
+
+
+def _alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, other uid
+        return True
+    return True
+
+
+def test_sigkill_shard_worker_errors_inflight_only_then_recovers(chaos_env):
+    graph, scheme, snap = chaos_env
+    rnd = random.Random(53)
+    F0 = _fault_set_on_shard(graph, 0, 2, rnd)
+    F1 = _fault_set_on_shard(graph, 1, 2, rnd)
+    pairs = [tuple(rnd.sample(range(graph.n), 2)) for _ in range(48)]
+    expected0 = scheme.query_many(pairs, F0)
+    expected1 = scheme.query_many(pairs, F1)
+
+    with ServerThread(
+        snapshot=snap,
+        num_shards=2,
+        chunk_timeout=CHUNK_TIMEOUT_S,
+        deadline_s=60.0,
+        # Pin fault sets to their hash shard.  Hot-key replication
+        # would deliberately round-robin a dominant fault set across
+        # *all* shards (it trades isolation for throughput) — during
+        # the post-kill stall the healthy stream becomes dominant and
+        # would be replicated onto the dead shard, muddying the
+        # isolation property this test asserts.
+        hot_key_share=None,
+    ) as harness:
+        pids_before = harness.server.worker_pids()
+        assert len(pids_before) == 2 and all(_alive(p) for p in pids_before)
+        victim = pids_before[0]  # pools are indexed by shard
+
+        async def drive():
+            errors = {"shard0": [], "shard1": []}
+            ok = {"shard0": 0, "shard1": 0}
+            ok_after_error = {"shard0": 0}
+            stop = asyncio.Event()
+
+            async def stream(name, F, expected):
+                client = await AsyncQueryClient.connect(
+                    "127.0.0.1", harness.port
+                )
+                try:
+                    while not stop.is_set():
+                        try:
+                            ans = await client.connectivity(pairs, F)
+                        except ServerError as exc:
+                            errors[name].append(exc.code)
+                            continue
+                        # every delivered answer is bit-identical, before,
+                        # during and after the kill
+                        assert ans == expected
+                        ok[name] += 1
+                        if errors.get(name):
+                            ok_after_error[name] = (
+                                ok_after_error.get(name, 0) + 1
+                            )
+                finally:
+                    await client.aclose()
+
+            tasks = [
+                asyncio.ensure_future(stream("shard0", F0, expected0)),
+                asyncio.ensure_future(stream("shard0", F0, expected0)),
+                asyncio.ensure_future(stream("shard0", F0, expected0)),
+                asyncio.ensure_future(stream("shard1", F1, expected1)),
+            ]
+            loop = asyncio.get_running_loop()
+            try:
+                # let the streams establish: the doomed worker is busy
+                t0 = loop.time()
+                while ok["shard0"] < 3 and loop.time() - t0 < 30:
+                    await asyncio.sleep(0.02)
+                assert ok["shard0"] >= 3, "streams never warmed up"
+
+                os.kill(victim, signal.SIGKILL)
+
+                # the in-flight chunks surface as SHARD_LOST ...
+                t0 = loop.time()
+                while not errors["shard0"] and loop.time() - t0 < 30:
+                    await asyncio.sleep(0.05)
+                # ... and the shard heals (respawned worker answers)
+                t0 = loop.time()
+                while not ok_after_error["shard0"] and loop.time() - t0 < 60:
+                    await asyncio.sleep(0.05)
+            finally:
+                stop.set()
+                await asyncio.gather(*tasks)
+            return errors, ok, ok_after_error
+
+        errors, ok, ok_after_error = harness.run(drive(), timeout=180)
+
+        # in-flight requests on the killed shard: clean SHARD_LOST frames
+        assert errors["shard0"], "kill produced no SHARD_LOST error"
+        assert all(
+            code == ErrorCode.SHARD_LOST for code in errors["shard0"]
+        ), f"unexpected error codes: {errors['shard0']}"
+        # the other shard's stream never saw a single failure
+        assert errors["shard1"] == []
+        assert ok["shard1"] > 0
+        # the shard healed and answered bit-identically afterwards
+        assert ok_after_error["shard0"] > 0
+
+        # respawn visible in the pids: two live workers, victim replaced
+        pids_after = harness.server.worker_pids()
+        assert len(pids_after) == 2
+        assert victim not in pids_after
+        assert all(_alive(p) for p in pids_after)
+
+        # belt and braces: a fresh connection answers bit-identically
+        with QueryClient("127.0.0.1", harness.port, timeout=60) as client:
+            assert client.connectivity(pairs, F0) == expected0
+            stats = client.stats()
+        assert stats["server"]["errors"].get("SHARD_LOST", 0) >= 1
+
+    # no leaked workers: every worker process is gone after close
+    deadline = time.monotonic() + 30
+    remaining = set(pids_before + pids_after)
+    while remaining and time.monotonic() < deadline:
+        remaining = {p for p in remaining if _alive(p)}
+        if remaining:
+            time.sleep(0.1)
+    assert not remaining, f"leaked worker processes: {sorted(remaining)}"

@@ -277,6 +277,102 @@ def test_async_coalescer_propagates_backend_errors():
     asyncio.run(drive())
 
 
+# Regression: a waiter cancelled while its group is still pending (a
+# client that disconnected between submit and dispatch) must be
+# *scrubbed* from the group.  The original implementation left the
+# cancelled future in the ticket list, so the backend's answers were
+# zipped against a stale ticket list — every later waiter in the group
+# got the wrong answer (or none), and a fully-cancelled group still hit
+# the backend with pairs nobody wanted.
+def test_async_coalescer_cancelled_waiter_is_scrubbed_before_dispatch():
+    seen_chunks = []
+
+    def backend(pairs, faults):
+        seen_chunks.append(list(pairs))
+        return [(s, t, tuple(faults)) for s, t in pairs]
+
+    async def drive():
+        ac = AsyncQueryCoalescer(backend, max_chunk=64, max_delay=0.005)
+        waiters = [
+            asyncio.ensure_future(ac.query(s, s + 1, [7])) for s in range(6)
+        ]
+        await asyncio.sleep(0)  # all six buffered into one pending group
+        assert ac.pending == 6
+        for victim in (waiters[0], waiters[3]):  # head and middle
+            victim.cancel()
+        survivors = await asyncio.gather(*waiters, return_exceptions=True)
+        await ac.aclose()
+        return survivors
+
+    results = asyncio.run(drive())
+    # the cancelled futures stay cancelled ...
+    assert isinstance(results[0], asyncio.CancelledError)
+    assert isinstance(results[3], asyncio.CancelledError)
+    # ... the survivors all got *their own* answers (alignment intact
+    # even though earlier indices were removed) ...
+    for s in (1, 2, 4, 5):
+        assert results[s] == (s, s + 1, (7,))
+    # ... and the backend never saw the scrubbed pairs
+    assert seen_chunks == [[(1, 2), (2, 3), (4, 5), (5, 6)]]
+
+
+def test_async_coalescer_fully_cancelled_group_never_hits_backend():
+    calls = []
+
+    def backend(pairs, faults):
+        calls.append(list(pairs))
+        return [True for _ in pairs]
+
+    async def drive():
+        ac = AsyncQueryCoalescer(backend, max_chunk=64, max_delay=0.002)
+        waiters = [
+            asyncio.ensure_future(ac.query(s, s + 1, [3])) for s in range(4)
+        ]
+        await asyncio.sleep(0)
+        for waiter in waiters:
+            waiter.cancel()
+        await asyncio.gather(*waiters, return_exceptions=True)
+        # the emptied group is gone (timer cancelled, nothing pending)
+        assert ac.pending == 0
+        # the group key is not poisoned: the same fault set still works
+        await asyncio.sleep(0.01)  # outlive the (cancelled) flush timer
+        assert await ac.query(0, 1, [3]) is True
+        await ac.aclose()
+
+    asyncio.run(drive())
+    assert calls == [[(0, 1)]]  # only the post-cancel query dispatched
+
+
+def test_async_coalescer_cancel_after_dispatch_leaves_chunk_intact():
+    """A waiter cancelled *after* its chunk went to an async backend
+    just drops its answer; the rest of the chunk is served normally."""
+    release = None
+
+    async def backend(pairs, faults):
+        await release.wait()  # hold the dispatch so we can cancel mid-flight
+        return [s * 100 + t for s, t in pairs]
+
+    async def drive():
+        nonlocal release
+        release = asyncio.Event()
+        ac = AsyncQueryCoalescer(backend, max_chunk=3, max_delay=60.0)
+        waiters = [
+            asyncio.ensure_future(ac.query(s, s + 1, [])) for s in range(3)
+        ]
+        await asyncio.sleep(0)  # size trigger dispatched the chunk
+        assert ac.pending == 0
+        waiters[1].cancel()
+        release.set()
+        results = await asyncio.gather(*waiters, return_exceptions=True)
+        await ac.aclose()
+        return results
+
+    results = asyncio.run(drive())
+    assert results[0] == 1
+    assert isinstance(results[1], asyncio.CancelledError)
+    assert results[2] == 203
+
+
 # ----------------------------------------------------------------------
 # Shards
 # ----------------------------------------------------------------------
