@@ -15,8 +15,20 @@ graph, snapshots it, reloads the snapshot and oracle-validates sampled
   attributes its growth honestly;
 * ``hash_family`` — ``m31`` below the ceiling, ``m61`` above it
   (auto-selected by ``family_for_key_space``);
+* ``phase_s`` — wall-clock per-phase attribution (graph / forest /
+  eids / sketches / snapshot / load / query), the timing twin of
+  ``phase_rss_mb``, with the build split sourced from the scheme's own
+  ``build_phase_s`` checkpoints;
 * label sizes, snapshot bytes and the snapshot's SHA-256 — the
   deterministic fingerprints the smoke gate compares exactly.
+
+A ``build_workers`` ladder (``ladder-100k-w2`` / ``ladder-100k-w4``)
+rebuilds random-100k with 2 and 4 worker processes; the determinism
+contract requires their snapshot fingerprints to equal random-100k's
+byte for byte, and ``smoke-parallel`` enforces the same contract at CI
+speed against smoke-m61 (plus a parallel-efficiency gate: the
+parallel/serial build ratio may not worsen past 2x the committed
+ratio).
 
 The workload set spans ``random-1m`` (n = 10^6, the target scale of
 the array-backed forest refactor) and ``fragmented-200k`` (sparse
@@ -69,20 +81,29 @@ from repro.store import load_snapshot, save_snapshot
 #: repo-root location of the committed baseline.
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_scale.json"
 
-#: (name, family, n, id_space, smoke).  ``id_space=None`` uses the
-#: graph's own vertex count; the smoke-m61 workload forces a wide id
-#: space on a tiny graph so the Mersenne-61 path is exercised in
+#: (name, family, n, id_space, smoke, workers).  ``id_space=None`` uses
+#: the graph's own vertex count; the smoke-m61 workload forces a wide
+#: id space on a tiny graph so the Mersenne-61 path is exercised in
 #: seconds, not minutes, and smoke-fragmented keeps a many-component
-#: fingerprint in the fast CI gate.
+#: fingerprint in the fast CI gate.  The ``ladder-100k-w{2,4}`` rows
+#: rebuild random-100k with ``build_workers`` 2 and 4 — same graph,
+#: same seed, so their snapshot fingerprints must equal random-100k's
+#: exactly (the determinism contract) while their ``build_s`` records
+#: the parallel ladder.  ``smoke-parallel`` is the CI-speed version of
+#: the same contract against smoke-m61 (the wide id space forces the
+#: ragged/m61 path, where unit-range parallelism engages).
 WORKLOADS = [
-    ("random-10k", "random", 10_000, None, False),
-    ("random-100k", "random", 100_000, None, False),
-    ("random-200k", "random", 200_000, None, False),
-    ("random-1m", "random", 1_000_000, None, False),
-    ("fragmented-200k", "fragmented", 200_000, None, False),
-    ("smoke-m31", "random", 2048, None, True),
-    ("smoke-m61", "random", 2048, 50_000, True),
-    ("smoke-fragmented", "fragmented", 4096, None, True),
+    ("random-10k", "random", 10_000, None, False, 1),
+    ("random-100k", "random", 100_000, None, False, 1),
+    ("random-200k", "random", 200_000, None, False, 1),
+    ("random-1m", "random", 1_000_000, None, False, 1),
+    ("fragmented-200k", "fragmented", 200_000, None, False, 1),
+    ("ladder-100k-w2", "random", 100_000, None, False, 2),
+    ("ladder-100k-w4", "random", 100_000, None, False, 4),
+    ("smoke-m31", "random", 2048, None, True, 1),
+    ("smoke-m61", "random", 2048, 50_000, True, 1),
+    ("smoke-fragmented", "fragmented", 4096, None, True, 1),
+    ("smoke-parallel", "random", 2048, 50_000, True, 2),
 ]
 
 #: oracle-validated query pairs sampled per workload.
@@ -109,7 +130,12 @@ def _sha256_file(path: Path) -> str:
 
 
 def measure_workload(
-    name: str, family: str, n: int, id_space, trials: int = QUERY_TRIALS
+    name: str,
+    family: str,
+    n: int,
+    id_space,
+    trials: int = QUERY_TRIALS,
+    workers: int = 1,
 ) -> dict:
     """Build + snapshot + reload + validate one workload, in-process.
 
@@ -118,15 +144,24 @@ def measure_workload(
     workload in its own subprocess (see :func:`run`).  ``phase_rss_mb``
     samples that monotone high-water mark at each phase boundary, so
     each phase's entry is "the peak as of the end of this phase" and
-    the deltas attribute peak growth to phases.
+    the deltas attribute peak growth to phases.  ``phase_s`` is the
+    wall-clock twin: per-phase durations (graph / forest / eids /
+    sketches / snapshot / load / query), with the build split sourced
+    from the scheme's own ``build_phase_s`` checkpoints.
     """
+    t0 = time.perf_counter()
     graph = workload_graph(family, n, seed=1)
     graph.as_csr()
     gc.collect()
+    phase_s = {"graph": round(time.perf_counter() - t0, 3)}
     phase_rss = {"graph": _rss_mb()}
     t0 = time.perf_counter()
-    scheme = SketchConnectivityScheme(graph, seed=2, id_space=id_space)
+    scheme = SketchConnectivityScheme(
+        graph, seed=2, id_space=id_space, build_workers=workers
+    )
     build_s = time.perf_counter() - t0
+    for phase, seconds in scheme.build_phase_s.items():
+        phase_s[phase] = round(seconds, 3)
     phase_rss["build"] = _rss_mb()
 
     with tempfile.TemporaryDirectory() as tmp:
@@ -134,6 +169,7 @@ def measure_workload(
         t0 = time.perf_counter()
         save_snapshot(snap_path, scheme)
         snapshot_s = time.perf_counter() - t0
+        phase_s["snapshot"] = round(snapshot_s, 3)
         snapshot_bytes = snap_path.stat().st_size
         snapshot_sha256 = _sha256_file(snap_path)
         hash_family = scheme.hash_family
@@ -149,6 +185,7 @@ def measure_workload(
         t0 = time.perf_counter()
         restored = load_snapshot(snap_path)
         load_s = time.perf_counter() - t0
+        phase_s["load"] = round(load_s, 3)
 
         # Oracle-validate sampled queries against the *restored* scheme:
         # the snapshot, not the in-memory object, is what serves.
@@ -161,7 +198,9 @@ def measure_workload(
         faults = [int(e) for e in rnd.choice(graph.m, size=4, replace=False)]
         t0 = time.perf_counter()
         answers = restored.query_many(pairs, faults, want_path=False)
-        query_ms = (time.perf_counter() - t0) / max(1, len(pairs)) * 1000.0
+        query_s = time.perf_counter() - t0
+        query_ms = query_s / max(1, len(pairs)) * 1000.0
+        phase_s["query"] = round(query_s, 3)
         oracle = ConnectivityOracle(graph)
         truth = oracle.connected_many(pairs, faults)
         mismatches = sum(
@@ -174,6 +213,7 @@ def measure_workload(
         "m": graph.m,
         "id_space": id_space if id_space is not None else n,
         "hash_family": hash_family,
+        "build_workers": workers,
         "build_s": round(build_s, 3),
         "snapshot_s": round(snapshot_s, 3),
         "load_s": round(load_s, 3),
@@ -186,6 +226,7 @@ def measure_workload(
         "snapshot_sha256": snapshot_sha256,
         "peak_rss_mb": _rss_mb(),
         "phase_rss_mb": phase_rss,
+        "phase_s": phase_s,
     }
     del restored
     gc.collect()
@@ -216,7 +257,7 @@ def _run_isolated(name: str) -> dict:
 def run(workloads) -> dict:
     """Measure all workloads, each in its own subprocess."""
     results = {}
-    for name, _family, _n, _id_space, _smoke in workloads:
+    for name, _family, _n, _id_space, _smoke, _workers in workloads:
         row = _run_isolated(name)
         results[name] = row
         print(
@@ -253,10 +294,12 @@ def check_against(committed: dict, repeats: int = 3) -> list[str]:
         recorded = committed["workloads"].get(name)
         if recorded is None or name not in by_name:
             continue
-        _, family, n, id_space, _ = by_name[name]
+        _, family, n, id_space, _, wl_workers = by_name[name]
         best = None
         for _ in range(max(1, repeats)):
-            row = measure_workload(name, family, n, id_space, trials=16)
+            row = measure_workload(
+                name, family, n, id_space, trials=16, workers=wl_workers
+            )
             if best is None or row["build_s"] < best["build_s"]:
                 best = row
         now[name] = best
@@ -298,6 +341,40 @@ def check_against(committed: dict, repeats: int = 3) -> list[str]:
                     f"  m61/m31 build ratio {now_rel:.2f} "
                     f"(committed {committed_rel:.2f}) [ok]"
                 )
+    if "smoke-parallel" in now and "smoke-m61" in now:
+        # Determinism contract: the parallel build of the *same*
+        # workload (smoke-parallel is smoke-m61 at build_workers=2)
+        # must produce a byte-identical snapshot.
+        par, ser = now["smoke-parallel"], now["smoke-m61"]
+        if par["snapshot_sha256"] != ser["snapshot_sha256"]:
+            problems.append(
+                "smoke-parallel snapshot sha256 "
+                f"{par['snapshot_sha256'][:16]}… != serial smoke-m61 "
+                f"{ser['snapshot_sha256'][:16]}… (parallel build broke "
+                "bit-identity)"
+            )
+        else:
+            print("  smoke-parallel sha256 == smoke-m61 sha256 [ok]")
+        # Parallel-efficiency gate, machine-normalized the same way as
+        # the m61/m31 gate: the parallel/serial build ratio may not
+        # worsen past REGRESSION_FACTOR of the committed ratio.
+        rec = committed["workloads"]
+        if "smoke-parallel" in rec and "smoke-m61" in rec:
+            now_rel = par["build_s"] / ser["build_s"]
+            committed_rel = (
+                rec["smoke-parallel"]["build_s"] / rec["smoke-m61"]["build_s"]
+            )
+            if now_rel > committed_rel * REGRESSION_FACTOR:
+                problems.append(
+                    f"parallel build now {now_rel:.2f}x of the serial build "
+                    f"> {REGRESSION_FACTOR}x committed ratio "
+                    f"{committed_rel:.2f} (parallel-efficiency regression)"
+                )
+            else:
+                print(
+                    f"  parallel/serial build ratio {now_rel:.2f} "
+                    f"(committed {committed_rel:.2f}) [ok]"
+                )
     return problems
 
 
@@ -331,8 +408,14 @@ def main(argv=None) -> int:
         if args.worker not in by_name:
             print(f"unknown workload {args.worker!r}", file=sys.stderr)
             return 2
-        _, family, n, id_space, _ = by_name[args.worker]
-        print(json.dumps(measure_workload(args.worker, family, n, id_space)))
+        _, family, n, id_space, _, wl_workers = by_name[args.worker]
+        print(
+            json.dumps(
+                measure_workload(
+                    args.worker, family, n, id_space, workers=wl_workers
+                )
+            )
+        )
         return 0
 
     if args.check is not None:

@@ -1,0 +1,137 @@
+"""Deterministic process-pool plumbing for the parallel build pipeline.
+
+:class:`BuildPool` farms an *ordered* list of tasks onto worker
+processes and returns the results in task order, so callers assemble
+worker outputs bit-identically to the serial loop regardless of how the
+OS schedules the workers.  The determinism contract has three legs:
+
+* **deterministic partition** — the caller fixes the task list (per
+  sketch copy, per unit range) before any worker starts; nothing about
+  the split depends on timing;
+* **no RNG consumption** — workers only *evaluate* seeded hash families
+  and PRFs against read-only inputs; they never draw from a shared
+  random stream, so there is no consumption order to disturb;
+* **ordered assembly** — results come back indexed by task, and the
+  parent concatenates them in task order, which is exactly the order
+  the serial loop would have produced.
+
+Payload plumbing: large read-only inputs (the EID word matrix, scatter
+plans) are installed in a module global *before* the pool forks, so
+workers inherit them copy-on-write without pickling (the ``fork`` start
+method; POSIX default).  Where ``fork`` is unavailable the payload is
+pickled once per worker through the pool initializer.  A pool created
+without a payload (the shared pool of
+:class:`~repro.core.distance_labels.DistanceLabelScheme`) ships each
+task's inputs with the task instead — cluster instances are small, so
+per-task pickling is cheap there.
+
+A worker that raises propagates its exception to the parent ``map``
+call; the pool is terminated and joined before the exception leaves
+the pool, so a failed build never leaks orphan worker processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+#: read-only build context inherited by workers (fork COW / initializer).
+_PAYLOAD: Any = None
+
+#: test hook: set to a message to make every worker task raise before
+#: running (crash-path tests; inherited by forked workers like the
+#: payload is).
+_FAIL_FOR_TEST: Optional[str] = None
+
+
+def _install_payload(payload: Any) -> None:
+    global _PAYLOAD
+    _PAYLOAD = payload
+
+
+def _invoke(item: tuple) -> Any:
+    fn, args = item
+    if _FAIL_FOR_TEST is not None:
+        raise RuntimeError(_FAIL_FOR_TEST)
+    return fn(_PAYLOAD, *args)
+
+
+class BuildPool:
+    """An ordered-map process pool with a shared read-only payload.
+
+    ``workers <= 1`` degrades to inline serial execution (no processes,
+    no pickling) — ``build_workers=1`` everywhere is *the* serial
+    reference path, not a one-worker pool.
+    """
+
+    def __init__(self, workers: int, payload: Any = None):
+        self.workers = max(1, int(workers))
+        self._payload = payload
+        self._pool = None
+
+    # -- lifecycle -----------------------------------------------------
+    def __enter__(self) -> "BuildPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(terminate=exc_type is not None)
+
+    def _ensure(self) -> None:
+        if self._pool is not None or self.workers <= 1:
+            return
+        global _PAYLOAD
+        try:
+            ctx = mp.get_context("fork")
+            # Install the payload before forking: children inherit it
+            # copy-on-write, so multi-GB arrays are shared, not pickled.
+            _PAYLOAD = self._payload
+            try:
+                self._pool = ctx.Pool(self.workers)
+            finally:
+                _PAYLOAD = None
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            ctx = mp.get_context("spawn")
+            self._pool = ctx.Pool(
+                self.workers,
+                initializer=_install_payload,
+                initargs=(self._payload,),
+            )
+
+    def close(self, terminate: bool = False) -> None:
+        """Shut the pool down and reap every worker (no orphans)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            if terminate:
+                pool.terminate()
+            else:
+                pool.close()
+            pool.join()
+
+    # -- work ----------------------------------------------------------
+    def map(self, fn: Callable, tasks: Iterable[Sequence]) -> list:
+        """``[fn(payload, *task) for task in tasks]``, in task order.
+
+        Results are ordered by task regardless of worker scheduling.  A
+        worker exception re-raises here after the pool has been
+        terminated and joined.
+        """
+        items = [(fn, tuple(t)) for t in tasks]
+        if self.workers <= 1:
+            if _FAIL_FOR_TEST is not None:
+                raise RuntimeError(_FAIL_FOR_TEST)
+            return [fn(self._payload, *args) for _fn, args in items]
+        self._ensure()
+        try:
+            return self._pool.map(_invoke, items)
+        except BaseException:
+            self.close(terminate=True)
+            raise
+
+
+def split_ranges(total: int, parts: int) -> list[tuple[int, int]]:
+    """``parts`` contiguous, near-even ``(lo, hi)`` ranges covering
+    ``[0, total)`` — the deterministic work partition for unit-range
+    tasks.  Depends only on the two integers, never on timing."""
+    parts = max(1, min(int(parts), max(1, total)))
+    bounds = [total * i // parts for i in range(parts + 1)]
+    return [(bounds[i], bounds[i + 1]) for i in range(parts) if bounds[i] < bounds[i + 1]]

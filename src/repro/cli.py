@@ -102,13 +102,16 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
     graph = _build_graph(args)
     id_space = args.id_space or None
+    workers = max(1, getattr(args, "workers", 1))
     t0 = time.perf_counter()
     if args.artifact == "sketch":
-        obj = SketchConnectivityScheme(graph, seed=args.seed, id_space=id_space)
+        obj = SketchConnectivityScheme(
+            graph, seed=args.seed, id_space=id_space, build_workers=workers
+        )
     elif args.artifact == "router":
         obj = FaultTolerantRouter(
             graph, f=args.f, k=args.k, seed=args.seed, table_mode=args.tables,
-            id_space=id_space,
+            id_space=id_space, build_workers=workers,
         )
     elif args.artifact == "connectivity":
         obj = FaultTolerantConnectivity(graph, f=args.f, seed=args.seed)
@@ -585,6 +588,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--tables", default="balanced",
                          choices=["simple", "balanced"],
                          help="router table layout (artifact=router)")
+    p_build.add_argument("--workers", type=int, default=1,
+                         help="build worker processes (sketch/router "
+                              "artifacts); every value produces "
+                              "bit-identical snapshots, 1 = serial")
     p_build.set_defaults(func=_cmd_build)
 
     p_query = sub.add_parser("query", help="one connectivity/distance query")

@@ -37,6 +37,7 @@ from typing import Iterable, Optional, Union
 import numpy as np
 
 from repro._util import derive_seed
+from repro._util.build_pool import BuildPool
 from repro.core.cycle_space_scheme import CycleSpaceConnectivityScheme
 from repro.core.sketch_scheme import RoutingAugmentation, SketchConnectivityScheme
 from repro.graph.graph import Graph, InducedSubgraph
@@ -445,6 +446,7 @@ class DistanceLabelScheme:
         units: Optional[int] = None,
         engine: str = "csr",
         id_space: Optional[int] = None,
+        build_workers: int = 1,
     ):
         if k < 1:
             raise ValueError("stretch parameter k must be >= 1")
@@ -481,8 +483,18 @@ class DistanceLabelScheme:
         self._vertex_membership = FlatMembership()
         self._edge_membership = FlatMembership()
         self._i_star = FlatIStar()
-        for i in range(self.K + 1):
-            self._build_scale(i, units, gamma_f)
+        self.build_workers = max(1, int(build_workers))
+        # One pool shared by every (scale, cluster) instance: cluster
+        # schemes farm their independent per-copy builds onto it instead
+        # of forking a pool per instance.  Serial (workers=1) skips the
+        # pool entirely and is the bit-identical reference path.
+        pool = BuildPool(self.build_workers) if self.build_workers > 1 else None
+        try:
+            for i in range(self.K + 1):
+                self._build_scale(i, units, gamma_f, pool)
+        finally:
+            if pool is not None:
+                pool.close()
         max_clusters = max(
             (key[1] for key in self.instances), default=0
         )
@@ -494,7 +506,13 @@ class DistanceLabelScheme:
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
-    def _build_scale(self, i: int, units: Optional[int], gamma_f: Optional[int]) -> None:
+    def _build_scale(
+        self,
+        i: int,
+        units: Optional[int],
+        gamma_f: Optional[int],
+        pool: Optional[BuildPool] = None,
+    ) -> None:
         rho = float(2**i)
         graph = self.graph
         # Weight thresholding over the CSR edge-weight array; the cover's
@@ -566,6 +584,7 @@ class DistanceLabelScheme:
                     id_space=self.id_space,
                     port_fn=port_fn,
                     engine=self.engine,
+                    _pool=pool,
                 )
             self.instances[key] = LabelInstance(
                 key=key,
@@ -580,6 +599,17 @@ class DistanceLabelScheme:
             self._edge_membership.add_cluster(sub.edge_to_parent, i, j)
         hv, hi = cover.home_arrays()
         self._i_star.add_scale(hv, hi, i)
+
+    def __digest_hints__(self) -> dict[int, str]:
+        """Segment digests known from construction, merged over every
+        (scale, cluster) instance (see
+        :meth:`SketchConnectivityScheme.__digest_hints__`)."""
+        hints: dict[int, str] = {}
+        for inst in self.instances.values():
+            collect = getattr(inst.scheme, "__digest_hints__", None)
+            if collect is not None:
+                hints.update(collect())
+        return hints
 
     # ------------------------------------------------------------------
     # Labels

@@ -34,6 +34,7 @@ extended identifiers (same ``S_ID``) and differ only in the sketch seeds
 from __future__ import annotations
 
 import math
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterable, NamedTuple, Optional, Sequence
@@ -41,6 +42,7 @@ from typing import Callable, Iterable, NamedTuple, Optional, Sequence
 import numpy as np
 
 from repro._util import derive_seed
+from repro._util.build_pool import BuildPool, split_ranges
 from repro.core._batch import normalize_faults
 from repro.core.component_tree import ComponentForest, orient_tree_edge
 from repro.core.path_description import PathSegment, SuccinctPath
@@ -56,6 +58,7 @@ from repro.sketches.sketch import (
     SketchDims,
     VertexSketches,
     eids_to_word_matrix,
+    prefix_store_task,
     word_matrix_to_eids,
 )
 from repro.sizing.bits import bits_for_count, bits_for_id
@@ -432,9 +435,20 @@ class SketchConnectivityScheme:
         port_fn: Optional[Callable[[int, int], int]] = None,
         engine: str = "csr",
         prefix_layout: Optional[str] = None,
+        build_workers: int = 1,
         _preloaded: Optional[PreloadedSketchArrays] = None,
+        _pool: Optional[BuildPool] = None,
     ):
-        """``id_of``/``id_space``/``port_fn`` translate instance-local
+        """``build_workers`` farms independent build units — per-copy
+        sketch stores, or contiguous unit ranges of a single copy — onto
+        a process pool (:class:`repro._util.build_pool.BuildPool`);
+        workers return packed arrays the parent assembles in task order,
+        so every ``build_workers`` value yields bit-identical labels and
+        ``build_workers=1`` (the default) is the serial reference path.
+        ``_pool`` (internal) lets an enclosing scheme share one pool
+        across many small instances instead of forking per instance.
+
+        ``id_of``/``id_space``/``port_fn`` translate instance-local
         vertices to global ids/ports when the scheme runs on a tree-cover
         cluster (see Section 4/5); by default they are the identity.
 
@@ -463,6 +477,7 @@ class SketchConnectivityScheme:
         self.graph = graph
         self.seed = seed
         self.engine = engine
+        self._identity_ids = id_of is None
         self._id_of = id_of if id_of is not None else (lambda v: v)
         self._id_space = id_space if id_space is not None else graph.n
         #: closures cannot be persisted, so snapshots of standalone
@@ -487,6 +502,15 @@ class SketchConnectivityScheme:
             if prefix_layout is not None
             else ("ragged" if wide else "dense")
         )
+        self.build_workers = max(1, int(build_workers))
+        #: per-segment BLAKE2b-128 digests computed by build workers,
+        #: keyed by ``id(array)`` — save_snapshot forwards them so the
+        #: writer can skip re-hashing segments a worker already hashed.
+        self._prefix_digests: dict[int, str] = {}
+        #: wall-clock seconds per construction phase (forest / eids /
+        #: sketches) — the benchmark's ``phase_s`` attribution.
+        self.build_phase_s: dict[str, float] = {}
+        _t0 = time.perf_counter()
         if trees is None:
             self.trees, self.comp_of = spanning_forest(graph, engine=engine)
         else:
@@ -501,10 +525,21 @@ class SketchConnectivityScheme:
         def anc_of(v: int) -> AncLabel:
             return self._anc[self.comp_of[v]].label(v)
 
+        self.build_phase_s["forest"] = time.perf_counter() - _t0
+        _t0 = time.perf_counter()
         uid_scheme = UidScheme(derive_seed(seed, "uid"))
+        # The stitched (tin, tout) arrays let the batch EID packer gather
+        # DFS timestamps with numpy indexing instead of per-vertex
+        # anc_of calls; values agree with anc_of on every spanned vertex.
+        anc_arrays = stitched_intervals(self._anc, graph.n) if vectorized else None
         if routing is None:
             eids = ExtendedEdgeIds(
-                graph, uid_scheme, anc_of, id_of=id_of, id_space=id_space
+                graph,
+                uid_scheme,
+                anc_of,
+                id_of=id_of,
+                id_space=id_space,
+                anc_arrays=anc_arrays,
             )
         else:
             eids = ExtendedEdgeIds(
@@ -517,6 +552,7 @@ class SketchConnectivityScheme:
                 id_of=id_of,
                 id_space=id_space,
                 port_fn=port_fn,
+                anc_arrays=anc_arrays,
             )
         if _preloaded is not None:
             if not vectorized:
@@ -540,6 +576,8 @@ class SketchConnectivityScheme:
         else:
             self._eid_words = None
             self._eid_ints = [eids.eid(ei) for ei in range(graph.m)]
+        self.build_phase_s["eids"] = time.perf_counter() - _t0
+        _t0 = time.perf_counter()
         levels = max(1, math.ceil(math.log2(max(graph.m, 2)))) + 1
         n_units = units if units is not None else default_units(graph.n)
         words = max(1, (eids.total_bits + 63) // 64)
@@ -622,21 +660,9 @@ class SketchConnectivityScheme:
                 # The scatter layout is identical for every copy (only
                 # the hash families differ), so compute it once.
                 plan = sketchers[0].scatter_plan(row_of) if graph.m else None
-                build = (
-                    VertexSketches.build_prefix_ragged
-                    if self._prefix_layout == "ragged"
-                    else VertexSketches.build_prefix
+                self._prefix = self._build_prefix_stores(
+                    sketchers, plan, row_of, offset + 2, _pool
                 )
-                self._prefix = [
-                    build(
-                        sketchers[c],
-                        self._eid_words,
-                        row_of=row_of,
-                        rows=offset + 2,
-                        plan=plan,
-                    )
-                    for c in range(copies)
-                ]
         else:
             self._agg = []
             for c in range(copies):
@@ -647,6 +673,116 @@ class SketchConnectivityScheme:
                         if p >= 0:
                             arr[p] ^= arr[v]
                 self._agg.append(arr)
+        self.build_phase_s["sketches"] = time.perf_counter() - _t0
+
+    def _build_prefix_stores(
+        self,
+        sketchers: Sequence[VertexSketches],
+        plan,
+        row_of: np.ndarray,
+        rows: int,
+        pool: Optional[BuildPool],
+    ) -> list:
+        """Per-copy prefix stores, serial or farmed onto a process pool.
+
+        The work partition is deterministic and the assembly order is
+        the serial order, so every configuration returns bit-identical
+        arrays:
+
+        * **copies > 1** — one task per copy (copies are independent
+          given the shared scatter plan; Section 5.2's f' design);
+        * **one copy, own pool** — contiguous unit ranges
+          (:func:`repro.._util.build_pool.split_ranges`), concatenated
+          in range order (unit chunks are already globally sorted);
+        * **serial** (``build_workers=1``, no shared pool, or an empty
+          graph) — the plain per-copy loop, the reference path.
+
+        Full-copy worker tasks also return the BLAKE2b-128 digest of
+        each output array (exactly the snapshot's segment digest), which
+        lands in ``_prefix_digests`` for the snapshot writer.
+        """
+        copies = len(sketchers)
+        layout = self._prefix_layout
+        eid_words = self._eid_words
+        units = self.context.dims.units
+        levels = self.context.dims.levels
+        width = self.context.dims.words
+        build = (
+            VertexSketches.build_prefix_ragged
+            if layout == "ragged"
+            else VertexSketches.build_prefix
+        )
+        shared = pool is not None and pool.workers > 1 and copies > 1
+        own_workers = self.build_workers if self.graph.m else 1
+        if not shared and own_workers <= 1:
+            return [
+                build(sketchers[c], eid_words, row_of=row_of, rows=rows, plan=plan)
+                for c in range(copies)
+            ]
+        ctx = {
+            "keys": plan.keys,
+            "srows": plan.srows,
+            "sedges": plan.sedges,
+            "swords": plan.scatter_words(eid_words),
+            "rows": rows,
+            "units": units,
+            "levels": levels,
+            "width": width,
+        }
+
+        def wrap(keys64, vals):
+            return RaggedPrefix(
+                rows=rows,
+                units=units,
+                levels=levels,
+                width=width,
+                keys=keys64,
+                vals=vals,
+            )
+
+        def assemble_copies(results) -> list:
+            out = []
+            for res in results:
+                if layout == "ragged":
+                    ks, vs, dk, dv = res
+                    if dk is not None:
+                        self._prefix_digests[id(ks)] = dk
+                        self._prefix_digests[id(vs)] = dv
+                    out.append(wrap(ks, vs))
+                else:
+                    arr, d = res
+                    if d is not None:
+                        self._prefix_digests[id(arr)] = d
+                    out.append(arr)
+            return out
+
+        if shared:
+            # Shared pools carry the context in the task (the pool was
+            # forked before this instance existed); cluster instances
+            # are small, so per-task pickling is cheap.
+            tasks = [
+                (ctx, sketchers[c].family, layout, 0, units) for c in range(copies)
+            ]
+            return assemble_copies(pool.map(prefix_store_task, tasks))
+        with BuildPool(own_workers, payload=ctx) as own:
+            if copies > 1:
+                tasks = [
+                    (None, sketchers[c].family, layout, 0, units)
+                    for c in range(copies)
+                ]
+                return assemble_copies(own.map(prefix_store_task, tasks))
+            # Single copy: partition the unit axis.  Over-split by 4x so
+            # uneven per-unit costs still balance across workers.
+            ranges = split_ranges(units, own_workers * 4)
+            tasks = [
+                (None, sketchers[0].family, layout, lo, hi) for lo, hi in ranges
+            ]
+            results = own.map(prefix_store_task, tasks)
+        if layout == "ragged":
+            ks = np.concatenate([r[0] for r in results])
+            vs = np.concatenate([r[1] for r in results], axis=0)
+            return [wrap(ks, vs)]
+        return [np.concatenate([r[0] for r in results], axis=1)]
 
     @property
     def _eid_cache(self) -> list:
@@ -688,8 +824,11 @@ class SketchConnectivityScheme:
         graph = self.graph
         n, m = graph.n, graph.m
         csr = graph.as_csr()
-        id_of = self._id_of
-        vid = np.fromiter((id_of(v) for v in range(n)), dtype=np.int64, count=n)
+        if self._identity_ids:
+            vid = np.arange(n, dtype=np.int64)
+        else:
+            id_of = self._id_of
+            vid = np.fromiter((id_of(v) for v in range(n)), dtype=np.int64, count=n)
         tin, tout = stitched_intervals(self._anc, n)
         is_tree = np.zeros(m, dtype=bool)
         childv = np.full(m, -1, dtype=np.int64)
@@ -781,6 +920,12 @@ class SketchConnectivityScheme:
                 out[f"prefix{c}_keys"] = p.keys
                 out[f"prefix{c}_vals"] = p.vals
         return out
+
+    def __digest_hints__(self) -> dict[int, str]:
+        """Per-segment BLAKE2b-128 digests known from construction,
+        keyed by ``id(array)`` — build workers fingerprint their output
+        arrays, so the snapshot writer can skip re-hashing them."""
+        return dict(self._prefix_digests)
 
     @property
     def hash_family(self) -> str:

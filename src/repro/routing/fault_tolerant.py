@@ -81,8 +81,14 @@ class FaultTolerantRouter:
         engine: str = "packed",
         partition_cache_capacity: int = 256,
         id_space: Optional[int] = None,
+        build_workers: int = 1,
     ):
-        """``reuse_copy=True`` is an *ablation switch*: it decodes every
+        """``build_workers`` farms the independent per-copy sketch
+        builds of every (scale, cluster) instance onto one shared
+        process pool (bit-identical labels for every value; 1 = serial
+        reference).
+
+        ``reuse_copy=True`` is an *ablation switch*: it decodes every
         retry iteration with sketch copy 0 instead of a fresh copy,
         deliberately violating the independence requirement of Section
         5.2 (the routing choices become correlated with the sketch
@@ -119,12 +125,18 @@ class FaultTolerantRouter:
             gamma_f=gamma_f,
             units=units,
             id_space=id_space,
+            build_workers=build_workers,
         )
         # Both planes are built lazily: the reference per-vertex table
         # objects on first reference route / bit-accounting call, the
         # packed arrays + stepper on first packed route.
         self._tables: Optional[list[VertexRoutingTable]] = None
         self._packed: Optional[PackedRouteEngine] = None
+
+    def __digest_hints__(self) -> dict[int, str]:
+        """Construction-time segment digests, delegated to the label
+        scheme (the router's snapshot payload is the scheme's)."""
+        return self.scheme.__digest_hints__()
 
     @property
     def tables(self) -> list[VertexRoutingTable]:

@@ -217,14 +217,23 @@ class ExtendedEdgeIds:
         id_of: Optional[Callable[[int], int]] = None,
         id_space: Optional[int] = None,
         port_fn: Optional[Callable[[int, int], int]] = None,
+        anc_arrays: Optional[tuple] = None,
     ):
         """``id_of``/``id_space``/``port_fn`` translate the instance's
         local vertices into globally meaningful ids and ports, so that
         identifiers extracted from sketches are directly routable even
-        when the labeling instance lives on a tree-cover cluster."""
+        when the labeling instance lives on a tree-cover cluster.
+
+        ``anc_arrays`` optionally supplies the full-n ``(tin, tout)``
+        DFS-interval arrays (``repro.graph.ancestry.stitched_intervals``)
+        so batch packing gathers timestamps with two numpy indexes
+        instead of one ``anc_of`` call per touched vertex; values must
+        agree with ``anc_of`` on every spanned vertex."""
         self.graph = graph
         self.uid_scheme = uid_scheme
         self._anc_of = anc_of
+        self._anc_arrays = anc_arrays
+        self._identity_ids = id_of is None
         self._id_of = id_of if id_of is not None else (lambda v: v)
         self.id_space = id_space if id_space is not None else graph.n
         self._port_fn = port_fn if port_fn is not None else graph.port_of
@@ -360,15 +369,27 @@ class ExtendedEdgeIds:
         touched = np.zeros(n, dtype=bool)
         touched[eu] = True
         touched[ev] = True
-        ids = np.zeros(n, dtype=np.uint64)
-        tin = np.zeros(n, dtype=np.uint64)
-        tout = np.zeros(n, dtype=np.uint64)
-        id_of, anc_of = self._id_of, self._anc_of
-        for v in np.flatnonzero(touched).tolist():
-            ids[v] = id_of(v)
-            a = anc_of(v)
-            tin[v] = a[0]
-            tout[v] = a[1]
+        if self._identity_ids:
+            # Identity mapping: every gather below reads ids[v] = v, so
+            # one arange replaces the per-vertex Python loop (untouched
+            # entries are never read either way).
+            ids = np.arange(n, dtype=np.uint64)
+        else:
+            ids = np.zeros(n, dtype=np.uint64)
+            id_of = self._id_of
+            for v in np.flatnonzero(touched).tolist():
+                ids[v] = id_of(v)
+        if self._anc_arrays is not None:
+            tin = self._anc_arrays[0].astype(np.uint64)
+            tout = self._anc_arrays[1].astype(np.uint64)
+        else:
+            tin = np.zeros(n, dtype=np.uint64)
+            tout = np.zeros(n, dtype=np.uint64)
+            anc_of = self._anc_of
+            for v in np.flatnonzero(touched).tolist():
+                a = anc_of(v)
+                tin[v] = a[0]
+                tout[v] = a[1]
         gu = ids[eu].tolist()
         gv = ids[ev].tolist()
         cols = {

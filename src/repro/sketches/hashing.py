@@ -112,6 +112,18 @@ class PairwiseHashFamily:
         k = keys.astype(np.uint64)
         return ((self._a[i] * k + self._b[i]) % np.uint64(MERSENNE_P)) & self._mask
 
+    def block_values_many(self, keys: np.ndarray, lo: int, hi: int) -> np.ndarray:
+        """Units ``[lo, hi)`` over all keys as one unit-major
+        ``(hi - lo, E)`` evaluation — the coarse unit batches of the
+        fused ragged builder.  Row ``i`` is elementwise-identical to
+        ``unit_values_many(lo + i, keys)`` (same uint64 arithmetic,
+        broadcast instead of looped); unit-major rows write contiguously
+        into the builder's level cache."""
+        k = keys.astype(np.uint64)[None, :]
+        return (
+            (self._a[lo:hi, None] * k + self._b[lo:hi, None]) % np.uint64(MERSENNE_P)
+        ) & self._mask
+
     def seed_bits(self) -> int:
         """Size of the seed S_h in bits: two coefficients per function."""
         return self.count * 2 * 31
@@ -212,6 +224,14 @@ class Mersenne61HashFamily:
     def unit_values_many(self, i: int, keys: np.ndarray) -> np.ndarray:
         """Column ``i`` of :meth:`all_values_many`, one unit at a time."""
         return self._eval(self._a[i], self._b[i], keys.astype(np.uint64))
+
+    def block_values_many(self, keys: np.ndarray, lo: int, hi: int) -> np.ndarray:
+        """Units ``[lo, hi)`` over all keys, unit-major ``(hi - lo, E)``,
+        in one broadcast limb evaluation; row ``i`` is
+        elementwise-identical to ``unit_values_many(lo + i, keys)``."""
+        return self._eval(
+            self._a[lo:hi, None], self._b[lo:hi, None], keys.astype(np.uint64)[None, :]
+        )
 
     def seed_bits(self) -> int:
         """Size of the seed S_h in bits: two coefficients per function."""

@@ -18,7 +18,8 @@ per sketch (W = ceil(eid_bits / 64)); per-vertex sketches stack to
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
@@ -124,11 +125,27 @@ class SketchScatterPlan:
     ``keys``: per-edge sampling keys (dense edge-index space).
     ``srows`` / ``sedges``: target row and dense edge index per CSR
     slot, in scatter order.  See :meth:`VertexSketches.scatter_plan`.
+
+    The plan also memoizes the *scatter-ordered EID word view*
+    (:meth:`scatter_words`): every copy and every unit of the ragged
+    builder used to re-gather ``eid_words[sedges[order]]`` per pass —
+    hoisting the copy-invariant ``eid_words[sedges]`` gather here turns
+    that into a single precomputed view shared by all of them.
     """
 
     keys: np.ndarray
     srows: np.ndarray
     sedges: np.ndarray
+    _cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def scatter_words(self, eid_words: np.ndarray) -> np.ndarray:
+        """``eid_words[sedges]`` — EID word rows in scatter order,
+        computed once per word matrix and shared across copies/units."""
+        cached = self._cache.get("swords")
+        if cached is None or cached[0] is not eid_words:
+            cached = (eid_words, eid_words[self.sedges])
+            self._cache["swords"] = cached
+        return cached[1]
 
 
 @dataclass(frozen=True)
@@ -213,6 +230,199 @@ class RaggedPrefix:
         )
 
 
+#: hash-matrix elements (edge keys x units) evaluated per blocked call.
+#: Small enough that the limb-arithmetic temporaries (~8 per eval) stay
+#: cache-resident — measured faster than both one-unit-at-a-time calls
+#: (per-call setup dominates on small graphs) and whole-family blocks
+#: (64 MB temporaries thrash cache on large ones).
+UNIT_BLOCK_ELEMS = 1 << 21
+
+
+def _segment_digest_hex(arr: np.ndarray) -> str:
+    """BLAKE2b-128 of an array's bytes — the per-segment digest of
+    :mod:`repro.store.format` (same parameters), computed build-side so
+    parallel copy workers can fingerprint their output while other
+    copies still build."""
+    return hashlib.blake2b(
+        arr.data if arr.nbytes else b"", digest_size=16
+    ).hexdigest()
+
+
+def exact_levels_block(
+    family, levels: int, keys: np.ndarray, lo: int, hi: int
+) -> np.ndarray:
+    """Exact sampling levels of units ``[lo, hi)`` as a unit-major
+    ``(hi-lo, E)`` int8 matrix — row ``i`` is value-identical to
+    :meth:`VertexSketches.unit_max_levels_many` for unit ``lo + i``
+    (same per-unit float arithmetic, one broadcast hash evaluation
+    instead of a Python loop over units).  Levels fit int8: ``levels - 1
+    <= 63`` for any 64-bit hash range."""
+    h = family.block_values_many(keys, lo, hi).astype(np.float64)
+    bitlen = np.where(h == 0, 0, np.floor(np.log2(np.maximum(h, 1))) + 1).astype(
+        np.int8
+    )
+    return np.int8(levels - 1) - bitlen
+
+
+def ragged_prefix_units(
+    family,
+    levels: int,
+    width: int,
+    keys: np.ndarray,
+    srows: np.ndarray,
+    sedges: np.ndarray,
+    swords: np.ndarray,
+    rows: int,
+    lo: int,
+    hi: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Change points of prefix planes for units ``[lo, hi)`` — the
+    pass-fused core of :meth:`VertexSketches.build_prefix_ragged` and
+    the unit of work a parallel build farms out.
+
+    Returns ``(keys64, vals)``, exactly the slice of the serial
+    builder's output covering those units (unit chunks concatenate
+    already globally sorted: the unit index is the top of the position
+    key), so any contiguous partition of ``[0, units)`` reassembles
+    bit-identically.
+
+    Fusions over the original two-pass builder:
+
+    * the per-unit hash columns are evaluated **once** (cached as one
+      int8 exact-level matrix, ``(hi-lo) * E`` bytes) instead of once
+      per pass, in coarse unit blocks (:data:`UNIT_BLOCK_ELEMS`) that
+      amortize hash-family setup;
+    * the sort key shrinks from a 64-bit global position to the int8
+      per-slot level: ``srows`` is already sorted (row-major scatter),
+      so a *stable* argsort of the level alone yields the same group
+      structure while numpy's radix path replaces comparison sorting;
+    * the per-unit ``eid_words[sedges[order]]`` double gather reads the
+      precomputed scatter-ordered ``swords`` view instead.
+    """
+    stride = np.int64(rows)
+    count = hi - lo
+    # Hash every unit in the range once, in coarse blocks.
+    ml8 = np.empty((count, keys.size), dtype=np.int8)
+    block = max(1, min(count, UNIT_BLOCK_ELEMS // max(1, keys.size)))
+    for b in range(lo, hi, block):
+        e = min(hi, b + block)
+        ml8[b - lo : e - lo] = exact_levels_block(family, levels, keys, b, e)
+    # Pass 1: exact change-point count per unit via one boolean scatter
+    # over the (level, row) key space — no sort; knowing the counts up
+    # front lets pass 2 write every unit straight into the final arrays
+    # (the store is never held twice).
+    counts_per_unit = np.empty(count, dtype=np.int64)
+    flags = np.zeros(levels * int(stride), dtype=bool)
+    for i in range(count):
+        flags[ml8[i][sedges].astype(np.int64) * stride + srows] = True
+        counts_per_unit[i] = int(np.count_nonzero(flags))
+        flags[:] = False
+    del flags
+    total = int(counts_per_unit.sum())
+    out_keys = np.empty(total, dtype=np.int64)
+    out_vals = np.empty((total, width), dtype=np.uint64)
+    # Pass 2: per-unit radix sort / XOR-merge, writing in place.
+    off = 0
+    for i in range(count):
+        sl = ml8[i][sedges]
+        # srows is sorted, so a stable sort by the int8 level alone is
+        # the (level, row) order the 64-bit position sort produced.
+        order = np.argsort(sl, kind="stable")
+        sls = sl[order]
+        srs = srows[order]
+        wv = swords[order]
+        starts = np.flatnonzero(
+            np.r_[True, (sls[1:] != sls[:-1]) | (srs[1:] != srs[:-1])]
+        )
+        start_lvl = sls[starts].astype(np.int64)
+        uk = (np.int64(lo + i) * levels + start_lvl) * stride + srs[starts]
+        gv = np.empty((uk.size, width), dtype=np.uint64)
+        for w in range(width):
+            gv[:, w] = np.bitwise_xor.reduceat(wv[:, w], starts)
+        # Exact-level group XORs -> plane-cumulative prefix values:
+        # accumulate globally, then XOR away the running value at each
+        # plane boundary (entries of a plane are consecutive).
+        acc = np.bitwise_xor.accumulate(gv, axis=0)
+        pstarts = np.flatnonzero(np.r_[True, start_lvl[1:] != start_lvl[:-1]])
+        counts = np.diff(np.append(pstarts, uk.size))
+        base = np.zeros((pstarts.size, width), dtype=np.uint64)
+        nz = pstarts > 0
+        base[nz] = acc[pstarts[nz] - 1]
+        end = off + uk.size
+        out_keys[off:end] = uk
+        out_vals[off:end] = acc ^ np.repeat(base, counts, axis=0)
+        off = end
+    return out_keys, out_vals
+
+
+def dense_prefix_units(
+    family,
+    levels: int,
+    width: int,
+    keys: np.ndarray,
+    srows: np.ndarray,
+    sedges: np.ndarray,
+    swords: np.ndarray,
+    rows: int,
+    lo: int,
+    hi: int,
+) -> np.ndarray:
+    """Dense prefix slab of unit columns ``[lo, hi)`` — bit-identical to
+    ``build_prefix(...)[:, lo:hi]`` (XOR scatter order is immaterial and
+    the row fold is independent per unit column), so contiguous unit
+    slabs concatenate into the full tensor."""
+    count = hi - lo
+    arr = np.zeros((rows, count, levels, width), dtype=np.uint64)
+    ml = exact_levels_block(family, levels, keys, lo, hi).T.astype(np.int64)
+    cell = np.arange(count, dtype=np.int64)[None, :] * levels + ml[sedges]
+    targets = (srows[:, None] * np.int64(count * levels) + cell).ravel()
+    flat = arr.reshape(-1, width)
+    for w in range(width):
+        np.bitwise_xor.at(
+            flat[:, w],
+            targets,
+            np.repeat(np.ascontiguousarray(swords[:, w]), count),
+        )
+    rowflat = arr.reshape(rows, -1)
+    for r in range(1, rows):
+        rowflat[r] ^= rowflat[r - 1]
+    return arr
+
+
+def prefix_store_task(payload, ctx, family, layout: str, lo: int, hi: int):
+    """Build-pool task: units ``[lo, hi)`` of one copy's prefix store.
+
+    ``ctx`` is the build context dict (shared-pool tasks carry it in
+    the task; fork-payload pools pass None and use ``payload``).
+    Returns ``(keys, vals, keys_digest, vals_digest)`` for the ragged
+    layout or ``(slab, digest)`` for dense; digests are only computed
+    when the range covers every unit — a full-copy result is exactly
+    the segment the snapshot will persist, so fingerprinting it here
+    overlaps digest work with the other copies' construction.
+    """
+    c = payload if ctx is None else ctx
+    full = lo == 0 and hi == c["units"]
+    args = (
+        family,
+        c["levels"],
+        c["width"],
+        c["keys"],
+        c["srows"],
+        c["sedges"],
+        c["swords"],
+        c["rows"],
+        lo,
+        hi,
+    )
+    if layout == "ragged":
+        ks, vs = ragged_prefix_units(*args)
+        if full:
+            return ks, vs, _segment_digest_hex(ks), _segment_digest_hex(vs)
+        return ks, vs, None, None
+    arr = dense_prefix_units(*args)
+    return arr, (_segment_digest_hex(arr) if full else None)
+
+
 class VertexSketches:
     """The stacked per-vertex sketches of one (graph, unit family) instance.
 
@@ -245,6 +455,7 @@ class VertexSketches:
         self.graph = graph
         self.dims = dims
         self.family = family
+        self._identity_ids = id_of is None
         self._id_of = id_of if id_of is not None else (lambda v: v)
         self.key_space = key_space if key_space is not None else graph.n
         # The largest possible edge key is min_id * key_space + max_id
@@ -298,6 +509,18 @@ class VertexSketches:
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+    def _ids_of(self, n: int) -> np.ndarray:
+        """Identifier-space ids of vertices ``0..n-1`` as one batch.
+
+        The identity mapping (standalone instances — the common case) is
+        one ``np.arange`` instead of a million-call Python loop; a
+        custom ``id_of`` falls back to a single batched ``fromiter``.
+        """
+        if self._identity_ids:
+            return np.arange(n, dtype=np.int64)
+        id_of = self._id_of
+        return np.fromiter((id_of(v) for v in range(n)), dtype=np.int64, count=n)
+
     def scatter_plan(self, row_of: Optional[np.ndarray] = None) -> "SketchScatterPlan":
         """Copy-invariant scatter layout for the vectorized builders.
 
@@ -309,7 +532,7 @@ class VertexSketches:
         """
         csr = self.graph.as_csr()
         n = self.graph.n
-        ids = np.fromiter((self._id_of(v) for v in range(n)), dtype=np.int64, count=n)
+        ids = self._ids_of(n)
         gu = ids[csr.edge_u]
         gv = ids[csr.edge_v]
         keys = np.minimum(gu, gv) * np.int64(self.key_space) + np.maximum(gu, gv)
@@ -435,16 +658,22 @@ class VertexSketches:
         lets multi-copy callers share one :meth:`scatter_plan`.
         """
         units, levels, width = self.dims.units, self.dims.levels, self.dims.words
-        arr = np.zeros((rows, units, levels, width), dtype=np.uint64)
-        if self.graph.m:
-            if plan is None:
-                plan = self.scatter_plan(row_of)
-            ml = self.max_levels_many(plan.keys)
-            self._scatter_exact_levels(arr, plan.srows, plan.sedges, ml, eid_words)
-        rowflat = arr.reshape(rows, -1)
-        for r in range(1, rows):
-            rowflat[r] ^= rowflat[r - 1]
-        return arr
+        if self.graph.m == 0:
+            return np.zeros((rows, units, levels, width), dtype=np.uint64)
+        if plan is None:
+            plan = self.scatter_plan(row_of)
+        return dense_prefix_units(
+            self.family,
+            levels,
+            width,
+            plan.keys,
+            plan.srows,
+            plan.sedges,
+            plan.scatter_words(eid_words),
+            rows,
+            0,
+            units,
+        )
 
     def build_prefix_ragged(
         self,
@@ -459,13 +688,14 @@ class VertexSketches:
         The dense tensor is ``rows * L * (J+1) * W`` words regardless of
         how sparse the sketch cells are — ~4 GB per copy at n = 2 * 10^5
         — while the live content is one change point per (slot, unit):
-        at most ``2 m L`` entries.  This builder never materializes a
-        dense plane: per unit it hashes the edge keys, sorts the slot
-        scatter targets by global position, XOR-merges duplicate
-        positions, and converts the per-plane group XORs into cumulative
-        prefix values with one XOR-accumulate and a per-plane rebase.
-        Unit chunks concatenate already globally sorted (the unit index
-        is the top of the position key).
+        at most ``2 m L`` entries.  Delegates to
+        :func:`ragged_prefix_units` over the full unit range — the
+        pass-fused core that hashes each unit once, radix-sorts the int8
+        exact levels, XOR-merges duplicate positions and converts the
+        per-plane group XORs into cumulative prefix values.  Unit chunks
+        concatenate already globally sorted (the unit index is the top
+        of the position key), which is also what lets a parallel build
+        partition ``[0, units)`` across workers.
         """
         units, levels, width = self.dims.units, self.dims.levels, self.dims.words
         if self.graph.m == 0:
@@ -479,54 +709,18 @@ class VertexSketches:
             )
         if plan is None:
             plan = self.scatter_plan(row_of)
-        stride = np.int64(rows)
-        # Pass 1: exact change-point count per unit via one boolean
-        # scatter over the (plane, row) key space — no sort, and the
-        # per-unit hash columns are recomputed rather than cached (the
-        # two hash passes cost seconds; caching them costs O(m * units)
-        # bytes).  Knowing the counts up front lets pass 2 write every
-        # unit's chunk straight into the final arrays, so the store is
-        # never held twice (the old chunk-list + concatenate layout
-        # peaked at 2x the final size).
-        nbins = levels * int(stride)
-        counts_per_unit = np.empty(units, dtype=np.int64)
-        flags = np.zeros(nbins, dtype=bool)
-        for i in range(units):
-            ml = self.unit_max_levels_many(i, plan.keys)
-            flags[ml[plan.sedges] * stride + plan.srows] = True
-            counts_per_unit[i] = int(np.count_nonzero(flags))
-            flags[:] = False
-        del flags
-        total = int(counts_per_unit.sum())
-        all_keys = np.empty(total, dtype=np.int64)
-        all_vals = np.empty((total, width), dtype=np.uint64)
-        # Pass 2: the original per-unit sort/merge, writing in place.
-        off = 0
-        for i in range(units):
-            ml = self.unit_max_levels_many(i, plan.keys)
-            k = (np.int64(i) * levels + ml[plan.sedges]) * stride + plan.srows
-            order = np.argsort(k, kind="stable")
-            ks = k[order]
-            wv = eid_words[plan.sedges[order]]
-            starts = np.flatnonzero(np.r_[True, ks[1:] != ks[:-1]])
-            uk = ks[starts]
-            gv = np.empty((uk.size, width), dtype=np.uint64)
-            for w in range(width):
-                gv[:, w] = np.bitwise_xor.reduceat(wv[:, w], starts)
-            # Exact-level group XORs -> plane-cumulative prefix values:
-            # accumulate globally, then XOR away the running value at
-            # each plane boundary (entries of a plane are consecutive).
-            acc = np.bitwise_xor.accumulate(gv, axis=0)
-            plane = uk // stride
-            pstarts = np.flatnonzero(np.r_[True, plane[1:] != plane[:-1]])
-            counts = np.diff(np.append(pstarts, uk.size))
-            base = np.zeros((pstarts.size, width), dtype=np.uint64)
-            nz = pstarts > 0
-            base[nz] = acc[pstarts[nz] - 1]
-            end = off + uk.size
-            all_keys[off:end] = uk
-            all_vals[off:end] = acc ^ np.repeat(base, counts, axis=0)
-            off = end
+        all_keys, all_vals = ragged_prefix_units(
+            self.family,
+            levels,
+            width,
+            plan.keys,
+            plan.srows,
+            plan.sedges,
+            plan.scatter_words(eid_words),
+            rows,
+            0,
+            units,
+        )
         return RaggedPrefix(
             rows=rows,
             units=units,

@@ -106,17 +106,39 @@ class RawSnapshot:
         return sum(a.nbytes for a in self.arrays.values())
 
 
+#: streaming hash+write chunk; large enough that syscall overhead is
+#: negligible, small enough to stay cache-warm between hash and write.
+_CHUNK = 1 << 24
+
+#: manifest digest placeholder — same length as a real BLAKE2b-128 hex
+#: digest, so patching digests in after the segment pass never changes
+#: the manifest's length (and therefore never shifts the offsets the
+#: manifest itself records).
+_DIGEST_PLACEHOLDER = "0" * 32
+
+
 def write_snapshot(
     path: Union[str, Path],
     kind: str,
     meta: Mapping,
     arrays: Mapping[str, np.ndarray],
+    digest_hints: Optional[Mapping[int, str]] = None,
 ) -> Path:
     """Write one artifact snapshot; returns the path.
 
     ``meta`` must be JSON-serializable; ``arrays`` values are converted
     to little-endian C-contiguous layout before writing (the on-disk
     byte order is fixed so snapshots are portable).
+
+    Segment digests stream: each segment is hashed in chunks *while its
+    bytes are written*, instead of a separate whole-array read pass
+    before the write.  The manifest is first written with fixed-length
+    placeholder digests and patched in place afterwards — identical
+    final bytes, one pass over the data.  ``digest_hints`` optionally
+    maps ``id(array)`` (of the caller's original array objects) to
+    digests already computed at build time (e.g. by parallel build
+    workers); a hint is trusted only when the array needed no
+    contiguity/byte-order conversion, and skips even the streamed hash.
 
     The write is atomic: bytes go to a temporary sibling file that is
     ``os.replace``d over ``path`` at the end, so a crash mid-write
@@ -126,16 +148,21 @@ def write_snapshot(
     SIGBUS the process on the next page fault).
     """
     path = Path(path)
-    prepared: list[tuple[str, np.ndarray]] = []
+    hints = digest_hints or {}
+    prepared: list[tuple[str, np.ndarray, Optional[str]]] = []
     for name, arr in arrays.items():
+        orig = arr
         arr = np.ascontiguousarray(arr)
         if arr.dtype.byteorder == ">":  # pragma: no cover - BE hosts only
             arr = arr.astype(arr.dtype.newbyteorder("<"))
-        prepared.append((name, arr))
+        # A hint fingerprints the original object's bytes; it transfers
+        # to the written segment only when no conversion copied them.
+        hint = hints.get(id(orig)) if arr is orig else None
+        prepared.append((name, arr, hint))
 
     segments = []
     offset = 0  # relative to the start of the segment area; fixed below
-    for name, arr in prepared:
+    for name, arr, _hint in prepared:
         offset += _pad(offset)
         segments.append(
             {
@@ -144,7 +171,7 @@ def write_snapshot(
                 "shape": list(arr.shape),
                 "offset": offset,
                 "nbytes": arr.nbytes,
-                "blake2b": _digest(arr.data if arr.nbytes else b"").hex(),
+                "blake2b": _DIGEST_PLACEHOLDER,
             }
         )
         offset += arr.nbytes
@@ -171,28 +198,50 @@ def write_snapshot(
         manifest = render(base)
         need = _ALIGN + len(manifest) + _pad(_ALIGN + len(manifest))
         if need <= base:
-            manifest += b" " * (base - _ALIGN - len(manifest))
             break
         base = need
 
     tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
     try:
         with open(tmp, "wb") as fh:
+            # Header and manifest go down with placeholder digests to
+            # reserve their exact byte ranges; both are patched after
+            # the single hash-while-write pass over the segments.
+            fh.write(_HEADER.pack(MAGIC, FORMAT_VERSION, len(manifest), b"\x00" * 16))
+            fh.write(b"\x00" * _pad(_HEADER.size))
+            fh.write(manifest)
+            fh.write(b"\x00" * _pad(_ALIGN + len(manifest)))
+            pos = base
+            for seg, (_name, arr, hint) in zip(segments, prepared):
+                # seg["offset"] is segment-area-relative; base shifts it
+                # to the absolute file offset the manifest recorded.
+                abs_off = base + seg["offset"]
+                fh.write(b"\x00" * (abs_off - pos))
+                if not arr.nbytes:
+                    seg["blake2b"] = _digest(b"").hex()
+                elif hint is not None:
+                    fh.write(arr.data)  # zero-copy: C-contiguous by now
+                    seg["blake2b"] = hint
+                else:
+                    h = hashlib.blake2b(digest_size=16)
+                    view = memoryview(arr.data).cast("B")
+                    for i in range(0, arr.nbytes, _CHUNK):
+                        chunk = view[i : i + _CHUNK]
+                        h.update(chunk)
+                        fh.write(chunk)
+                    seg["blake2b"] = h.hexdigest()
+                pos = abs_off + arr.nbytes
+            # Patch the real digests in: same digest length, so the
+            # re-render is byte-for-byte the placeholder manifest with
+            # only the digest fields (and the header digest) changed.
+            manifest = render(base)
+            manifest += b" " * (base - _ALIGN - len(manifest))
+            fh.seek(0)
             fh.write(
                 _HEADER.pack(MAGIC, FORMAT_VERSION, len(manifest), _digest(manifest))
             )
             fh.write(b"\x00" * _pad(_HEADER.size))
             fh.write(manifest)
-            fh.write(b"\x00" * _pad(_ALIGN + len(manifest)))
-            pos = base
-            for seg, (_name, arr) in zip(segments, prepared):
-                # seg["offset"] is segment-area-relative; base shifts it
-                # to the absolute file offset the manifest recorded.
-                abs_off = base + seg["offset"]
-                fh.write(b"\x00" * (abs_off - pos))
-                if arr.nbytes:
-                    fh.write(arr.data)  # zero-copy: C-contiguous by now
-                pos = abs_off + arr.nbytes
         os.replace(tmp, path)
     finally:
         if tmp.exists():  # pragma: no cover - only on a failed write

@@ -1,0 +1,180 @@
+"""Bit-identity of the parallel build pipeline (``build_workers``).
+
+The determinism contract of :class:`repro._util.build_pool.BuildPool`
+says every ``build_workers`` value must produce *exactly* the serial
+reference build: identical label bits, identical ``query_many``
+answers, identical route traces, and a byte-identical snapshot.  These
+tests pin that contract across worker counts {1, 2, 4} on three
+generator families — including a fragmented G(n, m) whose forest has
+hundreds of components — on both prefix layouts (dense/m31 via the
+graph's own id space, ragged/m61 via a wide ``id_space``), and on the
+multi-copy per-copy work partition.
+
+The crash test asserts the other half of the pool contract: a worker
+exception surfaces as a clean ``RuntimeError`` in the parent and the
+pool is terminated and joined first, so a failed build never leaks
+orphan worker processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+
+import numpy as np
+import pytest
+
+import repro._util.build_pool as build_pool
+from repro.core.sketch_scheme import SketchConnectivityScheme
+from repro.graph.generators import (
+    gnm_random_graph,
+    random_connected_graph,
+    ring_of_cliques,
+)
+from repro.routing.fault_tolerant import FaultTolerantRouter
+from repro.store import save_snapshot
+
+WORKER_LADDER = [1, 2, 4]
+
+#: name -> (graph factory, id_space).  The wide id space on the random
+#: family forces the Mersenne-61 ragged layout, where single-copy
+#: builds partition by unit range; the others stay on the dense m31
+#: path.  fragmented-gnm has mean degree ~1.4: a giant component plus
+#: many small ones (the multi-component forest paths).
+FAMILIES = {
+    "random-m61": (lambda: random_connected_graph(300, 450, seed=5), 50_000),
+    "fragmented-gnm": (lambda: gnm_random_graph(600, 420, seed=7), None),
+    "ring-of-cliques": (lambda: ring_of_cliques(12, 8), None),
+}
+
+
+def _build(family: str, workers: int, copies: int = 1):
+    factory, id_space = FAMILIES[family]
+    graph = factory()
+    scheme = SketchConnectivityScheme(
+        graph,
+        seed=2,
+        copies=copies,
+        id_space=id_space,
+        build_workers=workers,
+    )
+    return graph, scheme
+
+
+def _label_digest(scheme) -> str:
+    """One hash over every packed label array (EID words + prefix
+    stores) — equality means bit-identical label bits."""
+    h = hashlib.sha256()
+    for name in sorted(scheme.__arrays__()):
+        arr = np.ascontiguousarray(scheme.__arrays__()[name])
+        h.update(name.encode())
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def _query_signature(graph, scheme):
+    rnd = np.random.default_rng(11)
+    pairs = [
+        (int(s), int(t))
+        for s, t in rnd.integers(0, graph.n, size=(24, 2))
+        if s != t
+    ]
+    faults = [int(e) for e in rnd.choice(graph.m, size=3, replace=False)]
+    return [
+        (
+            res.connected,
+            res.path.segments if res.path is not None else None,
+        )
+        for res in scheme.query_many(pairs, faults, want_path=True)
+    ]
+
+
+def _snapshot_sha(tmp_path, scheme, tag: str) -> str:
+    path = tmp_path / f"{tag}.ftl"
+    save_snapshot(path, scheme)
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_parallel_build_bit_identical(family, tmp_path):
+    graph, serial = _build(family, workers=1)
+    want_labels = _label_digest(serial)
+    want_queries = _query_signature(graph, serial)
+    want_sha = _snapshot_sha(tmp_path, serial, f"{family}-w1")
+    for workers in WORKER_LADDER[1:]:
+        graph_w, parallel = _build(family, workers=workers)
+        assert _label_digest(parallel) == want_labels, (family, workers)
+        assert _query_signature(graph_w, parallel) == want_queries
+        sha = _snapshot_sha(tmp_path, parallel, f"{family}-w{workers}")
+        assert sha == want_sha, (family, workers)
+
+
+def test_parallel_build_multi_copy_bit_identical(tmp_path):
+    """copies > 1 switches the work partition from unit ranges to whole
+    copies (and feeds the snapshot writer construction-time digests) —
+    same contract, different code path."""
+    graph, serial = _build("random-m61", workers=1, copies=3)
+    want_labels = _label_digest(serial)
+    want_sha = _snapshot_sha(tmp_path, serial, "copies3-w1")
+    for workers in WORKER_LADDER[1:]:
+        _, parallel = _build("random-m61", workers=workers, copies=3)
+        assert parallel._prefix_digests  # per-copy digest hints recorded
+        assert _label_digest(parallel) == want_labels
+        assert _snapshot_sha(tmp_path, parallel, f"copies3-w{workers}") == want_sha
+
+
+@pytest.mark.parametrize("workers", WORKER_LADDER[1:])
+def test_parallel_router_routes_identically(workers, tmp_path):
+    """The shared-pool path: one pool spans every (scale, cluster)
+    instance of the router's label scheme.  Route traces — hop
+    sequences, delivery, lengths, scales — must match the serial
+    router's exactly, as must the persisted snapshot."""
+    graph = random_connected_graph(220, 330, seed=9)
+    rnd = np.random.default_rng(13)
+    pairs = [
+        (int(s), int(t))
+        for s, t in rnd.integers(0, graph.n, size=(12, 2))
+        if s != t
+    ]
+    faults = [int(e) for e in rnd.choice(graph.m, size=2, replace=False)]
+
+    def signature(router):
+        return [
+            (r.delivered, tuple(r.trace), round(r.length, 9), r.scale)
+            for r in router.route_many(pairs, faults)
+        ]
+
+    serial = FaultTolerantRouter(graph, f=2, k=2, seed=3, build_workers=1)
+    want = signature(serial)
+    want_sha = _snapshot_sha(tmp_path, serial, "router-w1")
+    parallel = FaultTolerantRouter(graph, f=2, k=2, seed=3, build_workers=workers)
+    assert signature(parallel) == want
+    assert _snapshot_sha(tmp_path, parallel, f"router-w{workers}") == want_sha
+
+
+def test_worker_crash_fails_cleanly_without_orphans(monkeypatch):
+    """A crashing worker task must surface as RuntimeError in the
+    parent — after the pool has been terminated and joined, so no
+    worker process outlives the failed build."""
+    monkeypatch.setattr(build_pool, "_FAIL_FOR_TEST", "injected worker crash")
+    factory, id_space = FAMILIES["random-m61"]
+    graph = factory()
+    with pytest.raises(RuntimeError, match="injected worker crash"):
+        SketchConnectivityScheme(
+            graph, seed=2, id_space=id_space, build_workers=2
+        )
+    monkeypatch.setattr(build_pool, "_FAIL_FOR_TEST", None)
+    assert multiprocessing.active_children() == []
+
+
+def test_serial_reference_never_touches_the_pool(monkeypatch):
+    """build_workers=1 is a plain serial loop, not a one-worker pool:
+    with the crash hook armed, the serial build still succeeds because
+    no pool task ever runs."""
+    monkeypatch.setattr(build_pool, "_FAIL_FOR_TEST", "inline crash")
+    factory, id_space = FAMILIES["random-m61"]
+    graph = factory()
+    scheme = SketchConnectivityScheme(graph, seed=2, id_space=id_space)
+    assert scheme is not None
