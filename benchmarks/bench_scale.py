@@ -75,6 +75,7 @@ import numpy as np
 
 from benchmarks.common import print_table, workload_graph
 from repro.core.sketch_scheme import SketchConnectivityScheme
+from repro.obs import PhaseTimer
 from repro.oracles import ConnectivityOracle
 from repro.store import load_snapshot, save_snapshot
 
@@ -146,14 +147,17 @@ def measure_workload(
     each phase's entry is "the peak as of the end of this phase" and
     the deltas attribute peak growth to phases.  ``phase_s`` is the
     wall-clock twin: per-phase durations (graph / forest / eids /
-    sketches / snapshot / load / query), with the build split sourced
-    from the scheme's own ``build_phase_s`` checkpoints.
+    sketches / snapshot / load / query) recorded through an obs
+    :class:`~repro.obs.PhaseTimer`, with the build split folded in from
+    the scheme's own ``build_phase_s`` checkpoints — same keys and
+    ``round(x, 3)`` values as the pre-obs hand-rolled dict, so the
+    committed row shape is unchanged.
     """
-    t0 = time.perf_counter()
+    timer = PhaseTimer().start()
     graph = workload_graph(family, n, seed=1)
     graph.as_csr()
     gc.collect()
-    phase_s = {"graph": round(time.perf_counter() - t0, 3)}
+    timer.split("graph")
     phase_rss = {"graph": _rss_mb()}
     t0 = time.perf_counter()
     scheme = SketchConnectivityScheme(
@@ -161,15 +165,14 @@ def measure_workload(
     )
     build_s = time.perf_counter() - t0
     for phase, seconds in scheme.build_phase_s.items():
-        phase_s[phase] = round(seconds, 3)
+        timer.record(phase, seconds)
     phase_rss["build"] = _rss_mb()
 
     with tempfile.TemporaryDirectory() as tmp:
         snap_path = Path(tmp) / f"{name}.ftl"
-        t0 = time.perf_counter()
-        save_snapshot(snap_path, scheme)
-        snapshot_s = time.perf_counter() - t0
-        phase_s["snapshot"] = round(snapshot_s, 3)
+        with timer.phase("snapshot"):
+            save_snapshot(snap_path, scheme)
+        snapshot_s = timer.seconds["snapshot"]
         snapshot_bytes = snap_path.stat().st_size
         snapshot_sha256 = _sha256_file(snap_path)
         hash_family = scheme.hash_family
@@ -182,10 +185,9 @@ def measure_workload(
         # label store against the serve-phase footprint.
         del scheme
         gc.collect()
-        t0 = time.perf_counter()
-        restored = load_snapshot(snap_path)
-        load_s = time.perf_counter() - t0
-        phase_s["load"] = round(load_s, 3)
+        with timer.phase("load"):
+            restored = load_snapshot(snap_path)
+        load_s = timer.seconds["load"]
 
         # Oracle-validate sampled queries against the *restored* scheme:
         # the snapshot, not the in-memory object, is what serves.
@@ -196,11 +198,9 @@ def measure_workload(
             if s != t
         ]
         faults = [int(e) for e in rnd.choice(graph.m, size=4, replace=False)]
-        t0 = time.perf_counter()
-        answers = restored.query_many(pairs, faults, want_path=False)
-        query_s = time.perf_counter() - t0
-        query_ms = query_s / max(1, len(pairs)) * 1000.0
-        phase_s["query"] = round(query_s, 3)
+        with timer.phase("query"):
+            answers = restored.query_many(pairs, faults, want_path=False)
+        query_ms = timer.seconds["query"] / max(1, len(pairs)) * 1000.0
         oracle = ConnectivityOracle(graph)
         truth = oracle.connected_many(pairs, faults)
         mismatches = sum(
@@ -226,7 +226,7 @@ def measure_workload(
         "snapshot_sha256": snapshot_sha256,
         "peak_rss_mb": _rss_mb(),
         "phase_rss_mb": phase_rss,
-        "phase_s": phase_s,
+        "phase_s": timer.rounded(3),
     }
     del restored
     gc.collect()

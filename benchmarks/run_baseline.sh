@@ -7,7 +7,8 @@
 # the large-instance build fingerprints (vs BENCH_scale.json) or the
 # socket server's throughput ratio / zero-downtime reload (vs
 # BENCH_server.json) regressed more than 2x against the committed
-# numbers.  Intended for CI / pre-merge:
+# numbers, or the observability layer costs more than its 5% hard
+# bar (vs BENCH_obs.json).  Intended for CI / pre-merge:
 #
 #   ./benchmarks/run_baseline.sh
 #
@@ -19,6 +20,7 @@
 #   PYTHONPATH=src python -m benchmarks.bench_routing
 #   PYTHONPATH=src python -m benchmarks.bench_snapshot
 #   PYTHONPATH=src python -m benchmarks.bench_server
+#   PYTHONPATH=src python -m benchmarks.bench_obs
 #   PYTHONPATH=src python -m benchmarks.bench_scale   # minutes + tens of GB RAM
 set -e
 cd "$(dirname "$0")/.."
@@ -28,4 +30,5 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m benchmarks.bench_serving -
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m benchmarks.bench_routing --check "$@"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m benchmarks.bench_snapshot --check "$@"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m benchmarks.bench_server --check "$@"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m benchmarks.bench_obs --check "$@"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m benchmarks.bench_scale --check "$@"

@@ -27,6 +27,10 @@ Commands:
   protocol, fanning work out to shard workers that mmap one ``build``
   snapshot; SIGHUP (or a client ``reload``) swaps in a new snapshot
   with zero downtime.
+* ``stats`` — dump a running ``serve`` instance's merged metrics
+  registry (per-shard queue depth, cache hit rates, latency histogram
+  percentiles, slow-query traces) as a human-readable report, raw
+  JSON (``--json``), or Prometheus text exposition (``--prometheus``).
 * ``lower-bound`` — print the Theorem 1.6 series.
 
 All commands operate on the built-in synthetic workloads (``--family``,
@@ -537,6 +541,84 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """The ``stats`` command: the admin/observability plane over the wire.
+
+    Sends one ``STATS`` frame to a running ``serve`` instance and
+    renders the reply — the uniform registry dump (counters, gauges,
+    log-bucketed histograms merged across the server and every shard
+    worker), per-shard queue depth and cache hit rates, and the
+    slow-query log.  ``--prometheus`` prints the text exposition a
+    scraper would ingest; ``--json`` prints the raw payload.
+    """
+    from repro.server import QueryClient
+
+    host, port = _parse_hostport(args.connect)
+    try:
+        with QueryClient(host, port, timeout=args.timeout) as client:
+            stats = client.stats()
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(f"cannot reach {host}:{port}: {exc}")
+
+    if args.prometheus:
+        sys.stdout.write(stats.prometheus())
+        return 0
+    if args.json:
+        import json
+
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+
+    server = stats.get("server") or {}
+    service = stats.get("service") or {}
+    print(f"stats: {host}:{port} kind={stats.kind} "
+          f"generation={stats.version} n={stats.get('n')} "
+          f"m={stats.get('m')} "
+          f"metrics={'on' if stats.get('metrics_enabled') else 'off'}")
+    print(f"  server               : {server.get('queries', 0)} queries, "
+          f"{server.get('frames', 0)} frames, "
+          f"{server.get('connections_open', 0)} conns open, "
+          f"{server.get('protocol_errors', 0)} protocol errors, "
+          f"{server.get('reloads', 0)} reloads")
+    if service:
+        depths = ", ".join(str(d) for d in stats.queue_depth) or "-"
+        print(f"  shards ({service.get('mode', '?')}): "
+              f"queue depth [{depths}], "
+              f"{service.get('pool_restarts', 0)} pool restarts, "
+              f"cache hit rate {stats.cache_hit_rate:.0%}")
+        for i, cache in enumerate(service.get("per_shard_cache") or []):
+            print(f"    shard {i:<2d}           : "
+                  f"{cache['entries']} cached partitions, "
+                  f"hit rate {cache['hit_rate']:.0%} "
+                  f"({cache['hits']} hits / {cache['misses']} misses)")
+    if stats.counters:
+        print("  counters:")
+        for name, value in sorted(stats.counters.items()):
+            print(f"    {name:34s} {value}")
+    if stats.gauges:
+        print("  gauges:")
+        for name, value in sorted(stats.gauges.items()):
+            print(f"    {name:34s} {value:g}")
+    if stats.histograms:
+        print("  histograms (p50/p99/p99.9/max):")
+        for name, data in sorted(stats.histograms.items()):
+            print(f"    {name:34s} n={data['count']:<8d} "
+                  f"{data['p50']:g} / {data['p99']:g} / "
+                  f"{data['p99_9']:g} / {data['max']:g}")
+    slow = stats.slow_queries
+    if slow:
+        print(f"  slow queries ({len(slow)} recorded, threshold "
+              f"{(stats.get('slow_queries') or {}).get('threshold_s', 0)}s):")
+        for entry in slow[-args.slow:]:
+            spans = " ".join(
+                f"{s['name']}={s['dur_s'] * 1e3:.1f}ms"
+                for s in entry.get("spans", [])
+            )
+            print(f"    {entry['trace_id']} total="
+                  f"{entry['total_s'] * 1e3:.1f}ms  {spans}")
+    return 0
+
+
 def _cmd_lower_bound(args: argparse.Namespace) -> int:
     from repro.routing.lower_bound import (
         sequential_strategy_expected_stretch,
@@ -698,6 +780,23 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["simple", "balanced"],
                        help="router table layout (artifact=router)")
     p_srv.set_defaults(func=_cmd_serve)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="dump a running serve instance's metrics registry",
+    )
+    p_stats.add_argument("--connect", required=True,
+                         help="HOST:PORT of the running `serve` instance")
+    p_stats.add_argument("--prometheus", action="store_true",
+                         help="print Prometheus text exposition instead of "
+                              "the human-readable report")
+    p_stats.add_argument("--json", action="store_true",
+                         help="print the raw STATS_REPLY payload as JSON")
+    p_stats.add_argument("--slow", type=int, default=8,
+                         help="slow-query log entries to show (newest)")
+    p_stats.add_argument("--timeout", type=float, default=10.0,
+                         help="socket timeout (seconds)")
+    p_stats.set_defaults(func=_cmd_stats)
 
     p_lb = sub.add_parser("lower-bound", help="Theorem 1.6 series")
     p_lb.add_argument("--f", type=int, default=4)

@@ -34,7 +34,6 @@ extended identifiers (same ``S_ID``) and differ only in the sketch seeds
 from __future__ import annotations
 
 import math
-import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterable, NamedTuple, Optional, Sequence
@@ -43,6 +42,7 @@ import numpy as np
 
 from repro._util import derive_seed
 from repro._util.build_pool import BuildPool, split_ranges
+from repro.obs import PhaseTimer
 from repro.core._batch import normalize_faults
 from repro.core.component_tree import ComponentForest, orient_tree_edge
 from repro.core.path_description import PathSegment, SuccinctPath
@@ -508,9 +508,11 @@ class SketchConnectivityScheme:
         #: writer can skip re-hashing segments a worker already hashed.
         self._prefix_digests: dict[int, str] = {}
         #: wall-clock seconds per construction phase (forest / eids /
-        #: sketches) — the benchmark's ``phase_s`` attribution.
-        self.build_phase_s: dict[str, float] = {}
-        _t0 = time.perf_counter()
+        #: sketches) — the benchmark's ``phase_s`` attribution, recorded
+        #: through an obs :class:`~repro.obs.PhaseTimer` (same keys as
+        #: the pre-obs hand-rolled dict).
+        _timer = PhaseTimer().start()
+        self.build_phase_s: dict[str, float] = _timer.seconds
         if trees is None:
             self.trees, self.comp_of = spanning_forest(graph, engine=engine)
         else:
@@ -525,8 +527,7 @@ class SketchConnectivityScheme:
         def anc_of(v: int) -> AncLabel:
             return self._anc[self.comp_of[v]].label(v)
 
-        self.build_phase_s["forest"] = time.perf_counter() - _t0
-        _t0 = time.perf_counter()
+        _timer.split("forest")
         uid_scheme = UidScheme(derive_seed(seed, "uid"))
         # The stitched (tin, tout) arrays let the batch EID packer gather
         # DFS timestamps with numpy indexing instead of per-vertex
@@ -576,8 +577,7 @@ class SketchConnectivityScheme:
         else:
             self._eid_words = None
             self._eid_ints = [eids.eid(ei) for ei in range(graph.m)]
-        self.build_phase_s["eids"] = time.perf_counter() - _t0
-        _t0 = time.perf_counter()
+        _timer.split("eids")
         levels = max(1, math.ceil(math.log2(max(graph.m, 2)))) + 1
         n_units = units if units is not None else default_units(graph.n)
         words = max(1, (eids.total_bits + 63) // 64)
@@ -673,7 +673,7 @@ class SketchConnectivityScheme:
                         if p >= 0:
                             arr[p] ^= arr[v]
                 self._agg.append(arr)
-        self.build_phase_s["sketches"] = time.perf_counter() - _t0
+        _timer.split("sketches")
 
     def _build_prefix_stores(
         self,

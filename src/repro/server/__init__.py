@@ -17,7 +17,12 @@ supports zero-downtime blue/green snapshot reload.
 See ``src/repro/server/README.md`` for the serving trace.
 """
 
-from repro.server.client import AsyncQueryClient, QueryClient, ServerError
+from repro.server.client import (
+    AsyncQueryClient,
+    QueryClient,
+    ServerError,
+    StatsReport,
+)
 from repro.server.protocol import (
     ErrorCode,
     Frame,
@@ -47,6 +52,7 @@ __all__ = [
     "ServerError",
     "ServerStats",
     "ShardLostError",
+    "StatsReport",
     "encode_frame",
     "run_server",
 ]

@@ -55,6 +55,66 @@ class ServerError(RuntimeError):
         self.message = message
 
 
+class StatsReport(dict):
+    """A ``STATS_REPLY`` payload with typed accessors.
+
+    Still a plain dict (``report["server"]["frames"]`` keeps working),
+    plus named views over the uniform registry dump the server now
+    returns: per-shard queue depth, cache hit rate, latency histogram
+    percentiles, the slow-query log, and a Prometheus text rendering.
+    """
+
+    @property
+    def kind(self) -> Optional[str]:
+        return self.get("kind")
+
+    @property
+    def version(self) -> Optional[int]:
+        return self.get("version")
+
+    @property
+    def metrics(self) -> dict:
+        """The merged registry dump (counters/gauges/histograms)."""
+        return self.get("metrics") or {}
+
+    @property
+    def counters(self) -> dict:
+        return self.metrics.get("counters") or {}
+
+    @property
+    def gauges(self) -> dict:
+        return self.metrics.get("gauges") or {}
+
+    @property
+    def histograms(self) -> dict:
+        return self.metrics.get("histograms") or {}
+
+    @property
+    def queue_depth(self) -> list:
+        """Chunks in flight per shard at snapshot time."""
+        return (self.get("service") or {}).get("queue_depth") or []
+
+    @property
+    def cache_hit_rate(self) -> float:
+        cache = (self.get("service") or {}).get("cache") or {}
+        return float(cache.get("hit_rate", 0.0))
+
+    @property
+    def slow_queries(self) -> list:
+        """Recorded slow-query traces (span timelines), oldest first."""
+        return (self.get("slow_queries") or {}).get("entries") or []
+
+    def histogram(self, name: str) -> Optional[dict]:
+        """One histogram's summary+buckets (``None`` if not recorded)."""
+        return self.histograms.get(name)
+
+    def prometheus(self, prefix: str = "repro") -> str:
+        """The registry dump in Prometheus text exposition format."""
+        from repro.obs import render_prometheus
+
+        return render_prometheus(self.metrics, prefix=prefix)
+
+
 def _raise_if_error(frame: Frame) -> Frame:
     if frame.type is FrameType.ERROR:
         code, message = frame.payload
@@ -82,7 +142,7 @@ def _decode_reply(request_type: FrameType, frame: Frame):
     if request_type is FrameType.ROUTE:
         return [wire_to_route_result(ans) for ans in frame.payload]
     if request_type is FrameType.STATS:
-        return json.loads(frame.payload)
+        return StatsReport(json.loads(frame.payload))
     return frame.payload  # PONG: generation version; RELOAD_REPLY tuple
 
 
@@ -105,6 +165,8 @@ class QueryClient:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._decoder = FrameDecoder()
         self._ids = itertools.count(1)
+        #: trace id echoed on the last reply (None for untraced requests)
+        self.last_trace_id: Optional[int] = None
 
     def close(self) -> None:
         try:
@@ -118,12 +180,17 @@ class QueryClient:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def _roundtrip(self, ftype: FrameType, payload):
+    def _roundtrip(
+        self, ftype: FrameType, payload, trace_id: Optional[int] = None
+    ):
         request_id = next(self._ids)
-        self._sock.sendall(encode_frame(ftype, request_id, payload))
+        self._sock.sendall(
+            encode_frame(ftype, request_id, payload, trace_id=trace_id)
+        )
         while True:
             for frame in self._decoder.frames():
                 if frame.request_id == request_id:
+                    self.last_trace_id = frame.trace_id
                     return _decode_reply(ftype, _raise_if_error(frame))
                 # stale reply of an abandoned request: drop it
             data = self._sock.recv(64 * 1024)
@@ -137,10 +204,20 @@ class QueryClient:
         pairs: Sequence[tuple[int, int]],
         faults: Iterable[int] = (),
         want_path: bool = True,
+        trace_id: Optional[int] = None,
     ) -> list:
-        """Batched connectivity answers (``SkDecodeResult`` or bools)."""
+        """Batched connectivity answers (``SkDecodeResult`` or bools).
+
+        ``trace_id`` (mint one with :func:`repro.obs.mint_trace_id`)
+        rides the wire's optional trace field: the server records a
+        span timeline under that id (see its slow-query log) and echoes
+        it on the reply (:attr:`last_trace_id`).  Answers are identical
+        with or without it.
+        """
         return self._roundtrip(
-            FrameType.CONNECTIVITY, _conn_payload(pairs, faults, want_path)
+            FrameType.CONNECTIVITY,
+            _conn_payload(pairs, faults, want_path),
+            trace_id=trace_id,
         )
 
     def connected(self, s: int, t: int, faults: Iterable[int] = ()) -> bool:
@@ -148,22 +225,33 @@ class QueryClient:
         return ans if isinstance(ans, bool) else ans.connected
 
     def distance(
-        self, pairs: Sequence[tuple[int, int]], faults: Iterable[int] = ()
+        self,
+        pairs: Sequence[tuple[int, int]],
+        faults: Iterable[int] = (),
+        trace_id: Optional[int] = None,
     ) -> list[float]:
-        return self._roundtrip(FrameType.DISTANCE, _pair_payload(pairs, faults))
+        return self._roundtrip(
+            FrameType.DISTANCE, _pair_payload(pairs, faults), trace_id=trace_id
+        )
 
     def route(
-        self, pairs: Sequence[tuple[int, int]], faults: Iterable[int] = ()
+        self,
+        pairs: Sequence[tuple[int, int]],
+        faults: Iterable[int] = (),
+        trace_id: Optional[int] = None,
     ) -> list:
         """Batched :class:`~repro.routing.network.RouteResult` answers."""
-        return self._roundtrip(FrameType.ROUTE, _pair_payload(pairs, faults))
+        return self._roundtrip(
+            FrameType.ROUTE, _pair_payload(pairs, faults), trace_id=trace_id
+        )
 
     # -- admin ---------------------------------------------------------
     def ping(self) -> int:
         """Round trip; returns the server's current generation version."""
         return self._roundtrip(FrameType.PING, None)
 
-    def stats(self) -> dict:
+    def stats(self) -> StatsReport:
+        """The server's stats plane as a typed :class:`StatsReport`."""
         return self._roundtrip(FrameType.STATS, None)
 
     def reload(self, path: Optional[str] = None) -> tuple:
@@ -181,6 +269,8 @@ class AsyncQueryClient:
         self._pending: dict[int, asyncio.Future] = {}
         self._reader_task: Optional[asyncio.Task] = None
         self._write_lock: Optional[asyncio.Lock] = None
+        #: trace id echoed on the last reply (None for untraced requests)
+        self.last_trace_id: Optional[int] = None
 
     @classmethod
     async def connect(cls, host: str, port: int) -> "AsyncQueryClient":
@@ -241,17 +331,22 @@ class AsyncQueryClient:
         except Exception as exc:
             self._fail_pending(exc)
 
-    async def _roundtrip(self, ftype: FrameType, payload):
+    async def _roundtrip(
+        self, ftype: FrameType, payload, trace_id: Optional[int] = None
+    ):
         request_id = next(self._ids)
         future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
         try:
             async with self._write_lock:
-                self._writer.write(encode_frame(ftype, request_id, payload))
+                self._writer.write(
+                    encode_frame(ftype, request_id, payload, trace_id=trace_id)
+                )
                 await self._writer.drain()
             frame = await future
         finally:
             self._pending.pop(request_id, None)
+        self.last_trace_id = frame.trace_id
         return _decode_reply(ftype, _raise_if_error(frame))
 
     # -- queries -------------------------------------------------------
@@ -260,32 +355,44 @@ class AsyncQueryClient:
         pairs: Sequence[tuple[int, int]],
         faults: Iterable[int] = (),
         want_path: bool = True,
+        trace_id: Optional[int] = None,
     ) -> list:
         return await self._roundtrip(
-            FrameType.CONNECTIVITY, _conn_payload(pairs, faults, want_path)
+            FrameType.CONNECTIVITY,
+            _conn_payload(pairs, faults, want_path),
+            trace_id=trace_id,
         )
 
     async def distance(
-        self, pairs: Sequence[tuple[int, int]], faults: Iterable[int] = ()
+        self,
+        pairs: Sequence[tuple[int, int]],
+        faults: Iterable[int] = (),
+        trace_id: Optional[int] = None,
     ) -> list[float]:
         return await self._roundtrip(
-            FrameType.DISTANCE, _pair_payload(pairs, faults)
+            FrameType.DISTANCE, _pair_payload(pairs, faults), trace_id=trace_id
         )
 
     async def route(
-        self, pairs: Sequence[tuple[int, int]], faults: Iterable[int] = ()
+        self,
+        pairs: Sequence[tuple[int, int]],
+        faults: Iterable[int] = (),
+        trace_id: Optional[int] = None,
     ) -> list:
-        return await self._roundtrip(FrameType.ROUTE, _pair_payload(pairs, faults))
+        return await self._roundtrip(
+            FrameType.ROUTE, _pair_payload(pairs, faults), trace_id=trace_id
+        )
 
     # -- admin ---------------------------------------------------------
     async def ping(self) -> int:
         return await self._roundtrip(FrameType.PING, None)
 
-    async def stats(self) -> dict:
+    async def stats(self) -> StatsReport:
+        """The server's stats plane as a typed :class:`StatsReport`."""
         return await self._roundtrip(FrameType.STATS, None)
 
     async def reload(self, path: Optional[str] = None) -> tuple:
         return await self._roundtrip(FrameType.RELOAD, path)
 
 
-__all__ = ["AsyncQueryClient", "QueryClient", "ServerError"]
+__all__ = ["AsyncQueryClient", "QueryClient", "ServerError", "StatsReport"]

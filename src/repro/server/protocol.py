@@ -5,7 +5,7 @@ A decoder that holds nothing but labels only deserves the word
 *scheme* when it answers over a wire, so the protocol is deliberately
 small and fully self-describing:
 
-``frame = header(16 bytes) | payload``::
+``frame = header(16 bytes) | [trace_id(8 bytes)] | payload``::
 
     !2s B  B    Q          I
     magic ver  type  request_id  payload_len
@@ -13,7 +13,12 @@ small and fully self-describing:
 * ``magic`` is ``b"DP"`` (Dory–Parter); ``ver`` is
   :data:`PROTOCOL_VERSION` — a reader rejects anything else before
   touching the payload;
-* ``type`` is a :class:`FrameType`;
+* ``type`` is a :class:`FrameType` in the low 7 bits; the high bit is
+  :data:`FLAG_TRACED` — when set, an 8-byte big-endian trace id
+  follows the header (before the payload) for request correlation
+  across the serving tier.  Frames without the flag are byte-identical
+  to the original version-1 encoding, so old clients and old servers
+  are unaffected;
 * ``request_id`` is chosen by the client and echoed verbatim on the
   response (responses may complete out of order);
 * ``payload_len`` is bounded by :data:`MAX_PAYLOAD`; oversized frames
@@ -59,6 +64,14 @@ MAX_PAYLOAD = 8 * 1024 * 1024
 _HEADER = struct.Struct("!2sBBQI")
 HEADER_SIZE = _HEADER.size
 
+#: High bit of the ``type`` header byte: an 8-byte trace id follows
+#: the header.  Flag-clear frames are byte-identical to pre-tracing
+#: version-1 frames.
+FLAG_TRACED = 0x80
+_TYPE_MASK = 0x7F
+_TRACE_ID = struct.Struct("!Q")
+TRACE_ID_SIZE = _TRACE_ID.size
+
 
 class ProtocolError(ValueError):
     """A malformed frame or value tree (the connection must be dropped)."""
@@ -95,11 +108,18 @@ class ErrorCode(IntEnum):
 
 @dataclass(frozen=True)
 class Frame:
-    """One decoded frame."""
+    """One decoded frame.
+
+    ``trace_id`` is ``None`` unless the frame carried the
+    :data:`FLAG_TRACED` header field; servers echo a request's trace id
+    on the reply, so a client can correlate answers with the server's
+    slow-query log.
+    """
 
     type: FrameType
     request_id: int
     payload: object
+    trace_id: Optional[int] = None
 
 
 # ----------------------------------------------------------------------
@@ -250,14 +270,31 @@ def decode_value(data: bytes):
 # ----------------------------------------------------------------------
 # Frames
 # ----------------------------------------------------------------------
-def encode_frame(ftype: FrameType, request_id: int, payload=None) -> bytes:
-    """One complete wire frame."""
+def encode_frame(
+    ftype: FrameType,
+    request_id: int,
+    payload=None,
+    trace_id: Optional[int] = None,
+) -> bytes:
+    """One complete wire frame.
+
+    With ``trace_id`` set, :data:`FLAG_TRACED` is raised on the type
+    byte and the 8-byte id is written between header and payload;
+    without it the bytes are identical to the pre-tracing encoding.
+    """
     raw = encode_value(payload)
     if len(raw) > MAX_PAYLOAD:
         raise ProtocolError("payload exceeds MAX_PAYLOAD")
+    type_byte = int(ftype)
+    extra = b""
+    if trace_id is not None:
+        if not 0 < trace_id < 1 << 64:
+            raise ProtocolError("trace id must fit an unsigned 64-bit field")
+        type_byte |= FLAG_TRACED
+        extra = _TRACE_ID.pack(trace_id)
     return _HEADER.pack(
-        MAGIC, PROTOCOL_VERSION, int(ftype), request_id, len(raw)
-    ) + raw
+        MAGIC, PROTOCOL_VERSION, type_byte, request_id, len(raw)
+    ) + extra + raw
 
 
 class FrameDecoder:
@@ -298,21 +335,32 @@ class FrameDecoder:
             if length > MAX_PAYLOAD:
                 self._poisoned = True
                 raise ProtocolError(f"payload of {length} bytes exceeds bound")
+            traced = bool(ftype & FLAG_TRACED)
             try:
-                ftype = FrameType(ftype)
+                ftype = FrameType(ftype & _TYPE_MASK)
             except ValueError:
                 self._poisoned = True
-                raise ProtocolError(f"unknown frame type {ftype}") from None
-            if len(self._buf) < HEADER_SIZE + length:
+                raise ProtocolError(
+                    f"unknown frame type {ftype & _TYPE_MASK}"
+                ) from None
+            extra = TRACE_ID_SIZE if traced else 0
+            if len(self._buf) < HEADER_SIZE + extra + length:
                 return  # wait for more bytes
-            raw = bytes(self._buf[HEADER_SIZE : HEADER_SIZE + length])
-            del self._buf[: HEADER_SIZE + length]
+            trace_id = None
+            if traced:
+                (trace_id,) = _TRACE_ID.unpack_from(self._buf, HEADER_SIZE)
+                if trace_id == 0:
+                    self._poisoned = True
+                    raise ProtocolError("traced frame with zero trace id")
+            start = HEADER_SIZE + extra
+            raw = bytes(self._buf[start : start + length])
+            del self._buf[: start + length]
             try:
                 payload = decode_value(raw)
             except ProtocolError:
                 self._poisoned = True
                 raise
-            yield Frame(ftype, request_id, payload)
+            yield Frame(ftype, request_id, payload, trace_id)
 
 
 # ----------------------------------------------------------------------
@@ -459,10 +507,12 @@ def wire_to_route_result(value) -> RouteResult:
 
 __all__ = [
     "ErrorCode",
+    "FLAG_TRACED",
     "Frame",
     "FrameDecoder",
     "FrameType",
     "HEADER_SIZE",
+    "TRACE_ID_SIZE",
     "MAGIC",
     "MAX_PAYLOAD",
     "PROTOCOL_VERSION",

@@ -54,6 +54,7 @@ from functools import partial
 from typing import Optional
 
 from repro.core.sketch_scheme import SkDecodeResult
+from repro.obs import MetricsRegistry, SlowQueryLog, Trace
 from repro.serving.coalescer import AsyncQueryCoalescer
 from repro.serving.shards import ShardedQueryService
 from repro.server.protocol import (
@@ -235,6 +236,9 @@ class LabelServer:
         chunk_timeout: Optional[float] = None,
         hot_key_share: Optional[float] = 0.5,
         install_sighup: bool = False,
+        metrics: bool = True,
+        slow_threshold_s: float = 0.050,
+        slow_log_capacity: int = 64,
     ):
         if (backend is None) == (snapshot is None):
             raise ValueError("need exactly one of backend= or snapshot=")
@@ -257,6 +261,18 @@ class LabelServer:
         self.hot_key_share = hot_key_share
         self.install_sighup = install_sighup
         self.stats = ServerStats()
+        #: registry for the front door's own metrics; shard-worker and
+        #: service registries are merged in at STATS time.  ``metrics=
+        #: False`` turns every instrument into a shared no-op (the
+        #: metrics-off arm of ``benchmarks/bench_obs.py``).
+        self.metrics_enabled = metrics
+        self.obs = MetricsRegistry(enabled=metrics)
+        #: every request is traced server-side (spans are a handful of
+        #: tuple appends); traces crossing ``slow_threshold_s`` land
+        #: here and are dumped through the STATS admin frame.
+        self.slow_log = SlowQueryLog(
+            capacity=slow_log_capacity, threshold_s=slow_threshold_s
+        )
         self._gen: Optional[_Generation] = None
         self._versions = 0
         self._server: Optional[asyncio.base_events.Server] = None
@@ -295,6 +311,7 @@ class LabelServer:
                 mp_context=self.mp_context,
                 hot_key_share=self.hot_key_share,
                 chunk_timeout=self.chunk_timeout,
+                metrics=self.metrics_enabled,
             )
             return _Generation(version, kind, None, service, None, n, m)
         from repro.store import load_snapshot, snapshot_info
@@ -315,6 +332,7 @@ class LabelServer:
             max_chunk=self.max_chunk,
             hot_key_share=self.hot_key_share,
             chunk_timeout=self.chunk_timeout,
+            metrics=self.metrics_enabled,
         )
         return _Generation(version, kind, path, service, None, n, m)
 
@@ -415,6 +433,7 @@ class LabelServer:
             self._gen = new  # the swap: atomic on the loop thread
             self._snapshot_path = path
             self.stats.reloads += 1
+            self.obs.counter("server.reloads").inc()
             await old.drain()
             await old.aclose()
             return old.version, new.version, new.kind
@@ -433,30 +452,49 @@ class LabelServer:
     # ------------------------------------------------------------------
     # Query dispatch
     # ------------------------------------------------------------------
-    async def _service_chunk(self, gen: _Generation, pairs, faults, kw) -> list:
-        """One coalesced chunk through the generation's shard service."""
+    async def _service_chunk(
+        self, gen: _Generation, pairs, faults, kw, trace: Optional[Trace] = None
+    ) -> list:
+        """One coalesced chunk through the generation's shard service.
+
+        With a ``trace``, the chunk's shard window becomes a ``shard``
+        span and the worker-reported decode time a ``partition`` span
+        (placed at the window's tail: queue wait first, then the
+        build).  Coalesced singles get these spans from the coalescer
+        instead — their chunk is shared, so per-request attribution
+        happens where the request is still individual.
+        """
         service = gen.service
         if service._pools is None:
             # Local mode: numpy work on the (single) blocking thread.
-            return await asyncio.get_running_loop().run_in_executor(
+            t0 = time.perf_counter()
+            answers = await asyncio.get_running_loop().run_in_executor(
                 self._blocking,
                 partial(service.query_many, pairs, faults, **kw),
             )
+            if trace is not None:
+                trace.add_span("shard", t0, time.perf_counter() - t0)
+            return answers
         loop = asyncio.get_running_loop()
         future = loop.create_future()
 
-        def _ok(answers, _loop=loop, _future=future):
-            _loop.call_soon_threadsafe(self._settle_future, _future, answers, None)
+        def _ok(answers, meta, _loop=loop, _future=future):
+            _loop.call_soon_threadsafe(
+                self._settle_future, _future, (answers, meta), None
+            )
 
         def _err(exc, _loop=loop, _future=future):
             _loop.call_soon_threadsafe(self._settle_future, _future, None, exc)
 
+        t0 = time.perf_counter()
         shard = service.start_chunk(
             pairs, faults, kw, callback=_ok, error_callback=_err
         )
         epoch = service.shard_epoch(shard)
         try:
-            return await asyncio.wait_for(future, timeout=self.chunk_timeout)
+            answers, meta = await asyncio.wait_for(
+                future, timeout=self.chunk_timeout
+            )
         except asyncio.TimeoutError:
             # Presume the worker dead and heal deterministically: the
             # first timeout of this pool generation replaces the whole
@@ -466,6 +504,16 @@ class LabelServer:
             raise ShardLostError(
                 f"shard {shard} did not answer within {self.chunk_timeout}s"
             ) from None
+        if trace is not None:
+            dur = time.perf_counter() - t0
+            trace.add_span("shard", t0, dur)
+            worker_s = meta.get("worker_s")
+            if worker_s is not None:
+                trace.add_span(
+                    "partition", t0 + max(0.0, dur - worker_s), worker_s
+                )
+            trace.meta.setdefault("shards", []).append(shard)
+        return answers
 
     @staticmethod
     def _settle_future(future: asyncio.Future, answers, exc) -> None:
@@ -485,25 +533,36 @@ class LabelServer:
                 return await self._service_chunk(_gen, pairs, faults, _kw)
 
             coalescer = AsyncQueryCoalescer(
-                backend, max_chunk=self.max_chunk, max_delay=self.max_delay
+                backend,
+                max_chunk=self.max_chunk,
+                max_delay=self.max_delay,
+                chunk_hist=self.obs.histogram("server.coalesce_chunk_size"),
             )
             gen.coalescers[key] = coalescer
         return coalescer
 
     async def _query_via_service(
-        self, gen: _Generation, pairs, faults, kw: dict
+        self, gen: _Generation, pairs, faults, kw: dict,
+        trace: Optional[Trace] = None,
     ) -> list:
         if len(pairs) == 1:
             # Singles coalesce across connections: concurrent clients
             # asking about one fault set share a partition decode.
             s, t = pairs[0]
-            return [await self._coalescer_for(gen, kw).query(s, t, faults)]
+            return [
+                await self._coalescer_for(gen, kw).query(
+                    s, t, faults, trace=trace
+                )
+            ]
         chunks = [
             pairs[lo : lo + self.max_chunk]
             for lo in range(0, len(pairs), self.max_chunk)
         ]
         answers = await asyncio.gather(
-            *(self._service_chunk(gen, chunk, faults, kw) for chunk in chunks)
+            *(
+                self._service_chunk(gen, chunk, faults, kw, trace=trace)
+                for chunk in chunks
+            )
         )
         return [ans for chunk_answers in answers for ans in chunk_answers]
 
@@ -524,7 +583,9 @@ class LabelServer:
     # ------------------------------------------------------------------
     # Frame serving
     # ------------------------------------------------------------------
-    async def _answer(self, frame: Frame) -> tuple[FrameType, object]:
+    async def _answer(
+        self, frame: Frame, trace: Optional[Trace] = None
+    ) -> tuple[FrameType, object]:
         gen = self.generation
         if frame.type is FrameType.PING:
             return FrameType.PONG, gen.version
@@ -563,7 +624,10 @@ class LabelServer:
             self._validate(gen, pairs, faults)
             kw = {} if want_path is None else {"want_path": want_path}
             self.stats.queries += len(pairs)
-            answers = await self._query_via_service(gen, pairs, faults, kw)
+            self.obs.counter("server.queries_total").inc(len(pairs))
+            answers = await self._query_via_service(
+                gen, pairs, faults, kw, trace=trace
+            )
             if frame.type is FrameType.CONNECTIVITY:
                 wire = [
                     sk_result_to_wire(a) if isinstance(a, SkDecodeResult)
@@ -587,10 +651,14 @@ class LabelServer:
                 )
             self._validate(gen, pairs, faults)
             self.stats.queries += len(pairs)
+            self.obs.counter("server.queries_total").inc(len(pairs))
+            t0 = time.perf_counter()
             results = await asyncio.get_running_loop().run_in_executor(
                 self._blocking,
                 partial(gen.router.route_many, pairs, faults),
             )
+            if trace is not None:
+                trace.add_span("shard", t0, time.perf_counter() - t0)
             return FrameType.ROUTE_REPLY, [
                 route_result_to_wire(r) for r in results
             ]
@@ -604,13 +672,20 @@ class LabelServer:
             "num_shards": self.num_shards,
             "n": gen.n,
             "m": gen.m,
+            "metrics_enabled": self.metrics_enabled,
             "server": self.stats.snapshot(),
         }
+        service_wire = None
         if gen.service is not None:
-            # ``stats()`` round-trips every pool worker — blocking, so
-            # off the loop (and bounded by the caller's deadline).
-            service_stats = await asyncio.get_running_loop().run_in_executor(
-                self._blocking, gen.service.stats
+            # ``stats_bundle()`` round-trips every pool worker once —
+            # blocking, so off the loop (and bounded by the caller's
+            # deadline) — returning both the legacy counters and the
+            # uniform registry dump (queue depth, per-shard cache
+            # hit rates, exact-merged worker histograms).
+            service_stats, service_wire = (
+                await asyncio.get_running_loop().run_in_executor(
+                    self._blocking, gen.service.stats_bundle
+                )
             )
             payload["service"] = service_stats.snapshot()
         coalesced = {}
@@ -618,9 +693,19 @@ class LabelServer:
             coalesced[repr(dict(key))] = {
                 "chunks": coalescer.stats.chunks,
                 "queries": coalescer.stats.queries,
+                "max_chunk": coalescer.stats.max_chunk,
                 "mean_chunk": round(coalescer.stats.mean_chunk, 2),
             }
         payload["coalescers"] = coalesced
+        # One uniform registry dump: front-door metrics + the service's
+        # (worker registries merged exactly — same bucket family).
+        merged = MetricsRegistry(enabled=self.metrics_enabled)
+        if self.metrics_enabled:
+            merged.merge_wire(self.obs.to_wire())
+            if service_wire is not None:
+                merged.merge_wire(service_wire)
+        payload["metrics"] = merged.snapshot()
+        payload["slow_queries"] = self.slow_log.snapshot()
         return json.dumps(payload, sort_keys=True)
 
     async def _serve_frame(
@@ -629,9 +714,13 @@ class LabelServer:
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
         sem: asyncio.Semaphore,
+        trace: Trace,
     ) -> None:
         gen = self.generation.acquire()
         held = True
+        # Replies echo the trace id only when the request carried one;
+        # untraced clients see byte-identical pre-tracing frames.
+        echo = frame.trace_id
         try:
             try:
                 # RELOAD manages its own (much longer) timeline; every
@@ -641,65 +730,79 @@ class LabelServer:
                     # very frame holds on it would deadlock that drain.
                     gen.release()
                     held = False
-                    ftype, payload = await self._answer(frame)
+                    ftype, payload = await self._answer(frame, trace)
                 else:
                     ftype, payload = await asyncio.wait_for(
-                        self._answer(frame), timeout=self.deadline_s
+                        self._answer(frame, trace), timeout=self.deadline_s
                     )
-                await self._send(writer, write_lock, ftype, frame.request_id, payload)
+                with trace.span("send"):
+                    await self._send(
+                        writer, write_lock, ftype, frame.request_id, payload,
+                        trace_id=echo,
+                    )
             except asyncio.CancelledError:
                 raise
             except ShardLostError as exc:
                 await self._send_error(
                     writer, write_lock, frame.request_id,
-                    ErrorCode.SHARD_LOST, str(exc),
+                    ErrorCode.SHARD_LOST, str(exc), trace_id=echo,
                 )
             except asyncio.TimeoutError:
                 await self._send_error(
                     writer, write_lock, frame.request_id, ErrorCode.DEADLINE,
                     f"request missed the {self.deadline_s}s deadline",
+                    trace_id=echo,
                 )
             except _Unsupported as exc:
                 await self._send_error(
                     writer, write_lock, frame.request_id,
-                    ErrorCode.UNSUPPORTED, str(exc),
+                    ErrorCode.UNSUPPORTED, str(exc), trace_id=echo,
                 )
             except BadQueryError as exc:
                 await self._send_error(
                     writer, write_lock, frame.request_id,
-                    ErrorCode.BAD_QUERY, str(exc),
+                    ErrorCode.BAD_QUERY, str(exc), trace_id=echo,
                 )
             except ProtocolError as exc:
                 await self._send_error(
                     writer, write_lock, frame.request_id,
-                    ErrorCode.BAD_FRAME, str(exc),
+                    ErrorCode.BAD_FRAME, str(exc), trace_id=echo,
                 )
             except Exception as exc:
                 await self._send_error(
                     writer, write_lock, frame.request_id,
                     ErrorCode.INTERNAL, f"{type(exc).__name__}: {exc}",
+                    trace_id=echo,
                 )
         finally:
             if held:
                 gen.release()
             sem.release()
+            trace.finish()
+            self.obs.histogram("server.request_seconds").observe(trace.total_s)
+            self.slow_log.record(
+                trace, request_id=frame.request_id, frame=frame.type.name
+            )
 
     async def _send(
-        self, writer, write_lock, ftype: FrameType, request_id: int, payload
+        self, writer, write_lock, ftype: FrameType, request_id: int, payload,
+        trace_id: Optional[int] = None,
     ) -> None:
-        data = encode_frame(ftype, request_id, payload)
+        data = encode_frame(ftype, request_id, payload, trace_id=trace_id)
         with contextlib.suppress(ConnectionError, RuntimeError):
             async with write_lock:
                 writer.write(data)
                 await writer.drain()
 
     async def _send_error(
-        self, writer, write_lock, request_id: int, code: ErrorCode, message: str
+        self, writer, write_lock, request_id: int, code: ErrorCode,
+        message: str, trace_id: Optional[int] = None,
     ) -> None:
         self.stats.count_error(code)
+        self.obs.counter(f"server.errors.{code.name}").inc()
         await self._send(
             writer, write_lock, FrameType.ERROR, request_id,
-            (int(code), message),
+            (int(code), message), trace_id=trace_id,
         )
 
     # ------------------------------------------------------------------
@@ -712,6 +815,8 @@ class LabelServer:
         self._conn_tasks.add(task)
         self.stats.connections_total += 1
         self.stats.connections_open += 1
+        self.obs.counter("server.connections_total").inc()
+        self.obs.gauge("server.connections_open").inc()
         decoder = FrameDecoder()
         write_lock = asyncio.Lock()
         sem = asyncio.Semaphore(self.max_inflight)
@@ -721,22 +826,34 @@ class LabelServer:
                 data = await reader.read(64 * 1024)
                 if not data:
                     break
+                t_dec = time.perf_counter()
                 try:
                     decoder.feed(data)
                     frames = list(decoder.frames())
                 except ProtocolError as exc:
                     self.stats.protocol_errors += 1
+                    self.obs.counter("server.protocol_errors").inc()
                     await self._send_error(
                         writer, write_lock, 0, ErrorCode.BAD_FRAME, str(exc)
                     )
                     break  # the stream is garbage: close the connection
+                dec_dur = time.perf_counter() - t_dec
                 for frame in frames:
                     self.stats.frames += 1
+                    self.obs.counter("server.frames_total").inc()
+                    # Every request gets a trace: the client's id when
+                    # the frame carried one, a freshly minted one
+                    # otherwise (so the slow-query log covers untraced
+                    # clients too).  Birth is backdated to the read so
+                    # the decode span sits at offset zero.
+                    trace = Trace(frame.trace_id)
+                    trace.t0 = t_dec
+                    trace.add_span("decode", t_dec, dec_dur)
                     # Backpressure: stop consuming frames while
                     # max_inflight requests are unanswered.
                     await sem.acquire()
                     req = asyncio.ensure_future(
-                        self._serve_frame(frame, writer, write_lock, sem)
+                        self._serve_frame(frame, writer, write_lock, sem, trace)
                     )
                     inflight.add(req)
                     req.add_done_callback(inflight.discard)
@@ -756,6 +873,7 @@ class LabelServer:
             if inflight:
                 await asyncio.gather(*inflight, return_exceptions=True)
             self.stats.connections_open -= 1
+            self.obs.gauge("server.connections_open").dec()
             try:
                 with contextlib.suppress(ConnectionError):
                     writer.close()

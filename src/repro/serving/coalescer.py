@@ -83,10 +83,17 @@ class ChunkStats:
 
 @dataclass
 class _Group:
-    """Pending queries of one canonical fault set."""
+    """Pending queries of one canonical fault set.
+
+    ``traces`` holds one ``(trace, enqueue_perf_counter)`` entry per
+    pair **when any waiter is traced** (``None`` entries for untraced
+    waiters keep the lists index-aligned); it stays empty otherwise so
+    the untraced hot path allocates nothing extra.
+    """
 
     pairs: list = field(default_factory=list)
     tickets: list = field(default_factory=list)
+    traces: list = field(default_factory=list)
     born: float = 0.0
 
 
@@ -202,6 +209,7 @@ class AsyncQueryCoalescer:
         backend: Backend,
         max_chunk: int = 512,
         max_delay: float = 0.002,
+        chunk_hist=None,
     ):
         if max_chunk < 1:
             raise ValueError("max_chunk must be >= 1")
@@ -210,6 +218,8 @@ class AsyncQueryCoalescer:
         self.max_chunk = max_chunk
         self.max_delay = max_delay
         self.stats = ChunkStats()
+        #: optional obs histogram observing dispatched chunk sizes
+        self.chunk_hist = chunk_hist
         self._groups: dict[FaultKey, _Group] = {}
         self._timers: dict[FaultKey, asyncio.TimerHandle] = {}
         self._inflight: set = set()  # async-backend dispatch tasks
@@ -218,8 +228,16 @@ class AsyncQueryCoalescer:
     def pending(self) -> int:
         return sum(len(g.pairs) for g in self._groups.values())
 
-    async def query(self, s: int, t: int, faults: Iterable[int] = ()):
-        """One query; resolves when its chunk is dispatched."""
+    async def query(
+        self, s: int, t: int, faults: Iterable[int] = (), trace=None
+    ):
+        """One query; resolves when its chunk is dispatched.
+
+        ``trace`` (a :class:`repro.obs.Trace`) makes the waiter record
+        a ``coalesce`` span (enqueue -> dispatch) and a ``shard`` span
+        (backend duration) on its timeline; answers are identical with
+        or without it.
+        """
         loop = asyncio.get_running_loop()
         key = canonical_fault_key(faults)
         group = self._groups.get(key)
@@ -231,6 +249,14 @@ class AsyncQueryCoalescer:
         future = loop.create_future()
         group.pairs.append((s, t))
         group.tickets.append(future)
+        if trace is not None or group.traces:
+            # lazily backfill: the traces list only materializes once a
+            # traced waiter joins, then stays index-aligned with pairs.
+            while len(group.traces) < len(group.pairs) - 1:
+                group.traces.append(None)
+            group.traces.append(
+                None if trace is None else (trace, time.perf_counter())
+            )
         if len(group.pairs) >= self.max_chunk:
             self._dispatch_key(key)
         try:
@@ -257,6 +283,8 @@ class AsyncQueryCoalescer:
             return
         del group.tickets[idx]
         del group.pairs[idx]
+        if group.traces:
+            del group.traces[idx]
         if not group.pairs:
             del self._groups[key]
             timer = self._timers.pop(key, None)
@@ -289,9 +317,32 @@ class AsyncQueryCoalescer:
                 future.set_result(ans)
         return True
 
+    @staticmethod
+    def _trace_coalesce(group: _Group, t_disp: float) -> None:
+        """``coalesce`` span (enqueue -> dispatch) for traced waiters."""
+        for entry in group.traces:
+            if entry is not None:
+                trace, t_enq = entry
+                trace.add_span("coalesce", t_enq, t_disp - t_enq)
+
+    @staticmethod
+    def _trace_shard(group: _Group, t_disp: float, dur: float) -> None:
+        """``shard`` span (backend duration) for traced waiters."""
+        for entry in group.traces:
+            if entry is not None:
+                entry[0].add_span("shard", t_disp, dur)
+
+    def _record(self, size: int) -> None:
+        self.stats.record(size)
+        if self.chunk_hist is not None:
+            self.chunk_hist.observe(size)
+
     async def _dispatch_async(self, group: _Group, key: FaultKey) -> None:
         """Await an async backend for one group (own task: a cancelled
         waiter never cancels the batch)."""
+        t_disp = time.perf_counter()
+        if group.traces:
+            self._trace_coalesce(group, t_disp)
         try:
             answers = await self.backend(group.pairs, list(key))
         except asyncio.CancelledError:  # loop teardown: fail the waiters
@@ -300,8 +351,10 @@ class AsyncQueryCoalescer:
         except Exception as exc:
             self._settle(group, None, exc)
             return
+        if group.traces:
+            self._trace_shard(group, t_disp, time.perf_counter() - t_disp)
         if self._settle(group, answers, None):
-            self.stats.record(len(group.pairs))
+            self._record(len(group.pairs))
 
     def _dispatch_key(self, key: FaultKey) -> None:
         group = self._groups.pop(key, None)
@@ -317,10 +370,15 @@ class AsyncQueryCoalescer:
             self._inflight.add(task)
             task.add_done_callback(self._inflight.discard)
             return
+        t_disp = time.perf_counter()
+        if group.traces:
+            self._trace_coalesce(group, t_disp)
         try:
             answers = self.backend(group.pairs, list(key))
         except Exception as exc:  # propagate to every waiter
             self._settle(group, None, exc)
             return
+        if group.traces:
+            self._trace_shard(group, t_disp, time.perf_counter() - t_disp)
         if self._settle(group, answers, None):
-            self.stats.record(len(group.pairs))
+            self._record(len(group.pairs))

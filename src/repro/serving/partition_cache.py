@@ -28,9 +28,10 @@ order.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.core._batch import normalize_faults
 
@@ -124,13 +125,26 @@ class PartitionCache:
     union-find and the recorded merges — not a sketch tensor).
     """
 
-    def __init__(self, scheme, capacity: int = 128, canonicalize: bool = True):
+    def __init__(
+        self,
+        scheme,
+        capacity: int = 128,
+        canonicalize: bool = True,
+        obs=None,
+    ):
         """``canonicalize=False`` keys entries by *presentation order*
         (:func:`presentation_fault_key`) instead of sorted order: needed
         when the cached partition's answers must be bit-identical to
         decoding the faults exactly as presented (the routing engine's
         retry decodes); sorted-order canonicalization shares entries
-        across permutations and is right for everything else."""
+        across permutations and is right for everything else.
+
+        ``obs`` is an optional :class:`~repro.obs.MetricsRegistry`: hit
+        and miss counters plus a ``cache.decode_seconds`` histogram are
+        recorded into it per *fault-set group* (never per query), so the
+        shard workers can ship exact decode-latency distributions back
+        to the serving parent.  ``None`` keeps the cache metrics-free —
+        :class:`CacheStats` is maintained either way."""
         if not hasattr(scheme, "decode_partition"):
             raise TypeError(
                 f"{type(scheme).__name__} does not expose decode_partition"
@@ -140,6 +154,7 @@ class PartitionCache:
         self.scheme = scheme
         self.capacity = capacity
         self.canonicalize = canonicalize
+        self.obs = obs
         self._key = canonical_fault_key if canonicalize else presentation_fault_key
         self._lru: "OrderedDict[FaultKey, object]" = OrderedDict()
         self.stats = CacheStats()
@@ -161,9 +176,17 @@ class PartitionCache:
         if part is not None:
             self._lru.move_to_end(key)
             self.stats.hits += 1
+            if self.obs is not None:
+                self.obs.counter("cache.hits").inc()
             return part
         self.stats.misses += 1
+        t0 = time.perf_counter()
         part = self.scheme.decode_partition(list(key))
+        if self.obs is not None:
+            self.obs.counter("cache.misses").inc()
+            self.obs.histogram("cache.decode_seconds").observe(
+                time.perf_counter() - t0
+            )
         self._lru[key] = part
         while len(self._lru) > self.capacity:
             self._lru.popitem(last=False)

@@ -50,6 +50,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.core._batch import normalize_faults
+from repro.obs import MetricsRegistry
 from repro.serving.coalescer import Ticket
 from repro.serving.partition_cache import (
     FaultKey,
@@ -76,14 +77,18 @@ _CHUNK_TIMEOUT = 600.0
 _HOT_TRACK_LIMIT = 4096
 
 
-def _worker_init(token: int, cache_capacity: int) -> None:
+def _worker_init(token: int, cache_capacity: int, metrics: bool = True) -> None:
     """Pool initializer (runs in the forked child)."""
     _WORKER["cache"] = PartitionCache(
-        _WORKER[token], capacity=cache_capacity
+        _WORKER[token],
+        capacity=cache_capacity,
+        obs=MetricsRegistry(enabled=metrics),
     )
 
 
-def _worker_init_snapshot(path: str, cache_capacity: int) -> None:
+def _worker_init_snapshot(
+    path: str, cache_capacity: int, metrics: bool = True
+) -> None:
     """Pool initializer for snapshot-backed workers (spawn-safe).
 
     Runs in a fresh interpreter with no inherited state: the worker
@@ -94,19 +99,39 @@ def _worker_init_snapshot(path: str, cache_capacity: int) -> None:
     from repro.store import load_snapshot
 
     _WORKER["cache"] = PartitionCache(
-        load_snapshot(path), capacity=cache_capacity
+        load_snapshot(path),
+        capacity=cache_capacity,
+        obs=MetricsRegistry(enabled=metrics),
     )
 
 
 def _worker_query(pairs, faults, kw):
-    """Serve one chunk off the worker's partition cache."""
-    return _WORKER["cache"].query_many(pairs, faults, **kw)
+    """Serve one chunk off the worker's partition cache.
+
+    Returns ``(answers, meta)`` — ``meta`` carries the worker-side
+    timing and pid back to the parent so per-request traces can show a
+    ``partition`` span without touching the answer objects (the
+    answers themselves stay bit-identical to a direct ``query_many``).
+    """
+    t0 = time.perf_counter()
+    answers = _WORKER["cache"].query_many(pairs, faults, **kw)
+    return answers, {
+        "worker_s": time.perf_counter() - t0,
+        "pid": os.getpid(),
+    }
 
 
 def _worker_cache_stats():
+    """Cache counters + the worker's metrics registry (wire dump).
+
+    The registry dump rides along so the parent can aggregate worker
+    histograms (partition decode seconds) exactly — the fixed bucket
+    family makes the cross-process merge lossless.
+    """
     cache = _WORKER["cache"]
     stats = cache.stats
-    return stats.hits, stats.misses, stats.evictions, len(cache)
+    obs_wire = cache.obs.to_wire() if cache.obs is not None else None
+    return stats.hits, stats.misses, stats.evictions, len(cache), obs_wire
 
 
 def shard_of(key: FaultKey, num_shards: int) -> int:
@@ -194,6 +219,8 @@ class ServiceStats:
     replicated_chunks: int = 0
     deadline_flushes: int = 0
     pool_restarts: int = 0  # shard pools rebuilt after a lost worker
+    queue_depth: tuple = ()  # chunks in flight per shard, at snapshot time
+    per_shard_cache: tuple = ()  # one cache-counter dict per shard
 
     @property
     def qps(self) -> float:
@@ -223,6 +250,8 @@ class ServiceStats:
             "replicated_chunks": self.replicated_chunks,
             "deadline_flushes": self.deadline_flushes,
             "pool_restarts": self.pool_restarts,
+            "queue_depth": list(self.queue_depth),
+            "per_shard_cache": list(self.per_shard_cache),
             "cache": {
                 "hits": self.cache_hits,
                 "misses": self.cache_misses,
@@ -286,6 +315,7 @@ class ShardedQueryService:
         clock: Callable[[], float] = time.monotonic,
         snapshot: Optional[str] = None,
         chunk_timeout: float = _CHUNK_TIMEOUT,
+        metrics: bool = True,
     ):
         """``hot_key_share`` enables hot-fault-set replication: once a
         single canonical key has taken at least that share of all
@@ -333,6 +363,12 @@ class ShardedQueryService:
         self._rr = 0  # round-robin pointer for replicated keys
         self._buffers: "OrderedDict[tuple, _Buffer]" = OrderedDict()
         self._tally = _Tally()
+        #: parent-side metrics (chunk sizes, worker seconds, queue depth);
+        #: worker registries are merged in by :meth:`registry_dump`.
+        self.obs = MetricsRegistry(enabled=metrics)
+        self.metrics_enabled = metrics
+        self._inflight_lock = threading.Lock()
+        self._inflight: list[int] = []
         self._pools: Optional[list] = None
         self._local: Optional[list[PartitionCache]] = None
         self._token: Optional[int] = None
@@ -383,7 +419,11 @@ class ShardedQueryService:
         if ctx is None:
             self.num_shards = max(1, num_shards)
             self._local = [
-                PartitionCache(self.scheme, capacity=cache_capacity)
+                PartitionCache(
+                    self.scheme,
+                    capacity=cache_capacity,
+                    obs=MetricsRegistry(enabled=metrics),
+                )
                 for _ in range(self.num_shards)
             ]
         else:
@@ -397,6 +437,7 @@ class ShardedQueryService:
                 initializer, initargs = _worker_init, (
                     self._token,
                     cache_capacity,
+                    metrics,
                 )
             else:
                 # Spawn-compatible build/serve split: every worker
@@ -405,12 +446,14 @@ class ShardedQueryService:
                 initializer, initargs = _worker_init_snapshot, (
                     self.snapshot,
                     cache_capacity,
+                    metrics,
                 )
             self._mp_ctx = ctx
             self._pool_init = (initializer, initargs)
             self._pools = [self._make_pool() for _ in range(num_shards)]
             self._pool_epochs = [0] * num_shards
         self._tally.per_shard = [0] * self.num_shards
+        self._inflight = [0] * self.num_shards
 
     @classmethod
     def from_snapshot(
@@ -478,6 +521,24 @@ class ShardedQueryService:
             return self._rr
         return shard_of(key, self.num_shards)
 
+    def _chunk_started(self, shard: int) -> None:
+        with self._inflight_lock:
+            self._inflight[shard] += 1
+
+    def _chunk_finished(self, shard: int, meta: Optional[dict]) -> None:
+        with self._inflight_lock:
+            if self._inflight[shard] > 0:
+                self._inflight[shard] -= 1
+        if meta is not None:
+            self.obs.histogram("shard.worker_seconds").observe(
+                meta["worker_s"]
+            )
+
+    def queue_depths(self) -> list[int]:
+        """Chunks currently in flight, per shard (live queue depth)."""
+        with self._inflight_lock:
+            return list(self._inflight)
+
     def query_many(
         self, pairs: Sequence[tuple[int, int]], faults=(), **kw
     ) -> list:
@@ -494,7 +555,8 @@ class ShardedQueryService:
         groups = group_by_canonical_key(per)
         results: list = [None] * len(pairs)
         tally = self._tally
-        dispatched = []  # (qis, async_result) in fork mode
+        chunk_hist = self.obs.histogram("shard.chunk_size")
+        dispatched = []  # (qis, shard, async_result) in pool mode
         for key, qis in groups.items():
             for lo in range(0, len(qis), self.max_chunk):
                 chunk = qis[lo : lo + self.max_chunk]
@@ -504,19 +566,26 @@ class ShardedQueryService:
                 tally.per_shard[shard] += len(chunk)
                 if len(chunk) > tally.max_chunk:
                     tally.max_chunk = len(chunk)
+                chunk_hist.observe(len(chunk))
                 if self._pools is not None:
+                    self._chunk_started(shard)
                     handle = self._pools[shard].apply_async(
                         _worker_query, (chunk_pairs, list(key), kw)
                     )
-                    dispatched.append((chunk, handle))
+                    dispatched.append((chunk, shard, handle))
                 else:
                     answers = self._local[shard].query_many(
                         chunk_pairs, list(key), **kw
                     )
                     for qi, ans in zip(chunk, answers):
                         results[qi] = ans
-        for chunk, handle in dispatched:
-            answers = handle.get(timeout=self.chunk_timeout)
+        for chunk, shard, handle in dispatched:
+            try:
+                answers, meta = handle.get(timeout=self.chunk_timeout)
+            except BaseException:
+                self._chunk_finished(shard, None)
+                raise
+            self._chunk_finished(shard, meta)
             for qi, ans in zip(chunk, answers):
                 results[qi] = ans
         tally.queries += len(pairs)
@@ -537,9 +606,11 @@ class ShardedQueryService:
         and chunks requests itself; this is its non-blocking entry
         point.  The chunk is routed like :meth:`query_many` routes it
         (hash owner, or round-robin when the key is hot) and handed to
-        the shard's pool via ``apply_async`` — ``callback(answers)`` /
-        ``error_callback(exc)`` fire on the pool's result-handler
-        thread when the worker finishes.  A SIGKILLed worker never
+        the shard's pool via ``apply_async`` — ``callback(answers,
+        meta)`` / ``error_callback(exc)`` fire on the pool's
+        result-handler thread when the worker finishes (``meta`` is the
+        worker-side timing dict of :func:`_worker_query` — the
+        ``partition`` span of a request trace).  A SIGKILLed worker never
         completes its chunk, so callers must pair this with their own
         deadline and report the loss via :meth:`restart_shard` (with
         the :meth:`shard_epoch` read at dispatch time), after which
@@ -559,14 +630,29 @@ class ShardedQueryService:
         tally.per_shard[shard] += len(pairs)
         if len(pairs) > tally.max_chunk:
             tally.max_chunk = len(pairs)
+        self.obs.histogram("shard.chunk_size").observe(len(pairs))
         if self._pools is not None:
+            self._chunk_started(shard)
+
+            def _on_ok(res, _shard=shard, _cb=callback):
+                answers, meta = res
+                self._chunk_finished(_shard, meta)
+                if _cb is not None:
+                    _cb(answers, meta)
+
+            def _on_err(exc, _shard=shard, _ecb=error_callback):
+                self._chunk_finished(_shard, None)
+                if _ecb is not None:
+                    _ecb(exc)
+
             self._pools[shard].apply_async(
                 _worker_query,
                 (pairs, list(key), kw),
-                callback=callback,
-                error_callback=error_callback,
+                callback=_on_ok,
+                error_callback=_on_err,
             )
             return shard
+        t0 = time.perf_counter()
         try:
             answers = self._local[shard].query_many(pairs, list(key), **kw)
         except Exception as exc:  # pragma: no cover - scheme-level failure
@@ -575,7 +661,10 @@ class ShardedQueryService:
                 return shard
             raise
         if callback is not None:
-            callback(answers)
+            callback(
+                answers,
+                {"worker_s": time.perf_counter() - t0, "pid": os.getpid()},
+            )
         return shard
 
     def worker_pids(self) -> list[int]:
@@ -624,6 +713,10 @@ class ShardedQueryService:
         self._pools[shard] = self._make_pool()
         self._pool_epochs[shard] += 1
         self._tally.pool_restarts += 1
+        self.obs.counter("shard.pool_restarts").inc()
+        with self._inflight_lock:
+            # everything in flight on the old pool is lost with it
+            self._inflight[shard] = 0
         _reap_pool_async(old)
         return True
 
@@ -695,22 +788,47 @@ class ShardedQueryService:
     # ------------------------------------------------------------------
     # Introspection / lifecycle
     # ------------------------------------------------------------------
-    def stats(self) -> ServiceStats:
-        """Aggregate parent counters with the workers' cache counters."""
-        hits = misses = evictions = entries = 0
+    def _worker_sweep(self) -> list[tuple]:
+        """One ``(hits, misses, evictions, entries, obs_wire)`` per shard.
+
+        Pool mode round-trips every worker (blocking); local mode reads
+        the in-process caches directly.
+        """
         if self._pools is not None:
-            for pool in self._pools:
-                h, m, e, live = pool.apply(_worker_cache_stats)
-                hits += h
-                misses += m
-                evictions += e
-                entries += live
-        else:
-            for cache in self._local:
-                hits += cache.stats.hits
-                misses += cache.stats.misses
-                evictions += cache.stats.evictions
-                entries += len(cache)
+            return [pool.apply(_worker_cache_stats) for pool in self._pools]
+        sweep = []
+        for cache in self._local:
+            wire = cache.obs.to_wire() if cache.obs is not None else None
+            sweep.append(
+                (
+                    cache.stats.hits,
+                    cache.stats.misses,
+                    cache.stats.evictions,
+                    len(cache),
+                    wire,
+                )
+            )
+        return sweep
+
+    def stats(self, _sweep: Optional[list] = None) -> ServiceStats:
+        """Aggregate parent counters with the workers' cache counters."""
+        sweep = self._worker_sweep() if _sweep is None else _sweep
+        hits = misses = evictions = entries = 0
+        per_shard_cache = []
+        for h, m, e, live, _wire in sweep:
+            hits += h
+            misses += m
+            evictions += e
+            entries += live
+            per_shard_cache.append(
+                {
+                    "hits": h,
+                    "misses": m,
+                    "evictions": e,
+                    "entries": live,
+                    "hit_rate": round(h / (h + m), 4) if h + m else 0.0,
+                }
+            )
         t = self._tally
         return ServiceStats(
             queries=t.queries,
@@ -727,7 +845,47 @@ class ShardedQueryService:
             replicated_chunks=t.replicated_chunks,
             deadline_flushes=t.deadline_flushes,
             pool_restarts=t.pool_restarts,
+            queue_depth=tuple(self.queue_depths()),
+            per_shard_cache=tuple(per_shard_cache),
         )
+
+    def _registry_from_sweep(self, sweep: list) -> dict:
+        """Uniform registry dump: parent metrics, exact-merged worker
+        histograms, and per-shard gauges (queue depth, cache hit rate)."""
+        merged = MetricsRegistry(enabled=self.metrics_enabled)
+        if not self.metrics_enabled:
+            return merged.to_wire()
+        merged.merge_wire(self.obs.to_wire())
+        t = self._tally
+        merged.counter("service.queries").inc(t.queries)
+        merged.counter("service.chunks").inc(t.chunks)
+        merged.counter("service.pool_restarts").inc(t.pool_restarts)
+        merged.counter("service.replicated_chunks").inc(t.replicated_chunks)
+        merged.counter("service.deadline_flushes").inc(t.deadline_flushes)
+        merged.gauge("service.hot_keys").set(len(self._hot_keys))
+        depths = self.queue_depths()
+        for shard, (h, m, e, live, wire) in enumerate(sweep):
+            if wire:
+                merged.merge_wire(wire)
+            merged.counter(f"shard.{shard}.cache_hits").inc(h)
+            merged.counter(f"shard.{shard}.cache_misses").inc(m)
+            merged.counter(f"shard.{shard}.cache_evictions").inc(e)
+            merged.gauge(f"shard.{shard}.cache_entries").set(live)
+            merged.gauge(f"shard.{shard}.cache_hit_rate").set(
+                h / (h + m) if h + m else 0.0
+            )
+            merged.gauge(f"shard.{shard}.queue_depth").set(depths[shard])
+            merged.counter(f"shard.{shard}.queries").inc(t.per_shard[shard])
+        return merged.to_wire()
+
+    def registry_dump(self) -> dict:
+        """The service's metrics as one mergeable wire dict."""
+        return self._registry_from_sweep(self._worker_sweep())
+
+    def stats_bundle(self) -> tuple[ServiceStats, dict]:
+        """``(stats(), registry_dump())`` off one worker round trip."""
+        sweep = self._worker_sweep()
+        return self.stats(_sweep=sweep), self._registry_from_sweep(sweep)
 
     def close(self) -> None:
         """Flush pending submits, then reap the pools (idempotent).

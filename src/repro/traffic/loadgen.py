@@ -5,9 +5,12 @@ sockets: ``workers`` concurrent :class:`~repro.server.client.
 AsyncQueryClient` connections each issue back-to-back requests (a
 closed loop — a worker sends its next request the moment the previous
 answer lands), for a fixed duration or request count.  Per-request
-latencies are collected and summarized into a :class:`LoadReport`
-with p50/p90/p99 and achieved qps — the measurement half of
-``benchmarks/bench_server.py`` and of the hot-reload blip test.
+latencies land in a :mod:`repro.obs` log-bucketed histogram and are
+summarized into a :class:`LoadReport` with p50/p90/p99/p99.9 and
+achieved qps — the measurement half of ``benchmarks/bench_server.py``
+and of the hot-reload blip test.  Because the buckets come from the
+registry's fixed bucket family, per-worker reports merge exactly and
+memory stays bounded no matter how long the run.
 
 The pair/fault mix comes from :mod:`repro.traffic.workloads`
 (:func:`~repro.traffic.workloads.uniform_pairs` by default), so the
@@ -29,6 +32,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.obs import Histogram
 from repro.server.client import AsyncQueryClient, ServerError
 from repro.traffic.workloads import fault_set_pool, uniform_pairs
 
@@ -48,22 +52,36 @@ def percentile(sorted_values: Sequence[float], q: float) -> float:
 
 @dataclass
 class LoadReport:
-    """What a load run measured: counts, errors, and the latency shape."""
+    """What a load run measured: counts, errors, and the latency shape.
+
+    Latencies live in a :class:`repro.obs.Histogram` (millisecond
+    values) rather than a raw list, so memory is O(buckets) regardless
+    of run length and :meth:`merge` is exact: two workers' reports
+    merged give the same percentiles as one worker that saw all the
+    samples, because every process buckets with the same fixed
+    base-2^(1/4) edges.
+    """
 
     requests: int = 0
     errors: int = 0
     error_codes: dict = field(default_factory=dict)
     duration_s: float = 0.0
     workers: int = 0
-    latencies_ms: list = field(default_factory=list)
+    latency: Histogram = field(
+        default_factory=lambda: Histogram("loadgen.latency_ms")
+    )
 
     @property
     def qps(self) -> float:
         return self.requests / self.duration_s if self.duration_s > 0 else 0.0
 
+    def record(self, latency_ms: float) -> None:
+        """Record one request's latency (milliseconds)."""
+        self.latency.observe(latency_ms)
+
     def summary(self) -> dict:
         """JSON-ready percentile summary (latencies in milliseconds)."""
-        lat = sorted(self.latencies_ms)
+        lat = self.latency
         return {
             "requests": self.requests,
             "errors": self.errors,
@@ -71,10 +89,14 @@ class LoadReport:
             "duration_s": round(self.duration_s, 4),
             "workers": self.workers,
             "qps": round(self.qps, 2),
-            "p50_ms": round(percentile(lat, 50), 4),
-            "p90_ms": round(percentile(lat, 90), 4),
-            "p99_ms": round(percentile(lat, 99), 4),
-            "max_ms": round(lat[-1], 4) if lat else 0.0,
+            "p50_ms": round(lat.percentile(50), 4),
+            "p90_ms": round(lat.percentile(90), 4),
+            "p99_ms": round(lat.percentile(99), 4),
+            "p99_9_ms": round(lat.percentile(99.9), 4),
+            "max_ms": round(lat.vmax, 4) if lat.count else 0.0,
+            "latency_buckets": {
+                str(k): v for k, v in sorted(lat.buckets.items())
+            },
         }
 
     def merge(self, other: "LoadReport") -> None:
@@ -82,7 +104,7 @@ class LoadReport:
         self.errors += other.errors
         for code, count in other.error_codes.items():
             self.error_codes[code] = self.error_codes.get(code, 0) + count
-        self.latencies_ms.extend(other.latencies_ms)
+        self.latency.merge(other.latency)
 
 
 async def _worker_loop(
@@ -135,7 +157,7 @@ async def _worker_loop(
                     report.error_codes.get("DISCONNECT", 0) + 1
                 )
                 break
-            report.latencies_ms.append((time.perf_counter() - t0) * 1e3)
+            report.record((time.perf_counter() - t0) * 1e3)
             report.requests += 1
             sent += 1
     finally:

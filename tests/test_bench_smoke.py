@@ -15,6 +15,7 @@ import pytest
 
 from benchmarks import (
     baseline,
+    bench_obs,
     bench_query_throughput,
     bench_routing,
     bench_scale,
@@ -99,6 +100,18 @@ def test_snapshot_load_within_2x_of_committed_baseline():
         pytest.skip("no committed BENCH_snapshot.json")
     committed = json.loads(Path(bench_snapshot.DEFAULT_OUT).read_text())
     problems = bench_snapshot.check_against(committed, repeats=3)
+    assert not problems, "; ".join(problems)
+
+
+@pytest.mark.bench_smoke
+def test_obs_overhead_within_hard_bar():
+    """Observability: metrics-on serving throughput within the 5% hard
+    bar of metrics-off (absolute, machine-normalized — both arms are
+    measured interleaved in one run)."""
+    if not Path(bench_obs.DEFAULT_OUT).exists():
+        pytest.skip("no committed BENCH_obs.json")
+    committed = json.loads(Path(bench_obs.DEFAULT_OUT).read_text())
+    problems = bench_obs.check_against(committed, repeats=5)
     assert not problems, "; ".join(problems)
 
 
